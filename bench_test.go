@@ -1,0 +1,359 @@
+package cnnhe
+
+// Benchmarks regenerating the paper's tables and figures (one benchmark
+// per experiment; see DESIGN.md §4). These run at reduced, laptop-scale
+// parameters; cmd/hebench produces the full formatted tables and the
+// -paper flag selects the N=2^14 Table II settings.
+//
+//	go test -bench=. -benchmem            # everything
+//	go test -bench=TableIII -benchtime=3x
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"testing"
+
+	"cnnhe/internal/ckks"
+	"cnnhe/internal/ckksbig"
+	"cnnhe/internal/henn"
+	"cnnhe/internal/mnist"
+	"cnnhe/internal/nn"
+)
+
+// fixtures are built once and shared by every benchmark. Engines (keys +
+// pre-encoded weight caches) are cached per configuration so each
+// benchmark measures steady-state inference, not setup.
+type benchFixtures struct {
+	cnn1, cnn2   *nn.Model
+	images       [][]float64
+	labels       []int
+	plan1, plan2 *henn.Plan // logN=11 (CNN1), logN=12 (CNN2)
+
+	mu      sync.Mutex
+	engines map[string]henn.Engine
+}
+
+var (
+	fxOnce sync.Once
+	fx     benchFixtures
+)
+
+func fixtures(b *testing.B) *benchFixtures {
+	b.Helper()
+	fxOnce.Do(func() {
+		train, test, src := mnist.Load(2000, 64, 1)
+		fmt.Fprintf(os.Stderr, "[bench setup] training CNN1+CNN2 (data: %s)...\n", src)
+		trainNN := train.ToNN()
+		rc := nn.DefaultRetrofitConfig()
+		rc.Epochs = 2
+
+		rng := rand.New(rand.NewSource(2))
+		m1 := nn.NewCNN1(rng)
+		nn.Train(m1, trainNN, nn.TrainConfig{Epochs: 4, BatchSize: 64, MaxLR: 0.08, Momentum: 0.9, Seed: 3})
+		fx.cnn1 = nn.Retrofit(m1, trainNN, rc)
+
+		m2 := nn.NewCNN2(rng)
+		nn.Train(m2, trainNN, nn.TrainConfig{Epochs: 4, BatchSize: 64, MaxLR: 0.08, Momentum: 0.9, Seed: 4})
+		fx.cnn2 = nn.Retrofit(m2, trainNN, rc)
+
+		for i := 0; i < test.Len(); i++ {
+			fx.images = append(fx.images, test.Image(i))
+		}
+		fx.labels = test.Labels
+
+		var err error
+		if fx.plan1, err = henn.Compile(fx.cnn1, 1<<10); err != nil {
+			panic(err)
+		}
+		if fx.plan2, err = henn.Compile(fx.cnn2, 1<<11); err != nil {
+			panic(err)
+		}
+		fx.engines = map[string]henn.Engine{}
+	})
+	return &fx
+}
+
+// chainBits returns the paper-shaped [40, 26…26, 40] chain of length k.
+func chainBits(k int) []int {
+	bits := []int{40}
+	for i := 0; i < k-2; i++ {
+		bits = append(bits, 26)
+	}
+	return append(bits, 40)
+}
+
+// rnsEngine caches only the two default-chain engines that several
+// benchmarks share; sweep configurations are transient so the process
+// footprint stays bounded on 16 GB machines.
+func rnsEngine(b *testing.B, logN, k int, plan *henn.Plan) henn.Engine {
+	b.Helper()
+	f := fixtures(b)
+	key := fmt.Sprintf("rns/%d/%d", logN, k)
+	cacheable := k == 13
+	if cacheable {
+		f.mu.Lock()
+		if e, ok := f.engines[key]; ok {
+			f.mu.Unlock()
+			return e
+		}
+		f.mu.Unlock()
+	}
+	runtime.GC()
+	p, err := ckks.NewParameters(logN, chainBits(k), 60, 1, math.Exp2(26))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := plan.CheckDepth(p.MaxLevel()); err != nil {
+		b.Fatal(err)
+	}
+	e, err := henn.NewRNSEngine(p, plan.Rotations(), 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if cacheable {
+		f.mu.Lock()
+		f.engines[key] = e
+		f.mu.Unlock()
+	}
+	return e
+}
+
+// bigEngine is never cached: the multiprecision backend's per-level ring
+// and plaintext caches are several GB each.
+func bigEngine(b *testing.B, logN, k int, plan *henn.Plan) henn.Engine {
+	b.Helper()
+	runtime.GC()
+	debug.FreeOSMemory()
+	p, err := ckks.NewParameters(logN, chainBits(k), 60, 1, math.Exp2(26))
+	if err != nil {
+		b.Fatal(err)
+	}
+	bp, err := ckksbig.FromRNSParameters(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := henn.NewBigEngine(bp, plan.Rotations(), 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
+func benchInfer(b *testing.B, plan *henn.Plan, e henn.Engine, images [][]float64) {
+	b.Helper()
+	plan.Infer(e, images[0]) // warm the pre-encoded weight cache untimed
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		logits, _ := plan.Infer(e, images[i%len(images)])
+		_ = logits.Argmax()
+	}
+}
+
+// BenchmarkTableIII_CNN1HERNS: one encrypted CNN1 classification under
+// CKKS-RNS (Table III, CNN1-HE-RNS row).
+func BenchmarkTableIII_CNN1HERNS(b *testing.B) {
+	f := fixtures(b)
+	e := rnsEngine(b, 11, 13, f.plan1)
+	benchInfer(b, f.plan1, e, f.images)
+}
+
+// BenchmarkTableIII_CNN1HE: the multiprecision CKKS baseline
+// (Table III, CNN1-HE row).
+func BenchmarkTableIII_CNN1HE(b *testing.B) {
+	f := fixtures(b)
+	e := bigEngine(b, 11, 13, f.plan1)
+	benchInfer(b, f.plan1, e, f.images)
+}
+
+// BenchmarkTableIV_ModuliSweep: CNN1-HE-RNS latency across feasible moduli
+// chain lengths (Table IV).
+func BenchmarkTableIV_ModuliSweep(b *testing.B) {
+	f := fixtures(b)
+	// Representative chain lengths; cmd/hebench sweeps the full range.
+	for _, k := range []int{f.plan1.Depth + 1, 10, 13} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			e := rnsEngine(b, 11, k, f.plan1)
+			benchInfer(b, f.plan1, e, f.images)
+		})
+	}
+}
+
+// BenchmarkTableV_CNN2HERNS: encrypted CNN2 classification under CKKS-RNS
+// (Table V, CNN2-HE-RNS row).
+func BenchmarkTableV_CNN2HERNS(b *testing.B) {
+	f := fixtures(b)
+	e := rnsEngine(b, 12, 13, f.plan2)
+	benchInfer(b, f.plan2, e, f.images)
+}
+
+// BenchmarkTableV_CNN2HE: the CNN2 multiprecision baseline (Table V).
+func BenchmarkTableV_CNN2HE(b *testing.B) {
+	f := fixtures(b)
+	e := bigEngine(b, 12, 13, f.plan2)
+	benchInfer(b, f.plan2, e, f.images)
+}
+
+// BenchmarkTableVI_ModuliSweep: CNN2-HE-RNS latency across feasible moduli
+// chain lengths (Table VI; the k=1 multiprecision row is
+// BenchmarkTableV_CNN2HE).
+func BenchmarkTableVI_ModuliSweep(b *testing.B) {
+	f := fixtures(b)
+	// Representative chain lengths; cmd/hebench sweeps the full range.
+	for _, k := range []int{f.plan2.Depth + 1, 13} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			e := rnsEngine(b, 12, k, f.plan2)
+			benchInfer(b, f.plan2, e, f.images)
+		})
+	}
+}
+
+// BenchmarkFig5_RNSPipeline: the Fig. 5 input-decomposition pipeline on
+// CNN1 for several part counts.
+func BenchmarkFig5_RNSPipeline(b *testing.B) {
+	f := fixtures(b)
+	e := rnsEngine(b, 11, 13, f.plan1)
+	for _, parts := range []int{1, 2, 3} {
+		b.Run(fmt.Sprintf("parts=%d", parts), func(b *testing.B) {
+			rp, err := henn.NewRNSPlan(f.plan1, parts, true)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				logits, _ := rp.Infer(e, f.images[i%len(f.images)])
+				_ = logits.Argmax()
+			}
+		})
+	}
+}
+
+// BenchmarkLimbWidthAblation: ct-ct multiply+relinearize with a fixed
+// ~366-bit modulus split into k limbs (the Table IV/VI mechanism at the
+// primitive level: k ≤ 5 limbs exceed the word bound and use two-word
+// arithmetic).
+func BenchmarkLimbWidthAblation(b *testing.B) {
+	for k := 3; k <= 10; k++ {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			params, err := ckks.SweepParameters(10, 366, k, math.Exp2(float64(366/k)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx, err := ckks.NewContext(params)
+			if err != nil {
+				b.Fatal(err)
+			}
+			kg := ckks.NewKeyGenerator(ctx, 1)
+			sk := kg.GenSecretKey()
+			pk := kg.GenPublicKey(sk)
+			rlk := kg.GenRelinearizationKey(sk)
+			enc := ckks.NewEncoder(ctx)
+			ept := ckks.NewEncryptor(ctx, pk, 2)
+			ev := ckks.NewEvaluator(ctx, rlk, nil)
+			vals := make([]float64, params.Slots())
+			for i := range vals {
+				vals[i] = 1.0 + float64(i%5)/5
+			}
+			ct := ept.Encrypt(enc.Encode(vals, params.MaxLevel(), params.Scale))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = ev.Mul(ct, ct)
+			}
+		})
+	}
+}
+
+// BenchmarkBatchedThroughput: SIMD batch amortization (the mechanism
+// behind Table I's E2DM/Lo-La throughput rows): two CNN1 images packed in
+// one ciphertext cost one evaluation. The reported ns/op covers the whole
+// batch; per-image latency is ns/op ÷ batch.
+func BenchmarkBatchedThroughput(b *testing.B) {
+	f := fixtures(b)
+	for _, batch := range []int{1, 2} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			bp, err := henn.CompileBatched(f.cnn1, 1<<11, batch)
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Dedicated engine: the tiled plan's rotation set differs from
+			// the cached CNN2 engine's.
+			p, err := ckks.NewParameters(12, chainBits(13), 60, 1, math.Exp2(26))
+			if err != nil {
+				b.Fatal(err)
+			}
+			e, err := henn.NewRNSEngine(p, bp.Plan.Rotations(), 7)
+			if err != nil {
+				b.Fatal(err)
+			}
+			images := make([][]float64, batch)
+			for i := range images {
+				images[i] = f.images[i]
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := bp.InferBatch(e, images); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCNN3CryptoNets: the CryptoNets-style architecture (mean pooling
+// + degree-2 activations) with and without the Table I "2-arch" collapsing
+// of adjacent linear layers (pool + conv merge into one homomorphic stage,
+// saving a level and a full BSGS matrix-vector product).
+func BenchmarkCNN3CryptoNets(b *testing.B) {
+	rng := rand.New(rand.NewSource(77))
+	m := nn.NewCNN3(rng).ReplaceReLUWithSLAF(2, 1)
+	for _, l := range m.Layers {
+		if s, ok := l.(*nn.SLAF); ok {
+			s.FitReLU(3)
+		}
+	}
+	f := fixtures(b)
+	for _, collapse := range []bool{true, false} {
+		name := "2arch"
+		if !collapse {
+			name = "expanded"
+		}
+		b.Run(name, func(b *testing.B) {
+			plan, err := henn.CompileWithOptions(m, 1<<10, henn.Options{Collapse: collapse})
+			if err != nil {
+				b.Fatal(err)
+			}
+			p, err := ckks.NewParameters(11, chainBits(plan.Depth+1), 60, 1, math.Exp2(26))
+			if err != nil {
+				b.Fatal(err)
+			}
+			e, err := henn.NewRNSEngine(p, plan.Rotations(), 7)
+			if err != nil {
+				b.Fatal(err)
+			}
+			plan.Infer(e, f.images[0])
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				logits, _ := plan.Infer(e, f.images[i%len(f.images)])
+				_ = logits.Argmax()
+			}
+		})
+	}
+}
+
+// BenchmarkTableI_OurRows: the single-inference latencies appended to
+// Table I (CNN1-HE-RNS and CNN2-HE-RNS at their default settings).
+func BenchmarkTableI_OurRows(b *testing.B) {
+	f := fixtures(b)
+	b.Run("CNN1-HE-RNS", func(b *testing.B) {
+		e := rnsEngine(b, 11, 13, f.plan1)
+		benchInfer(b, f.plan1, e, f.images)
+	})
+	b.Run("CNN2-HE-RNS", func(b *testing.B) {
+		e := rnsEngine(b, 12, 13, f.plan2)
+		benchInfer(b, f.plan2, e, f.images)
+	})
+}

@@ -1,0 +1,133 @@
+// Command hebench regenerates the paper's evaluation tables and figures
+// (see DESIGN.md §4 for the experiment index).
+//
+// Usage:
+//
+//	hebench -table all                # Tables I–VI + Fig 5 + ablation
+//	hebench -table 3 -runs 5          # just Table III
+//	hebench -paper                    # paper-scale settings (N=2^14, slow)
+//	hebench -out EXPERIMENTS.generated.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+
+	"cnnhe/internal/bench"
+)
+
+func main() {
+	var (
+		table   = flag.String("table", "all", "which experiment: 1,2,3,4,5,6,fig5,ablation or all")
+		logN    = flag.Int("logn", 0, "override ring degree exponent")
+		runs    = flag.Int("runs", 0, "override latency runs per row")
+		accImgs = flag.Int("images", 0, "override encrypted-accuracy image count")
+		trainN  = flag.Int("train", 0, "override training set size")
+		epochs  = flag.Int("epochs", 0, "override training epochs")
+		paper   = flag.Bool("paper", false, "paper-scale settings (N=2^14, 30 epochs; hours)")
+		outPath = flag.String("out", "", "also write the report to this file")
+		models  = flag.String("models", "models", "model cache directory")
+		seed    = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	cfg := bench.DefaultConfig()
+	if *paper {
+		cfg = bench.PaperConfig()
+	}
+	cfg.Seed = *seed
+	cfg.ModelDir = *models
+	cfg.Verbose = true
+	if *logN > 0 {
+		cfg.LogN = *logN
+	}
+	if *runs > 0 {
+		cfg.Runs = *runs
+	}
+	if *accImgs > 0 {
+		cfg.AccImages = *accImgs
+	}
+	if *trainN > 0 {
+		cfg.TrainN = *trainN
+	}
+	if *epochs > 0 {
+		cfg.Epochs = *epochs
+	}
+
+	var w io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	want := map[string]bool{}
+	for _, t := range strings.Split(*table, ",") {
+		want[strings.TrimSpace(t)] = true
+	}
+	all := want["all"]
+	needModels := all || want["1"] || want["3"] || want["4"] || want["5"] || want["6"] || want["fig5"]
+
+	var ms *bench.Models
+	if needModels {
+		var err error
+		ms, err = bench.TrainModels(cfg, os.Stderr)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	var measured []bench.HEResult
+	run := func(name string, f func() error) {
+		fmt.Fprintf(os.Stderr, "--- running %s ---\n", name)
+		if err := f(); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+	}
+
+	if all || want["2"] {
+		run("Table II", func() error { return bench.TableII(w) })
+	}
+	if all || want["3"] {
+		run("Table III", func() error {
+			rows, err := bench.TableIII(cfg, ms, w)
+			measured = append(measured, rows...)
+			return err
+		})
+	}
+	if all || want["4"] {
+		run("Table IV", func() error {
+			_, err := bench.TableIV(cfg, ms, w)
+			return err
+		})
+	}
+	if all || want["5"] {
+		run("Table V", func() error {
+			rows, err := bench.TableV(cfg, ms, w)
+			measured = append(measured, rows...)
+			return err
+		})
+	}
+	if all || want["6"] {
+		run("Table VI", func() error {
+			_, err := bench.TableVI(cfg, ms, w)
+			return err
+		})
+	}
+	if all || want["fig5"] {
+		run("Figure 5", func() error { return bench.Fig5(cfg, ms, w) })
+	}
+	if all || want["ablation"] {
+		run("limb-width ablation", func() error { return bench.LimbWidthAblation(cfg, w) })
+	}
+	if all || want["1"] {
+		bench.TableI(w, measured, ms.DataSource)
+	}
+}

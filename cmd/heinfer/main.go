@@ -1,0 +1,123 @@
+// Command heinfer runs a single privacy-preserving classification: it
+// plays both parties of Fig. 1 — the client encodes and encrypts an image
+// under CKKS-RNS, the "server" side evaluates the compiled CNN plan
+// blindly, and the client decrypts the logits.
+//
+// Usage:
+//
+//	heinfer -model models/cnn1.gob -image 3 -logn 12 [-backend rns|big] [-rnsparts 3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+
+	"cnnhe/internal/ckks"
+	"cnnhe/internal/ckksbig"
+	"cnnhe/internal/henn"
+	"cnnhe/internal/mnist"
+	"cnnhe/internal/nn"
+	"cnnhe/internal/primes"
+	"cnnhe/internal/tensor"
+)
+
+func main() {
+	var (
+		modelPath = flag.String("model", "models/cnn1.gob", "trained SLAF model (.gob)")
+		imageIdx  = flag.Int("image", 0, "test-set image index")
+		logN      = flag.Int("logn", 12, "ring degree exponent (14 = paper scale)")
+		backend   = flag.String("backend", "rns", "rns (CKKS-RNS) or big (multiprecision CKKS)")
+		rnsParts  = flag.Int("rnsparts", 0, "enable the Fig. 5 input-decomposition pipeline with this many parts (0 = off)")
+		seed      = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	model, arch, err := nn.LoadModel(*modelPath)
+	if err != nil {
+		log.Fatalf("loading model: %v (run hetrain first)", err)
+	}
+	_, test, src := mnist.Load(16, *imageIdx+1, *seed)
+	fmt.Printf("model: %s   data: %s\n", arch, src)
+	img := test.Image(*imageIdx)
+	label := test.Labels[*imageIdx]
+
+	plan, err := henn.Compile(model, 1<<(*logN-1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(plan.Describe())
+
+	k := plan.Depth + 1
+	if k < 13 {
+		k = 13
+	}
+	bits := []int{40}
+	for i := 0; i < k-2; i++ {
+		bits = append(bits, 26)
+	}
+	bits = append(bits, 40)
+	params, err := ckks.NewParameters(*logN, bits, 60, 1, math.Exp2(26))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := plan.CheckDepth(params.MaxLevel()); err != nil {
+		log.Fatal(err)
+	}
+
+	var engine henn.Engine
+	switch *backend {
+	case "rns":
+		e, err := henn.NewRNSEngine(params, plan.Rotations(), *seed+7)
+		if err != nil {
+			log.Fatal(err)
+		}
+		engine = e
+	case "big":
+		bp, err := ckksbig.FromRNSParameters(params)
+		if err != nil {
+			log.Fatal(err)
+		}
+		e, err := henn.NewBigEngine(bp, plan.Rotations(), *seed+7)
+		if err != nil {
+			log.Fatal(err)
+		}
+		engine = e
+	default:
+		log.Fatalf("unknown backend %q", *backend)
+	}
+	fmt.Printf("backend: %s, N=2^%d, chain length %d (log q = %d)\n",
+		engine.Name(), *logN, k, params.Chain.LogQ())
+
+	var logits henn.Logits
+	var lat fmt.Stringer
+	if *rnsParts > 0 {
+		rp, err := henn.NewRNSPlan(plan, *rnsParts, true)
+		if err != nil {
+			log.Fatal(err)
+		}
+		l, d := rp.Infer(engine, img)
+		logits, lat = l, d
+	} else {
+		l, d := plan.Infer(engine, img)
+		logits, lat = l, d
+	}
+
+	// Plaintext reference.
+	x := tensor.New(1, 28, 28)
+	for i := range img {
+		x.Data[i] = img[i] / 255
+	}
+	plain := model.Forward(x).Data
+
+	fmt.Printf("\nencrypted classification latency: %v\n", lat)
+	fmt.Printf("true label: %d\n", label)
+	fmt.Printf("%-10s %12s %12s\n", "class", "HE logit", "plain logit")
+	for i := range logits {
+		fmt.Printf("%-10d %12.4f %12.4f\n", i, logits[i], plain[i])
+	}
+	fmt.Printf("\nHE prediction:    %d\n", logits.Argmax())
+	fmt.Printf("plain prediction: %d\n", henn.Logits(plain).Argmax())
+	_ = primes.PaperBitSizes
+}

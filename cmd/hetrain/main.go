@@ -1,0 +1,87 @@
+// Command hetrain trains the paper's CNN1/CNN2 architectures (Figs. 3-4)
+// on MNIST (real IDX data via MNIST_DIR, synthetic otherwise), retrofits
+// SLAF polynomial activations per the CNN-HE-SLAF recipe, and saves the
+// HE-ready models.
+//
+// Usage:
+//
+//	hetrain -model both -out models -train 6000 -test 1000 -epochs 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"cnnhe/internal/mnist"
+	"cnnhe/internal/nn"
+)
+
+func main() {
+	var (
+		model    = flag.String("model", "both", "architecture to train: cnn1, cnn2 or both")
+		outDir   = flag.String("out", "models", "output directory for .gob models")
+		trainN   = flag.Int("train", 6000, "training images (paper: 50000)")
+		testN    = flag.Int("test", 1000, "test images (paper: 10000)")
+		epochs   = flag.Int("epochs", 10, "ReLU training epochs (paper: 30)")
+		retrofit = flag.Int("retrofit", 3, "SLAF retrofit epochs")
+		degree   = flag.Int("degree", 3, "SLAF polynomial degree")
+		seed     = flag.Int64("seed", 1, "random seed")
+		quiet    = flag.Bool("q", false, "suppress progress logs")
+	)
+	flag.Parse()
+
+	train, test, src := mnist.Load(*trainN, *testN, *seed)
+	fmt.Printf("dataset: %s (%d train / %d test)\n", src, train.Len(), test.Len())
+	trainNN := train.ToNN()
+	testNN := test.ToNN()
+
+	var archs []string
+	switch *model {
+	case "both":
+		archs = []string{"cnn1", "cnn2"}
+	case "cnn1", "cnn2":
+		archs = []string{*model}
+	default:
+		log.Fatalf("unknown model %q", *model)
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+
+	for _, arch := range archs {
+		rng := rand.New(rand.NewSource(*seed + 100))
+		var m *nn.Model
+		if arch == "cnn1" {
+			m = nn.NewCNN1(rng)
+		} else {
+			m = nn.NewCNN2(rng)
+		}
+		fmt.Printf("== training %s: %d epochs, SGD momentum 0.9, 1-cycle LR ==\n", arch, *epochs)
+		tc := nn.TrainConfig{
+			Epochs: *epochs, BatchSize: 64, MaxLR: 0.08, Momentum: 0.9,
+			Seed: *seed + 200, Verbose: !*quiet, LogEvery: 5,
+		}
+		trainAcc := nn.Train(m, trainNN, tc)
+		reluAcc := nn.Evaluate(m, testNN)
+		fmt.Printf("%s ReLU: train %.3f%% test %.3f%%\n", arch, 100*trainAcc, 100*reluAcc)
+
+		rc := nn.DefaultRetrofitConfig()
+		rc.Degree = *degree
+		rc.Epochs = *retrofit
+		rc.Seed = *seed + 300
+		rc.Verbose = !*quiet
+		slaf := nn.Retrofit(m, trainNN, rc)
+		slafAcc := nn.Evaluate(slaf, testNN)
+		fmt.Printf("%s SLAF(deg %d): test %.3f%%\n", arch, *degree, 100*slafAcc)
+
+		path := filepath.Join(*outDir, arch+".gob")
+		if err := slaf.Save(path, arch); err != nil {
+			log.Fatalf("saving %s: %v", path, err)
+		}
+		fmt.Printf("saved %s\n", path)
+	}
+}

@@ -1,0 +1,64 @@
+// Quickstart: the Fig. 1 two-party flow on raw CKKS-RNS primitives.
+//
+// The client generates keys and encrypts a vector of sensitive values; the
+// (untrusted) server computes a polynomial 0.5·x² + 2·x + 1 on the
+// ciphertext without ever seeing the data; the client decrypts the result.
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"cnnhe/internal/ckks"
+)
+
+func main() {
+	// Test-scale parameters: N=2^12, the paper's chain shape.
+	// (Use ckks.PaperParameters() for the full Table II settings.)
+	params, err := ckks.TestParameters()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, err := ckks.NewContext(params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("CKKS-RNS: N=2^%d, %d slots, %d levels, log q=%d\n",
+		params.LogN, params.Slots(), params.MaxLevel(), params.Chain.LogQ())
+
+	// --- client side: keys, encode, encrypt -------------------------------
+	kg := ckks.NewKeyGenerator(ctx, 1)
+	sk := kg.GenSecretKey()
+	pk := kg.GenPublicKey(sk)
+	rlk := kg.GenRelinearizationKey(sk)
+
+	encoder := ckks.NewEncoder(ctx)
+	encryptor := ckks.NewEncryptor(ctx, pk, 2)
+
+	secret := []float64{1.5, -0.25, 3.0, 0.0, -2.0}
+	pt := encoder.Encode(secret, params.MaxLevel(), params.Scale)
+	ct := encryptor.Encrypt(pt)
+	fmt.Println("client: encrypted", secret)
+
+	// --- server side: blind evaluation of 0.5·x² + 2·x + 1 ----------------
+	// Horner form (0.5·x + 2)·x + 1 keeps the scales naturally aligned.
+	ev := ckks.NewEvaluator(ctx, rlk, nil)
+	t := ev.Rescale(ev.MulConst(ct, 0.5, 0)) // 0.5·x
+	t = ev.AddConst(t, 2.0)                  // 0.5·x + 2
+	t = ev.Mul(t, ev.DropLevel(ct, 1))       // (0.5·x + 2)·x
+	sum := ev.AddConst(ev.Rescale(t), 1.0)
+	fmt.Println("server: evaluated 0.5·x² + 2·x + 1 blindly,", sum)
+
+	// --- client side: decrypt ----------------------------------------------
+	decryptor := ckks.NewDecryptor(ctx, sk)
+	got := encoder.Decode(decryptor.DecryptNew(sum))
+	fmt.Println("client: decrypted results")
+	for i, x := range secret {
+		want := 0.5*x*x + 2*x + 1
+		fmt.Printf("  f(%6.2f) = %9.5f   (exact %9.5f, err %.2e)\n",
+			x, got[i], want, math.Abs(got[i]-want))
+	}
+}

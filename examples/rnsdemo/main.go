@@ -1,0 +1,82 @@
+// RNS decomposition demo (paper Figs. 2 and 5).
+//
+// Part 1 shows the residue number system of Fig. 2: a large value is
+// decomposed into small residues, arithmetic happens component-wise, and
+// the Chinese Remainder Theorem recomposes the result.
+//
+// Part 2 shows the property the encrypted Fig. 5 pipeline relies on: with
+// the positional digit decomposition, a convolution commutes with
+// decomposition/recomposition exactly.
+//
+// Run: go run ./examples/rnsdemo
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"cnnhe/internal/rnsdec"
+	"cnnhe/internal/tensor"
+)
+
+func main() {
+	// --- Fig. 2: residue arithmetic ---------------------------------------
+	basis, err := rnsdec.NewBasis([]int64{251, 256, 255})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("RNS basis %v, dynamic range M = %d\n\n", basis.Moduli, basis.M)
+
+	x, y := int64(123456), int64(7890)
+	rx, ry := basis.Decompose(x), basis.Decompose(y)
+	fmt.Printf("x = %d → %v\n", x, rx)
+	fmt.Printf("y = %d → %v\n", y, ry)
+
+	// Component-wise multiplication — each limb independent, parallelizable.
+	rz := make([]int64, len(rx))
+	for i := range rx {
+		rz[i] = (rx[i] * ry[i]) % basis.Moduli[i]
+	}
+	z := basis.Compose(rz)
+	fmt.Printf("x·y mod M: component-wise %v → CRT %d (exact: %d)\n\n", rz, z, x*y%basis.M)
+
+	// --- Fig. 5: decomposition commutes with convolution -------------------
+	digits, err := rnsdec.NewDigitBasis(16, 2) // 16² = 256 covers pixels
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	img := tensor.New(1, 8, 8)
+	for i := range img.Data {
+		img.Data[i] = float64(rng.Intn(256))
+	}
+	kernel := tensor.New(1, 1, 3, 3)
+	for i := range kernel.Data {
+		kernel.Data[i] = rng.Float64()*2 - 1
+	}
+
+	direct := tensor.Conv2D(img, kernel, nil, 1, 0)
+
+	parts := digits.DecomposeTensor(img.Data)
+	outs := make([][]float64, len(parts))
+	for i, p := range parts {
+		pt := tensor.FromSlice(p, 1, 8, 8)
+		outs[i] = tensor.Conv2D(pt, kernel, nil, 1, 0).Data
+	}
+	recombined := digits.ComposeTensor(outs)
+
+	maxErr := 0.0
+	for i := range direct.Data {
+		if d := direct.Data[i] - recombined[i]; d > maxErr {
+			maxErr = d
+		} else if -d > maxErr {
+			maxErr = -d
+		}
+	}
+	fmt.Printf("digit decomposition (base %d, %d parts):\n", digits.Base, digits.Digits)
+	fmt.Printf("  conv(x) vs Σ Bⁱ·conv(dᵢ): max |err| = %.2e  (exactly linear)\n", maxErr)
+	fmt.Println("\nThis is the Fig. 5 pipeline: each part propagates through the")
+	fmt.Println("convolutional layer independently (and in parallel); the linear")
+	fmt.Println("recomposition happens inside the ciphertext before the activation.")
+}

@@ -1,0 +1,3 @@
+module cnnhe
+
+go 1.22

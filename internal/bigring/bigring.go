@@ -1,0 +1,339 @@
+// Package bigring implements the polynomial ring R_q = Z_q[X]/(X^N+1) with
+// multiprecision (big.Int) coefficient arithmetic modulo the full composite
+// modulus q, exactly as in the original (non-RNS) CKKS scheme of Cheon,
+// Kim, Kim and Song. It is the substrate of the paper's CNN-HE baseline;
+// its cost relative to internal/ring *is* the RNS speedup the paper
+// measures.
+//
+// q must be a product of NTT-friendly primes (q_i ≡ 1 mod 2N) so that a
+// primitive 2N-th root of unity exists modulo q (constructed by CRT from
+// per-factor roots), allowing an O(N log N) negacyclic NTT even in the
+// multiprecision setting.
+package bigring
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+)
+
+// Ring is the multiprecision negacyclic ring of degree N modulo the
+// composite Q.
+type Ring struct {
+	NVal    int
+	LogN    int
+	Q       *big.Int
+	Factors []*big.Int
+
+	psiRev  []*big.Int // ψ^{bitrev(i)} tables, as in internal/ring
+	ipsiRev []*big.Int
+	nInv    *big.Int
+	half    *big.Int // Q/2, for centered lifting
+}
+
+// NewRing constructs the ring of degree n modulo ∏ factors. The factors
+// must be pairwise co-prime NTT-friendly primes for degree n. The
+// primitive-root search is seeded by seed.
+func NewRing(n int, factors []*big.Int, seed int64) (*Ring, error) {
+	if n < 2 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("bigring: degree must be a power of two")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	twoN := new(big.Int).SetUint64(uint64(2 * n))
+	q := big.NewInt(1)
+	for _, f := range factors {
+		rem := new(big.Int)
+		rem.Sub(f, big.NewInt(1)).Mod(rem, twoN)
+		if rem.Sign() != 0 {
+			return nil, fmt.Errorf("bigring: factor %v is not NTT-friendly", f)
+		}
+		q.Mul(q, f)
+	}
+	// Primitive 2N-th root of Q by CRT of per-factor primitive roots.
+	root := big.NewInt(0)
+	for _, f := range factors {
+		w := primitiveRoot(f, uint64(2*n), rng)
+		qf := new(big.Int).Quo(q, f)
+		inv := new(big.Int).ModInverse(qf, f)
+		t := new(big.Int).Mul(w, inv)
+		t.Mod(t, f)
+		t.Mul(t, qf)
+		root.Add(root, t)
+	}
+	root.Mod(root, q)
+
+	logN := 0
+	for 1<<logN < n {
+		logN++
+	}
+	r := &Ring{
+		NVal: n, LogN: logN, Q: q,
+		Factors: append([]*big.Int(nil), factors...),
+		psiRev:  make([]*big.Int, n),
+		ipsiRev: make([]*big.Int, n),
+		half:    new(big.Int).Rsh(q, 1),
+	}
+	iroot := new(big.Int).ModInverse(root, q)
+	if iroot == nil {
+		return nil, fmt.Errorf("bigring: root not invertible")
+	}
+	pw := big.NewInt(1)
+	ipw := big.NewInt(1)
+	for i := 0; i < n; i++ {
+		j := bitrev(i, logN)
+		r.psiRev[j] = new(big.Int).Set(pw)
+		r.ipsiRev[j] = new(big.Int).Set(ipw)
+		pw.Mul(pw, root).Mod(pw, q)
+		ipw.Mul(ipw, iroot).Mod(ipw, q)
+	}
+	r.nInv = new(big.Int).ModInverse(big.NewInt(int64(n)), q)
+	// Sanity: ψ^N ≡ −1 (mod Q).
+	chk := new(big.Int).Exp(root, big.NewInt(int64(n)), q)
+	want := new(big.Int).Sub(q, big.NewInt(1))
+	if chk.Cmp(want) != 0 {
+		return nil, fmt.Errorf("bigring: CRT root is not a primitive 2N-th root")
+	}
+	return r, nil
+}
+
+func primitiveRoot(p *big.Int, n uint64, rng *rand.Rand) *big.Int {
+	pm1 := new(big.Int).Sub(p, big.NewInt(1))
+	exp := new(big.Int).Quo(pm1, new(big.Int).SetUint64(n))
+	for {
+		x := new(big.Int).Rand(rng, pm1)
+		if x.Sign() == 0 {
+			continue
+		}
+		w := new(big.Int).Exp(x, exp, p)
+		chk := new(big.Int).Exp(w, new(big.Int).SetUint64(n/2), p)
+		if chk.Cmp(pm1) == 0 {
+			return w
+		}
+	}
+}
+
+func bitrev(i, logN int) int {
+	r := 0
+	for b := 0; b < logN; b++ {
+		r = (r << 1) | (i & 1)
+		i >>= 1
+	}
+	return r
+}
+
+// N returns the ring degree.
+func (r *Ring) N() int { return r.NVal }
+
+// Poly is a polynomial with big.Int coefficients in [0, Q).
+type Poly struct {
+	Coeffs []*big.Int
+}
+
+// NewPoly allocates a zero polynomial.
+func (r *Ring) NewPoly() *Poly {
+	p := &Poly{Coeffs: make([]*big.Int, r.NVal)}
+	for i := range p.Coeffs {
+		p.Coeffs[i] = new(big.Int)
+	}
+	return p
+}
+
+// Copy returns a deep copy of p.
+func (r *Ring) Copy(p *Poly) *Poly {
+	out := &Poly{Coeffs: make([]*big.Int, r.NVal)}
+	for i := range out.Coeffs {
+		out.Coeffs[i] = new(big.Int).Set(p.Coeffs[i])
+	}
+	return out
+}
+
+// Mod reduces every coefficient of p into [0, m) in place.
+func (r *Ring) Mod(p *Poly, m *big.Int) {
+	for i := range p.Coeffs {
+		p.Coeffs[i].Mod(p.Coeffs[i], m)
+	}
+}
+
+// NTT transforms a in place (natural order in, bit-reversed out), modulo Q.
+func (r *Ring) NTT(a *Poly) { r.nttMod(a, r.Q, r.psiRev) }
+
+// INTT inverts NTT modulo Q, including the 1/N scaling.
+func (r *Ring) INTT(a *Poly) {
+	r.inttMod(a, r.Q, r.ipsiRev, r.nInv)
+}
+
+func (r *Ring) nttMod(a *Poly, q *big.Int, psiRev []*big.Int) {
+	t := r.NVal
+	tmp := new(big.Int)
+	for m := 1; m < r.NVal; m <<= 1 {
+		t >>= 1
+		for i := 0; i < m; i++ {
+			w := psiRev[m+i]
+			j1 := 2 * i * t
+			for j := j1; j < j1+t; j++ {
+				u := a.Coeffs[j]
+				v := tmp.Mul(a.Coeffs[j+t], w)
+				v.Mod(v, q)
+				a.Coeffs[j+t].Sub(u, v)
+				if a.Coeffs[j+t].Sign() < 0 {
+					a.Coeffs[j+t].Add(a.Coeffs[j+t], q)
+				}
+				u.Add(u, v)
+				if u.Cmp(q) >= 0 {
+					u.Sub(u, q)
+				}
+			}
+		}
+	}
+}
+
+func (r *Ring) inttMod(a *Poly, q *big.Int, ipsiRev []*big.Int, nInv *big.Int) {
+	t := 1
+	tmp := new(big.Int)
+	for m := r.NVal >> 1; m >= 1; m >>= 1 {
+		j1 := 0
+		for i := 0; i < m; i++ {
+			w := ipsiRev[m+i]
+			for j := j1; j < j1+t; j++ {
+				u := new(big.Int).Set(a.Coeffs[j])
+				v := a.Coeffs[j+t]
+				a.Coeffs[j].Add(u, v)
+				if a.Coeffs[j].Cmp(q) >= 0 {
+					a.Coeffs[j].Sub(a.Coeffs[j], q)
+				}
+				tmp.Sub(u, v)
+				if tmp.Sign() < 0 {
+					tmp.Add(tmp, q)
+				}
+				a.Coeffs[j+t].Mul(tmp, w)
+				a.Coeffs[j+t].Mod(a.Coeffs[j+t], q)
+			}
+			j1 += 2 * t
+		}
+		t <<= 1
+	}
+	for i := range a.Coeffs {
+		a.Coeffs[i].Mul(a.Coeffs[i], nInv)
+		a.Coeffs[i].Mod(a.Coeffs[i], q)
+	}
+}
+
+// Add sets out = a + b mod Q. Arguments may alias.
+func (r *Ring) Add(a, b, out *Poly) {
+	for i := range out.Coeffs {
+		out.Coeffs[i].Add(a.Coeffs[i], b.Coeffs[i])
+		if out.Coeffs[i].Cmp(r.Q) >= 0 {
+			out.Coeffs[i].Sub(out.Coeffs[i], r.Q)
+		}
+	}
+}
+
+// Sub sets out = a − b mod Q.
+func (r *Ring) Sub(a, b, out *Poly) {
+	for i := range out.Coeffs {
+		out.Coeffs[i].Sub(a.Coeffs[i], b.Coeffs[i])
+		if out.Coeffs[i].Sign() < 0 {
+			out.Coeffs[i].Add(out.Coeffs[i], r.Q)
+		}
+	}
+}
+
+// Neg sets out = −a mod Q.
+func (r *Ring) Neg(a, out *Poly) {
+	for i := range out.Coeffs {
+		if a.Coeffs[i].Sign() == 0 {
+			out.Coeffs[i].SetInt64(0)
+		} else {
+			out.Coeffs[i].Sub(r.Q, a.Coeffs[i])
+		}
+	}
+}
+
+// MulCoeffs sets out = a ⊙ b mod Q (pointwise; NTT domain).
+func (r *Ring) MulCoeffs(a, b, out *Poly) {
+	for i := range out.Coeffs {
+		out.Coeffs[i].Mul(a.Coeffs[i], b.Coeffs[i])
+		out.Coeffs[i].Mod(out.Coeffs[i], r.Q)
+	}
+}
+
+// MulCoeffsThenAdd sets out += a ⊙ b mod Q.
+func (r *Ring) MulCoeffsThenAdd(a, b, out *Poly) {
+	t := new(big.Int)
+	for i := range out.Coeffs {
+		t.Mul(a.Coeffs[i], b.Coeffs[i])
+		out.Coeffs[i].Add(out.Coeffs[i], t)
+		out.Coeffs[i].Mod(out.Coeffs[i], r.Q)
+	}
+}
+
+// MulScalar sets out = a · s mod Q.
+func (r *Ring) MulScalar(a *Poly, s *big.Int, out *Poly) {
+	sm := new(big.Int).Mod(s, r.Q)
+	for i := range out.Coeffs {
+		out.Coeffs[i].Mul(a.Coeffs[i], sm)
+		out.Coeffs[i].Mod(out.Coeffs[i], r.Q)
+	}
+}
+
+// Automorphism applies X → X^galEl in the coefficient domain. a and out
+// must not alias.
+func (r *Ring) Automorphism(a *Poly, galEl uint64, out *Poly) {
+	n := uint64(r.NVal)
+	mask := 2*n - 1
+	for i := uint64(0); i < n; i++ {
+		j := (i * galEl) & mask
+		if j < n {
+			out.Coeffs[j].Set(a.Coeffs[i])
+		} else if a.Coeffs[i].Sign() == 0 {
+			out.Coeffs[j-n].SetInt64(0)
+		} else {
+			out.Coeffs[j-n].Sub(r.Q, a.Coeffs[i])
+		}
+	}
+}
+
+// SetCoeffsInt64 writes centered integer coefficients.
+func (r *Ring) SetCoeffsInt64(vec []int64, p *Poly) {
+	for i, v := range vec {
+		p.Coeffs[i].SetInt64(v)
+		if v < 0 {
+			p.Coeffs[i].Add(p.Coeffs[i], r.Q)
+		}
+	}
+}
+
+// SetCoeffsBig writes (possibly negative) big.Int coefficients mod Q.
+func (r *Ring) SetCoeffsBig(vec []*big.Int, p *Poly) {
+	for i, v := range vec {
+		p.Coeffs[i].Mod(v, r.Q)
+	}
+}
+
+// CoeffsCentered returns the coefficients lifted to (−Q/2, Q/2].
+func (r *Ring) CoeffsCentered(p *Poly) []*big.Int {
+	out := make([]*big.Int, r.NVal)
+	for i, c := range p.Coeffs {
+		v := new(big.Int).Set(c)
+		if v.Cmp(r.half) > 0 {
+			v.Sub(v, r.Q)
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// PermuteNTT applies out[i] = a[perm[i]] (NTT-domain automorphism). a and
+// out must not alias.
+func (r *Ring) PermuteNTT(a *Poly, perm []int, out *Poly) {
+	for i, pi := range perm {
+		out.Coeffs[i].Set(a.Coeffs[pi])
+	}
+}
+
+// SampleUniform fills p with uniform residues mod Q.
+func (r *Ring) SampleUniform(rng *rand.Rand, p *Poly) {
+	for i := range p.Coeffs {
+		p.Coeffs[i].Rand(rng, r.Q)
+	}
+}

@@ -1,0 +1,163 @@
+package bigring
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"cnnhe/internal/primes"
+)
+
+func testRing(t testing.TB, logN int, bitSizes []int) *Ring {
+	t.Helper()
+	chain, err := primes.BuildChain(logN, bitSizes, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRing(1<<logN, chain.Moduli, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestNTTRoundTrip(t *testing.T) {
+	r := testRing(t, 6, []int{30, 31, 40})
+	rng := rand.New(rand.NewSource(1))
+	a := r.NewPoly()
+	r.SampleUniform(rng, a)
+	orig := r.Copy(a)
+	r.NTT(a)
+	r.INTT(a)
+	for i := range a.Coeffs {
+		if a.Coeffs[i].Cmp(orig.Coeffs[i]) != 0 {
+			t.Fatalf("roundtrip mismatch at %d", i)
+		}
+	}
+}
+
+func TestNegacyclicConvolution(t *testing.T) {
+	r := testRing(t, 5, []int{30, 31})
+	rng := rand.New(rand.NewSource(2))
+	a := r.NewPoly()
+	b := r.NewPoly()
+	r.SampleUniform(rng, a)
+	r.SampleUniform(rng, b)
+
+	// Schoolbook reference.
+	n := r.N()
+	want := make([]*big.Int, n)
+	for i := range want {
+		want[i] = new(big.Int)
+	}
+	tmp := new(big.Int)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			tmp.Mul(a.Coeffs[i], b.Coeffs[j])
+			k := i + j
+			if k < n {
+				want[k].Add(want[k], tmp)
+			} else {
+				want[k-n].Sub(want[k-n], tmp)
+			}
+		}
+	}
+	for i := range want {
+		want[i].Mod(want[i], r.Q)
+	}
+
+	r.NTT(a)
+	r.NTT(b)
+	out := r.NewPoly()
+	r.MulCoeffs(a, b, out)
+	r.INTT(out)
+	for i := 0; i < n; i++ {
+		if out.Coeffs[i].Cmp(want[i]) != 0 {
+			t.Fatalf("negacyclic mismatch at %d", i)
+		}
+	}
+}
+
+func TestAddSubNegScalar(t *testing.T) {
+	r := testRing(t, 4, []int{35, 36})
+	rng := rand.New(rand.NewSource(3))
+	a := r.NewPoly()
+	b := r.NewPoly()
+	r.SampleUniform(rng, a)
+	r.SampleUniform(rng, b)
+	sum := r.NewPoly()
+	r.Add(a, b, sum)
+	diff := r.NewPoly()
+	r.Sub(sum, b, diff)
+	for i := range a.Coeffs {
+		if diff.Coeffs[i].Cmp(a.Coeffs[i]) != 0 {
+			t.Fatal("(a+b)-b != a")
+		}
+	}
+	neg := r.NewPoly()
+	r.Neg(a, neg)
+	zero := r.NewPoly()
+	r.Add(a, neg, zero)
+	for i := range zero.Coeffs {
+		if zero.Coeffs[i].Sign() != 0 {
+			t.Fatal("a + (-a) != 0")
+		}
+	}
+	s := big.NewInt(12345)
+	sc := r.NewPoly()
+	r.MulScalar(a, s, sc)
+	for i := range a.Coeffs {
+		want := new(big.Int).Mul(a.Coeffs[i], s)
+		want.Mod(want, r.Q)
+		if sc.Coeffs[i].Cmp(want) != 0 {
+			t.Fatal("scalar mul mismatch")
+		}
+	}
+}
+
+func TestCenteredRoundTrip(t *testing.T) {
+	r := testRing(t, 4, []int{40, 41})
+	vec := []int64{0, 1, -1, 123456789, -987654321}
+	full := make([]int64, r.N())
+	copy(full, vec)
+	p := r.NewPoly()
+	r.SetCoeffsInt64(full, p)
+	got := r.CoeffsCentered(p)
+	for i, v := range full {
+		if got[i].Int64() != v {
+			t.Fatalf("centered mismatch at %d: %v vs %d", i, got[i], v)
+		}
+	}
+}
+
+func TestAutomorphismInverse(t *testing.T) {
+	r := testRing(t, 5, []int{30})
+	rng := rand.New(rand.NewSource(5))
+	a := r.NewPoly()
+	r.SampleUniform(rng, a)
+	g := uint64(5)
+	// inverse of 5 mod 2N
+	twoN := uint64(2 * r.N())
+	gi := uint64(1)
+	for (g*gi)%twoN != 1 {
+		gi += 2
+	}
+	tmp := r.NewPoly()
+	back := r.NewPoly()
+	r.Automorphism(a, g, tmp)
+	r.Automorphism(tmp, gi, back)
+	for i := range a.Coeffs {
+		if back.Coeffs[i].Cmp(a.Coeffs[i]) != 0 {
+			t.Fatal("automorphism composition not identity")
+		}
+	}
+}
+
+func TestNewRingRejectsBadFactors(t *testing.T) {
+	if _, err := NewRing(16, []*big.Int{big.NewInt(17)}, 1); err == nil {
+		t.Fatal("expected error for non-NTT-friendly factor (17 mod 32 != 1)")
+	}
+	if _, err := NewRing(12, []*big.Int{big.NewInt(97)}, 1); err == nil {
+		t.Fatal("expected error for non-power-of-two degree")
+	}
+}

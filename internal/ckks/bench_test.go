@@ -1,0 +1,120 @@
+package ckks
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// Primitive-operation benchmarks at the test ring size (N=2^12, the
+// paper-shaped 13-prime chain). Run the full suite with:
+//
+//	go test -bench=. -benchmem ./internal/ckks/
+func benchKit(b *testing.B) *testKit {
+	b.Helper()
+	p, err := TestParameters()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return newTestKit(b, p, []int{1}, false)
+}
+
+func benchCt(b *testing.B, k *testKit) *Ciphertext {
+	rng := rand.New(rand.NewSource(1))
+	vals := randVec(rng, k.ctx.Params.Slots(), 1)
+	return k.ept.Encrypt(k.enc.Encode(vals, k.ctx.Params.MaxLevel(), k.ctx.Params.Scale))
+}
+
+func BenchmarkEncode(b *testing.B) {
+	k := benchKit(b)
+	rng := rand.New(rand.NewSource(2))
+	vals := randVec(rng, k.ctx.Params.Slots(), 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.enc.Encode(vals, k.ctx.Params.MaxLevel(), k.ctx.Params.Scale)
+	}
+}
+
+func BenchmarkEncrypt(b *testing.B) {
+	k := benchKit(b)
+	rng := rand.New(rand.NewSource(3))
+	pt := k.enc.Encode(randVec(rng, 16, 1), k.ctx.Params.MaxLevel(), k.ctx.Params.Scale)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.ept.Encrypt(pt)
+	}
+}
+
+func BenchmarkDecryptDecode(b *testing.B) {
+	k := benchKit(b)
+	ct := benchCt(b, k)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.enc.Decode(k.dec.DecryptNew(ct))
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	k := benchKit(b)
+	ct := benchCt(b, k)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.ev.Add(ct, ct)
+	}
+}
+
+func BenchmarkMulPlain(b *testing.B) {
+	k := benchKit(b)
+	ct := benchCt(b, k)
+	rng := rand.New(rand.NewSource(4))
+	pt := k.enc.Encode(randVec(rng, k.ctx.Params.Slots(), 1), ct.Level, k.ctx.Params.Scale)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.ev.MulPlain(ct, pt)
+	}
+}
+
+func BenchmarkMulRelin(b *testing.B) {
+	k := benchKit(b)
+	ct := benchCt(b, k)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.ev.Mul(ct, ct)
+	}
+}
+
+func BenchmarkRescale(b *testing.B) {
+	k := benchKit(b)
+	ct := benchCt(b, k)
+	prod := k.ev.Mul(ct, ct)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.ev.Rescale(prod)
+	}
+}
+
+func BenchmarkRotate(b *testing.B) {
+	k := benchKit(b)
+	ct := benchCt(b, k)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.ev.Rotate(ct, 1)
+	}
+}
+
+// BenchmarkMulRelinByLevel shows keyswitch cost scaling with the level
+// (digit count).
+func BenchmarkMulRelinByLevel(b *testing.B) {
+	k := benchKit(b)
+	ct := benchCt(b, k)
+	for _, drop := range []int{0, 4, 8} {
+		level := ct.Level - drop
+		b.Run(fmt.Sprintf("level=%d", level), func(b *testing.B) {
+			low := k.ev.DropLevel(ct, drop)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k.ev.Mul(low, low)
+			}
+		})
+	}
+}

@@ -1,0 +1,61 @@
+package ckks
+
+import (
+	"cnnhe/internal/ring"
+)
+
+// keySwitchCoeff applies the RNS-decomposition key switch to the
+// coefficient-domain polynomial c at the given level: it returns NTT-domain
+// polynomials (p0, p1) on limbs 0..level such that
+//
+//	p0 + p1·s ≈ c·s'
+//
+// where s' is the key the switching key was generated for (s² for
+// relinearization, φ(s) for rotations).
+//
+// Procedure (one digit per ciphertext limb, special primes P):
+//  1. raise digit i = [c]_{q_i} to all QP limbs by modular reduction;
+//  2. accumulate Σ_i NTT(digit_i) ⊙ (swk.B[i], swk.A[i]) over QP;
+//  3. divide by P with rounding (ModDown) back to Q.
+func (ev *Evaluator) keySwitchCoeff(level int, c *ring.Poly, swk *SwitchingKey) (*ring.Poly, *ring.Poly) {
+	r := ev.ctx.R
+	limbsQ := r.Limbs(level, false)
+	limbsQP := r.Limbs(level, true)
+
+	acc0 := r.NewPoly(level)
+	acc1 := r.NewPoly(level)
+	d := r.NewPoly(level)
+	for i := 0; i <= level; i++ {
+		r.ExtendLimb(i, limbsQP, c, d)
+		r.NTT(limbsQP, d)
+		r.MulCoeffsThenAdd(limbsQP, d, swk.B[i], acc0)
+		r.MulCoeffsThenAdd(limbsQP, d, swk.A[i], acc1)
+	}
+
+	r.INTT(limbsQP, acc0)
+	r.INTT(limbsQP, acc1)
+	ev.modDown(level, acc0)
+	ev.modDown(level, acc1)
+	r.NTT(limbsQ, acc0)
+	r.NTT(limbsQ, acc1)
+	return acc0, acc1
+}
+
+// modDown divides the coefficient-domain polynomial p (on limbs
+// 0..level + specials) by the full special modulus P with rounding,
+// leaving the result on limbs 0..level.
+func (ev *Evaluator) modDown(level int, p *ring.Poly) {
+	r := ev.ctx.R
+	nLimbs := len(r.SubRings)
+	special := make([]int, 0, r.Special)
+	for i := nLimbs - r.Special; i < nLimbs; i++ {
+		special = append(special, i)
+	}
+	// Divide by one special prime at a time; remaining specials stay live
+	// as targets until their own turn.
+	for si := len(special) - 1; si >= 0; si-- {
+		targets := r.Limbs(level, false)
+		targets = append(targets, special[:si]...)
+		r.DivideExactByLimb(special[si], targets, p, p)
+	}
+}

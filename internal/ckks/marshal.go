@@ -1,0 +1,230 @@
+package ckks
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"cnnhe/internal/ring"
+)
+
+// Wire format: every object begins with a one-byte tag and carries its
+// structural metadata explicitly, so a decode against mismatched
+// parameters fails loudly instead of corrupting data. Limb coefficient
+// vectors are written as raw little-endian uint64 words.
+
+const (
+	tagCiphertext byte = 0xC7
+	tagPublicKey  byte = 0xB0
+	tagSwitchKey  byte = 0x5E
+)
+
+func writeUint64(w io.Writer, v uint64) error {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	_, err := w.Write(buf[:])
+	return err
+}
+
+func readUint64(r io.Reader) (uint64, error) {
+	var buf [8]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(buf[:]), nil
+}
+
+// writePoly writes the given limbs of p.
+func writePoly(w io.Writer, rg *ring.Ring, limbs []int, p *ring.Poly) error {
+	if err := writeUint64(w, uint64(len(limbs))); err != nil {
+		return err
+	}
+	buf := make([]byte, 8)
+	for _, li := range limbs {
+		if err := writeUint64(w, uint64(li)); err != nil {
+			return err
+		}
+		coeffs := p.Coeffs[li]
+		if err := writeUint64(w, uint64(len(coeffs))); err != nil {
+			return err
+		}
+		for _, c := range coeffs {
+			binary.LittleEndian.PutUint64(buf, c)
+			if _, err := w.Write(buf); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// readPoly reads limbs into a polynomial allocated for maxLevel with
+// specials.
+func readPoly(r io.Reader, rg *ring.Ring, level int) (*ring.Poly, error) {
+	nLimbs, err := readUint64(r)
+	if err != nil {
+		return nil, err
+	}
+	p := rg.NewPoly(level)
+	for i := uint64(0); i < nLimbs; i++ {
+		li, err := readUint64(r)
+		if err != nil {
+			return nil, err
+		}
+		if int(li) >= len(p.Coeffs) {
+			return nil, fmt.Errorf("ckks: limb index %d out of range", li)
+		}
+		n, err := readUint64(r)
+		if err != nil {
+			return nil, err
+		}
+		if p.Coeffs[li] == nil || uint64(len(p.Coeffs[li])) != n {
+			return nil, fmt.Errorf("ckks: limb %d length mismatch (%d)", li, n)
+		}
+		buf := make([]byte, 8*n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, err
+		}
+		for j := range p.Coeffs[li] {
+			p.Coeffs[li][j] = binary.LittleEndian.Uint64(buf[8*j:])
+		}
+	}
+	return p, nil
+}
+
+// WriteCiphertext serializes ct.
+func (ctx *Context) WriteCiphertext(w io.Writer, ct *Ciphertext) error {
+	if _, err := w.Write([]byte{tagCiphertext}); err != nil {
+		return err
+	}
+	if err := writeUint64(w, uint64(ct.Level)); err != nil {
+		return err
+	}
+	if err := writeUint64(w, math.Float64bits(ct.Scale)); err != nil {
+		return err
+	}
+	limbs := ctx.R.Limbs(ct.Level, false)
+	if err := writePoly(w, ctx.R, limbs, ct.C0); err != nil {
+		return err
+	}
+	return writePoly(w, ctx.R, limbs, ct.C1)
+}
+
+// ReadCiphertext deserializes a ciphertext produced by WriteCiphertext
+// under the same parameters.
+func (ctx *Context) ReadCiphertext(r io.Reader) (*Ciphertext, error) {
+	var tag [1]byte
+	if _, err := io.ReadFull(r, tag[:]); err != nil {
+		return nil, err
+	}
+	if tag[0] != tagCiphertext {
+		return nil, fmt.Errorf("ckks: bad ciphertext tag 0x%02x", tag[0])
+	}
+	level64, err := readUint64(r)
+	if err != nil {
+		return nil, err
+	}
+	level := int(level64)
+	if level < 0 || level > ctx.Params.MaxLevel() {
+		return nil, fmt.Errorf("ckks: level %d out of range", level)
+	}
+	scaleBits, err := readUint64(r)
+	if err != nil {
+		return nil, err
+	}
+	c0, err := readPoly(r, ctx.R, level)
+	if err != nil {
+		return nil, err
+	}
+	c1, err := readPoly(r, ctx.R, level)
+	if err != nil {
+		return nil, err
+	}
+	return &Ciphertext{C0: c0, C1: c1, Level: level, Scale: math.Float64frombits(scaleBits)}, nil
+}
+
+// WritePublicKey serializes pk.
+func (ctx *Context) WritePublicKey(w io.Writer, pk *PublicKey) error {
+	if _, err := w.Write([]byte{tagPublicKey}); err != nil {
+		return err
+	}
+	limbs := ctx.R.Limbs(ctx.Params.MaxLevel(), true)
+	if err := writePoly(w, ctx.R, limbs, pk.B); err != nil {
+		return err
+	}
+	return writePoly(w, ctx.R, limbs, pk.A)
+}
+
+// ReadPublicKey deserializes a public key.
+func (ctx *Context) ReadPublicKey(r io.Reader) (*PublicKey, error) {
+	var tag [1]byte
+	if _, err := io.ReadFull(r, tag[:]); err != nil {
+		return nil, err
+	}
+	if tag[0] != tagPublicKey {
+		return nil, fmt.Errorf("ckks: bad public key tag 0x%02x", tag[0])
+	}
+	b, err := readPoly(r, ctx.R, ctx.Params.MaxLevel())
+	if err != nil {
+		return nil, err
+	}
+	a, err := readPoly(r, ctx.R, ctx.Params.MaxLevel())
+	if err != nil {
+		return nil, err
+	}
+	return &PublicKey{B: b, A: a}, nil
+}
+
+// WriteSwitchingKey serializes a switching key (relinearization or
+// rotation key material).
+func (ctx *Context) WriteSwitchingKey(w io.Writer, swk *SwitchingKey) error {
+	if _, err := w.Write([]byte{tagSwitchKey}); err != nil {
+		return err
+	}
+	if err := writeUint64(w, uint64(len(swk.B))); err != nil {
+		return err
+	}
+	limbs := ctx.R.Limbs(ctx.Params.MaxLevel(), true)
+	for i := range swk.B {
+		if err := writePoly(w, ctx.R, limbs, swk.B[i]); err != nil {
+			return err
+		}
+		if err := writePoly(w, ctx.R, limbs, swk.A[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadSwitchingKey deserializes a switching key.
+func (ctx *Context) ReadSwitchingKey(r io.Reader) (*SwitchingKey, error) {
+	var tag [1]byte
+	if _, err := io.ReadFull(r, tag[:]); err != nil {
+		return nil, err
+	}
+	if tag[0] != tagSwitchKey {
+		return nil, fmt.Errorf("ckks: bad switching key tag 0x%02x", tag[0])
+	}
+	n, err := readUint64(r)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 || n > uint64(ctx.Params.MaxLevel()+1) {
+		return nil, fmt.Errorf("ckks: switching key digit count %d out of range", n)
+	}
+	swk := &SwitchingKey{}
+	for i := uint64(0); i < n; i++ {
+		b, err := readPoly(r, ctx.R, ctx.Params.MaxLevel())
+		if err != nil {
+			return nil, err
+		}
+		a, err := readPoly(r, ctx.R, ctx.Params.MaxLevel())
+		if err != nil {
+			return nil, err
+		}
+		swk.B = append(swk.B, b)
+		swk.A = append(swk.A, a)
+	}
+	return swk, nil
+}

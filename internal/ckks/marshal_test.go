@@ -1,0 +1,112 @@
+package ckks
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestCiphertextRoundTrip(t *testing.T) {
+	k := tiny(t)
+	rng := rand.New(rand.NewSource(71))
+	n := k.ctx.Params.Slots()
+	vals := randVec(rng, n, 3)
+	ct := k.ept.Encrypt(k.enc.Encode(vals, k.ctx.Params.MaxLevel(), k.ctx.Params.Scale))
+	// Serialize at a lower level too.
+	ct = k.ev.Rescale(k.ev.MulConst(ct, 1.0, 0))
+
+	var buf bytes.Buffer
+	if err := k.ctx.WriteCiphertext(&buf, ct); err != nil {
+		t.Fatal(err)
+	}
+	size := buf.Len()
+	back, err := k.ctx.ReadCiphertext(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Level != ct.Level || back.Scale != ct.Scale {
+		t.Fatalf("metadata mismatch: %v vs %v", back, ct)
+	}
+	got := k.enc.Decode(k.dec.DecryptNew(back))
+	for i := 0; i < n; i++ {
+		if math.Abs(got[i]-vals[i]) > 1e-3 {
+			t.Fatalf("value mismatch after roundtrip at %d", i)
+		}
+	}
+	if size == 0 {
+		t.Fatal("empty serialization")
+	}
+}
+
+func TestPublicKeyRoundTripEncrypts(t *testing.T) {
+	k := tiny(t)
+	var buf bytes.Buffer
+	pk := k.kg.GenPublicKey(k.sk)
+	if err := k.ctx.WritePublicKey(&buf, pk); err != nil {
+		t.Fatal(err)
+	}
+	pk2, err := k.ctx.ReadPublicKey(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc2 := NewEncryptor(k.ctx, pk2, 999)
+	vals := []float64{1.25, -2.5}
+	ct := enc2.Encrypt(k.enc.Encode(vals, k.ctx.Params.MaxLevel(), k.ctx.Params.Scale))
+	got := k.enc.Decode(k.dec.DecryptNew(ct))
+	for i, v := range vals {
+		if math.Abs(got[i]-v) > 1e-3 {
+			t.Fatalf("deserialized pk produced wrong encryption at %d", i)
+		}
+	}
+}
+
+func TestSwitchingKeyRoundTripRelinearizes(t *testing.T) {
+	k := tiny(t)
+	var buf bytes.Buffer
+	if err := k.ctx.WriteSwitchingKey(&buf, &k.rlk.SwitchingKey); err != nil {
+		t.Fatal(err)
+	}
+	swk, err := k.ctx.ReadSwitchingKey(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := NewEvaluator(k.ctx, &RelinearizationKey{SwitchingKey: *swk}, nil)
+	rng := rand.New(rand.NewSource(73))
+	n := k.ctx.Params.Slots()
+	a := randVec(rng, n, 2)
+	b := randVec(rng, n, 2)
+	L := k.ctx.Params.MaxLevel()
+	cta := k.ept.Encrypt(k.enc.Encode(a, L, k.ctx.Params.Scale))
+	ctb := k.ept.Encrypt(k.enc.Encode(b, L, k.ctx.Params.Scale))
+	prod := ev.Rescale(ev.Mul(cta, ctb))
+	got := k.enc.Decode(k.dec.DecryptNew(prod))
+	for i := 0; i < n; i++ {
+		if math.Abs(got[i]-a[i]*b[i]) > 1e-2 {
+			t.Fatalf("deserialized rlk failed relinearization at %d", i)
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	k := tiny(t)
+	if _, err := k.ctx.ReadCiphertext(bytes.NewReader([]byte{0x00, 0x01})); err == nil {
+		t.Fatal("expected error for bad tag")
+	}
+	if _, err := k.ctx.ReadPublicKey(bytes.NewReader([]byte{tagCiphertext})); err == nil {
+		t.Fatal("expected error for wrong tag")
+	}
+	if _, err := k.ctx.ReadCiphertext(bytes.NewReader(nil)); err == nil {
+		t.Fatal("expected error for empty input")
+	}
+	// Truncated ciphertext.
+	var buf bytes.Buffer
+	ct := k.ept.Encrypt(k.enc.Encode([]float64{1}, k.ctx.Params.MaxLevel(), k.ctx.Params.Scale))
+	if err := k.ctx.WriteCiphertext(&buf, ct); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := k.ctx.ReadCiphertext(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("expected error for truncated ciphertext")
+	}
+}

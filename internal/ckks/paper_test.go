@@ -1,0 +1,50 @@
+package ckks
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestPaperParametersEndToEnd exercises the full Table II configuration
+// (N=2^14, λ=128) through encode→encrypt→multiply→rescale→decrypt once.
+// Slow (pure-Go NTTs at N=2^14); skipped with -short.
+func TestPaperParametersEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale parameters are slow; run without -short")
+	}
+	p, err := PaperParameters()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := NewContext(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kg := NewKeyGenerator(ctx, 1)
+	sk := kg.GenSecretKey()
+	pk := kg.GenPublicKey(sk)
+	rlk := kg.GenRelinearizationKey(sk)
+	enc := NewEncoder(ctx)
+	ept := NewEncryptor(ctx, pk, 2)
+	dec := NewDecryptor(ctx, sk)
+	ev := NewEvaluator(ctx, rlk, nil)
+
+	rng := rand.New(rand.NewSource(3))
+	n := p.Slots()
+	a := randVec(rng, n, 2)
+	b := randVec(rng, n, 2)
+	cta := ept.Encrypt(enc.Encode(a, p.MaxLevel(), p.Scale))
+	ctb := ept.Encrypt(enc.Encode(b, p.MaxLevel(), p.Scale))
+	prod := ev.Rescale(ev.Mul(cta, ctb))
+	got := enc.Decode(dec.DecryptNew(prod))
+	// The paper's own settings are tight: Δ = 2^26 at N = 2^14 with a
+	// 40-bit key-switching prime leaves ≈8 fractional bits after one
+	// multiplication (fresh noise ≈2^19, key-switch noise ≈2^20 against
+	// scale 2^26) — classification-grade, not high-precision.
+	for i := 0; i < n; i += 97 {
+		if math.Abs(got[i]-a[i]*b[i]) > 0.02 {
+			t.Fatalf("paper-scale mul error at slot %d: %g vs %g", i, got[i], a[i]*b[i])
+		}
+	}
+}

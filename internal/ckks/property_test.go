@@ -1,0 +1,181 @@
+package ckks
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestHomomorphismPropertyQuick checks with testing/quick that decryption
+// is a ring homomorphism on random slot vectors:
+// Dec(Enc(a) ⊕ Enc(b)) ≈ a + b and Dec(Enc(a) ⊗ Enc(b)) ≈ a ⊙ b.
+func TestHomomorphismPropertyQuick(t *testing.T) {
+	k := tiny(t)
+	L := k.ctx.Params.MaxLevel()
+	scale := k.ctx.Params.Scale
+	n := k.ctx.Params.Slots()
+
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randVec(rng, n, 2)
+		b := randVec(rng, n, 2)
+		cta := k.ept.Encrypt(k.enc.Encode(a, L, scale))
+		ctb := k.ept.Encrypt(k.enc.Encode(b, L, scale))
+		sum := k.enc.Decode(k.dec.DecryptNew(k.ev.Add(cta, ctb)))
+		prod := k.enc.Decode(k.dec.DecryptNew(k.ev.Rescale(k.ev.Mul(cta, ctb))))
+		for i := 0; i < n; i++ {
+			if math.Abs(sum[i]-(a[i]+b[i])) > 1e-3 {
+				return false
+			}
+			if math.Abs(prod[i]-a[i]*b[i]) > 1e-2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLinearityPropertyQuick: Dec(c·Enc(a) + Enc(b)) ≈ c·a + b for random
+// scalars and vectors.
+func TestLinearityPropertyQuick(t *testing.T) {
+	k := tiny(t)
+	L := k.ctx.Params.MaxLevel()
+	scale := k.ctx.Params.Scale
+	n := k.ctx.Params.Slots()
+
+	prop := func(seed int64, rawC float64) bool {
+		c := math.Mod(rawC, 4)
+		if math.IsNaN(c) || math.IsInf(c, 0) {
+			c = 1.5
+		}
+		rng := rand.New(rand.NewSource(seed))
+		a := randVec(rng, n, 2)
+		b := randVec(rng, n, 2)
+		cta := k.ept.Encrypt(k.enc.Encode(a, L, scale))
+		ctb := k.ept.Encrypt(k.enc.Encode(b, L, scale))
+		scaled := k.ev.Rescale(k.ev.MulConst(cta, c, 0))
+		got := k.enc.Decode(k.dec.DecryptNew(k.ev.Add(scaled, k.ev.DropLevel(ctb, 1))))
+		for i := 0; i < n; i++ {
+			if math.Abs(got[i]-(c*a[i]+b[i])) > 1e-2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 6}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRotationCompositionProperty: Rot(Rot(x, a), b) == Rot(x, a+b).
+func TestRotationCompositionProperty(t *testing.T) {
+	p, err := TinyParameters()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := newTestKit(t, p, []int{2, 3, 5}, false)
+	rng := rand.New(rand.NewSource(101))
+	n := k.ctx.Params.Slots()
+	a := randVec(rng, n, 2)
+	ct := k.ept.Encrypt(k.enc.Encode(a, k.ctx.Params.MaxLevel(), k.ctx.Params.Scale))
+
+	r23 := k.ev.Rotate(k.ev.Rotate(ct, 2), 3)
+	r5 := k.ev.Rotate(ct, 5)
+	g1 := k.enc.Decode(k.dec.DecryptNew(r23))
+	g2 := k.enc.Decode(k.dec.DecryptNew(r5))
+	for i := 0; i < n; i++ {
+		if math.Abs(g1[i]-g2[i]) > 1e-3 {
+			t.Fatalf("rotation composition broken at slot %d", i)
+		}
+	}
+}
+
+func TestEvaluatorPanics(t *testing.T) {
+	k := tiny(t)
+	L := k.ctx.Params.MaxLevel()
+	ct := k.ept.Encrypt(k.enc.Encode([]float64{1}, L, k.ctx.Params.Scale))
+
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	noKeys := NewEvaluator(k.ctx, nil, nil)
+	expectPanic("Mul without rlk", func() { noKeys.Mul(ct, ct) })
+	expectPanic("Rotate without keys", func() { noKeys.Rotate(ct, 1) })
+	expectPanic("missing rotation key", func() { k.ev.Rotate(ct, 3) })
+	expectPanic("rescale at level 0", func() {
+		low := k.ev.DropLevel(ct, L)
+		k.ev.Rescale(low)
+	})
+	expectPanic("negative DropLevel", func() { k.ev.DropLevel(ct, -1) })
+	expectPanic("DropLevel past 0", func() { k.ev.DropLevel(ct, L+1) })
+}
+
+func TestEncryptorRequiresNTTPlaintext(t *testing.T) {
+	k := tiny(t)
+	pt := k.enc.Encode([]float64{1}, k.ctx.Params.MaxLevel(), k.ctx.Params.Scale)
+	pt.IsNTT = false
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-NTT plaintext")
+		}
+	}()
+	k.ept.Encrypt(pt)
+}
+
+func TestComplexEncodeDecode(t *testing.T) {
+	k := tiny(t)
+	rng := rand.New(rand.NewSource(55))
+	n := k.ctx.Params.Slots()
+	vals := make([]complex128, n)
+	for i := range vals {
+		vals[i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+	}
+	pt := k.enc.EncodeComplex(vals, k.ctx.Params.MaxLevel(), k.ctx.Params.Scale)
+	ct := k.ept.Encrypt(pt)
+	got := k.enc.DecodeComplex(k.dec.DecryptNew(ct))
+	for i := 0; i < n; i++ {
+		if d := got[i] - vals[i]; real(d)*real(d)+imag(d)*imag(d) > 1e-8 {
+			t.Fatalf("complex roundtrip error at %d", i)
+		}
+	}
+}
+
+func TestSweepParametersSpecialSizing(t *testing.T) {
+	// Word-size splits keep one special prime; wide splits take two.
+	pw, err := SweepParameters(10, 366, 8, math.Exp2(45))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pw.Chain.SpecialCount != 1 {
+		t.Fatalf("word split special count %d", pw.Chain.SpecialCount)
+	}
+	pwide, err := SweepParameters(10, 366, 3, math.Exp2(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pwide.Chain.SpecialCount != 2 {
+		t.Fatalf("wide split special count %d", pwide.Chain.SpecialCount)
+	}
+	if pwide.Chain.P().BitLen() < pwide.Chain.MaxWideBits() {
+		t.Fatal("special modulus must dominate the largest prime")
+	}
+}
+
+func TestCiphertextStringer(t *testing.T) {
+	k := tiny(t)
+	ct := k.ept.Encrypt(k.enc.Encode([]float64{1}, k.ctx.Params.MaxLevel(), k.ctx.Params.Scale))
+	s := ct.String()
+	if s == "" {
+		t.Fatal("empty stringer")
+	}
+}

@@ -1,0 +1,125 @@
+package ckks
+
+import (
+	"fmt"
+
+	"cnnhe/internal/ring"
+)
+
+// Rotate returns the ciphertext whose slot vector is ct's rotated left by k
+// positions (k may be negative for right rotations). The required rotation
+// key must have been generated.
+func (ev *Evaluator) Rotate(ct *Ciphertext, k int) *Ciphertext {
+	if k == 0 {
+		return ct.CopyNew(ev.ctx)
+	}
+	galEl := ring.GaloisElementForRotation(ev.ctx.Params.LogN, k)
+	return ev.automorphism(ct, galEl)
+}
+
+// Conjugate returns the ciphertext whose slots are complex-conjugated.
+func (ev *Evaluator) Conjugate(ct *Ciphertext) *Ciphertext {
+	galEl := ring.GaloisElementConjugate(ev.ctx.Params.LogN)
+	return ev.automorphism(ct, galEl)
+}
+
+func (ev *Evaluator) automorphism(ct *Ciphertext, galEl uint64) *Ciphertext {
+	if ev.rtk == nil {
+		panic("ckks: rotation requires rotation keys")
+	}
+	swk, ok := ev.rtk.Keys[galEl]
+	if !ok {
+		panic(fmt.Sprintf("ckks: missing rotation key for galois element %d", galEl))
+	}
+	r := ev.ctx.R
+	level := ct.Level
+	limbs := r.Limbs(level, false)
+
+	// Move to the coefficient domain and apply the automorphism.
+	c0 := r.NewPolyQ(level)
+	c1 := r.NewPolyQ(level)
+	r.Copy(limbs, ct.C0, c0)
+	r.Copy(limbs, ct.C1, c1)
+	r.INTT(limbs, c0)
+	r.INTT(limbs, c1)
+	a0 := r.NewPolyQ(level)
+	a1 := r.NewPolyQ(level)
+	r.Automorphism(limbs, c0, galEl, a0)
+	r.Automorphism(limbs, c1, galEl, a1)
+
+	// (φ(c0), φ(c1)) decrypts under φ(s); switch φ(c1)·φ(s) back to s.
+	ks0, ks1 := ev.keySwitchCoeff(level, a1, swk)
+	r.NTT(limbs, a0)
+	out := &Ciphertext{C0: a0, C1: ks1, Level: level, Scale: ct.Scale}
+	r.Add(limbs, out.C0, ks0, out.C0)
+	return out
+}
+
+// RotateHoisted returns rotations of ct by each k in ks using hoisting:
+// the RNS digit decomposition of c1 — the dominant cost of a rotation —
+// is computed once and reused for every rotation, with the Galois
+// automorphism applied as an NTT-domain permutation of the precomputed
+// digits. All rotation keys must be available.
+func (ev *Evaluator) RotateHoisted(ct *Ciphertext, ks []int) map[int]*Ciphertext {
+	out := make(map[int]*Ciphertext, len(ks))
+	var rest []int
+	for _, k := range ks {
+		if k == 0 {
+			out[0] = ct.CopyNew(ev.ctx)
+		} else {
+			rest = append(rest, k)
+		}
+	}
+	if len(rest) == 0 {
+		return out
+	}
+	if ev.rtk == nil {
+		panic("ckks: rotation requires rotation keys")
+	}
+	r := ev.ctx.R
+	level := ct.Level
+	limbsQ := r.Limbs(level, false)
+	limbsQP := r.Limbs(level, true)
+	logN := ev.ctx.Params.LogN
+
+	// Hoist: decompose c1 once.
+	c1 := r.NewPolyQ(level)
+	r.Copy(limbsQ, ct.C1, c1)
+	r.INTT(limbsQ, c1)
+	digits := make([]*ring.Poly, level+1)
+	for i := 0; i <= level; i++ {
+		d := r.NewPoly(level)
+		r.ExtendLimb(i, limbsQP, c1, d)
+		r.NTT(limbsQP, d)
+		digits[i] = d
+	}
+
+	pd := r.NewPoly(level)
+	for _, k := range rest {
+		galEl := ring.GaloisElementForRotation(logN, k)
+		swk, ok := ev.rtk.Keys[galEl]
+		if !ok {
+			panic(fmt.Sprintf("ckks: missing rotation key for galois element %d", galEl))
+		}
+		perm := ring.AutomorphismNTTIndex(logN, galEl)
+		acc0 := r.NewPoly(level)
+		acc1 := r.NewPoly(level)
+		for i := 0; i <= level; i++ {
+			r.PermuteNTT(limbsQP, digits[i], perm, pd)
+			r.MulCoeffsThenAdd(limbsQP, pd, swk.B[i], acc0)
+			r.MulCoeffsThenAdd(limbsQP, pd, swk.A[i], acc1)
+		}
+		r.INTT(limbsQP, acc0)
+		r.INTT(limbsQP, acc1)
+		ev.modDown(level, acc0)
+		ev.modDown(level, acc1)
+		r.NTT(limbsQ, acc0)
+		r.NTT(limbsQ, acc1)
+		// φ(c0) is a direct NTT-domain permutation of c0.
+		rc0 := r.NewPolyQ(level)
+		r.PermuteNTT(limbsQ, ct.C0, perm, rc0)
+		r.Add(limbsQ, rc0, acc0, rc0)
+		out[k] = &Ciphertext{C0: rc0, C1: acc1, Level: level, Scale: ct.Scale}
+	}
+	return out
+}

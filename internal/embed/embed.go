@@ -1,0 +1,171 @@
+// Package embed implements the CKKS canonical embedding
+// τ : R[X]/(X^N+1) → C^{N/2} and its inverse, the map between slot vectors
+// of complex numbers and real polynomial coefficients.
+//
+// A real polynomial p of degree < N is determined by its values at the
+// primitive 2N-th roots of unity ζ^{2k+1}; conjugate pairs of evaluation
+// points carry conjugate values, so the N/2 values at the orbit
+// {ζ^{5^j} : j = 0..N/2−1} (one representative per conjugate pair) suffice.
+// Evaluation at all odd powers reduces to a standard size-N DFT of the
+// ζ^j-twisted coefficients:
+//
+//	p(ζ^{2k+1}) = Σ_j a_j ζ^{j(2k+1)} = Σ_j (a_j ζ^j) ω^{jk},  ω = e^{2πi/N},
+//
+// so both directions run in O(N log N) using an ordinary radix-2 FFT.
+package embed
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// Embedder precomputes the twiddle factors, twists and slot-orbit indexing
+// for a fixed ring degree N.
+type Embedder struct {
+	n       int
+	logN    int
+	slots   int
+	twist   []complex128 // ζ^j, j < N
+	untwist []complex128 // ζ^{-j}
+	slotIdx []int        // slotIdx[j] = (5^j mod 2N − 1)/2
+	conjIdx []int        // conjIdx[j] = (2N − 5^j − 1)/2
+	wFwd    []complex128 // ω^k for the forward FFT
+	wInv    []complex128 // ω^{-k}
+}
+
+// New builds an Embedder for ring degree n (a power of two ≥ 4).
+func New(n int) *Embedder {
+	if n < 4 || n&(n-1) != 0 {
+		panic("embed: degree must be a power of two ≥ 4")
+	}
+	logN := 0
+	for 1<<logN < n {
+		logN++
+	}
+	e := &Embedder{
+		n:       n,
+		logN:    logN,
+		slots:   n / 2,
+		twist:   make([]complex128, n),
+		untwist: make([]complex128, n),
+		slotIdx: make([]int, n/2),
+		conjIdx: make([]int, n/2),
+		wFwd:    make([]complex128, n/2),
+		wInv:    make([]complex128, n/2),
+	}
+	twoN := 2 * n
+	for j := 0; j < n; j++ {
+		theta := math.Pi * float64(j) / float64(n) // ζ^j = e^{iπj/N}
+		e.twist[j] = cmplx.Exp(complex(0, theta))
+		e.untwist[j] = cmplx.Exp(complex(0, -theta))
+	}
+	pow := 1
+	for j := 0; j < n/2; j++ {
+		e.slotIdx[j] = (pow - 1) / 2
+		e.conjIdx[j] = (twoN - pow - 1) / 2
+		pow = (pow * 5) % twoN
+	}
+	for k := 0; k < n/2; k++ {
+		theta := 2 * math.Pi * float64(k) / float64(n)
+		e.wFwd[k] = cmplx.Exp(complex(0, theta))
+		e.wInv[k] = cmplx.Exp(complex(0, -theta))
+	}
+	return e
+}
+
+// Slots returns the number of plaintext slots (N/2).
+func (e *Embedder) Slots() int { return e.slots }
+
+// N returns the ring degree.
+func (e *Embedder) N() int { return e.n }
+
+// fft performs an in-place iterative radix-2 DIT FFT of length n using the
+// given twiddle table (ω^k for forward, ω^{-k} for inverse; the inverse is
+// unnormalized).
+func (e *Embedder) fft(a []complex128, w []complex128) {
+	n := e.n
+	// bit-reversal permutation
+	for i, j := 0, 0; i < n; i++ {
+		if i < j {
+			a[i], a[j] = a[j], a[i]
+		}
+		m := n >> 1
+		for ; j&m != 0; m >>= 1 {
+			j &^= m
+		}
+		j |= m
+	}
+	for s := 1; s <= e.logN; s++ {
+		m := 1 << s
+		half := m >> 1
+		stride := n / m
+		for k := 0; k < n; k += m {
+			for j := 0; j < half; j++ {
+				t := a[k+j+half] * w[j*stride]
+				a[k+j+half] = a[k+j] - t
+				a[k+j] = a[k+j] + t
+			}
+		}
+	}
+}
+
+// Decode maps real polynomial coefficients to the slot vector
+// τ(p) = (p(ζ^{5^j}))_j.
+func (e *Embedder) Decode(coeffs []float64) []complex128 {
+	if len(coeffs) != e.n {
+		panic("embed: coefficient length mismatch")
+	}
+	buf := make([]complex128, e.n)
+	for j := 0; j < e.n; j++ {
+		buf[j] = complex(coeffs[j], 0) * e.twist[j]
+	}
+	e.fft(buf, e.wFwd)
+	out := make([]complex128, e.slots)
+	for j := 0; j < e.slots; j++ {
+		out[j] = buf[e.slotIdx[j]]
+	}
+	return out
+}
+
+// Encode maps a slot vector (length ≤ N/2; shorter vectors are zero-padded)
+// to the unique real coefficient vector p with τ(p) = values.
+func (e *Embedder) Encode(values []complex128) []float64 {
+	if len(values) > e.slots {
+		panic("embed: too many values")
+	}
+	buf := make([]complex128, e.n)
+	for j := 0; j < e.slots; j++ {
+		var v complex128
+		if j < len(values) {
+			v = values[j]
+		}
+		buf[e.slotIdx[j]] = v
+		buf[e.conjIdx[j]] = cmplx.Conj(v)
+	}
+	e.fft(buf, e.wInv)
+	scale := 1 / float64(e.n)
+	out := make([]float64, e.n)
+	for j := 0; j < e.n; j++ {
+		out[j] = real(buf[j]*e.untwist[j]) * scale
+	}
+	return out
+}
+
+// EncodeReal is Encode for real-valued slots.
+func (e *Embedder) EncodeReal(values []float64) []float64 {
+	cv := make([]complex128, len(values))
+	for i, v := range values {
+		cv[i] = complex(v, 0)
+	}
+	return e.Encode(cv)
+}
+
+// DecodeReal is Decode returning only the real parts of the slots.
+func (e *Embedder) DecodeReal(coeffs []float64) []float64 {
+	cv := e.Decode(coeffs)
+	out := make([]float64, len(cv))
+	for i, v := range cv {
+		out[i] = real(v)
+	}
+	return out
+}

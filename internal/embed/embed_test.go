@@ -1,0 +1,187 @@
+package embed
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+func randomSlots(rng *rand.Rand, n int) []complex128 {
+	out := make([]complex128, n)
+	for i := range out {
+		out[i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+	}
+	return out
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, n := range []int{8, 64, 1024, 4096} {
+		e := New(n)
+		rng := rand.New(rand.NewSource(int64(n)))
+		vals := randomSlots(rng, e.Slots())
+		coeffs := e.Encode(vals)
+		back := e.Decode(coeffs)
+		for i := range vals {
+			if cmplx.Abs(back[i]-vals[i]) > 1e-9 {
+				t.Fatalf("n=%d slot %d: %v vs %v", n, i, back[i], vals[i])
+			}
+		}
+	}
+}
+
+func TestEncodeProducesRealCoefficients(t *testing.T) {
+	// Encode must return real coefficients whose evaluation matches the
+	// requested slots exactly at the orbit points (checked naively).
+	n := 32
+	e := New(n)
+	rng := rand.New(rand.NewSource(2))
+	vals := randomSlots(rng, e.Slots())
+	coeffs := e.Encode(vals)
+	// naive evaluation at ζ^{5^j}
+	pow := 1
+	for j := 0; j < e.Slots(); j++ {
+		var acc complex128
+		for k := n - 1; k >= 0; k-- {
+			theta := math.Pi * float64(pow) / float64(n)
+			root := cmplx.Exp(complex(0, theta))
+			acc = acc*root + complex(coeffs[k], 0)
+		}
+		if cmplx.Abs(acc-vals[j]) > 1e-9 {
+			t.Fatalf("naive evaluation mismatch at slot %d: %v vs %v", j, acc, vals[j])
+		}
+		pow = (pow * 5) % (2 * n)
+	}
+}
+
+func TestEmbeddingIsMultiplicative(t *testing.T) {
+	// τ(p·q mod X^N+1) = τ(p) ⊙ τ(q): the property underlying CKKS SIMD.
+	n := 64
+	e := New(n)
+	rng := rand.New(rand.NewSource(3))
+	a := randomSlots(rng, e.Slots())
+	b := randomSlots(rng, e.Slots())
+	pa := e.Encode(a)
+	pb := e.Encode(b)
+	// negacyclic product
+	prod := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			k := i + j
+			v := pa[i] * pb[j]
+			if k < n {
+				prod[k] += v
+			} else {
+				prod[k-n] -= v
+			}
+		}
+	}
+	got := e.Decode(prod)
+	for i := range a {
+		want := a[i] * b[i]
+		if cmplx.Abs(got[i]-want) > 1e-8 {
+			t.Fatalf("multiplicativity fails at slot %d: %v vs %v", i, got[i], want)
+		}
+	}
+}
+
+func TestEmbeddingIsAdditive(t *testing.T) {
+	n := 128
+	e := New(n)
+	rng := rand.New(rand.NewSource(4))
+	a := randomSlots(rng, e.Slots())
+	b := randomSlots(rng, e.Slots())
+	pa := e.Encode(a)
+	pb := e.Encode(b)
+	sum := make([]float64, n)
+	for i := range sum {
+		sum[i] = pa[i] + pb[i]
+	}
+	got := e.Decode(sum)
+	for i := range a {
+		if cmplx.Abs(got[i]-(a[i]+b[i])) > 1e-9 {
+			t.Fatalf("additivity fails at slot %d", i)
+		}
+	}
+}
+
+func TestRotationViaGaloisOrbit(t *testing.T) {
+	// Applying the automorphism X → X^5 to the coefficients rotates the
+	// slot vector left by one position.
+	n := 32
+	e := New(n)
+	rng := rand.New(rand.NewSource(5))
+	vals := randomSlots(rng, e.Slots())
+	coeffs := e.Encode(vals)
+	// automorphism on real coefficients
+	rot := make([]float64, n)
+	for i := 0; i < n; i++ {
+		j := (i * 5) % (2 * n)
+		if j < n {
+			rot[j] = coeffs[i]
+		} else {
+			rot[j-n] = -coeffs[i]
+		}
+	}
+	got := e.Decode(rot)
+	for i := range vals {
+		want := vals[(i+1)%len(vals)]
+		if cmplx.Abs(got[i]-want) > 1e-9 {
+			t.Fatalf("rotation mismatch at slot %d: %v vs %v", i, got[i], want)
+		}
+	}
+}
+
+func TestConjugationViaGaloisMinusOne(t *testing.T) {
+	// X → X^{2N−1} conjugates the slots.
+	n := 32
+	e := New(n)
+	rng := rand.New(rand.NewSource(6))
+	vals := randomSlots(rng, e.Slots())
+	coeffs := e.Encode(vals)
+	g := 2*n - 1
+	rot := make([]float64, n)
+	for i := 0; i < n; i++ {
+		j := (i * g) % (2 * n)
+		if j < n {
+			rot[j] = coeffs[i]
+		} else {
+			rot[j-n] = -coeffs[i]
+		}
+	}
+	got := e.Decode(rot)
+	for i := range vals {
+		want := cmplx.Conj(vals[i])
+		if cmplx.Abs(got[i]-want) > 1e-9 {
+			t.Fatalf("conjugation mismatch at slot %d", i)
+		}
+	}
+}
+
+func TestEncodeRealHelpers(t *testing.T) {
+	n := 64
+	e := New(n)
+	vals := []float64{0.5, -1.25, 3.75}
+	coeffs := e.EncodeReal(vals)
+	got := e.DecodeReal(coeffs)
+	for i, v := range vals {
+		if math.Abs(got[i]-v) > 1e-10 {
+			t.Fatalf("real roundtrip mismatch at %d", i)
+		}
+	}
+	for i := len(vals); i < e.Slots(); i++ {
+		if math.Abs(got[i]) > 1e-10 {
+			t.Fatalf("padding slot %d not zero", i)
+		}
+	}
+}
+
+func TestNewPanicsOnBadDegree(t *testing.T) {
+	for _, n := range []int{0, 2, 3, 12} {
+		func() {
+			defer func() { recover() }()
+			New(n)
+			t.Errorf("expected panic for n=%d", n)
+		}()
+	}
+}

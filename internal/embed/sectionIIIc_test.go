@@ -1,0 +1,58 @@
+package embed
+
+import (
+	"math"
+	"testing"
+)
+
+// TestPaperSectionIIICEncodingError reproduces the worked example of the
+// paper's Section III.C: with M = 8 (ring degree N = 4) and Δ = 64, the
+// vector z = (0.1, −0.01) encodes to an integer polynomial whose decoding
+// turns −0.01 into ≈ +0.0027 — the near-zero slot loses all information
+// (value and sign) to the rounding error, while the larger slot survives.
+func TestPaperSectionIIICEncodingError(t *testing.T) {
+	const n = 4
+	const delta = 64.0
+	e := New(n)
+	z := []float64{0.1, -0.01}
+
+	coeffs := e.EncodeReal(z)
+	// Round Δ·τ^{-1}(z) to integers — the CKKS encoding step.
+	rounded := make([]float64, n)
+	for i, c := range coeffs {
+		rounded[i] = math.Round(c * delta)
+	}
+	// Integer coefficients must be small, as in the paper's m(X)=−2X³+2X+3.
+	for i, c := range rounded {
+		if math.Abs(c) > 4 {
+			t.Fatalf("coefficient %d unexpectedly large: %v", i, c)
+		}
+	}
+	for i := range rounded {
+		rounded[i] /= delta
+	}
+	got := e.DecodeReal(rounded)
+
+	// Slot 0 (0.1) survives with moderate error.
+	if math.Abs(got[0]-0.1) > 0.02 {
+		t.Fatalf("slot 0 error too large: got %v", got[0])
+	}
+	// Slot 1 (−0.01): the paper observes ≈ +0.00268 — the decoded value
+	// does not carry the original sign or magnitude.
+	if math.Abs(got[1]-(-0.01)) < math.Abs(-0.01) {
+		t.Fatalf("expected the rounding error to dominate the near-zero slot, got %v", got[1])
+	}
+	t.Logf("paper III.C reproduction: z=(0.1, -0.01) decoded as (%.5f, %.5f) — "+
+		"paper reports ≈(0.09107, 0.00268)", got[0], got[1])
+
+	// Increasing Δ shrinks the absolute error, as the paper notes.
+	const delta2 = 1 << 20
+	rounded2 := make([]float64, n)
+	for i, c := range coeffs {
+		rounded2[i] = math.Round(c*delta2) / delta2
+	}
+	got2 := e.DecodeReal(rounded2)
+	if math.Abs(got2[1]-(-0.01)) > 1e-4 {
+		t.Fatalf("larger Δ should recover the value: got %v", got2[1])
+	}
+}

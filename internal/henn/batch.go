@@ -1,0 +1,159 @@
+package henn
+
+import (
+	"fmt"
+	"time"
+
+	"cnnhe/internal/nn"
+)
+
+// Batched inference packs B images into one ciphertext at a fixed block
+// stride and lowers every linear layer to the block-diagonal matrix
+// blockdiag(M, …, M). The diagonal method evaluates any matrix, so the
+// per-ciphertext cost is unchanged while throughput multiplies by B —
+// the SIMD amortization that E2DM and Lo-La (paper Table I) exploit.
+//
+// BatchPlan wraps a model compiled with block replication.
+type BatchPlan struct {
+	Plan      *Plan
+	Batch     int
+	BlockSize int
+}
+
+// CompileBatched compiles model for `batch` images per ciphertext. The
+// block size is slots/batch and must be a power of two at least as large
+// as the widest layer dimension.
+func CompileBatched(m *nn.Model, slots, batch int) (*BatchPlan, error) {
+	if batch < 1 || slots%batch != 0 {
+		return nil, fmt.Errorf("henn: batch %d must divide %d slots", batch, slots)
+	}
+	block := slots / batch
+	if block&(block-1) != 0 {
+		return nil, fmt.Errorf("henn: block size %d must be a power of two", block)
+	}
+	// Compile once at the block dimension to discover stage matrices.
+	base, err := Compile(m, slots)
+	if err != nil {
+		return nil, err
+	}
+	if batch == 1 {
+		return &BatchPlan{Plan: base, Batch: 1, BlockSize: block}, nil
+	}
+	// Rebuild each stage tiled across blocks.
+	out := &Plan{Slots: slots, InputDim: base.InputDim, OutputDim: base.OutputDim, Depth: base.Depth}
+	for _, st := range base.Stages {
+		switch s := st.(type) {
+		case *LinearStage:
+			tiled, err := tileLinear(s, block, batch, slots)
+			if err != nil {
+				return nil, err
+			}
+			out.Stages = append(out.Stages, tiled)
+		case *ActStage:
+			out.Stages = append(out.Stages, tileAct(s, block, batch, slots))
+		default:
+			return nil, fmt.Errorf("henn: cannot batch stage %T", st)
+		}
+	}
+	return &BatchPlan{Plan: out, Batch: batch, BlockSize: block}, nil
+}
+
+// tileLinear rebuilds a linear stage as blockdiag(M, …, M). The original
+// stage was lowered at full slot width, so its diagonals describe M
+// embedded at block 0; entries must fit within one block.
+func tileLinear(s *LinearStage, block, batch, slots int) (*LinearStage, error) {
+	t := &LinearStage{
+		Label: s.Label + fmt.Sprintf("×%d", batch),
+		Diags: map[int][]float64{},
+		Bias:  make([]float64, slots),
+		Slots: slots,
+		Baby:  s.Baby,
+		Giant: s.Giant,
+	}
+	for k, diag := range s.Diags {
+		for i, v := range diag {
+			if v == 0 {
+				continue
+			}
+			j := (i + k) % slots
+			if i >= block || j >= block {
+				return nil, fmt.Errorf("henn: stage %s exceeds block size %d (entry %d→%d)", s.Label, block, j, i)
+			}
+		}
+		// In-block offset d of this diagonal: columns j = i + d with
+		// d = k (when k < block) or d = k − slots (negative wrap).
+		d := k
+		if d >= block {
+			d -= slots
+		}
+		if d <= -block {
+			return nil, fmt.Errorf("henn: stage %s diagonal %d outside block", s.Label, k)
+		}
+		nk := ((d % slots) + slots) % slots
+		nd := t.Diags[nk]
+		if nd == nil {
+			nd = make([]float64, slots)
+			t.Diags[nk] = nd
+		}
+		for i, v := range diag {
+			if v == 0 {
+				continue
+			}
+			for b := 0; b < batch; b++ {
+				nd[b*block+i] = v
+			}
+		}
+	}
+	for b := 0; b < batch; b++ {
+		copy(t.Bias[b*block:(b+1)*block], s.Bias[:block])
+	}
+	return t, nil
+}
+
+// tileAct replicates the activation coefficient vectors per block.
+func tileAct(s *ActStage, block, batch, slots int) *ActStage {
+	t := &ActStage{Label: s.Label + fmt.Sprintf("×%d", batch), Degree: s.Degree, SlotsN: slots}
+	for p := 0; p <= s.Degree; p++ {
+		t.A[p] = make([]float64, slots)
+		for b := 0; b < batch; b++ {
+			copy(t.A[p][b*block:(b+1)*block], s.A[p][:block])
+		}
+	}
+	return t
+}
+
+// PackBatch lays images out at the block stride.
+func (bp *BatchPlan) PackBatch(images [][]float64) ([]float64, error) {
+	if len(images) > bp.Batch {
+		return nil, fmt.Errorf("henn: %d images exceed batch %d", len(images), bp.Batch)
+	}
+	out := make([]float64, bp.Plan.Slots)
+	for b, img := range images {
+		if len(img) > bp.BlockSize {
+			return nil, fmt.Errorf("henn: image length %d exceeds block %d", len(img), bp.BlockSize)
+		}
+		copy(out[b*bp.BlockSize:], img)
+	}
+	return out, nil
+}
+
+// InferBatch classifies up to Batch images in one encrypted evaluation.
+func (bp *BatchPlan) InferBatch(e Engine, images [][]float64) ([]Logits, time.Duration, error) {
+	packed, err := bp.PackBatch(images)
+	if err != nil {
+		return nil, 0, err
+	}
+	ct := e.EncryptVec(packed)
+	start := time.Now()
+	for _, s := range bp.Plan.Stages {
+		ct = s.Eval(e, ct)
+	}
+	lat := time.Since(start)
+	slots := e.DecryptVec(ct)
+	out := make([]Logits, len(images))
+	for b := range images {
+		off := b * bp.BlockSize
+		out[b] = Logits(append([]float64(nil), slots[off:off+bp.Plan.OutputDim]...))
+	}
+	return out, lat, nil
+}

@@ -1,0 +1,111 @@
+package henn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestCompileBatchedValidation(t *testing.T) {
+	m := tinyModel(31)
+	if _, err := CompileBatched(m, 512, 3); err == nil {
+		t.Fatal("batch must divide slots")
+	}
+	// Block too small for the model's 64-dim input.
+	if _, err := CompileBatched(m, 512, 16); err == nil {
+		t.Fatal("expected block-size error for batch 16 (block 32 < dim 64)")
+	}
+	bp, err := CompileBatched(m, 512, 4) // block 128 ≥ 64
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bp.BlockSize != 128 || bp.Batch != 4 {
+		t.Fatalf("unexpected layout %+v", bp)
+	}
+	if bp.Plan.Depth != 4 {
+		t.Fatalf("batching must not change depth: %d", bp.Plan.Depth)
+	}
+}
+
+func TestBatchedInferenceMatchesPlaintext(t *testing.T) {
+	m := tinyModel(33)
+	bp, err := CompileBatched(m, 512, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := rnsEngineFor(t, bp.Plan, 10, []int{40, 30, 30, 30, 30})
+	rng := rand.New(rand.NewSource(34))
+	images := [][]float64{
+		testImage(rng, 64), testImage(rng, 64), testImage(rng, 64), testImage(rng, 64),
+	}
+	logits, lat, err := bp.InferBatch(e, images)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat <= 0 {
+		t.Fatal("latency not measured")
+	}
+	for b, img := range images {
+		want := plainForward(m, img, 1, 8, 8)
+		for i := range want {
+			if math.Abs(logits[b][i]-want[i]) > 0.05 {
+				t.Fatalf("image %d logit %d: got %g want %g", b, i, logits[b][i], want[i])
+			}
+		}
+	}
+}
+
+func TestBatchedPartialBatch(t *testing.T) {
+	m := tinyModel(35)
+	bp, err := CompileBatched(m, 512, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := rnsEngineFor(t, bp.Plan, 10, []int{40, 30, 30, 30, 30})
+	rng := rand.New(rand.NewSource(36))
+	images := [][]float64{testImage(rng, 64), testImage(rng, 64)}
+	logits, _, err := bp.InferBatch(e, images)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(logits) != 2 {
+		t.Fatalf("want 2 results, got %d", len(logits))
+	}
+	for b, img := range images {
+		want := plainForward(m, img, 1, 8, 8)
+		if logits[b].Argmax() != Logits(want).Argmax() {
+			t.Fatalf("image %d prediction mismatch", b)
+		}
+	}
+	// Overfull batch rejected.
+	six := append(images, images...)
+	six = append(six, images...)
+	if _, _, err := bp.InferBatch(e, six); err == nil {
+		t.Fatal("expected error for overfull batch")
+	}
+}
+
+func TestBatchOfOneMatchesPlain(t *testing.T) {
+	m := tinyModel(37)
+	bp, err := CompileBatched(m, 512, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Compile(m, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := rnsEngineFor(t, plan, 10, []int{40, 30, 30, 30, 30})
+	rng := rand.New(rand.NewSource(38))
+	img := testImage(rng, 64)
+	a, _ := plan.Infer(e, img)
+	bs, _, err := bp.InferBatch(e, [][]float64{img})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if math.Abs(a[i]-bs[0][i]) > 0.02 {
+			t.Fatalf("batch-of-one differs at logit %d", i)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package henn
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cnnhe/internal/tensor"
+)
+
+// TestDiagonalsReconstructMatrix: the generalized diagonals stored by
+// NewLinearStage must reconstruct the (padded) matrix exactly.
+func TestDiagonalsReconstructMatrix(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		slots := 64
+		rows := 1 + rng.Intn(slots)
+		cols := 1 + rng.Intn(slots)
+		m := tensor.New(rows, cols)
+		for i := range m.Data {
+			if rng.Float64() < 0.3 {
+				m.Data[i] = rng.NormFloat64()
+			}
+		}
+		st, err := NewLinearStage("p", m, make([]float64, rows), slots)
+		if err != nil {
+			// all-zero matrices are rejected; that's fine
+			return isZero(m.Data)
+		}
+		// Rebuild: M'[i][j] from diag_k with k = (j - i) mod slots.
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				k := ((j-i)%slots + slots) % slots
+				var v float64
+				if d, ok := st.Diags[k]; ok {
+					v = d[i]
+				}
+				if v != m.Data[i*cols+j] {
+					return false
+				}
+			}
+		}
+		// No spurious entries: every stored value maps back into the matrix.
+		for k, d := range st.Diags {
+			for i, v := range d {
+				if v == 0 {
+					continue
+				}
+				j := (i + k) % slots
+				if i >= rows || j >= cols || m.Data[i*cols+j] != v {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func isZero(v []float64) bool {
+	for _, x := range v {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRotationsAreCoveredByBSGS: every stored diagonal must be reachable
+// from the declared baby and giant rotations.
+func TestRotationsAreCoveredByBSGS(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m := tensor.New(50, 60)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	st, err := NewLinearStage("r", m, make([]float64, 50), 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rot := map[int]bool{0: true}
+	for _, r := range st.Rotations() {
+		rot[r] = true
+	}
+	for k := range st.Diags {
+		i, j := k/st.Baby, k%st.Baby
+		if !rot[j] && j != 0 {
+			t.Fatalf("baby step %d not declared", j)
+		}
+		if i != 0 && !rot[i*st.Baby] {
+			t.Fatalf("giant step %d not declared", i*st.Baby)
+		}
+	}
+	if st.Baby*st.Giant != st.Slots {
+		t.Fatalf("BSGS split %d×%d != %d", st.Baby, st.Giant, st.Slots)
+	}
+}
+
+// TestPlanDepthAccounting: plan depth is the sum of stage depths and
+// CheckDepth enforces the level budget.
+func TestPlanDepthAccounting(t *testing.T) {
+	m := tinyModel(41)
+	plan, err := Compile(m, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, s := range plan.Stages {
+		want += s.Depth()
+	}
+	if plan.Depth != want {
+		t.Fatalf("depth %d, stages sum %d", plan.Depth, want)
+	}
+	if err := plan.CheckDepth(plan.Depth); err != nil {
+		t.Fatal("exact budget must pass:", err)
+	}
+	if err := plan.CheckDepth(plan.Depth - 1); err == nil {
+		t.Fatal("insufficient budget must fail")
+	}
+	if plan.Describe() == "" {
+		t.Fatal("empty describe")
+	}
+}
+
+// TestRotateVec sanity.
+func TestRotateVec(t *testing.T) {
+	v := []float64{1, 2, 3, 4}
+	got := rotateVec(v, 1)
+	want := []float64{2, 3, 4, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("rotateVec +1: %v", got)
+		}
+	}
+	got = rotateVec(v, -1)
+	want = []float64{4, 1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("rotateVec -1: %v", got)
+		}
+	}
+	if &rotateVec(v, 0)[0] != &v[0] {
+		t.Fatal("rotateVec 0 should return the input")
+	}
+}

@@ -1,0 +1,345 @@
+package henn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cnnhe/internal/ckks"
+	"cnnhe/internal/ckksbig"
+	"cnnhe/internal/nn"
+	"cnnhe/internal/rnsdec"
+	"cnnhe/internal/tensor"
+)
+
+// tinyModel builds a small SLAF CNN on 8×8 inputs:
+// Conv(1→2, 3×3, s2) → SLAF(deg 3, per-channel) → Flatten → Dense(18→4).
+// Depth = 1 + 2 + 1 = 4 levels.
+func tinyModel(seed int64) *nn.Model {
+	rng := rand.New(rand.NewSource(seed))
+	conv := nn.NewConv2D(rng, 1, 2, 3, 2, 0, 8, 8)
+	flat := conv.OutC * conv.OutH() * conv.OutW()
+	m := &nn.Model{Layers: []nn.Layer{
+		conv,
+		nn.NewReLU(),
+		nn.NewFlatten(),
+		nn.NewDense(rng, flat, 4),
+	}}
+	hm := m.ReplaceReLUWithSLAF(3, 1)
+	for _, l := range hm.Layers {
+		if s, ok := l.(*nn.SLAF); ok {
+			s.FitReLU(3)
+			// Perturb the coefficients per unit so per-channel handling
+			// is actually exercised.
+			for u := 0; u < s.Units; u++ {
+				for p := 0; p <= s.Degree; p++ {
+					s.Coeffs.Data[u*(s.Degree+1)+p] *= 1 + 0.01*float64(u+p)
+				}
+			}
+		}
+	}
+	return hm
+}
+
+// tinyModelBN adds a BatchNorm2D after the convolution to exercise folding.
+func tinyModelBN(seed int64) *nn.Model {
+	rng := rand.New(rand.NewSource(seed))
+	conv := nn.NewConv2D(rng, 1, 2, 3, 2, 0, 8, 8)
+	flat := conv.OutC * conv.OutH() * conv.OutW()
+	bn := nn.NewBatchNorm2D(2)
+	bn.RunMean = []float64{0.3, -0.2}
+	bn.RunVar = []float64{1.5, 0.8}
+	bn.Gamma.Data = []float64{1.2, 0.9}
+	bn.Beta.Data = []float64{0.1, -0.1}
+	m := &nn.Model{Layers: []nn.Layer{
+		conv,
+		bn,
+		nn.NewReLU(),
+		nn.NewFlatten(),
+		nn.NewDense(rng, flat, 4),
+	}}
+	hm := m.ReplaceReLUWithSLAF(2, 1)
+	for _, l := range hm.Layers {
+		if s, ok := l.(*nn.SLAF); ok {
+			s.FitReLU(3)
+		}
+	}
+	return hm
+}
+
+func testImage(rng *rand.Rand, n int) []float64 {
+	img := make([]float64, n)
+	for i := range img {
+		img[i] = float64(rng.Intn(256))
+	}
+	return img
+}
+
+// plainForward evaluates the model on normalized pixels.
+func plainForward(m *nn.Model, image []float64, c, h, w int) []float64 {
+	x := tensor.New(c, h, w)
+	for i := range image {
+		x.Data[i] = image[i] / 255
+	}
+	return m.Forward(x).Data
+}
+
+func rnsEngineFor(t testing.TB, plan *Plan, logN int, bits []int) *RNSEngine {
+	t.Helper()
+	p, err := ckks.NewParameters(logN, bits, 60, 1, math.Exp2(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.CheckDepth(p.MaxLevel()); err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewRNSEngine(p, plan.Rotations(), 501)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestCompileTinyModel(t *testing.T) {
+	m := tinyModel(1)
+	plan, err := Compile(m, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.InputDim != 64 {
+		t.Fatalf("input dim %d", plan.InputDim)
+	}
+	if plan.OutputDim != 4 {
+		t.Fatalf("output dim %d", plan.OutputDim)
+	}
+	if plan.Depth != 4 {
+		t.Fatalf("depth %d want 4", plan.Depth)
+	}
+	if len(plan.Rotations()) == 0 {
+		t.Fatal("no rotations collected")
+	}
+}
+
+func TestCompileRejectsReLU(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := nn.NewCNN1(rng)
+	if _, err := Compile(m, 2048); err == nil {
+		t.Fatal("expected error compiling a ReLU model")
+	}
+}
+
+func TestLinearStageMatchesMatVec(t *testing.T) {
+	// A single linear stage must reproduce M·x + b on the packed vector.
+	rng := rand.New(rand.NewSource(3))
+	rows, cols, slots := 10, 20, 512
+	mat := tensor.New(rows, cols)
+	for i := range mat.Data {
+		mat.Data[i] = rng.NormFloat64()
+	}
+	bias := make([]float64, rows)
+	for i := range bias {
+		bias[i] = rng.NormFloat64()
+	}
+	st, err := NewLinearStage("t", mat, bias, slots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := &Plan{Slots: slots, InputDim: cols, OutputDim: rows, Stages: []Stage{st}, Depth: 1}
+
+	e := rnsEngineFor(t, plan, 10, []int{40, 30, 30})
+	x := make([]float64, cols)
+	for i := range x {
+		x[i] = rng.NormFloat64() * 2
+	}
+	ct := e.EncryptVec(x)
+	out := st.Eval(e, ct)
+	got := e.DecryptVec(out)
+	want := tensor.MatVec(mat, x)
+	for i := 0; i < rows; i++ {
+		if math.Abs(got[i]-(want[i]+bias[i])) > 1e-2 {
+			t.Fatalf("slot %d: got %g want %g", i, got[i], want[i]+bias[i])
+		}
+	}
+	// Slots beyond the output must be ~zero (diagonals masked to rows).
+	for i := rows; i < rows+16; i++ {
+		if math.Abs(got[i]) > 1e-2 {
+			t.Fatalf("slot %d should be zero, got %g", i, got[i])
+		}
+	}
+}
+
+func TestActStageMatchesPolynomial(t *testing.T) {
+	slots := 512
+	s := nn.NewSLAF(3, 1)
+	s.Coeffs.Data = []float64{0.25, -0.5, 0.125, 0.0625}
+	st, err := NewActStage("t", s, 16, func(int) int { return 0 }, slots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := &Plan{Slots: slots, InputDim: 16, OutputDim: 16, Stages: []Stage{st}, Depth: 2}
+	e := rnsEngineFor(t, plan, 10, []int{40, 30, 30, 30})
+	rng := rand.New(rand.NewSource(4))
+	x := make([]float64, 16)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	ct := e.EncryptVec(x)
+	out := st.Eval(e, ct)
+	got := e.DecryptVec(out)
+	for i := range x {
+		v := x[i]
+		want := 0.25 - 0.5*v + 0.125*v*v + 0.0625*v*v*v
+		if math.Abs(got[i]-want) > 1e-2 {
+			t.Fatalf("slot %d: got %g want %g", i, got[i], want)
+		}
+	}
+}
+
+func TestEndToEndTinyModelRNS(t *testing.T) {
+	m := tinyModel(5)
+	plan, err := Compile(m, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := rnsEngineFor(t, plan, 10, []int{40, 30, 30, 30, 30})
+	rng := rand.New(rand.NewSource(6))
+	img := testImage(rng, 64)
+	logits, lat := plan.Infer(e, img)
+	if lat <= 0 {
+		t.Fatal("latency not measured")
+	}
+	want := plainForward(m, img, 1, 8, 8)
+	for i := range want {
+		if math.Abs(logits[i]-want[i]) > 0.05 {
+			t.Fatalf("logit %d: got %g want %g", i, logits[i], want[i])
+		}
+	}
+}
+
+func TestEndToEndTinyModelBNFolding(t *testing.T) {
+	m := tinyModelBN(7)
+	plan, err := Compile(m, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// BN must be folded: stage count is conv+bn, act, dense = 3.
+	if len(plan.Stages) != 3 {
+		t.Fatalf("stage count %d want 3 (BN folded)", len(plan.Stages))
+	}
+	e := rnsEngineFor(t, plan, 10, []int{40, 30, 30, 30, 30})
+	rng := rand.New(rand.NewSource(8))
+	img := testImage(rng, 64)
+	logits, _ := plan.Infer(e, img)
+	want := plainForward(m, img, 1, 8, 8)
+	for i := range want {
+		if math.Abs(logits[i]-want[i]) > 0.05 {
+			t.Fatalf("logit %d: got %g want %g", i, logits[i], want[i])
+		}
+	}
+}
+
+func TestEndToEndTinyModelBig(t *testing.T) {
+	m := tinyModel(9)
+	plan, err := Compile(m, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := ckks.NewParameters(10, []int{40, 30, 30, 30, 30}, 60, 1, math.Exp2(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp, err := ckksbig.FromRNSParameters(rp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewBigEngine(bp, plan.Rotations(), 502)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(10))
+	img := testImage(rng, 64)
+	logits, _ := plan.Infer(e, img)
+	want := plainForward(m, img, 1, 8, 8)
+	for i := range want {
+		if math.Abs(logits[i]-want[i]) > 0.05 {
+			t.Fatalf("big engine logit %d: got %g want %g", i, logits[i], want[i])
+		}
+	}
+}
+
+func TestRNSPlanMatchesBasePlan(t *testing.T) {
+	m := tinyModel(11)
+	plan, err := Compile(m, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := rnsEngineFor(t, plan, 10, []int{40, 30, 30, 30, 30})
+	rng := rand.New(rand.NewSource(12))
+	img := testImage(rng, 64)
+	base, _ := plan.Infer(e, img)
+
+	for _, k := range []int{1, 2, 3} {
+		rp, err := NewRNSPlan(plan, k, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rp.Digits.Range() < 256 {
+			t.Fatalf("k=%d digit range %d too small for pixels", k, rp.Digits.Range())
+		}
+		got, _ := rp.Infer(e, img)
+		for i := range base {
+			if math.Abs(got[i]-base[i]) > 0.05 {
+				t.Fatalf("k=%d logit %d: %g vs base %g", k, i, got[i], base[i])
+			}
+		}
+	}
+}
+
+func TestRNSPlanParallelMatchesSequential(t *testing.T) {
+	m := tinyModel(13)
+	plan, err := Compile(m, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := rnsEngineFor(t, plan, 10, []int{40, 30, 30, 30, 30})
+	rng := rand.New(rand.NewSource(14))
+	img := testImage(rng, 64)
+
+	db, err := rnsdec.NewDigitBasis(16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, _ := (&RNSPlan{Base: plan, Digits: db}).Infer(e, img)
+	par, _ := (&RNSPlan{Base: plan, Digits: db, Parallel: true}).Infer(e, img)
+	// The two runs encrypt with fresh randomness, so results agree only up
+	// to encryption noise.
+	for i := range seq {
+		if math.Abs(seq[i]-par[i]) > 0.02 {
+			t.Fatalf("parallel RNS inference differs at logit %d: %g vs %g", i, seq[i], par[i])
+		}
+	}
+}
+
+func TestEvaluateEncrypted(t *testing.T) {
+	m := tinyModel(15)
+	plan, err := Compile(m, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := rnsEngineFor(t, plan, 10, []int{40, 30, 30, 30, 30})
+	rng := rand.New(rand.NewSource(16))
+	var images [][]float64
+	var labels []int
+	for i := 0; i < 3; i++ {
+		img := testImage(rng, 64)
+		images = append(images, img)
+		labels = append(labels, Logits(plainForward(m, img, 1, 8, 8)).Argmax())
+	}
+	acc, stats := plan.EvaluateEncrypted(e, images, labels, 3)
+	if acc != 1.0 {
+		t.Fatalf("encrypted accuracy %.2f should match plaintext labels", acc)
+	}
+	if stats.N != 3 || stats.Min <= 0 || stats.Avg < stats.Min || stats.Max < stats.Avg {
+		t.Fatalf("bad stats %+v", stats)
+	}
+}

@@ -1,0 +1,205 @@
+package henn
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"cnnhe/internal/rnsdec"
+)
+
+// Logits is the decrypted output of an encrypted classification.
+type Logits []float64
+
+// Argmax returns the predicted class.
+func (l Logits) Argmax() int {
+	best := 0
+	for i := 1; i < len(l); i++ {
+		if l[i] > l[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Infer classifies one raw image (pixels in [0, 255], length InputDim):
+// encrypt → evaluate every stage → decrypt. It returns the logits and the
+// server-side evaluation latency (excluding client encrypt/decrypt, as the
+// paper measures classification latency of the homomorphic pipeline).
+func (p *Plan) Infer(e Engine, image []float64) (Logits, time.Duration) {
+	ct := e.EncryptVec(image)
+	start := time.Now()
+	for _, s := range p.Stages {
+		ct = s.Eval(e, ct)
+	}
+	lat := time.Since(start)
+	out := e.DecryptVec(ct)
+	return Logits(out[:p.OutputDim]), lat
+}
+
+// LatencyStats aggregates per-inference latencies.
+type LatencyStats struct {
+	Min, Max, Avg time.Duration
+	N             int
+}
+
+func newLatencyStats() LatencyStats {
+	return LatencyStats{Min: time.Duration(1<<63 - 1)}
+}
+
+func (s *LatencyStats) add(d time.Duration) {
+	if d < s.Min {
+		s.Min = d
+	}
+	if d > s.Max {
+		s.Max = d
+	}
+	s.Avg += d
+	s.N++
+}
+
+func (s *LatencyStats) finish() {
+	if s.N > 0 {
+		s.Avg /= time.Duration(s.N)
+	} else {
+		s.Min = 0
+	}
+}
+
+// String renders the stats like the paper's tables (seconds).
+func (s LatencyStats) String() string {
+	return fmt.Sprintf("min %.2fs max %.2fs avg %.2fs (n=%d)",
+		s.Min.Seconds(), s.Max.Seconds(), s.Avg.Seconds(), s.N)
+}
+
+// EvaluateEncrypted classifies images[0:n] homomorphically and returns the
+// accuracy against labels plus latency statistics.
+func (p *Plan) EvaluateEncrypted(e Engine, images [][]float64, labels []int, n int) (float64, LatencyStats) {
+	if n <= 0 || n > len(images) {
+		n = len(images)
+	}
+	stats := newLatencyStats()
+	correct := 0
+	for i := 0; i < n; i++ {
+		logits, lat := p.Infer(e, images[i])
+		stats.add(lat)
+		if logits.Argmax() == labels[i] {
+			correct++
+		}
+	}
+	stats.finish()
+	return float64(correct) / float64(n), stats
+}
+
+// RNSPlan is the Fig. 5 CNN-RNS pipeline: the input image is decomposed
+// into K digit tensors (rnsdec digit mode — the exact, fully homomorphic
+// variant of the paper's residue decomposition, see DESIGN.md S4), the
+// first convolutional stage is evaluated on every part independently (in
+// parallel when Parallel is set), the parts are recombined linearly inside
+// the ciphertext, and the remaining stages run once.
+type RNSPlan struct {
+	Base   *Plan
+	Digits rnsdec.DigitBasis
+	// Parallel evaluates the per-part convolutions on separate goroutines.
+	Parallel bool
+}
+
+// NewRNSPlan wraps a compiled plan with a k-part digit decomposition
+// covering 8-bit pixels.
+func NewRNSPlan(base *Plan, k int, parallel bool) (*RNSPlan, error) {
+	if len(base.Stages) == 0 {
+		return nil, fmt.Errorf("henn: empty base plan")
+	}
+	if _, ok := base.Stages[0].(*LinearStage); !ok {
+		return nil, fmt.Errorf("henn: RNS pipeline requires a linear first stage")
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("henn: need at least one part")
+	}
+	// Smallest base with base^k ≥ 256.
+	base256 := int64(2)
+	for pow(base256, k) < 256 {
+		base256++
+	}
+	db, err := rnsdec.NewDigitBasis(base256, k)
+	if err != nil {
+		return nil, err
+	}
+	return &RNSPlan{Base: base, Digits: db, Parallel: parallel}, nil
+}
+
+func pow(b int64, k int) int64 {
+	r := int64(1)
+	for i := 0; i < k; i++ {
+		r *= b
+		if r >= 1<<32 {
+			return r
+		}
+	}
+	return r
+}
+
+// Infer classifies one raw image through the decomposed pipeline.
+func (p *RNSPlan) Infer(e Engine, image []float64) (Logits, time.Duration) {
+	parts := p.Digits.DecomposeTensor(image)
+	cts := make([]Ct, len(parts))
+	for i, part := range parts {
+		cts[i] = e.EncryptVec(part)
+	}
+	first := p.Base.Stages[0].(*LinearStage)
+	weights := p.Digits.Weights()
+
+	start := time.Now()
+	outs := make([]Ct, len(parts))
+	if p.Parallel && len(parts) > 1 {
+		var wg sync.WaitGroup
+		wg.Add(len(parts))
+		for i := range parts {
+			go func(i int) {
+				defer wg.Done()
+				outs[i] = p.evalPart(e, first, cts[i], i)
+			}(i)
+		}
+		wg.Wait()
+	} else {
+		for i := range parts {
+			outs[i] = p.evalPart(e, first, cts[i], i)
+		}
+	}
+	// Linear recomposition: y = Σ Bⁱ·L(dᵢ) (exact; weights are integers).
+	acc := outs[0] // weight B⁰ = 1; carries the bias
+	for i := 1; i < len(outs); i++ {
+		acc = e.Add(acc, e.MulInt(outs[i], int64(weights[i])))
+	}
+	for _, s := range p.Base.Stages[1:] {
+		acc = s.Eval(e, acc)
+	}
+	lat := time.Since(start)
+	out := e.DecryptVec(acc)
+	return Logits(out[:p.Base.OutputDim]), lat
+}
+
+func (p *RNSPlan) evalPart(e Engine, first *LinearStage, ct Ct, idx int) Ct {
+	if idx == 0 {
+		return first.Eval(e, ct)
+	}
+	return first.EvalNoBias(e, ct)
+}
+
+// EvaluateEncrypted mirrors Plan.EvaluateEncrypted for the RNS pipeline.
+func (p *RNSPlan) EvaluateEncrypted(e Engine, images [][]float64, labels []int, n int) (float64, LatencyStats) {
+	if n <= 0 || n > len(images) {
+		n = len(images)
+	}
+	stats := newLatencyStats()
+	correct := 0
+	for i := 0; i < n; i++ {
+		logits, lat := p.Infer(e, images[i])
+		stats.add(lat)
+		if logits.Argmax() == labels[i] {
+			correct++
+		}
+	}
+	stats.finish()
+	return float64(correct) / float64(n), stats
+}

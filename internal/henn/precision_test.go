@@ -1,0 +1,79 @@
+package henn
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"cnnhe/internal/ckks"
+)
+
+func TestEstimatePrecision(t *testing.T) {
+	m := tinyModel(51)
+	plan, err := Compile(m, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ckks.NewParameters(10, []int{40, 30, 30, 30, 30}, 50, 1, math.Exp2(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pe, err := plan.EstimatePrecision(p, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pe.PerStage) != len(plan.Stages) {
+		t.Fatalf("per-stage rows %d want %d", len(pe.PerStage), len(plan.Stages))
+	}
+	// Precision must be finite everywhere. (The sequence is not monotone:
+	// a plaintext multiplication by small weights followed by a rescale
+	// genuinely contracts noise relative to the scale.)
+	for _, r := range pe.PerStage {
+		if math.IsNaN(r.Bits) || math.IsInf(r.Bits, 0) {
+			t.Fatalf("non-finite precision: %+v", pe.PerStage)
+		}
+	}
+	if pe.FinalBits <= 0 {
+		t.Fatalf("expected positive precision, got %.2f bits", pe.FinalBits)
+	}
+	if !strings.Contains(pe.String(), "bits") {
+		t.Fatal("report should render")
+	}
+
+	// The estimate is a lower bound: measured logit error must be within
+	// the predicted precision (checked loosely — the bound is
+	// conservative by an order of magnitude or more).
+	e, err := NewRNSEngine(p, plan.Rotations(), 901)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := testImage(rand.New(rand.NewSource(52)), 64)
+	logits, _ := plan.Infer(e, img)
+	want := plainForward(m, img, 1, 8, 8)
+	maxe := 0.0
+	for i := range want {
+		if d := math.Abs(logits[i] - want[i]); d > maxe {
+			maxe = d
+		}
+	}
+	allowed := math.Exp2(-pe.FinalBits) * 32 // slack: bound is per-slot, logits sum terms
+	if maxe > math.Max(allowed, 0.5) {
+		t.Fatalf("measured error %.4g exceeds even the conservative bound (%.1f bits)", maxe, pe.FinalBits)
+	}
+}
+
+func TestEstimatePrecisionRejectsShallowParams(t *testing.T) {
+	m := tinyModel(53)
+	plan, err := Compile(m, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ckks.NewParameters(10, []int{40, 30}, 50, 1, math.Exp2(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plan.EstimatePrecision(p, 10); err == nil {
+		t.Fatal("expected depth error")
+	}
+}

@@ -1,0 +1,78 @@
+package henn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"testing"
+	"time"
+
+	"cnnhe/internal/ckks"
+	"cnnhe/internal/ckksbig"
+	"cnnhe/internal/mnist"
+	"cnnhe/internal/nn"
+)
+
+// TestTimingCNN1 is a calibration harness, not a correctness test.
+// Run explicitly: go test -run TestTimingCNN1 -v -timeout 1200s
+func TestTimingCNN1(t *testing.T) {
+	if testing.Short() {
+		t.Skip()
+	}
+	if os.Getenv("CNNHE_CALIBRATE") == "" {
+		t.Skip("calibration only")
+	}
+	rng := rand.New(rand.NewSource(2))
+	m := nn.NewCNN1(rng)
+	train, test, _ := mnist.Load(3000, 50, 1)
+	nn.Train(m, train.ToNN(), nn.TrainConfig{Epochs: 6, BatchSize: 64, MaxLR: 0.08, Momentum: 0.9, Seed: 3})
+	rc := nn.DefaultRetrofitConfig()
+	rc.Epochs = 2
+	hm := nn.Retrofit(m, train.ToNN(), rc)
+	fmt.Printf("plain slaf acc: %.4f\n", nn.Evaluate(hm, test.ToNN()))
+
+	plan, err := Compile(hm, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Print(plan.Describe())
+
+	bits := []int{40, 30, 30, 30, 30, 30, 30, 30}
+	p, err := ckks.NewParameters(11, bits, 60, 1, math.Exp2(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.CheckDepth(p.MaxLevel()); err != nil {
+		t.Fatal(err)
+	}
+
+	start := time.Now()
+	e, err := NewRNSEngine(p, plan.Rotations(), 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("rns keygen: %.1fs (%d rotations)\n", time.Since(start).Seconds(), len(plan.Rotations()))
+
+	imgs := make([][]float64, 5)
+	labels := make([]int, 5)
+	for i := range imgs {
+		imgs[i] = test.Image(i)
+		labels[i] = test.Labels[i]
+	}
+	acc, stats := plan.EvaluateEncrypted(e, imgs, labels, 5)
+	fmt.Printf("rns: acc %.2f lat %v\n", acc, stats)
+
+	bp, err := ckksbig.FromRNSParameters(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start = time.Now()
+	be, err := NewBigEngine(bp, plan.Rotations(), 78)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("big keygen: %.1fs\n", time.Since(start).Seconds())
+	acc2, stats2 := plan.EvaluateEncrypted(be, imgs, labels, 2)
+	fmt.Printf("big: acc %.2f lat %v\n", acc2, stats2)
+}

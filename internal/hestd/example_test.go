@@ -1,0 +1,19 @@
+package hestd_test
+
+import (
+	"fmt"
+
+	"cnnhe/internal/hestd"
+)
+
+// ExampleValidate checks the paper's Table II settings against the
+// HomomorphicEncryption.org standard.
+func ExampleValidate() {
+	// N = 2^14, log q = 366 plus a 60-bit special prime.
+	err := hestd.Validate(hestd.Security128, 14, 426)
+	fmt.Println(err)
+	fmt.Println(hestd.SecurityOf(14, 426))
+	// Output:
+	// <nil>
+	// 128
+}

@@ -1,0 +1,63 @@
+// Package hestd encodes the HomomorphicEncryption.org security standard
+// tables (Albrecht et al., 2018): the maximum total modulus bit length
+// log(Q·P) permitted for each ring degree N at a given classical security
+// level, for ternary secret distributions.
+package hestd
+
+import "fmt"
+
+// SecurityLevel is a classical bit-security target from the HE standard.
+type SecurityLevel int
+
+// Standard security levels.
+const (
+	Security128 SecurityLevel = 128
+	Security192 SecurityLevel = 192
+	Security256 SecurityLevel = 256
+)
+
+// maxLogQP[λ][logN] per the HE standard tables for ternary secrets.
+var maxLogQP = map[SecurityLevel]map[int]int{
+	Security128: {10: 27, 11: 54, 12: 109, 13: 218, 14: 438, 15: 881},
+	Security192: {10: 19, 11: 37, 12: 75, 13: 152, 14: 305, 15: 611},
+	Security256: {10: 14, 11: 29, 12: 58, 13: 118, 14: 237, 15: 476},
+}
+
+// MaxLogQP returns the largest admissible log(Q·P) for the given level and
+// log ring degree, or an error when the standard has no entry.
+func MaxLogQP(level SecurityLevel, logN int) (int, error) {
+	table, ok := maxLogQP[level]
+	if !ok {
+		return 0, fmt.Errorf("hestd: unknown security level %d", level)
+	}
+	v, ok := table[logN]
+	if !ok {
+		return 0, fmt.Errorf("hestd: no table entry for logN=%d", logN)
+	}
+	return v, nil
+}
+
+// Validate reports whether parameters with the given logN and logQP meet
+// the security level. A nil error means the parameters conform.
+func Validate(level SecurityLevel, logN, logQP int) error {
+	max, err := MaxLogQP(level, logN)
+	if err != nil {
+		return err
+	}
+	if logQP > max {
+		return fmt.Errorf("hestd: logQP=%d exceeds the λ=%d bound %d for N=2^%d",
+			logQP, level, max, logN)
+	}
+	return nil
+}
+
+// SecurityOf returns the highest standard level the parameters satisfy, or
+// 0 when they satisfy none.
+func SecurityOf(logN, logQP int) SecurityLevel {
+	for _, l := range []SecurityLevel{Security256, Security192, Security128} {
+		if err := Validate(l, logN, logQP); err == nil {
+			return l
+		}
+	}
+	return 0
+}

@@ -1,0 +1,44 @@
+package hestd
+
+import "testing"
+
+func TestMaxLogQP(t *testing.T) {
+	v, err := MaxLogQP(Security128, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 438 {
+		t.Fatalf("got %d want 438", v)
+	}
+	if _, err := MaxLogQP(Security128, 20); err == nil {
+		t.Fatal("expected error for missing logN entry")
+	}
+	if _, err := MaxLogQP(SecurityLevel(100), 14); err == nil {
+		t.Fatal("expected error for unknown level")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	// The paper's settings: N=2^14, logQ=366 plus a 60-bit special = 426.
+	if err := Validate(Security128, 14, 426); err != nil {
+		t.Fatalf("paper settings should validate at 128 bits: %v", err)
+	}
+	if err := Validate(Security128, 14, 439); err == nil {
+		t.Fatal("439 bits should fail at N=2^14")
+	}
+	if err := Validate(Security128, 12, 426); err == nil {
+		t.Fatal("test-size ring should fail the standard with the paper modulus")
+	}
+}
+
+func TestSecurityOf(t *testing.T) {
+	if got := SecurityOf(14, 426); got != Security128 {
+		t.Fatalf("got λ=%d want 128", got)
+	}
+	if got := SecurityOf(14, 237); got != Security256 {
+		t.Fatalf("got λ=%d want 256", got)
+	}
+	if got := SecurityOf(12, 426); got != 0 {
+		t.Fatalf("got λ=%d want 0 (insecure)", got)
+	}
+}

@@ -1,0 +1,169 @@
+package mnist
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Synthetic generates n deterministic synthetic handwritten-digit images.
+// Each digit class is defined by stroke templates (polylines in the unit
+// square) rendered with a soft round brush after a random affine
+// perturbation (rotation, anisotropic scale, shear, translation) plus
+// additive pixel noise — the offline MNIST substitution (DESIGN.md §3 S1).
+func Synthetic(n int, seed int64) Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	d := Dataset{Pixels: make([][]byte, n), Labels: make([]int, n)}
+	for i := 0; i < n; i++ {
+		label := rng.Intn(10)
+		d.Labels[i] = label
+		d.Pixels[i] = renderDigit(label, rng)
+	}
+	return d
+}
+
+type pt struct{ x, y float64 }
+
+// arc returns points approximating an elliptical arc centred at (cx, cy)
+// with radii (rx, ry) between angles a0 and a1 (radians, y axis down).
+func arc(cx, cy, rx, ry, a0, a1 float64, steps int) []pt {
+	out := make([]pt, steps+1)
+	for i := 0; i <= steps; i++ {
+		t := a0 + (a1-a0)*float64(i)/float64(steps)
+		out[i] = pt{cx + rx*math.Cos(t), cy + ry*math.Sin(t)}
+	}
+	return out
+}
+
+// strokes returns the polyline templates of each digit, in unit-square
+// coordinates (x right, y down, ink occupies roughly [0.2, 0.8]).
+func strokes(digit int) [][]pt {
+	switch digit {
+	case 0:
+		return [][]pt{arc(0.5, 0.5, 0.21, 0.3, 0, 2*math.Pi, 24)}
+	case 1:
+		return [][]pt{
+			{{0.38, 0.32}, {0.52, 0.2}},
+			{{0.52, 0.2}, {0.52, 0.8}},
+		}
+	case 2:
+		top := arc(0.5, 0.35, 0.2, 0.15, math.Pi, 2.25*math.Pi, 12)
+		return [][]pt{
+			top,
+			{top[len(top)-1], {0.3, 0.8}},
+			{{0.3, 0.8}, {0.72, 0.8}},
+		}
+	case 3:
+		return [][]pt{
+			arc(0.47, 0.35, 0.18, 0.15, 0.75*math.Pi, 2.4*math.Pi, 14),
+			arc(0.47, 0.65, 0.2, 0.16, 1.6*math.Pi, 3.25*math.Pi, 14),
+		}
+	case 4:
+		return [][]pt{
+			{{0.58, 0.2}, {0.27, 0.6}},
+			{{0.27, 0.6}, {0.75, 0.6}},
+			{{0.6, 0.33}, {0.6, 0.82}},
+		}
+	case 5:
+		return [][]pt{
+			{{0.7, 0.22}, {0.33, 0.22}},
+			{{0.33, 0.22}, {0.31, 0.48}},
+			arc(0.48, 0.62, 0.2, 0.17, 1.4*math.Pi, 2.9*math.Pi, 14),
+		}
+	case 6:
+		body := arc(0.48, 0.62, 0.19, 0.18, 0, 2*math.Pi, 18)
+		return [][]pt{
+			{{0.62, 0.2}, {0.42, 0.45}},
+			body,
+		}
+	case 7:
+		return [][]pt{
+			{{0.28, 0.22}, {0.72, 0.22}},
+			{{0.72, 0.22}, {0.42, 0.8}},
+		}
+	case 8:
+		return [][]pt{
+			arc(0.5, 0.36, 0.16, 0.14, 0, 2*math.Pi, 16),
+			arc(0.5, 0.66, 0.19, 0.16, 0, 2*math.Pi, 16),
+		}
+	case 9:
+		head := arc(0.52, 0.38, 0.18, 0.16, 0, 2*math.Pi, 16)
+		return [][]pt{
+			head,
+			{{0.7, 0.4}, {0.62, 0.8}},
+		}
+	}
+	panic("mnist: digit out of range")
+}
+
+// renderDigit rasterizes one randomly perturbed digit to 28×28 bytes.
+func renderDigit(digit int, rng *rand.Rand) []byte {
+	// Random affine around the image center.
+	theta := (rng.Float64()*2 - 1) * 0.22
+	sx := 0.85 + rng.Float64()*0.3
+	sy := 0.85 + rng.Float64()*0.3
+	shear := (rng.Float64()*2 - 1) * 0.15
+	tx := (rng.Float64()*2 - 1) * 0.07
+	ty := (rng.Float64()*2 - 1) * 0.07
+	cosT, sinT := math.Cos(theta), math.Sin(theta)
+	xf := func(p pt) pt {
+		// center, shear, scale, rotate, translate
+		x := (p.x - 0.5) * sx
+		y := (p.y - 0.5) * sy
+		x += shear * y
+		rx := cosT*x - sinT*y
+		ry := sinT*x + cosT*y
+		return pt{rx + 0.5 + tx, ry + 0.5 + ty}
+	}
+
+	acc := make([]float64, Rows*Cols)
+	brush := 1.0 + rng.Float64()*0.5 // brush radius in pixels
+	for _, stroke := range strokes(digit) {
+		for s := 0; s+1 < len(stroke); s++ {
+			a, b := xf(stroke[s]), xf(stroke[s+1])
+			ax, ay := a.x*float64(Cols-1), a.y*float64(Rows-1)
+			bx, by := b.x*float64(Cols-1), b.y*float64(Rows-1)
+			segLen := math.Hypot(bx-ax, by-ay)
+			steps := int(segLen*3) + 1
+			for i := 0; i <= steps; i++ {
+				t := float64(i) / float64(steps)
+				px := ax + (bx-ax)*t
+				py := ay + (by-ay)*t
+				splat(acc, px, py, brush)
+			}
+		}
+	}
+	out := make([]byte, Rows*Cols)
+	for i, v := range acc {
+		val := 255 * (1 - math.Exp(-2.2*v))
+		val += rng.NormFloat64() * 6
+		if val < 0 {
+			val = 0
+		}
+		if val > 255 {
+			val = 255
+		}
+		out[i] = byte(math.Round(val))
+	}
+	return out
+}
+
+// splat deposits a Gaussian brush stamp at (px, py).
+func splat(acc []float64, px, py, radius float64) {
+	r := int(math.Ceil(radius * 2))
+	x0, y0 := int(px), int(py)
+	inv := 1 / (radius * radius)
+	for dy := -r; dy <= r; dy++ {
+		y := y0 + dy
+		if y < 0 || y >= Rows {
+			continue
+		}
+		for dx := -r; dx <= r; dx++ {
+			x := x0 + dx
+			if x < 0 || x >= Cols {
+				continue
+			}
+			d2 := (float64(x)-px)*(float64(x)-px) + (float64(y)-py)*(float64(y)-py)
+			acc[y*Cols+x] += 0.35 * math.Exp(-d2*inv)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package nn
+
+import (
+	"math"
+
+	"cnnhe/internal/tensor"
+)
+
+// BatchNorm2D normalizes each channel of [C, H, W] tensors over the batch
+// and spatial dimensions: the paper's CNN2 places one before each
+// activation so that the activation inputs fit the approximated interval.
+type BatchNorm2D struct {
+	C        int
+	Eps      float64
+	Momentum float64
+
+	Gamma, Beta *Param
+	// Running statistics used at inference time (and folded into the
+	// homomorphic diagonal-affine layer).
+	RunMean, RunVar []float64
+
+	// training caches
+	xs           []*tensor.Tensor
+	batchMean    []float64
+	batchVar     []float64
+	normed       [][]float64 // x̂ per sample
+	countPerStat int
+}
+
+// NewBatchNorm2D returns a batch-norm layer with γ=1, β=0.
+func NewBatchNorm2D(c int) *BatchNorm2D {
+	bn := &BatchNorm2D{
+		C: c, Eps: 1e-5, Momentum: 0.1,
+		Gamma: newParam("bn.gamma", c), Beta: newParam("bn.beta", c),
+		RunMean: make([]float64, c), RunVar: make([]float64, c),
+	}
+	for i := range bn.Gamma.Data {
+		bn.Gamma.Data[i] = 1
+		bn.RunVar[i] = 1
+	}
+	return bn
+}
+
+// Name implements Layer.
+func (bn *BatchNorm2D) Name() string { return "batchnorm2d" }
+
+// Forward implements Layer.
+func (bn *BatchNorm2D) Forward(xs []*tensor.Tensor, train bool) []*tensor.Tensor {
+	hw := xs[0].Shape[1] * xs[0].Shape[2]
+	out := make([]*tensor.Tensor, len(xs))
+	if !train {
+		for b, x := range xs {
+			y := tensor.New(x.Shape...)
+			for c := 0; c < bn.C; c++ {
+				inv := 1 / math.Sqrt(bn.RunVar[c]+bn.Eps)
+				g, be := bn.Gamma.Data[c], bn.Beta.Data[c]
+				mu := bn.RunMean[c]
+				for i := 0; i < hw; i++ {
+					idx := c*hw + i
+					y.Data[idx] = g*(x.Data[idx]-mu)*inv + be
+				}
+			}
+			out[b] = y
+		}
+		return out
+	}
+
+	m := float64(len(xs) * hw)
+	bn.xs = xs
+	bn.batchMean = make([]float64, bn.C)
+	bn.batchVar = make([]float64, bn.C)
+	bn.countPerStat = len(xs) * hw
+	for c := 0; c < bn.C; c++ {
+		sum := 0.0
+		for _, x := range xs {
+			for i := 0; i < hw; i++ {
+				sum += x.Data[c*hw+i]
+			}
+		}
+		mu := sum / m
+		varSum := 0.0
+		for _, x := range xs {
+			for i := 0; i < hw; i++ {
+				d := x.Data[c*hw+i] - mu
+				varSum += d * d
+			}
+		}
+		bn.batchMean[c] = mu
+		bn.batchVar[c] = varSum / m
+		bn.RunMean[c] = (1-bn.Momentum)*bn.RunMean[c] + bn.Momentum*mu
+		bn.RunVar[c] = (1-bn.Momentum)*bn.RunVar[c] + bn.Momentum*bn.batchVar[c]
+	}
+	bn.normed = make([][]float64, len(xs))
+	for b, x := range xs {
+		y := tensor.New(x.Shape...)
+		bn.normed[b] = make([]float64, x.Len())
+		for c := 0; c < bn.C; c++ {
+			inv := 1 / math.Sqrt(bn.batchVar[c]+bn.Eps)
+			g, be := bn.Gamma.Data[c], bn.Beta.Data[c]
+			mu := bn.batchMean[c]
+			for i := 0; i < hw; i++ {
+				idx := c*hw + i
+				xh := (x.Data[idx] - mu) * inv
+				bn.normed[b][idx] = xh
+				y.Data[idx] = g*xh + be
+			}
+		}
+		out[b] = y
+	}
+	return out
+}
+
+// Backward implements Layer (full batch-norm gradient).
+func (bn *BatchNorm2D) Backward(grads []*tensor.Tensor) []*tensor.Tensor {
+	hw := grads[0].Shape[1] * grads[0].Shape[2]
+	m := float64(bn.countPerStat)
+	out := make([]*tensor.Tensor, len(grads))
+	for b := range grads {
+		out[b] = tensor.New(grads[b].Shape...)
+	}
+	for c := 0; c < bn.C; c++ {
+		inv := 1 / math.Sqrt(bn.batchVar[c]+bn.Eps)
+		g := bn.Gamma.Data[c]
+		// Accumulate Σ dŷ and Σ dŷ·x̂ over the batch.
+		var sumDy, sumDyXh float64
+		for b, gr := range grads {
+			for i := 0; i < hw; i++ {
+				idx := c*hw + i
+				dy := gr.Data[idx]
+				xh := bn.normed[b][idx]
+				sumDy += dy
+				sumDyXh += dy * xh
+			}
+		}
+		bn.Beta.Grad[c] += sumDy
+		bn.Gamma.Grad[c] += sumDyXh
+		// dx = (γ·inv/m)·(m·dy − Σdy − x̂·Σ(dy·x̂))
+		f := g * inv / m
+		for b, gr := range grads {
+			for i := 0; i < hw; i++ {
+				idx := c*hw + i
+				dy := gr.Data[idx]
+				xh := bn.normed[b][idx]
+				out[b].Data[idx] = f * (m*dy - sumDy - xh*sumDyXh)
+			}
+		}
+	}
+	return out
+}
+
+// Params implements Layer.
+func (bn *BatchNorm2D) Params() []*Param { return []*Param{bn.Gamma, bn.Beta} }
+
+// InferenceAffine returns the per-channel affine form the layer takes at
+// inference time: y = scale[c]·x + shift[c]. The homomorphic pipeline
+// evaluates batch norm as this diagonal-affine map.
+func (bn *BatchNorm2D) InferenceAffine() (scale, shift []float64) {
+	scale = make([]float64, bn.C)
+	shift = make([]float64, bn.C)
+	for c := 0; c < bn.C; c++ {
+		inv := 1 / math.Sqrt(bn.RunVar[c]+bn.Eps)
+		scale[c] = bn.Gamma.Data[c] * inv
+		shift[c] = bn.Beta.Data[c] - bn.Gamma.Data[c]*bn.RunMean[c]*inv
+	}
+	return scale, shift
+}

@@ -1,0 +1,62 @@
+// Package nn implements the plaintext CNN training stack used to produce
+// the models the homomorphic pipelines evaluate: layers with full
+// backpropagation (Conv2D, Dense, BatchNorm2D, ReLU, polynomial SLAF),
+// SGD with momentum, the 1-cycle learning-rate policy, Kaiming
+// initialization and cross-entropy loss — the training recipe of the
+// paper's Section V.D.
+//
+// Layers are batch-aware: Forward/Backward operate on slices of per-sample
+// tensors so that batch normalization sees true batch statistics.
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"cnnhe/internal/tensor"
+)
+
+// Param is a trainable parameter tensor with its gradient accumulator and
+// momentum buffer.
+type Param struct {
+	Name   string
+	Data   []float64
+	Grad   []float64
+	Vel    []float64
+	Frozen bool
+}
+
+func newParam(name string, n int) *Param {
+	return &Param{Name: name, Data: make([]float64, n), Grad: make([]float64, n), Vel: make([]float64, n)}
+}
+
+// ZeroGrad clears the gradient accumulator.
+func (p *Param) ZeroGrad() {
+	for i := range p.Grad {
+		p.Grad[i] = 0
+	}
+}
+
+// Layer is a differentiable network stage.
+type Layer interface {
+	// Name identifies the layer kind.
+	Name() string
+	// Forward maps a batch of inputs to outputs. When train is set, the
+	// layer caches whatever Backward needs and, for BatchNorm, uses batch
+	// statistics.
+	Forward(xs []*tensor.Tensor, train bool) []*tensor.Tensor
+	// Backward consumes ∂L/∂output and returns ∂L/∂input, accumulating
+	// parameter gradients. It must be called right after the matching
+	// Forward(train=true).
+	Backward(grads []*tensor.Tensor) []*tensor.Tensor
+	// Params returns the trainable parameters (possibly empty).
+	Params() []*Param
+}
+
+// kaiming fills w with N(0, √(2/fanIn)) samples.
+func kaiming(rng *rand.Rand, w []float64, fanIn int) {
+	std := math.Sqrt(2.0 / float64(fanIn))
+	for i := range w {
+		w[i] = rng.NormFloat64() * std
+	}
+}

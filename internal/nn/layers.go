@@ -1,0 +1,432 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"cnnhe/internal/tensor"
+)
+
+// Conv2D is a strided, padded multi-channel convolution layer.
+type Conv2D struct {
+	InC, OutC, K, Stride, Pad int
+	InH, InW                  int
+	W, B                      *Param
+
+	xs []*tensor.Tensor // cached inputs
+}
+
+// NewConv2D builds a convolution layer with Kaiming-initialized weights.
+func NewConv2D(rng *rand.Rand, inC, outC, k, stride, pad, inH, inW int) *Conv2D {
+	c := &Conv2D{
+		InC: inC, OutC: outC, K: k, Stride: stride, Pad: pad, InH: inH, InW: inW,
+		W: newParam("conv.w", outC*inC*k*k),
+		B: newParam("conv.b", outC),
+	}
+	kaiming(rng, c.W.Data, inC*k*k)
+	return c
+}
+
+// Name implements Layer.
+func (c *Conv2D) Name() string { return "conv2d" }
+
+// OutH returns the output height.
+func (c *Conv2D) OutH() int { return tensor.ConvShape(c.InH, c.K, c.Stride, c.Pad) }
+
+// OutW returns the output width.
+func (c *Conv2D) OutW() int { return tensor.ConvShape(c.InW, c.K, c.Stride, c.Pad) }
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(xs []*tensor.Tensor, train bool) []*tensor.Tensor {
+	if train {
+		c.xs = xs
+	}
+	wt := tensor.FromSlice(c.W.Data, c.OutC, c.InC, c.K, c.K)
+	out := make([]*tensor.Tensor, len(xs))
+	for b, x := range xs {
+		out[b] = tensor.Conv2D(x, wt, c.B.Data, c.Stride, c.Pad)
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(grads []*tensor.Tensor) []*tensor.Tensor {
+	oh, ow := c.OutH(), c.OutW()
+	dxs := make([]*tensor.Tensor, len(grads))
+	for b, g := range grads {
+		x := c.xs[b]
+		dx := tensor.New(c.InC, c.InH, c.InW)
+		for o := 0; o < c.OutC; o++ {
+			for oi := 0; oi < oh; oi++ {
+				for oj := 0; oj < ow; oj++ {
+					gv := g.At3(o, oi, oj)
+					if gv == 0 {
+						continue
+					}
+					c.B.Grad[o] += gv
+					for ci := 0; ci < c.InC; ci++ {
+						for ki := 0; ki < c.K; ki++ {
+							ii := oi*c.Stride + ki - c.Pad
+							if ii < 0 || ii >= c.InH {
+								continue
+							}
+							for kj := 0; kj < c.K; kj++ {
+								jj := oj*c.Stride + kj - c.Pad
+								if jj < 0 || jj >= c.InW {
+									continue
+								}
+								wIdx := ((o*c.InC+ci)*c.K+ki)*c.K + kj
+								c.W.Grad[wIdx] += gv * x.At3(ci, ii, jj)
+								dx.Set3(ci, ii, jj, dx.At3(ci, ii, jj)+gv*c.W.Data[wIdx])
+							}
+						}
+					}
+				}
+			}
+		}
+		dxs[b] = dx
+	}
+	return dxs
+}
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*Param { return []*Param{c.W, c.B} }
+
+// Dense is a fully connected layer y = W·x + b on flat inputs.
+type Dense struct {
+	In, Out int
+	W, B    *Param
+
+	xs []*tensor.Tensor
+}
+
+// NewDense builds a dense layer with Kaiming initialization.
+func NewDense(rng *rand.Rand, in, out int) *Dense {
+	d := &Dense{In: in, Out: out, W: newParam("dense.w", out*in), B: newParam("dense.b", out)}
+	kaiming(rng, d.W.Data, in)
+	return d
+}
+
+// Name implements Layer.
+func (d *Dense) Name() string { return "dense" }
+
+// Forward implements Layer.
+func (d *Dense) Forward(xs []*tensor.Tensor, train bool) []*tensor.Tensor {
+	if train {
+		d.xs = xs
+	}
+	out := make([]*tensor.Tensor, len(xs))
+	for b, x := range xs {
+		if x.Len() != d.In {
+			panic(fmt.Sprintf("nn: dense expects %d inputs, got %d", d.In, x.Len()))
+		}
+		y := tensor.New(d.Out)
+		for o := 0; o < d.Out; o++ {
+			acc := d.B.Data[o]
+			row := d.W.Data[o*d.In : (o+1)*d.In]
+			for j, w := range row {
+				acc += w * x.Data[j]
+			}
+			y.Data[o] = acc
+		}
+		out[b] = y
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(grads []*tensor.Tensor) []*tensor.Tensor {
+	dxs := make([]*tensor.Tensor, len(grads))
+	for b, g := range grads {
+		x := d.xs[b]
+		dx := tensor.New(d.In)
+		for o := 0; o < d.Out; o++ {
+			gv := g.Data[o]
+			if gv == 0 {
+				continue
+			}
+			d.B.Grad[o] += gv
+			row := d.W.Data[o*d.In : (o+1)*d.In]
+			grow := d.W.Grad[o*d.In : (o+1)*d.In]
+			for j := range row {
+				grow[j] += gv * x.Data[j]
+				dx.Data[j] += gv * row[j]
+			}
+		}
+		dxs[b] = dx
+	}
+	return dxs
+}
+
+// Params implements Layer.
+func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
+
+// Flatten reshapes [C, H, W] tensors to flat vectors.
+type Flatten struct {
+	shape []int
+}
+
+// NewFlatten returns a Flatten layer.
+func NewFlatten() *Flatten { return &Flatten{} }
+
+// Name implements Layer.
+func (f *Flatten) Name() string { return "flatten" }
+
+// Forward implements Layer.
+func (f *Flatten) Forward(xs []*tensor.Tensor, train bool) []*tensor.Tensor {
+	if len(xs) > 0 {
+		f.shape = append([]int(nil), xs[0].Shape...)
+	}
+	out := make([]*tensor.Tensor, len(xs))
+	for b, x := range xs {
+		out[b] = tensor.FromSlice(x.Data, x.Len())
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (f *Flatten) Backward(grads []*tensor.Tensor) []*tensor.Tensor {
+	out := make([]*tensor.Tensor, len(grads))
+	for b, g := range grads {
+		out[b] = tensor.FromSlice(g.Data, f.shape...)
+	}
+	return out
+}
+
+// Params implements Layer.
+func (f *Flatten) Params() []*Param { return nil }
+
+// ReLU is the rectified linear activation (training-time only; the
+// homomorphic pipeline replaces it with SLAF).
+type ReLU struct {
+	xs []*tensor.Tensor
+}
+
+// NewReLU returns a ReLU layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Name implements Layer.
+func (r *ReLU) Name() string { return "relu" }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(xs []*tensor.Tensor, train bool) []*tensor.Tensor {
+	if train {
+		r.xs = xs
+	}
+	out := make([]*tensor.Tensor, len(xs))
+	for b, x := range xs {
+		y := x.Clone()
+		for i, v := range y.Data {
+			if v < 0 {
+				y.Data[i] = 0
+			}
+		}
+		out[b] = y
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(grads []*tensor.Tensor) []*tensor.Tensor {
+	out := make([]*tensor.Tensor, len(grads))
+	for b, g := range grads {
+		x := r.xs[b]
+		dx := g.Clone()
+		for i := range dx.Data {
+			if x.Data[i] <= 0 {
+				dx.Data[i] = 0
+			}
+		}
+		out[b] = dx
+	}
+	return out
+}
+
+// Params implements Layer.
+func (r *ReLU) Params() []*Param { return nil }
+
+// SLAF is a self-learning polynomial activation
+// f(x) = a_0 + a_1 x + … + a_n x^n with trainable coefficients (paper
+// eq. (2)). Coefficients are grouped per unit: Units == C gives
+// per-channel polynomials on [C, H, W] inputs; Units == 1 shares one
+// polynomial across the layer.
+type SLAF struct {
+	Degree int
+	Units  int
+	Coeffs *Param
+
+	xs []*tensor.Tensor
+}
+
+// NewSLAF builds an SLAF layer with all-zero coefficients (the paper's
+// initialization); see FitReLU for the least-squares warm start used by
+// the retrofit pipeline.
+func NewSLAF(degree, units int) *SLAF {
+	return &SLAF{Degree: degree, Units: units, Coeffs: newParam("slaf.coeffs", units*(degree+1))}
+}
+
+// FitReLU initializes every unit's coefficients to the least-squares
+// degree-n fit of ReLU over [−r, r], a warm start that makes the short
+// retrofit re-training converge quickly.
+func (s *SLAF) FitReLU(r float64) {
+	coeffs := PolyFitReLU(s.Degree, r)
+	for u := 0; u < s.Units; u++ {
+		copy(s.Coeffs.Data[u*(s.Degree+1):(u+1)*(s.Degree+1)], coeffs)
+	}
+}
+
+// unitOf maps a flat element index to its coefficient group.
+func (s *SLAF) unitOf(x *tensor.Tensor, i int) int {
+	if s.Units == 1 {
+		return 0
+	}
+	if len(x.Shape) == 3 {
+		hw := x.Shape[1] * x.Shape[2]
+		return i / hw
+	}
+	return i % s.Units
+}
+
+// Name implements Layer.
+func (s *SLAF) Name() string { return "slaf" }
+
+// Forward implements Layer.
+func (s *SLAF) Forward(xs []*tensor.Tensor, train bool) []*tensor.Tensor {
+	if train {
+		s.xs = xs
+	}
+	out := make([]*tensor.Tensor, len(xs))
+	for b, x := range xs {
+		y := tensor.New(x.Shape...)
+		for i, v := range x.Data {
+			u := s.unitOf(x, i)
+			a := s.Coeffs.Data[u*(s.Degree+1) : (u+1)*(s.Degree+1)]
+			// Horner evaluation.
+			acc := a[s.Degree]
+			for p := s.Degree - 1; p >= 0; p-- {
+				acc = acc*v + a[p]
+			}
+			y.Data[i] = acc
+		}
+		out[b] = y
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (s *SLAF) Backward(grads []*tensor.Tensor) []*tensor.Tensor {
+	out := make([]*tensor.Tensor, len(grads))
+	for b, g := range grads {
+		x := s.xs[b]
+		dx := tensor.New(x.Shape...)
+		for i, v := range x.Data {
+			u := s.unitOf(x, i)
+			base := u * (s.Degree + 1)
+			a := s.Coeffs.Data[base : base+s.Degree+1]
+			gv := g.Data[i]
+			// ∂y/∂a_p = x^p.
+			xp := 1.0
+			for p := 0; p <= s.Degree; p++ {
+				s.Coeffs.Grad[base+p] += gv * xp
+				xp *= v
+			}
+			// ∂y/∂x = Σ p·a_p·x^{p-1}.
+			dydx := 0.0
+			vp := 1.0
+			for p := 1; p <= s.Degree; p++ {
+				dydx += float64(p) * a[p] * vp
+				vp *= v
+			}
+			dx.Data[i] = gv * dydx
+		}
+		out[b] = dx
+	}
+	return out
+}
+
+// Params implements Layer.
+func (s *SLAF) Params() []*Param { return []*Param{s.Coeffs} }
+
+// PolyFitReLU returns the degree-n least-squares fit of ReLU over a uniform
+// grid on [−r, r], coefficients in ascending power order.
+func PolyFitReLU(degree int, r float64) []float64 {
+	const samples = 513
+	xs := make([]float64, samples)
+	ys := make([]float64, samples)
+	for i := range xs {
+		x := -r + 2*r*float64(i)/float64(samples-1)
+		xs[i] = x
+		if x > 0 {
+			ys[i] = x
+		}
+	}
+	return polyFit(xs, ys, degree)
+}
+
+// polyFit solves the normal equations for a least-squares polynomial fit.
+func polyFit(xs, ys []float64, degree int) []float64 {
+	n := degree + 1
+	// Normal matrix A[i][j] = Σ x^{i+j}, rhs[i] = Σ y·x^i.
+	a := make([][]float64, n)
+	rhs := make([]float64, n)
+	pow := make([]float64, 2*n-1)
+	for _, x := range xs {
+		xp := 1.0
+		for p := 0; p < 2*n-1; p++ {
+			pow[p] += xp
+			xp *= x
+		}
+	}
+	for i := 0; i < n; i++ {
+		a[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			a[i][j] = pow[i+j]
+		}
+	}
+	for k, x := range xs {
+		xp := 1.0
+		for i := 0; i < n; i++ {
+			rhs[i] += ys[k] * xp
+			xp *= x
+		}
+	}
+	return solveGauss(a, rhs)
+}
+
+// solveGauss solves a linear system by Gaussian elimination with partial
+// pivoting.
+func solveGauss(a [][]float64, b []float64) []float64 {
+	n := len(b)
+	for col := 0; col < n; col++ {
+		// pivot
+		p := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[p][col]) {
+				p = r
+			}
+		}
+		a[col], a[p] = a[p], a[col]
+		b[col], b[p] = b[p], b[col]
+		piv := a[col][col]
+		if piv == 0 {
+			panic("nn: singular normal matrix in polyFit")
+		}
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] / piv
+			for c := col; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		acc := b[r]
+		for c := r + 1; c < n; c++ {
+			acc -= a[r][c] * x[c]
+		}
+		x[r] = acc / a[r][r]
+	}
+	return x
+}

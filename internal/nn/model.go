@@ -1,0 +1,213 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"cnnhe/internal/tensor"
+)
+
+// Model is a feed-forward stack of layers.
+type Model struct {
+	Layers []Layer
+}
+
+// ForwardBatch runs the batch through every layer.
+func (m *Model) ForwardBatch(xs []*tensor.Tensor, train bool) []*tensor.Tensor {
+	for _, l := range m.Layers {
+		xs = l.Forward(xs, train)
+	}
+	return xs
+}
+
+// BackwardBatch propagates output gradients back through every layer.
+func (m *Model) BackwardBatch(grads []*tensor.Tensor) {
+	for i := len(m.Layers) - 1; i >= 0; i-- {
+		grads = m.Layers[i].Backward(grads)
+	}
+}
+
+// Forward runs a single sample in inference mode.
+func (m *Model) Forward(x *tensor.Tensor) *tensor.Tensor {
+	return m.ForwardBatch([]*tensor.Tensor{x}, false)[0]
+}
+
+// Predict returns the argmax class for one sample.
+func (m *Model) Predict(x *tensor.Tensor) int {
+	return argmax(m.Forward(x).Data)
+}
+
+// Params collects every trainable parameter.
+func (m *Model) Params() []*Param {
+	var out []*Param
+	for _, l := range m.Layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// Freeze sets the Frozen flag on all parameters except those of SLAF
+// layers — the paper's retrofit step: "weights are fixed, SLAFs substitute
+// activations, and the CNN is shortly re-trained to learn the polynomial
+// coefficients".
+func (m *Model) Freeze(exceptSLAF bool) {
+	for _, l := range m.Layers {
+		_, isSLAF := l.(*SLAF)
+		for _, p := range l.Params() {
+			p.Frozen = !(exceptSLAF && isSLAF)
+		}
+	}
+}
+
+// ReplaceReLUWithSLAF returns a copy of the model where every ReLU layer
+// is replaced by a degree-`degree` SLAF (per-channel coefficients after
+// convolutions, shared coefficients after dense layers), warm-started with
+// the least-squares ReLU fit over [−fitRange, fitRange]. All other layers
+// are shared with the original model (weights "fixed").
+func (m *Model) ReplaceReLUWithSLAF(degree int, fitRange float64) *Model {
+	out := &Model{}
+	var prevChannels int
+	for _, l := range m.Layers {
+		switch v := l.(type) {
+		case *Conv2D:
+			prevChannels = v.OutC
+			out.Layers = append(out.Layers, v)
+		case *Dense:
+			prevChannels = 0 // dense outputs: shared coefficients
+			out.Layers = append(out.Layers, v)
+		case *ReLU:
+			units := 1
+			if prevChannels > 0 {
+				units = prevChannels
+			}
+			s := NewSLAF(degree, units)
+			s.FitReLU(fitRange)
+			out.Layers = append(out.Layers, s)
+		default:
+			out.Layers = append(out.Layers, l)
+		}
+	}
+	return out
+}
+
+// NewCNN1 builds the paper's Fig. 3 architecture: one convolution
+// (5 maps, 5×5, stride 2, pad 1 → 5×13×13), an activation, a 100-unit
+// dense layer, an activation, and the 10-class output layer. A LoLa
+// variant with activations after the convolution and the first dense
+// layer.
+func NewCNN1(rng *rand.Rand) *Model {
+	conv := NewConv2D(rng, 1, 5, 5, 2, 1, 28, 28)
+	flat := conv.OutC * conv.OutH() * conv.OutW() // 5·13·13 = 845
+	return &Model{Layers: []Layer{
+		conv,
+		NewReLU(),
+		NewFlatten(),
+		NewDense(rng, flat, 100),
+		NewReLU(),
+		NewDense(rng, 100, 10),
+	}}
+}
+
+// NewCNN2 builds the paper's Fig. 4 architecture: a CryptoNets-style
+// network with two convolutions, batch normalization before each
+// activation, and two dense layers.
+func NewCNN2(rng *rand.Rand) *Model {
+	conv1 := NewConv2D(rng, 1, 8, 5, 2, 1, 28, 28) // 8×13×13
+	conv2 := NewConv2D(rng, 8, 16, 5, 2, 1, conv1.OutH(), conv1.OutW())
+	flat := conv2.OutC * conv2.OutH() * conv2.OutW() // 16·6·6 = 576
+	return &Model{Layers: []Layer{
+		conv1,
+		NewBatchNorm2D(8),
+		NewReLU(),
+		conv2,
+		NewBatchNorm2D(16),
+		NewReLU(),
+		NewFlatten(),
+		NewDense(rng, flat, 32),
+		NewReLU(),
+		NewDense(rng, 32, 10),
+	}}
+}
+
+// modelState is the gob-serializable snapshot of a model: architecture tag
+// plus parameter and batch-norm statistics data.
+type modelState struct {
+	Arch      string
+	Degree    int // SLAF degree (0 = ReLU model)
+	Params    [][]float64
+	BNMeans   [][]float64
+	BNVars    [][]float64
+	SLAFUnits []int
+}
+
+// Save writes the model parameters to path. Arch must be "cnn1" or "cnn2";
+// SLAF-activated variants are detected automatically.
+func (m *Model) Save(path, arch string) error {
+	st := modelState{Arch: arch}
+	for _, l := range m.Layers {
+		for _, p := range l.Params() {
+			st.Params = append(st.Params, append([]float64(nil), p.Data...))
+		}
+		if bn, ok := l.(*BatchNorm2D); ok {
+			st.BNMeans = append(st.BNMeans, append([]float64(nil), bn.RunMean...))
+			st.BNVars = append(st.BNVars, append([]float64(nil), bn.RunVar...))
+		}
+		if s, ok := l.(*SLAF); ok {
+			st.Degree = s.Degree
+			st.SLAFUnits = append(st.SLAFUnits, s.Units)
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return gob.NewEncoder(f).Encode(st)
+}
+
+// LoadModel reconstructs a model saved with Save.
+func LoadModel(path string) (*Model, string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, "", err
+	}
+	defer f.Close()
+	var st modelState
+	if err := gob.NewDecoder(f).Decode(&st); err != nil {
+		return nil, "", err
+	}
+	rng := rand.New(rand.NewSource(0))
+	var m *Model
+	switch st.Arch {
+	case "cnn1":
+		m = NewCNN1(rng)
+	case "cnn2":
+		m = NewCNN2(rng)
+	default:
+		return nil, "", fmt.Errorf("nn: unknown architecture %q", st.Arch)
+	}
+	if st.Degree > 0 {
+		m = m.ReplaceReLUWithSLAF(st.Degree, 3)
+	}
+	pi, bi := 0, 0
+	for _, l := range m.Layers {
+		for _, p := range l.Params() {
+			if pi >= len(st.Params) || len(st.Params[pi]) != len(p.Data) {
+				return nil, "", fmt.Errorf("nn: parameter shape mismatch loading %q", path)
+			}
+			copy(p.Data, st.Params[pi])
+			pi++
+		}
+		if bn, ok := l.(*BatchNorm2D); ok {
+			copy(bn.RunMean, st.BNMeans[bi])
+			copy(bn.RunVar, st.BNVars[bi])
+			bi++
+		}
+	}
+	if pi != len(st.Params) {
+		return nil, "", fmt.Errorf("nn: trailing parameters loading %q", path)
+	}
+	return m, st.Arch, nil
+}

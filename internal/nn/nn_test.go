@@ -1,0 +1,447 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cnnhe/internal/tensor"
+)
+
+// numericalGradCheck verifies analytic parameter and input gradients of a
+// layer against central finite differences, using a random quadratic loss
+// L = Σ w_i·y_i so that ∂L/∂y is constant.
+func numericalGradCheck(t *testing.T, layer Layer, input *tensor.Tensor, tol float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(99))
+	forward := func() float64 {
+		out := layer.Forward([]*tensor.Tensor{input.Clone()}, true)[0]
+		// Weighted sum loss with fixed weights.
+		wRng := rand.New(rand.NewSource(7))
+		l := 0.0
+		for _, v := range out.Data {
+			l += v * (wRng.Float64()*2 - 1)
+		}
+		return l
+	}
+
+	// Analytic gradients.
+	out := layer.Forward([]*tensor.Tensor{input.Clone()}, true)[0]
+	wRng := rand.New(rand.NewSource(7))
+	g := tensor.New(out.Shape...)
+	for i := range g.Data {
+		g.Data[i] = wRng.Float64()*2 - 1
+	}
+	for _, p := range layer.Params() {
+		p.ZeroGrad()
+	}
+	dx := layer.Backward([]*tensor.Tensor{g})[0]
+
+	const h = 1e-5
+	// Parameter gradients.
+	for _, p := range layer.Params() {
+		for trial := 0; trial < 8; trial++ {
+			i := rng.Intn(len(p.Data))
+			orig := p.Data[i]
+			p.Data[i] = orig + h
+			lp := forward()
+			p.Data[i] = orig - h
+			lm := forward()
+			p.Data[i] = orig
+			want := (lp - lm) / (2 * h)
+			if math.Abs(want-p.Grad[i]) > tol*(1+math.Abs(want)) {
+				t.Fatalf("%s param %s[%d]: analytic %g numeric %g", layer.Name(), p.Name, i, p.Grad[i], want)
+			}
+		}
+	}
+	// Input gradients.
+	for trial := 0; trial < 8; trial++ {
+		i := rng.Intn(input.Len())
+		orig := input.Data[i]
+		input.Data[i] = orig + h
+		lp := forward()
+		input.Data[i] = orig - h
+		lm := forward()
+		input.Data[i] = orig
+		want := (lp - lm) / (2 * h)
+		if math.Abs(want-dx.Data[i]) > tol*(1+math.Abs(want)) {
+			t.Fatalf("%s input[%d]: analytic %g numeric %g", layer.Name(), i, dx.Data[i], want)
+		}
+	}
+}
+
+func randInput(rng *rand.Rand, shape ...int) *tensor.Tensor {
+	x := tensor.New(shape...)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	return x
+}
+
+func TestConv2DGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	layer := NewConv2D(rng, 2, 3, 3, 2, 1, 7, 7)
+	numericalGradCheck(t, layer, randInput(rng, 2, 7, 7), 1e-4)
+}
+
+func TestDenseGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	layer := NewDense(rng, 12, 5)
+	numericalGradCheck(t, layer, randInput(rng, 12), 1e-4)
+}
+
+func TestSLAFGradientsShared(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	layer := NewSLAF(3, 1)
+	layer.FitReLU(3)
+	numericalGradCheck(t, layer, randInput(rng, 10), 1e-4)
+}
+
+func TestSLAFGradientsPerChannel(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	layer := NewSLAF(3, 2)
+	layer.FitReLU(3)
+	numericalGradCheck(t, layer, randInput(rng, 2, 4, 4), 1e-4)
+}
+
+func TestReLUForwardBackward(t *testing.T) {
+	layer := NewReLU()
+	x := tensor.FromSlice([]float64{-1, 0, 2, -3}, 4)
+	y := layer.Forward([]*tensor.Tensor{x}, true)[0]
+	want := []float64{0, 0, 2, 0}
+	for i := range want {
+		if y.Data[i] != want[i] {
+			t.Fatalf("relu forward %v", y.Data)
+		}
+	}
+	g := tensor.FromSlice([]float64{1, 1, 1, 1}, 4)
+	dx := layer.Backward([]*tensor.Tensor{g})[0]
+	wantG := []float64{0, 0, 1, 0}
+	for i := range wantG {
+		if dx.Data[i] != wantG[i] {
+			t.Fatalf("relu backward %v", dx.Data)
+		}
+	}
+}
+
+func TestBatchNormTrainStatistics(t *testing.T) {
+	bn := NewBatchNorm2D(1)
+	rng := rand.New(rand.NewSource(5))
+	batch := make([]*tensor.Tensor, 8)
+	for b := range batch {
+		batch[b] = randInput(rng, 1, 4, 4)
+		for i := range batch[b].Data {
+			batch[b].Data[i] = batch[b].Data[i]*3 + 2 // mean 2, std 3
+		}
+	}
+	out := bn.Forward(batch, true)
+	// Normalized outputs must have ~zero mean and unit variance.
+	var sum, sq float64
+	n := 0
+	for _, o := range out {
+		for _, v := range o.Data {
+			sum += v
+			sq += v * v
+			n++
+		}
+	}
+	mean := sum / float64(n)
+	variance := sq/float64(n) - mean*mean
+	if math.Abs(mean) > 1e-9 {
+		t.Fatalf("bn output mean %g", mean)
+	}
+	if math.Abs(variance-1) > 1e-4 {
+		t.Fatalf("bn output variance %g", variance)
+	}
+}
+
+func TestBatchNormGradients(t *testing.T) {
+	// Finite-difference check with a 2-sample batch (batch statistics make
+	// per-sample checks insufficient, so check the batch loss).
+	bn := NewBatchNorm2D(2)
+	rng := rand.New(rand.NewSource(6))
+	x1 := randInput(rng, 2, 3, 3)
+	x2 := randInput(rng, 2, 3, 3)
+	wRng := rand.New(rand.NewSource(17))
+	w1 := randInputWith(wRng, 2, 3, 3)
+	w2 := randInputWith(wRng, 2, 3, 3)
+	loss := func() float64 {
+		outs := bn.Forward([]*tensor.Tensor{x1.Clone(), x2.Clone()}, true)
+		l := 0.0
+		for i, v := range outs[0].Data {
+			l += v * w1.Data[i]
+		}
+		for i, v := range outs[1].Data {
+			l += v * w2.Data[i]
+		}
+		return l
+	}
+	bn.Forward([]*tensor.Tensor{x1.Clone(), x2.Clone()}, true)
+	bn.Gamma.ZeroGrad()
+	bn.Beta.ZeroGrad()
+	dxs := bn.Backward([]*tensor.Tensor{w1.Clone(), w2.Clone()})
+
+	const h = 1e-5
+	for trial := 0; trial < 6; trial++ {
+		i := rng.Intn(x1.Len())
+		orig := x1.Data[i]
+		x1.Data[i] = orig + h
+		lp := loss()
+		x1.Data[i] = orig - h
+		lm := loss()
+		x1.Data[i] = orig
+		want := (lp - lm) / (2 * h)
+		if math.Abs(want-dxs[0].Data[i]) > 1e-3*(1+math.Abs(want)) {
+			t.Fatalf("bn input grad mismatch: analytic %g numeric %g", dxs[0].Data[i], want)
+		}
+	}
+	for _, p := range []*Param{bn.Gamma, bn.Beta} {
+		for trial := 0; trial < 4; trial++ {
+			i := rng.Intn(len(p.Data))
+			orig := p.Data[i]
+			p.Data[i] = orig + h
+			lp := loss()
+			p.Data[i] = orig - h
+			lm := loss()
+			p.Data[i] = orig
+			want := (lp - lm) / (2 * h)
+			if math.Abs(want-p.Grad[i]) > 1e-3*(1+math.Abs(want)) {
+				t.Fatalf("bn %s grad mismatch: analytic %g numeric %g", p.Name, p.Grad[i], want)
+			}
+		}
+	}
+}
+
+func randInputWith(rng *rand.Rand, shape ...int) *tensor.Tensor {
+	x := tensor.New(shape...)
+	for i := range x.Data {
+		x.Data[i] = rng.Float64()*2 - 1
+	}
+	return x
+}
+
+func TestBatchNormInferenceAffine(t *testing.T) {
+	bn := NewBatchNorm2D(2)
+	bn.RunMean = []float64{1, -2}
+	bn.RunVar = []float64{4, 9}
+	bn.Gamma.Data = []float64{2, 0.5}
+	bn.Beta.Data = []float64{-1, 3}
+	scale, shift := bn.InferenceAffine()
+	x := tensor.FromSlice([]float64{5, -8}, 2, 1, 1)
+	out := bn.Forward([]*tensor.Tensor{x}, false)[0]
+	for c := 0; c < 2; c++ {
+		want := scale[c]*x.Data[c] + shift[c]
+		if math.Abs(out.Data[c]-want) > 1e-9 {
+			t.Fatalf("affine form mismatch: %g vs %g", out.Data[c], want)
+		}
+	}
+}
+
+func TestSoftmaxCrossEntropy(t *testing.T) {
+	loss, grad := SoftmaxCrossEntropy([]float64{2, 1, 0.1}, 0)
+	if loss < 0 {
+		t.Fatal("loss must be non-negative")
+	}
+	sum := 0.0
+	for _, g := range grad {
+		sum += g
+	}
+	if math.Abs(sum) > 1e-12 {
+		t.Fatalf("softmax gradient must sum to 0, got %g", sum)
+	}
+	if grad[0] >= 0 {
+		t.Fatal("gradient at the true label must be negative")
+	}
+	// Perfect prediction → tiny loss.
+	l2, _ := SoftmaxCrossEntropy([]float64{100, 0, 0}, 0)
+	if l2 > 1e-6 {
+		t.Fatalf("confident correct prediction should have ~0 loss, got %g", l2)
+	}
+}
+
+func TestOneCycleSchedule(t *testing.T) {
+	o := NewOneCycle(0.1, 100)
+	if o.LR(0) >= o.MaxLR/2 {
+		t.Fatal("start LR should be far below max")
+	}
+	peak := 0.0
+	peakStep := 0
+	for s := 0; s < 100; s++ {
+		if lr := o.LR(s); lr > peak {
+			peak, peakStep = lr, s
+		}
+	}
+	if math.Abs(peak-0.1) > 1e-6 {
+		t.Fatalf("peak %g want 0.1", peak)
+	}
+	if peakStep < 20 || peakStep > 40 {
+		t.Fatalf("peak at step %d, want ≈30 (PctStart=0.3)", peakStep)
+	}
+	if o.LR(99) > 0.01 {
+		t.Fatal("final LR should anneal far below max")
+	}
+}
+
+func TestPolyFitReLU(t *testing.T) {
+	coeffs := PolyFitReLU(3, 3)
+	if len(coeffs) != 4 {
+		t.Fatalf("want 4 coefficients")
+	}
+	// The fit should approximate ReLU reasonably within the interval.
+	maxErr := 0.0
+	for x := -3.0; x <= 3; x += 0.1 {
+		y := coeffs[0] + coeffs[1]*x + coeffs[2]*x*x + coeffs[3]*x*x*x
+		relu := math.Max(x, 0)
+		if e := math.Abs(y - relu); e > maxErr {
+			maxErr = e
+		}
+	}
+	if maxErr > 0.5 {
+		t.Fatalf("ReLU fit error %g too large", maxErr)
+	}
+}
+
+func TestSGDMomentumAndFreeze(t *testing.T) {
+	p := newParam("w", 1)
+	p.Data[0] = 1
+	p.Grad[0] = 2
+	opt := &SGD{LR: 0.1, Momentum: 0.9}
+	opt.Step([]*Param{p}, 1)
+	if math.Abs(p.Data[0]-0.8) > 1e-12 {
+		t.Fatalf("sgd step wrong: %g", p.Data[0])
+	}
+	if p.Grad[0] != 0 {
+		t.Fatal("gradient not cleared")
+	}
+	p.Grad[0] = 2
+	opt.Step([]*Param{p}, 1) // velocity: 0.9·2+2 = 3.8 → 0.8−0.38
+	if math.Abs(p.Data[0]-0.42) > 1e-12 {
+		t.Fatalf("momentum step wrong: %g", p.Data[0])
+	}
+	frozen := newParam("f", 1)
+	frozen.Frozen = true
+	frozen.Data[0] = 5
+	frozen.Grad[0] = 100
+	opt.Step([]*Param{frozen}, 1)
+	if frozen.Data[0] != 5 {
+		t.Fatal("frozen parameter moved")
+	}
+}
+
+func TestModelArchitectures(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cnn1 := NewCNN1(rng)
+	x := randInput(rng, 1, 28, 28)
+	out := cnn1.Forward(x)
+	if out.Len() != 10 {
+		t.Fatalf("cnn1 outputs %d classes", out.Len())
+	}
+	cnn2 := NewCNN2(rng)
+	out = cnn2.Forward(x)
+	if out.Len() != 10 {
+		t.Fatalf("cnn2 outputs %d classes", out.Len())
+	}
+	// Fig 3 shapes: conv output 5×13×13 = 845.
+	conv := cnn1.Layers[0].(*Conv2D)
+	if conv.OutH() != 13 || conv.OutW() != 13 || conv.OutC != 5 {
+		t.Fatalf("cnn1 conv shape %dx%dx%d", conv.OutC, conv.OutH(), conv.OutW())
+	}
+}
+
+func TestReplaceReLUWithSLAF(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	m := NewCNN2(rng)
+	hm := m.ReplaceReLUWithSLAF(3, 3)
+	slafs := 0
+	for _, l := range hm.Layers {
+		if _, ok := l.(*ReLU); ok {
+			t.Fatal("ReLU remains after replacement")
+		}
+		if s, ok := l.(*SLAF); ok {
+			slafs++
+			if s.Degree != 3 {
+				t.Fatal("wrong SLAF degree")
+			}
+		}
+	}
+	if slafs != 3 {
+		t.Fatalf("want 3 SLAF layers, got %d", slafs)
+	}
+	// Per-channel units after convs: 8 and 16; shared after dense.
+	if hm.Layers[2].(*SLAF).Units != 8 || hm.Layers[5].(*SLAF).Units != 16 {
+		t.Fatal("conv SLAFs should be per-channel")
+	}
+	if hm.Layers[8].(*SLAF).Units != 1 {
+		t.Fatal("dense SLAF should be shared")
+	}
+	// Weights are shared with the original model (paper: weights fixed).
+	if hm.Layers[0].(*Conv2D) != m.Layers[0].(*Conv2D) {
+		t.Fatal("conv layers should be shared")
+	}
+	// Freeze everything but SLAF coefficients.
+	hm.Freeze(true)
+	for _, l := range hm.Layers {
+		_, isSLAF := l.(*SLAF)
+		for _, p := range l.Params() {
+			if p.Frozen == isSLAF {
+				t.Fatalf("freeze flags wrong for %s", p.Name)
+			}
+		}
+	}
+}
+
+func TestModelSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(9))
+	m := NewCNN2(rng).ReplaceReLUWithSLAF(3, 3)
+	path := filepath.Join(dir, "model.gob")
+	if err := m.Save(path, "cnn2"); err != nil {
+		t.Fatal(err)
+	}
+	loaded, arch, err := LoadModel(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arch != "cnn2" {
+		t.Fatalf("arch %q", arch)
+	}
+	x := randInput(rng, 1, 28, 28)
+	a := m.Forward(x.Clone())
+	b := loaded.Forward(x.Clone())
+	for i := range a.Data {
+		if math.Abs(a.Data[i]-b.Data[i]) > 1e-12 {
+			t.Fatalf("loaded model differs at output %d", i)
+		}
+	}
+	if err := m.Save(filepath.Join(dir, "x.gob"), "cnn1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadModel(filepath.Join(dir, "x.gob")); err == nil {
+		t.Fatal("expected shape mismatch error for wrong arch tag")
+	}
+	os.Remove(path)
+}
+
+func TestTrainLearnsToyProblem(t *testing.T) {
+	// A linearly separable 2-class toy problem: Train must reach high
+	// accuracy quickly, validating the full training loop end to end.
+	rng := rand.New(rand.NewSource(10))
+	n := 256
+	ds := Dataset{}
+	for i := 0; i < n; i++ {
+		x := tensor.New(4)
+		label := rng.Intn(2)
+		for j := range x.Data {
+			x.Data[j] = rng.NormFloat64()*0.3 + float64(label)*2 - 1
+		}
+		ds.Images = append(ds.Images, x)
+		ds.Labels = append(ds.Labels, label)
+	}
+	m := &Model{Layers: []Layer{NewDense(rng, 4, 8), NewReLU(), NewDense(rng, 8, 2)}}
+	acc := Train(m, ds, TrainConfig{Epochs: 20, BatchSize: 32, MaxLR: 0.1, Momentum: 0.9, Seed: 1})
+	if acc < 0.95 {
+		t.Fatalf("toy training accuracy %.3f too low", acc)
+	}
+}

@@ -1,0 +1,115 @@
+package nn
+
+import (
+	"math/rand"
+
+	"cnnhe/internal/tensor"
+)
+
+// MeanPool2D is average pooling — the only pooling that is linear and thus
+// HE-friendly (CryptoNets and its descendants all use it; max pooling has
+// no polynomial form).
+type MeanPool2D struct {
+	Window, Stride int
+	InC, InH, InW  int
+}
+
+// NewMeanPool2D returns an average-pooling layer for [inC, inH, inW]
+// inputs.
+func NewMeanPool2D(window, stride, inC, inH, inW int) *MeanPool2D {
+	return &MeanPool2D{Window: window, Stride: stride, InC: inC, InH: inH, InW: inW}
+}
+
+// Name implements Layer.
+func (p *MeanPool2D) Name() string { return "meanpool2d" }
+
+// OutH returns the output height.
+func (p *MeanPool2D) OutH() int { return tensor.ConvShape(p.InH, p.Window, p.Stride, 0) }
+
+// OutW returns the output width.
+func (p *MeanPool2D) OutW() int { return tensor.ConvShape(p.InW, p.Window, p.Stride, 0) }
+
+// Forward implements Layer.
+func (p *MeanPool2D) Forward(xs []*tensor.Tensor, train bool) []*tensor.Tensor {
+	out := make([]*tensor.Tensor, len(xs))
+	for b, x := range xs {
+		out[b] = tensor.MeanPool2D(x, p.Window, p.Stride)
+	}
+	return out
+}
+
+// Backward implements Layer: the gradient of a mean is spread uniformly
+// over the window.
+func (p *MeanPool2D) Backward(grads []*tensor.Tensor) []*tensor.Tensor {
+	oh, ow := p.OutH(), p.OutW()
+	inv := 1.0 / float64(p.Window*p.Window)
+	out := make([]*tensor.Tensor, len(grads))
+	for b, g := range grads {
+		dx := tensor.New(p.InC, p.InH, p.InW)
+		for c := 0; c < p.InC; c++ {
+			for oi := 0; oi < oh; oi++ {
+				for oj := 0; oj < ow; oj++ {
+					gv := g.At3(c, oi, oj) * inv
+					for ki := 0; ki < p.Window; ki++ {
+						for kj := 0; kj < p.Window; kj++ {
+							ii, jj := oi*p.Stride+ki, oj*p.Stride+kj
+							dx.Set3(c, ii, jj, dx.At3(c, ii, jj)+gv)
+						}
+					}
+				}
+			}
+		}
+		out[b] = dx
+	}
+	return out
+}
+
+// Params implements Layer.
+func (p *MeanPool2D) Params() []*Param { return nil }
+
+// AsMatrix lowers the pooling to the explicit matrix M with
+// flatten(pool(x)) = M·flatten(x), used by the homomorphic compiler.
+func (p *MeanPool2D) AsMatrix() *tensor.Tensor {
+	oh, ow := p.OutH(), p.OutW()
+	rows := p.InC * oh * ow
+	cols := p.InC * p.InH * p.InW
+	m := tensor.New(rows, cols)
+	inv := 1.0 / float64(p.Window*p.Window)
+	row := 0
+	for c := 0; c < p.InC; c++ {
+		for oi := 0; oi < oh; oi++ {
+			for oj := 0; oj < ow; oj++ {
+				for ki := 0; ki < p.Window; ki++ {
+					for kj := 0; kj < p.Window; kj++ {
+						ii, jj := oi*p.Stride+ki, oj*p.Stride+kj
+						m.Data[row*cols+(c*p.InH+ii)*p.InW+jj] = inv
+					}
+				}
+				row++
+			}
+		}
+	}
+	return m
+}
+
+// NewCNN3 builds a CryptoNets-style architecture with mean pooling and
+// degree-2 (square-friendly) activations: Conv(1→5, 5×5, s2) → act →
+// MeanPool(2×2, s2) → Conv(5→10, 3×3) → Flatten → Dense(→32) → act →
+// Dense(→10). With linear-layer collapsing (the Table I "2-arch" column)
+// the pool and the second convolution merge into one homomorphic stage.
+func NewCNN3(rng *rand.Rand) *Model {
+	conv1 := NewConv2D(rng, 1, 5, 5, 2, 1, 28, 28) // 5×13×13
+	pool := NewMeanPool2D(2, 2, conv1.OutC, conv1.OutH(), conv1.OutW())
+	conv2 := NewConv2D(rng, 5, 10, 3, 1, 0, pool.OutH(), pool.OutW()) // 10×4×4
+	flat := conv2.OutC * conv2.OutH() * conv2.OutW()
+	return &Model{Layers: []Layer{
+		conv1,
+		NewReLU(),
+		pool,
+		conv2,
+		NewFlatten(),
+		NewDense(rng, flat, 32),
+		NewReLU(),
+		NewDense(rng, 32, 10),
+	}}
+}

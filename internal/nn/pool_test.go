@@ -1,0 +1,75 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cnnhe/internal/tensor"
+)
+
+func TestMeanPoolForwardValues(t *testing.T) {
+	p := NewMeanPool2D(2, 2, 1, 4, 4)
+	x := tensor.FromSlice([]float64{
+		1, 2, 3, 4,
+		5, 6, 7, 8,
+		9, 10, 11, 12,
+		13, 14, 15, 16,
+	}, 1, 4, 4)
+	out := p.Forward([]*tensor.Tensor{x}, false)[0]
+	want := []float64{3.5, 5.5, 11.5, 13.5}
+	for i := range want {
+		if out.Data[i] != want[i] {
+			t.Fatalf("pool forward %v", out.Data)
+		}
+	}
+}
+
+func TestMeanPoolGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	p := NewMeanPool2D(2, 2, 2, 6, 6)
+	numericalGradCheck(t, p, randInput(rng, 2, 6, 6), 1e-5)
+}
+
+func TestMeanPoolAsMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	p := NewMeanPool2D(2, 2, 3, 8, 8)
+	x := randInput(rng, 3, 8, 8)
+	direct := p.Forward([]*tensor.Tensor{x}, false)[0]
+	m := p.AsMatrix()
+	flat := tensor.MatVec(m, x.Data)
+	for i := range direct.Data {
+		if math.Abs(flat[i]-direct.Data[i]) > 1e-12 {
+			t.Fatalf("pool-as-matrix mismatch at %d", i)
+		}
+	}
+}
+
+func TestCNN3ArchitectureShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	m := NewCNN3(rng)
+	out := m.Forward(randInput(rng, 1, 28, 28))
+	if out.Len() != 10 {
+		t.Fatalf("cnn3 outputs %d classes", out.Len())
+	}
+	pool := m.Layers[2].(*MeanPool2D)
+	if pool.OutH() != 6 || pool.OutW() != 6 {
+		t.Fatalf("pool output %dx%d want 6x6", pool.OutH(), pool.OutW())
+	}
+	conv2 := m.Layers[3].(*Conv2D)
+	if conv2.OutH() != 4 || conv2.OutW() != 4 {
+		t.Fatalf("conv2 output %dx%d want 4x4", conv2.OutH(), conv2.OutW())
+	}
+}
+
+func TestCNN3Trains(t *testing.T) {
+	// A couple of steps must run without shape errors end to end.
+	rng := rand.New(rand.NewSource(84))
+	m := NewCNN3(rng)
+	ds := Dataset{}
+	for i := 0; i < 32; i++ {
+		ds.Images = append(ds.Images, randInput(rng, 1, 28, 28))
+		ds.Labels = append(ds.Labels, i%10)
+	}
+	Train(m, ds, TrainConfig{Epochs: 1, BatchSize: 8, MaxLR: 0.01, Momentum: 0.9, Seed: 1})
+}

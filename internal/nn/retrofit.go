@@ -1,0 +1,159 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"cnnhe/internal/tensor"
+)
+
+// ActivationRanges runs samples through the model in inference mode and
+// returns, for each activation layer (ReLU or SLAF) in order, the maximum
+// absolute pre-activation value observed. These ranges calibrate the
+// least-squares interval of the SLAF warm start: a polynomial fitted on
+// [−r, r] is only trustworthy where it was fitted.
+func ActivationRanges(m *Model, samples []*tensor.Tensor) []float64 {
+	var ranges []float64
+	xs := samples
+	for _, l := range m.Layers {
+		switch l.(type) {
+		case *ReLU, *SLAF:
+			r := 0.0
+			for _, x := range xs {
+				if v := x.MaxAbs(); v > r {
+					r = v
+				}
+			}
+			ranges = append(ranges, r)
+		}
+		xs = l.Forward(xs, false)
+	}
+	return ranges
+}
+
+// RetrofitConfig controls the SLAF substitution step.
+type RetrofitConfig struct {
+	Degree       int // polynomial degree (paper: 3)
+	Epochs       int // short re-training (paper: "shortly re-trained")
+	BatchSize    int
+	MaxLR        float64 // small: only coefficients move
+	Momentum     float64
+	ClipGrad     float64 // max-abs gradient clip for stability (0 = off)
+	CalibSamples int     // forward passes used for range calibration
+	Seed         int64
+	Verbose      bool
+}
+
+// DefaultRetrofitConfig returns stable retrofit settings.
+func DefaultRetrofitConfig() RetrofitConfig {
+	return RetrofitConfig{
+		Degree: 3, Epochs: 5, BatchSize: 64, MaxLR: 2e-4, Momentum: 0.9,
+		ClipGrad: 1.0, CalibSamples: 512, Seed: 1,
+	}
+}
+
+// Retrofit implements the paper's CNN-HE-SLAF recipe: starting from a
+// ReLU-trained model, freeze the weights, substitute every ReLU with a
+// polynomial SLAF warm-started from a least-squares ReLU fit over the
+// calibrated activation range, and briefly re-train so the coefficients
+// adapt. It returns the SLAF model (sharing frozen weights with m).
+func Retrofit(m *Model, ds Dataset, cfg RetrofitConfig) *Model {
+	nCalib := cfg.CalibSamples
+	if nCalib <= 0 || nCalib > ds.Len() {
+		nCalib = ds.Len()
+	}
+	ranges := ActivationRanges(m, ds.Images[:nCalib])
+
+	hm := m.ReplaceReLUWithSLAF(cfg.Degree, 1)
+	idx := 0
+	for _, l := range hm.Layers {
+		if s, ok := l.(*SLAF); ok {
+			r := ranges[idx] * 1.05 // small safety margin
+			if r < 1 {
+				r = 1
+			}
+			s.FitReLU(r)
+			idx++
+		}
+	}
+	hm.Freeze(true)
+	if cfg.Epochs > 0 {
+		trainClipped(hm, ds, cfg)
+	}
+	return hm
+}
+
+// trainClipped is Train with per-parameter gradient clipping, used only
+// for the retrofit step (cubic activations make early gradients violent).
+func trainClipped(m *Model, ds Dataset, cfg RetrofitConfig) {
+	tc := TrainConfig{
+		Epochs: cfg.Epochs, BatchSize: cfg.BatchSize, MaxLR: cfg.MaxLR,
+		Momentum: cfg.Momentum, Seed: cfg.Seed, Verbose: cfg.Verbose, LogEvery: 1,
+	}
+	trainWithClip(m, ds, tc, cfg.ClipGrad)
+}
+
+// trainWithClip mirrors Train but clips gradients before each step and
+// skips batches whose loss is non-finite (protecting the frozen model from
+// divergent coefficient excursions).
+func trainWithClip(m *Model, ds Dataset, cfg TrainConfig, clip float64) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := ds.Len()
+	stepsPerEpoch := (n + cfg.BatchSize - 1) / cfg.BatchSize
+	sched := NewOneCycle(cfg.MaxLR, cfg.Epochs*stepsPerEpoch)
+	opt := &SGD{Momentum: cfg.Momentum}
+	params := m.Params()
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	step := 0
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(n, func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		for s := 0; s < n; s += cfg.BatchSize {
+			e := s + cfg.BatchSize
+			if e > n {
+				e = n
+			}
+			batch := make([]*tensor.Tensor, 0, e-s)
+			labels := make([]int, 0, e-s)
+			for _, id := range idx[s:e] {
+				batch = append(batch, ds.Images[id])
+				labels = append(labels, ds.Labels[id])
+			}
+			outs := m.ForwardBatch(batch, true)
+			grads := make([]*tensor.Tensor, len(outs))
+			finite := true
+			for b, out := range outs {
+				loss, g := SoftmaxCrossEntropy(out.Data, labels[b])
+				if math.IsNaN(loss) || math.IsInf(loss, 0) {
+					finite = false
+				}
+				grads[b] = tensor.FromSlice(g, len(g))
+			}
+			if !finite {
+				// Skip the divergent batch entirely.
+				for _, p := range params {
+					p.ZeroGrad()
+				}
+				step++
+				continue
+			}
+			m.BackwardBatch(grads)
+			if clip > 0 {
+				for _, p := range params {
+					for i := range p.Grad {
+						if p.Grad[i] > clip {
+							p.Grad[i] = clip
+						} else if p.Grad[i] < -clip {
+							p.Grad[i] = -clip
+						}
+					}
+				}
+			}
+			opt.LR = sched.LR(step)
+			opt.Step(params, len(batch))
+			step++
+		}
+	}
+}

@@ -1,0 +1,207 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"cnnhe/internal/tensor"
+)
+
+// SoftmaxCrossEntropy returns the loss and ∂L/∂logits for one sample.
+func SoftmaxCrossEntropy(logits []float64, label int) (float64, []float64) {
+	maxL := logits[0]
+	for _, v := range logits[1:] {
+		if v > maxL {
+			maxL = v
+		}
+	}
+	sum := 0.0
+	exps := make([]float64, len(logits))
+	for i, v := range logits {
+		exps[i] = math.Exp(v - maxL)
+		sum += exps[i]
+	}
+	loss := -math.Log(exps[label] / sum)
+	grad := make([]float64, len(logits))
+	for i := range grad {
+		grad[i] = exps[i]/sum - b2f(i == label)
+	}
+	return loss, grad
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// SGD is stochastic gradient descent with momentum (paper: momentum 0.9).
+type SGD struct {
+	LR          float64
+	Momentum    float64
+	WeightDecay float64
+}
+
+// Step applies one update to the given parameters and clears gradients.
+// Gradients are averaged over batchSize.
+func (s *SGD) Step(params []*Param, batchSize int) {
+	inv := 1.0 / float64(batchSize)
+	for _, p := range params {
+		if p.Frozen {
+			p.ZeroGrad()
+			continue
+		}
+		for i := range p.Data {
+			g := p.Grad[i]*inv + s.WeightDecay*p.Data[i]
+			p.Vel[i] = s.Momentum*p.Vel[i] + g
+			p.Data[i] -= s.LR * p.Vel[i]
+			p.Grad[i] = 0
+		}
+	}
+}
+
+// OneCycle implements the 1-cycle learning-rate policy (super-convergence):
+// LR rises linearly from MaxLR/DivFactor to MaxLR over PctStart of
+// training, then anneals to MaxLR/FinalDiv with a cosine schedule.
+type OneCycle struct {
+	MaxLR      float64
+	TotalSteps int
+	PctStart   float64
+	DivFactor  float64
+	FinalDiv   float64
+}
+
+// NewOneCycle returns the policy with the conventional defaults.
+func NewOneCycle(maxLR float64, totalSteps int) *OneCycle {
+	return &OneCycle{MaxLR: maxLR, TotalSteps: totalSteps, PctStart: 0.3, DivFactor: 25, FinalDiv: 1e4}
+}
+
+// LR returns the learning rate for a 0-based step.
+func (o *OneCycle) LR(step int) float64 {
+	if o.TotalSteps <= 1 {
+		return o.MaxLR
+	}
+	warm := int(float64(o.TotalSteps) * o.PctStart)
+	if warm < 1 {
+		warm = 1
+	}
+	initial := o.MaxLR / o.DivFactor
+	final := o.MaxLR / o.FinalDiv
+	if step < warm {
+		t := float64(step) / float64(warm)
+		return initial + (o.MaxLR-initial)*t
+	}
+	t := float64(step-warm) / float64(o.TotalSteps-warm)
+	if t > 1 {
+		t = 1
+	}
+	return final + (o.MaxLR-final)*(1+math.Cos(math.Pi*t))/2
+}
+
+// TrainConfig bundles the paper's training hyper-parameters.
+type TrainConfig struct {
+	Epochs    int     // paper: 30
+	BatchSize int     // paper: 64
+	MaxLR     float64 // 1-cycle peak
+	Momentum  float64 // paper: 0.9
+	Seed      int64
+	Verbose   bool
+	// LogEvery epochs; 0 disables intermediate logging.
+	LogEvery int
+}
+
+// DefaultTrainConfig returns the paper's Section V.D settings.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{Epochs: 30, BatchSize: 64, MaxLR: 0.08, Momentum: 0.9, Seed: 1, LogEvery: 5}
+}
+
+// Dataset pairs images with labels. Images are flat [C·H·W] tensors.
+type Dataset struct {
+	Images []*tensor.Tensor
+	Labels []int
+}
+
+// Len returns the number of samples.
+func (d Dataset) Len() int { return len(d.Images) }
+
+// Train runs SGD with momentum under the 1-cycle policy and returns the
+// final training accuracy.
+func Train(m *Model, ds Dataset, cfg TrainConfig) float64 {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := ds.Len()
+	stepsPerEpoch := (n + cfg.BatchSize - 1) / cfg.BatchSize
+	sched := NewOneCycle(cfg.MaxLR, cfg.Epochs*stepsPerEpoch)
+	opt := &SGD{Momentum: cfg.Momentum}
+	params := m.Params()
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	step := 0
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(n, func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		totalLoss, correct := 0.0, 0
+		for s := 0; s < n; s += cfg.BatchSize {
+			e := s + cfg.BatchSize
+			if e > n {
+				e = n
+			}
+			batch := make([]*tensor.Tensor, 0, e-s)
+			labels := make([]int, 0, e-s)
+			for _, id := range idx[s:e] {
+				batch = append(batch, ds.Images[id])
+				labels = append(labels, ds.Labels[id])
+			}
+			outs := m.ForwardBatch(batch, true)
+			grads := make([]*tensor.Tensor, len(outs))
+			for b, out := range outs {
+				loss, g := SoftmaxCrossEntropy(out.Data, labels[b])
+				totalLoss += loss
+				if argmax(out.Data) == labels[b] {
+					correct++
+				}
+				grads[b] = tensor.FromSlice(g, len(g))
+			}
+			m.BackwardBatch(grads)
+			opt.LR = sched.LR(step)
+			opt.Step(params, len(batch))
+			step++
+		}
+		if cfg.Verbose && cfg.LogEvery > 0 && (epoch+1)%cfg.LogEvery == 0 {
+			fmt.Printf("epoch %3d/%d  loss %.4f  train acc %.2f%%\n",
+				epoch+1, cfg.Epochs, totalLoss/float64(n), 100*float64(correct)/float64(n))
+		}
+	}
+	return Evaluate(m, ds)
+}
+
+// Evaluate returns the classification accuracy of m on ds.
+func Evaluate(m *Model, ds Dataset) float64 {
+	correct := 0
+	const batch = 256
+	for s := 0; s < ds.Len(); s += batch {
+		e := s + batch
+		if e > ds.Len() {
+			e = ds.Len()
+		}
+		outs := m.ForwardBatch(ds.Images[s:e], false)
+		for b, out := range outs {
+			if argmax(out.Data) == ds.Labels[s+b] {
+				correct++
+			}
+		}
+	}
+	return float64(correct) / float64(ds.Len())
+}
+
+func argmax(v []float64) int {
+	best := 0
+	for i := 1; i < len(v); i++ {
+		if v[i] > v[best] {
+			best = i
+		}
+	}
+	return best
+}

@@ -1,0 +1,148 @@
+package noise
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cnnhe/internal/ckks"
+)
+
+func model(p ckks.Parameters) Model {
+	return Model{N: p.N(), Sigma: p.Sigma, H: p.H}
+}
+
+// maxSlotErr measures canonical-embedding noise empirically: encrypt a
+// vector, operate, decrypt, compare. Errors are converted to coefficient
+// units by multiplying with the scale.
+func maxSlotErr(got, want []float64, scale float64) float64 {
+	m := 0.0
+	for i := range want {
+		if e := math.Abs(got[i] - want[i]); e > m {
+			m = e
+		}
+	}
+	return m * scale
+}
+
+func TestFreshNoiseBoundHolds(t *testing.T) {
+	p, err := ckks.TinyParameters()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := ckks.NewContext(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kg := ckks.NewKeyGenerator(ctx, 1)
+	sk := kg.GenSecretKey()
+	pk := kg.GenPublicKey(sk)
+	enc := ckks.NewEncoder(ctx)
+	ept := ckks.NewEncryptor(ctx, pk, 2)
+	dec := ckks.NewDecryptor(ctx, sk)
+
+	rng := rand.New(rand.NewSource(3))
+	n := p.Slots()
+	bound := model(p).Fresh()
+	for trial := 0; trial < 5; trial++ {
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = rng.Float64()*2 - 1
+		}
+		ct := ept.Encrypt(enc.Encode(vals, p.MaxLevel(), p.Scale))
+		got := enc.Decode(dec.DecryptNew(ct))
+		measured := maxSlotErr(got[:n], vals, p.Scale)
+		if measured > bound {
+			t.Fatalf("fresh noise %.1f exceeds bound %.1f", measured, bound)
+		}
+		if measured > bound/3 {
+			t.Logf("note: measured %.1f close to bound %.1f", measured, bound)
+		}
+	}
+}
+
+func TestBoundsMonotonic(t *testing.T) {
+	small := Model{N: 1 << 10, Sigma: 3.2, H: 64}
+	big := Model{N: 1 << 14, Sigma: 3.2, H: 64}
+	if small.Fresh() >= big.Fresh() {
+		t.Fatal("fresh bound must grow with N")
+	}
+	if small.Rescale() >= big.Rescale() {
+		t.Fatal("rescale bound must grow with N")
+	}
+	if small.KeySwitch(4, math.Exp2(30), math.Exp2(50)) <=
+		small.KeySwitch(4, math.Exp2(30), math.Exp2(60)) {
+		t.Fatal("larger P must reduce key-switch noise")
+	}
+}
+
+func TestBudgetPipeline(t *testing.T) {
+	p, err := ckks.TinyParameters()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := model(p)
+	q := p.QiFloat(p.MaxLevel())
+	b := NewBudget(m, p.Scale)
+	start := b.BitsOfPrecision()
+	if start < 10 {
+		t.Fatalf("fresh precision too low: %.1f bits", start)
+	}
+	// One plaintext multiplication by unit-norm weights.
+	b.AfterMulPlain(q, 1.0, q)
+	if err := b.Check(5); err != nil {
+		t.Fatalf("precision after mulplain should be fine: %v", err)
+	}
+	// A ciphertext multiplication with a same-noise operand.
+	ks := m.KeySwitch(p.MaxLevel()+1, q, math.Exp2(50))
+	b.AfterMul(m.Fresh(), 1, 1, ks, p.QiFloat(p.MaxLevel()-1))
+	b.AfterRotation(ks)
+	if b.BitsOfPrecision() >= start {
+		t.Fatal("precision must decrease through the pipeline")
+	}
+	if len(b.Steps) != 4 {
+		t.Fatalf("steps not recorded: %v", b.Steps)
+	}
+	// Drowning the message must be detected.
+	b.Noise = b.Scale * 2
+	if err := b.Check(1); err == nil {
+		t.Fatal("expected precision failure")
+	}
+}
+
+// TestDepthChainNoiseStaysBounded runs the Tiny depth chain empirically
+// and confirms the final error is far below the message.
+func TestDepthChainNoiseStaysBounded(t *testing.T) {
+	p, err := ckks.TinyParameters()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := ckks.NewContext(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kg := ckks.NewKeyGenerator(ctx, 7)
+	sk := kg.GenSecretKey()
+	pk := kg.GenPublicKey(sk)
+	rlk := kg.GenRelinearizationKey(sk)
+	enc := ckks.NewEncoder(ctx)
+	ept := ckks.NewEncryptor(ctx, pk, 8)
+	dec := ckks.NewDecryptor(ctx, sk)
+	ev := ckks.NewEvaluator(ctx, rlk, nil)
+
+	n := p.Slots()
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = 0.9
+	}
+	ct := ept.Encrypt(enc.Encode(vals, p.MaxLevel(), p.Scale))
+	want := 0.9
+	for l := p.MaxLevel(); l > 0; l-- {
+		ct = ev.Rescale(ev.Square(ct))
+		want *= want
+	}
+	got := enc.Decode(dec.DecryptNew(ct))
+	if rel := math.Abs(got[0]-want) / want; rel > 1e-3 {
+		t.Fatalf("relative error %.2e too large after full depth", rel)
+	}
+}

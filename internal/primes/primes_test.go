@@ -1,0 +1,168 @@
+package primes
+
+import (
+	"math/big"
+	"testing"
+)
+
+func TestGenNTTPrimesProperties(t *testing.T) {
+	const logN = 12
+	twoN := uint64(1) << (logN + 1)
+	ps, err := GenNTTPrimes(40, logN, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 5 {
+		t.Fatalf("want 5 primes, got %d", len(ps))
+	}
+	seen := map[uint64]bool{}
+	for _, p := range ps {
+		if seen[p] {
+			t.Fatalf("duplicate prime %d", p)
+		}
+		seen[p] = true
+		if p%twoN != 1 {
+			t.Errorf("prime %d not ≡ 1 mod 2N", p)
+		}
+		if !IsPrime(p) {
+			t.Errorf("%d is not prime", p)
+		}
+		if bl := new(big.Int).SetUint64(p).BitLen(); bl != 40 {
+			t.Errorf("prime %d has %d bits, want 40", p, bl)
+		}
+	}
+}
+
+func TestGenNTTPrimesAvoid(t *testing.T) {
+	first, err := GenNTTPrimes(30, 10, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avoid := map[uint64]bool{first[0]: true}
+	second, err := GenNTTPrimes(30, 10, 1, avoid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first[0] == second[0] {
+		t.Fatal("avoid set ignored")
+	}
+}
+
+func TestGenNTTPrimesErrors(t *testing.T) {
+	if _, err := GenNTTPrimes(70, 12, 1, nil); err == nil {
+		t.Error("expected error for 70-bit word prime")
+	}
+	if _, err := GenNTTPrimes(10, 12, 1, nil); err == nil {
+		t.Error("expected error when 2^bits <= 2N")
+	}
+	// Tiny range that cannot hold many primes.
+	if _, err := GenNTTPrimes(16, 12, 100, nil); err == nil {
+		t.Error("expected exhaustion error")
+	}
+}
+
+func TestGenWideNTTPrime(t *testing.T) {
+	const logN = 12
+	p, err := GenWideNTTPrime(92, logN, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.BitLen() != 92 {
+		t.Fatalf("bitlen %d want 92", p.BitLen())
+	}
+	twoN := new(big.Int).Lsh(big.NewInt(1), logN+1)
+	if new(big.Int).Mod(p, twoN).Cmp(big.NewInt(1)) != 0 {
+		t.Error("wide prime not ≡ 1 mod 2N")
+	}
+	if !p.ProbablyPrime(24) {
+		t.Error("wide candidate is not prime")
+	}
+	if _, err := GenWideNTTPrime(40, logN, nil); err == nil {
+		t.Error("expected error for word-range request")
+	}
+	if _, err := GenWideNTTPrime(130, logN, nil); err == nil {
+		t.Error("expected error above the wide cap")
+	}
+}
+
+func TestBuildChainPaper(t *testing.T) {
+	// The Table II chain in SEAL convention: ciphertext primes [40, 26×11]
+	// plus the trailing 40-bit key-switching prime, 13 primes and 366 bits
+	// in total.
+	c, err := BuildChain(13, PaperBitSizes(), 40, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Len(); got != 12 {
+		t.Fatalf("ciphertext prime count = %d, want 12", got)
+	}
+	if len(c.Moduli) != 13 {
+		t.Fatalf("total prime count = %d, want 13", len(c.Moduli))
+	}
+	if c.SpecialCount != 1 {
+		t.Fatalf("special count = %d", c.SpecialCount)
+	}
+	// Table II: log q = 366 counting every prime (SEAL coeff_modulus).
+	total := new(big.Int).Mul(c.Q(), c.P())
+	if lq := total.BitLen(); lq != 366 {
+		t.Fatalf("log qP = %d, want 366", lq)
+	}
+	if lq := c.LogQ(); lq != 326 {
+		t.Fatalf("log q = %d, want 326", lq)
+	}
+	// All pairwise distinct (co-prime since all prime).
+	seen := map[string]bool{}
+	for _, m := range c.Moduli {
+		s := m.String()
+		if seen[s] {
+			t.Fatal("duplicate modulus in chain")
+		}
+		seen[s] = true
+	}
+	if c.P().BitLen() != 40 {
+		t.Fatalf("special modulus bits = %d", c.P().BitLen())
+	}
+}
+
+func TestBuildChainMixedWide(t *testing.T) {
+	c, err := BuildChain(12, EqualSplit(366, 4), 60, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 4 {
+		t.Fatalf("len %d", c.Len())
+	}
+	for i := 0; i < c.Len(); i++ {
+		if c.Moduli[i].BitLen() <= 61 {
+			t.Errorf("prime %d unexpectedly word-sized for 366/4 split", i)
+		}
+	}
+	if got := c.LogQ(); got != 366 {
+		t.Fatalf("log q = %d want 366", got)
+	}
+}
+
+func TestEqualSplit(t *testing.T) {
+	cases := []struct {
+		total, k int
+		want     []int
+	}{
+		{366, 3, []int{122, 122, 122}},
+		{366, 6, []int{61, 61, 61, 61, 61, 61}},
+		{366, 7, []int{53, 53, 52, 52, 52, 52, 52}},
+		{366, 10, []int{37, 37, 37, 37, 37, 37, 36, 36, 36, 36}},
+	}
+	for _, tc := range cases {
+		got := EqualSplit(tc.total, tc.k)
+		sum := 0
+		for i, v := range got {
+			sum += v
+			if v != tc.want[i] {
+				t.Errorf("EqualSplit(%d,%d)[%d] = %d want %d", tc.total, tc.k, i, v, tc.want[i])
+			}
+		}
+		if sum != tc.total {
+			t.Errorf("EqualSplit(%d,%d) sums to %d", tc.total, tc.k, sum)
+		}
+	}
+}

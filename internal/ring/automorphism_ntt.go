@@ -1,0 +1,61 @@
+package ring
+
+import "sync"
+
+// The NTT used here evaluates a polynomial at the odd powers of the
+// primitive 2N-th root ψ, with outputs stored in bit-reversed order:
+// â[brv(i)] = a(ψ^{2i+1}). The Galois automorphism X → X^g therefore acts
+// on the NTT representation as a pure index permutation:
+//
+//	φ_g(a)(ψ^{2i+1}) = a(ψ^{g·(2i+1)}) = â[brv(j)],  2j+1 ≡ g(2i+1) (mod 2N).
+//
+// The permutation depends only on N and g — not on the limb modulus — so a
+// single table serves every limb, which is what makes hoisted rotations
+// (decompose once, rotate many) cheap.
+
+var nttPermCache sync.Map // key {logN, galEl} → []int
+
+type nttPermKey struct {
+	logN  int
+	galEl uint64
+}
+
+// AutomorphismNTTIndex returns the permutation perm with
+// out[i] = in[perm[i]] realizing φ_galEl in the NTT domain.
+func AutomorphismNTTIndex(logN int, galEl uint64) []int {
+	key := nttPermKey{logN, galEl}
+	if v, ok := nttPermCache.Load(key); ok {
+		return v.([]int)
+	}
+	n := 1 << uint(logN)
+	mask := uint64(2*n - 1)
+	perm := make([]int, n)
+	for i := 0; i < n; i++ {
+		// exponent at output slot brv(i) is 2i+1; source exponent g·(2i+1).
+		src := (galEl * uint64(2*i+1)) & mask
+		j := int((src - 1) / 2)
+		perm[bitrev(i, logN)] = bitrev(j, logN)
+	}
+	nttPermCache.Store(key, perm)
+	return perm
+}
+
+// PermuteNTT applies out[i] = a[perm[i]] on the given limbs of p (NTT
+// domain). a and out must not alias.
+func (r *Ring) PermuteNTT(limbs []int, a *Poly, perm []int, out *Poly) {
+	r.forLimbs(limbs, func(li int) {
+		w := r.SubRings[li].Width()
+		src := a.Coeffs[li]
+		dst := out.Coeffs[li]
+		if w == 1 {
+			for i, pi := range perm {
+				dst[i] = src[pi]
+			}
+			return
+		}
+		for i, pi := range perm {
+			dst[2*i] = src[2*pi]
+			dst[2*i+1] = src[2*pi+1]
+		}
+	})
+}

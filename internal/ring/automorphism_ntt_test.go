@@ -1,0 +1,98 @@
+package ring
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"cnnhe/internal/primes"
+)
+
+// TestNTTOutputOrdering verifies the indexing assumption behind the
+// NTT-domain automorphism: â[brv(i)] = a(ψ^{2i+1}).
+func TestNTTOutputOrdering(t *testing.T) {
+	chain, err := primes.BuildChain(4, []int{30}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRing(16, chain.Moduli, 0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := r.SubRings[0].(*wordRing)
+	rng := rand.New(rand.NewSource(1))
+	n := r.N()
+	a := make([]uint64, n)
+	sr.SampleUniform(rng, a)
+	orig := append([]uint64(nil), a...)
+	sr.NTT(a)
+
+	// Recover ψ from the table: psiRev[brv(1)] = ψ.
+	psi := sr.psiRev[bitrev(1, r.LogN)]
+	q := sr.mod
+	for i := 0; i < n; i++ {
+		// Evaluate a at ψ^{2i+1} naively.
+		x := q.Pow(psi, uint64(2*i+1))
+		acc := uint64(0)
+		pw := uint64(1)
+		for j := 0; j < n; j++ {
+			acc = q.Add(acc, q.Mul(orig[j], pw))
+			pw = q.Mul(pw, x)
+		}
+		if a[bitrev(i, r.LogN)] != acc {
+			t.Fatalf("ordering assumption fails at i=%d", i)
+		}
+	}
+}
+
+// TestPermuteNTTMatchesCoefficientAutomorphism checks that the NTT-domain
+// permutation equals INTT → coefficient automorphism → NTT, on word and
+// wide limbs.
+func TestPermuteNTTMatchesCoefficientAutomorphism(t *testing.T) {
+	chain, err := primes.BuildChain(6, []int{30, 70}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRing(64, chain.Moduli, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	limbs := r.Limbs(1, false)
+	p := r.NewPoly(1)
+	r.SampleUniform(rng, limbs, p)
+
+	for _, rot := range []int{1, 5, -3} {
+		galEl := GaloisElementForRotation(r.LogN, rot)
+		perm := AutomorphismNTTIndex(r.LogN, galEl)
+
+		// Reference: coefficient-domain automorphism.
+		ref := r.NewPoly(1)
+		tmp := r.NewPoly(1)
+		r.Copy(limbs, p, tmp)
+		r.INTT(limbs, tmp)
+		r.Automorphism(limbs, tmp, galEl, ref)
+		r.NTT(limbs, ref)
+
+		got := r.NewPoly(1)
+		r.PermuteNTT(limbs, p, perm, got)
+		if !r.Equal(limbs, got, ref) {
+			t.Fatalf("NTT permutation mismatch for rotation %d", rot)
+		}
+	}
+	// Conjugation too.
+	galEl := GaloisElementConjugate(r.LogN)
+	perm := AutomorphismNTTIndex(r.LogN, galEl)
+	ref := r.NewPoly(1)
+	tmp := r.NewPoly(1)
+	r.Copy(limbs, p, tmp)
+	r.INTT(limbs, tmp)
+	r.Automorphism(limbs, tmp, galEl, ref)
+	r.NTT(limbs, ref)
+	got := r.NewPoly(1)
+	r.PermuteNTT(limbs, p, perm, got)
+	if !r.Equal(limbs, got, ref) {
+		t.Fatal("NTT permutation mismatch for conjugation")
+	}
+	_ = big.NewInt
+}

@@ -1,0 +1,41 @@
+package ring
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"cnnhe/internal/primes"
+)
+
+func TestDivideExactByLimbWide(t *testing.T) {
+	chain, err := primes.BuildChain(5, []int{80, 80, 80}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRing(32, chain.Moduli, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	level := 2
+	limbs := r.Limbs(level, false)
+	qTop := r.SubRings[level].Modulus()
+	rng := rand.New(rand.NewSource(41))
+	vec := make([]*big.Int, r.N())
+	exact := make([]*big.Int, r.N())
+	for i := range vec {
+		v := big.NewInt(rng.Int63n(1<<40) - (1 << 39))
+		exact[i] = v
+		vec[i] = new(big.Int).Mul(v, qTop)
+	}
+	p := r.NewPoly(level)
+	r.SetCoeffsBig(limbs, vec, p)
+	out := r.NewPoly(level)
+	r.DivideExactByLimb(level, r.Limbs(level-1, false), p, out)
+	got := r.CoeffsBigCentered(level-1, out)
+	for i := range exact {
+		if got[i].Cmp(exact[i]) != 0 {
+			t.Fatalf("wide exact division mismatch at %d: got %v want %v", i, got[i], exact[i])
+		}
+	}
+}

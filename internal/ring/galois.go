@@ -1,0 +1,32 @@
+package ring
+
+// GaloisGen is the generator of the order-N/2 subgroup of (Z/2NZ)^* used to
+// index CKKS slot rotations: rotating the slot vector left by r positions
+// corresponds to the automorphism X → X^{5^r}.
+const GaloisGen uint64 = 5
+
+// GaloisElementForRotation returns the Galois element 5^r mod 2N realizing
+// a left rotation by r slots (r may be negative).
+func GaloisElementForRotation(logN int, r int) uint64 {
+	twoN := uint64(1) << uint(logN+1)
+	mask := twoN - 1
+	order := uint64(1) << uint(logN-1) // N/2 slots
+	rr := uint64(((r % int(order)) + int(order))) % order
+	g := uint64(1)
+	base := GaloisGen & mask
+	e := rr
+	for e > 0 {
+		if e&1 == 1 {
+			g = (g * base) & mask
+		}
+		base = (base * base) & mask
+		e >>= 1
+	}
+	return g
+}
+
+// GaloisElementConjugate returns the Galois element −1 mod 2N (complex
+// conjugation of the slots).
+func GaloisElementConjugate(logN int) uint64 {
+	return (uint64(1) << uint(logN+1)) - 1
+}

@@ -1,0 +1,316 @@
+package ring
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+	"runtime"
+	"sync"
+)
+
+// Ring is the RNS ring R_q with q = ∏ q_i. Limbs 0..L are ciphertext
+// primes; the trailing Special limbs are key-switching primes.
+type Ring struct {
+	NVal     int
+	LogN     int
+	SubRings []SubRing
+	Special  int // number of trailing special limbs
+
+	// Parallel enables the limb worker pool for limb-wise loops. It only
+	// pays off with GOMAXPROCS > 1.
+	Parallel bool
+
+	// invQ[src][dst] = q_src^{-1} mod q_dst for src ≠ dst, used by the
+	// exact RNS division in Rescale and ModDown.
+	invQ [][]*big.Int
+}
+
+// NewRing builds an RNS ring of degree n over the given prime moduli
+// (ciphertext primes followed by `special` key-switching primes). The
+// primitive-root searches are seeded from seed, making ring construction
+// deterministic.
+func NewRing(n int, moduli []*big.Int, special int, seed int64) (*Ring, error) {
+	if len(moduli) == 0 {
+		return nil, fmt.Errorf("ring: no moduli")
+	}
+	if special < 0 || special >= len(moduli) {
+		return nil, fmt.Errorf("ring: invalid special count %d of %d moduli", special, len(moduli))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	r := &Ring{NVal: n, LogN: log2(n), Special: special}
+	for _, q := range moduli {
+		r.SubRings = append(r.SubRings, NewSubRing(n, q, rng))
+	}
+	k := len(moduli)
+	r.invQ = make([][]*big.Int, k)
+	for s := 0; s < k; s++ {
+		r.invQ[s] = make([]*big.Int, k)
+		for d := 0; d < k; d++ {
+			if s == d {
+				continue
+			}
+			inv := new(big.Int).ModInverse(moduli[s], moduli[d])
+			if inv == nil {
+				return nil, fmt.Errorf("ring: moduli %d and %d are not co-prime", s, d)
+			}
+			r.invQ[s][d] = inv
+		}
+	}
+	return r, nil
+}
+
+// N returns the ring degree.
+func (r *Ring) N() int { return r.NVal }
+
+// MaxLevel returns the highest ciphertext level (limb count − special − 1).
+func (r *Ring) MaxLevel() int { return len(r.SubRings) - r.Special - 1 }
+
+// Q returns the product of ciphertext primes up to the given level.
+func (r *Ring) Q(level int) *big.Int {
+	q := big.NewInt(1)
+	for i := 0; i <= level; i++ {
+		q.Mul(q, r.SubRings[i].Modulus())
+	}
+	return q
+}
+
+// P returns the product of the special primes (1 when none).
+func (r *Ring) P() *big.Int {
+	p := big.NewInt(1)
+	for i := len(r.SubRings) - r.Special; i < len(r.SubRings); i++ {
+		p.Mul(p, r.SubRings[i].Modulus())
+	}
+	return p
+}
+
+// Poly is an RNS polynomial: one coefficient vector per limb. Unused limbs
+// (above the owner's level) may be nil.
+type Poly struct {
+	Coeffs [][]uint64
+}
+
+// NewPoly allocates a polynomial with limbs 0..level plus all special limbs.
+func (r *Ring) NewPoly(level int) *Poly {
+	p := &Poly{Coeffs: make([][]uint64, len(r.SubRings))}
+	for _, i := range r.Limbs(level, true) {
+		p.Coeffs[i] = make([]uint64, r.NVal*r.SubRings[i].Width())
+	}
+	return p
+}
+
+// NewPolyQ allocates a polynomial with ciphertext limbs only (no special).
+func (r *Ring) NewPolyQ(level int) *Poly {
+	p := &Poly{Coeffs: make([][]uint64, len(r.SubRings))}
+	for i := 0; i <= level; i++ {
+		p.Coeffs[i] = make([]uint64, r.NVal*r.SubRings[i].Width())
+	}
+	return p
+}
+
+// Limbs returns the limb indices for the given level, optionally including
+// the special limbs.
+func (r *Ring) Limbs(level int, special bool) []int {
+	n := level + 1
+	if special {
+		n += r.Special
+	}
+	out := make([]int, 0, n)
+	for i := 0; i <= level; i++ {
+		out = append(out, i)
+	}
+	if special {
+		for i := len(r.SubRings) - r.Special; i < len(r.SubRings); i++ {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// forLimbs runs f(limb) for every limb index, optionally in parallel.
+func (r *Ring) forLimbs(limbs []int, f func(i int)) {
+	if !r.Parallel || runtime.GOMAXPROCS(0) == 1 || len(limbs) == 1 {
+		for _, i := range limbs {
+			f(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(limbs))
+	for _, i := range limbs {
+		go func(i int) {
+			defer wg.Done()
+			f(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// NTT transforms the given limbs of p in place.
+func (r *Ring) NTT(limbs []int, p *Poly) {
+	r.forLimbs(limbs, func(i int) { r.SubRings[i].NTT(p.Coeffs[i]) })
+}
+
+// INTT inverse-transforms the given limbs of p in place.
+func (r *Ring) INTT(limbs []int, p *Poly) {
+	r.forLimbs(limbs, func(i int) { r.SubRings[i].INTT(p.Coeffs[i]) })
+}
+
+// Add sets out = a + b on the given limbs.
+func (r *Ring) Add(limbs []int, a, b, out *Poly) {
+	r.forLimbs(limbs, func(i int) { r.SubRings[i].Add(a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]) })
+}
+
+// Sub sets out = a - b on the given limbs.
+func (r *Ring) Sub(limbs []int, a, b, out *Poly) {
+	r.forLimbs(limbs, func(i int) { r.SubRings[i].Sub(a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]) })
+}
+
+// Neg sets out = -a on the given limbs.
+func (r *Ring) Neg(limbs []int, a, out *Poly) {
+	r.forLimbs(limbs, func(i int) { r.SubRings[i].Neg(a.Coeffs[i], out.Coeffs[i]) })
+}
+
+// MulCoeffs sets out = a ⊙ b on the given limbs (NTT-domain product).
+func (r *Ring) MulCoeffs(limbs []int, a, b, out *Poly) {
+	r.forLimbs(limbs, func(i int) { r.SubRings[i].MulCoeffs(a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]) })
+}
+
+// MulCoeffsThenAdd sets out += a ⊙ b on the given limbs.
+func (r *Ring) MulCoeffsThenAdd(limbs []int, a, b, out *Poly) {
+	r.forLimbs(limbs, func(i int) { r.SubRings[i].MulCoeffsThenAdd(a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]) })
+}
+
+// MulScalar sets out = a · s on the given limbs.
+func (r *Ring) MulScalar(limbs []int, a *Poly, s *big.Int, out *Poly) {
+	r.forLimbs(limbs, func(i int) { r.SubRings[i].MulScalar(a.Coeffs[i], s, out.Coeffs[i]) })
+}
+
+// Automorphism applies X → X^galEl on the given limbs (coefficient domain).
+func (r *Ring) Automorphism(limbs []int, a *Poly, galEl uint64, out *Poly) {
+	r.forLimbs(limbs, func(i int) { r.SubRings[i].Automorphism(a.Coeffs[i], galEl, out.Coeffs[i]) })
+}
+
+// Copy copies the given limbs of src into dst.
+func (r *Ring) Copy(limbs []int, src, dst *Poly) {
+	for _, i := range limbs {
+		copy(dst.Coeffs[i], src.Coeffs[i])
+	}
+}
+
+// Zero clears the given limbs of p.
+func (r *Ring) Zero(limbs []int, p *Poly) {
+	for _, i := range limbs {
+		for j := range p.Coeffs[i] {
+			p.Coeffs[i][j] = 0
+		}
+	}
+}
+
+// Equal reports whether a and b agree on the given limbs.
+func (r *Ring) Equal(limbs []int, a, b *Poly) bool {
+	for _, i := range limbs {
+		ac, bc := a.Coeffs[i], b.Coeffs[i]
+		for j := range ac {
+			if ac[j] != bc[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// DivideExactByLimb performs the exact RNS division of p (given on limbs
+// `limbs` plus the source limb src) by q_src, writing the rounded quotient
+// to out on `limbs`: out_i = (p_i − p_src) · q_src^{-1} mod q_i. This is
+// the core of both Rescale (src = top ciphertext limb) and ModDown
+// (src = special limb). p and out may alias.
+func (r *Ring) DivideExactByLimb(src int, limbs []int, p, out *Poly) {
+	qsrc := r.SubRings[src]
+	srcCoeffs := p.Coeffs[src]
+	r.forLimbs(limbs, func(i int) {
+		if i == src {
+			return
+		}
+		sr := r.SubRings[i]
+		tmp := make([]uint64, len(p.Coeffs[i]))
+		sr.ReduceFrom(qsrc, srcCoeffs, tmp)
+		sr.Sub(p.Coeffs[i], tmp, tmp)
+		sr.MulScalar(tmp, r.invQ[src][i], out.Coeffs[i])
+	})
+}
+
+// ExtendLimb lifts the src-limb coefficients of p onto the given target
+// limbs of out by plain modular reduction (the digit-raise step of RNS
+// key-switch decomposition).
+func (r *Ring) ExtendLimb(src int, limbs []int, p, out *Poly) {
+	qsrc := r.SubRings[src]
+	srcCoeffs := p.Coeffs[src]
+	r.forLimbs(limbs, func(i int) {
+		r.SubRings[i].ReduceFrom(qsrc, srcCoeffs, out.Coeffs[i])
+	})
+}
+
+// SetCoeffsInt64 writes the centered integer coefficients vec into the given
+// limbs of p (coefficient domain).
+func (r *Ring) SetCoeffsInt64(limbs []int, vec []int64, p *Poly) {
+	r.forLimbs(limbs, func(i int) {
+		sr := r.SubRings[i]
+		for j, v := range vec {
+			sr.SetCoeffInt64(p.Coeffs[i], j, v)
+		}
+	})
+}
+
+// SetCoeffsBig writes (possibly negative) big.Int coefficients into the
+// given limbs of p.
+func (r *Ring) SetCoeffsBig(limbs []int, vec []*big.Int, p *Poly) {
+	for _, i := range limbs {
+		sr := r.SubRings[i]
+		mod := sr.Modulus()
+		t := new(big.Int)
+		for j, v := range vec {
+			t.Mod(v, mod)
+			sr.SetCoeffBig(p.Coeffs[i], j, t)
+		}
+	}
+}
+
+// CoeffsBigCentered reconstructs the centered big.Int coefficients of p
+// from limbs 0..level by CRT: the result lies in (−Q/2, Q/2].
+func (r *Ring) CoeffsBigCentered(level int, p *Poly) []*big.Int {
+	k := level + 1
+	Q := r.Q(level)
+	half := new(big.Int).Rsh(Q, 1)
+	// Garner-style: x = Σ_i [x_i · (Q/q_i)^{-1}]_{q_i} · (Q/q_i) mod Q.
+	type crtTerm struct {
+		hat    *big.Int // Q/q_i
+		hatInv *big.Int // (Q/q_i)^{-1} mod q_i
+		mod    *big.Int
+	}
+	terms := make([]crtTerm, k)
+	for i := 0; i < k; i++ {
+		mod := r.SubRings[i].Modulus()
+		hat := new(big.Int).Quo(Q, mod)
+		hatInv := new(big.Int).ModInverse(hat, mod)
+		terms[i] = crtTerm{hat: hat, hatInv: hatInv, mod: mod}
+	}
+	out := make([]*big.Int, r.NVal)
+	c := new(big.Int)
+	t := new(big.Int)
+	for j := 0; j < r.NVal; j++ {
+		acc := new(big.Int)
+		for i := 0; i < k; i++ {
+			r.SubRings[i].CoeffBig(p.Coeffs[i], j, c)
+			t.Mul(c, terms[i].hatInv)
+			t.Mod(t, terms[i].mod)
+			t.Mul(t, terms[i].hat)
+			acc.Add(acc, t)
+		}
+		acc.Mod(acc, Q)
+		if acc.Cmp(half) > 0 {
+			acc.Sub(acc, Q)
+		}
+		out[j] = acc
+	}
+	return out
+}

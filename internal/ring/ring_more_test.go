@@ -1,0 +1,236 @@
+package ring
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"cnnhe/internal/primes"
+)
+
+func TestPolyVectorOps(t *testing.T) {
+	r := testRing(t, 6, []int{30, 40}, 0)
+	rng := rand.New(rand.NewSource(61))
+	limbs := r.Limbs(1, false)
+	a := r.NewPoly(1)
+	b := r.NewPoly(1)
+	r.SampleUniform(rng, limbs, a)
+	r.SampleUniform(rng, limbs, b)
+
+	// (a - b) + b == a
+	diff := r.NewPoly(1)
+	r.Sub(limbs, a, b, diff)
+	sum := r.NewPoly(1)
+	r.Add(limbs, diff, b, sum)
+	if !r.Equal(limbs, sum, a) {
+		t.Fatal("(a-b)+b != a")
+	}
+
+	// a + (-a) == 0
+	neg := r.NewPoly(1)
+	r.Neg(limbs, a, neg)
+	z := r.NewPoly(1)
+	r.Add(limbs, a, neg, z)
+	zero := r.NewPoly(1)
+	r.Zero(limbs, zero)
+	if !r.Equal(limbs, z, zero) {
+		t.Fatal("a + (-a) != 0")
+	}
+
+	// Copy + Equal
+	c := r.NewPoly(1)
+	r.Copy(limbs, a, c)
+	if !r.Equal(limbs, a, c) {
+		t.Fatal("copy not equal")
+	}
+	c.Coeffs[0][0] ^= 1
+	if r.Equal(limbs, a, c) {
+		t.Fatal("Equal missed a difference")
+	}
+}
+
+func TestMulCoeffsThenAddAccumulates(t *testing.T) {
+	r := testRing(t, 5, []int{30}, 0)
+	rng := rand.New(rand.NewSource(62))
+	limbs := r.Limbs(0, false)
+	a := r.NewPoly(0)
+	b := r.NewPoly(0)
+	acc := r.NewPoly(0)
+	r.SampleUniform(rng, limbs, a)
+	r.SampleUniform(rng, limbs, b)
+	r.SampleUniform(rng, limbs, acc)
+	want := r.NewPoly(0)
+	r.MulCoeffs(limbs, a, b, want)
+	r.Add(limbs, want, acc, want)
+	r.MulCoeffsThenAdd(limbs, a, b, acc)
+	if !r.Equal(limbs, acc, want) {
+		t.Fatal("MulCoeffsThenAdd != Mul + Add")
+	}
+}
+
+func TestMulScalarMatchesBig(t *testing.T) {
+	r := testRing(t, 5, []int{30, 40}, 0)
+	rng := rand.New(rand.NewSource(63))
+	limbs := r.Limbs(1, false)
+	a := r.NewPoly(1)
+	r.SampleUniform(rng, limbs, a)
+	s := big.NewInt(987654321)
+	out := r.NewPoly(1)
+	r.MulScalar(limbs, a, s, out)
+	v := new(big.Int)
+	w := new(big.Int)
+	for _, li := range limbs {
+		mod := r.SubRings[li].Modulus()
+		for j := 0; j < r.N(); j++ {
+			r.SubRings[li].CoeffBig(a.Coeffs[li], j, v)
+			v.Mul(v, s).Mod(v, mod)
+			r.SubRings[li].CoeffBig(out.Coeffs[li], j, w)
+			if v.Cmp(w) != 0 {
+				t.Fatalf("scalar mul mismatch limb %d coeff %d", li, j)
+			}
+		}
+	}
+}
+
+func TestWideSubringOps(t *testing.T) {
+	chain, err := primes.BuildChain(5, []int{80, 90}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRing(32, chain.Moduli, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(64))
+	sr := r.SubRings[0].(*wideRing)
+	n := r.N()
+	a := make([]uint64, 2*n)
+	b := make([]uint64, 2*n)
+	sr.SampleUniform(rng, a)
+	sr.SampleUniform(rng, b)
+
+	// Add/Sub/Neg consistency.
+	sum := make([]uint64, 2*n)
+	sr.Add(a, b, sum)
+	diff := make([]uint64, 2*n)
+	sr.Sub(sum, b, diff)
+	for i := range a {
+		if diff[i] != a[i] {
+			t.Fatal("wide (a+b)-b != a")
+		}
+	}
+	neg := make([]uint64, 2*n)
+	sr.Neg(a, neg)
+	z := make([]uint64, 2*n)
+	sr.Add(a, neg, z)
+	for i := range z {
+		if z[i] != 0 {
+			t.Fatal("wide a + (-a) != 0")
+		}
+	}
+
+	// MulCoeffsThenAdd == Mul + Add.
+	acc := make([]uint64, 2*n)
+	sr.SampleUniform(rng, acc)
+	want := make([]uint64, 2*n)
+	sr.MulCoeffs(a, b, want)
+	sr.Add(want, acc, want)
+	sr.MulCoeffsThenAdd(a, b, acc)
+	for i := range acc {
+		if acc[i] != want[i] {
+			t.Fatal("wide MulCoeffsThenAdd mismatch")
+		}
+	}
+
+	// SubScalarThenMulScalar == (a - c)·s.
+	c := new(big.Int).SetUint64(123456789)
+	s := new(big.Int).SetUint64(987654)
+	out := make([]uint64, 2*n)
+	sr.SubScalarThenMulScalar(a, c, s, out)
+	mod := sr.Modulus()
+	v := new(big.Int)
+	for i := 0; i < n; i++ {
+		sr.CoeffBig(a, i, v)
+		v.Sub(v, c).Mul(v, s).Mod(v, mod)
+		got := new(big.Int)
+		sr.CoeffBig(out, i, got)
+		if v.Cmp(got) != 0 {
+			t.Fatalf("wide SubScalarThenMulScalar mismatch at %d", i)
+		}
+	}
+
+	// SetCoeffInt64 negative values.
+	p := make([]uint64, 2*n)
+	sr.SetCoeffInt64(p, 0, -5)
+	sr.CoeffBig(p, 0, v)
+	want5 := new(big.Int).Sub(mod, big.NewInt(5))
+	if v.Cmp(want5) != 0 {
+		t.Fatal("wide negative SetCoeffInt64 wrong")
+	}
+
+	// Automorphism composition on the wide backend.
+	g := GaloisElementForRotation(5, 2)
+	gi := GaloisElementForRotation(5, -2)
+	t1 := make([]uint64, 2*n)
+	t2 := make([]uint64, 2*n)
+	sr.Automorphism(a, g, t1)
+	sr.Automorphism(t1, gi, t2)
+	for i := range a {
+		if t2[i] != a[i] {
+			t.Fatal("wide automorphism composition not identity")
+		}
+	}
+
+	// Cross-width ReduceFrom: wide → word and word → wide.
+	chainW, err := primes.BuildChain(5, []int{30}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw, err := NewRing(32, chainW.Moduli, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	word := rw.SubRings[0].(*wordRing)
+	wordOut := make([]uint64, n)
+	word.ReduceFrom(sr, a, wordOut)
+	wmod := word.Modulus()
+	for i := 0; i < n; i++ {
+		sr.CoeffBig(a, i, v)
+		v.Mod(v, wmod)
+		if v.Uint64() != wordOut[i] {
+			t.Fatalf("wide→word reduce mismatch at %d", i)
+		}
+	}
+	wordVals := make([]uint64, n)
+	word.SampleUniform(rng, wordVals)
+	wideOut := make([]uint64, 2*n)
+	sr.ReduceFrom(word, wordVals, wideOut)
+	for i := 0; i < n; i++ {
+		if wideOut[2*i] != wordVals[i] || wideOut[2*i+1] != 0 {
+			t.Fatalf("word→wide reduce mismatch at %d", i)
+		}
+	}
+}
+
+func TestNewRingErrors(t *testing.T) {
+	if _, err := NewRing(16, nil, 0, 1); err == nil {
+		t.Fatal("expected error for empty moduli")
+	}
+	if _, err := NewRing(16, []*big.Int{big.NewInt(97)}, 1, 1); err == nil {
+		t.Fatal("expected error for special >= len(moduli)")
+	}
+	// Non-co-prime moduli (same prime twice).
+	p := big.NewInt(97) // 97 ≡ 1 mod 32
+	if _, err := NewRing(16, []*big.Int{p, p}, 0, 1); err == nil {
+		t.Fatal("expected error for repeated modulus")
+	}
+}
+
+func TestSubRingPanicsOnBadDegree(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewSubRing(12, big.NewInt(97), rand.New(rand.NewSource(1)))
+}

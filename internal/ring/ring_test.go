@@ -1,0 +1,495 @@
+package ring
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"cnnhe/internal/primes"
+)
+
+// testRing builds a small mixed ring: two word primes + one special.
+func testRing(t testing.TB, logN int, bitSizes []int, special int) *Ring {
+	t.Helper()
+	specialBits := 0
+	if special > 0 {
+		specialBits = 45
+	}
+	chain, err := primes.BuildChain(logN, bitSizes, specialBits, special)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRing(1<<logN, chain.Moduli, special, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// naiveNegacyclic computes (a·b mod X^N+1) mod q with big.Int schoolbook.
+func naiveNegacyclic(a, b []uint64, q *big.Int) []*big.Int {
+	n := len(a)
+	out := make([]*big.Int, n)
+	for i := range out {
+		out[i] = new(big.Int)
+	}
+	t := new(big.Int)
+	for i := 0; i < n; i++ {
+		if a[i] == 0 {
+			continue
+		}
+		ai := new(big.Int).SetUint64(a[i])
+		for j := 0; j < n; j++ {
+			t.Mul(ai, new(big.Int).SetUint64(b[j]))
+			k := i + j
+			if k < n {
+				out[k].Add(out[k], t)
+			} else {
+				out[k-n].Sub(out[k-n], t)
+			}
+		}
+	}
+	for i := range out {
+		out[i].Mod(out[i], q)
+	}
+	return out
+}
+
+func TestNTTRoundTripWord(t *testing.T) {
+	r := testRing(t, 8, []int{30, 45}, 0)
+	rng := rand.New(rand.NewSource(42))
+	for limb := 0; limb < 2; limb++ {
+		sr := r.SubRings[limb]
+		a := make([]uint64, r.N()*sr.Width())
+		sr.SampleUniform(rng, a)
+		orig := append([]uint64(nil), a...)
+		sr.NTT(a)
+		sr.INTT(a)
+		for i := range a {
+			if a[i] != orig[i] {
+				t.Fatalf("limb %d: NTT/INTT roundtrip mismatch at %d", limb, i)
+			}
+		}
+	}
+}
+
+func TestNTTRoundTripWide(t *testing.T) {
+	chain, err := primes.BuildChain(6, []int{70}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRing(64, chain.Moduli, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := r.SubRings[0]
+	rng := rand.New(rand.NewSource(9))
+	a := make([]uint64, r.N()*sr.Width())
+	sr.SampleUniform(rng, a)
+	orig := append([]uint64(nil), a...)
+	sr.NTT(a)
+	sr.INTT(a)
+	for i := range a {
+		if a[i] != orig[i] {
+			t.Fatalf("wide NTT/INTT roundtrip mismatch at word %d", i)
+		}
+	}
+}
+
+func TestNTTNegacyclicConvolutionWord(t *testing.T) {
+	r := testRing(t, 6, []int{30}, 0)
+	sr := r.SubRings[0].(*wordRing)
+	q := sr.Modulus()
+	rng := rand.New(rand.NewSource(5))
+	n := r.N()
+	a := make([]uint64, n)
+	b := make([]uint64, n)
+	sr.SampleUniform(rng, a)
+	sr.SampleUniform(rng, b)
+	want := naiveNegacyclic(a, b, q)
+
+	an := append([]uint64(nil), a...)
+	bn := append([]uint64(nil), b...)
+	sr.NTT(an)
+	sr.NTT(bn)
+	out := make([]uint64, n)
+	sr.MulCoeffs(an, bn, out)
+	sr.INTT(out)
+	for i := 0; i < n; i++ {
+		if out[i] != want[i].Uint64() {
+			t.Fatalf("negacyclic mismatch at %d: got %d want %v", i, out[i], want[i])
+		}
+	}
+}
+
+func TestNTTNegacyclicConvolutionWide(t *testing.T) {
+	chain, err := primes.BuildChain(5, []int{80}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRing(32, chain.Moduli, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := r.SubRings[0].(*wideRing)
+	q := sr.Modulus()
+	rng := rand.New(rand.NewSource(15))
+	n := r.N()
+	a := make([]uint64, 2*n)
+	b := make([]uint64, 2*n)
+	sr.SampleUniform(rng, a)
+	sr.SampleUniform(rng, b)
+
+	// Schoolbook with big.Int.
+	abig := make([]*big.Int, n)
+	bbig := make([]*big.Int, n)
+	c := new(big.Int)
+	for i := 0; i < n; i++ {
+		abig[i] = new(big.Int)
+		sr.CoeffBig(a, i, abig[i])
+		bbig[i] = new(big.Int)
+		sr.CoeffBig(b, i, bbig[i])
+		_ = c
+	}
+	want := make([]*big.Int, n)
+	for i := range want {
+		want[i] = new(big.Int)
+	}
+	t2 := new(big.Int)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			t2.Mul(abig[i], bbig[j])
+			k := i + j
+			if k < n {
+				want[k].Add(want[k], t2)
+			} else {
+				want[k-n].Sub(want[k-n], t2)
+			}
+		}
+	}
+	for i := range want {
+		want[i].Mod(want[i], q)
+	}
+
+	sr.NTT(a)
+	sr.NTT(b)
+	out := make([]uint64, 2*n)
+	sr.MulCoeffs(a, b, out)
+	sr.INTT(out)
+	got := new(big.Int)
+	for i := 0; i < n; i++ {
+		sr.CoeffBig(out, i, got)
+		if got.Cmp(want[i]) != 0 {
+			t.Fatalf("wide negacyclic mismatch at %d: got %v want %v", i, got, want[i])
+		}
+	}
+}
+
+func TestAutomorphismComposition(t *testing.T) {
+	r := testRing(t, 7, []int{30}, 0)
+	sr := r.SubRings[0]
+	rng := rand.New(rand.NewSource(21))
+	n := r.N()
+	a := make([]uint64, n)
+	sr.SampleUniform(rng, a)
+
+	g := GaloisElementForRotation(r.LogN, 3)
+	ginv := GaloisElementForRotation(r.LogN, -3)
+	tmp := make([]uint64, n)
+	back := make([]uint64, n)
+	sr.Automorphism(a, g, tmp)
+	sr.Automorphism(tmp, ginv, back)
+	for i := range a {
+		if back[i] != a[i] {
+			t.Fatalf("automorphism inverse failed at %d", i)
+		}
+	}
+	// X → X^g evaluated naively: coefficient i of a goes to i·g mod 2N.
+	want := make([]uint64, n)
+	q := sr.Modulus().Uint64()
+	for i := 0; i < n; i++ {
+		j := (uint64(i) * g) % uint64(2*n)
+		if j < uint64(n) {
+			want[j] = a[i]
+		} else {
+			if a[i] == 0 {
+				want[j-uint64(n)] = 0
+			} else {
+				want[j-uint64(n)] = q - a[i]
+			}
+		}
+	}
+	for i := range want {
+		if tmp[i] != want[i] {
+			t.Fatalf("automorphism value mismatch at %d", i)
+		}
+	}
+}
+
+func TestSetCoeffsInt64AndCRTRoundTrip(t *testing.T) {
+	r := testRing(t, 6, []int{30, 31, 45}, 0)
+	level := 2
+	limbs := r.Limbs(level, false)
+	rng := rand.New(rand.NewSource(33))
+	vec := make([]int64, r.N())
+	for i := range vec {
+		vec[i] = rng.Int63n(1<<40) - (1 << 39)
+	}
+	p := r.NewPoly(level)
+	r.SetCoeffsInt64(limbs, vec, p)
+	got := r.CoeffsBigCentered(level, p)
+	for i := range vec {
+		if got[i].Int64() != vec[i] {
+			t.Fatalf("CRT roundtrip mismatch at %d: got %v want %d", i, got[i], vec[i])
+		}
+	}
+}
+
+func TestSetCoeffsBigRoundTrip(t *testing.T) {
+	r := testRing(t, 5, []int{40, 40, 40}, 0)
+	level := 2
+	limbs := r.Limbs(level, false)
+	rng := rand.New(rand.NewSource(37))
+	half := new(big.Int).Rsh(r.Q(level), 1)
+	vec := make([]*big.Int, r.N())
+	for i := range vec {
+		v := new(big.Int).Rand(rng, half)
+		if rng.Intn(2) == 0 {
+			v.Neg(v)
+		}
+		vec[i] = v
+	}
+	p := r.NewPoly(level)
+	r.SetCoeffsBig(limbs, vec, p)
+	got := r.CoeffsBigCentered(level, p)
+	for i := range vec {
+		if got[i].Cmp(vec[i]) != 0 {
+			t.Fatalf("big roundtrip mismatch at %d", i)
+		}
+	}
+}
+
+func TestDivideExactByLimb(t *testing.T) {
+	// Verify rescale-style division: value v·q_top at level ℓ divided by
+	// q_top yields v at level ℓ−1.
+	r := testRing(t, 5, []int{30, 31, 32}, 0)
+	level := 2
+	limbs := r.Limbs(level, false)
+	qTop := r.SubRings[level].Modulus()
+	rng := rand.New(rand.NewSource(41))
+	vec := make([]*big.Int, r.N())
+	exact := make([]*big.Int, r.N())
+	for i := range vec {
+		v := big.NewInt(rng.Int63n(1<<20) - (1 << 19))
+		exact[i] = v
+		vec[i] = new(big.Int).Mul(v, qTop)
+	}
+	p := r.NewPoly(level)
+	r.SetCoeffsBig(limbs, vec, p)
+	out := r.NewPoly(level)
+	r.DivideExactByLimb(level, r.Limbs(level-1, false), p, out)
+	got := r.CoeffsBigCentered(level-1, out)
+	for i := range exact {
+		if got[i].Cmp(exact[i]) != 0 {
+			t.Fatalf("exact division mismatch at %d: got %v want %v", i, got[i], exact[i])
+		}
+	}
+}
+
+func TestDivideRoundsSmallError(t *testing.T) {
+	// Dividing v·q_top + e (|e| small) must give v with error ≤ 1.
+	r := testRing(t, 5, []int{30, 31, 32}, 0)
+	level := 2
+	limbs := r.Limbs(level, false)
+	qTop := r.SubRings[level].Modulus()
+	rng := rand.New(rand.NewSource(43))
+	vec := make([]*big.Int, r.N())
+	exact := make([]int64, r.N())
+	for i := range vec {
+		v := rng.Int63n(1<<20) - (1 << 19)
+		e := rng.Int63n(100) - 50
+		exact[i] = v
+		vec[i] = new(big.Int).Mul(big.NewInt(v), qTop)
+		vec[i].Add(vec[i], big.NewInt(e))
+	}
+	p := r.NewPoly(level)
+	r.SetCoeffsBig(limbs, vec, p)
+	out := r.NewPoly(level)
+	r.DivideExactByLimb(level, r.Limbs(level-1, false), p, out)
+	got := r.CoeffsBigCentered(level-1, out)
+	for i := range exact {
+		d := new(big.Int).Sub(got[i], big.NewInt(exact[i]))
+		if d.CmpAbs(big.NewInt(1)) > 0 {
+			t.Fatalf("division error too large at %d: %v", i, d)
+		}
+	}
+}
+
+func TestExtendLimb(t *testing.T) {
+	r := testRing(t, 5, []int{30, 31}, 1)
+	rng := rand.New(rand.NewSource(47))
+	p := r.NewPoly(1)
+	sr := r.SubRings[0]
+	sr.SampleUniform(rng, p.Coeffs[0])
+	out := r.NewPoly(1)
+	limbs := r.Limbs(1, true)
+	r.ExtendLimb(0, limbs, p, out)
+	v := new(big.Int)
+	w := new(big.Int)
+	for _, li := range limbs {
+		mod := r.SubRings[li].Modulus()
+		for j := 0; j < r.N(); j++ {
+			sr.CoeffBig(p.Coeffs[0], j, v)
+			r.SubRings[li].CoeffBig(out.Coeffs[li], j, w)
+			if new(big.Int).Mod(v, mod).Cmp(w) != 0 {
+				t.Fatalf("extend mismatch limb %d coeff %d", li, j)
+			}
+		}
+	}
+}
+
+func TestSamplers(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	n, h := 1024, 64
+	vec := SampleTernaryHW(rng, n, h)
+	nz := 0
+	for _, v := range vec {
+		if v != 0 {
+			nz++
+			if v != 1 && v != -1 {
+				t.Fatalf("non-ternary value %d", v)
+			}
+		}
+	}
+	if nz != h {
+		t.Fatalf("Hamming weight %d want %d", nz, h)
+	}
+
+	g := SampleGaussian(rng, 1<<14, 3.2)
+	var sum, sq float64
+	for _, v := range g {
+		f := float64(v)
+		sum += f
+		sq += f * f
+		if f > 6*3.2+1 || f < -6*3.2-1 {
+			t.Fatalf("sample %v outside truncation bound", v)
+		}
+	}
+	mean := sum / float64(len(g))
+	variance := sq/float64(len(g)) - mean*mean
+	if mean > 0.2 || mean < -0.2 {
+		t.Errorf("gaussian mean %v too far from 0", mean)
+	}
+	if variance < 8 || variance > 13 {
+		t.Errorf("gaussian variance %v too far from σ²≈10.24", variance)
+	}
+
+	s := SampleTernarySparse(rng, 1<<14, 2.0/3.0)
+	nz = 0
+	for _, v := range s {
+		if v != 0 {
+			nz++
+		}
+	}
+	frac := float64(nz) / float64(len(s))
+	if frac < 0.6 || frac > 0.73 {
+		t.Errorf("ternary density %v too far from 2/3", frac)
+	}
+}
+
+func TestGaloisElements(t *testing.T) {
+	logN := 10
+	twoN := uint64(1) << uint(logN+1)
+	g1 := GaloisElementForRotation(logN, 1)
+	if g1 != 5 {
+		t.Fatalf("rotation by 1 should be 5, got %d", g1)
+	}
+	// 5^r · 5^{-r} ≡ 1 (mod 2N).
+	for _, rot := range []int{1, 3, 17, -1, -9} {
+		g := GaloisElementForRotation(logN, rot)
+		gi := GaloisElementForRotation(logN, -rot)
+		if (g*gi)%twoN != 1 {
+			t.Fatalf("galois elements for ±%d do not invert", rot)
+		}
+		if g%2 == 0 {
+			t.Fatalf("galois element must be odd")
+		}
+	}
+	if GaloisElementConjugate(logN) != twoN-1 {
+		t.Fatal("conjugation element should be 2N-1")
+	}
+}
+
+func TestRingLevelAccounting(t *testing.T) {
+	r := testRing(t, 4, []int{30, 31, 32}, 1)
+	if r.MaxLevel() != 2 {
+		t.Fatalf("max level %d want 2", r.MaxLevel())
+	}
+	limbs := r.Limbs(1, true)
+	want := []int{0, 1, 3}
+	if len(limbs) != len(want) {
+		t.Fatalf("limbs %v", limbs)
+	}
+	for i := range want {
+		if limbs[i] != want[i] {
+			t.Fatalf("limbs %v want %v", limbs, want)
+		}
+	}
+	p := r.NewPoly(1)
+	if p.Coeffs[2] != nil {
+		t.Fatal("level-1 poly should not allocate limb 2")
+	}
+	if p.Coeffs[3] == nil {
+		t.Fatal("level-1 poly should allocate the special limb")
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	r := testRing(t, 7, []int{30, 31, 40}, 0)
+	rng := rand.New(rand.NewSource(55))
+	limbs := r.Limbs(2, false)
+	a := r.NewPoly(2)
+	b := r.NewPoly(2)
+	r.SampleUniform(rng, limbs, a)
+	r.SampleUniform(rng, limbs, b)
+	seq := r.NewPoly(2)
+	par := r.NewPoly(2)
+	r.Parallel = false
+	r.MulCoeffs(limbs, a, b, seq)
+	r.Parallel = true
+	r.MulCoeffs(limbs, a, b, par)
+	r.Parallel = false
+	if !r.Equal(limbs, seq, par) {
+		t.Fatal("parallel result differs from sequential")
+	}
+}
+
+func BenchmarkNTTWord4096(b *testing.B) {
+	chain, err := primes.BuildChain(12, []int{50}, 0, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, _ := NewRing(4096, chain.Moduli, 0, 1)
+	sr := r.SubRings[0]
+	a := make([]uint64, 4096)
+	sr.SampleUniform(rand.New(rand.NewSource(1)), a)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sr.NTT(a)
+	}
+}
+
+func BenchmarkNTTWide4096(b *testing.B) {
+	chain, err := primes.BuildChain(12, []int{90}, 0, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, _ := NewRing(4096, chain.Moduli, 0, 1)
+	sr := r.SubRings[0]
+	a := make([]uint64, 2*4096)
+	sr.SampleUniform(rand.New(rand.NewSource(1)), a)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sr.NTT(a)
+	}
+}

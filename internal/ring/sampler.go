@@ -1,0 +1,94 @@
+package ring
+
+import (
+	"math"
+	"math/rand"
+)
+
+// DefaultSigma is the standard deviation of the error distribution χ_err
+// mandated by the HE standard.
+const DefaultSigma = 3.2
+
+// GaussianBound truncates Gaussian samples at ±GaussianBound·σ.
+const GaussianBound = 6.0
+
+// SampleUniform fills the given limbs of p with independent uniform
+// residues (NTT-domain or coefficient-domain agnostic).
+func (r *Ring) SampleUniform(rng *rand.Rand, limbs []int, p *Poly) {
+	for _, i := range limbs {
+		r.SubRings[i].SampleUniform(rng, p.Coeffs[i])
+	}
+}
+
+// SampleTernaryHW returns the centered coefficient vector of a uniformly
+// random polynomial with exactly h nonzero coefficients in {−1, +1}: the
+// χ_key = HW(h) distribution of the CKKS key generator.
+func SampleTernaryHW(rng *rand.Rand, n, h int) []int64 {
+	if h > n {
+		panic("ring: Hamming weight exceeds degree")
+	}
+	vec := make([]int64, n)
+	// Floyd-style sampling of h distinct positions.
+	chosen := make(map[int]bool, h)
+	for len(chosen) < h {
+		j := rng.Intn(n)
+		if !chosen[j] {
+			chosen[j] = true
+			if rng.Intn(2) == 0 {
+				vec[j] = 1
+			} else {
+				vec[j] = -1
+			}
+		}
+	}
+	return vec
+}
+
+// SampleTernarySparse returns a uniform ternary vector where each
+// coefficient is −1, 0 or +1 with P(±1) = density/2 each (χ_enc).
+func SampleTernarySparse(rng *rand.Rand, n int, density float64) []int64 {
+	vec := make([]int64, n)
+	for j := range vec {
+		u := rng.Float64()
+		switch {
+		case u < density/2:
+			vec[j] = 1
+		case u < density:
+			vec[j] = -1
+		}
+	}
+	return vec
+}
+
+// SampleGaussian returns centered integer coefficients drawn from a rounded
+// Gaussian with standard deviation sigma, truncated at ±GaussianBound·σ
+// (χ_err).
+func SampleGaussian(rng *rand.Rand, n int, sigma float64) []int64 {
+	bound := GaussianBound * sigma
+	vec := make([]int64, n)
+	for j := range vec {
+		for {
+			v := rng.NormFloat64() * sigma
+			if math.Abs(v) <= bound {
+				vec[j] = int64(math.Round(v))
+				break
+			}
+		}
+	}
+	return vec
+}
+
+// SamplePolyTernaryHW samples χ_key directly into the given limbs of p
+// (coefficient domain).
+func (r *Ring) SamplePolyTernaryHW(rng *rand.Rand, limbs []int, h int, p *Poly) []int64 {
+	vec := SampleTernaryHW(rng, r.NVal, h)
+	r.SetCoeffsInt64(limbs, vec, p)
+	return vec
+}
+
+// SamplePolyGaussian samples χ_err directly into the given limbs of p
+// (coefficient domain).
+func (r *Ring) SamplePolyGaussian(rng *rand.Rand, limbs []int, sigma float64, p *Poly) {
+	vec := SampleGaussian(rng, r.NVal, sigma)
+	r.SetCoeffsInt64(limbs, vec, p)
+}

@@ -1,0 +1,225 @@
+package ring
+
+import (
+	"math/big"
+	"math/rand"
+
+	"cnnhe/internal/zq"
+)
+
+// wideRing is the two-word limb backend for primes of 62–122 bits. It
+// exists so that a fixed total ciphertext modulus can be split into fewer,
+// larger limbs (the paper's Table IV/VI moduli-chain sweeps); its heavier
+// multiprecision-style arithmetic is exactly the cost RNS amortizes away,
+// so no lazy-reduction tricks are applied here.
+type wideRing struct {
+	n    int
+	logN int
+	mod  zq.WideModulus
+
+	psiRev       []zq.Wide
+	psiRevShoup  []zq.Wide
+	ipsiRev      []zq.Wide
+	ipsiRevShoup []zq.Wide
+	nInv         zq.Wide
+	nInvShoup    zq.Wide
+	maskHi       uint64 // rejection mask for the high word when sampling
+}
+
+func newWideRing(n int, q *big.Int, rng *rand.Rand) *wideRing {
+	mod := zq.NewWideModulus(q)
+	twoN := uint64(2 * n)
+	qm1 := new(big.Int).Sub(q, big.NewInt(1))
+	if new(big.Int).Mod(qm1, new(big.Int).SetUint64(twoN)).Sign() != 0 {
+		panic("ring: wide modulus not NTT-friendly for this degree")
+	}
+	logN := log2(n)
+	psi := mod.PrimitiveNthRoot(twoN, rng)
+	ipsi := mod.Inv(psi)
+	r := &wideRing{
+		n:            n,
+		logN:         logN,
+		mod:          mod,
+		psiRev:       make([]zq.Wide, n),
+		psiRevShoup:  make([]zq.Wide, n),
+		ipsiRev:      make([]zq.Wide, n),
+		ipsiRevShoup: make([]zq.Wide, n),
+	}
+	hiBits := mod.Bits - 64
+	if hiBits >= 64 {
+		r.maskHi = ^uint64(0)
+	} else {
+		r.maskHi = (uint64(1) << uint(hiBits)) - 1
+	}
+	pw, ipw := zq.Wide{Lo: 1}, zq.Wide{Lo: 1}
+	for i := 0; i < n; i++ {
+		j := bitrev(i, logN)
+		r.psiRev[j] = pw
+		r.psiRevShoup[j] = mod.ShoupPrecomp(pw)
+		r.ipsiRev[j] = ipw
+		r.ipsiRevShoup[j] = mod.ShoupPrecomp(ipw)
+		pw = mod.Mul(pw, psi)
+		ipw = mod.Mul(ipw, ipsi)
+	}
+	r.nInv = mod.Inv(zq.Wide{Lo: uint64(n)})
+	r.nInvShoup = mod.ShoupPrecomp(r.nInv)
+	return r
+}
+
+func (r *wideRing) N() int            { return r.n }
+func (r *wideRing) Width() int        { return 2 }
+func (r *wideRing) Modulus() *big.Int { return r.mod.Modulus() }
+func (r *wideRing) BitLen() int       { return r.mod.Bits }
+
+func (r *wideRing) get(a []uint64, i int) zq.Wide    { return zq.Wide{Lo: a[2*i], Hi: a[2*i+1]} }
+func (r *wideRing) put(a []uint64, i int, v zq.Wide) { a[2*i], a[2*i+1] = v.Lo, v.Hi }
+
+func (r *wideRing) NTT(a []uint64) {
+	t := r.n
+	for m := 1; m < r.n; m <<= 1 {
+		t >>= 1
+		for i := 0; i < m; i++ {
+			w := r.psiRev[m+i]
+			ws := r.psiRevShoup[m+i]
+			j1 := 2 * i * t
+			for j := j1; j < j1+t; j++ {
+				u := r.get(a, j)
+				v := r.mod.ShoupMul(r.get(a, j+t), w, ws)
+				r.put(a, j, r.mod.Add(u, v))
+				r.put(a, j+t, r.mod.Sub(u, v))
+			}
+		}
+	}
+}
+
+func (r *wideRing) INTT(a []uint64) {
+	t := 1
+	for m := r.n >> 1; m >= 1; m >>= 1 {
+		j1 := 0
+		for i := 0; i < m; i++ {
+			w := r.ipsiRev[m+i]
+			ws := r.ipsiRevShoup[m+i]
+			for j := j1; j < j1+t; j++ {
+				u := r.get(a, j)
+				v := r.get(a, j+t)
+				r.put(a, j, r.mod.Add(u, v))
+				r.put(a, j+t, r.mod.ShoupMul(r.mod.Sub(u, v), w, ws))
+			}
+			j1 += 2 * t
+		}
+		t <<= 1
+	}
+	for i := 0; i < r.n; i++ {
+		r.put(a, i, r.mod.ShoupMul(r.get(a, i), r.nInv, r.nInvShoup))
+	}
+}
+
+func (r *wideRing) Add(a, b, out []uint64) {
+	for i := 0; i < r.n; i++ {
+		r.put(out, i, r.mod.Add(r.get(a, i), r.get(b, i)))
+	}
+}
+
+func (r *wideRing) Sub(a, b, out []uint64) {
+	for i := 0; i < r.n; i++ {
+		r.put(out, i, r.mod.Sub(r.get(a, i), r.get(b, i)))
+	}
+}
+
+func (r *wideRing) Neg(a, out []uint64) {
+	for i := 0; i < r.n; i++ {
+		r.put(out, i, r.mod.Neg(r.get(a, i)))
+	}
+}
+
+func (r *wideRing) MulCoeffs(a, b, out []uint64) {
+	for i := 0; i < r.n; i++ {
+		r.put(out, i, r.mod.Mul(r.get(a, i), r.get(b, i)))
+	}
+}
+
+func (r *wideRing) MulCoeffsThenAdd(a, b, out []uint64) {
+	for i := 0; i < r.n; i++ {
+		p := r.mod.Mul(r.get(a, i), r.get(b, i))
+		r.put(out, i, r.mod.Add(r.get(out, i), p))
+	}
+}
+
+func (r *wideRing) MulScalar(a []uint64, s *big.Int, out []uint64) {
+	sv := zq.WideFromBig(new(big.Int).Mod(s, r.mod.Modulus()))
+	ss := r.mod.ShoupPrecomp(sv)
+	for i := 0; i < r.n; i++ {
+		r.put(out, i, r.mod.ShoupMul(r.get(a, i), sv, ss))
+	}
+}
+
+func (r *wideRing) SubScalarThenMulScalar(a []uint64, c, s *big.Int, out []uint64) {
+	cv := zq.WideFromBig(new(big.Int).Mod(c, r.mod.Modulus()))
+	sv := zq.WideFromBig(new(big.Int).Mod(s, r.mod.Modulus()))
+	ss := r.mod.ShoupPrecomp(sv)
+	for i := 0; i < r.n; i++ {
+		r.put(out, i, r.mod.ShoupMul(r.mod.Sub(r.get(a, i), cv), sv, ss))
+	}
+}
+
+func (r *wideRing) Automorphism(a []uint64, galEl uint64, out []uint64) {
+	n := uint64(r.n)
+	mask := 2*n - 1
+	for i := uint64(0); i < n; i++ {
+		j := (i * galEl) & mask
+		v := r.get(a, int(i))
+		if j < n {
+			r.put(out, int(j), v)
+		} else {
+			r.put(out, int(j-n), r.mod.Neg(v))
+		}
+	}
+}
+
+func (r *wideRing) ReduceFrom(src SubRing, a, out []uint64) {
+	switch s := src.(type) {
+	case *wordRing:
+		// Any word value is below a wide modulus (> 2^61).
+		for i := 0; i < r.n; i++ {
+			out[2*i], out[2*i+1] = a[i], 0
+		}
+	case *wideRing:
+		if s.mod.Q == r.mod.Q {
+			copy(out, a)
+			return
+		}
+		for i := 0; i < r.n; i++ {
+			r.put(out, i, r.mod.Reduce(s.get(a, i)))
+		}
+	default:
+		panic("ring: unknown source subring")
+	}
+}
+
+func (r *wideRing) SetCoeffBig(a []uint64, j int, v *big.Int) {
+	r.put(a, j, zq.WideFromBig(v))
+}
+
+func (r *wideRing) CoeffBig(a []uint64, j int, out *big.Int) {
+	out.Set(r.get(a, j).Big())
+}
+
+func (r *wideRing) SetCoeffInt64(a []uint64, j int, v int64) {
+	if v >= 0 {
+		r.put(a, j, zq.Wide{Lo: uint64(v)})
+	} else {
+		r.put(a, j, r.mod.Neg(zq.Wide{Lo: uint64(-v)}))
+	}
+}
+
+func (r *wideRing) SampleUniform(rng *rand.Rand, a []uint64) {
+	for i := 0; i < r.n; i++ {
+		for {
+			v := zq.Wide{Lo: rng.Uint64(), Hi: rng.Uint64() & r.maskHi}
+			if v.Less(r.mod.Q) {
+				r.put(a, i, v)
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,241 @@
+package ring
+
+import (
+	"math/big"
+	"math/rand"
+
+	"cnnhe/internal/zq"
+)
+
+// wordRing is the fast single-word limb backend for primes ≤ 61 bits.
+type wordRing struct {
+	n    int
+	logN int
+	mod  zq.Modulus
+
+	// psiRev[m+i] is ψ^{bitrev(i, log m·?)} laid out for the iterative
+	// Cooley-Tukey NTT (index m+i at stage with m blocks), ψ a primitive
+	// 2N-th root of unity.
+	psiRev       []uint64
+	psiRevShoup  []uint64
+	ipsiRev      []uint64 // inverse-root table for the Gentleman-Sande INTT
+	ipsiRevShoup []uint64
+	nInv         uint64
+	nInvShoup    uint64
+	mask         uint64 // rejection mask for uniform sampling
+}
+
+func newWordRing(n int, q uint64, rng *rand.Rand) *wordRing {
+	mod := zq.NewModulus(q)
+	twoN := uint64(2 * n)
+	if (q-1)%twoN != 0 {
+		panic("ring: modulus not NTT-friendly for this degree")
+	}
+	logN := log2(n)
+	psi := mod.PrimitiveNthRoot(twoN, rng)
+	ipsi := mod.Inv(psi)
+	r := &wordRing{
+		n:            n,
+		logN:         logN,
+		mod:          mod,
+		psiRev:       make([]uint64, n),
+		psiRevShoup:  make([]uint64, n),
+		ipsiRev:      make([]uint64, n),
+		ipsiRevShoup: make([]uint64, n),
+		mask:         (uint64(1) << uint(mod.Bits)) - 1,
+	}
+	// Powers of ψ in bit-reversed order (Longa–Naehrig layout).
+	pw, ipw := uint64(1), uint64(1)
+	pows := make([]uint64, n)
+	ipows := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		pows[i], ipows[i] = pw, ipw
+		pw = mod.Mul(pw, psi)
+		ipw = mod.Mul(ipw, ipsi)
+	}
+	for i := 0; i < n; i++ {
+		j := bitrev(i, logN)
+		r.psiRev[j] = pows[i]
+		r.psiRevShoup[j] = mod.ShoupPrecomp(pows[i])
+		r.ipsiRev[j] = ipows[i]
+		r.ipsiRevShoup[j] = mod.ShoupPrecomp(ipows[i])
+	}
+	r.nInv = mod.Inv(uint64(n))
+	r.nInvShoup = mod.ShoupPrecomp(r.nInv)
+	return r
+}
+
+func (r *wordRing) N() int              { return r.n }
+func (r *wordRing) Width() int          { return 1 }
+func (r *wordRing) Modulus() *big.Int   { return new(big.Int).SetUint64(r.mod.Q) }
+func (r *wordRing) BitLen() int         { return r.mod.Bits }
+func (r *wordRing) ModulusWord() uint64 { return r.mod.Q }
+
+// NTT: iterative Cooley-Tukey with lazy Harvey butterflies. Input in natural
+// order fully reduced; output bit-reversed, fully reduced.
+func (r *wordRing) NTT(a []uint64) {
+	q, twoQ := r.mod.Q, r.mod.TwoQ
+	t := r.n
+	for m := 1; m < r.n; m <<= 1 {
+		t >>= 1
+		for i := 0; i < m; i++ {
+			w := r.psiRev[m+i]
+			ws := r.psiRevShoup[m+i]
+			j1 := 2 * i * t
+			for j := j1; j < j1+t; j++ {
+				u := a[j]
+				if u >= twoQ {
+					u -= twoQ
+				}
+				v := r.mod.ShoupMulLazy(a[j+t], w, ws)
+				a[j] = u + v
+				a[j+t] = u + twoQ - v
+			}
+		}
+	}
+	for j := range a {
+		if a[j] >= twoQ {
+			a[j] -= twoQ
+		}
+		if a[j] >= q {
+			a[j] -= q
+		}
+	}
+}
+
+// INTT: Gentleman-Sande, bit-reversed input → natural order output, fully
+// reduced, including the 1/N scaling.
+func (r *wordRing) INTT(a []uint64) {
+	twoQ := r.mod.TwoQ
+	t := 1
+	for m := r.n >> 1; m >= 1; m >>= 1 {
+		j1 := 0
+		for i := 0; i < m; i++ {
+			w := r.ipsiRev[m+i]
+			ws := r.ipsiRevShoup[m+i]
+			for j := j1; j < j1+t; j++ {
+				u := a[j]
+				v := a[j+t]
+				s := u + v
+				if s >= twoQ {
+					s -= twoQ
+				}
+				a[j] = s
+				a[j+t] = r.mod.ShoupMulLazy(u+twoQ-v, w, ws)
+			}
+			j1 += 2 * t
+		}
+		t <<= 1
+	}
+	for j := range a {
+		a[j] = r.mod.ShoupMul(a[j], r.nInv, r.nInvShoup)
+	}
+}
+
+func (r *wordRing) Add(a, b, out []uint64) {
+	for i := range out {
+		out[i] = r.mod.Add(a[i], b[i])
+	}
+}
+
+func (r *wordRing) Sub(a, b, out []uint64) {
+	for i := range out {
+		out[i] = r.mod.Sub(a[i], b[i])
+	}
+}
+
+func (r *wordRing) Neg(a, out []uint64) {
+	for i := range out {
+		out[i] = r.mod.Neg(a[i])
+	}
+}
+
+func (r *wordRing) MulCoeffs(a, b, out []uint64) {
+	for i := range out {
+		out[i] = r.mod.Mul(a[i], b[i])
+	}
+}
+
+func (r *wordRing) MulCoeffsThenAdd(a, b, out []uint64) {
+	for i := range out {
+		out[i] = r.mod.Add(out[i], r.mod.Mul(a[i], b[i]))
+	}
+}
+
+func (r *wordRing) MulScalar(a []uint64, s *big.Int, out []uint64) {
+	sv := new(big.Int).Mod(s, r.Modulus()).Uint64()
+	ss := r.mod.ShoupPrecomp(sv)
+	for i := range out {
+		out[i] = r.mod.ShoupMul(a[i], sv, ss)
+	}
+}
+
+func (r *wordRing) SubScalarThenMulScalar(a []uint64, c, s *big.Int, out []uint64) {
+	cv := new(big.Int).Mod(c, r.Modulus()).Uint64()
+	sv := new(big.Int).Mod(s, r.Modulus()).Uint64()
+	ss := r.mod.ShoupPrecomp(sv)
+	for i := range out {
+		out[i] = r.mod.ShoupMul(r.mod.Sub(a[i], cv), sv, ss)
+	}
+}
+
+func (r *wordRing) Automorphism(a []uint64, galEl uint64, out []uint64) {
+	n := uint64(r.n)
+	twoN := 2 * n
+	mask := twoN - 1
+	for i := uint64(0); i < n; i++ {
+		j := (i * galEl) & mask
+		if j < n {
+			out[j] = a[i]
+		} else {
+			out[j-n] = r.mod.Neg(a[i])
+		}
+	}
+}
+
+func (r *wordRing) ReduceFrom(src SubRing, a, out []uint64) {
+	switch s := src.(type) {
+	case *wordRing:
+		if s.mod.Q == r.mod.Q {
+			copy(out, a)
+			return
+		}
+		for i := range out {
+			out[i] = r.mod.Reduce(a[i])
+		}
+	case *wideRing:
+		for i := range out {
+			out[i] = r.mod.Reduce128(a[2*i+1], a[2*i])
+		}
+	default:
+		panic("ring: unknown source subring")
+	}
+}
+
+func (r *wordRing) SetCoeffBig(a []uint64, j int, v *big.Int) {
+	a[j] = v.Uint64()
+}
+
+func (r *wordRing) CoeffBig(a []uint64, j int, out *big.Int) {
+	out.SetUint64(a[j])
+}
+
+func (r *wordRing) SetCoeffInt64(a []uint64, j int, v int64) {
+	if v >= 0 {
+		a[j] = r.mod.Reduce(uint64(v))
+	} else {
+		a[j] = r.mod.Neg(r.mod.Reduce(uint64(-v)))
+	}
+}
+
+func (r *wordRing) SampleUniform(rng *rand.Rand, a []uint64) {
+	for i := range a {
+		for {
+			v := rng.Uint64() & r.mask
+			if v < r.mod.Q {
+				a[i] = v
+				break
+			}
+		}
+	}
+}

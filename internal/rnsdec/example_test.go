@@ -1,0 +1,32 @@
+package rnsdec_test
+
+import (
+	"fmt"
+
+	"cnnhe/internal/rnsdec"
+)
+
+// ExampleBasis reproduces the paper's Fig. 2: residue decomposition,
+// component-wise arithmetic and CRT recomposition.
+func ExampleBasis() {
+	basis, _ := rnsdec.NewBasis([]int64{251, 256, 255})
+	x := int64(1000)
+	res := basis.Decompose(x)
+	fmt.Println(res)
+	fmt.Println(basis.Compose(res))
+	// Output:
+	// [247 232 235]
+	// 1000
+}
+
+// ExampleDigitBasis shows the decomposition mode the encrypted Fig. 5
+// pipeline uses: recomposition is linear, so it commutes with any linear
+// layer.
+func ExampleDigitBasis() {
+	d, _ := rnsdec.NewDigitBasis(16, 2)
+	fmt.Println(d.Decompose(255))
+	fmt.Println(d.Weights())
+	// Output:
+	// [15 15]
+	// [1 16]
+}

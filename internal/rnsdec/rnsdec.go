@@ -1,0 +1,288 @@
+// Package rnsdec implements the plaintext-level residue-number-system
+// decomposition of the paper's Figures 2 and 5: an input tensor of
+// integers (e.g. pixel values in [0, 255]) is decomposed into several
+// smaller tensors that propagate through the (linear) convolutional stage
+// independently and in parallel, and are recomposed afterwards.
+//
+// Two exact modes are provided (see DESIGN.md §3, substitution S4):
+//
+//   - Residue mode (Basis): true RNS residues x mod m_i with CRT
+//     recomposition. Recomposing requires a reduction modulo M = ∏ m_i,
+//     which an approximate-HE scheme cannot evaluate blindly, so this mode
+//     recomposes on decrypted outputs (the client side of Fig 1) — or on
+//     plaintext tensors.
+//
+//   - Digit mode (DigitBasis): positional decomposition x = Σ_i d_i·Bⁱ.
+//     Recomposition Σ_i Bⁱ·L(d_i) is linear, hence fully homomorphic: this
+//     is the mode the encrypted Fig 5 pipeline uses.
+package rnsdec
+
+import (
+	"fmt"
+	"math"
+)
+
+// Basis is a set of pairwise co-prime small moduli for residue
+// decomposition.
+type Basis struct {
+	Moduli []int64
+	// M is the dynamic range ∏ m_i; values must lie in [0, M).
+	M int64
+	// crtW[i] = (M/m_i)·((M/m_i)^{-1} mod m_i), the CRT recombination
+	// weights: x = Σ r_i·crtW[i] mod M.
+	crtW []int64
+}
+
+// NewBasis validates that the moduli are > 1 and pairwise co-prime and
+// precomputes the CRT weights. The product must fit in int64.
+func NewBasis(moduli []int64) (Basis, error) {
+	if len(moduli) == 0 {
+		return Basis{}, fmt.Errorf("rnsdec: empty basis")
+	}
+	m := int64(1)
+	for i, mi := range moduli {
+		if mi <= 1 {
+			return Basis{}, fmt.Errorf("rnsdec: modulus %d must be > 1", mi)
+		}
+		for _, mj := range moduli[:i] {
+			if gcd(mi, mj) != 1 {
+				return Basis{}, fmt.Errorf("rnsdec: moduli %d and %d are not co-prime", mi, mj)
+			}
+		}
+		if m > math.MaxInt64/mi {
+			return Basis{}, fmt.Errorf("rnsdec: basis product overflows int64")
+		}
+		m *= mi
+	}
+	b := Basis{Moduli: append([]int64(nil), moduli...), M: m}
+	for _, mi := range b.Moduli {
+		hat := m / mi
+		inv := modInverse(hat%mi, mi)
+		if inv < 0 {
+			return Basis{}, fmt.Errorf("rnsdec: no inverse for M/%d", mi)
+		}
+		w := mulMod(hat, inv, m) // hat·inv can overflow; reduce mod M carefully
+		b.crtW = append(b.crtW, w)
+	}
+	return b, nil
+}
+
+// DefaultBasis returns a basis of k pairwise co-prime moduli near 256,
+// large enough for 8-bit image data (k ≥ 1). The moduli are chosen
+// descending from 256 greedily.
+func DefaultBasis(k int) (Basis, error) {
+	var mods []int64
+	cand := int64(256)
+	for len(mods) < k && cand > 1 {
+		ok := true
+		for _, m := range mods {
+			if gcd(cand, m) != 1 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			mods = append(mods, cand)
+		}
+		cand--
+	}
+	if len(mods) < k {
+		return Basis{}, fmt.Errorf("rnsdec: cannot build %d co-prime moduli", k)
+	}
+	return NewBasis(mods)
+}
+
+func gcd(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// modInverse returns a^{-1} mod m, or -1 when it does not exist.
+func modInverse(a, m int64) int64 {
+	g, x, _ := extGCD(a%m, m)
+	if g != 1 {
+		return -1
+	}
+	return ((x % m) + m) % m
+}
+
+func extGCD(a, b int64) (g, x, y int64) {
+	if a == 0 {
+		return b, 0, 1
+	}
+	g, x1, y1 := extGCD(b%a, a)
+	return g, y1 - (b/a)*x1, x1
+}
+
+// mulMod returns a·b mod m without overflow (schoolbook on 32-bit halves).
+func mulMod(a, b, m int64) int64 {
+	a %= m
+	b %= m
+	var r int64
+	for b > 0 {
+		if b&1 == 1 {
+			r = (r + a) % m
+		}
+		a = (a << 1) % m
+		b >>= 1
+	}
+	return r
+}
+
+// Decompose returns the residues of x (which must lie in [0, M)).
+func (b Basis) Decompose(x int64) []int64 {
+	if x < 0 || x >= b.M {
+		panic(fmt.Sprintf("rnsdec: value %d outside dynamic range [0,%d)", x, b.M))
+	}
+	out := make([]int64, len(b.Moduli))
+	for i, m := range b.Moduli {
+		out[i] = x % m
+	}
+	return out
+}
+
+// Compose reconstructs x from its residues by CRT.
+func (b Basis) Compose(res []int64) int64 {
+	if len(res) != len(b.Moduli) {
+		panic("rnsdec: residue count mismatch")
+	}
+	var x int64
+	for i, r := range res {
+		x = (x + mulMod(r%b.Moduli[i], b.crtW[i], b.M)) % b.M
+	}
+	return x
+}
+
+// DecomposeTensor decomposes a tensor of integer-valued float64 entries
+// into one residue tensor per modulus.
+func (b Basis) DecomposeTensor(t []float64) [][]float64 {
+	parts := make([][]float64, len(b.Moduli))
+	for i := range parts {
+		parts[i] = make([]float64, len(t))
+	}
+	for j, v := range t {
+		res := b.Decompose(int64(math.Round(v)))
+		for i, r := range res {
+			parts[i][j] = float64(r)
+		}
+	}
+	return parts
+}
+
+// ComposeTensor reconstructs the original tensor from residue tensors.
+func (b Basis) ComposeTensor(parts [][]float64) []float64 {
+	if len(parts) != len(b.Moduli) {
+		panic("rnsdec: part count mismatch")
+	}
+	n := len(parts[0])
+	out := make([]float64, n)
+	res := make([]int64, len(parts))
+	for j := 0; j < n; j++ {
+		for i := range parts {
+			res[i] = int64(math.Round(parts[i][j]))
+		}
+		out[j] = float64(b.Compose(res))
+	}
+	return out
+}
+
+// DigitBasis is a positional base-B decomposition with a fixed digit count.
+type DigitBasis struct {
+	Base   int64
+	Digits int
+}
+
+// NewDigitBasis returns a digit basis covering [0, Base^Digits).
+func NewDigitBasis(base int64, digits int) (DigitBasis, error) {
+	if base < 2 || digits < 1 {
+		return DigitBasis{}, fmt.Errorf("rnsdec: invalid digit basis B=%d k=%d", base, digits)
+	}
+	r := int64(1)
+	for i := 0; i < digits; i++ {
+		if r > math.MaxInt64/base {
+			return DigitBasis{}, fmt.Errorf("rnsdec: digit range overflows int64")
+		}
+		r *= base
+	}
+	return DigitBasis{Base: base, Digits: digits}, nil
+}
+
+// Range returns the dynamic range Base^Digits.
+func (d DigitBasis) Range() int64 {
+	r := int64(1)
+	for i := 0; i < d.Digits; i++ {
+		r *= d.Base
+	}
+	return r
+}
+
+// Decompose returns the base-B digits of x, least significant first.
+func (d DigitBasis) Decompose(x int64) []int64 {
+	if x < 0 || x >= d.Range() {
+		panic(fmt.Sprintf("rnsdec: value %d outside digit range [0,%d)", x, d.Range()))
+	}
+	out := make([]int64, d.Digits)
+	for i := 0; i < d.Digits; i++ {
+		out[i] = x % d.Base
+		x /= d.Base
+	}
+	return out
+}
+
+// Compose reconstructs x = Σ digits[i]·Bⁱ.
+func (d DigitBasis) Compose(digits []int64) int64 {
+	var x int64
+	for i := d.Digits - 1; i >= 0; i-- {
+		x = x*d.Base + digits[i]
+	}
+	return x
+}
+
+// Weights returns the linear recomposition weights Bⁱ. Because the weights
+// are linear, recomposition commutes with any linear layer L:
+// L(x) = Σ Weights[i]·L(d_i) — the property the homomorphic Fig 5 pipeline
+// relies on.
+func (d DigitBasis) Weights() []float64 {
+	out := make([]float64, d.Digits)
+	w := 1.0
+	for i := range out {
+		out[i] = w
+		w *= float64(d.Base)
+	}
+	return out
+}
+
+// DecomposeTensor splits a tensor of integer-valued entries into digit
+// tensors, least significant first.
+func (d DigitBasis) DecomposeTensor(t []float64) [][]float64 {
+	parts := make([][]float64, d.Digits)
+	for i := range parts {
+		parts[i] = make([]float64, len(t))
+	}
+	for j, v := range t {
+		ds := d.Decompose(int64(math.Round(v)))
+		for i, dv := range ds {
+			parts[i][j] = float64(dv)
+		}
+	}
+	return parts
+}
+
+// ComposeTensor linearly recombines digit tensors: out = Σ Bⁱ·parts[i].
+// Unlike the residue mode this works on arbitrary real tensors (e.g. the
+// outputs of a linear layer applied per digit).
+func (d DigitBasis) ComposeTensor(parts [][]float64) []float64 {
+	if len(parts) != d.Digits {
+		panic("rnsdec: digit part count mismatch")
+	}
+	w := d.Weights()
+	out := make([]float64, len(parts[0]))
+	for i, p := range parts {
+		for j, v := range p {
+			out[j] += w[i] * v
+		}
+	}
+	return out
+}

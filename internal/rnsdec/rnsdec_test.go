@@ -1,0 +1,174 @@
+package rnsdec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasisRoundTrip(t *testing.T) {
+	b, err := NewBasis([]int64{251, 256, 255})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(raw uint32) bool {
+		x := int64(raw) % b.M
+		return b.Compose(b.Decompose(x)) == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBasisRejectsNonCoprime(t *testing.T) {
+	if _, err := NewBasis([]int64{6, 9}); err == nil {
+		t.Fatal("expected error for non-co-prime moduli")
+	}
+	if _, err := NewBasis([]int64{1, 7}); err == nil {
+		t.Fatal("expected error for modulus 1")
+	}
+	if _, err := NewBasis(nil); err == nil {
+		t.Fatal("expected error for empty basis")
+	}
+}
+
+func TestDefaultBasisProperties(t *testing.T) {
+	for k := 1; k <= 6; k++ {
+		b, err := DefaultBasis(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(b.Moduli) != k {
+			t.Fatalf("k=%d got %d moduli", k, len(b.Moduli))
+		}
+		if b.M < 256 {
+			t.Fatalf("k=%d range %d too small for pixels", k, b.M)
+		}
+		for i, mi := range b.Moduli {
+			for _, mj := range b.Moduli[:i] {
+				if gcd(mi, mj) != 1 {
+					t.Fatalf("moduli %d,%d not coprime", mi, mj)
+				}
+			}
+		}
+	}
+}
+
+func TestBasisTensorRoundTrip(t *testing.T) {
+	b, err := DefaultBasis(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	img := make([]float64, 784)
+	for i := range img {
+		img[i] = float64(rng.Intn(256))
+	}
+	parts := b.DecomposeTensor(img)
+	if len(parts) != 3 {
+		t.Fatal("want 3 residue tensors")
+	}
+	back := b.ComposeTensor(parts)
+	for i := range img {
+		if back[i] != img[i] {
+			t.Fatalf("tensor roundtrip mismatch at %d", i)
+		}
+	}
+}
+
+func TestBasisOutOfRangePanics(t *testing.T) {
+	b, _ := NewBasis([]int64{5, 7})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range value")
+		}
+	}()
+	b.Decompose(35)
+}
+
+func TestDigitBasisRoundTrip(t *testing.T) {
+	d, err := NewDigitBasis(16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := int64(0); x < 256; x++ {
+		if got := d.Compose(d.Decompose(x)); got != x {
+			t.Fatalf("digit roundtrip %d -> %d", x, got)
+		}
+	}
+}
+
+// TestDigitModeCommutesWithLinearLayer is the core property the encrypted
+// Fig 5 pipeline relies on: for any linear map L,
+// L(x) = Σ_i Bⁱ·L(d_i(x)).
+func TestDigitModeCommutesWithLinearLayer(t *testing.T) {
+	d, err := NewDigitBasis(16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	n, m := 32, 8
+	// random linear map
+	w := make([][]float64, m)
+	for i := range w {
+		w[i] = make([]float64, n)
+		for j := range w[i] {
+			w[i][j] = rng.Float64()*2 - 1
+		}
+	}
+	apply := func(x []float64) []float64 {
+		out := make([]float64, m)
+		for i := range w {
+			for j := range x {
+				out[i] += w[i][j] * x[j]
+			}
+		}
+		return out
+	}
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = float64(rng.Intn(256))
+	}
+	direct := apply(x)
+	parts := d.DecomposeTensor(x)
+	outs := make([][]float64, len(parts))
+	for i, p := range parts {
+		outs[i] = apply(p)
+	}
+	recombined := d.ComposeTensor(outs)
+	for i := range direct {
+		if diff := direct[i] - recombined[i]; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("linearity violated at %d: %g vs %g", i, direct[i], recombined[i])
+		}
+	}
+}
+
+func TestDigitBasisErrors(t *testing.T) {
+	if _, err := NewDigitBasis(1, 3); err == nil {
+		t.Fatal("expected error for base 1")
+	}
+	if _, err := NewDigitBasis(10, 0); err == nil {
+		t.Fatal("expected error for zero digits")
+	}
+	if _, err := NewDigitBasis(1<<32, 3); err == nil {
+		t.Fatal("expected overflow error")
+	}
+}
+
+func TestCRTWeightsAreUnitVectors(t *testing.T) {
+	b, err := NewBasis([]int64{7, 11, 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range b.crtW {
+		for j, m := range b.Moduli {
+			want := int64(0)
+			if i == j {
+				want = 1
+			}
+			if w%m != want {
+				t.Fatalf("crtW[%d] mod m[%d] = %d want %d", i, j, w%m, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,267 @@
+// Package tensor provides the dense float64 tensors and the convolution /
+// matrix kernels used by the plaintext training stack (internal/nn) and by
+// the homomorphic model compiler (internal/henn), which lowers every linear
+// layer — convolutions included — to an explicit matrix acting on a packed
+// vector.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tensor is a dense row-major float64 tensor.
+type Tensor struct {
+	Shape []int
+	Data  []float64
+}
+
+// New allocates a zero tensor with the given shape.
+func New(shape ...int) *Tensor {
+	n := 1
+	for _, s := range shape {
+		if s <= 0 {
+			panic(fmt.Sprintf("tensor: invalid dimension %d", s))
+		}
+		n *= s
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: make([]float64, n)}
+}
+
+// FromSlice wraps data (not copied) with the given shape.
+func FromSlice(data []float64, shape ...int) *Tensor {
+	n := 1
+	for _, s := range shape {
+		n *= s
+	}
+	if n != len(data) {
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %v", len(data), shape))
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: data}
+}
+
+// Len returns the number of elements.
+func (t *Tensor) Len() int { return len(t.Data) }
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	out := New(t.Shape...)
+	copy(out.Data, t.Data)
+	return out
+}
+
+// At3 reads element (c, i, j) of a [C, H, W] tensor.
+func (t *Tensor) At3(c, i, j int) float64 {
+	return t.Data[(c*t.Shape[1]+i)*t.Shape[2]+j]
+}
+
+// Set3 writes element (c, i, j) of a [C, H, W] tensor.
+func (t *Tensor) Set3(c, i, j int, v float64) {
+	t.Data[(c*t.Shape[1]+i)*t.Shape[2]+j] = v
+}
+
+// ConvShape returns the output spatial size of a convolution.
+func ConvShape(in, kernel, stride, pad int) int {
+	return (in+2*pad-kernel)/stride + 1
+}
+
+// Conv2D computes a standard multi-channel 2-D convolution (actually
+// cross-correlation, as in every DL framework).
+//
+//	input:   [C, H, W]
+//	weights: [OC, C, KH, KW]
+//	bias:    [OC]
+//
+// Returns [OC, OH, OW].
+func Conv2D(input, weights *Tensor, bias []float64, stride, pad int) *Tensor {
+	c, h, w := input.Shape[0], input.Shape[1], input.Shape[2]
+	oc, ic, kh, kw := weights.Shape[0], weights.Shape[1], weights.Shape[2], weights.Shape[3]
+	if ic != c {
+		panic("tensor: channel mismatch")
+	}
+	oh := ConvShape(h, kh, stride, pad)
+	ow := ConvShape(w, kw, stride, pad)
+	out := New(oc, oh, ow)
+	for o := 0; o < oc; o++ {
+		b := 0.0
+		if bias != nil {
+			b = bias[o]
+		}
+		for oi := 0; oi < oh; oi++ {
+			for oj := 0; oj < ow; oj++ {
+				acc := b
+				for ci := 0; ci < c; ci++ {
+					for ki := 0; ki < kh; ki++ {
+						ii := oi*stride + ki - pad
+						if ii < 0 || ii >= h {
+							continue
+						}
+						for kj := 0; kj < kw; kj++ {
+							jj := oj*stride + kj - pad
+							if jj < 0 || jj >= w {
+								continue
+							}
+							acc += input.At3(ci, ii, jj) *
+								weights.Data[((o*c+ci)*kh+ki)*kw+kj]
+						}
+					}
+				}
+				out.Set3(o, oi, oj, acc)
+			}
+		}
+	}
+	return out
+}
+
+// Im2Col unrolls convolution patches into a matrix of shape
+// [OH·OW, C·KH·KW] so that convolution becomes a matrix product with the
+// reshaped kernel. Out-of-bounds (padding) entries are zero.
+func Im2Col(input *Tensor, kh, kw, stride, pad int) *Tensor {
+	c, h, w := input.Shape[0], input.Shape[1], input.Shape[2]
+	oh := ConvShape(h, kh, stride, pad)
+	ow := ConvShape(w, kw, stride, pad)
+	cols := c * kh * kw
+	out := New(oh*ow, cols)
+	row := 0
+	for oi := 0; oi < oh; oi++ {
+		for oj := 0; oj < ow; oj++ {
+			col := 0
+			for ci := 0; ci < c; ci++ {
+				for ki := 0; ki < kh; ki++ {
+					ii := oi*stride + ki - pad
+					for kj := 0; kj < kw; kj++ {
+						jj := oj*stride + kj - pad
+						if ii >= 0 && ii < h && jj >= 0 && jj < w {
+							out.Data[row*cols+col] = input.At3(ci, ii, jj)
+						}
+						col++
+					}
+				}
+			}
+			row++
+		}
+	}
+	return out
+}
+
+// MatMul returns a·b for a [m, k] and b [k, n].
+func MatMul(a, b *Tensor) *Tensor {
+	m, k := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic("tensor: matmul shape mismatch")
+	}
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		for l := 0; l < k; l++ {
+			av := a.Data[i*k+l]
+			if av == 0 {
+				continue
+			}
+			bo := l * n
+			oo := i * n
+			for j := 0; j < n; j++ {
+				out.Data[oo+j] += av * b.Data[bo+j]
+			}
+		}
+	}
+	return out
+}
+
+// MatVec returns m·v for m [r, c] and v length c.
+func MatVec(m *Tensor, v []float64) []float64 {
+	r, c := m.Shape[0], m.Shape[1]
+	if len(v) != c {
+		panic("tensor: matvec shape mismatch")
+	}
+	out := make([]float64, r)
+	for i := 0; i < r; i++ {
+		acc := 0.0
+		row := m.Data[i*c : (i+1)*c]
+		for j, mv := range row {
+			acc += mv * v[j]
+		}
+		out[i] = acc
+	}
+	return out
+}
+
+// ConvAsMatrix lowers a convolution to the explicit matrix M (and bias
+// vector) such that flatten(Conv2D(x)) = M·flatten(x) + bias. The matrix
+// has shape [OC·OH·OW, C·H·W]. This is how the homomorphic pipeline
+// evaluates convolutions on packed ciphertexts.
+func ConvAsMatrix(weights *Tensor, bias []float64, c, h, w, stride, pad int) (*Tensor, []float64) {
+	oc, ic, kh, kw := weights.Shape[0], weights.Shape[1], weights.Shape[2], weights.Shape[3]
+	if ic != c {
+		panic("tensor: channel mismatch")
+	}
+	oh := ConvShape(h, kh, stride, pad)
+	ow := ConvShape(w, kw, stride, pad)
+	rows := oc * oh * ow
+	cols := c * h * w
+	m := New(rows, cols)
+	bOut := make([]float64, rows)
+	row := 0
+	for o := 0; o < oc; o++ {
+		for oi := 0; oi < oh; oi++ {
+			for oj := 0; oj < ow; oj++ {
+				if bias != nil {
+					bOut[row] = bias[o]
+				}
+				for ci := 0; ci < c; ci++ {
+					for ki := 0; ki < kh; ki++ {
+						ii := oi*stride + ki - pad
+						if ii < 0 || ii >= h {
+							continue
+						}
+						for kj := 0; kj < kw; kj++ {
+							jj := oj*stride + kj - pad
+							if jj < 0 || jj >= w {
+								continue
+							}
+							m.Data[row*cols+(ci*h+ii)*w+jj] =
+								weights.Data[((o*c+ci)*kh+ki)*kw+kj]
+						}
+					}
+				}
+				row++
+			}
+		}
+	}
+	return m, bOut
+}
+
+// MeanPool2D performs average pooling with the given window and stride on a
+// [C, H, W] tensor.
+func MeanPool2D(input *Tensor, window, stride int) *Tensor {
+	c, h, w := input.Shape[0], input.Shape[1], input.Shape[2]
+	oh := ConvShape(h, window, stride, 0)
+	ow := ConvShape(w, window, stride, 0)
+	out := New(c, oh, ow)
+	inv := 1.0 / float64(window*window)
+	for ci := 0; ci < c; ci++ {
+		for oi := 0; oi < oh; oi++ {
+			for oj := 0; oj < ow; oj++ {
+				acc := 0.0
+				for ki := 0; ki < window; ki++ {
+					for kj := 0; kj < window; kj++ {
+						acc += input.At3(ci, oi*stride+ki, oj*stride+kj)
+					}
+				}
+				out.Set3(ci, oi, oj, acc*inv)
+			}
+		}
+	}
+	return out
+}
+
+// MaxAbs returns the largest absolute value in the tensor.
+func (t *Tensor) MaxAbs() float64 {
+	m := 0.0
+	for _, v := range t.Data {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}

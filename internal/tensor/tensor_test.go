@@ -1,0 +1,161 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randTensor(rng *rand.Rand, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.Data {
+		t.Data[i] = rng.Float64()*2 - 1
+	}
+	return t
+}
+
+func TestConvShape(t *testing.T) {
+	cases := []struct{ in, k, s, p, want int }{
+		{28, 5, 2, 1, 13}, // CNN1/CNN2 first conv
+		{13, 5, 2, 1, 6},  // CNN2 second conv
+		{28, 5, 1, 0, 24},
+		{4, 2, 2, 0, 2},
+	}
+	for _, c := range cases {
+		if got := ConvShape(c.in, c.k, c.s, c.p); got != c.want {
+			t.Errorf("ConvShape(%d,%d,%d,%d) = %d want %d", c.in, c.k, c.s, c.p, got, c.want)
+		}
+	}
+}
+
+func TestConv2DMatchesNaiveDefinition(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	input := randTensor(rng, 2, 7, 7)
+	weights := randTensor(rng, 3, 2, 3, 3)
+	bias := []float64{0.1, -0.2, 0.3}
+	out := Conv2D(input, weights, bias, 2, 1)
+	if out.Shape[0] != 3 || out.Shape[1] != 4 || out.Shape[2] != 4 {
+		t.Fatalf("unexpected output shape %v", out.Shape)
+	}
+	// Check one arbitrary position against the definition.
+	o, oi, oj := 1, 2, 3
+	acc := bias[o]
+	for ci := 0; ci < 2; ci++ {
+		for ki := 0; ki < 3; ki++ {
+			for kj := 0; kj < 3; kj++ {
+				ii := oi*2 + ki - 1
+				jj := oj*2 + kj - 1
+				if ii < 0 || ii >= 7 || jj < 0 || jj >= 7 {
+					continue
+				}
+				acc += input.At3(ci, ii, jj) * weights.Data[((o*2+ci)*3+ki)*3+kj]
+			}
+		}
+	}
+	if math.Abs(out.At3(o, oi, oj)-acc) > 1e-12 {
+		t.Fatalf("conv mismatch: %g vs %g", out.At3(o, oi, oj), acc)
+	}
+}
+
+func TestIm2ColEquivalentToConv(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	input := randTensor(rng, 3, 9, 9)
+	weights := randTensor(rng, 4, 3, 3, 3)
+	stride, pad := 2, 1
+	direct := Conv2D(input, weights, nil, stride, pad)
+
+	cols := Im2Col(input, 3, 3, stride, pad)
+	// kernel reshaped to [OC, C·KH·KW]
+	k := FromSlice(weights.Data, 4, 27)
+	// out[r, o] = cols[r, :]·k[o, :]
+	oh, ow := direct.Shape[1], direct.Shape[2]
+	for o := 0; o < 4; o++ {
+		for r := 0; r < oh*ow; r++ {
+			acc := 0.0
+			for j := 0; j < 27; j++ {
+				acc += cols.Data[r*27+j] * k.Data[o*27+j]
+			}
+			if math.Abs(acc-direct.Data[o*oh*ow+r]) > 1e-10 {
+				t.Fatalf("im2col mismatch at o=%d r=%d", o, r)
+			}
+		}
+	}
+}
+
+func TestConvAsMatrixEquivalentToConv(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	input := randTensor(rng, 2, 8, 8)
+	weights := randTensor(rng, 3, 2, 5, 5)
+	bias := []float64{0.5, -0.5, 0.25}
+	stride, pad := 2, 1
+	direct := Conv2D(input, weights, bias, stride, pad)
+
+	m, b := ConvAsMatrix(weights, bias, 2, 8, 8, stride, pad)
+	flat := MatVec(m, input.Data)
+	for i := range flat {
+		flat[i] += b[i]
+	}
+	for i := range direct.Data {
+		if math.Abs(flat[i]-direct.Data[i]) > 1e-10 {
+			t.Fatalf("conv-as-matrix mismatch at %d: %g vs %g", i, flat[i], direct.Data[i])
+		}
+	}
+}
+
+func TestMatMulMatVec(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	b := FromSlice([]float64{7, 8, 9, 10, 11, 12}, 3, 2)
+	c := MatMul(a, b)
+	want := []float64{58, 64, 139, 154}
+	for i := range want {
+		if c.Data[i] != want[i] {
+			t.Fatalf("matmul mismatch: %v", c.Data)
+		}
+	}
+	v := MatVec(a, []float64{1, 0, -1})
+	if v[0] != -2 || v[1] != -2 {
+		t.Fatalf("matvec mismatch: %v", v)
+	}
+}
+
+func TestMeanPool2D(t *testing.T) {
+	input := FromSlice([]float64{
+		1, 2, 3, 4,
+		5, 6, 7, 8,
+		9, 10, 11, 12,
+		13, 14, 15, 16,
+	}, 1, 4, 4)
+	out := MeanPool2D(input, 2, 2)
+	want := []float64{3.5, 5.5, 11.5, 13.5}
+	for i := range want {
+		if out.Data[i] != want[i] {
+			t.Fatalf("meanpool mismatch: %v", out.Data)
+		}
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := New(2, 2)
+	a.Data[0] = 1
+	b := a.Clone()
+	b.Data[0] = 2
+	if a.Data[0] != 1 {
+		t.Fatal("clone aliases original")
+	}
+}
+
+func TestMaxAbs(t *testing.T) {
+	a := FromSlice([]float64{0.5, -3, 2}, 3)
+	if a.MaxAbs() != 3 {
+		t.Fatal("maxabs wrong")
+	}
+}
+
+func TestFromSlicePanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FromSlice([]float64{1, 2, 3}, 2, 2)
+}

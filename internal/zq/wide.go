@@ -1,0 +1,285 @@
+package zq
+
+import (
+	"math/big"
+	"math/bits"
+	"math/rand"
+)
+
+// MaxWideModulusBits is the largest supported bit size for a wide (two-word)
+// modulus. The bound leaves headroom for the lazy reductions inside the wide
+// NTT butterflies.
+const MaxWideModulusBits = 122
+
+// Wide is a 128-bit value stored as two little-endian words.
+type Wide struct {
+	Lo, Hi uint64
+}
+
+// WideFromBig converts a non-negative big.Int (< 2^128) to a Wide.
+func WideFromBig(v *big.Int) Wide {
+	var w Wide
+	w.Lo = new(big.Int).And(v, mask64).Uint64()
+	w.Hi = new(big.Int).Rsh(v, 64).Uint64()
+	return w
+}
+
+// Big converts w to a big.Int.
+func (w Wide) Big() *big.Int {
+	v := new(big.Int).SetUint64(w.Hi)
+	v.Lsh(v, 64)
+	return v.Or(v, new(big.Int).SetUint64(w.Lo))
+}
+
+// IsZero reports whether w == 0.
+func (w Wide) IsZero() bool { return w.Lo == 0 && w.Hi == 0 }
+
+// Less reports whether w < v.
+func (w Wide) Less(v Wide) bool {
+	if w.Hi != v.Hi {
+		return w.Hi < v.Hi
+	}
+	return w.Lo < v.Lo
+}
+
+var mask64 = new(big.Int).SetUint64(^uint64(0))
+
+// WideModulus bundles a wide prime q (62–122 bits) with its Barrett and
+// bookkeeping constants.
+type WideModulus struct {
+	Q    Wide      // the modulus
+	MU   [4]uint64 // Barrett constant: floor(2^256 / q), little-endian words
+	Bits int
+	bigQ *big.Int
+}
+
+// NewWideModulus precomputes the reduction constants for q, given as a
+// big.Int. It panics if q is out of the supported [2^61, 2^122] range.
+func NewWideModulus(q *big.Int) WideModulus {
+	bl := q.BitLen()
+	if bl <= MaxWordModulusBits || bl > MaxWideModulusBits {
+		panic("zq: wide modulus out of range")
+	}
+	mu := new(big.Int).Lsh(big.NewInt(1), 256)
+	mu.Quo(mu, q)
+	var m WideModulus
+	m.Q = WideFromBig(q)
+	m.Bits = bl
+	m.bigQ = new(big.Int).Set(q)
+	t := new(big.Int).Set(mu)
+	for i := 0; i < 4; i++ {
+		m.MU[i] = new(big.Int).And(t, mask64).Uint64()
+		t.Rsh(t, 64)
+	}
+	return m
+}
+
+// Modulus returns q as a big.Int (a fresh copy).
+func (m WideModulus) Modulus() *big.Int { return new(big.Int).Set(m.bigQ) }
+
+// Add returns x + y mod q for x, y in [0, q).
+func (m WideModulus) Add(x, y Wide) Wide {
+	lo, c := bits.Add64(x.Lo, y.Lo, 0)
+	hi, c2 := bits.Add64(x.Hi, y.Hi, c)
+	s := Wide{lo, hi}
+	if c2 == 1 || !s.Less(m.Q) {
+		s = rawSub(s, m.Q)
+	}
+	return s
+}
+
+// Sub returns x - y mod q for x, y in [0, q).
+func (m WideModulus) Sub(x, y Wide) Wide {
+	lo, b := bits.Sub64(x.Lo, y.Lo, 0)
+	hi, b2 := bits.Sub64(x.Hi, y.Hi, b)
+	s := Wide{lo, hi}
+	if b2 == 1 {
+		s = rawAdd(s, m.Q)
+	}
+	return s
+}
+
+// Neg returns -x mod q for x in [0, q).
+func (m WideModulus) Neg(x Wide) Wide {
+	if x.IsZero() {
+		return x
+	}
+	return rawSub(m.Q, x)
+}
+
+func rawAdd(x, y Wide) Wide {
+	lo, c := bits.Add64(x.Lo, y.Lo, 0)
+	hi, _ := bits.Add64(x.Hi, y.Hi, c)
+	return Wide{lo, hi}
+}
+
+func rawSub(x, y Wide) Wide {
+	lo, b := bits.Sub64(x.Lo, y.Lo, 0)
+	hi, _ := bits.Sub64(x.Hi, y.Hi, b)
+	return Wide{lo, hi}
+}
+
+// mul256 returns the full 256-bit product of two 128-bit values as four
+// little-endian words.
+func mul256(x, y Wide) [4]uint64 {
+	var p [4]uint64
+	h0, l0 := bits.Mul64(x.Lo, y.Lo)
+	h1, l1 := bits.Mul64(x.Lo, y.Hi)
+	h2, l2 := bits.Mul64(x.Hi, y.Lo)
+	h3, l3 := bits.Mul64(x.Hi, y.Hi)
+	p[0] = l0
+	// column 1: h0 + l1 + l2
+	s1, c1 := bits.Add64(h0, l1, 0)
+	s1, c1b := bits.Add64(s1, l2, 0)
+	p[1] = s1
+	carry1 := c1 + c1b
+	// column 2: h1 + h2 + l3 + carry1
+	s2, d1 := bits.Add64(h1, h2, 0)
+	s2, d2 := bits.Add64(s2, l3, 0)
+	s2, d3 := bits.Add64(s2, carry1, 0)
+	p[2] = s2
+	carry2 := d1 + d2 + d3
+	// column 3: h3 + carry2
+	p[3] = h3 + carry2
+	return p
+}
+
+// Mul returns x · y mod q for x, y in [0, q), using 256-bit Barrett
+// reduction.
+func (m WideModulus) Mul(x, y Wide) Wide {
+	p := mul256(x, y)
+	return m.Reduce256(p)
+}
+
+// Reduce256 reduces a 256-bit value a (< q·2^128) modulo q.
+func (m WideModulus) Reduce256(a [4]uint64) Wide {
+	// qhat = floor(a·MU / 2^256): we need words 4 and 5 of the 8-word
+	// product a·MU. Compute the full product columns 3..5 (column 3 only
+	// for its carry into column 4).
+	var prod [8]uint64
+	for i := 0; i < 4; i++ {
+		if a[i] == 0 {
+			continue
+		}
+		var carry uint64
+		for j := 0; j < 4; j++ {
+			hi, lo := bits.Mul64(a[i], m.MU[j])
+			s, c1 := bits.Add64(prod[i+j], lo, 0)
+			s, c2 := bits.Add64(s, carry, 0)
+			prod[i+j] = s
+			carry = hi + c1 + c2 // hi ≤ 2^64-2, so no overflow
+		}
+		k := i + 4
+		for carry != 0 && k < 8 {
+			var c uint64
+			prod[k], c = bits.Add64(prod[k], carry, 0)
+			carry = c
+			k++
+		}
+	}
+	qhat := Wide{prod[4], prod[5]}
+	// r = a - qhat·q, computed modulo 2^128 (the true remainder fits).
+	qq := mul256(qhat, m.Q)
+	lo, b := bits.Sub64(a[0], qq[0], 0)
+	hi, _ := bits.Sub64(a[1], qq[1], b)
+	r := Wide{lo, hi}
+	for !r.Less(m.Q) {
+		r = rawSub(r, m.Q)
+	}
+	return r
+}
+
+// Reduce reduces an arbitrary 128-bit value modulo q.
+func (m WideModulus) Reduce(x Wide) Wide {
+	if x.Less(m.Q) {
+		return x
+	}
+	return m.Reduce256([4]uint64{x.Lo, x.Hi, 0, 0})
+}
+
+// ReduceUint64 reduces a word-sized value modulo q (no-op for wide q > any
+// word, kept for interface symmetry).
+func (m WideModulus) ReduceUint64(x uint64) Wide {
+	w := Wide{Lo: x}
+	if w.Less(m.Q) {
+		return w
+	}
+	return m.Reduce(w)
+}
+
+// Pow returns x^e mod q.
+func (m WideModulus) Pow(x Wide, e uint64) Wide {
+	r := Wide{Lo: 1}
+	b := m.Reduce(x)
+	for e > 0 {
+		if e&1 == 1 {
+			r = m.Mul(r, b)
+		}
+		b = m.Mul(b, b)
+		e >>= 1
+	}
+	return r
+}
+
+// Inv returns x^{-1} mod q. q must be prime.
+func (m WideModulus) Inv(x Wide) Wide {
+	v := new(big.Int).ModInverse(x.Big(), m.bigQ)
+	if v == nil {
+		panic("zq: wide inverse does not exist")
+	}
+	return WideFromBig(v)
+}
+
+// PrimitiveNthRoot returns a primitive n-th root of unity mod q, n a power
+// of two dividing q-1.
+func (m WideModulus) PrimitiveNthRoot(n uint64, rng *rand.Rand) Wide {
+	if n == 0 || n&(n-1) != 0 {
+		panic("zq: n must be a power of two")
+	}
+	qm1 := new(big.Int).Sub(m.bigQ, big.NewInt(1))
+	if new(big.Int).Mod(qm1, new(big.Int).SetUint64(n)).Sign() != 0 {
+		panic("zq: n does not divide q-1")
+	}
+	exp := new(big.Int).Quo(qm1, new(big.Int).SetUint64(n))
+	for {
+		x := new(big.Int).Rand(rng, qm1)
+		if x.Sign() == 0 {
+			continue
+		}
+		w := new(big.Int).Exp(x, exp, m.bigQ)
+		chk := new(big.Int).Exp(w, new(big.Int).SetUint64(n/2), m.bigQ)
+		if chk.Cmp(qm1) == 0 {
+			return WideFromBig(w)
+		}
+	}
+}
+
+// ShoupPrecomp returns floor(w·2^256 / q) >> 128 — i.e. floor(w·2^128/q) —
+// for a fixed multiplicand w in [0, q), as a Wide.
+func (m WideModulus) ShoupPrecomp(w Wide) Wide {
+	v := w.Big()
+	v.Lsh(v, 128)
+	v.Quo(v, m.bigQ)
+	return WideFromBig(v)
+}
+
+// ShoupMul returns x·w mod q for x in [0, 2^128), w in [0, q), with
+// wShoup = ShoupPrecomp(w). The result is fully reduced.
+func (m WideModulus) ShoupMul(x, w, wShoup Wide) Wide {
+	r := m.ShoupMulLazy(x, w, wShoup)
+	if !r.Less(m.Q) {
+		r = rawSub(r, m.Q)
+	}
+	return r
+}
+
+// ShoupMulLazy returns x·w mod q in [0, 2q).
+func (m WideModulus) ShoupMulLazy(x, w, wShoup Wide) Wide {
+	p := mul256(x, wShoup)
+	qhat := Wide{p[2], p[3]}
+	xw := mul256(x, w)
+	qq := mul256(qhat, m.Q)
+	lo, b := bits.Sub64(xw[0], qq[0], 0)
+	hi, _ := bits.Sub64(xw[1], qq[1], b)
+	return Wide{lo, hi}
+}

@@ -1,0 +1,193 @@
+package zq
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// wideTestModuli: primes spanning the wide range (62–122 bits), of the NTT
+// form c·2^16+1 where possible (found offline; primality checked in test).
+func wideTestPrimes(t *testing.T) []*big.Int {
+	t.Helper()
+	var out []*big.Int
+	for _, bits := range []int{62, 80, 100, 122} {
+		p := findNTTPrimeBig(bits, 1<<13)
+		if !p.ProbablyPrime(32) {
+			t.Fatalf("generated non-prime for %d bits", bits)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// findNTTPrimeBig returns a prime of the given bit length congruent to
+// 1 mod 2n (helper shared with the primes package via duplication to keep
+// zq dependency-free).
+func findNTTPrimeBig(bitLen int, n uint64) *big.Int {
+	two := new(big.Int).SetUint64(2 * n)
+	p := new(big.Int).Lsh(big.NewInt(1), uint(bitLen-1))
+	// round up to 1 mod 2n
+	r := new(big.Int).Mod(p, two)
+	p.Sub(p, r)
+	p.Add(p, big.NewInt(1))
+	for {
+		p.Add(p, two)
+		if p.ProbablyPrime(20) {
+			return new(big.Int).Set(p)
+		}
+	}
+}
+
+func TestWideConversionsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	max := new(big.Int).Lsh(big.NewInt(1), 128)
+	for i := 0; i < 1000; i++ {
+		v := new(big.Int).Rand(rng, max)
+		w := WideFromBig(v)
+		if w.Big().Cmp(v) != 0 {
+			t.Fatalf("roundtrip failed for %v", v)
+		}
+	}
+}
+
+func TestWideModulusRange(t *testing.T) {
+	for _, bad := range []int64{1, 100, 1 << 20} {
+		func() {
+			defer func() { recover() }()
+			NewWideModulus(big.NewInt(bad))
+			t.Errorf("expected panic for %d", bad)
+		}()
+	}
+}
+
+func TestWideAddSubNeg(t *testing.T) {
+	for _, q := range wideTestPrimes(t) {
+		m := NewWideModulus(q)
+		rng := rand.New(rand.NewSource(11))
+		for i := 0; i < 500; i++ {
+			xb := new(big.Int).Rand(rng, q)
+			yb := new(big.Int).Rand(rng, q)
+			x, y := WideFromBig(xb), WideFromBig(yb)
+			add := new(big.Int).Add(xb, yb)
+			add.Mod(add, q)
+			if m.Add(x, y).Big().Cmp(add) != 0 {
+				t.Fatalf("add mismatch q=%v", q)
+			}
+			sub := new(big.Int).Sub(xb, yb)
+			sub.Mod(sub, q)
+			if m.Sub(x, y).Big().Cmp(sub) != 0 {
+				t.Fatalf("sub mismatch q=%v", q)
+			}
+			neg := new(big.Int).Neg(xb)
+			neg.Mod(neg, q)
+			if m.Neg(x).Big().Cmp(neg) != 0 {
+				t.Fatalf("neg mismatch q=%v", q)
+			}
+		}
+	}
+}
+
+func TestWideMul(t *testing.T) {
+	for _, q := range wideTestPrimes(t) {
+		m := NewWideModulus(q)
+		rng := rand.New(rand.NewSource(13))
+		for i := 0; i < 500; i++ {
+			xb := new(big.Int).Rand(rng, q)
+			yb := new(big.Int).Rand(rng, q)
+			want := new(big.Int).Mul(xb, yb)
+			want.Mod(want, q)
+			got := m.Mul(WideFromBig(xb), WideFromBig(yb))
+			if got.Big().Cmp(want) != 0 {
+				t.Fatalf("mul mismatch q=%v: got %v want %v", q, got.Big(), want)
+			}
+		}
+	}
+}
+
+func TestWideShoupMul(t *testing.T) {
+	for _, q := range wideTestPrimes(t) {
+		m := NewWideModulus(q)
+		rng := rand.New(rand.NewSource(17))
+		for i := 0; i < 300; i++ {
+			xb := new(big.Int).Rand(rng, q)
+			wb := new(big.Int).Rand(rng, q)
+			x, w := WideFromBig(xb), WideFromBig(wb)
+			ws := m.ShoupPrecomp(w)
+			want := new(big.Int).Mul(xb, wb)
+			want.Mod(want, q)
+			if m.ShoupMul(x, w, ws).Big().Cmp(want) != 0 {
+				t.Fatalf("shoup mul mismatch q=%v", q)
+			}
+			lazy := m.ShoupMulLazy(x, w, ws)
+			red := new(big.Int).Mod(lazy.Big(), q)
+			if red.Cmp(want) != 0 {
+				t.Fatalf("shoup lazy wrong residue q=%v", q)
+			}
+			bound := new(big.Int).Lsh(q, 1)
+			if lazy.Big().Cmp(bound) >= 0 {
+				t.Fatalf("shoup lazy out of [0,2q) q=%v", q)
+			}
+		}
+	}
+}
+
+func TestWidePowInvRoot(t *testing.T) {
+	q := findNTTPrimeBig(70, 1<<13)
+	m := NewWideModulus(q)
+	rng := rand.New(rand.NewSource(19))
+	for i := 0; i < 50; i++ {
+		xb := new(big.Int).Rand(rng, q)
+		if xb.Sign() == 0 {
+			continue
+		}
+		x := WideFromBig(xb)
+		inv := m.Inv(x)
+		one := m.Mul(x, inv)
+		if one.Lo != 1 || one.Hi != 0 {
+			t.Fatalf("x·x^-1 != 1")
+		}
+	}
+	n := uint64(1 << 14)
+	w := m.PrimitiveNthRoot(n, rng)
+	if p := m.Pow(w, n); p.Lo != 1 || p.Hi != 0 {
+		t.Fatal("w^n != 1")
+	}
+	minusOne := WideFromBig(new(big.Int).Sub(q, big.NewInt(1)))
+	if p := m.Pow(w, n/2); p != minusOne {
+		t.Fatal("w^{n/2} != -1")
+	}
+}
+
+func TestWideReduce256(t *testing.T) {
+	q := findNTTPrimeBig(122, 1<<13)
+	m := NewWideModulus(q)
+	rng := rand.New(rand.NewSource(23))
+	lim := new(big.Int).Mul(q, new(big.Int).Lsh(big.NewInt(1), 128))
+	for i := 0; i < 300; i++ {
+		v := new(big.Int).Rand(rng, lim)
+		var a [4]uint64
+		t2 := new(big.Int).Set(v)
+		for j := 0; j < 4; j++ {
+			a[j] = new(big.Int).And(t2, mask64).Uint64()
+			t2.Rsh(t2, 64)
+		}
+		want := new(big.Int).Mod(v, q)
+		if m.Reduce256(a).Big().Cmp(want) != 0 {
+			t.Fatalf("reduce256 mismatch for %v", v)
+		}
+	}
+}
+
+func BenchmarkWideMul(b *testing.B) {
+	q := findNTTPrimeBig(122, 1<<13)
+	m := NewWideModulus(q)
+	x := WideFromBig(new(big.Int).Rsh(q, 1))
+	y := WideFromBig(new(big.Int).Rsh(q, 2))
+	var r Wide
+	for i := 0; i < b.N; i++ {
+		r = m.Mul(x, y)
+		x = r
+	}
+	_ = r
+}

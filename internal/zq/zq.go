@@ -1,0 +1,191 @@
+// Package zq implements modular arithmetic over word-sized (≤ 61-bit) and
+// wide (62–122 bit) prime moduli. It is the lowest-level substrate of the
+// library: the polynomial rings in internal/ring build their NTTs and
+// coefficient arithmetic on top of the primitives defined here.
+//
+// Word-sized moduli use Barrett reduction for variable×variable products and
+// Shoup multiplication for variable×constant products (NTT twiddle factors,
+// scalar multiplication). Wide moduli are represented as two-word
+// little-endian pairs and use a 256-bit Barrett reduction.
+package zq
+
+import (
+	"math/big"
+	"math/bits"
+	"math/rand"
+)
+
+// MaxWordModulusBits is the largest bit size for which a modulus can use the
+// single-word fast path. The bound (61) leaves headroom for the lazy
+// reductions used inside the NTT butterflies, which keep intermediate values
+// in [0, 4q).
+const MaxWordModulusBits = 61
+
+// Modulus bundles a word-sized prime q with the precomputed constants used
+// by Barrett reduction.
+type Modulus struct {
+	Q     uint64    // the modulus
+	BRC   [2]uint64 // Barrett constant: floor(2^128 / q), (hi, lo) words
+	Bits  int       // bit length of q
+	TwoQ  uint64    // 2*q, used by lazy reductions
+	FourQ uint64    // 4*q
+}
+
+// NewModulus precomputes the reduction constants for q. It panics if q is
+// zero or wider than MaxWordModulusBits bits.
+func NewModulus(q uint64) Modulus {
+	if q == 0 {
+		panic("zq: zero modulus")
+	}
+	if bits.Len64(q) > MaxWordModulusBits {
+		panic("zq: modulus too wide for word arithmetic")
+	}
+	b := new(big.Int).Lsh(big.NewInt(1), 128)
+	b.Quo(b, new(big.Int).SetUint64(q))
+	lo := new(big.Int)
+	hi, _ := new(big.Int).DivMod(b, twoTo64, lo)
+	return Modulus{
+		Q:     q,
+		BRC:   [2]uint64{hi.Uint64(), lo.Uint64()},
+		Bits:  bits.Len64(q),
+		TwoQ:  2 * q,
+		FourQ: 4 * q,
+	}
+}
+
+var twoTo64 = new(big.Int).Lsh(big.NewInt(1), 64)
+
+// Add returns x + y mod q for x, y in [0, q).
+func (m Modulus) Add(x, y uint64) uint64 {
+	s := x + y
+	if s >= m.Q {
+		s -= m.Q
+	}
+	return s
+}
+
+// Sub returns x - y mod q for x, y in [0, q).
+func (m Modulus) Sub(x, y uint64) uint64 {
+	s := x - y
+	if s > x { // borrow
+		s += m.Q
+	}
+	return s
+}
+
+// Neg returns -x mod q for x in [0, q).
+func (m Modulus) Neg(x uint64) uint64 {
+	if x == 0 {
+		return 0
+	}
+	return m.Q - x
+}
+
+// Mul returns x * y mod q using Barrett reduction. x and y must be in
+// [0, 2q); the result is fully reduced.
+func (m Modulus) Mul(x, y uint64) uint64 {
+	hi, lo := bits.Mul64(x, y)
+	return m.reduce128(hi, lo)
+}
+
+// reduce128 reduces the 128-bit value (hi, lo) modulo q.
+func (m Modulus) reduce128(hi, lo uint64) uint64 {
+	// Quotient estimate: floor((hi·2^64 + lo) · BRC / 2^128).
+	ahi, _ := bits.Mul64(lo, m.BRC[1])
+	bhi, blo := bits.Mul64(lo, m.BRC[0])
+	chi, clo := bits.Mul64(hi, m.BRC[1])
+	mid, c1 := bits.Add64(blo, clo, 0)
+	_, c2 := bits.Add64(mid, ahi, 0)
+	qhat := hi*m.BRC[0] + bhi + chi + c1 + c2
+	r := lo - qhat*m.Q
+	for r >= m.Q {
+		r -= m.Q
+	}
+	return r
+}
+
+// Reduce returns x mod q for arbitrary x.
+func (m Modulus) Reduce(x uint64) uint64 {
+	if x < m.Q {
+		return x
+	}
+	return x % m.Q
+}
+
+// Reduce128 returns (hi·2^64 + lo) mod q for arbitrary hi, lo.
+func (m Modulus) Reduce128(hi, lo uint64) uint64 {
+	if hi == 0 && lo < m.Q {
+		return lo
+	}
+	_, r := bits.Div64(hi%m.Q, lo, m.Q)
+	return r
+}
+
+// Pow returns x^e mod q by square-and-multiply.
+func (m Modulus) Pow(x, e uint64) uint64 {
+	r := uint64(1)
+	b := m.Reduce(x)
+	for e > 0 {
+		if e&1 == 1 {
+			r = m.Mul(r, b)
+		}
+		b = m.Mul(b, b)
+		e >>= 1
+	}
+	return r
+}
+
+// Inv returns x^{-1} mod q. q must be prime and x nonzero mod q.
+func (m Modulus) Inv(x uint64) uint64 {
+	x = m.Reduce(x)
+	if x == 0 {
+		panic("zq: inverse of zero")
+	}
+	return m.Pow(x, m.Q-2)
+}
+
+// PrimitiveNthRoot returns a primitive n-th root of unity modulo q, where n
+// is a power of two dividing q-1. The search is randomized but deterministic
+// for a given rng.
+func (m Modulus) PrimitiveNthRoot(n uint64, rng *rand.Rand) uint64 {
+	if n == 0 || n&(n-1) != 0 {
+		panic("zq: n must be a power of two")
+	}
+	if (m.Q-1)%n != 0 {
+		panic("zq: n does not divide q-1")
+	}
+	exp := (m.Q - 1) / n
+	for {
+		x := rng.Uint64()%(m.Q-2) + 2
+		w := m.Pow(x, exp)
+		// w is an n-th root; it is primitive iff w^(n/2) == -1.
+		if m.Pow(w, n/2) == m.Q-1 {
+			return w
+		}
+	}
+}
+
+// ShoupPrecomp returns the Shoup precomputation floor(w·2^64/q) for the
+// fixed multiplicand w in [0, q).
+func (m Modulus) ShoupPrecomp(w uint64) uint64 {
+	hi, _ := bits.Div64(w, 0, m.Q)
+	return hi
+}
+
+// ShoupMul returns x·w mod q, where wShoup = ShoupPrecomp(w). x must be in
+// [0, q); the result is fully reduced.
+func (m Modulus) ShoupMul(x, w, wShoup uint64) uint64 {
+	qhat, _ := bits.Mul64(x, wShoup)
+	r := x*w - qhat*m.Q
+	if r >= m.Q {
+		r -= m.Q
+	}
+	return r
+}
+
+// ShoupMulLazy returns x·w mod q in [0, 2q) for x in [0, 2q). Used inside
+// the lazy NTT butterflies.
+func (m Modulus) ShoupMulLazy(x, w, wShoup uint64) uint64 {
+	qhat, _ := bits.Mul64(x, wShoup)
+	return x*w - qhat*m.Q
+}

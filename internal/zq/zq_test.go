@@ -1,0 +1,183 @@
+package zq
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// test moduli spanning the supported word range: small, medium, near the cap.
+var testModuli = []uint64{
+	0x3001,              // 12289, classic NTT prime
+	1<<26 - 5,           // not prime, but reduction identities still hold
+	2013265921,          // 15·2^27+1
+	1152921504606584833, // 2^60-ish NTT prime (2^60 - 2^14 + 1)
+	(1 << 61) - 1,       // Mersenne, 61-bit cap
+}
+
+func TestNewModulusPanicsOnWide(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for 62-bit modulus")
+		}
+	}()
+	NewModulus(1 << 62)
+}
+
+func TestNewModulusPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero modulus")
+		}
+	}()
+	NewModulus(0)
+}
+
+func TestAddSubNeg(t *testing.T) {
+	for _, q := range testModuli {
+		m := NewModulus(q)
+		bq := new(big.Int).SetUint64(q)
+		f := func(a, b uint64) bool {
+			x, y := a%q, b%q
+			add := new(big.Int).Add(new(big.Int).SetUint64(x), new(big.Int).SetUint64(y))
+			add.Mod(add, bq)
+			sub := new(big.Int).Sub(new(big.Int).SetUint64(x), new(big.Int).SetUint64(y))
+			sub.Mod(sub, bq)
+			neg := new(big.Int).Neg(new(big.Int).SetUint64(x))
+			neg.Mod(neg, bq)
+			return m.Add(x, y) == add.Uint64() &&
+				m.Sub(x, y) == sub.Uint64() &&
+				m.Neg(x) == neg.Uint64()
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("q=%d: %v", q, err)
+		}
+	}
+}
+
+func TestMulBarrett(t *testing.T) {
+	for _, q := range testModuli {
+		m := NewModulus(q)
+		bq := new(big.Int).SetUint64(q)
+		f := func(a, b uint64) bool {
+			x, y := a%q, b%q
+			want := new(big.Int).Mul(new(big.Int).SetUint64(x), new(big.Int).SetUint64(y))
+			want.Mod(want, bq)
+			return m.Mul(x, y) == want.Uint64()
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("q=%d: %v", q, err)
+		}
+	}
+}
+
+func TestMulLazyOperands(t *testing.T) {
+	// Mul must also accept operands in [0, 2q).
+	q := testModuli[3]
+	m := NewModulus(q)
+	bq := new(big.Int).SetUint64(q)
+	f := func(a, b uint64) bool {
+		x, y := a%(2*q), b%(2*q)
+		want := new(big.Int).Mul(new(big.Int).SetUint64(x), new(big.Int).SetUint64(y))
+		want.Mod(want, bq)
+		return m.Mul(x, y) == want.Uint64()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReduce128(t *testing.T) {
+	for _, q := range testModuli {
+		m := NewModulus(q)
+		bq := new(big.Int).SetUint64(q)
+		f := func(hi, lo uint64) bool {
+			v := new(big.Int).SetUint64(hi)
+			v.Lsh(v, 64)
+			v.Or(v, new(big.Int).SetUint64(lo))
+			v.Mod(v, bq)
+			return m.Reduce128(hi, lo) == v.Uint64()
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("q=%d: %v", q, err)
+		}
+	}
+}
+
+func TestPowInv(t *testing.T) {
+	q := uint64(2013265921) // prime
+	m := NewModulus(q)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		x := rng.Uint64()%(q-1) + 1
+		inv := m.Inv(x)
+		if m.Mul(x, inv) != 1 {
+			t.Fatalf("x·x^-1 != 1 for x=%d", x)
+		}
+	}
+	if m.Pow(0, 0) != 1 {
+		t.Error("0^0 should be 1")
+	}
+	if m.Pow(7, 1) != 7 {
+		t.Error("7^1 should be 7")
+	}
+}
+
+func TestPrimitiveNthRoot(t *testing.T) {
+	q := uint64(2013265921) // 15·2^27 + 1: supports n up to 2^27
+	m := NewModulus(q)
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []uint64{2, 8, 1 << 12, 1 << 15} {
+		w := m.PrimitiveNthRoot(n, rng)
+		if m.Pow(w, n) != 1 {
+			t.Fatalf("w^n != 1 for n=%d", n)
+		}
+		if m.Pow(w, n/2) != q-1 {
+			t.Fatalf("w^{n/2} != -1 for n=%d (not primitive)", n)
+		}
+	}
+}
+
+func TestShoupMul(t *testing.T) {
+	for _, q := range testModuli {
+		m := NewModulus(q)
+		bq := new(big.Int).SetUint64(q)
+		rng := rand.New(rand.NewSource(int64(q)))
+		for i := 0; i < 500; i++ {
+			w := rng.Uint64() % q
+			ws := m.ShoupPrecomp(w)
+			x := rng.Uint64() % q
+			want := new(big.Int).Mul(new(big.Int).SetUint64(x), new(big.Int).SetUint64(w))
+			want.Mod(want, bq)
+			if got := m.ShoupMul(x, w, ws); got != want.Uint64() {
+				t.Fatalf("q=%d ShoupMul(%d,%d)=%d want %d", q, x, w, got, want.Uint64())
+			}
+			lazy := m.ShoupMulLazy(x, w, ws)
+			if lazy >= 2*q || lazy%q != want.Uint64()%q {
+				t.Fatalf("q=%d ShoupMulLazy out of bounds or wrong: %d", q, lazy)
+			}
+		}
+	}
+}
+
+func BenchmarkMulBarrett(b *testing.B) {
+	m := NewModulus(testModuli[3])
+	x, y := uint64(123456789123), uint64(987654321987)
+	var r uint64
+	for i := 0; i < b.N; i++ {
+		r = m.Mul(x, r^y)
+	}
+	_ = r
+}
+
+func BenchmarkShoupMul(b *testing.B) {
+	m := NewModulus(testModuli[3])
+	w := uint64(987654321987) % m.Q
+	ws := m.ShoupPrecomp(w)
+	var r uint64 = 123
+	for i := 0; i < b.N; i++ {
+		r = m.ShoupMul(r, w, ws)
+	}
+	_ = r
+}
