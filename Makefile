@@ -1,0 +1,19 @@
+GO ?= go
+
+.PHONY: check vet build test race
+
+## check: the full CI gate — vet, build, tests, and the race detector on
+## the inference-runtime packages.
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -short ./internal/henn/ ./internal/guard/ ./internal/faults/

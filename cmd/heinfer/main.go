@@ -3,25 +3,69 @@
 // under CKKS-RNS, the "server" side evaluates the compiled CNN plan
 // blindly, and the client decrypts the logits.
 //
+// Inference runs through the guarded runtime (internal/guard): engine
+// panics, scale drift, corrupted ciphertexts and an exhausted noise
+// budget surface as classified errors instead of garbage logits, and the
+// process exit code reports the failure class:
+//
+//	0  success
+//	1  setup or unclassified failure
+//	2  corrupted input (corrupt/malformed ciphertext, scale drift, bad image)
+//	3  noise budget or level exhausted (parameters too small for the model)
+//	4  deadline exceeded or cancelled
+//
 // Usage:
 //
-//	heinfer -model models/cnn1.gob -image 3 -logn 12 [-backend rns|big] [-rnsparts 3]
+//	heinfer -model models/cnn1.gob -image 3 -logn 12 [-backend rns|big]
+//	        [-rnsparts 3] [-timeout 90s] [-retries 2]
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"math"
+	"os"
 
 	"cnnhe/internal/ckks"
 	"cnnhe/internal/ckksbig"
+	"cnnhe/internal/guard"
 	"cnnhe/internal/henn"
 	"cnnhe/internal/mnist"
 	"cnnhe/internal/nn"
 	"cnnhe/internal/primes"
 	"cnnhe/internal/tensor"
 )
+
+// Exit codes for the distinct failure classes.
+const (
+	exitOK        = 0
+	exitSetup     = 1
+	exitCorrupt   = 2
+	exitExhausted = 3
+	exitDeadline  = 4
+)
+
+// classifyExit maps an inference error to its exit code.
+func classifyExit(err error) int {
+	switch {
+	case err == nil:
+		return exitOK
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return exitDeadline
+	case errors.Is(err, guard.ErrNoiseBudgetExhausted), errors.Is(err, guard.ErrLevelExhausted):
+		return exitExhausted
+	case errors.Is(err, guard.ErrCorruptCiphertext), errors.Is(err, guard.ErrResidueMissing),
+		errors.Is(err, guard.ErrScaleDrift), errors.Is(err, guard.ErrInvalidPlaintext),
+		errors.Is(err, ckks.ErrFormat), errors.Is(err, ckks.ErrChecksum),
+		errors.Is(err, henn.ErrBadInput):
+		return exitCorrupt
+	default:
+		return exitSetup
+	}
+}
 
 func main() {
 	var (
@@ -31,6 +75,9 @@ func main() {
 		backend   = flag.String("backend", "rns", "rns (CKKS-RNS) or big (multiprecision CKKS)")
 		rnsParts  = flag.Int("rnsparts", 0, "enable the Fig. 5 input-decomposition pipeline with this many parts (0 = off)")
 		seed      = flag.Int64("seed", 1, "random seed")
+		timeout   = flag.Duration("timeout", 0, "per-attempt inference deadline (0 = none)")
+		retries   = flag.Int("retries", 0, "additional attempts after a failed inference")
+		verbose   = flag.Bool("report", false, "print the per-stage timing and noise-budget report")
 	)
 	flag.Parse()
 
@@ -90,18 +137,45 @@ func main() {
 	fmt.Printf("backend: %s, N=2^%d, chain length %d (log q = %d)\n",
 		engine.Name(), *logN, k, params.Chain.LogQ())
 
-	var logits henn.Logits
-	var lat fmt.Stringer
+	var rp *henn.RNSPlan
 	if *rnsParts > 0 {
-		rp, err := henn.NewRNSPlan(plan, *rnsParts, true)
+		rp, err = henn.NewRNSPlan(plan, *rnsParts, true)
 		if err != nil {
 			log.Fatal(err)
 		}
-		l, d := rp.Infer(engine, img)
-		logits, lat = l, d
-	} else {
-		l, d := plan.Infer(engine, img)
-		logits, lat = l, d
+	}
+
+	// Each attempt gets a fresh guard and a fresh deadline: a tripped
+	// guard latches its first error and must not be reused.
+	attempt := func() (henn.Logits, *henn.Report, error) {
+		ctx := context.Background()
+		if *timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+			defer cancel()
+		}
+		cfg := guard.DefaultConfig()
+		cfg.Ctx = ctx
+		g := guard.New(engine, cfg)
+		if rp != nil {
+			return rp.InferCtx(ctx, g, img)
+		}
+		return plan.InferCtx(ctx, g, img)
+	}
+
+	var (
+		logits henn.Logits
+		rep    *henn.Report
+	)
+	for try := 0; ; try++ {
+		logits, rep, err = attempt()
+		if err == nil {
+			break
+		}
+		fmt.Fprintf(os.Stderr, "heinfer: attempt %d/%d failed: %v\n", try+1, *retries+1, err)
+		if try >= *retries {
+			os.Exit(classifyExit(err))
+		}
 	}
 
 	// Plaintext reference.
@@ -111,7 +185,11 @@ func main() {
 	}
 	plain := model.Forward(x).Data
 
-	fmt.Printf("\nencrypted classification latency: %v\n", lat)
+	fmt.Printf("\nencrypted classification latency: %v (encrypt %v, decrypt %v)\n",
+		rep.Eval, rep.Encrypt, rep.Decrypt)
+	if *verbose {
+		fmt.Print(rep)
+	}
 	fmt.Printf("true label: %d\n", label)
 	fmt.Printf("%-10s %12s %12s\n", "class", "HE logit", "plain logit")
 	for i := range logits {

@@ -106,7 +106,10 @@ func heVsRNS(cfg Config, models *Models, w io.Writer, name string, model *nn.Mod
 	// deployed service would at model-load time.
 	plan.Infer(be, images[0])
 	bImages, bLabels := images[:cfg.Runs], labels[:cfg.Runs]
-	accB, statsB := plan.EvaluateEncrypted(be, bImages, bLabels, cfg.Runs)
+	accB, statsB, err := plan.EvaluateEncrypted(be, bImages, bLabels, cfg.Runs)
+	if err != nil {
+		return nil, err
+	}
 	rowB := HEResult{Model: name + "-HE", Backend: "ckks-big", Chain: k, Lat: statsB, Acc: accB, TrainAcc: trainAcc}
 	out = append(out, rowB)
 	writeRow(w, rowB)
@@ -117,7 +120,10 @@ func heVsRNS(cfg Config, models *Models, w io.Writer, name string, model *nn.Mod
 		return nil, err
 	}
 	plan.Infer(re, images[0]) // warm the weight cache untimed
-	accR, statsR := plan.EvaluateEncrypted(re, images, labels, n)
+	accR, statsR, err := plan.EvaluateEncrypted(re, images, labels, n)
+	if err != nil {
+		return nil, err
+	}
 	rowR := HEResult{Model: name + "-HE-RNS", Backend: "ckks-rns", Chain: k, Lat: statsR, Acc: accR, TrainAcc: trainAcc}
 	out = append(out, rowR)
 	writeRow(w, rowR)
@@ -173,7 +179,10 @@ func moduliSweep(cfg Config, models *Models, w io.Writer, name string, model *nn
 				return nil, err
 			}
 			plan.Infer(be, images[0]) // warm the weight cache untimed
-			_, stats := plan.EvaluateEncrypted(be, images, labels, cfg.Runs)
+			_, stats, err := plan.EvaluateEncrypted(be, images, labels, cfg.Runs)
+			if err != nil {
+				return nil, err
+			}
 			fmt.Fprintf(w, "| 1 | %.2f | multiprecision baseline (%s-HE) |\n", stats.Avg.Seconds(), name)
 			out = append(out, HEResult{Model: name, Backend: "ckks-big", Chain: 1, Lat: stats, Acc: math.NaN()})
 			continue
@@ -194,7 +203,10 @@ func moduliSweep(cfg Config, models *Models, w io.Writer, name string, model *nn
 			return nil, err
 		}
 		plan.Infer(re, images[0]) // warm the weight cache untimed
-		_, stats := plan.EvaluateEncrypted(re, images, labels, cfg.Runs)
+		_, stats, err := plan.EvaluateEncrypted(re, images, labels, cfg.Runs)
+		if err != nil {
+			return nil, err
+		}
 		fmt.Fprintf(w, "| %d | %.2f | |\n", k, stats.Avg.Seconds())
 		out = append(out, HEResult{Model: name, Backend: "ckks-rns", Chain: k, Lat: stats, Acc: math.NaN()})
 	}
@@ -281,7 +293,10 @@ func Fig5(cfg Config, models *Models, w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		acc, stats := rp.EvaluateEncrypted(re, images, labels, cfg.Runs)
+		acc, stats, err := rp.EvaluateEncrypted(re, images, labels, cfg.Runs)
+		if err != nil {
+			return err
+		}
 		fmt.Fprintf(w, "| %d | %.2f | %.1f |\n", parts, stats.Avg.Seconds(), 100*acc)
 	}
 	return nil

@@ -2,23 +2,128 @@ package ckks
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash"
+	"hash/crc32"
 	"io"
 	"math"
 
 	"cnnhe/internal/ring"
 )
 
-// Wire format: every object begins with a one-byte tag and carries its
-// structural metadata explicitly, so a decode against mismatched
-// parameters fails loudly instead of corrupting data. Limb coefficient
-// vectors are written as raw little-endian uint64 words.
+// Wire format: every object is framed as
+//
+//	[tag:1][version:1][payload][crc32:4]
+//
+// where the trailing CRC-32 (IEEE) covers tag, version and payload. The
+// payload carries its structural metadata explicitly, so a decode
+// against mismatched parameters fails loudly instead of corrupting
+// data; the checksum catches truncation and bit flips that structural
+// validation alone cannot (for example a flipped coefficient word or
+// scale bit). Limb coefficient vectors are written as raw little-endian
+// uint64 words.
 
 const (
 	tagCiphertext byte = 0xC7
 	tagPublicKey  byte = 0xB0
 	tagSwitchKey  byte = 0x5E
+
+	// formatVersion is bumped on any incompatible wire-format change.
+	formatVersion byte = 1
 )
+
+// Typed deserialization failures; match with errors.Is.
+var (
+	// ErrFormat: the blob is structurally invalid — wrong tag, unsupported
+	// version, out-of-range metadata, or truncated.
+	ErrFormat = errors.New("ckks: malformed serialized object")
+	// ErrChecksum: the blob parsed but its CRC-32 does not match (bit
+	// corruption in transit or at rest).
+	ErrChecksum = errors.New("ckks: checksum mismatch")
+)
+
+// badFormat wraps a low-level decode error as ErrFormat.
+func badFormat(err error) error {
+	if errors.Is(err, ErrFormat) || errors.Is(err, ErrChecksum) {
+		return err
+	}
+	return fmt.Errorf("%w: %v", ErrFormat, err)
+}
+
+// crcWriter tees writes into a running CRC-32.
+type crcWriter struct {
+	w   io.Writer
+	crc hash.Hash32
+}
+
+func newCRCWriter(w io.Writer) *crcWriter {
+	return &crcWriter{w: w, crc: crc32.NewIEEE()}
+}
+
+func (cw *crcWriter) Write(p []byte) (int, error) {
+	cw.crc.Write(p)
+	return cw.w.Write(p)
+}
+
+// writeSum appends the frame's checksum (not itself checksummed).
+func (cw *crcWriter) writeSum() error {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], cw.crc.Sum32())
+	_, err := cw.w.Write(buf[:])
+	return err
+}
+
+// crcReader tees reads into a running CRC-32.
+type crcReader struct {
+	r   io.Reader
+	crc hash.Hash32
+}
+
+func newCRCReader(r io.Reader) *crcReader {
+	return &crcReader{r: r, crc: crc32.NewIEEE()}
+}
+
+func (cr *crcReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.crc.Write(p[:n])
+	return n, err
+}
+
+// verifySum consumes the frame's trailing checksum and compares.
+func (cr *crcReader) verifySum() error {
+	var buf [4]byte
+	if _, err := io.ReadFull(cr.r, buf[:]); err != nil {
+		return badFormat(err)
+	}
+	if got := binary.LittleEndian.Uint32(buf[:]); got != cr.crc.Sum32() {
+		return fmt.Errorf("%w: stored %08x, computed %08x", ErrChecksum, got, cr.crc.Sum32())
+	}
+	return nil
+}
+
+// readHeader consumes and validates the [tag][version] prefix. An
+// immediate clean EOF is passed through so callers can detect stream
+// end; anything else malformed is ErrFormat.
+func readHeader(r io.Reader, wantTag byte, what string) error {
+	var hdr [2]byte
+	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
+		if err == io.EOF {
+			return err
+		}
+		return badFormat(err)
+	}
+	if hdr[0] != wantTag {
+		return fmt.Errorf("%w: bad %s tag 0x%02x", ErrFormat, what, hdr[0])
+	}
+	if _, err := io.ReadFull(r, hdr[1:]); err != nil {
+		return badFormat(err)
+	}
+	if hdr[1] != formatVersion {
+		return fmt.Errorf("%w: unsupported %s format version %d (want %d)", ErrFormat, what, hdr[1], formatVersion)
+	}
+	return nil
+}
 
 func writeUint64(w io.Writer, v uint64) error {
 	var buf [8]byte
@@ -30,7 +135,7 @@ func writeUint64(w io.Writer, v uint64) error {
 func readUint64(r io.Reader) (uint64, error) {
 	var buf [8]byte
 	if _, err := io.ReadFull(r, buf[:]); err != nil {
-		return 0, err
+		return 0, badFormat(err)
 	}
 	return binary.LittleEndian.Uint64(buf[:]), nil
 }
@@ -73,18 +178,18 @@ func readPoly(r io.Reader, rg *ring.Ring, level int) (*ring.Poly, error) {
 			return nil, err
 		}
 		if int(li) >= len(p.Coeffs) {
-			return nil, fmt.Errorf("ckks: limb index %d out of range", li)
+			return nil, fmt.Errorf("%w: limb index %d out of range", ErrFormat, li)
 		}
 		n, err := readUint64(r)
 		if err != nil {
 			return nil, err
 		}
 		if p.Coeffs[li] == nil || uint64(len(p.Coeffs[li])) != n {
-			return nil, fmt.Errorf("ckks: limb %d length mismatch (%d)", li, n)
+			return nil, fmt.Errorf("%w: limb %d length mismatch (%d)", ErrFormat, li, n)
 		}
 		buf := make([]byte, 8*n)
 		if _, err := io.ReadFull(r, buf); err != nil {
-			return nil, err
+			return nil, badFormat(err)
 		}
 		for j := range p.Coeffs[li] {
 			p.Coeffs[li][j] = binary.LittleEndian.Uint64(buf[8*j:])
@@ -95,50 +200,55 @@ func readPoly(r io.Reader, rg *ring.Ring, level int) (*ring.Poly, error) {
 
 // WriteCiphertext serializes ct.
 func (ctx *Context) WriteCiphertext(w io.Writer, ct *Ciphertext) error {
-	if _, err := w.Write([]byte{tagCiphertext}); err != nil {
+	cw := newCRCWriter(w)
+	if _, err := cw.Write([]byte{tagCiphertext, formatVersion}); err != nil {
 		return err
 	}
-	if err := writeUint64(w, uint64(ct.Level)); err != nil {
+	if err := writeUint64(cw, uint64(ct.Level)); err != nil {
 		return err
 	}
-	if err := writeUint64(w, math.Float64bits(ct.Scale)); err != nil {
+	if err := writeUint64(cw, math.Float64bits(ct.Scale)); err != nil {
 		return err
 	}
 	limbs := ctx.R.Limbs(ct.Level, false)
-	if err := writePoly(w, ctx.R, limbs, ct.C0); err != nil {
+	if err := writePoly(cw, ctx.R, limbs, ct.C0); err != nil {
 		return err
 	}
-	return writePoly(w, ctx.R, limbs, ct.C1)
+	if err := writePoly(cw, ctx.R, limbs, ct.C1); err != nil {
+		return err
+	}
+	return cw.writeSum()
 }
 
 // ReadCiphertext deserializes a ciphertext produced by WriteCiphertext
-// under the same parameters.
+// under the same parameters. Malformed input yields ErrFormat, bit
+// corruption ErrChecksum.
 func (ctx *Context) ReadCiphertext(r io.Reader) (*Ciphertext, error) {
-	var tag [1]byte
-	if _, err := io.ReadFull(r, tag[:]); err != nil {
+	cr := newCRCReader(r)
+	if err := readHeader(cr, tagCiphertext, "ciphertext"); err != nil {
 		return nil, err
 	}
-	if tag[0] != tagCiphertext {
-		return nil, fmt.Errorf("ckks: bad ciphertext tag 0x%02x", tag[0])
-	}
-	level64, err := readUint64(r)
+	level64, err := readUint64(cr)
 	if err != nil {
 		return nil, err
 	}
 	level := int(level64)
 	if level < 0 || level > ctx.Params.MaxLevel() {
-		return nil, fmt.Errorf("ckks: level %d out of range", level)
+		return nil, fmt.Errorf("%w: level %d out of range", ErrFormat, level)
 	}
-	scaleBits, err := readUint64(r)
+	scaleBits, err := readUint64(cr)
 	if err != nil {
 		return nil, err
 	}
-	c0, err := readPoly(r, ctx.R, level)
+	c0, err := readPoly(cr, ctx.R, level)
 	if err != nil {
 		return nil, err
 	}
-	c1, err := readPoly(r, ctx.R, level)
+	c1, err := readPoly(cr, ctx.R, level)
 	if err != nil {
+		return nil, err
+	}
+	if err := cr.verifySum(); err != nil {
 		return nil, err
 	}
 	return &Ciphertext{C0: c0, C1: c1, Level: level, Scale: math.Float64frombits(scaleBits)}, nil
@@ -146,31 +256,35 @@ func (ctx *Context) ReadCiphertext(r io.Reader) (*Ciphertext, error) {
 
 // WritePublicKey serializes pk.
 func (ctx *Context) WritePublicKey(w io.Writer, pk *PublicKey) error {
-	if _, err := w.Write([]byte{tagPublicKey}); err != nil {
+	cw := newCRCWriter(w)
+	if _, err := cw.Write([]byte{tagPublicKey, formatVersion}); err != nil {
 		return err
 	}
 	limbs := ctx.R.Limbs(ctx.Params.MaxLevel(), true)
-	if err := writePoly(w, ctx.R, limbs, pk.B); err != nil {
+	if err := writePoly(cw, ctx.R, limbs, pk.B); err != nil {
 		return err
 	}
-	return writePoly(w, ctx.R, limbs, pk.A)
+	if err := writePoly(cw, ctx.R, limbs, pk.A); err != nil {
+		return err
+	}
+	return cw.writeSum()
 }
 
 // ReadPublicKey deserializes a public key.
 func (ctx *Context) ReadPublicKey(r io.Reader) (*PublicKey, error) {
-	var tag [1]byte
-	if _, err := io.ReadFull(r, tag[:]); err != nil {
+	cr := newCRCReader(r)
+	if err := readHeader(cr, tagPublicKey, "public key"); err != nil {
 		return nil, err
 	}
-	if tag[0] != tagPublicKey {
-		return nil, fmt.Errorf("ckks: bad public key tag 0x%02x", tag[0])
-	}
-	b, err := readPoly(r, ctx.R, ctx.Params.MaxLevel())
+	b, err := readPoly(cr, ctx.R, ctx.Params.MaxLevel())
 	if err != nil {
 		return nil, err
 	}
-	a, err := readPoly(r, ctx.R, ctx.Params.MaxLevel())
+	a, err := readPoly(cr, ctx.R, ctx.Params.MaxLevel())
 	if err != nil {
+		return nil, err
+	}
+	if err := cr.verifySum(); err != nil {
 		return nil, err
 	}
 	return &PublicKey{B: b, A: a}, nil
@@ -179,52 +293,53 @@ func (ctx *Context) ReadPublicKey(r io.Reader) (*PublicKey, error) {
 // WriteSwitchingKey serializes a switching key (relinearization or
 // rotation key material).
 func (ctx *Context) WriteSwitchingKey(w io.Writer, swk *SwitchingKey) error {
-	if _, err := w.Write([]byte{tagSwitchKey}); err != nil {
+	cw := newCRCWriter(w)
+	if _, err := cw.Write([]byte{tagSwitchKey, formatVersion}); err != nil {
 		return err
 	}
-	if err := writeUint64(w, uint64(len(swk.B))); err != nil {
+	if err := writeUint64(cw, uint64(len(swk.B))); err != nil {
 		return err
 	}
 	limbs := ctx.R.Limbs(ctx.Params.MaxLevel(), true)
 	for i := range swk.B {
-		if err := writePoly(w, ctx.R, limbs, swk.B[i]); err != nil {
+		if err := writePoly(cw, ctx.R, limbs, swk.B[i]); err != nil {
 			return err
 		}
-		if err := writePoly(w, ctx.R, limbs, swk.A[i]); err != nil {
+		if err := writePoly(cw, ctx.R, limbs, swk.A[i]); err != nil {
 			return err
 		}
 	}
-	return nil
+	return cw.writeSum()
 }
 
 // ReadSwitchingKey deserializes a switching key.
 func (ctx *Context) ReadSwitchingKey(r io.Reader) (*SwitchingKey, error) {
-	var tag [1]byte
-	if _, err := io.ReadFull(r, tag[:]); err != nil {
+	cr := newCRCReader(r)
+	if err := readHeader(cr, tagSwitchKey, "switching key"); err != nil {
 		return nil, err
 	}
-	if tag[0] != tagSwitchKey {
-		return nil, fmt.Errorf("ckks: bad switching key tag 0x%02x", tag[0])
-	}
-	n, err := readUint64(r)
+	n, err := readUint64(cr)
 	if err != nil {
 		return nil, err
 	}
 	if n == 0 || n > uint64(ctx.Params.MaxLevel()+1) {
-		return nil, fmt.Errorf("ckks: switching key digit count %d out of range", n)
+		return nil, fmt.Errorf("%w: switching key digit count %d out of range", ErrFormat, n)
 	}
 	swk := &SwitchingKey{}
 	for i := uint64(0); i < n; i++ {
-		b, err := readPoly(r, ctx.R, ctx.Params.MaxLevel())
+		b, err := readPoly(cr, ctx.R, ctx.Params.MaxLevel())
 		if err != nil {
 			return nil, err
 		}
-		a, err := readPoly(r, ctx.R, ctx.Params.MaxLevel())
+		a, err := readPoly(cr, ctx.R, ctx.Params.MaxLevel())
 		if err != nil {
 			return nil, err
 		}
 		swk.B = append(swk.B, b)
 		swk.A = append(swk.A, a)
+	}
+	if err := cr.verifySum(); err != nil {
+		return nil, err
 	}
 	return swk, nil
 }

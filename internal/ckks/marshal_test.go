@@ -2,6 +2,7 @@ package ckks
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -108,5 +109,101 @@ func TestReadRejectsGarbage(t *testing.T) {
 	trunc := buf.Bytes()[:buf.Len()/2]
 	if _, err := k.ctx.ReadCiphertext(bytes.NewReader(trunc)); err == nil {
 		t.Fatal("expected error for truncated ciphertext")
+	}
+}
+
+// TestMarshalCorruption drives every serialized type through truncation
+// and single-bit flips: each corrupted blob must produce a typed error
+// (ErrFormat or ErrChecksum) — never a panic, never silent success.
+func TestMarshalCorruption(t *testing.T) {
+	k := tiny(t)
+	ct := k.ept.Encrypt(k.enc.Encode([]float64{1.5, -2.25}, k.ctx.Params.MaxLevel(), k.ctx.Params.Scale))
+	pk := k.kg.GenPublicKey(k.sk)
+
+	encode := func(write func(w *bytes.Buffer) error) []byte {
+		var buf bytes.Buffer
+		if err := write(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	cases := []struct {
+		name string
+		blob []byte
+		read func([]byte) error
+	}{
+		{
+			name: "ciphertext",
+			blob: encode(func(w *bytes.Buffer) error { return k.ctx.WriteCiphertext(w, ct) }),
+			read: func(b []byte) error { _, err := k.ctx.ReadCiphertext(bytes.NewReader(b)); return err },
+		},
+		{
+			name: "public-key",
+			blob: encode(func(w *bytes.Buffer) error { return k.ctx.WritePublicKey(w, pk) }),
+			read: func(b []byte) error { _, err := k.ctx.ReadPublicKey(bytes.NewReader(b)); return err },
+		},
+		{
+			name: "switching-key",
+			blob: encode(func(w *bytes.Buffer) error { return k.ctx.WriteSwitchingKey(w, &k.rlk.SwitchingKey) }),
+			read: func(b []byte) error { _, err := k.ctx.ReadSwitchingKey(bytes.NewReader(b)); return err },
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			safeRead := func(b []byte) (err error) {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("decode panicked: %v", r)
+					}
+				}()
+				return tc.read(b)
+			}
+			if err := safeRead(tc.blob); err != nil {
+				t.Fatalf("pristine blob failed to decode: %v", err)
+			}
+
+			// Truncation: dense near the header, sampled through the body,
+			// and every cut inside the trailing checksum.
+			cuts := map[int]bool{}
+			for i := 0; i < len(tc.blob) && i < 40; i++ {
+				cuts[i] = true
+			}
+			for i := 1; i <= 4; i++ {
+				cuts[len(tc.blob)-i] = true
+			}
+			rng := rand.New(rand.NewSource(41))
+			for i := 0; i < 32; i++ {
+				cuts[rng.Intn(len(tc.blob))] = true
+			}
+			for cut := range cuts {
+				err := safeRead(tc.blob[:cut])
+				if err == nil {
+					t.Fatalf("truncation at %d/%d decoded successfully", cut, len(tc.blob))
+				}
+				if cut == 0 {
+					continue // bare EOF at the leading tag is passed through
+				}
+				if !errors.Is(err, ErrFormat) && !errors.Is(err, ErrChecksum) {
+					t.Fatalf("truncation at %d: untyped error %v", cut, err)
+				}
+			}
+
+			// Single-bit flips: the CRC must catch every one the structural
+			// checks miss.
+			for i := 0; i < 200; i++ {
+				pos := rng.Intn(len(tc.blob))
+				bit := byte(1) << uint(rng.Intn(8))
+				mut := append([]byte(nil), tc.blob...)
+				mut[pos] ^= bit
+				err := safeRead(mut)
+				if err == nil {
+					t.Fatalf("bit flip at byte %d mask %02x decoded successfully", pos, bit)
+				}
+				if !errors.Is(err, ErrFormat) && !errors.Is(err, ErrChecksum) {
+					t.Fatalf("bit flip at byte %d: untyped error %v", pos, err)
+				}
+			}
+		})
 	}
 }

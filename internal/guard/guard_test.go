@@ -1,0 +1,304 @@
+package guard_test
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"cnnhe/internal/ckks"
+	"cnnhe/internal/ckksbig"
+	"cnnhe/internal/guard"
+	"cnnhe/internal/henn"
+	"cnnhe/internal/nn"
+)
+
+// tinyModel mirrors the henn test fixture: Conv(1→2, 3×3, s2) → SLAF →
+// Flatten → Dense on 8×8 inputs, depth 4.
+func tinyModel(seed int64) *nn.Model {
+	rng := rand.New(rand.NewSource(seed))
+	conv := nn.NewConv2D(rng, 1, 2, 3, 2, 0, 8, 8)
+	flat := conv.OutC * conv.OutH() * conv.OutW()
+	m := &nn.Model{Layers: []nn.Layer{
+		conv,
+		nn.NewReLU(),
+		nn.NewFlatten(),
+		nn.NewDense(rng, flat, 4),
+	}}
+	hm := m.ReplaceReLUWithSLAF(3, 1)
+	for _, l := range hm.Layers {
+		if s, ok := l.(*nn.SLAF); ok {
+			s.FitReLU(3)
+		}
+	}
+	return hm
+}
+
+func tinyPlan(t *testing.T) *henn.Plan {
+	t.Helper()
+	plan, err := henn.Compile(tinyModel(15), 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+func testImage(seed int64, n int) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	img := make([]float64, n)
+	for i := range img {
+		img[i] = float64(rng.Intn(256))
+	}
+	return img
+}
+
+func rnsEngine(t testing.TB, plan *henn.Plan, seed int64) *henn.RNSEngine {
+	t.Helper()
+	p, err := ckks.NewParameters(10, []int{40, 30, 30, 30, 30}, 60, 1, math.Exp2(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.CheckDepth(p.MaxLevel()); err != nil {
+		t.Fatal(err)
+	}
+	e, err := henn.NewRNSEngine(p, plan.Rotations(), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func bigEngine(t testing.TB, plan *henn.Plan, seed int64) *henn.BigEngine {
+	t.Helper()
+	p, err := ckks.NewParameters(10, []int{40, 30, 30, 30, 30}, 60, 1, math.Exp2(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp, err := ckksbig.FromRNSParameters(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := henn.NewBigEngine(bp, plan.Rotations(), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// catchGuard runs f and returns the error the guard aborted with.
+func catchGuard(t *testing.T, f func()) error {
+	t.Helper()
+	var err error
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				return
+			}
+			e, ok := r.(error)
+			if !ok {
+				t.Fatalf("guard panicked with non-error %v", r)
+			}
+			err = e
+		}()
+		f()
+	}()
+	if err == nil {
+		t.Fatal("expected a guard abort, got none")
+	}
+	return err
+}
+
+// TestCleanRunIdentity: the guard observes but never alters ciphertexts,
+// so a guarded inference on a same-seeded engine must produce logits
+// bit-identical to the raw path — on both backends.
+func TestCleanRunIdentity(t *testing.T) {
+	plan := tinyPlan(t)
+	img := testImage(3, plan.InputDim)
+	engines := map[string]func(seed int64) henn.Engine{
+		"rns": func(seed int64) henn.Engine { return rnsEngine(t, plan, seed) },
+		"big": func(seed int64) henn.Engine { return bigEngine(t, plan, seed) },
+	}
+	for name, mk := range engines {
+		t.Run(name, func(t *testing.T) {
+			raw, _ := plan.Infer(mk(501), img)
+			g := guard.New(mk(501), guard.DefaultConfig())
+			got, rep, err := plan.InferCtx(context.Background(), g, img)
+			if err != nil {
+				t.Fatalf("guarded clean run failed: %v\n%s", err, rep)
+			}
+			if len(got) != len(raw) {
+				t.Fatalf("logit count %d vs %d", len(got), len(raw))
+			}
+			for i := range got {
+				if got[i] != raw[i] {
+					t.Fatalf("logit %d differs: guarded %v raw %v", i, got[i], raw[i])
+				}
+			}
+			if len(rep.Stages) == 0 {
+				t.Fatal("report has no stages")
+			}
+			for _, st := range rep.Stages {
+				if math.IsNaN(st.NoiseBits) || st.NoiseBits < guard.DefaultMinNoiseBits {
+					t.Fatalf("stage %q noise bits %v out of range", st.Stage, st.NoiseBits)
+				}
+			}
+			// Noise only accumulates: the final stage has the least margin.
+			if first, last := rep.Stages[0], rep.Stages[len(rep.Stages)-1]; last.NoiseBits > first.NoiseBits {
+				t.Fatalf("noise bits grew from %v to %v", first.NoiseBits, last.NoiseBits)
+			}
+		})
+	}
+}
+
+// TestCleanRunIdentityShippedModel replays the acceptance scenario on the
+// committed CNN1 model: guarded and raw logits must match exactly and
+// the default budget must not trip.
+func TestCleanRunIdentityShippedModel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shipped-model inference is slow")
+	}
+	model, arch, err := nn.LoadModel("../../models/cnn1-slaf-n6000-s1.gob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arch != "cnn1" {
+		t.Fatalf("unexpected arch %q", arch)
+	}
+	plan, err := henn.Compile(model, 1<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := plan.Depth + 1
+	if k < 13 {
+		k = 13
+	}
+	bits := []int{40}
+	for i := 0; i < k-2; i++ {
+		bits = append(bits, 26)
+	}
+	bits = append(bits, 40)
+	params, err := ckks.NewParameters(11, bits, 60, 1, math.Exp2(26))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.CheckDepth(params.MaxLevel()); err != nil {
+		t.Fatal(err)
+	}
+	img := testImage(7, plan.InputDim)
+
+	e1, err := henn.NewRNSEngine(params, plan.Rotations(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := plan.Infer(e1, img)
+
+	e2, err := henn.NewRNSEngine(params, plan.Rotations(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := guard.New(e2, guard.DefaultConfig())
+	got, rep, err := plan.InferCtx(context.Background(), g, img)
+	if err != nil {
+		t.Fatalf("guarded clean run failed: %v\n%s", err, rep)
+	}
+	for i := range got {
+		if got[i] != raw[i] {
+			t.Fatalf("logit %d differs: guarded %v raw %v", i, got[i], raw[i])
+		}
+	}
+}
+
+// TestNoiseBudgetExhausted: integer multiplications grow the tracked
+// noise without touching the scale, so the budget must trip with the
+// dedicated sentinel before the message is fully drowned.
+func TestNoiseBudgetExhausted(t *testing.T) {
+	plan := tinyPlan(t)
+	g := guard.New(rnsEngine(t, plan, 77), guard.DefaultConfig())
+	err := catchGuard(t, func() {
+		ct := g.EncryptVec([]float64{1, 2, 3})
+		for i := 0; i < 100; i++ {
+			ct = g.MulInt(ct, 1<<30)
+		}
+	})
+	if !errors.Is(err, guard.ErrNoiseBudgetExhausted) {
+		t.Fatalf("want ErrNoiseBudgetExhausted, got %v", err)
+	}
+	var se *guard.StageError
+	if !errors.As(err, &se) || se.Op != "MulInt" {
+		t.Fatalf("want StageError at MulInt, got %#v", err)
+	}
+	if g.Err() == nil {
+		t.Fatal("guard did not latch the failure")
+	}
+}
+
+// TestLevelExhausted: rescaling past level 0 is caught by the guard
+// before the backend panics.
+func TestLevelExhausted(t *testing.T) {
+	plan := tinyPlan(t)
+	cfg := guard.DefaultConfig()
+	cfg.MinNoiseBits = math.Inf(-1) // isolate the level check from the budget
+	g := guard.New(rnsEngine(t, plan, 78), cfg)
+	err := catchGuard(t, func() {
+		ct := g.EncryptVec([]float64{1})
+		for i := 0; i < 10; i++ {
+			ct = g.Rescale(ct)
+		}
+	})
+	if !errors.Is(err, guard.ErrLevelExhausted) {
+		t.Fatalf("want ErrLevelExhausted, got %v", err)
+	}
+}
+
+// TestInvalidPlaintext: NaN/Inf and over-long plaintext operands are
+// rejected before they reach the encoder.
+func TestInvalidPlaintext(t *testing.T) {
+	plan := tinyPlan(t)
+	g := guard.New(rnsEngine(t, plan, 79), guard.DefaultConfig())
+	err := catchGuard(t, func() { g.EncryptVec([]float64{1, math.NaN()}) })
+	if !errors.Is(err, guard.ErrInvalidPlaintext) {
+		t.Fatalf("want ErrInvalidPlaintext for NaN, got %v", err)
+	}
+
+	g2 := guard.New(rnsEngine(t, plan, 80), guard.DefaultConfig())
+	err = catchGuard(t, func() {
+		ct := g2.EncryptVec([]float64{1})
+		g2.MulPlainVecAtScale(ct, make([]float64, g2.Slots()+1), g2.Scale())
+	})
+	if !errors.Is(err, guard.ErrInvalidPlaintext) {
+		t.Fatalf("want ErrInvalidPlaintext for oversized vector, got %v", err)
+	}
+}
+
+// TestForeignCiphertext: handles that did not come from this guard are
+// rejected instead of silently bypassing the tracked invariants.
+func TestForeignCiphertext(t *testing.T) {
+	plan := tinyPlan(t)
+	e := rnsEngine(t, plan, 81)
+	g := guard.New(rnsEngine(t, plan, 81), guard.DefaultConfig())
+	raw := e.EncryptVec([]float64{1})
+	err := catchGuard(t, func() { g.DecryptVec(raw) })
+	if !errors.Is(err, guard.ErrForeignCiphertext) {
+		t.Fatalf("want ErrForeignCiphertext, got %v", err)
+	}
+}
+
+// TestCancellation: a cancelled context aborts inference at the next op
+// boundary with the context's error.
+func TestCancellation(t *testing.T) {
+	plan := tinyPlan(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := guard.DefaultConfig()
+	cfg.Ctx = ctx
+	g := guard.New(rnsEngine(t, plan, 82), cfg)
+	_, rep, err := plan.InferCtx(ctx, g, testImage(4, plan.InputDim))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if rep == nil || rep.FailedStage == "" {
+		t.Fatalf("report should name the failed stage, got %+v", rep)
+	}
+}

@@ -1,0 +1,107 @@
+package guard
+
+import (
+	"fmt"
+	"math/big"
+
+	"cnnhe/internal/ckks"
+	"cnnhe/internal/ckksbig"
+	"cnnhe/internal/henn"
+)
+
+// validate runs the structural (always) and coefficient-range (deep)
+// invariants on a raw backend ciphertext. Unknown backends pass through
+// unchecked — the guard still provides panic conversion, scale tracking
+// and the noise budget for them.
+func (g *GuardedEngine) validate(op string, ct henn.Ct, deep bool) {
+	switch c := ct.(type) {
+	case *ckks.Ciphertext:
+		if g.rnsCtx != nil {
+			g.validateRNS(op, c, deep)
+		}
+	case *ckksbig.Ciphertext:
+		if g.bigCtx != nil {
+			g.validateBig(op, c, deep)
+		}
+	}
+}
+
+// validateRNS checks an RNS ciphertext: level in range, every limb up to
+// the level present and correctly sized (structure), and — when deep —
+// every residue word strictly below its modulus. A flipped or injected
+// word ≥ q_i can never be produced by correct modular arithmetic, so the
+// range scan catches corruption that would otherwise surface only as
+// garbage slots after decryption.
+func (g *GuardedEngine) validateRNS(op string, ct *ckks.Ciphertext, deep bool) {
+	r := g.rnsCtx.R
+	if ct.Level < 0 || ct.Level > r.MaxLevel() {
+		g.fail(op, fmt.Errorf("%w: level %d outside [0, %d]", ErrLevelExhausted, ct.Level, r.MaxLevel()))
+	}
+	for name, poly := range map[string][][]uint64{"c0": ct.C0.Coeffs, "c1": ct.C1.Coeffs} {
+		for i := 0; i <= ct.Level; i++ {
+			sr := r.SubRings[i]
+			want := r.NVal * sr.Width()
+			if i >= len(poly) || poly[i] == nil {
+				g.fail(op, fmt.Errorf("%w: %s limb %d absent at level %d", ErrResidueMissing, name, i, ct.Level))
+			}
+			if len(poly[i]) != want {
+				g.fail(op, fmt.Errorf("%w: %s limb %d has %d words, want %d", ErrResidueMissing, name, i, len(poly[i]), want))
+			}
+			if !deep {
+				continue
+			}
+			if sr.Width() == 1 {
+				q := sr.Modulus().Uint64()
+				for j, w := range poly[i] {
+					if w >= q {
+						g.fail(op, fmt.Errorf("%w: %s limb %d coeff %d = %d ≥ q_%d", ErrCorruptCiphertext, name, i, j, w, i))
+					}
+				}
+			} else {
+				q := sr.Modulus()
+				c := new(big.Int)
+				for j := 0; j < r.NVal; j++ {
+					sr.CoeffBig(poly[i], j, c)
+					if c.Cmp(q) >= 0 || c.Sign() < 0 {
+						g.fail(op, fmt.Errorf("%w: %s limb %d coeff %d ≥ q_%d", ErrCorruptCiphertext, name, i, j, i))
+					}
+				}
+			}
+		}
+	}
+}
+
+// validateBig checks a multiprecision ciphertext: level in range, every
+// coefficient present (structure), and — when deep — every coefficient in
+// [0, Q_ℓ).
+func (g *GuardedEngine) validateBig(op string, ct *ckksbig.Ciphertext, deep bool) {
+	params := g.bigCtx.Params
+	maxLevel := len(params.Factors) - 1
+	if ct.Level < 0 || ct.Level > maxLevel {
+		g.fail(op, fmt.Errorf("%w: level %d outside [0, %d]", ErrLevelExhausted, ct.Level, maxLevel))
+	}
+	n := params.N()
+	var q *big.Int
+	if deep {
+		g.mu.Lock()
+		q = g.qAt[ct.Level]
+		if q == nil {
+			q = params.QAt(ct.Level)
+			g.qAt[ct.Level] = q
+		}
+		g.mu.Unlock()
+	}
+	for name, poly := range map[string][]*big.Int{"c0": ct.C0.Coeffs, "c1": ct.C1.Coeffs} {
+		if len(poly) != n {
+			g.fail(op, fmt.Errorf("%w: %s has %d coefficients, want %d", ErrResidueMissing, name, len(poly), n))
+		}
+		for j, c := range poly {
+			if c == nil {
+				g.fail(op, fmt.Errorf("%w: %s coeff %d absent", ErrResidueMissing, name, j))
+			}
+			if c.Sign() < 0 || (deep && c.Cmp(q) >= 0) {
+				g.fail(op, fmt.Errorf("%w: %s coeff %d outside [0, Q_%d)", ErrCorruptCiphertext, name, j, ct.Level))
+			}
+		}
+	}
+}

@@ -18,6 +18,7 @@ package henn
 
 import (
 	"fmt"
+	"math/big"
 	"sync"
 
 	"cnnhe/internal/ckks"
@@ -168,6 +169,13 @@ func (e *RNSEngine) Scale() float64 { return e.Ctx.Params.Scale }
 
 // QiFloat implements Engine.
 func (e *RNSEngine) QiFloat(level int) float64 { return e.Ctx.Params.QiFloat(level) }
+
+// SpecialPFloat returns the key-switching modulus P as a float64 (used by
+// the guard's key-switch noise bound).
+func (e *RNSEngine) SpecialPFloat() float64 {
+	f, _ := new(big.Float).SetInt(e.Ctx.Params.Chain.P()).Float64()
+	return f
+}
 
 // EncryptVec implements Engine.
 func (e *RNSEngine) EncryptVec(values []float64) Ct {
@@ -333,6 +341,13 @@ func (e *BigEngine) Scale() float64 { return e.Ctx.Params.Scale }
 
 // QiFloat implements Engine.
 func (e *BigEngine) QiFloat(level int) float64 { return e.Ctx.Params.QiFloat(level) }
+
+// SpecialPFloat returns the key-switching modulus P as a float64 (used by
+// the guard's key-switch noise bound).
+func (e *BigEngine) SpecialPFloat() float64 {
+	f, _ := new(big.Float).SetInt(e.Ctx.P).Float64()
+	return f
+}
 
 // EncryptVec implements Engine.
 func (e *BigEngine) EncryptVec(values []float64) Ct {

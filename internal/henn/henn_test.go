@@ -1,9 +1,12 @@
 package henn
 
 import (
+	"context"
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
+	"time"
 
 	"cnnhe/internal/ckks"
 	"cnnhe/internal/ckksbig"
@@ -335,11 +338,80 @@ func TestEvaluateEncrypted(t *testing.T) {
 		images = append(images, img)
 		labels = append(labels, Logits(plainForward(m, img, 1, 8, 8)).Argmax())
 	}
-	acc, stats := plan.EvaluateEncrypted(e, images, labels, 3)
+	acc, stats, err := plan.EvaluateEncrypted(e, images, labels, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if acc != 1.0 {
 		t.Fatalf("encrypted accuracy %.2f should match plaintext labels", acc)
 	}
 	if stats.N != 3 || stats.Min <= 0 || stats.Avg < stats.Min || stats.Max < stats.Avg {
 		t.Fatalf("bad stats %+v", stats)
+	}
+}
+
+func TestInferCtxRejectsBadInput(t *testing.T) {
+	m := tinyModel(15)
+	plan, err := Compile(m, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := rnsEngineFor(t, plan, 10, []int{40, 30, 30, 30, 30})
+	_, rep, err := plan.InferCtx(context.Background(), e, make([]float64, plan.InputDim+1))
+	if !errors.Is(err, ErrBadInput) {
+		t.Fatalf("want ErrBadInput for mis-sized image, got %v", err)
+	}
+	if rep == nil {
+		t.Fatal("report should be non-nil on failure")
+	}
+
+	images := [][]float64{make([]float64, plan.InputDim)}
+	if _, _, err := plan.EvaluateEncrypted(e, images, nil, 1); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("want ErrBadInput for missing labels, got %v", err)
+	}
+	if _, _, err := plan.EvaluateEncrypted(e, nil, nil, 0); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("want ErrBadInput for empty batch, got %v", err)
+	}
+	bad := [][]float64{make([]float64, plan.InputDim-3)}
+	if _, _, err := plan.EvaluateEncrypted(e, bad, []int{0}, 1); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("want ErrBadInput for mis-sized batch image, got %v", err)
+	}
+}
+
+func TestInferCtxCancelled(t *testing.T) {
+	m := tinyModel(15)
+	plan, err := Compile(m, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := rnsEngineFor(t, plan, 10, []int{40, 30, 30, 30, 30})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rng := rand.New(rand.NewSource(5))
+	_, rep, err := plan.InferCtx(ctx, e, testImage(rng, plan.InputDim))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if rep.FailedStage == "" {
+		t.Fatal("report should name the failed stage")
+	}
+}
+
+func TestLatencyStatsZeroSamples(t *testing.T) {
+	s := newLatencyStats()
+	s.finish()
+	if s.Min != 0 || s.Max != 0 || s.Avg != 0 || s.N != 0 {
+		t.Fatalf("zero-sample stats not rendered as zeros: %+v", s)
+	}
+	want := "min 0.00s max 0.00s avg 0.00s (n=0)"
+	if got := s.String(); got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+	// One sample still works as before.
+	s2 := newLatencyStats()
+	s2.add(2 * time.Second)
+	s2.finish()
+	if s2.Min != 2*time.Second || s2.Max != 2*time.Second || s2.Avg != 2*time.Second || s2.N != 1 {
+		t.Fatalf("single-sample stats wrong: %+v", s2)
 	}
 }

@@ -1,12 +1,24 @@
 package henn
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"time"
 
 	"cnnhe/internal/rnsdec"
 )
+
+// ErrBadInput tags input-validation failures: mis-sized images, label/image
+// length mismatches, and other caller errors detected before any
+// homomorphic work is done. Match with errors.Is.
+var ErrBadInput = errors.New("henn: bad input")
+
+func badInput(format string, args ...interface{}) error {
+	return fmt.Errorf("%w: %s", ErrBadInput, fmt.Sprintf(format, args...))
+}
 
 // Logits is the decrypted output of an encrypted classification.
 type Logits []float64
@@ -22,19 +34,180 @@ func (l Logits) Argmax() int {
 	return best
 }
 
-// Infer classifies one raw image (pixels in [0, 255], length InputDim):
-// encrypt → evaluate every stage → decrypt. It returns the logits and the
-// server-side evaluation latency (excluding client encrypt/decrypt, as the
-// paper measures classification latency of the homomorphic pipeline).
-func (p *Plan) Infer(e Engine, image []float64) (Logits, time.Duration) {
-	ct := e.EncryptVec(image)
-	start := time.Now()
-	for _, s := range p.Stages {
-		ct = s.Eval(e, ct)
+// StageAware is optionally implemented by engines (notably
+// guard.GuardedEngine) that label their errors with the pipeline stage
+// currently being evaluated. InferCtx announces each stage before
+// evaluating it.
+type StageAware interface {
+	BeginStage(name string)
+}
+
+// NoiseAware is optionally implemented by engines that track a
+// per-ciphertext noise-budget estimate. NoiseBits returns
+// log2(scale/noiseBound) — the significant fractional bits remaining.
+type NoiseAware interface {
+	NoiseBits(ct Ct) float64
+}
+
+// StageReport records one pipeline step of an InferCtx run.
+type StageReport struct {
+	Stage    string
+	Duration time.Duration
+	// Level and Scale are the ciphertext metadata after the stage.
+	Level int
+	Scale float64
+	// NoiseBits is the engine's remaining precision estimate after the
+	// stage (NaN when the engine does not track noise).
+	NoiseBits float64
+}
+
+// Report is the per-stage account of one inference: timings for the
+// client-side encrypt/decrypt halves, the server-side evaluation total
+// (the paper's classification latency), and one row per stage.
+type Report struct {
+	Engine  string
+	Encrypt time.Duration
+	Eval    time.Duration
+	Decrypt time.Duration
+	Stages  []StageReport
+	// FailedStage names the stage that errored ("" on success).
+	FailedStage string
+}
+
+// String renders the report as a small table.
+func (r *Report) String() string {
+	s := fmt.Sprintf("engine %s: encrypt %v, eval %v, decrypt %v\n", r.Engine, r.Encrypt, r.Eval, r.Decrypt)
+	for _, st := range r.Stages {
+		s += fmt.Sprintf("  %-56s %10v  level %d", st.Stage, st.Duration.Round(time.Microsecond), st.Level)
+		if !math.IsNaN(st.NoiseBits) {
+			s += fmt.Sprintf("  noise budget %.1f bits", st.NoiseBits)
+		}
+		s += "\n"
 	}
-	lat := time.Since(start)
-	out := e.DecryptVec(ct)
-	return Logits(out[:p.OutputDim]), lat
+	if r.FailedStage != "" {
+		s += fmt.Sprintf("  FAILED at %s\n", r.FailedStage)
+	}
+	return s
+}
+
+// evalGuarded runs f, converting panics — engine misuse assertions and
+// guard-engine aborts — into errors. A recovered value that already is an
+// error (e.g. *guard.StageError) is returned as-is so callers can classify
+// it with errors.Is/errors.As.
+func evalGuarded(stage string, f func() Ct) (ct Ct, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if e, ok := r.(error); ok {
+				err = e
+			} else {
+				err = fmt.Errorf("henn: panic in %s: %v", stage, r)
+			}
+		}
+	}()
+	return f(), nil
+}
+
+// stageRunner factors the per-stage bookkeeping shared by the plain and
+// RNS inference paths: context checks before every stage, stage
+// announcement to StageAware engines, and panic-to-error conversion.
+type stageRunner struct {
+	ctx context.Context
+	e   Engine
+	sa  StageAware
+	na  NoiseAware
+	rep *Report
+}
+
+func newStageRunner(ctx context.Context, e Engine, rep *Report) *stageRunner {
+	sr := &stageRunner{ctx: ctx, e: e, rep: rep}
+	sr.sa, _ = e.(StageAware)
+	sr.na, _ = e.(NoiseAware)
+	return sr
+}
+
+// step evaluates one named stage. On failure the report's FailedStage is
+// set and a classified error is returned.
+func (sr *stageRunner) step(name string, f func() Ct) (Ct, error) {
+	if err := sr.ctx.Err(); err != nil {
+		sr.rep.FailedStage = name
+		return nil, fmt.Errorf("henn: %s: %w", name, err)
+	}
+	if sr.sa != nil {
+		sr.sa.BeginStage(name)
+	}
+	ct, err := evalGuarded(name, f)
+	if err != nil {
+		sr.rep.FailedStage = name
+	}
+	return ct, err
+}
+
+// record appends a stage row for ct to the report.
+func (sr *stageRunner) record(name string, d time.Duration, ct Ct) {
+	row := StageReport{Stage: name, Duration: d, Level: sr.e.Level(ct), Scale: sr.e.ScaleOf(ct), NoiseBits: math.NaN()}
+	if sr.na != nil {
+		row.NoiseBits = sr.na.NoiseBits(ct)
+	}
+	sr.rep.Stages = append(sr.rep.Stages, row)
+}
+
+// InferCtx classifies one raw image (pixels in [0, 255], length InputDim)
+// with full error reporting: the input is validated, the context deadline
+// is checked before every stage, engine panics are converted to errors,
+// and a per-stage timing/noise Report is returned alongside the logits.
+// The report is non-nil even on failure (FailedStage names the stage that
+// errored). Pair with guard.New to also get per-op invariant checking and
+// noise-budget enforcement.
+func (p *Plan) InferCtx(ctx context.Context, e Engine, image []float64) (Logits, *Report, error) {
+	rep := &Report{Engine: e.Name()}
+	if len(image) != p.InputDim {
+		return nil, rep, badInput("image length %d does not match plan input dim %d", len(image), p.InputDim)
+	}
+	sr := newStageRunner(ctx, e, rep)
+
+	t0 := time.Now()
+	ct, err := sr.step("encrypt", func() Ct { return e.EncryptVec(image) })
+	rep.Encrypt = time.Since(t0)
+	if err != nil {
+		return nil, rep, err
+	}
+	for i, s := range p.Stages {
+		name := fmt.Sprintf("stage %d (%s)", i, s.Describe())
+		s := s
+		t1 := time.Now()
+		ct, err = sr.step(name, func() Ct { return s.Eval(e, ct) })
+		d := time.Since(t1)
+		rep.Eval += d
+		if err != nil {
+			return nil, rep, err
+		}
+		sr.record(name, d, ct)
+	}
+	var out []float64
+	t2 := time.Now()
+	_, err = sr.step("decrypt", func() Ct { out = e.DecryptVec(ct); return nil })
+	rep.Decrypt = time.Since(t2)
+	if err != nil {
+		return nil, rep, err
+	}
+	if len(out) < p.OutputDim {
+		return nil, rep, badInput("engine decrypted %d slots, plan outputs %d", len(out), p.OutputDim)
+	}
+	return Logits(out[:p.OutputDim]), rep, nil
+}
+
+// Infer classifies one raw image: encrypt → evaluate every stage →
+// decrypt. It returns the logits and the server-side evaluation latency
+// (excluding client encrypt/decrypt, as the paper measures classification
+// latency of the homomorphic pipeline). It is a thin wrapper over
+// InferCtx that panics on error, preserving the historical fail-loud
+// behaviour of the engines; callers that want typed errors use InferCtx.
+func (p *Plan) Infer(e Engine, image []float64) (Logits, time.Duration) {
+	logits, rep, err := p.InferCtx(context.Background(), e, image)
+	if err != nil {
+		panic(err)
+	}
+	return logits, rep.Eval
 }
 
 // LatencyStats aggregates per-inference latencies.
@@ -59,36 +232,67 @@ func (s *LatencyStats) add(d time.Duration) {
 }
 
 func (s *LatencyStats) finish() {
-	if s.N > 0 {
-		s.Avg /= time.Duration(s.N)
-	} else {
-		s.Min = 0
+	if s.N == 0 {
+		// No samples: render as zeros rather than leaving the Min sentinel
+		// (and a meaningless Max/Avg) visible.
+		*s = LatencyStats{}
+		return
 	}
+	s.Avg /= time.Duration(s.N)
 }
 
 // String renders the stats like the paper's tables (seconds).
 func (s LatencyStats) String() string {
+	if s.N == 0 {
+		return "min 0.00s max 0.00s avg 0.00s (n=0)"
+	}
 	return fmt.Sprintf("min %.2fs max %.2fs avg %.2fs (n=%d)",
 		s.Min.Seconds(), s.Max.Seconds(), s.Avg.Seconds(), s.N)
 }
 
-// EvaluateEncrypted classifies images[0:n] homomorphically and returns the
-// accuracy against labels plus latency statistics.
-func (p *Plan) EvaluateEncrypted(e Engine, images [][]float64, labels []int, n int) (float64, LatencyStats) {
+// checkEvalArgs validates an EvaluateEncrypted batch and resolves n.
+func checkEvalArgs(images [][]float64, labels []int, n, inputDim int) (int, error) {
 	if n <= 0 || n > len(images) {
 		n = len(images)
+	}
+	if n == 0 {
+		return 0, badInput("no images to evaluate")
+	}
+	if len(labels) < n {
+		return 0, badInput("%d labels for %d images", len(labels), n)
+	}
+	for i := 0; i < n; i++ {
+		if len(images[i]) != inputDim {
+			return 0, badInput("image %d length %d does not match plan input dim %d", i, len(images[i]), inputDim)
+		}
+	}
+	return n, nil
+}
+
+// EvaluateEncrypted classifies images[0:n] homomorphically and returns the
+// accuracy against labels plus latency statistics. Mis-sized inputs and
+// label/image mismatches yield a typed error (errors.Is ErrBadInput)
+// before any ciphertext work starts.
+func (p *Plan) EvaluateEncrypted(e Engine, images [][]float64, labels []int, n int) (float64, LatencyStats, error) {
+	n, err := checkEvalArgs(images, labels, n, p.InputDim)
+	if err != nil {
+		return 0, LatencyStats{}, err
 	}
 	stats := newLatencyStats()
 	correct := 0
 	for i := 0; i < n; i++ {
-		logits, lat := p.Infer(e, images[i])
-		stats.add(lat)
+		logits, rep, err := p.InferCtx(context.Background(), e, images[i])
+		if err != nil {
+			stats.finish()
+			return 0, stats, fmt.Errorf("image %d: %w", i, err)
+		}
+		stats.add(rep.Eval)
 		if logits.Argmax() == labels[i] {
 			correct++
 		}
 	}
 	stats.finish()
-	return float64(correct) / float64(n), stats
+	return float64(correct) / float64(n), stats, nil
 }
 
 // RNSPlan is the Fig. 5 CNN-RNS pipeline: the input image is decomposed
@@ -139,44 +343,120 @@ func pow(b int64, k int) int64 {
 	return r
 }
 
-// Infer classifies one raw image through the decomposed pipeline.
-func (p *RNSPlan) Infer(e Engine, image []float64) (Logits, time.Duration) {
+// InferCtx classifies one raw image through the decomposed pipeline with
+// the same validation, cancellation, and reporting contract as
+// Plan.InferCtx. In Parallel mode the per-part convolutions each recover
+// their own panics; the first error wins.
+func (p *RNSPlan) InferCtx(ctx context.Context, e Engine, image []float64) (Logits, *Report, error) {
+	rep := &Report{Engine: e.Name()}
+	if len(image) != p.Base.InputDim {
+		return nil, rep, badInput("image length %d does not match plan input dim %d", len(image), p.Base.InputDim)
+	}
+	sr := newStageRunner(ctx, e, rep)
+
 	parts := p.Digits.DecomposeTensor(image)
 	cts := make([]Ct, len(parts))
+	t0 := time.Now()
 	for i, part := range parts {
-		cts[i] = e.EncryptVec(part)
+		i, part := i, part
+		ct, err := sr.step(fmt.Sprintf("encrypt part %d", i), func() Ct { return e.EncryptVec(part) })
+		if err != nil {
+			rep.Encrypt = time.Since(t0)
+			return nil, rep, err
+		}
+		cts[i] = ct
 	}
+	rep.Encrypt = time.Since(t0)
 	first := p.Base.Stages[0].(*LinearStage)
 	weights := p.Digits.Weights()
 
 	start := time.Now()
 	outs := make([]Ct, len(parts))
+	errs := make([]error, len(parts))
+	evalOne := func(i int) {
+		name := fmt.Sprintf("rns part %d (%s)", i, first.Label)
+		outs[i], errs[i] = evalGuarded(name, func() Ct { return p.evalPart(e, first, cts[i], i) })
+	}
+	if err := ctx.Err(); err != nil {
+		rep.FailedStage = "rns parts"
+		return nil, rep, fmt.Errorf("henn: rns parts: %w", err)
+	}
+	if sr.sa != nil {
+		sr.sa.BeginStage("rns parts")
+	}
 	if p.Parallel && len(parts) > 1 {
 		var wg sync.WaitGroup
 		wg.Add(len(parts))
 		for i := range parts {
 			go func(i int) {
 				defer wg.Done()
-				outs[i] = p.evalPart(e, first, cts[i], i)
+				evalOne(i)
 			}(i)
 		}
 		wg.Wait()
 	} else {
 		for i := range parts {
-			outs[i] = p.evalPart(e, first, cts[i], i)
+			evalOne(i)
 		}
 	}
+	for i, err := range errs {
+		if err != nil {
+			rep.FailedStage = fmt.Sprintf("rns part %d", i)
+			rep.Eval = time.Since(start)
+			return nil, rep, err
+		}
+	}
+	sr.record("rns parts", time.Since(start), outs[0])
+
 	// Linear recomposition: y = Σ Bⁱ·L(dᵢ) (exact; weights are integers).
-	acc := outs[0] // weight B⁰ = 1; carries the bias
-	for i := 1; i < len(outs); i++ {
-		acc = e.Add(acc, e.MulInt(outs[i], int64(weights[i])))
+	t1 := time.Now()
+	acc, err := sr.step("rns recompose", func() Ct {
+		acc := outs[0] // weight B⁰ = 1; carries the bias
+		for i := 1; i < len(outs); i++ {
+			acc = e.Add(acc, e.MulInt(outs[i], int64(weights[i])))
+		}
+		return acc
+	})
+	if err != nil {
+		rep.Eval = time.Since(start)
+		return nil, rep, err
 	}
-	for _, s := range p.Base.Stages[1:] {
-		acc = s.Eval(e, acc)
+	sr.record("rns recompose", time.Since(t1), acc)
+
+	for i, s := range p.Base.Stages[1:] {
+		name := fmt.Sprintf("stage %d (%s)", i+1, s.Describe())
+		s := s
+		t2 := time.Now()
+		acc, err = sr.step(name, func() Ct { return s.Eval(e, acc) })
+		if err != nil {
+			rep.Eval = time.Since(start)
+			return nil, rep, err
+		}
+		sr.record(name, time.Since(t2), acc)
 	}
-	lat := time.Since(start)
-	out := e.DecryptVec(acc)
-	return Logits(out[:p.Base.OutputDim]), lat
+	rep.Eval = time.Since(start)
+
+	var out []float64
+	t3 := time.Now()
+	_, err = sr.step("decrypt", func() Ct { out = e.DecryptVec(acc); return nil })
+	rep.Decrypt = time.Since(t3)
+	if err != nil {
+		return nil, rep, err
+	}
+	if len(out) < p.Base.OutputDim {
+		return nil, rep, badInput("engine decrypted %d slots, plan outputs %d", len(out), p.Base.OutputDim)
+	}
+	return Logits(out[:p.Base.OutputDim]), rep, nil
+}
+
+// Infer classifies one raw image through the decomposed pipeline. Like
+// Plan.Infer it panics on error; use InferCtx for typed errors.
+func (p *RNSPlan) Infer(e Engine, image []float64) (Logits, time.Duration) {
+	logits, rep, err := p.InferCtx(context.Background(), e, image)
+	if err != nil {
+		panic(err)
+	}
+	return logits, rep.Eval
 }
 
 func (p *RNSPlan) evalPart(e Engine, first *LinearStage, ct Ct, idx int) Ct {
@@ -187,19 +467,24 @@ func (p *RNSPlan) evalPart(e Engine, first *LinearStage, ct Ct, idx int) Ct {
 }
 
 // EvaluateEncrypted mirrors Plan.EvaluateEncrypted for the RNS pipeline.
-func (p *RNSPlan) EvaluateEncrypted(e Engine, images [][]float64, labels []int, n int) (float64, LatencyStats) {
-	if n <= 0 || n > len(images) {
-		n = len(images)
+func (p *RNSPlan) EvaluateEncrypted(e Engine, images [][]float64, labels []int, n int) (float64, LatencyStats, error) {
+	n, err := checkEvalArgs(images, labels, n, p.Base.InputDim)
+	if err != nil {
+		return 0, LatencyStats{}, err
 	}
 	stats := newLatencyStats()
 	correct := 0
 	for i := 0; i < n; i++ {
-		logits, lat := p.Infer(e, images[i])
-		stats.add(lat)
+		logits, rep, err := p.InferCtx(context.Background(), e, images[i])
+		if err != nil {
+			stats.finish()
+			return 0, stats, fmt.Errorf("image %d: %w", i, err)
+		}
+		stats.add(rep.Eval)
 		if logits.Argmax() == labels[i] {
 			correct++
 		}
 	}
 	stats.finish()
-	return float64(correct) / float64(n), stats
+	return float64(correct) / float64(n), stats, nil
 }

@@ -60,7 +60,10 @@ func TestTimingCNN1(t *testing.T) {
 		imgs[i] = test.Image(i)
 		labels[i] = test.Labels[i]
 	}
-	acc, stats := plan.EvaluateEncrypted(e, imgs, labels, 5)
+	acc, stats, err := plan.EvaluateEncrypted(e, imgs, labels, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
 	fmt.Printf("rns: acc %.2f lat %v\n", acc, stats)
 
 	bp, err := ckksbig.FromRNSParameters(p)
@@ -73,6 +76,9 @@ func TestTimingCNN1(t *testing.T) {
 		t.Fatal(err)
 	}
 	fmt.Printf("big keygen: %.1fs\n", time.Since(start).Seconds())
-	acc2, stats2 := plan.EvaluateEncrypted(be, imgs, labels, 2)
+	acc2, stats2, err := plan.EvaluateEncrypted(be, imgs, labels, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	fmt.Printf("big: acc %.2f lat %v\n", acc2, stats2)
 }
