@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: check vet build test race
+.PHONY: check vet build test race parity bench
 
-## check: the full CI gate — vet, build, tests, and the race detector on
-## the inference-runtime packages.
-check: vet build test race
+## check: the full CI gate — vet, build, tests, the race detector, and
+## the executor-vs-interpreter parity suite.
+check: vet build test race parity
 
 vet:
 	$(GO) vet ./...
@@ -16,4 +16,13 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -short ./internal/henn/ ./internal/guard/ ./internal/faults/
+	$(GO) test -race -short ./...
+
+## parity: the op-graph executor must replay plans bit-identically to
+## the legacy interpreter (logits and report rows) at CNN scale.
+parity:
+	$(GO) test -run TestExecutorParity -timeout 20m ./internal/henn/
+
+## bench: executor vs interpreter latency on CNN1 single-image.
+bench:
+	$(GO) test -run xxx -bench 'InferExecutorCNN1|InferLegacyCNN1' -benchtime 5x -timeout 30m ./internal/henn/

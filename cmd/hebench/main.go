@@ -16,6 +16,7 @@ import (
 	"log"
 	"os"
 	"strings"
+	"time"
 
 	"cnnhe/internal/bench"
 )
@@ -30,6 +31,7 @@ func main() {
 		epochs  = flag.Int("epochs", 0, "override training epochs")
 		paper   = flag.Bool("paper", false, "paper-scale settings (N=2^14, 30 epochs; hours)")
 		outPath = flag.String("out", "", "also write the report to this file")
+		jsonOut = flag.String("json", "", "machine-readable report path (default BENCH_<timestamp>.json; \"none\" disables)")
 		models  = flag.String("models", "models", "model cache directory")
 		seed    = flag.Int64("seed", 1, "random seed")
 	)
@@ -85,6 +87,7 @@ func main() {
 	}
 
 	var measured []bench.HEResult
+	var jsonRows []bench.JSONRow
 	run := func(name string, f func() error) {
 		fmt.Fprintf(os.Stderr, "--- running %s ---\n", name)
 		if err := f(); err != nil {
@@ -99,12 +102,14 @@ func main() {
 		run("Table III", func() error {
 			rows, err := bench.TableIII(cfg, ms, w)
 			measured = append(measured, rows...)
+			jsonRows = append(jsonRows, bench.JSONRows("III", rows)...)
 			return err
 		})
 	}
 	if all || want["4"] {
 		run("Table IV", func() error {
-			_, err := bench.TableIV(cfg, ms, w)
+			rows, err := bench.TableIV(cfg, ms, w)
+			jsonRows = append(jsonRows, bench.JSONRows("IV", rows)...)
 			return err
 		})
 	}
@@ -112,12 +117,14 @@ func main() {
 		run("Table V", func() error {
 			rows, err := bench.TableV(cfg, ms, w)
 			measured = append(measured, rows...)
+			jsonRows = append(jsonRows, bench.JSONRows("V", rows)...)
 			return err
 		})
 	}
 	if all || want["6"] {
 		run("Table VI", func() error {
-			_, err := bench.TableVI(cfg, ms, w)
+			rows, err := bench.TableVI(cfg, ms, w)
+			jsonRows = append(jsonRows, bench.JSONRows("VI", rows)...)
 			return err
 		})
 	}
@@ -129,5 +136,17 @@ func main() {
 	}
 	if all || want["1"] {
 		bench.TableI(w, measured, ms.DataSource)
+	}
+
+	if *jsonOut != "none" && len(jsonRows) > 0 {
+		now := time.Now()
+		path := *jsonOut
+		if path == "" {
+			path = "BENCH_" + now.Format("20060102T150405") + ".json"
+		}
+		if err := bench.WriteJSON(path, cfg, now, jsonRows); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d rows)\n", path, len(jsonRows))
 	}
 }

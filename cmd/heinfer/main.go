@@ -33,6 +33,7 @@ import (
 	"cnnhe/internal/ckksbig"
 	"cnnhe/internal/guard"
 	"cnnhe/internal/henn"
+	"cnnhe/internal/henn/ir"
 	"cnnhe/internal/mnist"
 	"cnnhe/internal/nn"
 	"cnnhe/internal/primes"
@@ -145,18 +146,43 @@ func main() {
 		}
 	}
 
+	// Lower once up front to report the op-graph shape; errors here are
+	// compile-time problems (depth exhaustion, scale mismatch), not HE
+	// failures.
+	{
+		var g *ir.Graph
+		if rp != nil {
+			g, err = rp.Lower(engine)
+		} else {
+			g, err = plan.Lower(engine)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("lowered graph: %s\n", g.Stats())
+	}
+
 	// Each attempt gets a fresh guard and a fresh deadline: a tripped
-	// guard latches its first error and must not be reused.
+	// guard latches its first error and must not be reused. Lowering and
+	// ahead-of-time plaintext encoding are paid via Warm before the
+	// deadline clock starts — the timeout budgets ciphertext work only.
 	attempt := func() (henn.Logits, *henn.Report, error) {
+		g := guard.New(engine, guard.DefaultConfig())
+		var warmErr error
+		if rp != nil {
+			warmErr = rp.Warm(g)
+		} else {
+			warmErr = plan.Warm(g)
+		}
+		if warmErr != nil {
+			return nil, &henn.Report{FailedStage: "prepare"}, warmErr
+		}
 		ctx := context.Background()
 		if *timeout > 0 {
 			var cancel context.CancelFunc
 			ctx, cancel = context.WithTimeout(ctx, *timeout)
 			defer cancel()
 		}
-		cfg := guard.DefaultConfig()
-		cfg.Ctx = ctx
-		g := guard.New(engine, cfg)
 		if rp != nil {
 			return rp.InferCtx(ctx, g, img)
 		}

@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"time"
+)
+
+// JSONRow is one machine-readable benchmark measurement. Accuracy
+// fields are pointers because JSON has no NaN: absent means "not
+// measured", mirroring HEResult's NaN convention.
+type JSONRow struct {
+	Table       string   `json:"table"`
+	Model       string   `json:"model"`
+	Backend     string   `json:"backend"`
+	Chain       int      `json:"chain"`
+	N           int      `json:"n"`
+	MeanMS      float64  `json:"mean_ms"`
+	P50MS       float64  `json:"p50_ms"`
+	P95MS       float64  `json:"p95_ms"`
+	MinMS       float64  `json:"min_ms"`
+	MaxMS       float64  `json:"max_ms"`
+	AccPct      *float64 `json:"accuracy_pct,omitempty"`
+	TrainAccPct *float64 `json:"train_accuracy_pct,omitempty"`
+}
+
+// JSONReport is the envelope hebench writes next to its markdown tables.
+type JSONReport struct {
+	Timestamp string    `json:"timestamp"`
+	LogN      int       `json:"logn"`
+	Runs      int       `json:"runs"`
+	AccImages int       `json:"acc_images"`
+	Seed      int64     `json:"seed"`
+	GOOS      string    `json:"goos"`
+	GOARCH    string    `json:"goarch"`
+	NumCPU    int       `json:"num_cpu"`
+	Rows      []JSONRow `json:"rows"`
+}
+
+func pctPtr(frac float64) *float64 {
+	if math.IsNaN(frac) {
+		return nil
+	}
+	v := 100 * frac
+	return &v
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// JSONRows converts measured table rows to their JSON form, tagged with
+// the table they came from.
+func JSONRows(table string, results []HEResult) []JSONRow {
+	out := make([]JSONRow, 0, len(results))
+	for _, r := range results {
+		lat := r.Lat
+		out = append(out, JSONRow{
+			Table:       table,
+			Model:       r.Model,
+			Backend:     r.Backend,
+			Chain:       r.Chain,
+			N:           lat.N,
+			MeanMS:      ms(lat.Avg),
+			P50MS:       ms(lat.Percentile(50)),
+			P95MS:       ms(lat.Percentile(95)),
+			MinMS:       ms(lat.Min),
+			MaxMS:       ms(lat.Max),
+			AccPct:      pctPtr(r.Acc),
+			TrainAccPct: pctPtr(r.TrainAcc),
+		})
+	}
+	return out
+}
+
+// WriteJSON writes the benchmark report to path, creating or truncating
+// the file.
+func WriteJSON(path string, cfg Config, ts time.Time, rows []JSONRow) error {
+	rep := JSONReport{
+		Timestamp: ts.UTC().Format(time.RFC3339),
+		LogN:      cfg.LogN,
+		Runs:      cfg.Runs,
+		AccImages: cfg.AccImages,
+		Seed:      cfg.Seed,
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Rows:      rows,
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return fmt.Errorf("bench: marshal json report: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"cnnhe/internal/henn"
+)
+
+func TestJSONRowsNaNAccuracy(t *testing.T) {
+	rows := JSONRows("IV", []HEResult{
+		{Model: "CNN1", Backend: "CKKS-RNS", Chain: 5, Acc: math.NaN(), TrainAcc: math.NaN()},
+		{Model: "CNN1", Backend: "CKKS-RNS", Chain: 13, Acc: 0.95, TrainAcc: 0.99},
+	})
+	if rows[0].AccPct != nil || rows[0].TrainAccPct != nil {
+		t.Fatalf("NaN accuracy must map to nil, got %v / %v", rows[0].AccPct, rows[0].TrainAccPct)
+	}
+	if rows[1].AccPct == nil || *rows[1].AccPct != 95 {
+		t.Fatalf("accuracy 0.95 should become 95%%, got %v", rows[1].AccPct)
+	}
+	if rows[0].Table != "IV" || rows[0].Chain != 5 {
+		t.Fatalf("row metadata lost: %+v", rows[0])
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	lat := henn.LatencyStats{Min: 10 * time.Millisecond, Max: 30 * time.Millisecond, Avg: 20 * time.Millisecond, N: 3}
+	rows := JSONRows("III", []HEResult{
+		{Model: "CNN2", Backend: "CKKS (big)", Chain: 13, Lat: lat, Acc: 0.9, TrainAcc: math.NaN()},
+	})
+	path := filepath.Join(t.TempDir(), "bench.json")
+	cfg := DefaultConfig()
+	ts := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+	if err := WriteJSON(path, cfg, ts, rows); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep JSONReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("written report is not valid JSON: %v", err)
+	}
+	if rep.Timestamp != "2026-08-05T12:00:00Z" {
+		t.Fatalf("timestamp %q", rep.Timestamp)
+	}
+	if rep.LogN != cfg.LogN || rep.Seed != cfg.Seed {
+		t.Fatalf("config fields lost: %+v", rep)
+	}
+	if len(rep.Rows) != 1 {
+		t.Fatalf("want 1 row, got %d", len(rep.Rows))
+	}
+	r := rep.Rows[0]
+	if r.MeanMS != 20 || r.MinMS != 10 || r.MaxMS != 30 || r.N != 3 {
+		t.Fatalf("latency fields wrong: %+v", r)
+	}
+	if r.AccPct == nil || *r.AccPct != 90 {
+		t.Fatalf("accuracy lost: %+v", r)
+	}
+	if r.TrainAccPct != nil {
+		t.Fatalf("NaN train accuracy should be omitted, got %v", *r.TrainAccPct)
+	}
+}

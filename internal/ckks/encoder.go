@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"math/big"
+	"sync"
+	"sync/atomic"
 
 	"cnnhe/internal/ring"
 )
@@ -95,6 +97,48 @@ func (e *Encoder) encodeCoeffs(coeffs []float64, level int, scale float64) *Plai
 	}
 	r.NTT(limbs, p)
 	return &Plaintext{Value: p, Level: level, Scale: scale, IsNTT: true}
+}
+
+// EncodeSpec describes one vector for EncodeBatch: the slot values and
+// the exact (level, scale) to encode at.
+type EncodeSpec struct {
+	Values []float64
+	Level  int
+	Scale  float64
+}
+
+// EncodeBatch encodes every spec, spreading the work over up to workers
+// goroutines (the encoder holds no mutable state, so concurrent encoding
+// is safe). Results are in spec order and bit-identical to individual
+// Encode calls.
+func (e *Encoder) EncodeBatch(specs []EncodeSpec, workers int) []*Plaintext {
+	out := make([]*Plaintext, len(specs))
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	if workers <= 1 {
+		for i, s := range specs {
+			out[i] = e.Encode(s.Values, s.Level, s.Scale)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(specs) {
+					return
+				}
+				out[i] = e.Encode(specs[i].Values, specs[i].Level, specs[i].Scale)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
 }
 
 // Decode recovers the real slot values of a plaintext.

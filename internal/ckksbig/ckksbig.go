@@ -17,6 +17,7 @@ import (
 	"math/big"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"cnnhe/internal/bigring"
 	"cnnhe/internal/ckks"
@@ -422,6 +423,48 @@ func (e *Encoder) Encode(values []float64, level int, scale float64) *Plaintext 
 	r.SetCoeffsBig(bv, p)
 	r.NTT(p)
 	return &Plaintext{Value: p, Level: level, Scale: scale}
+}
+
+// EncodeSpec describes one vector for EncodeBatch: the slot values and
+// the exact (level, scale) to encode at.
+type EncodeSpec struct {
+	Values []float64
+	Level  int
+	Scale  float64
+}
+
+// EncodeBatch encodes every spec, spreading the work over up to workers
+// goroutines (the encoder holds no mutable state and the context's lazy
+// ring caches are mutex-protected, so concurrent encoding is safe).
+// Results are in spec order and bit-identical to individual Encode calls.
+func (e *Encoder) EncodeBatch(specs []EncodeSpec, workers int) []*Plaintext {
+	out := make([]*Plaintext, len(specs))
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	if workers <= 1 {
+		for i, s := range specs {
+			out[i] = e.Encode(s.Values, s.Level, s.Scale)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(specs) {
+					return
+				}
+				out[i] = e.Encode(specs[i].Values, specs[i].Level, specs[i].Scale)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
 }
 
 // Decode recovers the real slot values.

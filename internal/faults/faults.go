@@ -323,4 +323,23 @@ func (f *Injector) RotateMany(ct henn.Ct, ks []int) map[int]henn.Ct {
 	return outs
 }
 
+// EncodeVecsAt implements henn.Engine. Plaintext encoding is not a fault
+// target (the taxonomy corrupts ciphertexts and op behaviour), so the
+// batch passes through without arming the injector — matching the legacy
+// path, where the lazy encode inside MulPlainVecCached was likewise not
+// intercepted separately.
+func (f *Injector) EncodeVecsAt(specs []henn.PlainSpec) []henn.Pt {
+	return f.inner.EncodeVecsAt(specs)
+}
+
+// MulPlainPt implements henn.Engine.
+func (f *Injector) MulPlainPt(ct henn.Ct, pt henn.Pt) henn.Ct {
+	return f.do("MulPlainPt", func() henn.Ct { return f.inner.MulPlainPt(ct, pt) })
+}
+
+// AddPlainPt implements henn.Engine.
+func (f *Injector) AddPlainPt(ct henn.Ct, pt henn.Pt) henn.Ct {
+	return f.do("AddPlainPt", func() henn.Ct { return f.inner.AddPlainPt(ct, pt) })
+}
+
 var _ henn.Engine = (*Injector)(nil)

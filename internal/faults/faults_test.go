@@ -109,9 +109,9 @@ func TestFaultsDetectedAndClassified(t *testing.T) {
 		},
 		{
 			name:   "skew-scale",
-			inj:    faults.Injection{Kind: faults.SkewScale, Op: "MulPlainVecCached", SkewFactor: 1.01},
+			inj:    faults.Injection{Kind: faults.SkewScale, Op: "MulPlainPt", SkewFactor: 1.01},
 			target: guard.ErrScaleDrift,
-			wantOp: "MulPlainVecCached",
+			wantOp: "MulPlainPt",
 		},
 		{
 			name:   "panic-op",
@@ -135,14 +135,20 @@ func TestFaultsDetectedAndClassified(t *testing.T) {
 				t.Run(tc.name, func(t *testing.T) {
 					ctx := context.Background()
 					cfg := guard.DefaultConfig()
+					cfg.Ctx = ctx
+					inj := faults.Wrap(base, tc.inj)
+					g := guard.New(inj, cfg)
 					if tc.inj.Kind == faults.DelayOp {
+						// Pay the one-time lowering/encoding cost before the
+						// clock starts: the stall must hit a ciphertext op,
+						// not graph preparation.
+						if err := plan.Warm(g); err != nil {
+							t.Fatal(err)
+						}
 						var cancel context.CancelFunc
 						ctx, cancel = context.WithTimeout(ctx, 50*time.Millisecond)
 						defer cancel()
 					}
-					cfg.Ctx = ctx
-					inj := faults.Wrap(base, tc.inj)
-					g := guard.New(inj, cfg)
 
 					logits, rep, err := plan.InferCtx(ctx, g, img)
 					if err == nil {

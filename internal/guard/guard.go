@@ -583,6 +583,82 @@ func (g *GuardedEngine) RotateMany(ct henn.Ct, ks []int) map[int]henn.Ct {
 	return m
 }
 
+// trackedPt is the guard's pre-encoded plaintext handle: the engine's
+// plaintext plus the metadata the noise and scale mirrors need (an opaque
+// Pt handle carries neither the operand magnitude nor its encode scale).
+type trackedPt struct {
+	pt    henn.Pt
+	level int
+	scale float64
+	// maxScaled is maxAbs(values)·scale: the plaintext canonical-norm
+	// proxy the noise model's MulPlain bound takes.
+	maxScaled float64
+}
+
+// EncodeVecsAt implements henn.Engine: every operand is validated like
+// the per-op plaintext paths, then wrapped so MulPlainPt/AddPlainPt can
+// track noise and scale without re-reading the values.
+func (g *GuardedEngine) EncodeVecsAt(specs []henn.PlainSpec) []henn.Pt {
+	const op = "EncodeVecsAt"
+	g.pre(op)
+	for _, s := range specs {
+		g.checkVec(op, s.Values)
+		g.checkPtScale(op, s.Scale)
+		if s.Level < 0 || s.Level > g.inner.MaxLevel() {
+			g.fail(op, fmt.Errorf("%w: encode level %d outside [0, %d]", ErrInvalidPlaintext, s.Level, g.inner.MaxLevel()))
+		}
+	}
+	var inner []henn.Pt
+	g.call(op, func() henn.Ct { inner = g.inner.EncodeVecsAt(specs); return nil })
+	if len(inner) != len(specs) {
+		g.fail(op, fmt.Errorf("%w: engine encoded %d of %d specs", ErrInvalidPlaintext, len(inner), len(specs)))
+	}
+	out := make([]henn.Pt, len(inner))
+	for i, pt := range inner {
+		out[i] = &trackedPt{pt: pt, level: specs[i].Level, scale: specs[i].Scale,
+			maxScaled: maxAbs(specs[i].Values) * specs[i].Scale}
+	}
+	return out
+}
+
+// inPt validates a pre-encoded plaintext operand against the ciphertext
+// it is applied to and unwraps it.
+func (g *GuardedEngine) inPt(op string, t *trackedCt, pt henn.Pt) *trackedPt {
+	tp, ok := pt.(*trackedPt)
+	if !ok {
+		g.fail(op, fmt.Errorf("%w: foreign plaintext handle %T", ErrInvalidPlaintext, pt))
+	}
+	if lvl := g.inner.Level(t.ct); lvl != tp.level {
+		g.fail(op, fmt.Errorf("%w: plaintext encoded at level %d applied at level %d",
+			ErrInvalidPlaintext, tp.level, lvl))
+	}
+	return tp
+}
+
+// MulPlainPt implements henn.Engine.
+func (g *GuardedEngine) MulPlainPt(ct henn.Ct, pt henn.Pt) henn.Ct {
+	const op = "MulPlainPt"
+	g.pre(op)
+	t := g.in(op, ct)
+	tp := g.inPt(op, t, pt)
+	out := g.call(op, func() henn.Ct { return g.inner.MulPlainPt(t.ct, tp.pt) })
+	return g.out(op, out, g.model.MulPlain(t.noise, tp.maxScaled), t.scale*tp.scale)
+}
+
+// AddPlainPt implements henn.Engine.
+func (g *GuardedEngine) AddPlainPt(ct henn.Ct, pt henn.Pt) henn.Ct {
+	const op = "AddPlainPt"
+	g.pre(op)
+	t := g.in(op, ct)
+	tp := g.inPt(op, t, pt)
+	if !scaleClose(t.scale, tp.scale, g.cfg.ScaleTol) {
+		g.fail(op, fmt.Errorf("%w: plaintext scale 2^%.4f vs ciphertext 2^%.4f",
+			ErrScaleDrift, math.Log2(tp.scale), math.Log2(t.scale)))
+	}
+	out := g.call(op, func() henn.Ct { return g.inner.AddPlainPt(t.ct, tp.pt) })
+	return g.out(op, out, t.noise, t.scale)
+}
+
 var (
 	_ henn.Engine     = (*GuardedEngine)(nil)
 	_ henn.StageAware = (*GuardedEngine)(nil)

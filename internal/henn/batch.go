@@ -1,9 +1,11 @@
 package henn
 
 import (
+	"context"
 	"fmt"
 	"time"
 
+	"cnnhe/internal/henn/exec"
 	"cnnhe/internal/nn"
 )
 
@@ -138,22 +140,26 @@ func (bp *BatchPlan) PackBatch(images [][]float64) ([]float64, error) {
 }
 
 // InferBatch classifies up to Batch images in one encrypted evaluation.
+// The packed ciphertext runs through the plan's lowered op graph with
+// ahead-of-time encoded plaintexts, shared across calls.
 func (bp *BatchPlan) InferBatch(e Engine, images [][]float64) ([]Logits, time.Duration, error) {
 	packed, err := bp.PackBatch(images)
 	if err != nil {
 		return nil, 0, err
 	}
-	ct := e.EncryptVec(packed)
-	start := time.Now()
-	for _, s := range bp.Plan.Stages {
-		ct = s.Eval(e, ct)
+	pr, err := bp.Plan.prepare(e)
+	if err != nil {
+		return nil, 0, err
 	}
-	lat := time.Since(start)
-	slots := e.DecryptVec(ct)
+	res, err := pr.Run(context.Background(), [][]float64{packed}, exec.Options{})
+	if err != nil {
+		return nil, 0, err
+	}
+	slots := e.DecryptVec(res.Out)
 	out := make([]Logits, len(images))
 	for b := range images {
 		off := b * bp.BlockSize
 		out[b] = Logits(append([]float64(nil), slots[off:off+bp.Plan.OutputDim]...))
 	}
-	return out, lat, nil
+	return out, res.Eval, nil
 }

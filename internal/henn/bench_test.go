@@ -1,0 +1,136 @@
+package henn
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"cnnhe/internal/ckks"
+	"cnnhe/internal/nn"
+)
+
+// Benchmarks comparing the legacy eager interpreter against the
+// op-graph executor with ahead-of-time encoded plaintexts. Run with
+//
+//	go test -bench InferCNN1 -benchtime 3x ./internal/henn/
+//
+// The executor benchmark warms the prepared graph outside the timed
+// loop: the AOT encoding cost is a one-time, per-(plan, engine) expense
+// amortized across inferences, which is the design point. The legacy
+// path re-encodes through its plaintext cache on first touch, so its
+// first iteration is included via a warm-up call too, keeping the
+// comparison steady-state vs steady-state.
+
+func compileCNN1ForBench(rng *rand.Rand) (*Plan, error) {
+	hm := nn.NewCNN1(rng).ReplaceReLUWithSLAF(3, 1)
+	for _, l := range hm.Layers {
+		if s, ok := l.(*nn.SLAF); ok {
+			s.FitReLU(3)
+		}
+	}
+	return Compile(hm, 1024)
+}
+
+func benchRNSEngine(plan *Plan, logN int, bits []int, seed int64) (Engine, error) {
+	params, err := ckks.NewParameters(logN, bits, 60, 1, math.Exp2(30))
+	if err != nil {
+		return nil, err
+	}
+	if err := plan.CheckDepth(params.MaxLevel()); err != nil {
+		return nil, err
+	}
+	return NewRNSEngine(params, plan.Rotations(), seed)
+}
+
+func benchCNN1(b *testing.B) (*Plan, Engine, []float64) {
+	rng := rand.New(rand.NewSource(7))
+	plan, err := compileCNN1ForBench(rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bits := make([]int, plan.Depth+2)
+	bits[0] = 40
+	for i := 1; i < len(bits); i++ {
+		bits[i] = 30
+	}
+	e, err := benchRNSEngine(plan, 11, bits, 701)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return plan, e, testImage(rng, plan.InputDim)
+}
+
+func BenchmarkInferLegacyCNN1(b *testing.B) {
+	plan, e, img := benchCNN1(b)
+	ctx := context.Background()
+	if _, _, err := plan.InferCtxLegacy(ctx, e, img); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := plan.InferCtxLegacy(ctx, e, img); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInferExecutorCNN1(b *testing.B) {
+	plan, e, img := benchCNN1(b)
+	if err := plan.Warm(e); err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := plan.InferCtx(ctx, e, img); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInferExecutorTiny(b *testing.B) {
+	plan, err := Compile(tinyModel(1), 512)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := benchRNSEngine(plan, 10, []int{40, 30, 30, 30, 30}, 702)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := plan.Warm(e); err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	img := testImage(rng, plan.InputDim)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := plan.InferCtx(ctx, e, img); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInferLegacyTiny(b *testing.B) {
+	plan, err := Compile(tinyModel(1), 512)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := benchRNSEngine(plan, 10, []int{40, 30, 30, 30, 30}, 703)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	img := testImage(rng, plan.InputDim)
+	ctx := context.Background()
+	if _, _, err := plan.InferCtxLegacy(ctx, e, img); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := plan.InferCtxLegacy(ctx, e, img); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -3,7 +3,9 @@ package henn
 import (
 	"fmt"
 	"sort"
+	"sync"
 
+	"cnnhe/internal/henn/exec"
 	"cnnhe/internal/nn"
 	"cnnhe/internal/tensor"
 )
@@ -21,6 +23,34 @@ type Plan struct {
 	Stages []Stage
 	// Depth is the number of levels the plan consumes.
 	Depth int
+
+	// prepared caches one lowered, plaintext-pre-encoded graph per engine;
+	// the zero value is ready to use.
+	mu       sync.Mutex
+	prepared map[Engine]*exec.Prepared
+}
+
+// prepare lowers the plan for e (once per engine) and pre-encodes every
+// plaintext operand at its statically inferred (level, scale).
+func (p *Plan) prepare(e Engine) (*exec.Prepared, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if pr, ok := p.prepared[e]; ok {
+		return pr, nil
+	}
+	g, err := p.Lower(e)
+	if err != nil {
+		return nil, err
+	}
+	pr, err := exec.Prepare(e, g)
+	if err != nil {
+		return nil, err
+	}
+	if p.prepared == nil {
+		p.prepared = map[Engine]*exec.Prepared{}
+	}
+	p.prepared[e] = pr
+	return pr, nil
 }
 
 // Stage is one homomorphic pipeline step.

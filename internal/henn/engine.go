@@ -19,68 +19,30 @@ package henn
 import (
 	"fmt"
 	"math/big"
+	"runtime"
 	"sync"
 
 	"cnnhe/internal/ckks"
 	"cnnhe/internal/ckksbig"
+	"cnnhe/internal/henn/ir"
 )
 
-// Ct is an opaque ciphertext handle owned by an Engine.
-type Ct interface{}
+// Ct is an opaque ciphertext handle owned by an Engine. It aliases ir.Ct
+// so compiled plans, lowered graphs, and the executor share one handle
+// type across packages.
+type Ct = ir.Ct
+
+// Pt is an opaque pre-encoded plaintext handle (see Engine.EncodeVecsAt).
+type Pt = ir.Pt
+
+// PlainSpec describes one plaintext vector to pre-encode at an exact
+// (level, scale).
+type PlainSpec = ir.PlainSpec
 
 // Engine abstracts the two CKKS backends behind the operations the
-// compiled plans need.
-type Engine interface {
-	// Name identifies the backend ("ckks-rns" or "ckks-big").
-	Name() string
-	// Slots returns the SIMD width N/2.
-	Slots() int
-	// MaxLevel returns the top ciphertext level L.
-	MaxLevel() int
-	// Scale returns the default plaintext scale Δ.
-	Scale() float64
-	// QiFloat returns the level's prime as a float64.
-	QiFloat(level int) float64
-
-	// EncryptVec encrypts values (length ≤ Slots) at the top level and
-	// default scale.
-	EncryptVec(values []float64) Ct
-	// DecryptVec decrypts to real slot values.
-	DecryptVec(ct Ct) []float64
-
-	// Level returns the ciphertext level.
-	Level(ct Ct) int
-	// ScaleOf returns the ciphertext scale.
-	ScaleOf(ct Ct) float64
-
-	// Add returns a + b (same level and scale).
-	Add(a, b Ct) Ct
-	// AddPlainVec adds the plaintext vector encoded at the ciphertext's
-	// exact level and scale.
-	AddPlainVec(ct Ct, v []float64) Ct
-	// MulPlainVecAtScale multiplies by the plaintext vector encoded at the
-	// given scale.
-	MulPlainVecAtScale(ct Ct, v []float64, scale float64) Ct
-	// MulPlainVecCached is MulPlainVecAtScale for vectors that are constant
-	// across inferences (model weights): the encoded plaintext is cached
-	// under (key, level, scale). Safe for concurrent use.
-	MulPlainVecCached(ct Ct, key string, v []float64, scale float64) Ct
-	// AddPlainVecCached is AddPlainVec with the same caching contract.
-	AddPlainVecCached(ct Ct, key string, v []float64) Ct
-	// MulRelin returns a·b relinearized.
-	MulRelin(a, b Ct) Ct
-	// MulInt multiplies by an exact integer, scale unchanged.
-	MulInt(ct Ct, n int64) Ct
-	// Rescale divides by the current level's prime.
-	Rescale(ct Ct) Ct
-	// DropLevel discards n levels.
-	DropLevel(ct Ct, n int) Ct
-	// Rotate rotates slots left by k (k = 0 returns the input unchanged).
-	Rotate(ct Ct, k int) Ct
-	// RotateMany returns rotations by every k in ks, using hoisting
-	// (decompose/lift once, rotate many) where the backend supports it.
-	RotateMany(ct Ct, ks []int) map[int]Ct
-}
+// compiled plans and lowered op graphs need; see ir.Engine for the full
+// method contract.
+type Engine = ir.Engine
 
 // ptCacheKey identifies a cached plaintext encoding.
 type ptCacheKey struct {
@@ -250,6 +212,31 @@ func (e *RNSEngine) RotateMany(ct Ct, ks []int) map[int]Ct {
 		m[k] = outs[k]
 	}
 	return m
+}
+
+// EncodeVecsAt implements Engine: the ahead-of-time encoding pass. The
+// encoder is stateless, so the batch is encoded on all CPUs.
+func (e *RNSEngine) EncodeVecsAt(specs []PlainSpec) []Pt {
+	es := make([]ckks.EncodeSpec, len(specs))
+	for i, s := range specs {
+		es[i] = ckks.EncodeSpec{Values: s.Values, Level: s.Level, Scale: s.Scale}
+	}
+	pts := e.Enc.EncodeBatch(es, runtime.NumCPU())
+	out := make([]Pt, len(pts))
+	for i, pt := range pts {
+		out[i] = pt
+	}
+	return out
+}
+
+// MulPlainPt implements Engine.
+func (e *RNSEngine) MulPlainPt(ct Ct, pt Pt) Ct {
+	return e.Ev.MulPlain(ct.(*ckks.Ciphertext), pt.(*ckks.Plaintext))
+}
+
+// AddPlainPt implements Engine.
+func (e *RNSEngine) AddPlainPt(ct Ct, pt Pt) Ct {
+	return e.Ev.AddPlain(ct.(*ckks.Ciphertext), pt.(*ckks.Plaintext))
 }
 
 func nonZero(ks []int) []int {
@@ -424,6 +411,30 @@ func (e *BigEngine) RotateMany(ct Ct, ks []int) map[int]Ct {
 		m[k] = outs[k]
 	}
 	return m
+}
+
+// EncodeVecsAt implements Engine: the ahead-of-time encoding pass.
+func (e *BigEngine) EncodeVecsAt(specs []PlainSpec) []Pt {
+	es := make([]ckksbig.EncodeSpec, len(specs))
+	for i, s := range specs {
+		es[i] = ckksbig.EncodeSpec{Values: s.Values, Level: s.Level, Scale: s.Scale}
+	}
+	pts := e.Enc.EncodeBatch(es, runtime.NumCPU())
+	out := make([]Pt, len(pts))
+	for i, pt := range pts {
+		out[i] = pt
+	}
+	return out
+}
+
+// MulPlainPt implements Engine.
+func (e *BigEngine) MulPlainPt(ct Ct, pt Pt) Ct {
+	return e.Ev.MulPlain(ct.(*ckksbig.Ciphertext), pt.(*ckksbig.Plaintext))
+}
+
+// AddPlainPt implements Engine.
+func (e *BigEngine) AddPlainPt(ct Ct, pt Pt) Ct {
+	return e.Ev.AddPlain(ct.(*ckksbig.Ciphertext), pt.(*ckksbig.Plaintext))
 }
 
 var (

@@ -1,0 +1,586 @@
+// Package exec executes lowered op graphs (internal/henn/ir) against a
+// CKKS engine.
+//
+// Prepare performs the ahead-of-time work a graph admits: structural
+// validation and batch-encoding of every plaintext operand at its
+// statically inferred (level, scale), deduplicated by cache key. The
+// resulting Prepared value is immutable and safe to share across
+// concurrent and batched inferences — the encoded plaintext set is paid
+// for once per (plan, engine) pair instead of once per locked cache
+// lookup on the hot path.
+//
+// Run replays the graph. The sequential mode visits ops in graph order,
+// which is exactly the legacy interpreter's engine-call order, so its
+// results are bit-identical to the eager path. The parallel mode
+// schedules ops over a bounded worker pool as their data dependencies
+// resolve; hoisted rotation groups always execute as one RotateMany
+// call so the shared key-switch decomposition is preserved in both
+// modes. Intermediate ciphertexts are reference-counted and released at
+// last use, keeping the live set close to the interpreter's.
+package exec
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cnnhe/internal/henn/ir"
+)
+
+// Options configures one Run.
+type Options struct {
+	// Workers bounds the scheduling pool. Values ≤ 1 select the
+	// sequential executor, whose engine-call order is bit-identical to
+	// the legacy interpreter.
+	Workers int
+}
+
+// StageStat is the per-stage execution record, mirroring the legacy
+// interpreter's Report rows.
+type StageStat struct {
+	Name      string
+	Duration  time.Duration
+	Level     int
+	Scale     float64
+	NoiseBits float64
+	Ops       int
+}
+
+// Result is the outcome of one Run.
+type Result struct {
+	// Out is the graph's output ciphertext.
+	Out ir.Ct
+	// Encrypt and Eval are the wall times of the two phases.
+	Encrypt time.Duration
+	Eval    time.Duration
+	// Stages holds one record per completed reportable stage, in stage
+	// order.
+	Stages []StageStat
+	// FailedStage names the stage a failed run died in ("" on success).
+	FailedStage string
+}
+
+// stageAware and noiseAware mirror the optional engine interfaces of
+// internal/henn (structural, so no import is needed).
+type stageAware interface{ BeginStage(name string) }
+type noiseAware interface{ NoiseBits(ct ir.Ct) float64 }
+
+// task is one schedulable unit: a single op, or a whole hoist group
+// (which must execute as one RotateMany call).
+type task struct {
+	ops      []int // op IDs, in graph order
+	stage    int
+	children []int // dependent task indices (deduplicated)
+	indeg    int32 // static in-degree
+}
+
+// Prepared is a validated graph with its plaintext operands pre-encoded
+// for one engine. Immutable after Prepare; share freely across Runs.
+type Prepared struct {
+	e ir.Engine
+	g *ir.Graph
+
+	pts        []ir.Pt // per-op pre-encoded operand (nil where none)
+	use        []int32 // static consumer count per op (+1 for the output)
+	encryptOps []int
+	outStage   []int // op ID → stage it is the Out of, or -1
+	stageOps   []int // per-stage op count
+	tasks      []task
+	opTask     []int // op ID → task index (-1 for encrypt ops)
+}
+
+// Graph returns the prepared graph (for stats and diagnostics).
+func (p *Prepared) Graph() *ir.Graph { return p.g }
+
+// Prepare validates g and pre-encodes every plaintext operand on e at
+// its exact (level, scale). Operands carrying the same non-empty
+// PlainKey at the same (level, scale) — model constants — encode once.
+func Prepare(e ir.Engine, g *ir.Graph) (p *Prepared, err error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			if e, ok := r.(error); ok {
+				err = fmt.Errorf("exec: prepare: %w", e)
+				return
+			}
+			err = fmt.Errorf("exec: prepare: %v", r)
+		}
+	}()
+	p = &Prepared{
+		e:        e,
+		g:        g,
+		pts:      make([]ir.Pt, len(g.Ops)),
+		use:      make([]int32, len(g.Ops)),
+		outStage: make([]int, len(g.Ops)),
+		stageOps: make([]int, len(g.Stages)),
+		opTask:   make([]int, len(g.Ops)),
+	}
+	// Batch-encode the plaintext operands, deduplicating model constants.
+	type ptKey struct {
+		key   string
+		level int
+		scale float64
+	}
+	var specs []ir.PlainSpec
+	slot := make([]int, 0, len(g.Ops)) // spec index per encoding op
+	seen := map[ptKey]int{}
+	for i := range g.Ops {
+		op := &g.Ops[i]
+		if op.Plain == nil {
+			continue
+		}
+		scale := op.Scale // OpAddPlain encodes at the result's (level, scale)
+		if op.Kind == ir.OpMulPlain {
+			scale = op.PtScale
+		}
+		k := ptKey{key: op.PlainKey, level: op.Level, scale: scale}
+		if op.PlainKey != "" {
+			if j, ok := seen[k]; ok {
+				slot = append(slot, j)
+				continue
+			}
+			seen[k] = len(specs)
+		}
+		slot = append(slot, len(specs))
+		specs = append(specs, ir.PlainSpec{Values: op.Plain, Level: op.Level, Scale: scale})
+	}
+	encoded := e.EncodeVecsAt(specs)
+	if len(encoded) != len(specs) {
+		return nil, fmt.Errorf("exec: engine encoded %d of %d plaintexts", len(encoded), len(specs))
+	}
+	j := 0
+	for i := range g.Ops {
+		if g.Ops[i].Plain == nil {
+			continue
+		}
+		p.pts[i] = encoded[slot[j]]
+		j++
+	}
+	// Consumer counts, stage bookkeeping, encrypt prologue.
+	for i := range g.Ops {
+		op := &g.Ops[i]
+		for _, a := range op.Args {
+			p.use[a]++
+		}
+		p.outStage[i] = -1
+		p.stageOps[op.Stage]++
+		if op.Kind == ir.OpEncrypt {
+			p.encryptOps = append(p.encryptOps, i)
+		}
+	}
+	p.use[g.Output]++ // the caller consumes the output
+	for s, st := range g.Stages {
+		if st.Out >= 0 {
+			p.outStage[st.Out] = s
+		}
+	}
+	p.buildTasks()
+	return p, nil
+}
+
+// buildTasks groups ops into schedulable tasks and wires the static
+// dependency edges for the parallel executor.
+func (p *Prepared) buildTasks() {
+	g := p.g
+	hoistTask := make([]int, len(g.Hoists))
+	for i := range hoistTask {
+		hoistTask[i] = -1
+	}
+	for i := range g.Ops {
+		op := &g.Ops[i]
+		if op.Kind == ir.OpEncrypt {
+			p.opTask[i] = -1
+			continue
+		}
+		if op.Kind == ir.OpRotate && op.Hoist >= 0 {
+			if t := hoistTask[op.Hoist]; t >= 0 {
+				p.opTask[i] = t
+				p.tasks[t].ops = append(p.tasks[t].ops, i)
+				continue
+			}
+			hoistTask[op.Hoist] = len(p.tasks)
+		}
+		p.opTask[i] = len(p.tasks)
+		p.tasks = append(p.tasks, task{ops: []int{i}, stage: op.Stage})
+	}
+	for t := range p.tasks {
+		depSet := map[int]bool{}
+		for _, id := range p.tasks[t].ops {
+			for _, a := range p.g.Ops[id].Args {
+				d := p.opTask[a]
+				if d >= 0 && d != t && !depSet[d] {
+					depSet[d] = true
+					p.tasks[d].children = append(p.tasks[d].children, t)
+					p.tasks[t].indeg++
+				}
+			}
+		}
+	}
+}
+
+// runState is the per-Run mutable state.
+type runState struct {
+	p     *Prepared
+	sa    stageAware
+	na    noiseAware
+	slots []ir.Ct
+	use   []int32
+
+	mu       sync.Mutex
+	curStage int
+	started  []bool
+	start    []time.Time
+	end      []time.Time
+	stats    []StageStat
+	done     []bool // stage Out op completed
+}
+
+func (p *Prepared) newRunState() *runState {
+	rs := &runState{
+		p:        p,
+		slots:    make([]ir.Ct, len(p.g.Ops)),
+		use:      make([]int32, len(p.g.Ops)),
+		curStage: -1,
+		started:  make([]bool, len(p.g.Stages)),
+		start:    make([]time.Time, len(p.g.Stages)),
+		end:      make([]time.Time, len(p.g.Stages)),
+		stats:    make([]StageStat, len(p.g.Stages)),
+		done:     make([]bool, len(p.g.Stages)),
+	}
+	copy(rs.use, p.use)
+	rs.sa, _ = p.e.(stageAware)
+	rs.na, _ = p.e.(noiseAware)
+	for s, st := range p.g.Stages {
+		rs.stats[s] = StageStat{Name: st.Name, NoiseBits: math.NaN(), Ops: p.stageOps[s]}
+	}
+	return rs
+}
+
+// announce tells a StageAware engine the current stage, once per
+// transition. In parallel runs stage attribution is best-effort (ops of
+// different stages interleave), exactly like the legacy parallel path.
+func (rs *runState) announce(stage int) {
+	if rs.sa == nil {
+		return
+	}
+	rs.mu.Lock()
+	changed := stage != rs.curStage
+	if changed {
+		rs.curStage = stage
+	}
+	rs.mu.Unlock()
+	if changed {
+		rs.sa.BeginStage(rs.p.g.Stages[stage].Name)
+	}
+}
+
+// opStarted/opDone maintain per-stage wall-clock spans and capture the
+// stage output's (level, scale, noise) the moment it is produced,
+// before reference counting can release it.
+func (rs *runState) opStarted(stage int, now time.Time) {
+	rs.mu.Lock()
+	if !rs.started[stage] {
+		rs.started[stage] = true
+		rs.start[stage] = now
+	}
+	rs.mu.Unlock()
+}
+
+func (rs *runState) opDone(id int, ct ir.Ct, now time.Time) {
+	stage := rs.p.g.Ops[id].Stage
+	var level int
+	var scale, noise float64
+	isOut := rs.p.outStage[id] >= 0
+	if isOut {
+		level = rs.p.e.Level(ct)
+		scale = rs.p.e.ScaleOf(ct)
+		noise = math.NaN()
+		if rs.na != nil {
+			noise = rs.na.NoiseBits(ct)
+		}
+	}
+	rs.mu.Lock()
+	if now.After(rs.end[stage]) {
+		rs.end[stage] = now
+	}
+	if isOut {
+		s := rs.p.outStage[id]
+		rs.stats[s].Level = level
+		rs.stats[s].Scale = scale
+		rs.stats[s].NoiseBits = noise
+		rs.done[s] = true
+	}
+	rs.mu.Unlock()
+}
+
+// release decrements an argument's reference count, freeing the slot at
+// zero so peak live ciphertexts track the interpreter's.
+func (rs *runState) release(id int) {
+	if atomic.AddInt32(&rs.use[id], -1) == 0 {
+		rs.slots[id] = nil
+	}
+}
+
+// finish copies completed reportable stage records into res.
+func (rs *runState) finish(res *Result) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	for s, st := range rs.p.g.Stages {
+		if !st.Record || !rs.done[s] {
+			continue
+		}
+		row := rs.stats[s]
+		row.Duration = rs.end[s].Sub(rs.start[s])
+		res.Stages = append(res.Stages, row)
+	}
+}
+
+// execOp runs one non-encrypt op (or, for the first member of a hoist
+// group, the whole group via a single RotateMany). Panics are converted
+// to errors; error values (e.g. guard stage errors) pass through intact.
+func (rs *runState) execOp(id int) (err error) {
+	p := rs.p
+	op := &p.g.Ops[id]
+	name := p.g.Stages[op.Stage].Name
+	defer func() {
+		if r := recover(); r != nil {
+			if e, ok := r.(error); ok {
+				err = e
+				return
+			}
+			err = fmt.Errorf("henn: panic in %s: %v", name, r)
+		}
+	}()
+	t0 := time.Now()
+	rs.opStarted(op.Stage, t0)
+	if op.Kind == ir.OpRotate && op.Hoist >= 0 {
+		members := p.g.Hoists[op.Hoist]
+		arg := rs.slots[op.Args[0]]
+		ks := make([]int, len(members))
+		for i, m := range members {
+			ks[i] = p.g.Ops[m].K
+		}
+		outs := p.e.RotateMany(arg, ks)
+		now := time.Now()
+		for _, m := range members {
+			ct, ok := outs[p.g.Ops[m].K]
+			if !ok {
+				return fmt.Errorf("henn: %s: RotateMany dropped rotation %d", name, p.g.Ops[m].K)
+			}
+			rs.slots[m] = ct
+			rs.opDone(m, ct, now)
+		}
+		for range members {
+			rs.release(op.Args[0])
+		}
+		return nil
+	}
+	args := make([]ir.Ct, len(op.Args))
+	for i, a := range op.Args {
+		args[i] = rs.slots[a]
+	}
+	var ct ir.Ct
+	switch op.Kind {
+	case ir.OpRotate:
+		ct = p.e.Rotate(args[0], op.K)
+	case ir.OpMulPlain:
+		ct = p.e.MulPlainPt(args[0], p.pts[id])
+	case ir.OpAddPlain:
+		ct = p.e.AddPlainPt(args[0], p.pts[id])
+	case ir.OpAdd:
+		ct = p.e.Add(args[0], args[1])
+	case ir.OpMulRelin:
+		ct = p.e.MulRelin(args[0], args[1])
+	case ir.OpRescale:
+		ct = p.e.Rescale(args[0])
+	case ir.OpDropLevel:
+		ct = p.e.DropLevel(args[0], op.Drop)
+	case ir.OpRecombine:
+		acc := args[0] // weight 1; carries the bias
+		for i := 1; i < len(args); i++ {
+			acc = p.e.Add(acc, p.e.MulInt(args[i], op.Weights[i]))
+		}
+		ct = acc
+	default:
+		return fmt.Errorf("henn: %s: cannot execute %s op", name, op.Kind)
+	}
+	rs.slots[id] = ct
+	rs.opDone(id, ct, time.Now())
+	for _, a := range op.Args {
+		rs.release(a)
+	}
+	return nil
+}
+
+// EncryptInputs runs the graph's encrypt prologue serially in op order
+// (encryption draws from the engine's PRNG, whose call order must match
+// the legacy path for bit-identical runs). The returned slice is
+// indexed like the graph's encrypt ops.
+func (p *Prepared) EncryptInputs(ctx context.Context, inputs [][]float64) (cts []ir.Ct, d time.Duration, failedStage string, err error) {
+	if len(inputs) != p.g.Inputs {
+		return nil, 0, "", fmt.Errorf("exec: %d inputs for a %d-input graph", len(inputs), p.g.Inputs)
+	}
+	sa, _ := p.e.(stageAware)
+	t0 := time.Now()
+	cts = make([]ir.Ct, len(p.encryptOps))
+	for i, id := range p.encryptOps {
+		op := &p.g.Ops[id]
+		name := p.g.Stages[op.Stage].Name
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, time.Since(t0), name, fmt.Errorf("henn: %s: %w", name, cerr)
+		}
+		if sa != nil {
+			sa.BeginStage(name)
+		}
+		ct, eerr := func() (ct ir.Ct, err error) {
+			defer func() {
+				if r := recover(); r != nil {
+					if e, ok := r.(error); ok {
+						err = e
+						return
+					}
+					err = fmt.Errorf("henn: panic in %s: %v", name, r)
+				}
+			}()
+			return p.e.EncryptVec(inputs[op.InputIdx]), nil
+		}()
+		if eerr != nil {
+			return nil, time.Since(t0), name, eerr
+		}
+		cts[i] = ct
+	}
+	return cts, time.Since(t0), "", nil
+}
+
+// RunEncrypted evaluates the graph on already-encrypted inputs (in
+// encrypt-op order, as returned by EncryptInputs). It is the batched
+// hot path: many RunEncrypted calls may share one Prepared concurrently.
+func (p *Prepared) RunEncrypted(ctx context.Context, cts []ir.Ct, opts Options) (*Result, error) {
+	res := &Result{}
+	if len(cts) != len(p.encryptOps) {
+		return res, fmt.Errorf("exec: %d ciphertexts for %d encrypt ops", len(cts), len(p.encryptOps))
+	}
+	rs := p.newRunState()
+	for i, id := range p.encryptOps {
+		rs.slots[id] = cts[i]
+	}
+	t0 := time.Now()
+	var err error
+	if opts.Workers > 1 && len(p.tasks) > 1 {
+		err = rs.runParallel(ctx, opts.Workers, res)
+	} else {
+		err = rs.runSequential(ctx, res)
+	}
+	res.Eval = time.Since(t0)
+	rs.finish(res)
+	if err != nil {
+		return res, err
+	}
+	res.Out = rs.slots[p.g.Output]
+	return res, nil
+}
+
+// Run encrypts inputs and evaluates the graph.
+func (p *Prepared) Run(ctx context.Context, inputs [][]float64, opts Options) (*Result, error) {
+	cts, encDur, failedStage, err := p.EncryptInputs(ctx, inputs)
+	if err != nil {
+		return &Result{Encrypt: encDur, FailedStage: failedStage}, err
+	}
+	res, err := p.RunEncrypted(ctx, cts, opts)
+	res.Encrypt = encDur
+	return res, err
+}
+
+// runSequential replays ops in graph order — the legacy interpreter's
+// exact engine-call order.
+func (rs *runState) runSequential(ctx context.Context, res *Result) error {
+	p := rs.p
+	for i := range p.g.Ops {
+		op := &p.g.Ops[i]
+		if op.Kind == ir.OpEncrypt || rs.slots[i] != nil {
+			continue // encrypted in the prologue / produced by a hoist group
+		}
+		name := p.g.Stages[op.Stage].Name
+		if err := ctx.Err(); err != nil {
+			res.FailedStage = name
+			return fmt.Errorf("henn: %s: %w", name, err)
+		}
+		rs.announce(op.Stage)
+		if err := rs.execOp(i); err != nil {
+			res.FailedStage = name
+			return err
+		}
+	}
+	return nil
+}
+
+// runParallel schedules tasks over a bounded worker pool as their
+// dependencies resolve. The first error wins and stops the run.
+func (rs *runState) runParallel(ctx context.Context, workers int, res *Result) error {
+	p := rs.p
+	if workers > len(p.tasks) {
+		workers = len(p.tasks)
+	}
+	indeg := make([]int32, len(p.tasks))
+	ready := make(chan int, len(p.tasks))
+	for t := range p.tasks {
+		indeg[t] = p.tasks[t].indeg
+		if indeg[t] == 0 {
+			ready <- t
+		}
+	}
+	var pending = int32(len(p.tasks))
+	quit := make(chan struct{})
+	var failOnce sync.Once
+	var firstErr error
+	fail := func(stage string, err error) {
+		failOnce.Do(func() {
+			res.FailedStage = stage
+			firstErr = err
+			close(quit)
+		})
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-quit:
+					return
+				case t, ok := <-ready:
+					if !ok {
+						return
+					}
+					tk := &p.tasks[t]
+					name := p.g.Stages[tk.stage].Name
+					if err := ctx.Err(); err != nil {
+						fail(name, fmt.Errorf("henn: %s: %w", name, err))
+						return
+					}
+					rs.announce(tk.stage)
+					if err := rs.execOp(tk.ops[0]); err != nil {
+						fail(name, err)
+						return
+					}
+					for _, c := range tk.children {
+						if atomic.AddInt32(&indeg[c], -1) == 0 {
+							ready <- c
+						}
+					}
+					if atomic.AddInt32(&pending, -1) == 0 {
+						close(ready)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

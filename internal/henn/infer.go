@@ -5,9 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"cnnhe/internal/henn/exec"
 	"cnnhe/internal/rnsdec"
 )
 
@@ -151,14 +154,71 @@ func (sr *stageRunner) record(name string, d time.Duration, ct Ct) {
 	sr.rep.Stages = append(sr.rep.Stages, row)
 }
 
+// fillReport copies an executor result into the legacy Report shape.
+func fillReport(rep *Report, res *exec.Result) {
+	rep.Encrypt = res.Encrypt
+	rep.Eval = res.Eval
+	if res.FailedStage != "" {
+		rep.FailedStage = res.FailedStage
+	}
+	for _, st := range res.Stages {
+		rep.Stages = append(rep.Stages, StageReport{
+			Stage: st.Name, Duration: st.Duration,
+			Level: st.Level, Scale: st.Scale, NoiseBits: st.NoiseBits,
+		})
+	}
+}
+
+// decryptLogits runs the shared decrypt epilogue of both pipelines.
+func decryptLogits(ctx context.Context, e Engine, ct Ct, outputDim int, rep *Report) (Logits, *Report, error) {
+	sr := newStageRunner(ctx, e, rep)
+	var out []float64
+	t := time.Now()
+	_, err := sr.step("decrypt", func() Ct { out = e.DecryptVec(ct); return nil })
+	rep.Decrypt = time.Since(t)
+	if err != nil {
+		return nil, rep, err
+	}
+	if len(out) < outputDim {
+		return nil, rep, badInput("engine decrypted %d slots, plan outputs %d", len(out), outputDim)
+	}
+	return Logits(out[:outputDim]), rep, nil
+}
+
 // InferCtx classifies one raw image (pixels in [0, 255], length InputDim)
 // with full error reporting: the input is validated, the context deadline
-// is checked before every stage, engine panics are converted to errors,
-// and a per-stage timing/noise Report is returned alongside the logits.
-// The report is non-nil even on failure (FailedStage names the stage that
+// is checked before every op, engine panics are converted to errors, and
+// a per-stage timing/noise Report is returned alongside the logits. The
+// report is non-nil even on failure (FailedStage names the stage that
 // errored). Pair with guard.New to also get per-op invariant checking and
 // noise-budget enforcement.
+//
+// The evaluation runs on the lowered op graph (Lower) with ahead-of-time
+// encoded plaintexts, prepared once per engine and shared by every
+// subsequent inference. The sequential executor replays the graph in the
+// legacy interpreter's exact engine-call order, so logits are
+// bit-identical to InferCtxLegacy.
 func (p *Plan) InferCtx(ctx context.Context, e Engine, image []float64) (Logits, *Report, error) {
+	rep := &Report{Engine: e.Name()}
+	if len(image) != p.InputDim {
+		return nil, rep, badInput("image length %d does not match plan input dim %d", len(image), p.InputDim)
+	}
+	pr, err := p.prepare(e)
+	if err != nil {
+		rep.FailedStage = "prepare"
+		return nil, rep, err
+	}
+	res, err := pr.Run(ctx, [][]float64{image}, exec.Options{})
+	fillReport(rep, res)
+	if err != nil {
+		return nil, rep, err
+	}
+	return decryptLogits(ctx, e, res.Out, p.OutputDim, rep)
+}
+
+// InferCtxLegacy is the original eager stage interpreter, retained as the
+// reference oracle the executor is tested bit-identical against.
+func (p *Plan) InferCtxLegacy(ctx context.Context, e Engine, image []float64) (Logits, *Report, error) {
 	rep := &Report{Engine: e.Name()}
 	if len(image) != p.InputDim {
 		return nil, rep, badInput("image length %d does not match plan input dim %d", len(image), p.InputDim)
@@ -210,10 +270,86 @@ func (p *Plan) Infer(e Engine, image []float64) (Logits, time.Duration) {
 	return logits, rep.Eval
 }
 
+// InferBatch classifies images concurrently on up to workers goroutines,
+// all sharing one prepared graph (and thus one ahead-of-time encoded
+// plaintext set). Encryption is serialized — the engines' encryptors
+// draw from a non-thread-safe PRNG — while evaluation and decryption,
+// which are stateless, overlap freely. The engine must be one whose
+// evaluator is safe for concurrent use (both backends are; a guarded
+// engine serializes internally). Results are in image order; the first
+// error aborts the batch.
+func (p *Plan) InferBatch(ctx context.Context, e Engine, images [][]float64, workers int) ([]Logits, error) {
+	for i, img := range images {
+		if len(img) != p.InputDim {
+			return nil, badInput("image %d length %d does not match plan input dim %d", i, len(img), p.InputDim)
+		}
+	}
+	pr, err := p.prepare(e)
+	if err != nil {
+		return nil, err
+	}
+	encs := make([][]Ct, len(images))
+	for i, img := range images {
+		cts, _, _, err := pr.EncryptInputs(ctx, [][]float64{img})
+		if err != nil {
+			return nil, fmt.Errorf("image %d: %w", i, err)
+		}
+		encs[i] = cts
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(images) {
+		workers = len(images)
+	}
+	out := make([]Logits, len(images))
+	errs := make([]error, len(images))
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= len(images) {
+					return
+				}
+				res, err := pr.RunEncrypted(ctx, encs[i], exec.Options{})
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				logits, _, err := decryptLogits(ctx, e, res.Out, p.OutputDim, &Report{Engine: e.Name()})
+				out[i], errs[i] = logits, err
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("image %d: %w", i, err)
+		}
+	}
+	return out, nil
+}
+
+// Warm lowers the plan for e and pre-encodes its plaintext operands, so
+// a later InferCtx pays no one-time preparation cost inside its
+// deadline. Safe to call concurrently; repeated calls are no-ops.
+func (p *Plan) Warm(e Engine) error {
+	_, err := p.prepare(e)
+	return err
+}
+
 // LatencyStats aggregates per-inference latencies.
 type LatencyStats struct {
 	Min, Max, Avg time.Duration
 	N             int
+
+	// samples holds every recorded latency, sorted by finish, so
+	// percentiles can be read after aggregation.
+	samples []time.Duration
 }
 
 func newLatencyStats() LatencyStats {
@@ -229,6 +365,7 @@ func (s *LatencyStats) add(d time.Duration) {
 	}
 	s.Avg += d
 	s.N++
+	s.samples = append(s.samples, d)
 }
 
 func (s *LatencyStats) finish() {
@@ -239,6 +376,26 @@ func (s *LatencyStats) finish() {
 		return
 	}
 	s.Avg /= time.Duration(s.N)
+	sort.Slice(s.samples, func(i, j int) bool { return s.samples[i] < s.samples[j] })
+}
+
+// Percentile returns the nearest-rank p-th percentile (p in [0, 100]) of
+// the recorded latencies, or 0 when no samples were recorded.
+func (s *LatencyStats) Percentile(p float64) time.Duration {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return s.samples[0]
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(s.samples))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(s.samples) {
+		rank = len(s.samples)
+	}
+	return s.samples[rank-1]
 }
 
 // String renders the stats like the paper's tables (seconds).
@@ -269,19 +426,21 @@ func checkEvalArgs(images [][]float64, labels []int, n, inputDim int) (int, erro
 	return n, nil
 }
 
-// EvaluateEncrypted classifies images[0:n] homomorphically and returns the
-// accuracy against labels plus latency statistics. Mis-sized inputs and
-// label/image mismatches yield a typed error (errors.Is ErrBadInput)
-// before any ciphertext work starts.
-func (p *Plan) EvaluateEncrypted(e Engine, images [][]float64, labels []int, n int) (float64, LatencyStats, error) {
-	n, err := checkEvalArgs(images, labels, n, p.InputDim)
+// inferFunc is the shape shared by Plan.InferCtx and RNSPlan.InferCtx.
+type inferFunc func(ctx context.Context, e Engine, image []float64) (Logits, *Report, error)
+
+// evaluateEncrypted classifies images[0:n] via infer and returns the
+// accuracy against labels plus latency statistics — the shared body of
+// both pipelines' EvaluateEncrypted.
+func evaluateEncrypted(infer inferFunc, e Engine, images [][]float64, labels []int, n, inputDim int) (float64, LatencyStats, error) {
+	n, err := checkEvalArgs(images, labels, n, inputDim)
 	if err != nil {
 		return 0, LatencyStats{}, err
 	}
 	stats := newLatencyStats()
 	correct := 0
 	for i := 0; i < n; i++ {
-		logits, rep, err := p.InferCtx(context.Background(), e, images[i])
+		logits, rep, err := infer(context.Background(), e, images[i])
 		if err != nil {
 			stats.finish()
 			return 0, stats, fmt.Errorf("image %d: %w", i, err)
@@ -295,6 +454,14 @@ func (p *Plan) EvaluateEncrypted(e Engine, images [][]float64, labels []int, n i
 	return float64(correct) / float64(n), stats, nil
 }
 
+// EvaluateEncrypted classifies images[0:n] homomorphically and returns the
+// accuracy against labels plus latency statistics. Mis-sized inputs and
+// label/image mismatches yield a typed error (errors.Is ErrBadInput)
+// before any ciphertext work starts.
+func (p *Plan) EvaluateEncrypted(e Engine, images [][]float64, labels []int, n int) (float64, LatencyStats, error) {
+	return evaluateEncrypted(p.InferCtx, e, images, labels, n, p.InputDim)
+}
+
 // RNSPlan is the Fig. 5 CNN-RNS pipeline: the input image is decomposed
 // into K digit tensors (rnsdec digit mode — the exact, fully homomorphic
 // variant of the paper's residue decomposition, see DESIGN.md S4), the
@@ -304,8 +471,36 @@ func (p *Plan) EvaluateEncrypted(e Engine, images [][]float64, labels []int, n i
 type RNSPlan struct {
 	Base   *Plan
 	Digits rnsdec.DigitBasis
-	// Parallel evaluates the per-part convolutions on separate goroutines.
+	// Parallel evaluates independent graph ops (notably the per-part
+	// convolutions) on a bounded worker pool.
 	Parallel bool
+
+	// prepared caches one lowered, pre-encoded graph per engine (the RNS
+	// graph differs from Base's: k inputs, replicated first stage).
+	mu       sync.Mutex
+	prepared map[Engine]*exec.Prepared
+}
+
+// prepare lowers the decomposed pipeline for e, once per engine.
+func (p *RNSPlan) prepare(e Engine) (*exec.Prepared, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if pr, ok := p.prepared[e]; ok {
+		return pr, nil
+	}
+	g, err := p.Lower(e)
+	if err != nil {
+		return nil, err
+	}
+	pr, err := exec.Prepare(e, g)
+	if err != nil {
+		return nil, err
+	}
+	if p.prepared == nil {
+		p.prepared = map[Engine]*exec.Prepared{}
+	}
+	p.prepared[e] = pr
+	return pr, nil
 }
 
 // NewRNSPlan wraps a compiled plan with a k-part digit decomposition
@@ -332,22 +527,60 @@ func NewRNSPlan(base *Plan, k int, parallel bool) (*RNSPlan, error) {
 	return &RNSPlan{Base: base, Digits: db, Parallel: parallel}, nil
 }
 
+// pow computes bᵏ, saturating at MaxInt64. The overflow guard runs
+// before every multiply: the earlier version returned mid-computation
+// once the product crossed 2³², silently capping bᵏ at whatever partial
+// power it had reached — harmless for the base-search caller (any value
+// ≥ 256 behaves the same) but wrong as soon as any caller needs the
+// true power.
 func pow(b int64, k int) int64 {
+	if b <= 0 {
+		return 0
+	}
 	r := int64(1)
 	for i := 0; i < k; i++ {
-		r *= b
-		if r >= 1<<32 {
-			return r
+		if r > math.MaxInt64/b {
+			return math.MaxInt64
 		}
+		r *= b
 	}
 	return r
 }
 
 // InferCtx classifies one raw image through the decomposed pipeline with
 // the same validation, cancellation, and reporting contract as
-// Plan.InferCtx. In Parallel mode the per-part convolutions each recover
-// their own panics; the first error wins.
+// Plan.InferCtx. In Parallel mode independent ops — in particular the
+// per-part convolutions — are scheduled over a worker pool; since every
+// op's operands are fixed by the graph, the logits do not depend on the
+// schedule.
 func (p *RNSPlan) InferCtx(ctx context.Context, e Engine, image []float64) (Logits, *Report, error) {
+	rep := &Report{Engine: e.Name()}
+	if len(image) != p.Base.InputDim {
+		return nil, rep, badInput("image length %d does not match plan input dim %d", len(image), p.Base.InputDim)
+	}
+	pr, err := p.prepare(e)
+	if err != nil {
+		rep.FailedStage = "prepare"
+		return nil, rep, err
+	}
+	parts := p.Digits.DecomposeTensor(image)
+	workers := 1
+	if p.Parallel {
+		workers = len(parts)
+	}
+	res, err := pr.Run(ctx, parts, exec.Options{Workers: workers})
+	fillReport(rep, res)
+	if err != nil {
+		return nil, rep, err
+	}
+	return decryptLogits(ctx, e, res.Out, p.Base.OutputDim, rep)
+}
+
+// InferCtxLegacy is the original eager interpreter for the decomposed
+// pipeline, retained as the executor's reference oracle. In Parallel mode
+// the per-part convolutions each recover their own panics; the first
+// error wins.
+func (p *RNSPlan) InferCtxLegacy(ctx context.Context, e Engine, image []float64) (Logits, *Report, error) {
 	rep := &Report{Engine: e.Name()}
 	if len(image) != p.Base.InputDim {
 		return nil, rep, badInput("image length %d does not match plan input dim %d", len(image), p.Base.InputDim)
@@ -449,6 +682,12 @@ func (p *RNSPlan) InferCtx(ctx context.Context, e Engine, image []float64) (Logi
 	return Logits(out[:p.Base.OutputDim]), rep, nil
 }
 
+// Warm mirrors Plan.Warm for the decomposed pipeline.
+func (p *RNSPlan) Warm(e Engine) error {
+	_, err := p.prepare(e)
+	return err
+}
+
 // Infer classifies one raw image through the decomposed pipeline. Like
 // Plan.Infer it panics on error; use InferCtx for typed errors.
 func (p *RNSPlan) Infer(e Engine, image []float64) (Logits, time.Duration) {
@@ -468,23 +707,5 @@ func (p *RNSPlan) evalPart(e Engine, first *LinearStage, ct Ct, idx int) Ct {
 
 // EvaluateEncrypted mirrors Plan.EvaluateEncrypted for the RNS pipeline.
 func (p *RNSPlan) EvaluateEncrypted(e Engine, images [][]float64, labels []int, n int) (float64, LatencyStats, error) {
-	n, err := checkEvalArgs(images, labels, n, p.Base.InputDim)
-	if err != nil {
-		return 0, LatencyStats{}, err
-	}
-	stats := newLatencyStats()
-	correct := 0
-	for i := 0; i < n; i++ {
-		logits, rep, err := p.InferCtx(context.Background(), e, images[i])
-		if err != nil {
-			stats.finish()
-			return 0, stats, fmt.Errorf("image %d: %w", i, err)
-		}
-		stats.add(rep.Eval)
-		if logits.Argmax() == labels[i] {
-			correct++
-		}
-	}
-	stats.finish()
-	return float64(correct) / float64(n), stats, nil
+	return evaluateEncrypted(p.InferCtx, e, images, labels, n, p.Base.InputDim)
 }

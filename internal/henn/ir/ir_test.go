@@ -1,0 +1,112 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// smallGraph builds a valid two-stage graph: encrypt → hoisted rotations →
+// mulplain → add → rescale.
+func smallGraph() *Graph {
+	g := &Graph{
+		Slots:  8,
+		Inputs: 1,
+		Stages: []StageInfo{
+			{Name: "encrypt", Out: 0, Record: false},
+			{Name: "stage 0 (linear)", Out: 5, Record: true},
+		},
+		Hoists: [][]int{{1, 2}},
+	}
+	g.Ops = []Op{
+		{ID: 0, Kind: OpEncrypt, InputIdx: 0, Stage: 0, Level: 3, Scale: 1 << 20},
+		{ID: 1, Kind: OpRotate, Args: []int{0}, K: 1, Hoist: 0, Stage: 1, Level: 3, Scale: 1 << 20},
+		{ID: 2, Kind: OpRotate, Args: []int{0}, K: 2, Hoist: 0, Stage: 1, Level: 3, Scale: 1 << 20},
+		{ID: 3, Kind: OpMulPlain, Args: []int{1}, Plain: []float64{1, 2}, PtScale: 1 << 20, Stage: 1, Level: 3, Scale: 1 << 40},
+		{ID: 4, Kind: OpMulPlain, Args: []int{2}, Plain: []float64{3, 4}, PtScale: 1 << 20, Stage: 1, Level: 3, Scale: 1 << 40},
+		{ID: 5, Kind: OpAdd, Args: []int{3, 4}, Stage: 1, Level: 3, Scale: 1 << 40},
+	}
+	g.Output = 5
+	return g
+}
+
+func TestValidateAccepts(t *testing.T) {
+	if err := smallGraph().Validate(); err != nil {
+		t.Fatalf("valid graph rejected: %v", err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Graph)
+		want   string
+	}{
+		{"forward-arg", func(g *Graph) { g.Ops[3].Args = []int{5} }, "topological"},
+		{"bad-output", func(g *Graph) { g.Output = 99 }, "output"},
+		{"zero-rotation", func(g *Graph) { g.Ops[1].K = 0 }, "rotates by 0"},
+		{"bad-scale", func(g *Graph) { g.Ops[5].Scale = 0 }, "scale"},
+		{"negative-level", func(g *Graph) { g.Ops[5].Level = -1 }, "level"},
+		{"bad-stage", func(g *Graph) { g.Ops[5].Stage = 7 }, "stage"},
+		{"mixed-hoist", func(g *Graph) { g.Ops[2].Args = []int{1} }, "hoist"},
+		{"add-arity", func(g *Graph) { g.Ops[5].Args = []int{3} }, "args"},
+		{"mulplain-no-operand", func(g *Graph) { g.Ops[3].Plain = nil }, "operand"},
+		{"bad-input-idx", func(g *Graph) { g.Ops[0].InputIdx = 2 }, "input"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := smallGraph()
+			tc.mutate(g)
+			err := g.Validate()
+			if err == nil {
+				t.Fatalf("mutation %s not rejected", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("mutation %s rejected with %q, want substring %q", tc.name, err, tc.want)
+			}
+		})
+	}
+}
+
+func TestValidateRecombineWeights(t *testing.T) {
+	g := smallGraph()
+	g.Ops = append(g.Ops, Op{
+		ID: 6, Kind: OpRecombine, Args: []int{5, 4}, Weights: []int64{1, 3},
+		Stage: 1, Level: 3, Scale: 1 << 40,
+	})
+	g.Output = 6
+	if err := g.Validate(); err != nil {
+		t.Fatalf("recombine rejected: %v", err)
+	}
+	g.Ops[6].Weights = []int64{2, 3}
+	if err := g.Validate(); err == nil {
+		t.Fatal("recombine with weight[0] != 1 accepted")
+	}
+	g.Ops[6].Weights = []int64{1}
+	if err := g.Validate(); err == nil {
+		t.Fatal("recombine weight/arg mismatch accepted")
+	}
+}
+
+func TestStats(t *testing.T) {
+	s := smallGraph().Stats()
+	if s.Ops != 6 || s.ByKind[OpRotate] != 2 || s.ByKind[OpMulPlain] != 2 || s.Hoists != 1 || s.Plains != 2 {
+		t.Fatalf("unexpected stats: %+v", s)
+	}
+	if s.MinLevel != 3 {
+		t.Fatalf("min level %d, want 3", s.MinLevel)
+	}
+	if str := s.String(); !strings.Contains(str, "6 ops") || !strings.Contains(str, "1 hoist") {
+		t.Fatalf("stats string %q", str)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k := OpEncrypt; k <= OpRecombine; k++ {
+		if strings.HasPrefix(k.String(), "ir.Kind(") {
+			t.Fatalf("kind %d has no name", int(k))
+		}
+	}
+	if Kind(99).String() != "ir.Kind(99)" {
+		t.Fatalf("unknown kind string: %s", Kind(99))
+	}
+}

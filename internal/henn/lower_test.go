@@ -1,0 +1,132 @@
+package henn
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"cnnhe/internal/ckks"
+	"cnnhe/internal/henn/ir"
+)
+
+func TestLowerTinyModel(t *testing.T) {
+	m := tinyModel(1)
+	plan, err := Compile(m, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := rnsEngineFor(t, plan, 10, []int{40, 30, 30, 30, 30})
+	g, err := plan.Lower(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Inputs != 1 {
+		t.Fatalf("inputs %d, want 1", g.Inputs)
+	}
+	if got, want := len(g.Stages), 1+len(plan.Stages); got != want {
+		t.Fatalf("%d stages, want %d", got, want)
+	}
+	if g.Stages[0].Name != "encrypt" || g.Stages[0].Record {
+		t.Fatalf("stage 0 = %+v, want unrecorded encrypt", g.Stages[0])
+	}
+	for i, s := range plan.Stages {
+		name := g.Stages[i+1].Name
+		if !strings.Contains(name, s.Describe()) || !strings.HasPrefix(name, "stage ") {
+			t.Fatalf("stage %d lowered as %q", i, name)
+		}
+		if !g.Stages[i+1].Record {
+			t.Fatalf("stage %d not recorded", i)
+		}
+		if g.Stages[i+1].Out < 0 {
+			t.Fatalf("stage %d has no output op", i)
+		}
+	}
+	// Static level inference: the output sits Depth rescales below the top.
+	out := g.Ops[g.Output]
+	if want := e.MaxLevel() - plan.Depth; out.Level != want {
+		t.Fatalf("output level %d, want %d", out.Level, want)
+	}
+	st := g.Stats()
+	if st.ByKind[ir.OpEncrypt] != 1 {
+		t.Fatalf("%d encrypts, want 1", st.ByKind[ir.OpEncrypt])
+	}
+	if st.ByKind[ir.OpMulPlain] == 0 || st.ByKind[ir.OpRotate] == 0 || st.ByKind[ir.OpRescale] == 0 {
+		t.Fatalf("implausible op mix: %+v", st.ByKind)
+	}
+	if st.Hoists == 0 {
+		t.Fatal("no hoist groups lowered from RotateMany")
+	}
+}
+
+func TestLowerRNSPlan(t *testing.T) {
+	m := tinyModel(1)
+	plan, err := Compile(m, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := NewRNSPlan(plan, 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := rnsEngineFor(t, plan, 10, []int{40, 30, 30, 30, 30})
+	g, err := rp.Lower(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Inputs != 3 {
+		t.Fatalf("inputs %d, want 3", g.Inputs)
+	}
+	wantNames := []string{"encrypt part 0", "encrypt part 1", "encrypt part 2", "rns parts", "rns recompose"}
+	for i, want := range wantNames {
+		if g.Stages[i].Name != want {
+			t.Fatalf("stage %d = %q, want %q", i, g.Stages[i].Name, want)
+		}
+	}
+	if got, want := len(g.Stages), len(wantNames)+len(plan.Stages)-1; got != want {
+		t.Fatalf("%d stages, want %d", got, want)
+	}
+	st := g.Stats()
+	if st.ByKind[ir.OpEncrypt] != 3 {
+		t.Fatalf("%d encrypts, want 3", st.ByKind[ir.OpEncrypt])
+	}
+	if st.ByKind[ir.OpRecombine] != 1 {
+		t.Fatalf("%d recombines, want 1", st.ByKind[ir.OpRecombine])
+	}
+	var rec ir.Op
+	for _, op := range g.Ops {
+		if op.Kind == ir.OpRecombine {
+			rec = op
+		}
+	}
+	if len(rec.Args) != 3 || rec.Weights[0] != 1 {
+		t.Fatalf("recombine op %+v", rec)
+	}
+	w := rp.Digits.Weights()
+	for i, wi := range rec.Weights {
+		if wi != int64(w[i]) {
+			t.Fatalf("weight %d = %d, want %d", i, wi, int64(w[i]))
+		}
+	}
+}
+
+func TestLowerDepthExhausted(t *testing.T) {
+	m := tinyModel(1)
+	plan, err := Compile(m, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two levels for a depth-4 plan: lowering must fail cleanly, not panic.
+	p, err := ckks.NewParameters(10, []int{40, 30, 30}, 60, 1, math.Exp2(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewRNSEngine(p, plan.Rotations(), 501)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plan.Lower(e); err == nil {
+		t.Fatal("lowering a too-deep plan succeeded")
+	} else if !strings.Contains(err.Error(), "level") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}

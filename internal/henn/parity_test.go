@@ -1,0 +1,281 @@
+package henn
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"cnnhe/internal/ckks"
+	"cnnhe/internal/ckksbig"
+	"cnnhe/internal/nn"
+)
+
+// The executor parity suite pins the tentpole guarantee: the lowered
+// graph, replayed by the executor with ahead-of-time encoded
+// plaintexts, produces BIT-IDENTICAL logits to the legacy eager
+// interpreter, with the same Report stage-name sequence. Encryption is
+// randomized, so each side runs on its own identically-seeded engine:
+// key generation and the single encrypt prologue then draw the same
+// PRNG sequence, and every evaluation op downstream is deterministic.
+
+type engineMaker func(t *testing.T) Engine
+
+func rnsMaker(t *testing.T, plan *Plan, logN int, bits []int, seed int64) engineMaker {
+	params, err := ckks.NewParameters(logN, bits, 60, 1, math.Exp2(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.CheckDepth(params.MaxLevel()); err != nil {
+		t.Fatal(err)
+	}
+	return func(t *testing.T) Engine {
+		e, err := NewRNSEngine(params, plan.Rotations(), seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+}
+
+func bigMaker(t *testing.T, plan *Plan, logN int, bits []int, seed int64) engineMaker {
+	params, err := ckks.NewParameters(logN, bits, 60, 1, math.Exp2(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp, err := ckksbig.FromRNSParameters(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return func(t *testing.T) Engine {
+		e, err := NewBigEngine(bp, plan.Rotations(), seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+}
+
+func stageNames(rep *Report) []string {
+	out := make([]string, len(rep.Stages))
+	for i, s := range rep.Stages {
+		out[i] = s.Stage
+	}
+	return out
+}
+
+func assertSameRun(t *testing.T, label string, lgA, lgB Logits, repA, repB *Report) {
+	t.Helper()
+	if len(lgA) != len(lgB) {
+		t.Fatalf("%s: %d vs %d logits", label, len(lgA), len(lgB))
+	}
+	for i := range lgA {
+		if lgA[i] != lgB[i] {
+			t.Fatalf("%s: logit %d differs: %.17g vs %.17g (Δ=%g)",
+				label, i, lgA[i], lgB[i], lgA[i]-lgB[i])
+		}
+	}
+	a, b := stageNames(repA), stageNames(repB)
+	if len(a) != len(b) {
+		t.Fatalf("%s: %d vs %d report rows (%v vs %v)", label, len(a), len(b), a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("%s: report row %d named %q vs %q", label, i, a[i], b[i])
+		}
+	}
+	for i := range repA.Stages {
+		if repA.Stages[i].Level != repB.Stages[i].Level {
+			t.Fatalf("%s: stage %q level %d vs %d", label, a[i], repA.Stages[i].Level, repB.Stages[i].Level)
+		}
+		if repA.Stages[i].Scale != repB.Stages[i].Scale {
+			t.Fatalf("%s: stage %q scale %g vs %g", label, a[i], repA.Stages[i].Scale, repB.Stages[i].Scale)
+		}
+	}
+}
+
+// checkPlanParity compares InferCtx (executor) to InferCtxLegacy on two
+// identically-seeded engines.
+func checkPlanParity(t *testing.T, plan *Plan, mk engineMaker, image []float64) {
+	ctx := context.Background()
+	lgL, repL, errL := plan.InferCtxLegacy(ctx, mk(t), image)
+	if errL != nil {
+		t.Fatal(errL)
+	}
+	lgX, repX, errX := plan.InferCtx(ctx, mk(t), image)
+	if errX != nil {
+		t.Fatal(errX)
+	}
+	assertSameRun(t, "plan", lgL, lgX, repL, repX)
+}
+
+// checkRNSParity compares the decomposed pipeline across legacy,
+// sequential executor, and parallel executor runs.
+func checkRNSParity(t *testing.T, base *Plan, k int, mk engineMaker, image []float64) {
+	ctx := context.Background()
+	mkPlan := func(parallel bool) *RNSPlan {
+		rp, err := NewRNSPlan(base, k, parallel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rp
+	}
+	lgL, repL, errL := mkPlan(false).InferCtxLegacy(ctx, mk(t), image)
+	if errL != nil {
+		t.Fatal(errL)
+	}
+	lgS, repS, errS := mkPlan(false).InferCtx(ctx, mk(t), image)
+	if errS != nil {
+		t.Fatal(errS)
+	}
+	assertSameRun(t, "rns sequential", lgL, lgS, repL, repS)
+	lgP, repP, errP := mkPlan(true).InferCtx(ctx, mk(t), image)
+	if errP != nil {
+		t.Fatal(errP)
+	}
+	assertSameRun(t, "rns parallel", lgL, lgP, repL, repP)
+}
+
+func TestExecutorParityTiny(t *testing.T) {
+	plan, err := Compile(tinyModel(1), 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(10))
+	img := testImage(rng, plan.InputDim)
+	bits := []int{40, 30, 30, 30, 30}
+	for _, tc := range []struct {
+		name string
+		mk   engineMaker
+	}{
+		{"rns", rnsMaker(t, plan, 10, bits, 601)},
+		{"big", bigMaker(t, plan, 10, bits, 602)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			checkPlanParity(t, plan, tc.mk, img)
+			checkRNSParity(t, plan, 3, tc.mk, img)
+		})
+	}
+}
+
+// TestExecutorParityBatch pins InferBatch against per-image inference:
+// batch encryption happens serially in image order, so an
+// identically-seeded engine yields bit-identical logits.
+func TestExecutorParityBatch(t *testing.T) {
+	plan, err := Compile(tinyModel(1), 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	images := [][]float64{
+		testImage(rng, plan.InputDim),
+		testImage(rng, plan.InputDim),
+		testImage(rng, plan.InputDim),
+	}
+	mk := rnsMaker(t, plan, 10, []int{40, 30, 30, 30, 30}, 603)
+	ctx := context.Background()
+	eSeq := mk(t)
+	var want []Logits
+	for _, img := range images {
+		lg, _, err := plan.InferCtx(ctx, eSeq, img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, lg)
+	}
+	got, err := plan.InferBatch(ctx, mk(t), images, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		assertSameRun(t, "batch", want[i], got[i], &Report{}, &Report{})
+	}
+}
+
+// paperModel compiles an untrained paper architecture with SLAF
+// activations — weights are irrelevant to parity, only the op structure
+// matters.
+func paperModel(t *testing.T, arch string, slots int) *Plan {
+	rng := rand.New(rand.NewSource(7))
+	var m *nn.Model
+	switch arch {
+	case "cnn1":
+		m = nn.NewCNN1(rng)
+	case "cnn2":
+		m = nn.NewCNN2(rng)
+	}
+	hm := m.ReplaceReLUWithSLAF(3, 1)
+	for _, l := range hm.Layers {
+		if s, ok := l.(*nn.SLAF); ok {
+			s.FitReLU(3)
+		}
+	}
+	plan, err := Compile(hm, slots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+// TestExecutorParityCNN1 covers the paper's CNN1 shape at full MNIST
+// dimensions on the RNS backend (the big backend is covered by the tiny
+// fixture above; CNN-scale multiprecision runs belong to the benchmark
+// suite, not the unit tests).
+func TestExecutorParityCNN1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CNN-scale parity skipped in short mode")
+	}
+	plan := paperModel(t, "cnn1", 1024)
+	rng := rand.New(rand.NewSource(12))
+	img := testImage(rng, plan.InputDim)
+	bits := make([]int, plan.Depth+2)
+	bits[0] = 40
+	for i := 1; i < len(bits); i++ {
+		bits[i] = 30
+	}
+	mk := rnsMaker(t, plan, 11, bits, 604)
+	checkPlanParity(t, plan, mk, img)
+	checkRNSParity(t, plan, 3, mk, img)
+}
+
+// TestExecutorParityCNN2 covers the deeper CNN2 shape at 2048 slots.
+func TestExecutorParityCNN2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CNN-scale parity skipped in short mode")
+	}
+	plan := paperModel(t, "cnn2", 2048)
+	rng := rand.New(rand.NewSource(13))
+	img := testImage(rng, plan.InputDim)
+	bits := make([]int, plan.Depth+2)
+	bits[0] = 40
+	for i := 1; i < len(bits); i++ {
+		bits[i] = 30
+	}
+	mk := rnsMaker(t, plan, 12, bits, 605)
+	checkPlanParity(t, plan, mk, img)
+}
+
+func TestPowOverflowGuard(t *testing.T) {
+	cases := []struct {
+		b    int64
+		k    int
+		want int64
+	}{
+		{2, 0, 1},
+		{2, 8, 256},
+		{3, 5, 243},
+		{2, 62, 1 << 62},
+		{2, 63, math.MaxInt64},  // would overflow: saturates
+		{3, 40, math.MaxInt64},  // 3^40 > 2^63
+		{10, 19, math.MaxInt64}, // 10^19 > 2^63
+		{256, 4, 1 << 32},       // the old early return capped here
+		{256, 5, 1 << 40},       // …and returned 2^32 instead of this
+		{1, 100, 1},
+		{0, 3, 0},
+	}
+	for _, tc := range cases {
+		if got := pow(tc.b, tc.k); got != tc.want {
+			t.Errorf("pow(%d, %d) = %d, want %d", tc.b, tc.k, got, tc.want)
+		}
+	}
+}
