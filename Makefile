@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race parity bench
+.PHONY: check vet build test race parity bench telemetry-overhead
 
 ## check: the full CI gate — vet, build, tests, the race detector, and
 ## the executor-vs-interpreter parity suite.
@@ -26,3 +26,9 @@ parity:
 ## bench: executor vs interpreter latency on CNN1 single-image.
 bench:
 	$(GO) test -run xxx -bench 'InferExecutorCNN1|InferLegacyCNN1' -benchtime 5x -timeout 30m ./internal/henn/
+
+## telemetry-overhead: per-op executor cost with telemetry off / metrics
+## on / metrics+tracing on. The disabled case must stay within noise of
+## the pre-telemetry executor (one nil check per op).
+telemetry-overhead:
+	$(GO) test -run xxx -bench BenchmarkRunEncrypted -benchtime 2s ./internal/henn/exec/

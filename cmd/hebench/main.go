@@ -13,29 +13,65 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"os"
 	"strings"
 	"time"
 
 	"cnnhe/internal/bench"
+	"cnnhe/internal/telemetry"
 )
+
+// parseLevel maps a -log-level flag value to a slog level.
+func parseLevel(s string) slog.Level {
+	switch s {
+	case "debug":
+		return slog.LevelDebug
+	case "warn":
+		return slog.LevelWarn
+	case "error":
+		return slog.LevelError
+	}
+	return slog.LevelInfo
+}
 
 func main() {
 	var (
-		table   = flag.String("table", "all", "which experiment: 1,2,3,4,5,6,fig5,ablation or all")
-		logN    = flag.Int("logn", 0, "override ring degree exponent")
-		runs    = flag.Int("runs", 0, "override latency runs per row")
-		accImgs = flag.Int("images", 0, "override encrypted-accuracy image count")
-		trainN  = flag.Int("train", 0, "override training set size")
-		epochs  = flag.Int("epochs", 0, "override training epochs")
-		paper   = flag.Bool("paper", false, "paper-scale settings (N=2^14, 30 epochs; hours)")
-		outPath = flag.String("out", "", "also write the report to this file")
-		jsonOut = flag.String("json", "", "machine-readable report path (default BENCH_<timestamp>.json; \"none\" disables)")
-		models  = flag.String("models", "models", "model cache directory")
-		seed    = flag.Int64("seed", 1, "random seed")
+		table    = flag.String("table", "all", "which experiment: 1,2,3,4,5,6,fig5,ablation or all")
+		logN     = flag.Int("logn", 0, "override ring degree exponent")
+		runs     = flag.Int("runs", 0, "override latency runs per row")
+		accImgs  = flag.Int("images", 0, "override encrypted-accuracy image count")
+		trainN   = flag.Int("train", 0, "override training set size")
+		epochs   = flag.Int("epochs", 0, "override training epochs")
+		paper    = flag.Bool("paper", false, "paper-scale settings (N=2^14, 30 epochs; hours)")
+		outPath  = flag.String("out", "", "also write the report to this file")
+		jsonOut  = flag.String("json", "", "machine-readable report path (default BENCH_<timestamp>.json; \"none\" disables)")
+		models   = flag.String("models", "models", "model cache directory")
+		seed     = flag.Int64("seed", 1, "random seed")
+		telAddr  = flag.String("telemetry-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while benchmarking (empty = off)")
+		logLevel = flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
 	)
 	flag.Parse()
+
+	slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr,
+		&slog.HandlerOptions{Level: parseLevel(*logLevel)})))
+	fatal := func(msg string, args ...any) {
+		slog.Error(msg, args...)
+		os.Exit(1)
+	}
+
+	// Metric collection is always on in hebench: the per-op counters feed
+	// the JSON report's op_breakdown section (atomic increments, noise-
+	// level next to the NTTs being measured).
+	telemetry.SetEnabled(true)
+	if *telAddr != "" {
+		srv, err := telemetry.Serve(*telAddr, nil)
+		if err != nil {
+			fatal("telemetry server failed", "err", err)
+		}
+		defer srv.Close()
+		slog.Info("telemetry listening", "url", "http://"+srv.Addr)
+	}
 
 	cfg := bench.DefaultConfig()
 	if *paper {
@@ -64,7 +100,7 @@ func main() {
 	if *outPath != "" {
 		f, err := os.Create(*outPath)
 		if err != nil {
-			log.Fatal(err)
+			fatal("creating report file failed", "path", *outPath, "err", err)
 		}
 		defer f.Close()
 		w = io.MultiWriter(os.Stdout, f)
@@ -82,24 +118,33 @@ func main() {
 		var err error
 		ms, err = bench.TrainModels(cfg, os.Stderr)
 		if err != nil {
-			log.Fatal(err)
+			fatal("training models failed", "err", err)
 		}
 	}
 
 	var measured []bench.HEResult
 	var jsonRows []bench.JSONRow
-	run := func(name string, f func() error) {
+	opBreakdown := map[string][]bench.JSONOpKind{}
+	// run executes one table, diffing the telemetry registry around it so
+	// the JSON report carries a per-op-kind executor profile per table
+	// (key matches JSONRow.Table).
+	run := func(key, name string, f func() error) {
 		fmt.Fprintf(os.Stderr, "--- running %s ---\n", name)
+		before := telemetry.Default().Snapshot()
 		if err := f(); err != nil {
-			log.Fatalf("%s: %v", name, err)
+			fatal("experiment failed", "table", name, "err", err)
+		}
+		diff := telemetry.Default().Snapshot().Sub(before)
+		if ops := bench.OpBreakdownFromDiff(diff); ops != nil {
+			opBreakdown[key] = ops
 		}
 	}
 
 	if all || want["2"] {
-		run("Table II", func() error { return bench.TableII(w) })
+		run("II", "Table II", func() error { return bench.TableII(w) })
 	}
 	if all || want["3"] {
-		run("Table III", func() error {
+		run("III", "Table III", func() error {
 			rows, err := bench.TableIII(cfg, ms, w)
 			measured = append(measured, rows...)
 			jsonRows = append(jsonRows, bench.JSONRows("III", rows)...)
@@ -107,14 +152,14 @@ func main() {
 		})
 	}
 	if all || want["4"] {
-		run("Table IV", func() error {
+		run("IV", "Table IV", func() error {
 			rows, err := bench.TableIV(cfg, ms, w)
 			jsonRows = append(jsonRows, bench.JSONRows("IV", rows)...)
 			return err
 		})
 	}
 	if all || want["5"] {
-		run("Table V", func() error {
+		run("V", "Table V", func() error {
 			rows, err := bench.TableV(cfg, ms, w)
 			measured = append(measured, rows...)
 			jsonRows = append(jsonRows, bench.JSONRows("V", rows)...)
@@ -122,17 +167,17 @@ func main() {
 		})
 	}
 	if all || want["6"] {
-		run("Table VI", func() error {
+		run("VI", "Table VI", func() error {
 			rows, err := bench.TableVI(cfg, ms, w)
 			jsonRows = append(jsonRows, bench.JSONRows("VI", rows)...)
 			return err
 		})
 	}
 	if all || want["fig5"] {
-		run("Figure 5", func() error { return bench.Fig5(cfg, ms, w) })
+		run("fig5", "Figure 5", func() error { return bench.Fig5(cfg, ms, w) })
 	}
 	if all || want["ablation"] {
-		run("limb-width ablation", func() error { return bench.LimbWidthAblation(cfg, w) })
+		run("ablation", "limb-width ablation", func() error { return bench.LimbWidthAblation(cfg, w) })
 	}
 	if all || want["1"] {
 		bench.TableI(w, measured, ms.DataSource)
@@ -144,8 +189,8 @@ func main() {
 		if path == "" {
 			path = "BENCH_" + now.Format("20060102T150405") + ".json"
 		}
-		if err := bench.WriteJSON(path, cfg, now, jsonRows); err != nil {
-			log.Fatal(err)
+		if err := bench.WriteJSON(path, cfg, now, jsonRows, opBreakdown); err != nil {
+			fatal("writing json report failed", "path", path, "err", err)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s (%d rows)\n", path, len(jsonRows))
 	}

@@ -14,10 +14,16 @@
 //	3  noise budget or level exhausted (parameters too small for the model)
 //	4  deadline exceeded or cancelled
 //
+// Observability: -telemetry-addr serves live /metrics (Prometheus text),
+// /debug/vars and /debug/pprof on localhost while the inference runs;
+// -trace exports the run as Chrome trace-event JSON loadable in
+// chrome://tracing or https://ui.perfetto.dev.
+//
 // Usage:
 //
 //	heinfer -model models/cnn1.gob -image 3 -logn 12 [-backend rns|big]
 //	        [-rnsparts 3] [-timeout 90s] [-retries 2]
+//	        [-telemetry-addr localhost:8080] [-trace trace.json] [-log-level info]
 package main
 
 import (
@@ -25,7 +31,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"math"
 	"os"
 
@@ -37,6 +43,7 @@ import (
 	"cnnhe/internal/mnist"
 	"cnnhe/internal/nn"
 	"cnnhe/internal/primes"
+	"cnnhe/internal/telemetry"
 	"cnnhe/internal/tensor"
 )
 
@@ -48,6 +55,34 @@ const (
 	exitExhausted = 3
 	exitDeadline  = 4
 )
+
+// exitClass names an exit code for structured logs.
+func exitClass(code int) string {
+	switch code {
+	case exitOK:
+		return "ok"
+	case exitCorrupt:
+		return "corrupt"
+	case exitExhausted:
+		return "exhausted"
+	case exitDeadline:
+		return "deadline"
+	}
+	return "setup"
+}
+
+// parseLevel maps a -log-level flag value to a slog level.
+func parseLevel(s string) slog.Level {
+	switch s {
+	case "debug":
+		return slog.LevelDebug
+	case "warn":
+		return slog.LevelWarn
+	case "error":
+		return slog.LevelError
+	}
+	return slog.LevelInfo
+}
 
 // classifyExit maps an inference error to its exit code.
 func classifyExit(err error) int {
@@ -79,12 +114,31 @@ func main() {
 		timeout   = flag.Duration("timeout", 0, "per-attempt inference deadline (0 = none)")
 		retries   = flag.Int("retries", 0, "additional attempts after a failed inference")
 		verbose   = flag.Bool("report", false, "print the per-stage timing and noise-budget report")
+		telAddr   = flag.String("telemetry-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. localhost:8080; empty = off)")
+		tracePath = flag.String("trace", "", "export the inference as Chrome trace-event JSON to this path")
+		logLevel  = flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
 	)
 	flag.Parse()
 
+	slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr,
+		&slog.HandlerOptions{Level: parseLevel(*logLevel)})))
+	fatal := func(msg string, args ...any) {
+		slog.Error(msg, args...)
+		os.Exit(exitSetup)
+	}
+
+	if *telAddr != "" {
+		srv, err := telemetry.Serve(*telAddr, nil)
+		if err != nil {
+			fatal("telemetry server failed", "err", err)
+		}
+		defer srv.Close()
+		slog.Info("telemetry listening", "url", "http://"+srv.Addr)
+	}
+
 	model, arch, err := nn.LoadModel(*modelPath)
 	if err != nil {
-		log.Fatalf("loading model: %v (run hetrain first)", err)
+		fatal("loading model failed (run hetrain first)", "model", *modelPath, "err", err)
 	}
 	_, test, src := mnist.Load(16, *imageIdx+1, *seed)
 	fmt.Printf("model: %s   data: %s\n", arch, src)
@@ -93,7 +147,7 @@ func main() {
 
 	plan, err := henn.Compile(model, 1<<(*logN-1))
 	if err != nil {
-		log.Fatal(err)
+		fatal("compiling plan failed", "model", *modelPath, "err", err)
 	}
 	fmt.Print(plan.Describe())
 
@@ -108,10 +162,10 @@ func main() {
 	bits = append(bits, 40)
 	params, err := ckks.NewParameters(*logN, bits, 60, 1, math.Exp2(26))
 	if err != nil {
-		log.Fatal(err)
+		fatal("building CKKS parameters failed", "logn", *logN, "err", err)
 	}
 	if err := plan.CheckDepth(params.MaxLevel()); err != nil {
-		log.Fatal(err)
+		fatal("plan deeper than the modulus chain", "model", *modelPath, "err", err)
 	}
 
 	var engine henn.Engine
@@ -119,21 +173,21 @@ func main() {
 	case "rns":
 		e, err := henn.NewRNSEngine(params, plan.Rotations(), *seed+7)
 		if err != nil {
-			log.Fatal(err)
+			fatal("creating engine failed", "backend", *backend, "err", err)
 		}
 		engine = e
 	case "big":
 		bp, err := ckksbig.FromRNSParameters(params)
 		if err != nil {
-			log.Fatal(err)
+			fatal("creating engine failed", "backend", *backend, "err", err)
 		}
 		e, err := henn.NewBigEngine(bp, plan.Rotations(), *seed+7)
 		if err != nil {
-			log.Fatal(err)
+			fatal("creating engine failed", "backend", *backend, "err", err)
 		}
 		engine = e
 	default:
-		log.Fatalf("unknown backend %q", *backend)
+		fatal("unknown backend", "backend", *backend)
 	}
 	fmt.Printf("backend: %s, N=2^%d, chain length %d (log q = %d)\n",
 		engine.Name(), *logN, k, params.Chain.LogQ())
@@ -142,7 +196,7 @@ func main() {
 	if *rnsParts > 0 {
 		rp, err = henn.NewRNSPlan(plan, *rnsParts, true)
 		if err != nil {
-			log.Fatal(err)
+			fatal("building RNS decomposition plan failed", "parts", *rnsParts, "err", err)
 		}
 	}
 
@@ -157,7 +211,7 @@ func main() {
 			g, err = plan.Lower(engine)
 		}
 		if err != nil {
-			log.Fatal(err)
+			fatal("lowering plan failed", "model", *modelPath, "backend", *backend, "err", err)
 		}
 		fmt.Printf("lowered graph: %s\n", g.Stats())
 	}
@@ -166,7 +220,7 @@ func main() {
 	// guard latches its first error and must not be reused. Lowering and
 	// ahead-of-time plaintext encoding are paid via Warm before the
 	// deadline clock starts — the timeout budgets ciphertext work only.
-	attempt := func() (henn.Logits, *henn.Report, error) {
+	attempt := func() (henn.Logits, *henn.Report, *telemetry.RunRecorder, error) {
 		g := guard.New(engine, guard.DefaultConfig())
 		var warmErr error
 		if rp != nil {
@@ -175,7 +229,7 @@ func main() {
 			warmErr = plan.Warm(g)
 		}
 		if warmErr != nil {
-			return nil, &henn.Report{FailedStage: "prepare"}, warmErr
+			return nil, &henn.Report{FailedStage: "prepare"}, nil, warmErr
 		}
 		ctx := context.Background()
 		if *timeout > 0 {
@@ -183,25 +237,50 @@ func main() {
 			ctx, cancel = context.WithTimeout(ctx, *timeout)
 			defer cancel()
 		}
-		if rp != nil {
-			return rp.InferCtx(ctx, g, img)
+		var rec *telemetry.RunRecorder
+		if *tracePath != "" {
+			rec = telemetry.NewRunRecorder()
+			ctx = telemetry.WithRecorder(ctx, rec)
 		}
-		return plan.InferCtx(ctx, g, img)
+		var (
+			logits henn.Logits
+			rep    *henn.Report
+			err    error
+		)
+		if rp != nil {
+			logits, rep, err = rp.InferCtx(ctx, g, img)
+		} else {
+			logits, rep, err = plan.InferCtx(ctx, g, img)
+		}
+		return logits, rep, rec, err
 	}
 
 	var (
 		logits henn.Logits
 		rep    *henn.Report
+		rec    *telemetry.RunRecorder
 	)
 	for try := 0; ; try++ {
-		logits, rep, err = attempt()
+		logits, rep, rec, err = attempt()
 		if err == nil {
 			break
 		}
-		fmt.Fprintf(os.Stderr, "heinfer: attempt %d/%d failed: %v\n", try+1, *retries+1, err)
+		code := classifyExit(err)
+		slog.Error("inference attempt failed",
+			"attempt", try+1, "of", *retries+1,
+			"model", arch, "backend", engine.Name(),
+			"stage", rep.FailedStage, "class", exitClass(code), "err", err)
 		if try >= *retries {
-			os.Exit(classifyExit(err))
+			os.Exit(code)
 		}
+	}
+
+	if rec != nil {
+		if err := rec.WriteChromeTraceFile(*tracePath); err != nil {
+			fatal("writing trace failed", "path", *tracePath, "err", err)
+		}
+		slog.Info("trace written", "path", *tracePath,
+			"spans", len(rec.Spans()), "ops", rec.OpCount())
 	}
 
 	// Plaintext reference.

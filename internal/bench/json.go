@@ -6,8 +6,15 @@ import (
 	"math"
 	"os"
 	"runtime"
+	"sort"
 	"time"
+
+	"cnnhe/internal/telemetry"
 )
+
+// JSONSchemaVersion identifies the report layout. Version 2 added
+// schema_version itself and the per-table op_breakdown section.
+const JSONSchemaVersion = 2
 
 // JSONRow is one machine-readable benchmark measurement. Accuracy
 // fields are pointers because JSON has no NaN: absent means "not
@@ -27,17 +34,33 @@ type JSONRow struct {
 	TrainAccPct *float64 `json:"train_accuracy_pct,omitempty"`
 }
 
+// JSONOpKind is one op-kind row of a table's executor profile: how many
+// logical HE ops of the kind ran while the table was measured, over how
+// many engine calls (hoisted rotations share one call), and their summed
+// engine-call latency.
+type JSONOpKind struct {
+	Kind    string  `json:"kind"`
+	Count   int64   `json:"count"`
+	Calls   int64   `json:"calls"`
+	TotalMS float64 `json:"total_ms"`
+}
+
 // JSONReport is the envelope hebench writes next to its markdown tables.
 type JSONReport struct {
-	Timestamp string    `json:"timestamp"`
-	LogN      int       `json:"logn"`
-	Runs      int       `json:"runs"`
-	AccImages int       `json:"acc_images"`
-	Seed      int64     `json:"seed"`
-	GOOS      string    `json:"goos"`
-	GOARCH    string    `json:"goarch"`
-	NumCPU    int       `json:"num_cpu"`
-	Rows      []JSONRow `json:"rows"`
+	SchemaVersion int       `json:"schema_version"`
+	Timestamp     string    `json:"timestamp"`
+	LogN          int       `json:"logn"`
+	Runs          int       `json:"runs"`
+	AccImages     int       `json:"acc_images"`
+	Seed          int64     `json:"seed"`
+	GOOS          string    `json:"goos"`
+	GOARCH        string    `json:"goarch"`
+	NumCPU        int       `json:"num_cpu"`
+	Rows          []JSONRow `json:"rows"`
+	// OpBreakdown maps a table name to its per-op-kind executor profile,
+	// measured by diffing telemetry registry snapshots around the table.
+	// Absent when telemetry was disabled.
+	OpBreakdown map[string][]JSONOpKind `json:"op_breakdown,omitempty"`
 }
 
 func pctPtr(frac float64) *float64 {
@@ -74,19 +97,63 @@ func JSONRows(table string, results []HEResult) []JSONRow {
 	return out
 }
 
+// OpBreakdownFromDiff extracts the per-op-kind executor profile from a
+// telemetry snapshot diff (Snapshot.Sub of the registry around a
+// measurement), reading the cnnhe_exec_ops_total counters and the
+// cnnhe_exec_op_seconds histograms. Returns nil when the diff carries no
+// executor activity.
+func OpBreakdownFromDiff(diff telemetry.Snapshot) []JSONOpKind {
+	byKind := map[string]*JSONOpKind{}
+	at := func(kind string) *JSONOpKind {
+		if k, ok := byKind[kind]; ok {
+			return k
+		}
+		k := &JSONOpKind{Kind: kind}
+		byKind[kind] = k
+		return k
+	}
+	if f, ok := diff.Family("cnnhe_exec_ops_total"); ok {
+		for _, s := range f.Series {
+			if kind := s.Label("kind"); kind != "" && s.Value > 0 {
+				at(kind).Count = int64(s.Value)
+			}
+		}
+	}
+	if f, ok := diff.Family("cnnhe_exec_op_seconds"); ok {
+		for _, s := range f.Series {
+			if kind := s.Label("kind"); kind != "" && s.Count > 0 {
+				k := at(kind)
+				k.Calls = s.Count
+				k.TotalMS = 1000 * s.Value // histogram sum is in seconds
+			}
+		}
+	}
+	if len(byKind) == 0 {
+		return nil
+	}
+	out := make([]JSONOpKind, 0, len(byKind))
+	for _, k := range byKind {
+		out = append(out, *k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Kind < out[j].Kind })
+	return out
+}
+
 // WriteJSON writes the benchmark report to path, creating or truncating
-// the file.
-func WriteJSON(path string, cfg Config, ts time.Time, rows []JSONRow) error {
+// the file. opBreakdown may be nil (telemetry disabled).
+func WriteJSON(path string, cfg Config, ts time.Time, rows []JSONRow, opBreakdown map[string][]JSONOpKind) error {
 	rep := JSONReport{
-		Timestamp: ts.UTC().Format(time.RFC3339),
-		LogN:      cfg.LogN,
-		Runs:      cfg.Runs,
-		AccImages: cfg.AccImages,
-		Seed:      cfg.Seed,
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		NumCPU:    runtime.NumCPU(),
-		Rows:      rows,
+		SchemaVersion: JSONSchemaVersion,
+		Timestamp:     ts.UTC().Format(time.RFC3339),
+		LogN:          cfg.LogN,
+		Runs:          cfg.Runs,
+		AccImages:     cfg.AccImages,
+		Seed:          cfg.Seed,
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		NumCPU:        runtime.NumCPU(),
+		Rows:          rows,
+		OpBreakdown:   opBreakdown,
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

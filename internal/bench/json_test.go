@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"cnnhe/internal/henn"
+	"cnnhe/internal/telemetry"
 )
 
 func TestJSONRowsNaNAccuracy(t *testing.T) {
@@ -35,7 +36,10 @@ func TestWriteJSONRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "bench.json")
 	cfg := DefaultConfig()
 	ts := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
-	if err := WriteJSON(path, cfg, ts, rows); err != nil {
+	breakdown := map[string][]JSONOpKind{
+		"III": {{Kind: "Rotate", Count: 12, Calls: 4, TotalMS: 8.5}},
+	}
+	if err := WriteJSON(path, cfg, ts, rows, breakdown); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -64,5 +68,43 @@ func TestWriteJSONRoundTrip(t *testing.T) {
 	}
 	if r.TrainAccPct != nil {
 		t.Fatalf("NaN train accuracy should be omitted, got %v", *r.TrainAccPct)
+	}
+	if rep.SchemaVersion != JSONSchemaVersion {
+		t.Fatalf("schema_version %d, want %d", rep.SchemaVersion, JSONSchemaVersion)
+	}
+	ops := rep.OpBreakdown["III"]
+	if len(ops) != 1 || ops[0].Kind != "Rotate" || ops[0].Count != 12 || ops[0].Calls != 4 || ops[0].TotalMS != 8.5 {
+		t.Fatalf("op breakdown lost: %+v", rep.OpBreakdown)
+	}
+}
+
+// TestOpBreakdownFromDiff feeds a registry through one simulated run and
+// checks the extracted per-kind profile.
+func TestOpBreakdownFromDiff(t *testing.T) {
+	r := telemetry.NewRegistry()
+	before := r.Snapshot()
+	r.Counter("cnnhe_exec_ops_total", "", telemetry.L("kind", "Rotate")).Add(6)
+	r.Counter("cnnhe_exec_ops_total", "", telemetry.L("kind", "MulPlain")).Add(2)
+	h := r.Histogram("cnnhe_exec_op_seconds", "", nil, telemetry.L("kind", "Rotate"))
+	h.Observe(0.010)
+	h.Observe(0.014)
+	r.Histogram("cnnhe_exec_op_seconds", "", nil, telemetry.L("kind", "MulPlain")).Observe(0.002)
+
+	got := OpBreakdownFromDiff(r.Snapshot().Sub(before))
+	if len(got) != 2 {
+		t.Fatalf("breakdown rows %d, want 2 (%+v)", len(got), got)
+	}
+	// Sorted by kind: MulPlain, Rotate.
+	if got[0].Kind != "MulPlain" || got[0].Count != 2 || got[0].Calls != 1 {
+		t.Fatalf("MulPlain row %+v", got[0])
+	}
+	if got[1].Kind != "Rotate" || got[1].Count != 6 || got[1].Calls != 2 {
+		t.Fatalf("Rotate row %+v", got[1])
+	}
+	if math.Abs(got[1].TotalMS-24) > 1e-9 {
+		t.Fatalf("Rotate total %v ms, want 24", got[1].TotalMS)
+	}
+	if OpBreakdownFromDiff(r.Snapshot().Sub(r.Snapshot())) != nil {
+		t.Fatal("empty diff must yield nil breakdown")
 	}
 }

@@ -37,6 +37,7 @@ import (
 	"math"
 	"math/big"
 	"sync"
+	"sync/atomic"
 
 	"cnnhe/internal/ckks"
 	"cnnhe/internal/ckksbig"
@@ -179,6 +180,13 @@ type GuardedEngine struct {
 	stage string
 	err   error
 	qAt   map[int]*big.Int // ckksbig: level → Q_ℓ cache
+
+	// Telemetry: per-stage gauges resolved at stage transitions
+	// (telemetry.go). curTel is nil whenever telemetry is disabled, so
+	// the per-op publish is one atomic load.
+	telMu     sync.Mutex
+	stageTels map[string]*stageTel
+	curTel    atomic.Pointer[stageTel]
 }
 
 // New wraps inner. Pass DefaultConfig() (or a zero Config, which is
@@ -229,6 +237,7 @@ func New(inner henn.Engine, cfg Config) *GuardedEngine {
 		p = sm.SpecialPFloat()
 	}
 	g.ks = g.model.KeySwitch(inner.MaxLevel()+1, maxQi, p)
+	g.telConfigured()
 	return g
 }
 
@@ -246,6 +255,7 @@ func (g *GuardedEngine) BeginStage(name string) {
 	g.mu.Lock()
 	g.stage = name
 	g.mu.Unlock()
+	g.telBeginStage(name)
 }
 
 // NoiseBits implements henn.NoiseAware.
@@ -261,10 +271,14 @@ func (g *GuardedEngine) NoiseBits(ct henn.Ct) float64 {
 func (g *GuardedEngine) fail(op string, cause error) {
 	g.mu.Lock()
 	se := &StageError{Stage: g.stage, Op: op, Cause: cause}
-	if g.err == nil {
+	first := g.err == nil
+	if first {
 		g.err = se
 	}
 	g.mu.Unlock()
+	if first {
+		g.telFailure(cause)
+	}
 	panic(se)
 }
 
@@ -329,10 +343,12 @@ func (g *GuardedEngine) out(op string, ct henn.Ct, noiseBound, wantScale float64
 		g.fail(op, fmt.Errorf("%w: op produced scale 2^%.4f, expected 2^%.4f",
 			ErrScaleDrift, math.Log2(got), math.Log2(wantScale)))
 	}
-	if bits := math.Log2(got / noiseBound); bits < g.cfg.MinNoiseBits || math.IsNaN(bits) {
+	bits := math.Log2(got / noiseBound)
+	if bits < g.cfg.MinNoiseBits || math.IsNaN(bits) {
 		g.fail(op, fmt.Errorf("%w: %.1f bits of precision remain (< %.1f)",
 			ErrNoiseBudgetExhausted, bits, g.cfg.MinNoiseBits))
 	}
+	g.telOut(ct, bits, got)
 	return &trackedCt{ct: ct, noise: noiseBound, scale: got}
 }
 

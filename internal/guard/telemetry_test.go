@@ -1,0 +1,108 @@
+package guard_test
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"cnnhe/internal/guard"
+	"cnnhe/internal/telemetry"
+)
+
+// TestExecutorReportNoiseBits is the regression pin for StageReport
+// noise population on the executor path: every recorded stage of a
+// guarded InferCtx run (which lowers to the op-graph executor) must
+// carry a real NoiseBits value, not NaN — the guard implements
+// henn.NoiseAware and the executor must consult it for stage outputs.
+func TestExecutorReportNoiseBits(t *testing.T) {
+	plan := tinyPlan(t)
+	e := rnsEngine(t, plan, 15)
+	g := guard.New(e, guard.DefaultConfig())
+	img := testImage(1, plan.InputDim)
+	_, rep, err := plan.InferCtx(context.Background(), g, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Stages) == 0 {
+		t.Fatal("no stage rows in report")
+	}
+	for _, st := range rep.Stages {
+		if math.IsNaN(st.NoiseBits) {
+			t.Errorf("stage %q: NoiseBits is NaN on the executor path", st.Stage)
+		}
+		if st.Level < 0 || st.Scale <= 0 {
+			t.Errorf("stage %q: level %d scale %v", st.Stage, st.Level, st.Scale)
+		}
+	}
+}
+
+// TestGuardGauges checks the per-stage health gauges and the threshold
+// gauge a guarded run publishes when telemetry is enabled.
+func TestGuardGauges(t *testing.T) {
+	telemetry.SetEnabled(true)
+	defer telemetry.SetEnabled(false)
+
+	plan := tinyPlan(t)
+	e := rnsEngine(t, plan, 15)
+	g := guard.New(e, guard.DefaultConfig())
+	img := testImage(1, plan.InputDim)
+	if _, _, err := plan.InferCtx(context.Background(), g, img); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := telemetry.Default().Snapshot()
+	min, ok := snap.Family("cnnhe_guard_min_noise_bits")
+	if !ok || len(min.Series) != 1 {
+		t.Fatal("cnnhe_guard_min_noise_bits not published")
+	}
+	if got := min.Series[0].Value; got != guard.DefaultMinNoiseBits {
+		t.Errorf("min_noise_bits gauge %v, want %v", got, float64(guard.DefaultMinNoiseBits))
+	}
+	noise, ok := snap.Family("cnnhe_guard_stage_noise_bits")
+	if !ok || len(noise.Series) == 0 {
+		t.Fatal("cnnhe_guard_stage_noise_bits not published")
+	}
+	for _, s := range noise.Series {
+		if s.Label("stage") == "" {
+			t.Error("noise gauge series without a stage label")
+		}
+		if math.IsNaN(s.Value) {
+			t.Errorf("stage %q noise gauge is NaN", s.Label("stage"))
+		}
+	}
+	for _, name := range []string{"cnnhe_guard_stage_level", "cnnhe_guard_stage_scale_log2"} {
+		if f, ok := snap.Family(name); !ok || len(f.Series) == 0 {
+			t.Errorf("%s not published", name)
+		}
+	}
+}
+
+// TestGuardFailureCounter checks aborts are counted by class.
+func TestGuardFailureCounter(t *testing.T) {
+	telemetry.SetEnabled(true)
+	defer telemetry.SetEnabled(false)
+	before := telemetry.Default().Snapshot()
+
+	plan := tinyPlan(t)
+	e := rnsEngine(t, plan, 15)
+	g := guard.New(e, guard.DefaultConfig())
+	err := catchGuard(t, func() { g.DecryptVec("not a ciphertext") })
+	if err == nil {
+		t.Fatal("foreign ciphertext not rejected")
+	}
+
+	diff := telemetry.Default().Snapshot().Sub(before)
+	f, ok := diff.Family("cnnhe_guard_failures_total")
+	if !ok {
+		t.Fatal("cnnhe_guard_failures_total not registered")
+	}
+	var n float64
+	for _, s := range f.Series {
+		if s.Label("class") == "foreign_ciphertext" {
+			n = s.Value
+		}
+	}
+	if n != 1 {
+		t.Errorf("failures_total{class=foreign_ciphertext} = %v, want 1", n)
+	}
+}

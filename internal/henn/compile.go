@@ -36,8 +36,10 @@ func (p *Plan) prepare(e Engine) (*exec.Prepared, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if pr, ok := p.prepared[e]; ok {
+		telPrepare(true)
 		return pr, nil
 	}
+	telPrepare(false)
 	g, err := p.Lower(e)
 	if err != nil {
 		return nil, err

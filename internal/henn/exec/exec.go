@@ -228,6 +228,7 @@ type runState struct {
 	p     *Prepared
 	sa    stageAware
 	na    noiseAware
+	tel   *runTel // nil when telemetry is fully off for this run
 	slots []ir.Ct
 	use   []int32
 
@@ -343,7 +344,9 @@ func (rs *runState) finish(res *Result) {
 // execOp runs one non-encrypt op (or, for the first member of a hoist
 // group, the whole group via a single RotateMany). Panics are converted
 // to errors; error values (e.g. guard stage errors) pass through intact.
-func (rs *runState) execOp(id int) (err error) {
+// worker and taskIdx attribute the work for telemetry (0/-1 on the
+// sequential path, where there is no pool and no queue).
+func (rs *runState) execOp(id, worker, taskIdx int) (err error) {
 	p := rs.p
 	op := &p.g.Ops[id]
 	name := p.g.Stages[op.Stage].Name
@@ -367,6 +370,8 @@ func (rs *runState) execOp(id int) (err error) {
 		}
 		outs := p.e.RotateMany(arg, ks)
 		now := time.Now()
+		rs.tel.opExecuted(op.Kind, name, worker, rs.tel.queuedAt(taskIdx),
+			t0, now, len(members), len(members)-1)
 		for _, m := range members {
 			ct, ok := outs[p.g.Ops[m].K]
 			if !ok {
@@ -409,8 +414,10 @@ func (rs *runState) execOp(id int) (err error) {
 	default:
 		return fmt.Errorf("henn: %s: cannot execute %s op", name, op.Kind)
 	}
+	now := time.Now()
+	rs.tel.opExecuted(op.Kind, name, worker, rs.tel.queuedAt(taskIdx), t0, now, 1, 0)
 	rs.slots[id] = ct
-	rs.opDone(id, ct, time.Now())
+	rs.opDone(id, ct, now)
 	for _, a := range op.Args {
 		rs.release(a)
 	}
@@ -426,6 +433,7 @@ func (p *Prepared) EncryptInputs(ctx context.Context, inputs [][]float64) (cts [
 		return nil, 0, "", fmt.Errorf("exec: %d inputs for a %d-input graph", len(inputs), p.g.Inputs)
 	}
 	sa, _ := p.e.(stageAware)
+	tel := newRunTel(ctx, 0)
 	t0 := time.Now()
 	cts = make([]ir.Ct, len(p.encryptOps))
 	for i, id := range p.encryptOps {
@@ -437,6 +445,7 @@ func (p *Prepared) EncryptInputs(ctx context.Context, inputs [][]float64) (cts [
 		if sa != nil {
 			sa.BeginStage(name)
 		}
+		opT0 := time.Now()
 		ct, eerr := func() (ct ir.Ct, err error) {
 			defer func() {
 				if r := recover(); r != nil {
@@ -452,8 +461,10 @@ func (p *Prepared) EncryptInputs(ctx context.Context, inputs [][]float64) (cts [
 		if eerr != nil {
 			return nil, time.Since(t0), name, eerr
 		}
+		tel.opExecuted(ir.OpEncrypt, name, 0, time.Time{}, opT0, time.Now(), 1, 0)
 		cts[i] = ct
 	}
+	tel.phase("encrypt", t0, time.Now())
 	return cts, time.Since(t0), "", nil
 }
 
@@ -466,6 +477,7 @@ func (p *Prepared) RunEncrypted(ctx context.Context, cts []ir.Ct, opts Options) 
 		return res, fmt.Errorf("exec: %d ciphertexts for %d encrypt ops", len(cts), len(p.encryptOps))
 	}
 	rs := p.newRunState()
+	rs.tel = newRunTel(ctx, len(p.tasks)).runStarted()
 	for i, id := range p.encryptOps {
 		rs.slots[id] = cts[i]
 	}
@@ -477,6 +489,7 @@ func (p *Prepared) RunEncrypted(ctx context.Context, cts []ir.Ct, opts Options) 
 		err = rs.runSequential(ctx, res)
 	}
 	res.Eval = time.Since(t0)
+	rs.tel.phase("eval", t0, time.Now())
 	rs.finish(res)
 	if err != nil {
 		return res, err
@@ -511,7 +524,7 @@ func (rs *runState) runSequential(ctx context.Context, res *Result) error {
 			return fmt.Errorf("henn: %s: %w", name, err)
 		}
 		rs.announce(op.Stage)
-		if err := rs.execOp(i); err != nil {
+		if err := rs.execOp(i, 0, -1); err != nil {
 			res.FailedStage = name
 			return err
 		}
@@ -531,6 +544,9 @@ func (rs *runState) runParallel(ctx context.Context, workers int, res *Result) e
 	for t := range p.tasks {
 		indeg[t] = p.tasks[t].indeg
 		if indeg[t] == 0 {
+			if rs.tel != nil {
+				rs.tel.taskReady(t, time.Now())
+			}
 			ready <- t
 		}
 	}
@@ -548,7 +564,7 @@ func (rs *runState) runParallel(ctx context.Context, workers int, res *Result) e
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for {
 				select {
@@ -565,12 +581,15 @@ func (rs *runState) runParallel(ctx context.Context, workers int, res *Result) e
 						return
 					}
 					rs.announce(tk.stage)
-					if err := rs.execOp(tk.ops[0]); err != nil {
+					if err := rs.execOp(tk.ops[0], worker, t); err != nil {
 						fail(name, err)
 						return
 					}
 					for _, c := range tk.children {
 						if atomic.AddInt32(&indeg[c], -1) == 0 {
+							if rs.tel != nil {
+								rs.tel.taskReady(c, time.Now())
+							}
 							ready <- c
 						}
 					}
@@ -579,7 +598,7 @@ func (rs *runState) runParallel(ctx context.Context, workers int, res *Result) e
 					}
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	return firstErr

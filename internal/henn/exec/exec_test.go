@@ -30,12 +30,16 @@ type fakePt struct {
 
 type fakeEngine struct {
 	mu      sync.Mutex
+	quiet   bool // skip call logging (keeps benchmark memory flat)
 	calls   []string
 	stages  []string
 	panicOn string
 }
 
 func (f *fakeEngine) log(op string) {
+	if f.quiet {
+		return
+	}
 	f.mu.Lock()
 	f.calls = append(f.calls, op)
 	panicOn := f.panicOn

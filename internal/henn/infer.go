@@ -12,6 +12,7 @@ import (
 
 	"cnnhe/internal/henn/exec"
 	"cnnhe/internal/rnsdec"
+	"cnnhe/internal/telemetry"
 )
 
 // ErrBadInput tags input-validation failures: mis-sized images, label/image
@@ -176,6 +177,7 @@ func decryptLogits(ctx context.Context, e Engine, ct Ct, outputDim int, rep *Rep
 	t := time.Now()
 	_, err := sr.step("decrypt", func() Ct { out = e.DecryptVec(ct); return nil })
 	rep.Decrypt = time.Since(t)
+	telemetry.RecorderFrom(ctx).RecordPhase("decrypt", t, time.Now())
 	if err != nil {
 		return nil, rep, err
 	}
@@ -208,6 +210,7 @@ func (p *Plan) InferCtx(ctx context.Context, e Engine, image []float64) (Logits,
 		rep.FailedStage = "prepare"
 		return nil, rep, err
 	}
+	defer telInferStart()()
 	res, err := pr.Run(ctx, [][]float64{image}, exec.Options{})
 	fillReport(rep, res)
 	if err != nil {
@@ -315,13 +318,16 @@ func (p *Plan) InferBatch(ctx context.Context, e Engine, images [][]float64, wor
 				if i >= len(images) {
 					return
 				}
+				done := telInferStart()
 				res, err := pr.RunEncrypted(ctx, encs[i], exec.Options{})
 				if err != nil {
 					errs[i] = err
+					done()
 					continue
 				}
 				logits, _, err := decryptLogits(ctx, e, res.Out, p.OutputDim, &Report{Engine: e.Name()})
 				out[i], errs[i] = logits, err
+				done()
 			}
 		}()
 	}
@@ -486,8 +492,10 @@ func (p *RNSPlan) prepare(e Engine) (*exec.Prepared, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if pr, ok := p.prepared[e]; ok {
+		telPrepare(true)
 		return pr, nil
 	}
+	telPrepare(false)
 	g, err := p.Lower(e)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,70 @@
+package henn
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestReportString pins the human-readable report layout: one header
+// line, one row per stage, noise budget shown only when tracked, and a
+// FAILED marker naming the aborted stage.
+func TestReportString(t *testing.T) {
+	r := &Report{
+		Engine:  "CKKS-RNS",
+		Encrypt: 12 * time.Millisecond,
+		Eval:    340 * time.Millisecond,
+		Decrypt: 3 * time.Millisecond,
+		Stages: []StageReport{
+			{Stage: "conv1", Duration: 120 * time.Millisecond, Level: 11, Scale: math.Exp2(26), NoiseBits: 19.25},
+			{Stage: "act1 (SLAF)", Duration: 80 * time.Millisecond, Level: 9, Scale: math.Exp2(26), NoiseBits: math.NaN()},
+		},
+	}
+	s := r.String()
+
+	if !strings.Contains(s, "engine CKKS-RNS: encrypt 12ms, eval 340ms, decrypt 3ms") {
+		t.Errorf("header line missing or malformed:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want header + 2 stage rows, got %d lines:\n%s", len(lines), s)
+	}
+	if !strings.Contains(lines[1], "conv1") || !strings.Contains(lines[1], "level 11") {
+		t.Errorf("conv1 row malformed: %q", lines[1])
+	}
+	if !strings.Contains(lines[1], "noise budget 19.2 bits") {
+		t.Errorf("tracked noise missing from conv1 row: %q", lines[1])
+	}
+	if strings.Contains(lines[2], "noise budget") {
+		t.Errorf("NaN noise must be omitted, got: %q", lines[2])
+	}
+	if strings.Contains(s, "FAILED") {
+		t.Errorf("successful report must not carry a FAILED marker:\n%s", s)
+	}
+}
+
+// TestReportStringFailed checks the failure marker names the stage.
+func TestReportStringFailed(t *testing.T) {
+	r := &Report{
+		Engine:      "CKKS-RNS",
+		Stages:      []StageReport{{Stage: "conv1", NoiseBits: math.NaN()}},
+		FailedStage: "act1 (SLAF)",
+	}
+	s := r.String()
+	if !strings.Contains(s, "FAILED at act1 (SLAF)") {
+		t.Errorf("failure marker missing:\n%s", s)
+	}
+	if !strings.HasSuffix(s, "\n") {
+		t.Errorf("report must end with a newline:\n%q", s)
+	}
+}
+
+// TestReportStringEmpty: a zero-value report still renders a header and
+// nothing else — no panic on nil Stages.
+func TestReportStringEmpty(t *testing.T) {
+	s := (&Report{Engine: "x"}).String()
+	if got := strings.Count(s, "\n"); got != 1 {
+		t.Errorf("empty report should be a single line, got %d:\n%q", got, s)
+	}
+}

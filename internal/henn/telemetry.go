@@ -1,0 +1,68 @@
+package henn
+
+import (
+	"sync"
+
+	"cnnhe/internal/telemetry"
+)
+
+// inferTelSet bundles the inference-level instruments. Registered once,
+// on the first inference that finds telemetry enabled.
+type inferTelSet struct {
+	inflight    *telemetry.Gauge
+	infers      *telemetry.Counter
+	cacheHits   *telemetry.Counter
+	cacheMisses *telemetry.Counter
+}
+
+var (
+	inferTelOnce sync.Once
+	inferTelVal  *inferTelSet
+)
+
+// inferTel returns the instrument set, or nil when telemetry is
+// disabled (the hot-path cost of the off state is this one flag load).
+func inferTel() *inferTelSet {
+	if !telemetry.Enabled() {
+		return nil
+	}
+	inferTelOnce.Do(func() {
+		r := telemetry.Default()
+		inferTelVal = &inferTelSet{
+			inflight: r.Gauge("cnnhe_infer_inflight",
+				"encrypted inferences currently executing"),
+			infers: r.Counter("cnnhe_infer_total",
+				"encrypted inferences started"),
+			cacheHits: r.Counter("cnnhe_prepare_cache_hits_total",
+				"plan preparations served from the per-engine prepared-graph cache"),
+			cacheMisses: r.Counter("cnnhe_prepare_cache_misses_total",
+				"plan preparations that lowered and encoded a fresh graph"),
+		}
+	})
+	return inferTelVal
+}
+
+// telInferStart counts one inference and raises the in-flight gauge;
+// the returned func lowers it again (always non-nil).
+func telInferStart() func() {
+	t := inferTel()
+	if t == nil {
+		return func() {}
+	}
+	t.infers.Inc()
+	t.inflight.Add(1)
+	return func() { t.inflight.Add(-1) }
+}
+
+// telPrepare counts one prepared-graph cache lookup.
+func telPrepare(hit bool) {
+	t := inferTel()
+	if t == nil {
+		return
+	}
+	if hit {
+		t.cacheHits.Inc()
+	} else {
+		t.cacheMisses.Inc()
+	}
+}

@@ -1,0 +1,20 @@
+// Package telemetry is the repository's zero-dependency observability
+// subsystem: a metrics registry (counters, gauges, fixed-bucket latency
+// histograms) renderable in Prometheus text format, span-based run
+// tracing exportable as Chrome trace-event JSON, and a localhost HTTP
+// server exposing /metrics, /debug/vars (expvar) and /debug/pprof.
+//
+// Two independent switches control cost:
+//
+//   - Registry metrics update only while Enabled() reports true
+//     (Serve flips it on; SetEnabled does so explicitly). Instrumented
+//     hot paths check the flag once per run and skip all metric work
+//     when it is off, so a disabled build pays one predictable branch.
+//   - Span tracing is per-run opt-in: attach a *RunRecorder to the
+//     context with WithRecorder and the executor records one span per
+//     executed op (queue wait separated from execution, per worker).
+//     Without a recorder in the context, tracing costs a nil check.
+//
+// Everything is safe for concurrent use, and every exported method is
+// nil-receiver-safe so instrumentation sites never need nil guards.
+package telemetry

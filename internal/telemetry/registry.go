@@ -1,0 +1,529 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Enabled gates metric updates process-wide. Serve enables it; tests and
+// CLIs may call SetEnabled directly.
+var enabled atomic.Bool
+
+// Enabled reports whether registry metrics are being collected.
+func Enabled() bool { return enabled.Load() }
+
+// SetEnabled turns metric collection on or off.
+func SetEnabled(on bool) { enabled.Store(on) }
+
+// Label is one metric dimension (a Prometheus label pair).
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L is shorthand for Label{k, v}.
+func L(k, v string) Label { return Label{Key: k, Value: v} }
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (negative deltas are ignored: counters only go up).
+func (c *Counter) Add(n int64) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float metric that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add applies a delta (CAS loop; use for in-flight style gauges).
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket distribution metric. Bounds are upper
+// bucket boundaries in increasing order; an implicit +Inf bucket catches
+// the rest. Observations are lock-free.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1, non-cumulative
+	sum    atomic.Uint64  // float64 bits, CAS-accumulated
+	count  atomic.Int64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	// Bucket search: bounds are short (≲20), linear scan beats binary
+	// search on real latency distributions where most samples are small.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records d in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Sum returns the total of all observed samples.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// LatencyBuckets covers HE op and inference latencies: 100µs to 60s,
+// roughly ×2.5 per step.
+var LatencyBuckets = []float64{
+	100e-6, 250e-6, 500e-6,
+	1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3, 100e-3, 250e-3, 500e-3,
+	1, 2.5, 5, 10, 30, 60,
+}
+
+type metricType int
+
+const (
+	typeCounter metricType = iota
+	typeGauge
+	typeHistogram
+)
+
+func (t metricType) String() string {
+	switch t {
+	case typeCounter:
+		return "counter"
+	case typeGauge:
+		return "gauge"
+	case typeHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// series is one labelled instrument inside a family.
+type series struct {
+	labels []Label // sorted by key
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// family groups every series of one metric name.
+type family struct {
+	name   string
+	help   string
+	typ    metricType
+	bounds []float64
+	series map[string]*series
+	order  []string // insertion-ordered series keys (render is re-sorted)
+}
+
+// Registry holds metric families and hands out instruments. Retrieval is
+// idempotent: the same (name, labels) always returns the same instrument,
+// so call sites may re-resolve freely. The zero value is not usable; use
+// NewRegistry or the process Default registry.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+var (
+	defaultOnce sync.Once
+	defaultReg  *Registry
+)
+
+// Default returns the process-wide registry that instrumented packages
+// (exec, guard, henn) feed and that Serve exposes.
+func Default() *Registry {
+	defaultOnce.Do(func() { defaultReg = NewRegistry() })
+	return defaultReg
+}
+
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !alpha && !(i > 0 && r >= '0' && r <= '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// seriesKey canonicalises a label set (sorted copy returned for storage).
+func seriesKey(labels []Label) (string, []Label) {
+	if len(labels) == 0 {
+		return "", nil
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	for _, l := range ls {
+		b.WriteString(l.Key)
+		b.WriteByte(0xff)
+		b.WriteString(l.Value)
+		b.WriteByte(0xfe)
+	}
+	return b.String(), ls
+}
+
+// lookup finds or creates the series for (name, labels), enforcing type
+// and bucket consistency. Misuse (invalid name, type clash) panics: these
+// are programmer errors at instrumentation sites, exactly like expvar.
+func (r *Registry) lookup(name, help string, typ metricType, bounds []float64, labels []Label) *series {
+	if !validName(name) {
+		panic(fmt.Sprintf("telemetry: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !validName(l.Key) || strings.Contains(l.Key, ":") {
+			panic(fmt.Sprintf("telemetry: invalid label name %q on %s", l.Key, name))
+		}
+	}
+	key, sorted := seriesKey(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, typ: typ, bounds: bounds, series: map[string]*series{}}
+		r.families[name] = f
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("telemetry: metric %s registered as %s, requested as %s", name, f.typ, typ))
+	}
+	s := f.series[key]
+	if s == nil {
+		s = &series{labels: sorted}
+		switch typ {
+		case typeCounter:
+			s.c = &Counter{}
+		case typeGauge:
+			s.g = &Gauge{}
+		case typeHistogram:
+			s.h = &Histogram{bounds: f.bounds, counts: make([]atomic.Int64, len(f.bounds)+1)}
+		}
+		f.series[key] = s
+		f.order = append(f.order, key)
+	}
+	return s
+}
+
+// Counter returns the counter for (name, labels), creating it on first use.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	return r.lookup(name, help, typeCounter, nil, labels).c
+}
+
+// Gauge returns the gauge for (name, labels), creating it on first use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	return r.lookup(name, help, typeGauge, nil, labels).g
+}
+
+// Histogram returns the histogram for (name, labels), creating it on
+// first use. The first registration of a name fixes its bucket bounds;
+// later calls may pass nil to reuse them.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	if len(bounds) == 0 {
+		bounds = LatencyBuckets
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("telemetry: histogram %s bounds not increasing at %d", name, i))
+		}
+	}
+	return r.lookup(name, help, typeHistogram, bounds, labels).h
+}
+
+// ----- snapshots -----
+
+// BucketCount is one cumulative histogram bucket of a snapshot.
+type BucketCount struct {
+	UpperBound float64 `json:"le"` // +Inf for the last bucket
+	Count      int64   `json:"count"`
+}
+
+// SeriesSnapshot is the frozen state of one labelled series.
+type SeriesSnapshot struct {
+	Labels  []Label       `json:"labels,omitempty"`
+	Value   float64       `json:"value"`             // counter/gauge value; histogram sum
+	Count   int64         `json:"count,omitempty"`   // histogram only
+	Buckets []BucketCount `json:"buckets,omitempty"` // histogram only, cumulative
+}
+
+// FamilySnapshot is the frozen state of one metric family.
+type FamilySnapshot struct {
+	Name   string           `json:"name"`
+	Help   string           `json:"help,omitempty"`
+	Type   string           `json:"type"`
+	Series []SeriesSnapshot `json:"series"`
+}
+
+// Snapshot is a point-in-time copy of a registry, safe to read, diff and
+// serialise without holding any registry locks.
+type Snapshot struct {
+	Families []FamilySnapshot `json:"families"`
+}
+
+// Snapshot freezes the registry. Families and series are sorted by name
+// and label signature so output is deterministic.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	var snap Snapshot
+	for _, f := range fams {
+		fs := FamilySnapshot{Name: f.name, Help: f.help, Type: f.typ.String()}
+		r.mu.Lock()
+		keys := append([]string(nil), f.order...)
+		sort.Strings(keys)
+		sers := make([]*series, len(keys))
+		for i, k := range keys {
+			sers[i] = f.series[k]
+		}
+		r.mu.Unlock()
+		for _, s := range sers {
+			ss := SeriesSnapshot{Labels: append([]Label(nil), s.labels...)}
+			switch f.typ {
+			case typeCounter:
+				ss.Value = float64(s.c.Value())
+			case typeGauge:
+				ss.Value = s.g.Value()
+			case typeHistogram:
+				ss.Value = s.h.Sum()
+				ss.Count = s.h.Count()
+				cum := int64(0)
+				for i := range s.h.counts {
+					cum += s.h.counts[i].Load()
+					ub := math.Inf(1)
+					if i < len(f.bounds) {
+						ub = f.bounds[i]
+					}
+					ss.Buckets = append(ss.Buckets, BucketCount{UpperBound: ub, Count: cum})
+				}
+			}
+			fs.Series = append(fs.Series, ss)
+		}
+		snap.Families = append(snap.Families, fs)
+	}
+	return snap
+}
+
+// Sub returns the elementwise difference s − prev, matching series by
+// family name and label signature. Series absent from prev pass through
+// unchanged; gauges are not differenced (the current value is kept).
+func (s Snapshot) Sub(prev Snapshot) Snapshot {
+	prevVal := map[string]SeriesSnapshot{}
+	for _, f := range prev.Families {
+		for _, ser := range f.Series {
+			k, _ := seriesKey(ser.Labels)
+			prevVal[f.Name+"\x00"+k] = ser
+		}
+	}
+	out := Snapshot{}
+	for _, f := range s.Families {
+		nf := FamilySnapshot{Name: f.Name, Help: f.Help, Type: f.Type}
+		for _, ser := range f.Series {
+			k, _ := seriesKey(ser.Labels)
+			d := ser
+			d.Labels = append([]Label(nil), ser.Labels...)
+			d.Buckets = append([]BucketCount(nil), ser.Buckets...)
+			if p, ok := prevVal[f.Name+"\x00"+k]; ok && f.Type != "gauge" {
+				d.Value -= p.Value
+				d.Count -= p.Count
+				for i := range d.Buckets {
+					if i < len(p.Buckets) {
+						d.Buckets[i].Count -= p.Buckets[i].Count
+					}
+				}
+			}
+			nf.Series = append(nf.Series, d)
+		}
+		out.Families = append(out.Families, nf)
+	}
+	return out
+}
+
+// Family returns the named family snapshot, if present.
+func (s Snapshot) Family(name string) (FamilySnapshot, bool) {
+	for _, f := range s.Families {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return FamilySnapshot{}, false
+}
+
+// Label returns the value of the named label ("" when absent).
+func (ss SeriesSnapshot) Label(key string) string {
+	for _, l := range ss.Labels {
+		if l.Key == key {
+			return l.Value
+		}
+	}
+	return ""
+}
+
+// ----- Prometheus text rendering -----
+
+// escapeLabel escapes a label value per the Prometheus text format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// escapeHelp escapes a HELP string per the Prometheus text format.
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return fmt.Sprintf("%d", int64(v))
+	default:
+		return fmt.Sprintf("%g", v)
+	}
+}
+
+func renderLabels(labels []Label, extra ...Label) string {
+	all := append(append([]Label(nil), labels...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	parts := make([]string, len(all))
+	for i, l := range all {
+		parts[i] = fmt.Sprintf(`%s="%s"`, l.Key, escapeLabel(l.Value))
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	return r.Snapshot().WritePrometheus(w)
+}
+
+// WritePrometheus renders a frozen snapshot in the Prometheus text
+// exposition format.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	for _, f := range s.Families {
+		if f.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.Name, escapeHelp(f.Help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.Name, f.Type); err != nil {
+			return err
+		}
+		for _, ser := range f.Series {
+			switch f.Type {
+			case "histogram":
+				for _, b := range ser.Buckets {
+					le := "+Inf"
+					if !math.IsInf(b.UpperBound, 1) {
+						le = formatValue(b.UpperBound)
+					}
+					if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+						f.Name, renderLabels(ser.Labels, L("le", le)), b.Count); err != nil {
+						return err
+					}
+				}
+				if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.Name, renderLabels(ser.Labels), formatValue(ser.Value)); err != nil {
+					return err
+				}
+				if _, err := fmt.Fprintf(w, "%s_count%s %d\n", f.Name, renderLabels(ser.Labels), ser.Count); err != nil {
+					return err
+				}
+			default:
+				if _, err := fmt.Fprintf(w, "%s%s %s\n", f.Name, renderLabels(ser.Labels), formatValue(ser.Value)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,223 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "a counter")
+	c.Inc()
+	c.Add(41)
+	c.Add(-5) // ignored: counters are monotonic
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter value %d, want 42", got)
+	}
+	if again := r.Counter("test_total", "a counter"); again != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+	g := r.Gauge("test_gauge", "a gauge")
+	g.Set(3.5)
+	g.Add(-1.25)
+	if got := g.Value(); got != 2.25 {
+		t.Fatalf("gauge value %v, want 2.25", got)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var rec *RunRecorder
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	h.ObserveDuration(time.Second)
+	rec.Record(OpSpan{})
+	rec.RecordPhase("x", time.Now(), time.Now())
+	if c.Value() != 0 || g.Value() != 0 || h.Sum() != 0 || h.Count() != 0 {
+		t.Fatal("nil instruments returned non-zero values")
+	}
+	if rec.Spans() != nil || rec.OpCount() != 0 {
+		t.Fatal("nil recorder returned spans")
+	}
+}
+
+// TestConcurrentIncrements hammers one counter, one gauge and one
+// histogram from many goroutines; run under -race this also proves the
+// instruments are data-race-free.
+func TestConcurrentIncrements(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("conc_total", "")
+	g := r.Gauge("conc_inflight", "")
+	h := r.Histogram("conc_seconds", "", []float64{0.25, 0.5, 1})
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(0.75)
+				// Concurrent idempotent re-registration must be safe too.
+				r.Counter("conc_total", "")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Fatalf("counter %d, want %d", got, workers*per)
+	}
+	if got := g.Value(); got != 0 {
+		t.Fatalf("gauge %v, want 0", got)
+	}
+	if got := h.Count(); got != workers*per {
+		t.Fatalf("histogram count %d, want %d", got, workers*per)
+	}
+	if got, want := h.Sum(), 0.75*workers*per; math.Abs(got-want) > 1e-6 {
+		t.Fatalf("histogram sum %v, want %v", got, want)
+	}
+}
+
+// TestHistogramBucketBoundaries pins the ≤ boundary semantics: a sample
+// exactly on a bound lands in that bound's bucket.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.10001, 1, 5, 10, 11, math.Inf(1)} {
+		h.Observe(v)
+	}
+	h.Observe(math.NaN()) // dropped
+	snap := r.Snapshot()
+	f, ok := snap.Family("lat_seconds")
+	if !ok || len(f.Series) != 1 {
+		t.Fatalf("snapshot families %+v", snap)
+	}
+	got := f.Series[0].Buckets
+	// Cumulative counts: ≤0.1 → {0.05, 0.1}; ≤1 adds {0.10001, 1};
+	// ≤10 adds {5, 10}; +Inf adds {11, Inf}.
+	want := []int64{2, 4, 6, 8}
+	if len(got) != len(want) {
+		t.Fatalf("bucket count %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Count != want[i] {
+			t.Fatalf("bucket %d (le %v) count %d, want %d", i, got[i].UpperBound, got[i].Count, want[i])
+		}
+	}
+	if f.Series[0].Count != 8 {
+		t.Fatalf("count %d, want 8 (NaN must be dropped)", f.Series[0].Count)
+	}
+	if !math.IsInf(got[3].UpperBound, 1) {
+		t.Fatalf("last bucket bound %v, want +Inf", got[3].UpperBound)
+	}
+}
+
+func TestLabelledSeries(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("ops_total", "ops", L("kind", "Rotate"))
+	b := r.Counter("ops_total", "ops", L("kind", "MulPlain"))
+	if a == b {
+		t.Fatal("distinct label values shared one counter")
+	}
+	// Label order must not matter.
+	x := r.Gauge("noise", "", L("stage", "s0"), L("backend", "rns"))
+	y := r.Gauge("noise", "", L("backend", "rns"), L("stage", "s0"))
+	if x != y {
+		t.Fatal("label order produced distinct series")
+	}
+}
+
+func TestTypeClashPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("clash", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("clash", "")
+}
+
+// TestPrometheusGolden pins the exact rendered text format, including
+// HELP/TYPE lines, label escaping, histogram buckets and sorting.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("cnnhe_ops_total", "executed ops", L("kind", "Rotate")).Add(3)
+	r.Counter("cnnhe_ops_total", "executed ops", L("kind", "MulPlain")).Add(2)
+	r.Gauge("cnnhe_noise_bits", "remaining bits", L("stage", `conv "a"\b`)).Set(12.5)
+	h := r.Histogram("cnnhe_op_seconds", "op latency", []float64{0.5, 1})
+	h.Observe(0.25)
+	h.Observe(0.75)
+	h.Observe(2)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP cnnhe_noise_bits remaining bits
+# TYPE cnnhe_noise_bits gauge
+cnnhe_noise_bits{stage="conv \"a\"\\b"} 12.5
+# HELP cnnhe_op_seconds op latency
+# TYPE cnnhe_op_seconds histogram
+cnnhe_op_seconds_bucket{le="0.5"} 1
+cnnhe_op_seconds_bucket{le="1"} 2
+cnnhe_op_seconds_bucket{le="+Inf"} 3
+cnnhe_op_seconds_sum 3
+cnnhe_op_seconds_count 3
+# HELP cnnhe_ops_total executed ops
+# TYPE cnnhe_ops_total counter
+cnnhe_ops_total{kind="MulPlain"} 2
+cnnhe_ops_total{kind="Rotate"} 3
+`
+	if got := b.String(); got != want {
+		t.Fatalf("prometheus text mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestSnapshotSub(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("delta_total", "", L("kind", "Add"))
+	h := r.Histogram("delta_seconds", "", []float64{1})
+	c.Add(5)
+	h.Observe(0.5)
+	before := r.Snapshot()
+	c.Add(7)
+	h.Observe(0.25)
+	h.Observe(3)
+	diff := r.Snapshot().Sub(before)
+	f, _ := diff.Family("delta_total")
+	if f.Series[0].Value != 7 {
+		t.Fatalf("counter delta %v, want 7", f.Series[0].Value)
+	}
+	fh, _ := diff.Family("delta_seconds")
+	if fh.Series[0].Count != 2 {
+		t.Fatalf("histogram count delta %d, want 2", fh.Series[0].Count)
+	}
+	if got := fh.Series[0].Value; math.Abs(got-3.25) > 1e-9 {
+		t.Fatalf("histogram sum delta %v, want 3.25", got)
+	}
+	if fh.Series[0].Buckets[0].Count != 1 {
+		t.Fatalf("bucket delta %d, want 1", fh.Series[0].Buckets[0].Count)
+	}
+}
+
+func TestEnabledFlag(t *testing.T) {
+	if Enabled() {
+		t.Fatal("telemetry enabled by default")
+	}
+	SetEnabled(true)
+	if !Enabled() {
+		t.Fatal("SetEnabled(true) not observed")
+	}
+	SetEnabled(false)
+}

@@ -1,0 +1,93 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// Server is a live observability endpoint over one registry:
+//
+//	/metrics       Prometheus text format
+//	/metrics.json  the same snapshot as JSON
+//	/debug/vars    expvar (memstats, cmdline, cnnhe_metrics)
+//	/debug/pprof/  the standard pprof index, profiles and traces
+//
+// Serve also flips the process-wide Enabled flag on, so instrumented hot
+// paths start feeding the registry.
+type Server struct {
+	// Addr is the bound address (useful with a ":0" listen request).
+	Addr string
+
+	ln  net.Listener
+	srv *http.Server
+}
+
+var expvarOnce sync.Once
+
+// Handler returns the observability mux for reg without binding a
+// listener (for embedding into an existing server).
+func Handler(reg *Registry) http.Handler {
+	expvarOnce.Do(func() {
+		expvar.Publish("cnnhe_metrics", expvar.Func(func() any { return Default().Snapshot() }))
+	})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		_ = enc.Encode(reg.Snapshot())
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "cnnhe telemetry\n\n/metrics\n/metrics.json\n/debug/vars\n/debug/pprof/\n")
+	})
+	return mux
+}
+
+// Serve binds addr (e.g. "localhost:0") and serves the observability
+// endpoints for reg in a background goroutine until Close. Metric
+// collection is enabled as a side effect.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	if reg == nil {
+		reg = Default()
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	SetEnabled(true)
+	s := &Server{
+		Addr: ln.Addr().String(),
+		ln:   ln,
+		srv:  &http.Server{Handler: Handler(reg), ReadHeaderTimeout: 5 * time.Second},
+	}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Close stops the listener.
+func (s *Server) Close() error {
+	if s == nil || s.srv == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

@@ -1,0 +1,110 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, url string) (int, string, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, string(body), resp.Header.Get("Content-Type")
+}
+
+func TestServeEndpoints(t *testing.T) {
+	defer SetEnabled(false)
+	reg := NewRegistry()
+	reg.Counter("cnnhe_test_requests_total", "test counter", L("kind", "Rotate")).Add(7)
+
+	srv, err := Serve("localhost:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if !Enabled() {
+		t.Fatal("Serve must enable metric collection")
+	}
+	base := "http://" + srv.Addr
+
+	code, body, ctype := get(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if !strings.HasPrefix(ctype, "text/plain; version=0.0.4") {
+		t.Fatalf("/metrics content-type %q", ctype)
+	}
+	if !strings.Contains(body, `cnnhe_test_requests_total{kind="Rotate"} 7`) {
+		t.Fatalf("/metrics missing counter series:\n%s", body)
+	}
+	if !strings.Contains(body, "# TYPE cnnhe_test_requests_total counter") {
+		t.Fatalf("/metrics missing TYPE line:\n%s", body)
+	}
+
+	code, body, _ = get(t, base+"/metrics.json")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics.json status %d", code)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/metrics.json not a snapshot: %v", err)
+	}
+	if _, ok := snap.Family("cnnhe_test_requests_total"); !ok {
+		t.Fatalf("/metrics.json missing family: %s", body)
+	}
+
+	code, body, _ = get(t, base+"/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/vars status %d", code)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("/debug/vars not JSON: %v", err)
+	}
+	if _, ok := vars["memstats"]; !ok {
+		t.Fatal("/debug/vars missing memstats")
+	}
+	if _, ok := vars["cnnhe_metrics"]; !ok {
+		t.Fatal("/debug/vars missing cnnhe_metrics")
+	}
+
+	code, body, _ = get(t, base+"/debug/pprof/")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/pprof/ status %d", code)
+	}
+	if !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ index missing profiles:\n%s", body)
+	}
+
+	code, _, _ = get(t, base+"/debug/pprof/cmdline")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/pprof/cmdline status %d", code)
+	}
+
+	if code, _, _ := get(t, base+"/nope"); code != http.StatusNotFound {
+		t.Fatalf("unknown path status %d, want 404", code)
+	}
+}
+
+func TestServeBadAddr(t *testing.T) {
+	if _, err := Serve("256.256.256.256:99999", nil); err == nil {
+		t.Fatal("Serve on a bogus address must fail")
+	}
+}
+
+func TestServerCloseNil(t *testing.T) {
+	var s *Server
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,151 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+)
+
+func TestRecorderContextPlumbing(t *testing.T) {
+	if RecorderFrom(context.Background()) != nil {
+		t.Fatal("empty context returned a recorder")
+	}
+	rec := NewRunRecorder()
+	ctx := WithRecorder(context.Background(), rec)
+	if RecorderFrom(ctx) != rec {
+		t.Fatal("recorder not round-tripped through context")
+	}
+	if WithRecorder(context.Background(), nil) != context.Background() {
+		t.Fatal("nil recorder should leave the context unchanged")
+	}
+}
+
+func TestByKindAggregation(t *testing.T) {
+	rec := NewRunRecorder()
+	t0 := time.Unix(0, 0)
+	rec.Record(OpSpan{Kind: "Rotate", Start: t0, End: t0.Add(4 * time.Millisecond), Ops: 3, SavedKeySwitch: 2})
+	rec.Record(OpSpan{Kind: "Rotate", Start: t0.Add(time.Millisecond), End: t0.Add(2 * time.Millisecond)})
+	rec.Record(OpSpan{Kind: "MulPlain", Start: t0, End: t0.Add(time.Millisecond)})
+	if got := rec.OpCount(); got != 5 {
+		t.Fatalf("OpCount %d, want 5", got)
+	}
+	byKind := rec.ByKind()
+	rot := byKind["Rotate"]
+	if rot.Count != 4 || rot.Calls != 2 || rot.Total != 5*time.Millisecond {
+		t.Fatalf("Rotate stat %+v", rot)
+	}
+	if mp := byKind["MulPlain"]; mp.Count != 1 || mp.Calls != 1 {
+		t.Fatalf("MulPlain stat %+v", mp)
+	}
+}
+
+func TestOpSpanWait(t *testing.T) {
+	t0 := time.Unix(100, 0)
+	sp := OpSpan{Queued: t0, Start: t0.Add(3 * time.Millisecond)}
+	if got := sp.Wait(); got != 3*time.Millisecond {
+		t.Fatalf("wait %v, want 3ms", got)
+	}
+	if got := (OpSpan{Start: t0}).Wait(); got != 0 {
+		t.Fatalf("unqueued span wait %v, want 0", got)
+	}
+}
+
+// TestChromeTraceRoundTrip exports a small recording and re-parses it
+// with encoding/json, checking the trace-event invariants that
+// chrome://tracing relies on: every event has ph/pid/tid, "X" events
+// have non-negative ts and dur, and all recorded ops appear.
+func TestChromeTraceRoundTrip(t *testing.T) {
+	rec := NewRunRecorder()
+	t0 := time.Unix(1000, 0)
+	rec.Record(OpSpan{Kind: "Encrypt", Stage: "input", Worker: 0,
+		Start: t0, End: t0.Add(2 * time.Millisecond)})
+	rec.Record(OpSpan{Kind: "Rotate", Stage: "conv", Worker: 1, Ops: 3, SavedKeySwitch: 2,
+		Queued: t0.Add(2 * time.Millisecond),
+		Start:  t0.Add(3 * time.Millisecond), End: t0.Add(6 * time.Millisecond)})
+	rec.RecordPhase("eval", t0, t0.Add(6*time.Millisecond))
+
+	data, err := rec.ChromeTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ph   string         `json:"ph"`
+			TS   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			PID  int            `json:"pid"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(data, &parsed); err != nil {
+		t.Fatalf("exported trace is not valid JSON: %v", err)
+	}
+	if parsed.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit %q", parsed.DisplayTimeUnit)
+	}
+	var sawEncrypt, sawRotate, sawWait, sawPhase bool
+	for _, ev := range parsed.TraceEvents {
+		if ev.Ph != "X" && ev.Ph != "M" {
+			t.Fatalf("unexpected event phase %q", ev.Ph)
+		}
+		if ev.PID != 1 {
+			t.Fatalf("event %q pid %d, want 1", ev.Name, ev.PID)
+		}
+		if ev.Ph == "X" && (ev.TS < 0 || ev.Dur < 0) {
+			t.Fatalf("event %q has negative ts/dur: %v/%v", ev.Name, ev.TS, ev.Dur)
+		}
+		switch {
+		case ev.Name == "Encrypt":
+			sawEncrypt = true
+			if ev.Cat != "op" || ev.Dur != 2000 {
+				t.Fatalf("Encrypt event %+v", ev)
+			}
+		case ev.Name == "Rotate×3":
+			sawRotate = true
+			if ev.Args["saved_keyswitch"] != float64(2) || ev.Args["stage"] != "conv" {
+				t.Fatalf("Rotate args %+v", ev.Args)
+			}
+			if ev.TID != 1 {
+				t.Fatalf("Rotate tid %d, want worker 1", ev.TID)
+			}
+		case ev.Name == "queue-wait":
+			sawWait = true
+			if ev.Dur != 1000 {
+				t.Fatalf("queue-wait dur %v, want 1000µs", ev.Dur)
+			}
+		case ev.Name == "eval" && ev.Cat == "phase":
+			sawPhase = true
+			if ev.TID != phaseTID {
+				t.Fatalf("phase tid %d, want %d", ev.TID, phaseTID)
+			}
+		}
+	}
+	if !sawEncrypt || !sawRotate || !sawWait || !sawPhase {
+		t.Fatalf("missing events: encrypt=%v rotate=%v wait=%v phase=%v",
+			sawEncrypt, sawRotate, sawWait, sawPhase)
+	}
+}
+
+func TestChromeTraceFile(t *testing.T) {
+	rec := NewRunRecorder()
+	t0 := time.Unix(5, 0)
+	rec.Record(OpSpan{Kind: "Add", Start: t0, End: t0.Add(time.Millisecond)})
+	path := t.TempDir() + "/trace.json"
+	if err := rec.WriteChromeTraceFile(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed map[string]any
+	if err := json.Unmarshal(raw, &parsed); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+}
