@@ -1,13 +1,22 @@
 GO ?= go
 
-.PHONY: check vet build test race parity bench telemetry-overhead
+.PHONY: check vet staticcheck build test race race-serve parity bench telemetry-overhead
 
-## check: the full CI gate — vet, build, tests, the race detector, and
-## the executor-vs-interpreter parity suite.
-check: vet build test race parity
+## check: the full CI gate — vet, staticcheck, build, tests, the race
+## detector, and the executor-vs-interpreter parity suite.
+check: vet staticcheck build test race parity
 
 vet:
 	$(GO) vet ./...
+
+## staticcheck: honnef.co/go/tools; skipped with a notice when the
+## binary is not on PATH (CI installs it, local toolchains may not).
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 
 build:
 	$(GO) build ./...
@@ -17,6 +26,11 @@ test:
 
 race:
 	$(GO) test -race -short ./...
+
+## race-serve: the serving layer's concurrency suite (micro-batching,
+## backpressure, drain) in full under the race detector.
+race-serve:
+	$(GO) test -race ./internal/serve/
 
 ## parity: the op-graph executor must replay plans bit-identically to
 ## the legacy interpreter (logits and report rows) at CNN scale.

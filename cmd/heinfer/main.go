@@ -33,7 +33,9 @@ import (
 	"fmt"
 	"log/slog"
 	"math"
+	"math/rand"
 	"os"
+	"time"
 
 	"cnnhe/internal/ckks"
 	"cnnhe/internal/ckksbig"
@@ -82,6 +84,43 @@ func parseLevel(s string) slog.Level {
 		return slog.LevelError
 	}
 	return slog.LevelInfo
+}
+
+// retryableClass reports whether a failure class is worth another
+// attempt. Corrupted input (exit 2: bad image, malformed ciphertext,
+// scale drift) and an exhausted noise budget or modulus chain (exit 3:
+// parameters too small for the model) are deterministic — the same
+// attempt fails the same way every time — so retrying them only wastes
+// full inference latencies. Deadline (4) and unclassified (1) failures
+// may be transient (machine load, injected faults) and are retried.
+func retryableClass(code int) bool {
+	switch code {
+	case exitCorrupt, exitExhausted:
+		return false
+	}
+	return true
+}
+
+// Backoff schedule for retryable failures: exponential from 100ms,
+// capped at 5s, with full jitter in [d/2, d] so concurrent clients
+// recovering from a shared stall do not re-stampede in lockstep.
+const (
+	baseBackoff = 100 * time.Millisecond
+	maxBackoff  = 5 * time.Second
+)
+
+// retryBackoff returns the sleep before retry number attempt (0-based).
+// rand01 supplies the jitter draw in [0, 1).
+func retryBackoff(attempt int, rand01 float64) time.Duration {
+	d := baseBackoff
+	for i := 0; i < attempt && d < maxBackoff; i++ {
+		d *= 2
+	}
+	if d > maxBackoff {
+		d = maxBackoff
+	}
+	half := float64(d) / 2
+	return time.Duration(half + rand01*half)
 }
 
 // classifyExit maps an inference error to its exit code.
@@ -260,6 +299,7 @@ func main() {
 		rep    *henn.Report
 		rec    *telemetry.RunRecorder
 	)
+	rng := rand.New(rand.NewSource(*seed + 101))
 	for try := 0; ; try++ {
 		logits, rep, rec, err = attempt()
 		if err == nil {
@@ -273,6 +313,13 @@ func main() {
 		if try >= *retries {
 			os.Exit(code)
 		}
+		if !retryableClass(code) {
+			slog.Error("failure class is deterministic, not retrying", "class", exitClass(code))
+			os.Exit(code)
+		}
+		delay := retryBackoff(try, rng.Float64())
+		slog.Info("backing off before retry", "delay", delay)
+		time.Sleep(delay)
 	}
 
 	if rec != nil {

@@ -1,0 +1,201 @@
+// Command heserve is the micro-batching encrypted-inference daemon: it
+// accepts single-image classification requests over HTTP, aggregates
+// them into packed micro-batches (the paper's SIMD amortization, Table
+// I), evaluates each batch as one ciphertext through the shared
+// prepared op graph under the guard runtime, and fans the per-block
+// logits back out to the waiting requests.
+//
+// Endpoints:
+//
+//	POST /classify       {"image": [pixels in [0,255], length 784]}
+//	                     → {"class", "logits", "batch_size", "eval_ms"}
+//	GET  /healthz        liveness (503 once draining)
+//	GET  /metrics        Prometheus text (queue depth, batch fill ratio,
+//	                     request/batch latency histograms, …)
+//	GET  /metrics.json   the same snapshot as JSON
+//	GET  /debug/pprof/   live profiling
+//
+// Overload returns 429 with a Retry-After hint instead of queueing
+// without bound; SIGINT/SIGTERM stops intake, drains queued requests
+// through final batches, and exits cleanly.
+//
+// Usage:
+//
+//	heserve -model models/cnn1.gob -addr localhost:8000 [-batch 4]
+//	        [-logn 12] [-backend rns|big] [-max-wait 10ms] [-queue 16]
+//	        [-request-timeout 2m] [-log-level info]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"math"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cnnhe/internal/ckks"
+	"cnnhe/internal/ckksbig"
+	"cnnhe/internal/guard"
+	"cnnhe/internal/henn"
+	"cnnhe/internal/nn"
+	"cnnhe/internal/serve"
+	"cnnhe/internal/telemetry"
+)
+
+// parseLevel maps a -log-level flag value to a slog level.
+func parseLevel(s string) slog.Level {
+	switch s {
+	case "debug":
+		return slog.LevelDebug
+	case "warn":
+		return slog.LevelWarn
+	case "error":
+		return slog.LevelError
+	}
+	return slog.LevelInfo
+}
+
+// buildEngine mirrors heinfer's parameter construction: a modulus chain
+// sized to the plan's depth at the requested ring degree, wrapped in the
+// guard so failures classify instead of decrypting to garbage.
+func buildEngine(plan *henn.Plan, backend string, logN int, seed int64) (henn.Engine, error) {
+	k := plan.Depth + 1
+	if k < 13 {
+		k = 13
+	}
+	bits := []int{40}
+	for i := 0; i < k-2; i++ {
+		bits = append(bits, 26)
+	}
+	bits = append(bits, 40)
+	params, err := ckks.NewParameters(logN, bits, 60, 1, math.Exp2(26))
+	if err != nil {
+		return nil, fmt.Errorf("building CKKS parameters: %w", err)
+	}
+	if err := plan.CheckDepth(params.MaxLevel()); err != nil {
+		return nil, fmt.Errorf("plan deeper than the modulus chain: %w", err)
+	}
+	var inner henn.Engine
+	switch backend {
+	case "rns":
+		e, err := henn.NewRNSEngine(params, plan.Rotations(), seed+7)
+		if err != nil {
+			return nil, err
+		}
+		inner = e
+	case "big":
+		bp, err := ckksbig.FromRNSParameters(params)
+		if err != nil {
+			return nil, err
+		}
+		e, err := henn.NewBigEngine(bp, plan.Rotations(), seed+7)
+		if err != nil {
+			return nil, err
+		}
+		inner = e
+	default:
+		return nil, fmt.Errorf("unknown backend %q", backend)
+	}
+	return guard.New(inner, guard.DefaultConfig()), nil
+}
+
+func main() {
+	var (
+		modelPath  = flag.String("model", "models/cnn1.gob", "trained SLAF model (.gob)")
+		addr       = flag.String("addr", "localhost:8000", "HTTP listen address")
+		batch      = flag.Int("batch", 4, "images packed per ciphertext (must divide the slot count)")
+		logN       = flag.Int("logn", 12, "ring degree exponent (14 = paper scale)")
+		backend    = flag.String("backend", "rns", "rns (CKKS-RNS) or big (multiprecision CKKS)")
+		seed       = flag.Int64("seed", 1, "random seed")
+		maxWait    = flag.Duration("max-wait", 10*time.Millisecond, "max time the oldest request waits for its batch to fill")
+		queueSize  = flag.Int("queue", 0, "request queue capacity (0 = 4×batch); a full queue answers 429")
+		reqTimeout = flag.Duration("request-timeout", 2*time.Minute, "per-request deadline, queue wait included (0 = none)")
+		drainWait  = flag.Duration("drain-timeout", time.Minute, "shutdown budget for draining queued requests")
+		logLevel   = flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
+	)
+	flag.Parse()
+
+	slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr,
+		&slog.HandlerOptions{Level: parseLevel(*logLevel)})))
+	fatal := func(msg string, args ...any) {
+		slog.Error(msg, args...)
+		os.Exit(1)
+	}
+
+	// The serving instruments register on the default registry; enable
+	// collection before the server resolves them.
+	telemetry.SetEnabled(true)
+
+	model, arch, err := nn.LoadModel(*modelPath)
+	if err != nil {
+		fatal("loading model failed (run hetrain first)", "model", *modelPath, "err", err)
+	}
+	slots := 1 << (*logN - 1)
+	bp, err := henn.CompileBatched(model, slots, *batch)
+	if err != nil {
+		fatal("compiling batched plan failed", "model", *modelPath, "batch", *batch, "err", err)
+	}
+	slog.Info("compiled batched plan", "model", arch, "slots", slots,
+		"batch", bp.Batch, "block", bp.BlockSize, "depth", bp.Plan.Depth)
+
+	engine, err := buildEngine(bp.Plan, *backend, *logN, *seed)
+	if err != nil {
+		fatal("creating engine failed", "backend", *backend, "err", err)
+	}
+
+	// New warms the plan (lowering + ahead-of-time plaintext encoding),
+	// so startup pays the one-time cost, not the first request.
+	t0 := time.Now()
+	srv, err := serve.New(serve.Config{
+		Batch:          bp,
+		Engine:         engine,
+		MaxWait:        *maxWait,
+		QueueSize:      *queueSize,
+		RequestTimeout: *reqTimeout,
+	})
+	if err != nil {
+		fatal("starting batch server failed", "err", err)
+	}
+	slog.Info("plan warmed", "in", time.Since(t0).Round(time.Millisecond))
+
+	mux := http.NewServeMux()
+	mux.Handle("/classify", srv.Handler())
+	mux.Handle("/healthz", srv.Handler())
+	tmux := telemetry.Handler(telemetry.Default())
+	mux.Handle("/metrics", tmux)
+	mux.Handle("/metrics.json", tmux)
+	mux.Handle("/debug/", tmux)
+
+	httpSrv := &http.Server{Addr: *addr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	slog.Info("heserve listening", "url", "http://"+*addr,
+		"batch", bp.Batch, "max_wait", *maxWait, "backend", engine.Name())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
+		fatal("http server failed", "err", err)
+	case <-ctx.Done():
+	}
+
+	// Graceful stop: close the HTTP listener first (in-flight handlers
+	// keep waiting on their batches), then drain the micro-batch queue.
+	slog.Info("shutting down: draining in-flight batches", "budget", *drainWait)
+	dctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := httpSrv.Shutdown(dctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		slog.Warn("http shutdown incomplete", "err", err)
+	}
+	if err := srv.Shutdown(dctx); err != nil {
+		fatal("drain incomplete", "err", err)
+	}
+	slog.Info("drained, exiting")
+}

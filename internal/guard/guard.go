@@ -249,6 +249,26 @@ func (g *GuardedEngine) Err() error {
 	return g.err
 }
 
+// Reset clears a latched failure and returns it (nil when the guard was
+// healthy), so a long-lived guard can be reused for the next independent
+// inference — a serving loop keeps one guard per engine because the
+// prepared-graph cache is keyed by engine identity, and re-wrapping
+// would re-lower and re-encode the whole graph on every failed batch.
+//
+// Reset is only sound at an inference boundary: ciphertext handles from
+// the failed run carry tracked state the failure may have left
+// inconsistent and must be discarded, never fed to post-Reset ops. The
+// noise/scale mirrors live on the handles themselves, so a fresh
+// encrypt-to-decrypt run observes no state from before the Reset.
+func (g *GuardedEngine) Reset() error {
+	g.mu.Lock()
+	err := g.err
+	g.err = nil
+	g.stage = ""
+	g.mu.Unlock()
+	return err
+}
+
 // BeginStage implements henn.StageAware: subsequent failures are labelled
 // with name.
 func (g *GuardedEngine) BeginStage(name string) {

@@ -285,6 +285,51 @@ func TestForeignCiphertext(t *testing.T) {
 	}
 }
 
+// TestReset: a tripped guard latches its error (every further op
+// aborts), Reset returns and clears it, and the same guard then runs a
+// full clean inference — the reuse pattern the serving loop depends on
+// (a fresh guard would invalidate the engine-keyed prepared-graph
+// cache).
+func TestReset(t *testing.T) {
+	plan := tinyPlan(t)
+	e := rnsEngine(t, plan, 91)
+	g := guard.New(rnsEngine(t, plan, 91), guard.DefaultConfig())
+
+	// Trip it with a foreign ciphertext.
+	raw := e.EncryptVec([]float64{1})
+	first := catchGuard(t, func() { g.DecryptVec(raw) })
+	if !errors.Is(first, guard.ErrForeignCiphertext) {
+		t.Fatalf("want ErrForeignCiphertext, got %v", first)
+	}
+	if g.Err() == nil {
+		t.Fatal("tripped guard must latch its error")
+	}
+	// Latched: even a healthy op aborts with the same error.
+	latched := catchGuard(t, func() { g.EncryptVec([]float64{1}) })
+	if !errors.Is(latched, guard.ErrForeignCiphertext) {
+		t.Fatalf("latched guard returned a different error: %v", latched)
+	}
+
+	if err := g.Reset(); !errors.Is(err, guard.ErrForeignCiphertext) {
+		t.Fatalf("Reset should return the cleared error, got %v", err)
+	}
+	if g.Err() != nil {
+		t.Fatalf("Reset must clear the latched error, still %v", g.Err())
+	}
+	if err := g.Reset(); err != nil {
+		t.Fatalf("Reset on a healthy guard must return nil, got %v", err)
+	}
+
+	// The same guard now completes a clean inference end to end.
+	logits, _, err := plan.InferCtx(context.Background(), g, testImage(7, plan.InputDim))
+	if err != nil {
+		t.Fatalf("post-Reset inference failed: %v", err)
+	}
+	if len(logits) != plan.OutputDim {
+		t.Fatalf("post-Reset inference returned %d logits", len(logits))
+	}
+}
+
 // TestCancellation: a cancelled context aborts inference at the next op
 // boundary with the context's error.
 func TestCancellation(t *testing.T) {

@@ -1,0 +1,39 @@
+package henn
+
+import (
+	"math"
+	"testing"
+)
+
+func TestArgmaxNaNSafe(t *testing.T) {
+	nan := math.NaN()
+	cases := []struct {
+		name string
+		l    Logits
+		want int
+	}{
+		{"empty", Logits{}, 0},
+		{"single", Logits{3.2}, 0},
+		{"plain max", Logits{0.1, 2.5, 1.9}, 1},
+		{"all negative", Logits{-5, -1, -3}, 1},
+		{"tie keeps first", Logits{1, 7, 7, 2}, 1},
+		{"nan first", Logits{nan, 0.5, 2.5, 1.0}, 2},
+		{"nan middle", Logits{0.5, nan, 2.5, 1.0}, 2},
+		{"nan last", Logits{0.5, 2.5, nan}, 1},
+		{"several nans", Logits{nan, nan, -1, nan, -2}, 2},
+		{"all nan", Logits{nan, nan, nan}, 0},
+		{"inf beats finite", Logits{1, math.Inf(1), 2}, 1},
+		{"neg inf skippedless", Logits{math.Inf(-1), -3, -4}, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.l.Argmax(); got != tc.want {
+				t.Fatalf("Argmax(%v) = %d, want %d", tc.l, got, tc.want)
+			}
+			// Deterministic: repeated calls agree.
+			if again := tc.l.Argmax(); again != tc.l.Argmax() {
+				t.Fatalf("Argmax(%v) not deterministic: %d vs %d", tc.l, again, tc.l.Argmax())
+			}
+		})
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"cnnhe/internal/henn/exec"
 	"cnnhe/internal/nn"
+	"cnnhe/internal/telemetry"
 )
 
 // Batched inference packs B images into one ciphertext at a fixed block
@@ -127,39 +128,77 @@ func tileAct(s *ActStage, block, batch, slots int) *ActStage {
 // PackBatch lays images out at the block stride.
 func (bp *BatchPlan) PackBatch(images [][]float64) ([]float64, error) {
 	if len(images) > bp.Batch {
-		return nil, fmt.Errorf("henn: %d images exceed batch %d", len(images), bp.Batch)
+		return nil, badInput("%d images exceed batch %d", len(images), bp.Batch)
 	}
 	out := make([]float64, bp.Plan.Slots)
 	for b, img := range images {
 		if len(img) > bp.BlockSize {
-			return nil, fmt.Errorf("henn: image length %d exceeds block %d", len(img), bp.BlockSize)
+			return nil, badInput("image length %d exceeds block %d", len(img), bp.BlockSize)
 		}
 		copy(out[b*bp.BlockSize:], img)
 	}
 	return out, nil
 }
 
-// InferBatch classifies up to Batch images in one encrypted evaluation.
-// The packed ciphertext runs through the plan's lowered op graph with
-// ahead-of-time encoded plaintexts, shared across calls.
-func (bp *BatchPlan) InferBatch(e Engine, images [][]float64) ([]Logits, time.Duration, error) {
+// InferBatchCtx classifies up to Batch images in one encrypted
+// evaluation, with the same contract as Plan.InferCtx: the context is
+// checked before every op, engine panics surface as classified errors,
+// and a per-stage Report is returned non-nil even on failure
+// (FailedStage names the stage that errored). The packed ciphertext runs
+// through the plan's lowered op graph with ahead-of-time encoded
+// plaintexts, shared across calls.
+func (bp *BatchPlan) InferBatchCtx(ctx context.Context, e Engine, images [][]float64) ([]Logits, *Report, error) {
+	rep := &Report{Engine: e.Name()}
+	if len(images) == 0 {
+		rep.FailedStage = "pack"
+		return nil, rep, badInput("no images in batch")
+	}
 	packed, err := bp.PackBatch(images)
 	if err != nil {
-		return nil, 0, err
+		rep.FailedStage = "pack"
+		return nil, rep, err
 	}
 	pr, err := bp.Plan.prepare(e)
 	if err != nil {
-		return nil, 0, err
+		rep.FailedStage = "prepare"
+		return nil, rep, err
 	}
-	res, err := pr.Run(context.Background(), [][]float64{packed}, exec.Options{})
+	defer telInferStart()()
+	res, err := pr.Run(ctx, [][]float64{packed}, exec.Options{})
+	fillReport(rep, res)
 	if err != nil {
-		return nil, 0, err
+		return nil, rep, err
 	}
-	slots := e.DecryptVec(res.Out)
+	// The decrypted vector is sliced per block, so the whole batch shares
+	// one decrypt rather than reusing the single-image epilogue.
+	sr := newStageRunner(ctx, e, rep)
+	var slots []float64
+	t := time.Now()
+	_, err = sr.step("decrypt", func() Ct { slots = e.DecryptVec(res.Out); return nil })
+	rep.Decrypt = time.Since(t)
+	telemetry.RecorderFrom(ctx).RecordPhase("decrypt", t, time.Now())
+	if err != nil {
+		return nil, rep, err
+	}
+	need := (len(images)-1)*bp.BlockSize + bp.Plan.OutputDim
+	if len(slots) < need {
+		return nil, rep, badInput("engine decrypted %d slots, batch needs %d", len(slots), need)
+	}
 	out := make([]Logits, len(images))
 	for b := range images {
 		off := b * bp.BlockSize
 		out[b] = Logits(append([]float64(nil), slots[off:off+bp.Plan.OutputDim]...))
 	}
-	return out, res.Eval, nil
+	return out, rep, nil
+}
+
+// InferBatch classifies up to Batch images in one encrypted evaluation.
+// It is a thin wrapper over InferBatchCtx with a background context,
+// kept for callers that only need logits and the evaluation latency.
+func (bp *BatchPlan) InferBatch(e Engine, images [][]float64) ([]Logits, time.Duration, error) {
+	logits, rep, err := bp.InferBatchCtx(context.Background(), e, images)
+	if err != nil {
+		return nil, 0, err
+	}
+	return logits, rep.Eval, nil
 }

@@ -1,10 +1,128 @@
 package henn
 
 import (
+	"context"
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
 )
+
+// TestBatchParityWithSingleInference: InferBatchCtx over B packed images
+// must match B independent single-image InferCtx runs on the unbatched
+// plan, for B ∈ {1, 2, max}. The tiled plan evaluates blockdiag(M, …, M)
+// rather than M, so logits agree within CKKS approximation error, not
+// bit-for-bit.
+func TestBatchParityWithSingleInference(t *testing.T) {
+	m := tinyModel(41)
+	base, err := Compile(m, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const maxBatch = 4
+	for _, B := range []int{1, 2, maxBatch} {
+		t.Run(string(rune('0'+B)), func(t *testing.T) {
+			bp, err := CompileBatched(m, 512, B)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e := rnsEngineFor(t, bp.Plan, 10, []int{40, 30, 30, 30, 30})
+			rng := rand.New(rand.NewSource(int64(42 + B)))
+			images := make([][]float64, B)
+			for i := range images {
+				images[i] = testImage(rng, 64)
+			}
+			got, rep, err := bp.InferBatchCtx(context.Background(), e, images)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep == nil || rep.Eval <= 0 || len(rep.Stages) == 0 {
+				t.Fatalf("batch report not filled: %+v", rep)
+			}
+			// Reference: one engine per run so PRNG state does not couple
+			// the batched and single paths.
+			ref := rnsEngineFor(t, base, 10, []int{40, 30, 30, 30, 30})
+			for b, img := range images {
+				want, _, err := base.InferCtx(context.Background(), ref, img)
+				if err != nil {
+					t.Fatalf("single inference %d: %v", b, err)
+				}
+				if len(got[b]) != len(want) {
+					t.Fatalf("image %d: %d logits vs %d", b, len(got[b]), len(want))
+				}
+				for i := range want {
+					if math.Abs(got[b][i]-want[i]) > 0.05 {
+						t.Fatalf("B=%d image %d logit %d: batched %g single %g",
+							B, b, i, got[b][i], want[i])
+					}
+				}
+				if got[b].Argmax() != want.Argmax() {
+					t.Fatalf("B=%d image %d prediction mismatch", B, b)
+				}
+			}
+		})
+	}
+}
+
+// TestBatchErrorCases: the batched entry points classify caller mistakes
+// as ErrBadInput before any ciphertext work.
+func TestBatchErrorCases(t *testing.T) {
+	m := tinyModel(43)
+	if _, err := CompileBatched(m, 512, 3); err == nil {
+		t.Fatal("non-divisor batch must be rejected")
+	}
+	bp, err := CompileBatched(m, 512, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := rnsEngineFor(t, bp.Plan, 10, []int{40, 30, 30, 30, 30})
+	rng := rand.New(rand.NewSource(44))
+
+	// Image wider than the block.
+	wide := testImage(rng, bp.BlockSize+1)
+	if _, _, err := bp.InferBatchCtx(context.Background(), e, [][]float64{wide}); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("oversize image: want ErrBadInput, got %v", err)
+	}
+	// Too many images for the batch.
+	over := make([][]float64, bp.Batch+1)
+	for i := range over {
+		over[i] = testImage(rng, 64)
+	}
+	if _, _, err := bp.InferBatchCtx(context.Background(), e, over); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("overfull batch: want ErrBadInput, got %v", err)
+	}
+	// Empty batch.
+	if _, _, err := bp.InferBatchCtx(context.Background(), e, nil); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("empty batch: want ErrBadInput, got %v", err)
+	}
+	// The report names the failing stage even on validation errors.
+	_, rep, _ := bp.InferBatchCtx(context.Background(), e, nil)
+	if rep == nil || rep.FailedStage != "pack" {
+		t.Fatalf("want FailedStage pack, got %+v", rep)
+	}
+}
+
+// TestBatchContextCancellation: a cancelled context aborts the batched
+// evaluation with the context's error and a named failed stage.
+func TestBatchContextCancellation(t *testing.T) {
+	m := tinyModel(45)
+	bp, err := CompileBatched(m, 512, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := rnsEngineFor(t, bp.Plan, 10, []int{40, 30, 30, 30, 30})
+	rng := rand.New(rand.NewSource(46))
+	images := [][]float64{testImage(rng, 64), testImage(rng, 64)}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, rep, err := bp.InferBatchCtx(ctx, e, images)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if rep == nil || rep.FailedStage == "" {
+		t.Fatalf("report should name the failed stage, got %+v", rep)
+	}
+}
 
 func TestCompileBatchedValidation(t *testing.T) {
 	m := tinyModel(31)

@@ -27,13 +27,23 @@ func badInput(format string, args ...interface{}) error {
 // Logits is the decrypted output of an encrypted classification.
 type Logits []float64
 
-// Argmax returns the predicted class.
+// Argmax returns the predicted class: the lowest index holding the
+// maximum logit. NaN entries are skipped — every `x > NaN` comparison is
+// false, so a naive scan seeded at index 0 would report class 0 whenever
+// l[0] is NaN regardless of the remaining logits. When every entry is
+// NaN (or l is empty) it returns 0, deterministically.
 func (l Logits) Argmax() int {
-	best := 0
-	for i := 1; i < len(l); i++ {
-		if l[i] > l[best] {
+	best := -1
+	for i, v := range l {
+		if math.IsNaN(v) {
+			continue
+		}
+		if best < 0 || v > l[best] {
 			best = i
 		}
+	}
+	if best < 0 {
+		return 0
 	}
 	return best
 }

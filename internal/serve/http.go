@@ -1,0 +1,146 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+
+	"cnnhe/internal/henn"
+)
+
+// maxBodyBytes bounds a classification request body. The largest
+// legitimate payload is one image of InputDim float64s as JSON; 1 MiB
+// leaves generous headroom for MNIST-scale inputs.
+const maxBodyBytes = 1 << 20
+
+// ClassifyRequest is the POST /classify body.
+type ClassifyRequest struct {
+	// Image is the raw pixel vector (values in [0, 255], length must
+	// equal the plan's input dimension).
+	Image []float64 `json:"image"`
+}
+
+// ClassifyResponse is the success body.
+type ClassifyResponse struct {
+	// Class is the argmax of the decrypted logits.
+	Class int `json:"class"`
+	// Logits are the decrypted outputs, one per class.
+	Logits []float64 `json:"logits"`
+	// BatchSize is how many requests shared this encrypted evaluation.
+	BatchSize int `json:"batch_size"`
+	// EvalMillis is the server-side homomorphic evaluation time of the
+	// whole batch (the paper's classification latency), amortized across
+	// BatchSize requests.
+	EvalMillis float64 `json:"eval_ms"`
+}
+
+// errorBody is the JSON error payload.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the service mux:
+//
+//	POST /classify  one image in, logits out (micro-batched internally)
+//	GET  /healthz   liveness: 200 while accepting, 503 once draining
+//
+// Mount the telemetry mux alongside for /metrics and /debug (cmd/heserve
+// does).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/classify", s.handleClassify)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "POST only"})
+		return
+	}
+	var req ClassifyRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("decoding body: %v", err)})
+		return
+	}
+	if len(req.Image) != s.InputDim() {
+		writeJSON(w, http.StatusBadRequest, errorBody{
+			Error: fmt.Sprintf("image length %d, want %d", len(req.Image), s.InputDim())})
+		return
+	}
+	for i, v := range req.Image {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			writeJSON(w, http.StatusBadRequest, errorBody{
+				Error: fmt.Sprintf("non-finite pixel at index %d", i)})
+			return
+		}
+	}
+	ctx := r.Context()
+	if s.cfg.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+		defer cancel()
+	}
+	logits, info, err := s.Submit(ctx, req.Image)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ClassifyResponse{
+		Class:      logits.Argmax(),
+		Logits:     logits,
+		BatchSize:  info.Size,
+		EvalMillis: float64(info.Eval) / float64(time.Millisecond),
+	})
+}
+
+// writeError maps a submission failure to its HTTP status.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.cfg.RetryAfter)))
+		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error()})
+	case errors.Is(err, ErrShuttingDown):
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+	case errors.Is(err, henn.ErrBadInput):
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		writeJSON(w, http.StatusGatewayTimeout, errorBody{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+	}
+}
+
+// retryAfterSeconds renders a backoff hint as whole seconds, minimum 1
+// (Retry-After is integral).
+func retryAfterSeconds(d time.Duration) int {
+	secs := int(d / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+}

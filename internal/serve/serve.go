@@ -1,0 +1,319 @@
+// Package serve turns concurrent single-image classification requests
+// into packed batched encrypted evaluations.
+//
+// The paper's SIMD packing (Table I) amortizes one homomorphic
+// evaluation over B images, but only if B images are actually packed
+// together. An online service receives requests one at a time, so the
+// server aggregates them: requests enter a bounded queue, a batcher
+// drains the queue into micro-batches, and each batch runs through the
+// shared prepared op graph (BatchPlan.InferBatchCtx) as a single
+// ciphertext evaluation. A batch is flushed as soon as it is full
+// (BatchPlan.Batch images) or the oldest member has waited Config.MaxWait
+// — latency is bounded by MaxWait plus one batch evaluation, while
+// throughput approaches B images per evaluation under load.
+//
+// Overload is handled by backpressure, not buffering: when the queue is
+// full, Submit fails immediately (the HTTP layer maps this to
+// 429 + Retry-After) instead of letting latency grow without bound.
+// Shutdown stops intake, drains every queued request through final
+// batches, and returns when the last response has been delivered.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"cnnhe/internal/henn"
+)
+
+// Submission failure classes, matched with errors.Is.
+var (
+	// ErrQueueFull: the bounded request queue is at capacity — the caller
+	// should back off and retry.
+	ErrQueueFull = errors.New("serve: request queue full")
+	// ErrShuttingDown: the server no longer accepts requests.
+	ErrShuttingDown = errors.New("serve: shutting down")
+)
+
+// Config assembles a Server.
+type Config struct {
+	// Batch is the compiled batched plan; its Batch field is the
+	// micro-batch capacity.
+	Batch *henn.BatchPlan
+	// Engine evaluates batches. Wrap it with guard.New for classified
+	// failures; a guard's latched error is cleared between batches via
+	// its Reset method, so one failed batch does not poison the next.
+	Engine henn.Engine
+	// MaxWait bounds how long the oldest queued request waits for the
+	// batch to fill before a partial batch is flushed. Default 10ms.
+	MaxWait time.Duration
+	// QueueSize bounds the request queue; a full queue rejects with
+	// ErrQueueFull. Default 4× the batch capacity.
+	QueueSize int
+	// RequestTimeout caps each request's end-to-end time (queue wait +
+	// evaluation) via its context. 0 disables the per-request deadline
+	// (the client's own context still applies).
+	RequestTimeout time.Duration
+	// RetryAfter is the backoff hint returned with queue-full
+	// rejections. Default 1s.
+	RetryAfter time.Duration
+}
+
+// result is the fan-out payload delivered to one waiting request.
+type result struct {
+	logits    henn.Logits
+	batchSize int
+	eval      time.Duration
+	err       error
+}
+
+// request is one queued classification.
+type request struct {
+	image []float64
+	ctx   context.Context
+	resp  chan result // buffered(1): the batcher never blocks on delivery
+	enq   time.Time
+}
+
+// resetter is implemented by guard.GuardedEngine: a tripped guard
+// latches its first error, and the latch must be cleared at the batch
+// boundary before the engine is reused.
+type resetter interface{ Reset() error }
+
+// Server is the micro-batching inference engine front end. Create with
+// New, submit via Submit (or the HTTP Handler), stop with Shutdown.
+type Server struct {
+	cfg   Config
+	queue chan *request
+	done  chan struct{} // closed when the batcher has drained and exited
+	tel   *telSet
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// New validates cfg, applies defaults, pre-lowers the plan for the
+// engine (so the first request does not pay graph encoding inside its
+// deadline), and starts the batcher.
+func New(cfg Config) (*Server, error) {
+	s, err := newServer(cfg)
+	if err != nil {
+		return nil, err
+	}
+	go s.run()
+	return s, nil
+}
+
+// newServer builds the Server without starting the batcher (tests use
+// this to exercise queue behaviour deterministically).
+func newServer(cfg Config) (*Server, error) {
+	if cfg.Batch == nil || cfg.Batch.Plan == nil {
+		return nil, fmt.Errorf("serve: nil batch plan")
+	}
+	if cfg.Engine == nil {
+		return nil, fmt.Errorf("serve: nil engine")
+	}
+	if cfg.MaxWait <= 0 {
+		cfg.MaxWait = 10 * time.Millisecond
+	}
+	if cfg.QueueSize <= 0 {
+		cfg.QueueSize = 4 * cfg.Batch.Batch
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	if err := cfg.Batch.Plan.Warm(cfg.Engine); err != nil {
+		return nil, fmt.Errorf("serve: warming plan: %w", err)
+	}
+	return &Server{
+		cfg:   cfg,
+		queue: make(chan *request, cfg.QueueSize),
+		done:  make(chan struct{}),
+		tel:   serveTel(),
+	}, nil
+}
+
+// BatchCapacity returns the micro-batch size limit.
+func (s *Server) BatchCapacity() int { return s.cfg.Batch.Batch }
+
+// InputDim returns the expected image length.
+func (s *Server) InputDim() int { return s.cfg.Batch.Plan.InputDim }
+
+// BatchInfo describes the micro-batch that served a request.
+type BatchInfo struct {
+	// Size is how many requests shared the encrypted evaluation.
+	Size int
+	// Eval is the server-side homomorphic evaluation time of the whole
+	// batch, amortized across Size requests.
+	Eval time.Duration
+}
+
+// Submit enqueues one image for classification and blocks until its
+// batch has been evaluated, ctx is done, or the queue rejects it. The
+// image must have length InputDim; ctx governs the request end to end
+// (queue wait and evaluation both count against it).
+func (s *Server) Submit(ctx context.Context, image []float64) (henn.Logits, BatchInfo, error) {
+	r, err := s.enqueue(ctx, image)
+	if err != nil {
+		return nil, BatchInfo{}, err
+	}
+	select {
+	case res := <-r.resp:
+		return res.logits, BatchInfo{Size: res.batchSize, Eval: res.eval}, res.err
+	case <-ctx.Done():
+		// The batcher may still evaluate the request; resp is buffered,
+		// so the late result is dropped without blocking anyone.
+		s.tel.request("timeout", time.Since(r.enq))
+		return nil, BatchInfo{}, fmt.Errorf("serve: request abandoned: %w", ctx.Err())
+	}
+}
+
+// enqueue validates and queues a request without waiting for a result.
+func (s *Server) enqueue(ctx context.Context, image []float64) (*request, error) {
+	if len(image) != s.InputDim() {
+		return nil, fmt.Errorf("%w: image length %d, plan input dim %d",
+			henn.ErrBadInput, len(image), s.InputDim())
+	}
+	r := &request{image: image, ctx: ctx, resp: make(chan result, 1), enq: time.Now()}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		s.tel.request("shutdown", 0)
+		return nil, ErrShuttingDown
+	}
+	select {
+	case s.queue <- r:
+		s.tel.enqueued()
+		return r, nil
+	default:
+		s.tel.request("rejected", 0)
+		return nil, ErrQueueFull
+	}
+}
+
+// run is the batcher: it blocks for the first request, then fills the
+// batch from the queue until it is full, MaxWait elapses, or intake is
+// closed, and evaluates. On a closed queue it keeps forming batches from
+// the buffered remainder — that is the drain — and exits when empty.
+func (s *Server) run() {
+	defer close(s.done)
+	for {
+		r, ok := <-s.queue
+		if !ok {
+			return
+		}
+		s.tel.dequeued()
+		batch := append(make([]*request, 0, s.cfg.Batch.Batch), r)
+		timer := time.NewTimer(s.cfg.MaxWait)
+	fill:
+		for len(batch) < s.cfg.Batch.Batch {
+			select {
+			case r2, ok := <-s.queue:
+				if !ok {
+					break fill
+				}
+				s.tel.dequeued()
+				batch = append(batch, r2)
+			case <-timer.C:
+				break fill
+			}
+		}
+		timer.Stop()
+		s.evalBatch(batch)
+	}
+}
+
+// evalBatch packs the live members of batch into one encrypted
+// evaluation and fans the per-block logits back out.
+func (s *Server) evalBatch(batch []*request) {
+	// Prune members whose context expired while queued: evaluating them
+	// would waste a block, and their callers have already gone.
+	live := batch[:0]
+	for _, r := range batch {
+		if err := r.ctx.Err(); err != nil {
+			r.resp <- result{err: fmt.Errorf("serve: expired in queue: %w", err)}
+			s.tel.request("expired", time.Since(r.enq))
+			continue
+		}
+		live = append(live, r)
+	}
+	if len(live) == 0 {
+		return
+	}
+	images := make([][]float64, len(live))
+	for i, r := range live {
+		images[i] = r.image
+		s.tel.queueWait(time.Since(r.enq))
+	}
+	// The batch deadline is the latest member deadline: one short-fused
+	// member must not kill the whole batch early (it simply times out on
+	// its own context at fan-out), but the batch stops once nobody is
+	// left to care.
+	bctx, cancel := batchContext(live)
+	defer cancel()
+
+	t0 := time.Now()
+	logits, rep, err := s.cfg.Batch.InferBatchCtx(bctx, s.cfg.Engine, images)
+	s.tel.batchDone(len(live), s.cfg.Batch.Batch, time.Since(t0), err == nil)
+	if err != nil {
+		// A guarded engine latches its first failure; clear it so the
+		// next batch starts clean (no ciphertexts cross the boundary —
+		// every batch re-encrypts from raw pixels).
+		if g, ok := s.cfg.Engine.(resetter); ok {
+			_ = g.Reset()
+		}
+		for _, r := range live {
+			// Members whose own deadline passed report their context
+			// error; the rest carry the batch failure.
+			if cerr := r.ctx.Err(); cerr != nil {
+				r.resp <- result{err: fmt.Errorf("serve: %w", cerr)}
+				s.tel.request("timeout", time.Since(r.enq))
+				continue
+			}
+			r.resp <- result{err: err, batchSize: len(live)}
+			s.tel.request("error", time.Since(r.enq))
+		}
+		return
+	}
+	for i, r := range live {
+		r.resp <- result{logits: logits[i], batchSize: len(live), eval: rep.Eval}
+		s.tel.request("ok", time.Since(r.enq))
+	}
+}
+
+// batchContext derives the evaluation context for a batch: the latest
+// member deadline when every member has one, otherwise no deadline.
+func batchContext(live []*request) (context.Context, context.CancelFunc) {
+	var latest time.Time
+	for _, r := range live {
+		d, ok := r.ctx.Deadline()
+		if !ok {
+			return context.Background(), func() {}
+		}
+		if d.After(latest) {
+			latest = d
+		}
+	}
+	return context.WithDeadline(context.Background(), latest)
+}
+
+// Shutdown stops intake, drains queued requests through final batches,
+// and waits (bounded by ctx) for the batcher to deliver every response.
+// Safe to call more than once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	select {
+	case <-s.done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: drain incomplete: %w", ctx.Err())
+	}
+}

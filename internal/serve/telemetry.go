@@ -1,0 +1,109 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"cnnhe/internal/telemetry"
+)
+
+// telSet bundles the serving instruments, registered once on the first
+// server that finds telemetry enabled. All methods are nil-safe: with
+// telemetry off, serveTel returns nil and every publish is a no-op.
+type telSet struct {
+	queueDepth *telemetry.Gauge
+	fillRatio  *telemetry.Gauge
+	batches    *telemetry.Counter
+	images     *telemetry.Counter
+	reqLat     *telemetry.Histogram
+	batchLat   *telemetry.Histogram
+	queueLat   *telemetry.Histogram
+	outcomes   map[string]*telemetry.Counter
+}
+
+var (
+	serveTelOnce sync.Once
+	serveTelVal  *telSet
+)
+
+// Request outcomes, one counter series each (pre-resolved so the hot
+// path never takes the registry lock).
+var outcomeNames = []string{"ok", "error", "rejected", "shutdown", "expired", "timeout"}
+
+func serveTel() *telSet {
+	if !telemetry.Enabled() {
+		return nil
+	}
+	serveTelOnce.Do(func() {
+		r := telemetry.Default()
+		t := &telSet{
+			queueDepth: r.Gauge("cnnhe_serve_queue_depth",
+				"classification requests waiting in the micro-batch queue"),
+			fillRatio: r.Gauge("cnnhe_serve_batch_fill_ratio",
+				"images ÷ batch capacity of the most recently flushed batch"),
+			batches: r.Counter("cnnhe_serve_batches_total",
+				"micro-batches evaluated"),
+			images: r.Counter("cnnhe_serve_batch_images_total",
+				"images evaluated inside micro-batches"),
+			reqLat: r.Histogram("cnnhe_serve_request_seconds",
+				"per-request latency, enqueue to response", nil),
+			batchLat: r.Histogram("cnnhe_serve_batch_seconds",
+				"per-batch evaluation wall time", nil),
+			queueLat: r.Histogram("cnnhe_serve_queue_wait_seconds",
+				"time requests spend queued before their batch starts", nil),
+			outcomes: map[string]*telemetry.Counter{},
+		}
+		for _, o := range outcomeNames {
+			t.outcomes[o] = r.Counter("cnnhe_serve_requests_total",
+				"classification requests by outcome", telemetry.L("outcome", o))
+		}
+		serveTelVal = t
+	})
+	return serveTelVal
+}
+
+func (t *telSet) enqueued() {
+	if t == nil {
+		return
+	}
+	t.queueDepth.Add(1)
+}
+
+func (t *telSet) dequeued() {
+	if t == nil {
+		return
+	}
+	t.queueDepth.Add(-1)
+}
+
+// request records one finished request. d ≤ 0 (rejections that never
+// entered the queue) skips the latency histogram.
+func (t *telSet) request(outcome string, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.outcomes[outcome].Inc()
+	if d > 0 {
+		t.reqLat.ObserveDuration(d)
+	}
+}
+
+func (t *telSet) queueWait(d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.queueLat.ObserveDuration(d)
+}
+
+// batchDone records one evaluated micro-batch.
+func (t *telSet) batchDone(n, capacity int, d time.Duration, ok bool) {
+	if t == nil {
+		return
+	}
+	t.batches.Inc()
+	t.images.Add(int64(n))
+	t.fillRatio.Set(float64(n) / float64(capacity))
+	if ok {
+		t.batchLat.ObserveDuration(d)
+	}
+}
