@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet staticcheck build test race race-serve parity bench telemetry-overhead
+.PHONY: check vet staticcheck build test race race-serve parity bench telemetry-overhead fuzz-smoke e2e-encrypted
 
 ## check: the full CI gate — vet, staticcheck, build, tests, the race
 ## detector, and the executor-vs-interpreter parity suite.
@@ -46,3 +46,16 @@ bench:
 ## the pre-telemetry executor (one nil check per op).
 telemetry-overhead:
 	$(GO) test -run xxx -bench BenchmarkRunEncrypted -benchtime 2s ./internal/henn/exec/
+
+## fuzz-smoke: short native-fuzzing passes over the wire-format readers
+## (ciphertext and key-bundle frames); they must reject corrupt input
+## with typed errors, never panic.
+fuzz-smoke:
+	$(GO) test -run xxx -fuzz FuzzReadCiphertext -fuzztime 10s ./internal/ckks/
+	$(GO) test -run xxx -fuzz FuzzReadKeyBundle -fuzztime 10s ./internal/ckks/
+
+## e2e-encrypted: the client-held-key protocol end to end — heserve on
+## CNN1, hectl keygen/register/classify, encrypted vs plaintext route
+## agreement.
+e2e-encrypted:
+	bash scripts/e2e_encrypted.sh

@@ -1,0 +1,228 @@
+// Command hectl is the key-holder's side of the encrypted inference
+// protocol: the secret key is generated locally and never leaves this
+// process's key directory. Only the evaluation-key bundle (public,
+// relinearization and rotation keys) is uploaded; images travel as
+// ciphertexts and come back as encrypted logits the server cannot read.
+//
+// Subcommands:
+//
+//	hectl info     -server URL
+//	               print the server's plan + CKKS parameter manifest
+//	hectl keygen   -server URL -keys DIR [-seed N]
+//	               generate a key set matched to the server's manifest
+//	               and save it under DIR (secret key mode 0600)
+//	hectl register -server URL -keys DIR
+//	               upload the evaluation-key bundle; prints fingerprint
+//	hectl classify -server URL -keys DIR [-image N] [-compare-plain]
+//	               encrypt MNIST test image N, classify it over the
+//	               encrypted route, decrypt the logits locally
+//
+// keygen draws from crypto/rand by default; -seed forces deterministic
+// keys for reproducible benchmarks and parity tests only.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"cnnhe/internal/client"
+	"cnnhe/internal/mnist"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: hectl {info|keygen|register|classify} [flags]")
+	fmt.Fprintln(os.Stderr, "run 'hectl <subcommand> -h' for flags")
+	os.Exit(2)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "info":
+		err = runInfo(args)
+	case "keygen":
+		err = runKeygen(args)
+	case "register":
+		err = runRegister(args)
+	case "classify":
+		err = runClassify(args)
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hectl:", err)
+		os.Exit(1)
+	}
+}
+
+// commonFlags returns a FlagSet pre-populated with the flags every
+// subcommand shares.
+func commonFlags(name string) (*flag.FlagSet, *string, *string) {
+	fs := flag.NewFlagSet("hectl "+name, flag.ExitOnError)
+	server := fs.String("server", "http://localhost:8000", "heserve base URL")
+	keysDir := fs.String("keys", "hectl-keys", "key directory (holds the secret key; keep it private)")
+	return fs, server, keysDir
+}
+
+func runInfo(args []string) error {
+	fs, server, _ := commonFlags("info")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	info, err := client.New(*server).Info(context.Background())
+	if err != nil {
+		return err
+	}
+	out, err := json.MarshalIndent(info, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(out))
+	return nil
+}
+
+func runKeygen(args []string) error {
+	fs, server, keysDir := commonFlags("keygen")
+	seed := fs.Int64("seed", 0, "deterministic key seed (0 = crypto/rand; benchmarks only)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	info, err := client.New(*server).Info(context.Background())
+	if err != nil {
+		return err
+	}
+	if !info.EncryptedRoute {
+		return fmt.Errorf("server %s does not mount the encrypted route (big backend?)", *server)
+	}
+	var opts []client.GenOption
+	if *seed != 0 {
+		fmt.Fprintln(os.Stderr, "warning: -seed makes keys deterministic; benchmarks only")
+		opts = append(opts, client.WithSeed(*seed))
+	}
+	t0 := time.Now()
+	ks, err := client.GenerateKeys(info, opts...)
+	if err != nil {
+		return err
+	}
+	if err := ks.Save(*keysDir); err != nil {
+		return err
+	}
+	fp, err := ks.Fingerprint()
+	if err != nil {
+		return err
+	}
+	bundle, _ := ks.Bundle()
+	fmt.Printf("generated keys for %s (%s) in %s\n", info.Model, info.Backend,
+		time.Since(t0).Round(time.Millisecond))
+	fmt.Printf("  rotations:   %d\n", len(info.Rotations))
+	fmt.Printf("  bundle:      %.1f MiB\n", float64(len(bundle))/(1<<20))
+	fmt.Printf("  fingerprint: %s\n", fp)
+	fmt.Printf("  saved under: %s\n", *keysDir)
+	return nil
+}
+
+func runRegister(args []string) error {
+	fs, server, keysDir := commonFlags("register")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ks, err := client.LoadKeySet(*keysDir)
+	if err != nil {
+		return err
+	}
+	fp, err := client.New(*server).Register(context.Background(), ks)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("registered key bundle %s\n", fp)
+	return nil
+}
+
+func runClassify(args []string) error {
+	fs, server, keysDir := commonFlags("classify")
+	imageIdx := fs.Int("image", 0, "MNIST test-set image index")
+	encSeed := fs.Int64("enc-seed", 0, "deterministic encryption seed (0 = crypto/rand; parity tests only)")
+	comparePlain := fs.Bool("compare-plain", false, "also classify via the plaintext /classify route and compare")
+	dataSeed := fs.Int64("data-seed", 1, "synthetic-data seed when no MNIST files are present")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ks, err := client.LoadKeySet(*keysDir)
+	if err != nil {
+		return err
+	}
+	cl := client.New(*server)
+	info, err := cl.Info(context.Background())
+	if err != nil {
+		return err
+	}
+	_, test, src := mnist.Load(16, *imageIdx+1, *dataSeed)
+	img := test.Image(*imageIdx)
+	label := test.Labels[*imageIdx]
+	if len(img) != info.InputDim {
+		return fmt.Errorf("image length %d, server expects %d", len(img), info.InputDim)
+	}
+
+	var opts []client.ClassifyOption
+	if *encSeed != 0 {
+		opts = append(opts, client.WithEncryptionSeed(*encSeed))
+	}
+	t0 := time.Now()
+	res, err := cl.ClassifyEncrypted(context.Background(), ks, img, info.OutputDim, opts...)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("data: %s   image: %d   label: %d\n", src, *imageIdx, label)
+	fmt.Printf("encrypted route: class %d in %s (server eval %.0f ms)\n",
+		res.Class, time.Since(t0).Round(time.Millisecond), res.EvalMillis)
+	fmt.Printf("  logits: %.4f\n", res.Logits)
+
+	if *comparePlain {
+		plainClass, plainLogits, err := classifyPlain(*server, img)
+		if err != nil {
+			return fmt.Errorf("plaintext route: %w", err)
+		}
+		fmt.Printf("plaintext route: class %d\n", plainClass)
+		fmt.Printf("  logits: %.4f\n", plainLogits)
+		if plainClass != res.Class {
+			return fmt.Errorf("routes disagree: encrypted %d, plaintext %d", res.Class, plainClass)
+		}
+		fmt.Println("routes agree")
+	}
+	return nil
+}
+
+// classifyPlain hits the micro-batching plaintext route with the same
+// image, for a side-by-side check.
+func classifyPlain(server string, img []float64) (int, []float64, error) {
+	body, err := json.Marshal(map[string]any{"image": img})
+	if err != nil {
+		return 0, nil, err
+	}
+	resp, err := http.Post(server+"/classify", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, nil, fmt.Errorf("status %s", resp.Status)
+	}
+	var out struct {
+		Class  int       `json:"class"`
+		Logits []float64 `json:"logits"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return 0, nil, err
+	}
+	return out.Class, out.Logits, nil
+}

@@ -10,6 +10,12 @@
 //	POST /classify       {"image": [pixels in [0,255], length 784]}
 //	                     → {"class", "logits", "batch_size", "eval_ms"}
 //	GET  /healthz        liveness (503 once draining)
+//	GET  /v1/info        plan + CKKS parameter manifest (rns backend)
+//	POST /v1/keys        register a client evaluation-key bundle
+//	POST /v1/classify/encrypted
+//	                     ciphertext in, encrypted logits out — evaluated
+//	                     under the client's keys; the server holds no
+//	                     secret key on this path (see hectl)
 //	GET  /metrics        Prometheus text (queue depth, batch fill ratio,
 //	                     request/batch latency histograms, …)
 //	GET  /metrics.json   the same snapshot as JSON
@@ -22,8 +28,9 @@
 // Usage:
 //
 //	heserve -model models/cnn1.gob -addr localhost:8000 [-batch 4]
-//	        [-logn 12] [-backend rns|big] [-max-wait 10ms] [-queue 16]
-//	        [-request-timeout 2m] [-log-level info]
+//	        [-logn 12] [-levels 0] [-backend rns|big] [-max-wait 10ms]
+//	        [-queue 16] [-request-timeout 2m] [-max-clients 16]
+//	        [-key-ttl 0] [-log-level info]
 package main
 
 import (
@@ -63,11 +70,17 @@ func parseLevel(s string) slog.Level {
 
 // buildEngine mirrors heinfer's parameter construction: a modulus chain
 // sized to the plan's depth at the requested ring degree, wrapped in the
-// guard so failures classify instead of decrypting to garbage.
-func buildEngine(plan *henn.Plan, backend string, logN int, seed int64) (henn.Engine, error) {
+// guard so failures classify instead of decrypting to garbage. levels
+// pins the chain's usable depth (0 = automatic: max(plan depth, 12)).
+// For the rns backend the inner engine's CKKS context is also returned,
+// so the encrypted key-holder routes can share the exact instantiation.
+func buildEngine(plan *henn.Plan, backend string, logN, levels int, seed int64) (henn.Engine, *ckks.Context, error) {
 	k := plan.Depth + 1
 	if k < 13 {
 		k = 13
+	}
+	if levels > 0 {
+		k = levels + 1
 	}
 	bits := []int{40}
 	for i := 0; i < k-2; i++ {
@@ -76,33 +89,34 @@ func buildEngine(plan *henn.Plan, backend string, logN int, seed int64) (henn.En
 	bits = append(bits, 40)
 	params, err := ckks.NewParameters(logN, bits, 60, 1, math.Exp2(26))
 	if err != nil {
-		return nil, fmt.Errorf("building CKKS parameters: %w", err)
+		return nil, nil, fmt.Errorf("building CKKS parameters: %w", err)
 	}
 	if err := plan.CheckDepth(params.MaxLevel()); err != nil {
-		return nil, fmt.Errorf("plan deeper than the modulus chain: %w", err)
+		return nil, nil, fmt.Errorf("plan deeper than the modulus chain: %w", err)
 	}
 	var inner henn.Engine
+	var rnsCtx *ckks.Context
 	switch backend {
 	case "rns":
 		e, err := henn.NewRNSEngine(params, plan.Rotations(), seed+7)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		inner = e
+		inner, rnsCtx = e, e.Ctx
 	case "big":
 		bp, err := ckksbig.FromRNSParameters(params)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		e, err := henn.NewBigEngine(bp, plan.Rotations(), seed+7)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		inner = e
 	default:
-		return nil, fmt.Errorf("unknown backend %q", backend)
+		return nil, nil, fmt.Errorf("unknown backend %q", backend)
 	}
-	return guard.New(inner, guard.DefaultConfig()), nil
+	return guard.New(inner, guard.DefaultConfig()), rnsCtx, nil
 }
 
 func main() {
@@ -111,6 +125,7 @@ func main() {
 		addr       = flag.String("addr", "localhost:8000", "HTTP listen address")
 		batch      = flag.Int("batch", 4, "images packed per ciphertext (must divide the slot count)")
 		logN       = flag.Int("logn", 12, "ring degree exponent (14 = paper scale)")
+		levels     = flag.Int("levels", 0, "usable modulus-chain depth (0 = auto from plan depth)")
 		backend    = flag.String("backend", "rns", "rns (CKKS-RNS) or big (multiprecision CKKS)")
 		seed       = flag.Int64("seed", 1, "random seed")
 		maxWait    = flag.Duration("max-wait", 10*time.Millisecond, "max time the oldest request waits for its batch to fill")
@@ -118,6 +133,8 @@ func main() {
 		reqTimeout = flag.Duration("request-timeout", 2*time.Minute, "per-request deadline, queue wait included (0 = none)")
 		drainWait  = flag.Duration("drain-timeout", time.Minute, "shutdown budget for draining queued requests")
 		logLevel   = flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
+		maxClients = flag.Int("max-clients", 0, "registered key bundles kept (0 = default, LRU beyond)")
+		keyTTL     = flag.Duration("key-ttl", 0, "idle expiry for registered key bundles (0 = none)")
 	)
 	flag.Parse()
 
@@ -144,7 +161,7 @@ func main() {
 	slog.Info("compiled batched plan", "model", arch, "slots", slots,
 		"batch", bp.Batch, "block", bp.BlockSize, "depth", bp.Plan.Depth)
 
-	engine, err := buildEngine(bp.Plan, *backend, *logN, *seed)
+	engine, rnsCtx, err := buildEngine(bp.Plan, *backend, *logN, *levels, *seed)
 	if err != nil {
 		fatal("creating engine failed", "backend", *backend, "err", err)
 	}
@@ -167,6 +184,34 @@ func main() {
 	mux := http.NewServeMux()
 	mux.Handle("/classify", srv.Handler())
 	mux.Handle("/healthz", srv.Handler())
+
+	// The client-held-key protocol: /v1/info, /v1/keys and
+	// /v1/classify/encrypted. rns backend only — the encrypted route
+	// evaluates on an eval-only RNS engine built from each client's
+	// registered bundle, so the server never holds a key that could
+	// decrypt what it computes on.
+	if rnsCtx != nil {
+		base, err := henn.Compile(model, slots)
+		if err != nil {
+			fatal("compiling single-image plan failed", "model", *modelPath, "err", err)
+		}
+		keyed, err := serve.NewKeyed(serve.KeyedConfig{
+			Ctx:            rnsCtx,
+			Plan:           base,
+			Model:          arch,
+			Backend:        engine.Name(),
+			MaxClients:     *maxClients,
+			KeyTTL:         *keyTTL,
+			RequestTimeout: *reqTimeout,
+		})
+		if err != nil {
+			fatal("starting keyed routes failed", "err", err)
+		}
+		keyed.Routes(mux)
+		slog.Info("encrypted key-holder routes mounted",
+			"rotations", len(base.Rotations()), "max_clients", *maxClients)
+	}
+
 	tmux := telemetry.Handler(telemetry.Default())
 	mux.Handle("/metrics", tmux)
 	mux.Handle("/metrics.json", tmux)

@@ -159,7 +159,14 @@ func (kg *KeyGenerator) genRotationKey(sk *SecretKey, galEl uint64) *SwitchingKe
 }
 
 // Merge adds all keys from other into set (later keys win on collision).
+// A nil receiver or nil other is a no-op.
 func (set *RotationKeySet) Merge(other *RotationKeySet) {
+	if set == nil || other == nil {
+		return
+	}
+	if set.Keys == nil {
+		set.Keys = make(map[uint64]*SwitchingKey, len(other.Keys))
+	}
 	for g, k := range other.Keys {
 		set.Keys[g] = k
 	}

@@ -1,0 +1,49 @@
+package ckks
+
+import (
+	cryptorand "crypto/rand"
+	"encoding/binary"
+	"math/rand"
+)
+
+// cryptoSource adapts crypto/rand to math/rand's Source64 so the
+// existing ring samplers — which draw from a *rand.Rand — can be backed
+// by the operating system's CSPRNG. Reads are buffered one word at a
+// time; a read failure panics, because silently degrading key material
+// randomness is never acceptable.
+type cryptoSource struct{}
+
+func (cryptoSource) Uint64() uint64 {
+	var b [8]byte
+	if _, err := cryptorand.Read(b[:]); err != nil {
+		panic("ckks: crypto/rand read failed: " + err.Error())
+	}
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+func (s cryptoSource) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+// Seed implements rand.Source; a CSPRNG has no seed to set.
+func (cryptoSource) Seed(int64) {}
+
+// NewSecureRand returns a *rand.Rand drawing from crypto/rand. Unlike
+// the seeded generators it is not reproducible; use it for real key
+// material and encryption randomness (client-held keys), and keep the
+// seeded paths for benchmarks and parity tests.
+func NewSecureRand() *rand.Rand {
+	return rand.New(cryptoSource{})
+}
+
+// NewSecureKeyGenerator returns a key generator over ctx whose samples
+// come from crypto/rand — the client-side generator for keys that must
+// actually be secret. NewKeyGenerator (seeded, reproducible) remains for
+// benchmarks and tests only.
+func NewSecureKeyGenerator(ctx *Context) *KeyGenerator {
+	return &KeyGenerator{ctx: ctx, rng: NewSecureRand()}
+}
+
+// NewSecureEncryptor returns a public-key encryptor whose encryption
+// randomness comes from crypto/rand.
+func NewSecureEncryptor(ctx *Context, pk *PublicKey) *Encryptor {
+	return &Encryptor{ctx: ctx, pk: pk, rng: NewSecureRand()}
+}

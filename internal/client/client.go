@@ -1,0 +1,190 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Client talks to a heserve instance.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://localhost:8000".
+	BaseURL string
+	// HTTP is the underlying client (http.DefaultClient when nil).
+	HTTP *http.Client
+}
+
+// New returns a client for the server at baseURL.
+func New(baseURL string) *Client {
+	return &Client{BaseURL: baseURL, HTTP: &http.Client{Timeout: 5 * time.Minute}}
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// apiError decodes the server's JSON error body into a readable error.
+func apiError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	var eb struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &eb) == nil && eb.Error != "" {
+		return fmt.Errorf("client: server returned %s: %s", resp.Status, eb.Error)
+	}
+	return fmt.Errorf("client: server returned %s", resp.Status)
+}
+
+// Info fetches the server's plan/parameter manifest.
+func (c *Client) Info(ctx context.Context) (*InfoResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+PathInfo, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp)
+	}
+	var info InfoResponse
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		return nil, fmt.Errorf("client: decoding info: %w", err)
+	}
+	return &info, nil
+}
+
+// Register uploads the key set's evaluation bundle and returns the
+// fingerprint the server stored it under, verifying it matches the
+// locally computed content address.
+func (c *Client) Register(ctx context.Context, ks *KeySet) (string, error) {
+	bundle, err := ks.Bundle()
+	if err != nil {
+		return "", err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+PathKeys, bytes.NewReader(bundle))
+	if err != nil {
+		return "", err
+	}
+	req.Header.Set("Content-Type", ContentTypeCKKS)
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusCreated {
+		return "", apiError(resp)
+	}
+	var rr RegisterResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+		return "", fmt.Errorf("client: decoding register response: %w", err)
+	}
+	local, err := ks.Fingerprint()
+	if err != nil {
+		return "", err
+	}
+	if rr.Fingerprint != local {
+		return "", fmt.Errorf("client: server fingerprint %s != local %s", rr.Fingerprint, local)
+	}
+	return rr.Fingerprint, nil
+}
+
+// ClassifyResult is one encrypted classification round trip, decrypted.
+type ClassifyResult struct {
+	// Logits are the decrypted outputs, one per class.
+	Logits []float64
+	// Class is the argmax.
+	Class int
+	// EvalMillis is the server-reported homomorphic evaluation time.
+	EvalMillis float64
+}
+
+// classifyConfig tunes ClassifyEncrypted.
+type classifyConfig struct {
+	encSeed *int64
+}
+
+// ClassifyOption configures ClassifyEncrypted.
+type ClassifyOption func(*classifyConfig)
+
+// WithEncryptionSeed seeds the encryption randomness — parity tests
+// only; production encryptions draw from crypto/rand.
+func WithEncryptionSeed(seed int64) ClassifyOption {
+	return func(c *classifyConfig) { s := seed; c.encSeed = &s }
+}
+
+// ClassifyEncrypted runs the full encrypted round trip: encrypt the
+// image under the client's public key, ship the ciphertext with the
+// bundle fingerprint, decrypt the returned encrypted logits locally.
+// outputDim comes from Info().OutputDim.
+func (c *Client) ClassifyEncrypted(ctx context.Context, ks *KeySet, image []float64, outputDim int, opts ...ClassifyOption) (*ClassifyResult, error) {
+	var cfg classifyConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	fp, err := ks.Fingerprint()
+	if err != nil {
+		return nil, err
+	}
+	ct, err := ks.EncryptImage(image, cfg.encSeed)
+	if err != nil {
+		return nil, err
+	}
+	var body bytes.Buffer
+	if err := ks.Context().WriteCiphertext(&body, ct); err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+PathClassifyEncrypted, &body)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", ContentTypeCKKS)
+	req.Header.Set(HeaderKeyFingerprint, fp)
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp)
+	}
+	out, err := ks.Context().ReadCiphertext(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("client: decoding result ciphertext: %w", err)
+	}
+	logits, err := ks.DecryptLogits(out, outputDim)
+	if err != nil {
+		return nil, err
+	}
+	res := &ClassifyResult{Logits: logits, Class: argmax(logits)}
+	if ms := resp.Header.Get(HeaderEvalMillis); ms != "" {
+		if v, perr := strconv.ParseFloat(ms, 64); perr == nil {
+			res.EvalMillis = v
+		}
+	}
+	return res, nil
+}
+
+// argmax returns the index of the largest logit (0 on empty).
+func argmax(v []float64) int {
+	if len(v) == 0 {
+		return 0
+	}
+	best, bestV := 0, v[0]
+	for i, x := range v {
+		if x > bestV {
+			best, bestV = i, x
+		}
+	}
+	return best
+}

@@ -1,0 +1,139 @@
+package client
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"cnnhe/internal/ckks"
+)
+
+func tinyInfo(t *testing.T) *InfoResponse {
+	t.Helper()
+	p, err := ckks.TinyParameters()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &InfoResponse{
+		Model:          "tiny",
+		Backend:        "ckks-rns",
+		InputDim:       64,
+		OutputDim:      4,
+		Slots:          p.Slots(),
+		Levels:         p.MaxLevel(),
+		Rotations:      []int{1, 2, 4},
+		Params:         ParamsInfoOf(p),
+		EncryptedRoute: true,
+	}
+}
+
+func TestParamsInfoRoundTrip(t *testing.T) {
+	p, err := ckks.TinyParameters()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi := ParamsInfoOf(p)
+	got, err := ParamsFromInfo(pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Fingerprint() != p.Fingerprint() {
+		t.Fatalf("round-tripped fingerprint %s != %s", got.Fingerprint(), p.Fingerprint())
+	}
+}
+
+func TestParamsFromInfoRejectsTamperedFingerprint(t *testing.T) {
+	p, err := ckks.TinyParameters()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi := ParamsInfoOf(p)
+	pi.Scale *= 2 // client and server would disagree on every encoding
+	if _, err := ParamsFromInfo(pi); err == nil {
+		t.Fatal("tampered params accepted")
+	}
+}
+
+func TestKeySetSaveLoad(t *testing.T) {
+	info := tinyInfo(t)
+	ks, err := GenerateKeys(info, WithSeed(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := ks.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "keys")
+	if err := ks.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	if runtime.GOOS != "windows" {
+		st, err := os.Stat(filepath.Join(dir, secretFile))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Mode().Perm() != 0o600 {
+			t.Fatalf("secret key mode %v, want 0600", st.Mode().Perm())
+		}
+	}
+	loaded, err := LoadKeySet(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lfp, err := loaded.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lfp != fp {
+		t.Fatalf("loaded fingerprint %s != saved %s", lfp, fp)
+	}
+	// The reloaded secret key must decrypt what the original encrypts.
+	img := make([]float64, 8)
+	for i := range img {
+		img[i] = float64(i + 1)
+	}
+	seed := int64(5)
+	ct, err := ks.EncryptImage(img, &seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := loaded.DecryptLogits(ct, len(img))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vals {
+		if diff := v - img[i]; diff > 1e-3 || diff < -1e-3 {
+			t.Fatalf("slot %d: decrypted %v, want %v", i, v, img[i])
+		}
+	}
+}
+
+func TestGenerateKeysCoversAdvertisedRotations(t *testing.T) {
+	info := tinyInfo(t)
+	ks, err := GenerateKeys(info, WithSeed(18))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ks.RTK.Keys) != len(info.Rotations) {
+		t.Fatalf("generated %d rotation keys for %d advertised rotations",
+			len(ks.RTK.Keys), len(info.Rotations))
+	}
+	// Secure (crypto/rand) generation yields distinct keys per call.
+	other, err := GenerateKeys(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ofp, err := other.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := ks.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ofp == fp {
+		t.Fatal("secure keygen reproduced the seeded bundle")
+	}
+}

@@ -1,0 +1,222 @@
+package client
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"cnnhe/internal/ckks"
+)
+
+// KeySet is a client's complete key material: the secret key (which
+// never leaves the client) plus the evaluation-key bundle registered
+// with the server.
+type KeySet struct {
+	Params ckks.Parameters
+	SK     *ckks.SecretKey
+	PK     *ckks.PublicKey
+	RLK    *ckks.RelinearizationKey
+	RTK    *ckks.RotationKeySet
+
+	ctx         *ckks.Context
+	bundleBytes []byte
+	fingerprint string
+}
+
+// genConfig tunes key generation.
+type genConfig struct {
+	seed   int64
+	seeded bool
+}
+
+// GenOption configures GenerateKeys.
+type GenOption func(*genConfig)
+
+// WithSeed makes key generation deterministic — for reproducible
+// benchmarks and parity tests ONLY. Production keys must use the
+// default crypto/rand path.
+func WithSeed(seed int64) GenOption {
+	return func(c *genConfig) { c.seed, c.seeded = seed, true }
+}
+
+// GenerateKeys builds a fresh key set for the server described by info:
+// parameters reconstructed (and fingerprint-verified) from the manifest,
+// rotation keys covering exactly the plan's advertised rotation set.
+// Randomness comes from crypto/rand unless WithSeed overrides it.
+func GenerateKeys(info *InfoResponse, opts ...GenOption) (*KeySet, error) {
+	var cfg genConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	p, err := ParamsFromInfo(info.Params)
+	if err != nil {
+		return nil, err
+	}
+	ctx, err := ckks.NewContext(p)
+	if err != nil {
+		return nil, fmt.Errorf("client: building CKKS context: %w", err)
+	}
+	var kg *ckks.KeyGenerator
+	if cfg.seeded {
+		kg = ckks.NewKeyGenerator(ctx, cfg.seed)
+	} else {
+		kg = ckks.NewSecureKeyGenerator(ctx)
+	}
+	sk := kg.GenSecretKey()
+	ks := &KeySet{
+		Params: p,
+		SK:     sk,
+		PK:     kg.GenPublicKey(sk),
+		RLK:    kg.GenRelinearizationKey(sk),
+		RTK:    kg.GenRotationKeys(sk, info.Rotations, false),
+		ctx:    ctx,
+	}
+	return ks, nil
+}
+
+// Context returns the key set's CKKS context.
+func (ks *KeySet) Context() *ckks.Context { return ks.ctx }
+
+// Bundle returns the serialized evaluation-key bundle (public,
+// relinearization and rotation keys — no secret material). The bytes are
+// computed once and cached; the fingerprint is their content address.
+func (ks *KeySet) Bundle() ([]byte, error) {
+	if ks.bundleBytes != nil {
+		return ks.bundleBytes, nil
+	}
+	var buf bytes.Buffer
+	err := ks.ctx.WriteKeyBundle(&buf, &ckks.KeyBundle{
+		ParamsDigest: ks.Params.ParamsDigest(),
+		PK:           ks.PK,
+		RLK:          ks.RLK,
+		RTK:          ks.RTK,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ks.bundleBytes = buf.Bytes()
+	ks.fingerprint = ckks.BundleFingerprint(ks.bundleBytes)
+	return ks.bundleBytes, nil
+}
+
+// Fingerprint returns the bundle's content address.
+func (ks *KeySet) Fingerprint() (string, error) {
+	if _, err := ks.Bundle(); err != nil {
+		return "", err
+	}
+	return ks.fingerprint, nil
+}
+
+// EncryptImage encodes and public-key-encrypts an image exactly like the
+// server's plaintext path does (encode at max level and default scale),
+// so an encrypted round trip is comparable — bit-for-bit under seeded
+// randomness — with a local plaintext-path inference. encSeed nil draws
+// encryption randomness from crypto/rand; non-nil seeds it (parity tests).
+func (ks *KeySet) EncryptImage(image []float64, encSeed *int64) (*ckks.Ciphertext, error) {
+	if len(image) > ks.Params.Slots() {
+		return nil, fmt.Errorf("client: image length %d exceeds %d slots", len(image), ks.Params.Slots())
+	}
+	var ept *ckks.Encryptor
+	if encSeed != nil {
+		ept = ckks.NewEncryptor(ks.ctx, ks.PK, *encSeed)
+	} else {
+		ept = ckks.NewSecureEncryptor(ks.ctx, ks.PK)
+	}
+	enc := ckks.NewEncoder(ks.ctx)
+	pt := enc.Encode(image, ks.Params.MaxLevel(), ks.Params.Scale)
+	return ept.Encrypt(pt), nil
+}
+
+// DecryptLogits decrypts an encrypted-logits ciphertext and returns the
+// first n slots.
+func (ks *KeySet) DecryptLogits(ct *ckks.Ciphertext, n int) ([]float64, error) {
+	if n < 0 || n > ks.Params.Slots() {
+		return nil, fmt.Errorf("client: logit count %d out of range", n)
+	}
+	dec := ckks.NewDecryptor(ks.ctx, ks.SK)
+	vals := ckks.NewEncoder(ks.ctx).Decode(dec.DecryptNew(ct))
+	return vals[:n], nil
+}
+
+// On-disk layout of a saved key set. The secret key file is written
+// 0600; the directory is the unit of key management.
+const (
+	paramsFile = "params.json"
+	secretFile = "secret.key"
+	bundleFile = "bundle.bin"
+)
+
+// Save writes the key set under dir: the params descriptor, the secret
+// key (mode 0600), and the evaluation bundle as registered.
+func (ks *KeySet) Save(dir string) error {
+	if err := os.MkdirAll(dir, 0o700); err != nil {
+		return err
+	}
+	pj, err := json.MarshalIndent(ParamsInfoOf(ks.Params), "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, paramsFile), pj, 0o644); err != nil {
+		return err
+	}
+	var skBuf bytes.Buffer
+	if err := ks.ctx.WriteSecretKey(&skBuf, ks.SK); err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, secretFile), skBuf.Bytes(), 0o600); err != nil {
+		return err
+	}
+	bundle, err := ks.Bundle()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, bundleFile), bundle, 0o644)
+}
+
+// LoadKeySet reads a key set saved by Save.
+func LoadKeySet(dir string) (*KeySet, error) {
+	pj, err := os.ReadFile(filepath.Join(dir, paramsFile))
+	if err != nil {
+		return nil, err
+	}
+	var pi ParamsInfo
+	if err := json.Unmarshal(pj, &pi); err != nil {
+		return nil, fmt.Errorf("client: %s: %w", paramsFile, err)
+	}
+	p, err := ParamsFromInfo(pi)
+	if err != nil {
+		return nil, err
+	}
+	ctx, err := ckks.NewContext(p)
+	if err != nil {
+		return nil, err
+	}
+	skRaw, err := os.ReadFile(filepath.Join(dir, secretFile))
+	if err != nil {
+		return nil, err
+	}
+	sk, err := ctx.ReadSecretKey(bytes.NewReader(skRaw))
+	if err != nil {
+		return nil, fmt.Errorf("client: %s: %w", secretFile, err)
+	}
+	bundleRaw, err := os.ReadFile(filepath.Join(dir, bundleFile))
+	if err != nil {
+		return nil, err
+	}
+	bundle, err := ctx.ReadKeyBundle(bytes.NewReader(bundleRaw))
+	if err != nil {
+		return nil, fmt.Errorf("client: %s: %w", bundleFile, err)
+	}
+	return &KeySet{
+		Params:      p,
+		SK:          sk,
+		PK:          bundle.PK,
+		RLK:         bundle.RLK,
+		RTK:         bundle.RTK,
+		ctx:         ctx,
+		bundleBytes: bundleRaw,
+		fingerprint: ckks.BundleFingerprint(bundleRaw),
+	}, nil
+}

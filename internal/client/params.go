@@ -1,0 +1,71 @@
+package client
+
+import (
+	"fmt"
+	"math/big"
+
+	"cnnhe/internal/ckks"
+	"cnnhe/internal/primes"
+)
+
+// ParamsInfoOf describes p for the wire.
+func ParamsInfoOf(p ckks.Parameters) ParamsInfo {
+	moduli := make([]string, len(p.Chain.Moduli))
+	for i, q := range p.Chain.Moduli {
+		moduli[i] = q.String()
+	}
+	bits := make([]int, len(p.Chain.BitSizes))
+	copy(bits, p.Chain.BitSizes)
+	return ParamsInfo{
+		LogN:         p.LogN,
+		Scale:        p.Scale,
+		H:            p.H,
+		Sigma:        p.Sigma,
+		RingSeed:     p.RingSeed,
+		Moduli:       moduli,
+		BitSizes:     bits,
+		SpecialCount: p.Chain.SpecialCount,
+		Fingerprint:  p.Fingerprint(),
+	}
+}
+
+// ParamsFromInfo reconstructs the server's exact ckks.Parameters from a
+// wire descriptor and verifies the reconstruction against the advertised
+// fingerprint — a mismatch means client and server would disagree on the
+// ring and every ciphertext would be garbage, so it fails here instead.
+func ParamsFromInfo(pi ParamsInfo) (ckks.Parameters, error) {
+	if len(pi.Moduli) == 0 {
+		return ckks.Parameters{}, fmt.Errorf("client: params info carries no moduli")
+	}
+	if len(pi.BitSizes) != len(pi.Moduli) {
+		return ckks.Parameters{}, fmt.Errorf("client: %d bit sizes for %d moduli", len(pi.BitSizes), len(pi.Moduli))
+	}
+	if pi.SpecialCount < 0 || pi.SpecialCount >= len(pi.Moduli) {
+		return ckks.Parameters{}, fmt.Errorf("client: special count %d out of range", pi.SpecialCount)
+	}
+	moduli := make([]*big.Int, len(pi.Moduli))
+	for i, s := range pi.Moduli {
+		q, ok := new(big.Int).SetString(s, 10)
+		if !ok {
+			return ckks.Parameters{}, fmt.Errorf("client: modulus %d is not a decimal integer: %q", i, s)
+		}
+		moduli[i] = q
+	}
+	p := ckks.Parameters{
+		LogN:     pi.LogN,
+		Scale:    pi.Scale,
+		H:        pi.H,
+		Sigma:    pi.Sigma,
+		RingSeed: pi.RingSeed,
+		Chain: primes.Chain{
+			Moduli:       moduli,
+			BitSizes:     pi.BitSizes,
+			SpecialCount: pi.SpecialCount,
+		},
+	}
+	if pi.Fingerprint != "" && p.Fingerprint() != pi.Fingerprint {
+		return ckks.Parameters{}, fmt.Errorf("client: reconstructed params fingerprint %s does not match advertised %s",
+			p.Fingerprint(), pi.Fingerprint)
+	}
+	return p, nil
+}

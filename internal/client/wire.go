@@ -1,0 +1,85 @@
+// Package client is the key-holder's side of the encrypted inference
+// protocol: it generates CKKS keys locally (the secret key never leaves
+// the process), registers the evaluation-key bundle with a heserve
+// instance, encrypts images, and decrypts returned logits.
+//
+// The wire protocol it speaks (shared DTOs below, also imported by
+// internal/serve so both ends compile against one definition):
+//
+//	GET  /v1/info                → InfoResponse (model, params, rotations)
+//	POST /v1/keys                ← serialized ckks.KeyBundle
+//	                             → RegisterResponse{fingerprint}
+//	POST /v1/classify/encrypted  ← serialized ciphertext,
+//	                               X-Cnnhe-Key-Fingerprint header
+//	                             → serialized encrypted-logits ciphertext
+package client
+
+// Protocol routes and headers.
+const (
+	// PathInfo serves the plan/parameter manifest clients derive their
+	// key material from.
+	PathInfo = "/v1/info"
+	// PathKeys registers an evaluation-key bundle.
+	PathKeys = "/v1/keys"
+	// PathClassifyEncrypted runs one encrypted classification.
+	PathClassifyEncrypted = "/v1/classify/encrypted"
+
+	// HeaderKeyFingerprint carries the client's bundle fingerprint on
+	// encrypted classify requests.
+	HeaderKeyFingerprint = "X-Cnnhe-Key-Fingerprint"
+	// HeaderEvalMillis returns the server-side evaluation wall time on
+	// encrypted classify responses.
+	HeaderEvalMillis = "X-Cnnhe-Eval-Ms"
+
+	// ContentTypeCKKS is the media type of framed CKKS wire objects.
+	ContentTypeCKKS = "application/x-cnnhe-ckks"
+)
+
+// ParamsInfo is the exact CKKS instantiation descriptor: everything a
+// client needs to rebuild ckks.Parameters bit-for-bit. Moduli travel as
+// decimal strings (they exceed JSON's exact-integer range).
+type ParamsInfo struct {
+	LogN         int      `json:"log_n"`
+	Scale        float64  `json:"scale"`
+	H            int      `json:"h"`
+	Sigma        float64  `json:"sigma"`
+	RingSeed     int64    `json:"ring_seed"`
+	Moduli       []string `json:"moduli"`
+	BitSizes     []int    `json:"bit_sizes"`
+	SpecialCount int      `json:"special_count"`
+	// Fingerprint is the server's ckks.Parameters.Fingerprint(); clients
+	// verify their reconstruction against it before generating keys.
+	Fingerprint string `json:"fingerprint"`
+}
+
+// InfoResponse is the GET /v1/info body.
+type InfoResponse struct {
+	// Model is the loaded architecture name (e.g. "cnn1").
+	Model string `json:"model"`
+	// Backend is the engine name (e.g. "ckks-rns").
+	Backend string `json:"backend"`
+	// InputDim and OutputDim are the plan's image and logit sizes.
+	InputDim  int `json:"input_dim"`
+	OutputDim int `json:"output_dim"`
+	// Slots is the ciphertext slot count.
+	Slots int `json:"slots"`
+	// Levels is the modulus chain's usable depth (max level).
+	Levels int `json:"levels"`
+	// Rotations is the plan's required rotation set; registered bundles
+	// must cover every entry.
+	Rotations []int `json:"rotations"`
+	// Params describes the CKKS instantiation.
+	Params ParamsInfo `json:"params"`
+	// EncryptedRoute reports whether POST /v1/classify/encrypted is
+	// mounted (the big backend serves plaintext classify only).
+	EncryptedRoute bool `json:"encrypted_route"`
+}
+
+// RegisterResponse is the POST /v1/keys success body.
+type RegisterResponse struct {
+	// Fingerprint is the content address the server stored the bundle
+	// under — identical to the client's locally computed value.
+	Fingerprint string `json:"fingerprint"`
+	// Rotations is how many rotation keys the bundle carried.
+	Rotations int `json:"rotations"`
+}

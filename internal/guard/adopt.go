@@ -1,0 +1,66 @@
+package guard
+
+import (
+	"fmt"
+	"math"
+
+	"cnnhe/internal/henn"
+)
+
+// Adopt validates a ciphertext that did not originate from this guarded
+// engine — typically one deserialized off the wire — and wraps it in the
+// guard's tracked handle so it can enter guarded ops. The full structural
+// and coefficient-range validation always runs (untrusted input), the
+// scale mirror is initialized from the engine-reported scale, and the
+// noise mirror from the fresh-encryption bound (the strongest assumption
+// available for a ciphertext whose history the server cannot see).
+//
+// Unlike in-op validation, a rejected adoption does NOT latch the guard:
+// one malformed client payload must not poison the engine for subsequent
+// requests. The error is returned instead of panicking.
+func (g *GuardedEngine) Adopt(ct henn.Ct) (out henn.Ct, err error) {
+	const op = "Adopt"
+	if _, ok := ct.(*trackedCt); ok {
+		return ct, nil
+	}
+	if prior := g.Err(); prior != nil {
+		return nil, prior
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			se, ok := r.(*StageError)
+			if !ok {
+				panic(r)
+			}
+			// The failure was raised by this adoption (the guard was
+			// healthy on entry); clear the latch it set.
+			g.mu.Lock()
+			if g.err == error(se) {
+				g.err = nil
+			}
+			g.mu.Unlock()
+			out, err = nil, se
+		}
+	}()
+	g.validate(op, ct, true)
+	scale := g.scaleOf(op, ct)
+	if lvl := g.inner.Level(ct); lvl < 0 || lvl > g.inner.MaxLevel() {
+		return nil, &StageError{Op: op, Cause: fmt.Errorf("%w: level %d outside [0, %d]",
+			ErrCorruptCiphertext, lvl, g.inner.MaxLevel())}
+	}
+	return &trackedCt{ct: ct, noise: g.model.Fresh(), scale: scale}, nil
+}
+
+// Underlying unwraps a guard-tracked ciphertext handle back to the
+// engine's own ciphertext (for serialization); a handle the guard does
+// not recognize is returned unchanged.
+func Underlying(ct henn.Ct) henn.Ct { return peek(ct) }
+
+// NoiseBitsOf reports the tracked precision of a guarded handle, or NaN
+// for untracked handles — a convenience for response metadata.
+func (g *GuardedEngine) NoiseBitsOf(ct henn.Ct) float64 {
+	if t, ok := ct.(*trackedCt); ok {
+		return math.Log2(t.scale / t.noise)
+	}
+	return math.NaN()
+}

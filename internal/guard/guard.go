@@ -218,6 +218,9 @@ func New(inner henn.Engine, cfg Config) *GuardedEngine {
 	case *henn.RNSEngine:
 		g.rnsCtx = b.Ctx
 		g.model = noise.Model{N: b.Ctx.Params.N(), Sigma: b.Ctx.Params.Sigma, H: b.Ctx.Params.H}
+	case *henn.RNSEvalEngine:
+		g.rnsCtx = b.Ctx
+		g.model = noise.Model{N: b.Ctx.Params.N(), Sigma: b.Ctx.Params.Sigma, H: b.Ctx.Params.H}
 	case *henn.BigEngine:
 		g.bigCtx = b.Ctx
 		g.model = noise.Model{N: b.Ctx.Params.N(), Sigma: b.Ctx.Params.Sigma, H: b.Ctx.Params.H}

@@ -1,0 +1,201 @@
+package henn
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"cnnhe/internal/ckks"
+	"cnnhe/internal/henn/exec"
+)
+
+// evalKit builds client-side key material plus the matched full/eval
+// engine pair the encrypted-inference protocol uses: the full engine is
+// the client (holds sk), the eval engine is the server (holds only key
+// material that crossed the wire).
+type evalKit struct {
+	plan *Plan
+	full *RNSEngine
+	eval *RNSEvalEngine
+}
+
+func newEvalKit(t testing.TB) *evalKit {
+	t.Helper()
+	m := tinyModel(3)
+	plan, err := Compile(m, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ckks.NewParameters(10, []int{40, 30, 30, 30, 30}, 60, 1, math.Exp2(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.CheckDepth(p.MaxLevel()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := ckks.NewContext(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kg := ckks.NewKeyGenerator(ctx, 77)
+	sk := kg.GenSecretKey()
+	pk := kg.GenPublicKey(sk)
+	rlk := kg.GenRelinearizationKey(sk)
+	rtk := kg.GenRotationKeys(sk, plan.Rotations(), false)
+
+	// Ship the evaluation keys through the wire format, as a real server
+	// would receive them.
+	var buf bytes.Buffer
+	if err := ctx.WriteKeyBundle(&buf, &ckks.KeyBundle{
+		ParamsDigest: p.ParamsDigest(),
+		PK:           pk,
+		RLK:          rlk,
+		RTK:          rtk,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	bundle, err := ctx.ReadKeyBundle(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &evalKit{
+		plan: plan,
+		full: NewRNSEngineFromKeys(ctx, sk, pk, rlk, rtk, 1234),
+		eval: NewRNSEvalEngine(ctx, bundle.RLK, bundle.RTK),
+	}
+}
+
+// TestEvalEngineGraphParity is the protocol's correctness core: a graph
+// evaluated by the eval-only engine on wire-format keys produces output
+// bit-identical to the full engine's.
+func TestEvalEngineGraphParity(t *testing.T) {
+	k := newEvalKit(t)
+	g, err := k.plan.Lower(k.full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pFull, err := exec.Prepare(k.full, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gEval, err := k.plan.Lower(k.eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pEval, err := exec.Prepare(k.eval, gEval)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	img := testImage(rand.New(rand.NewSource(5)), 64)
+	cts, _, _, err := pFull.EncryptInputs(context.Background(), [][]float64{img})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rFull, err := pFull.RunEncrypted(context.Background(), cts, exec.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rEval, err := pEval.RunEncrypted(context.Background(), cts, exec.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := k.full.DecryptVec(rFull.Out)[:k.plan.OutputDim]
+	b := k.full.DecryptVec(rEval.Out)[:k.plan.OutputDim]
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("logit %d differs: full %v eval %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestEvalEnginePanicsOnSecretOps pins the interface escape hatches shut.
+func TestEvalEnginePanicsOnSecretOps(t *testing.T) {
+	k := newEvalKit(t)
+	expectPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	expectPanic("EncryptVec", func() { k.eval.EncryptVec([]float64{1}) })
+	ct := k.full.EncryptVec(make([]float64, k.eval.Slots()))
+	expectPanic("DecryptVec", func() { k.eval.DecryptVec(ct) })
+}
+
+// TestEvalEngineHoldsNoSecretKey walks the entire reachable object graph
+// of an RNSEvalEngine and asserts no ckks.SecretKey or ckks.Decryptor
+// value is reachable from it — the "server cannot decrypt" property as a
+// structural invariant rather than a code-review promise.
+func TestEvalEngineHoldsNoSecretKey(t *testing.T) {
+	k := newEvalKit(t)
+	forbidden := map[string]bool{
+		reflect.TypeOf(ckks.SecretKey{}).String(): true,
+		reflect.TypeOf(ckks.Decryptor{}).String(): true,
+		reflect.TypeOf(ckks.Encryptor{}).String(): true,
+	}
+	seen := map[uintptr]bool{}
+	var walk func(v reflect.Value, path string)
+	walk = func(v reflect.Value, path string) {
+		if !v.IsValid() {
+			return
+		}
+		switch v.Kind() {
+		case reflect.Ptr, reflect.Interface:
+			if v.IsNil() {
+				return
+			}
+			if v.Kind() == reflect.Ptr {
+				p := v.Pointer()
+				if seen[p] {
+					return
+				}
+				seen[p] = true
+			}
+			walk(v.Elem(), path)
+		case reflect.Struct:
+			if forbidden[v.Type().String()] {
+				t.Fatalf("forbidden type %s reachable at %s", v.Type(), path)
+			}
+			for i := 0; i < v.NumField(); i++ {
+				walk(v.Field(i), path+"."+v.Type().Field(i).Name)
+			}
+		case reflect.Map:
+			iter := v.MapRange()
+			for iter.Next() {
+				walk(iter.Value(), path+"[map]")
+			}
+		case reflect.Slice, reflect.Array:
+			// Key material bottoms out in numeric slices; only descend
+			// into element kinds that can hold pointers.
+			switch v.Type().Elem().Kind() {
+			case reflect.Ptr, reflect.Interface, reflect.Struct, reflect.Map, reflect.Slice:
+				for i := 0; i < v.Len(); i++ {
+					walk(v.Index(i), path+"[i]")
+				}
+			}
+		}
+	}
+	walk(reflect.ValueOf(k.eval), "RNSEvalEngine")
+
+	// Sanity-check the walker itself: it must flag the full engine.
+	flagged := func() (found bool) {
+		defer func() { _ = recover() }()
+		v := reflect.ValueOf(k.full).Elem()
+		for i := 0; i < v.NumField(); i++ {
+			f := v.Field(i)
+			if f.Kind() == reflect.Ptr && !f.IsNil() && forbidden[f.Type().Elem().String()] {
+				return true
+			}
+		}
+		return false
+	}()
+	if !flagged {
+		t.Fatal("walker sanity check failed: full engine's secret state not detected")
+	}
+}

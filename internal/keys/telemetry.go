@@ -1,0 +1,102 @@
+package keys
+
+import (
+	"sync"
+
+	"cnnhe/internal/telemetry"
+)
+
+// kTelSet bundles the key-store instruments, registered once on first
+// use. All methods are nil-safe: with telemetry off, keysTel returns nil
+// and every publish is a no-op.
+type kTelSet struct {
+	entries       *telemetry.Gauge
+	registrations *telemetry.Counter
+	bytes         *telemetry.Counter
+	hits          *telemetry.Counter
+	misses        *telemetry.Counter
+	evictions     map[string]*telemetry.Counter
+	rejections    map[string]*telemetry.Counter
+}
+
+var (
+	keysTelOnce sync.Once
+	keysTelVal  *kTelSet
+)
+
+var (
+	evictionReasons  = []string{"lru", "ttl"}
+	rejectionReasons = []string{"format", "params", "rotations"}
+)
+
+func keysTel() *kTelSet {
+	if !telemetry.Enabled() {
+		return nil
+	}
+	keysTelOnce.Do(func() {
+		r := telemetry.Default()
+		t := &kTelSet{
+			entries: r.Gauge("cnnhe_keys_entries",
+				"evaluation-key bundles currently registered"),
+			registrations: r.Counter("cnnhe_keys_registered_total",
+				"bundle registrations accepted"),
+			bytes: r.Counter("cnnhe_keys_registered_bytes_total",
+				"serialized bytes of accepted bundle registrations"),
+			hits: r.Counter("cnnhe_keys_lookups_total",
+				"bundle lookups by result", telemetry.L("result", "hit")),
+			misses: r.Counter("cnnhe_keys_lookups_total",
+				"bundle lookups by result", telemetry.L("result", "miss")),
+			evictions:  map[string]*telemetry.Counter{},
+			rejections: map[string]*telemetry.Counter{},
+		}
+		for _, reason := range evictionReasons {
+			t.evictions[reason] = r.Counter("cnnhe_keys_evicted_total",
+				"bundles evicted by reason", telemetry.L("reason", reason))
+		}
+		for _, reason := range rejectionReasons {
+			t.rejections[reason] = r.Counter("cnnhe_keys_rejected_total",
+				"bundle registrations rejected by reason", telemetry.L("reason", reason))
+		}
+		keysTelVal = t
+	})
+	return keysTelVal
+}
+
+func (t *kTelSet) registered(size, entries int) {
+	if t == nil {
+		return
+	}
+	t.registrations.Inc()
+	t.bytes.Add(int64(size))
+	t.entries.Set(float64(entries))
+}
+
+func (t *kTelSet) rejected(reason string) {
+	if t == nil {
+		return
+	}
+	t.rejections[reason].Inc()
+}
+
+func (t *kTelSet) evicted(reason string, entries int) {
+	if t == nil {
+		return
+	}
+	t.evictions[reason].Inc()
+	t.entries.Set(float64(entries))
+}
+
+func (t *kTelSet) hit() {
+	if t == nil {
+		return
+	}
+	t.hits.Inc()
+}
+
+func (t *kTelSet) miss(entries int) {
+	if t == nil {
+		return
+	}
+	t.misses.Inc()
+	t.entries.Set(float64(entries))
+}

@@ -13,10 +13,18 @@ import (
 	"cnnhe/internal/henn"
 )
 
-// maxBodyBytes bounds a classification request body. The largest
-// legitimate payload is one image of InputDim float64s as JSON; 1 MiB
-// leaves generous headroom for MNIST-scale inputs.
-const maxBodyBytes = 1 << 20
+// classifyBodyLimit bounds a plaintext classification request body,
+// sized from the plan instead of a one-size cap: one image of InputDim
+// JSON numbers (≤ 25 bytes each incl. separator) plus field/framing
+// overhead. The floor keeps tiny test plans from rejecting ordinary
+// request framing.
+func (s *Server) classifyBodyLimit() int64 {
+	limit := int64(s.InputDim())*25 + 4096
+	if limit < 1<<16 {
+		limit = 1 << 16
+	}
+	return limit
+}
 
 // ClassifyRequest is the POST /classify body.
 type ClassifyRequest struct {
@@ -76,8 +84,14 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req ClassifyRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.classifyBodyLimit()))
 	if err := dec.Decode(&req); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeJSON(w, http.StatusRequestEntityTooLarge, errorBody{
+				Error: fmt.Sprintf("body exceeds %d bytes", mbe.Limit)})
+			return
+		}
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("decoding body: %v", err)})
 		return
 	}

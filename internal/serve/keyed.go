@@ -1,0 +1,372 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"cnnhe/internal/ckks"
+	"cnnhe/internal/client"
+	"cnnhe/internal/guard"
+	"cnnhe/internal/henn"
+	"cnnhe/internal/henn/exec"
+	"cnnhe/internal/henn/ir"
+	"cnnhe/internal/keys"
+	"cnnhe/internal/telemetry"
+)
+
+// KeyedConfig sizes a Keyed handler — the client-held-key side of the
+// service, where the server evaluates under keys it never generated.
+type KeyedConfig struct {
+	// Ctx is the server's CKKS instantiation; registered bundles must
+	// match its params digest exactly.
+	Ctx *ckks.Context
+	// Plan is the single-image inference plan evaluated on the encrypted
+	// route. Its rotation set is the registration requirement.
+	Plan *henn.Plan
+	// Model and Backend name the loaded architecture and engine for
+	// GET /v1/info.
+	Model   string
+	Backend string
+	// MaxClients bounds the key store (0 selects keys.DefaultMaxEntries);
+	// KeyTTL expires idle bundles (0 disables).
+	MaxClients int
+	KeyTTL     time.Duration
+	// RequestTimeout bounds one encrypted evaluation (0 disables).
+	RequestTimeout time.Duration
+	// Guard configures the per-client guarded engine; zero value selects
+	// guard.DefaultConfig.
+	Guard guard.Config
+}
+
+// Keyed serves the encrypted wire protocol:
+//
+//	GET  /v1/info                plan + parameter manifest
+//	POST /v1/keys                register an evaluation-key bundle
+//	POST /v1/classify/encrypted  ciphertext in, encrypted logits out
+//
+// The encrypted route runs the lowered op-graph on an eval-only engine
+// (henn.RNSEvalEngine) built from the client's registered bundle: no
+// secret key, encryptor, or decryptor is reachable from it, so the
+// handler cannot decrypt what it computes on even in principle.
+type Keyed struct {
+	cfg   KeyedConfig
+	store *keys.Store
+	info  client.InfoResponse
+	// bundleLimit and ctLimit bound request bodies, computed from the
+	// exact wire sizes of the largest legitimate payloads.
+	bundleLimit int64
+	ctLimit     int64
+}
+
+// keyedEval is the per-client evaluation state cached on a store entry:
+// a guarded eval-only engine plus the plan's graph prepared (plaintext
+// operands pre-encoded) against it. Guarded by Entry.Mu.
+type keyedEval struct {
+	g    *guard.GuardedEngine
+	prep *exec.Prepared
+}
+
+// bundleSlackRotations is the headroom beyond the plan's rotation
+// requirement a registered bundle may carry (clients derive their set
+// from /v1/info, but a few extra keys — e.g. conjugation — are
+// harmless).
+const bundleSlackRotations = 4
+
+// NewKeyed builds the keyed handler for one plan on one CKKS context.
+func NewKeyed(cfg KeyedConfig) (*Keyed, error) {
+	if cfg.Ctx == nil {
+		return nil, fmt.Errorf("serve: KeyedConfig.Ctx is required")
+	}
+	if cfg.Plan == nil {
+		return nil, fmt.Errorf("serve: KeyedConfig.Plan is required")
+	}
+	if cfg.Guard == (guard.Config{}) {
+		cfg.Guard = guard.DefaultConfig()
+	}
+	rotations := cfg.Plan.Rotations()
+	store, err := keys.NewStore(keys.Config{
+		Ctx:               cfg.Ctx,
+		RequiredRotations: rotations,
+		MaxEntries:        cfg.MaxClients,
+		TTL:               cfg.KeyTTL,
+	})
+	if err != nil {
+		return nil, err
+	}
+	p := cfg.Ctx.Params
+	k := &Keyed{
+		cfg:   cfg,
+		store: store,
+		info: client.InfoResponse{
+			Model:          cfg.Model,
+			Backend:        cfg.Backend,
+			InputDim:       cfg.Plan.InputDim,
+			OutputDim:      cfg.Plan.OutputDim,
+			Slots:          p.Slots(),
+			Levels:         p.MaxLevel(),
+			Rotations:      rotations,
+			Params:         client.ParamsInfoOf(p),
+			EncryptedRoute: true,
+		},
+		bundleLimit: int64(cfg.Ctx.KeyBundleWireSize(len(rotations)+bundleSlackRotations)) + 1024,
+		ctLimit:     int64(cfg.Ctx.CiphertextWireSize(p.MaxLevel())) + 1024,
+	}
+	return k, nil
+}
+
+// Store exposes the bundle store (tests and diagnostics).
+func (k *Keyed) Store() *keys.Store { return k.store }
+
+// Routes mounts the /v1 endpoints on mux.
+func (k *Keyed) Routes(mux *http.ServeMux) {
+	mux.HandleFunc(client.PathInfo, k.handleInfo)
+	mux.HandleFunc(client.PathKeys, k.handleKeys)
+	mux.HandleFunc(client.PathClassifyEncrypted, k.handleClassifyEncrypted)
+}
+
+// Handler returns a mux serving only the /v1 endpoints.
+func (k *Keyed) Handler() http.Handler {
+	mux := http.NewServeMux()
+	k.Routes(mux)
+	return mux
+}
+
+func (k *Keyed) handleInfo(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "GET only"})
+		return
+	}
+	writeJSON(w, http.StatusOK, k.info)
+}
+
+func (k *Keyed) handleKeys(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "POST only"})
+		return
+	}
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, k.bundleLimit))
+	if err != nil {
+		k.writeKeyedError(w, err, "reading key bundle")
+		return
+	}
+	entry, err := k.store.Register(data)
+	if err != nil {
+		k.writeKeyedError(w, err, "registering key bundle")
+		return
+	}
+	keyedTel().request("keys_ok")
+	writeJSON(w, http.StatusOK, client.RegisterResponse{
+		Fingerprint: entry.Fingerprint,
+		Rotations:   len(entry.Bundle.RTK.Keys),
+	})
+}
+
+func (k *Keyed) handleClassifyEncrypted(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "POST only"})
+		return
+	}
+	fp := r.Header.Get(client.HeaderKeyFingerprint)
+	if fp == "" {
+		keyedTel().request("bad_request")
+		writeJSON(w, http.StatusBadRequest, errorBody{
+			Error: client.HeaderKeyFingerprint + " header is required"})
+		return
+	}
+	entry, err := k.store.Get(fp)
+	if err != nil {
+		k.writeKeyedError(w, err, "looking up key bundle")
+		return
+	}
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, k.ctLimit))
+	if err != nil {
+		k.writeKeyedError(w, err, "reading ciphertext")
+		return
+	}
+	ct, err := k.cfg.Ctx.ReadCiphertext(bytes.NewReader(data))
+	if err != nil {
+		k.writeKeyedError(w, err, "decoding ciphertext")
+		return
+	}
+
+	ctx := r.Context()
+	if k.cfg.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, k.cfg.RequestTimeout)
+		defer cancel()
+	}
+
+	// One evaluation at a time per client: the evaluator and guard state
+	// cached on the entry are not safe for concurrent runs.
+	entry.Mu.Lock()
+	defer entry.Mu.Unlock()
+	ev, err := k.evalFor(entry)
+	if err != nil {
+		keyedTel().request("error")
+		writeJSON(w, http.StatusInternalServerError, errorBody{
+			Error: fmt.Sprintf("preparing evaluation under client keys: %v", err)})
+		return
+	}
+	if ev.g.Err() != nil {
+		// A previous request under these keys latched the guard; start
+		// this one clean.
+		_ = ev.g.Reset()
+	}
+	adopted, err := ev.g.Adopt(ct)
+	if err != nil {
+		keyedTel().request("bad_ciphertext")
+		writeJSON(w, http.StatusBadRequest, errorBody{
+			Error: fmt.Sprintf("rejecting ciphertext: %v", err)})
+		return
+	}
+	res, err := ev.prep.RunEncrypted(ctx, []ir.Ct{adopted}, exec.Options{})
+	if err != nil {
+		_ = ev.g.Reset()
+		k.writeEvalError(w, res, err)
+		return
+	}
+	out, ok := guard.Underlying(res.Out).(*ckks.Ciphertext)
+	if !ok {
+		keyedTel().request("error")
+		writeJSON(w, http.StatusInternalServerError, errorBody{
+			Error: fmt.Sprintf("unexpected output ciphertext type %T", guard.Underlying(res.Out))})
+		return
+	}
+	keyedTel().request("ok")
+	keyedTel().evaluated(res.Eval)
+	w.Header().Set("Content-Type", client.ContentTypeCKKS)
+	w.Header().Set(client.HeaderEvalMillis,
+		strconv.FormatFloat(float64(res.Eval)/float64(time.Millisecond), 'f', 3, 64))
+	if err := k.cfg.Ctx.WriteCiphertext(w, out); err != nil {
+		// Headers are gone; all we can do is drop the connection.
+		return
+	}
+}
+
+// evalFor returns the entry's cached evaluation state, building it on
+// first use: an eval-only engine over the client's relinearization and
+// rotation keys, wrapped in a guard, with the plan lowered and its
+// plaintext operands pre-encoded against it. Caller holds entry.Mu.
+func (k *Keyed) evalFor(entry *keys.Entry) (*keyedEval, error) {
+	if ev, ok := entry.Eval.(*keyedEval); ok {
+		return ev, nil
+	}
+	eng := henn.NewRNSEvalEngine(k.cfg.Ctx, entry.Bundle.RLK, entry.Bundle.RTK)
+	g := guard.New(eng, k.cfg.Guard)
+	graph, err := k.cfg.Plan.Lower(g)
+	if err != nil {
+		return nil, err
+	}
+	prep, err := exec.Prepare(g, graph)
+	if err != nil {
+		return nil, err
+	}
+	ev := &keyedEval{g: g, prep: prep}
+	entry.Eval = ev
+	return ev, nil
+}
+
+// writeKeyedError maps protocol-level failures (body reads, bundle
+// registration, fingerprint lookups, ciphertext decodes) to HTTP.
+func (k *Keyed) writeKeyedError(w http.ResponseWriter, err error, doing string) {
+	var mbe *http.MaxBytesError
+	switch {
+	case errors.As(err, &mbe):
+		keyedTel().request("too_large")
+		writeJSON(w, http.StatusRequestEntityTooLarge, errorBody{
+			Error: fmt.Sprintf("%s: body exceeds %d bytes", doing, mbe.Limit)})
+	case errors.Is(err, keys.ErrNotFound):
+		keyedTel().request("unknown_key")
+		writeJSON(w, http.StatusNotFound, errorBody{Error: err.Error()})
+	case errors.Is(err, keys.ErrParamsMismatch), errors.Is(err, keys.ErrMissingRotations):
+		keyedTel().request("incompatible_key")
+		writeJSON(w, http.StatusConflict, errorBody{Error: err.Error()})
+	case errors.Is(err, ckks.ErrFormat), errors.Is(err, ckks.ErrChecksum):
+		keyedTel().request("bad_request")
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("%s: %v", doing, err)})
+	default:
+		keyedTel().request("error")
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: fmt.Sprintf("%s: %v", doing, err)})
+	}
+}
+
+// writeEvalError maps an encrypted-evaluation failure to HTTP. Guard
+// stage errors mean the client's ciphertext drove the evaluation out of
+// its invariants — the client's fault, 400; timeouts are 504; anything
+// else is a server error.
+func (k *Keyed) writeEvalError(w http.ResponseWriter, res *exec.Result, err error) {
+	var se *guard.StageError
+	switch {
+	case errors.As(err, &se):
+		keyedTel().request("bad_ciphertext")
+		writeJSON(w, http.StatusBadRequest, errorBody{
+			Error: fmt.Sprintf("evaluation rejected in stage %s: %v", res.FailedStage, err)})
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		keyedTel().request("timeout")
+		writeJSON(w, http.StatusGatewayTimeout, errorBody{Error: err.Error()})
+	default:
+		keyedTel().request("error")
+		writeJSON(w, http.StatusInternalServerError, errorBody{
+			Error: fmt.Sprintf("evaluating in stage %s: %v", res.FailedStage, err)})
+	}
+}
+
+// keyedTelSet instruments the encrypted routes. Nil-safe like telSet.
+type keyedTelSet struct {
+	outcomes map[string]*telemetry.Counter
+	evalLat  *telemetry.Histogram
+}
+
+var (
+	keyedTelOnce sync.Once
+	keyedTelVal  *keyedTelSet
+)
+
+var keyedOutcomeNames = []string{
+	"ok", "keys_ok", "bad_request", "bad_ciphertext", "unknown_key",
+	"incompatible_key", "too_large", "timeout", "error",
+}
+
+func keyedTel() *keyedTelSet {
+	if !telemetry.Enabled() {
+		return nil
+	}
+	keyedTelOnce.Do(func() {
+		r := telemetry.Default()
+		t := &keyedTelSet{
+			outcomes: map[string]*telemetry.Counter{},
+			evalLat: r.Histogram("cnnhe_serve_encrypted_eval_seconds",
+				"homomorphic evaluation wall time on the encrypted route", nil),
+		}
+		for _, o := range keyedOutcomeNames {
+			t.outcomes[o] = r.Counter("cnnhe_serve_encrypted_requests_total",
+				"encrypted-protocol requests by outcome", telemetry.L("outcome", o))
+		}
+		keyedTelVal = t
+	})
+	return keyedTelVal
+}
+
+func (t *keyedTelSet) request(outcome string) {
+	if t == nil {
+		return
+	}
+	t.outcomes[outcome].Inc()
+}
+
+func (t *keyedTelSet) evaluated(d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.evalLat.ObserveDuration(d)
+}

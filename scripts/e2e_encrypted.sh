@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# End-to-end exercise of the client-held-key protocol: build heserve and
+# hectl, start the daemon on CNN1, run the full key ceremony and one
+# encrypted classification, and check the encrypted route agrees with
+# the plaintext route on the same image.
+#
+# -levels 7 pins the modulus chain to CNN1's exact depth so the rotation
+# key bundle stays CI-sized; -logn 11 is the smallest ring whose slot
+# count (1024) holds a 784-pixel MNIST image.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ADDR=${ADDR:-localhost:8377}
+WORK=$(mktemp -d)
+SERVE_PID=""
+cleanup() {
+    [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true
+    [ -n "$SERVE_PID" ] && wait "$SERVE_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+go build -o "$WORK/heserve" ./cmd/heserve
+go build -o "$WORK/hectl" ./cmd/hectl
+
+if [ ! -f models/cnn1.gob ]; then
+    echo "== training a small CNN1 model =="
+    go run ./cmd/hetrain -model cnn1 -train 512 -test 128 -epochs 1 -retrofit 1 -q
+fi
+
+echo "== starting heserve on $ADDR =="
+"$WORK/heserve" -model models/cnn1.gob -addr "$ADDR" \
+    -logn 11 -levels 7 -batch 1 &
+SERVE_PID=$!
+
+for _ in $(seq 1 120); do
+    curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1 && break
+    kill -0 "$SERVE_PID" 2>/dev/null || { echo "heserve exited during startup" >&2; exit 1; }
+    sleep 1
+done
+curl -fsS "http://$ADDR/healthz" >/dev/null || { echo "heserve never became healthy" >&2; exit 1; }
+
+echo "== server manifest =="
+"$WORK/hectl" info -server "http://$ADDR"
+
+echo "== client key ceremony =="
+"$WORK/hectl" keygen -server "http://$ADDR" -keys "$WORK/keys" -seed 42
+"$WORK/hectl" register -server "http://$ADDR" -keys "$WORK/keys"
+
+echo "== encrypted classification (with plaintext-route comparison) =="
+"$WORK/hectl" classify -server "http://$ADDR" -keys "$WORK/keys" -image 3 -compare-plain
+
+echo "e2e-encrypted: OK"
