@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet staticcheck build test race race-serve parity bench telemetry-overhead fuzz-smoke e2e-encrypted
+.PHONY: check vet staticcheck build test race race-serve race-chaos parity bench telemetry-overhead fuzz-smoke e2e-encrypted soak-chaos
 
 ## check: the full CI gate — vet, staticcheck, build, tests, the race
 ## detector, and the executor-vs-interpreter parity suite.
@@ -31,6 +31,19 @@ race:
 ## backpressure, drain) in full under the race detector.
 race-serve:
 	$(GO) test -race ./internal/serve/
+
+## race-chaos: the resilience suites in full under the race detector —
+## network fault injection, the in-process kill/restart soak (durable
+## store + bit-identical recovery), and the key store's concurrent
+## register/evict/lookup drills.
+race-chaos:
+	$(GO) test -race ./internal/chaos/ ./internal/keys/
+
+## soak-chaos: the process-level survival drill — heserve with listener
+## fault injection and a durable key store, open-loop hebombard load,
+## SIGKILL + restart mid-load, SLO report asserted free of silent drops.
+soak-chaos:
+	bash scripts/soak_chaos.sh
 
 ## parity: the op-graph executor must replay plans bit-identically to
 ## the legacy interpreter (logits and report rows) at CNN scale.

@@ -29,8 +29,15 @@
 //
 //	heserve -model models/cnn1.gob -addr localhost:8000 [-batch 4]
 //	        [-logn 12] [-levels 0] [-backend rns|big] [-max-wait 10ms]
-//	        [-queue 16] [-request-timeout 2m] [-max-clients 16]
-//	        [-key-ttl 0] [-log-level info]
+//	        [-queue 16] [-request-timeout 2m] [-target-latency 0]
+//	        [-max-clients 16] [-key-ttl 0] [-key-store dir]
+//	        [-chaos spec] [-chaos-seed 1] [-log-level info]
+//
+// -key-store makes registered client key bundles durable: each bundle is
+// snapshotted to the directory and re-verified on restart, so a killed
+// worker comes back still knowing its clients. -chaos wraps the listener
+// with seeded network-fault injection (see internal/chaos) for soak and
+// chaos testing.
 package main
 
 import (
@@ -40,12 +47,14 @@ import (
 	"fmt"
 	"log/slog"
 	"math"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"cnnhe/internal/chaos"
 	"cnnhe/internal/ckks"
 	"cnnhe/internal/ckksbig"
 	"cnnhe/internal/guard"
@@ -135,6 +144,10 @@ func main() {
 		logLevel   = flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
 		maxClients = flag.Int("max-clients", 0, "registered key bundles kept (0 = default, LRU beyond)")
 		keyTTL     = flag.Duration("key-ttl", 0, "idle expiry for registered key bundles (0 = none)")
+		keyStore   = flag.String("key-store", "", "directory for durable key-bundle snapshots (empty = in-memory only)")
+		targetLat  = flag.Duration("target-latency", 0, "batch-latency SLO driving adaptive admission (0 = request-timeout/2)")
+		chaosSpec  = flag.String("chaos", "", "network fault spec, e.g. 'latency:ms=100:p=0.3,reset:p=0.05' (testing only)")
+		chaosSeed  = flag.Int64("chaos-seed", 1, "seed for -chaos fault randomness")
 	)
 	flag.Parse()
 
@@ -175,6 +188,7 @@ func main() {
 		MaxWait:        *maxWait,
 		QueueSize:      *queueSize,
 		RequestTimeout: *reqTimeout,
+		TargetLatency:  *targetLat,
 	})
 	if err != nil {
 		fatal("starting batch server failed", "err", err)
@@ -202,14 +216,17 @@ func main() {
 			Backend:        engine.Name(),
 			MaxClients:     *maxClients,
 			KeyTTL:         *keyTTL,
+			StoreDir:       *keyStore,
 			RequestTimeout: *reqTimeout,
 		})
 		if err != nil {
 			fatal("starting keyed routes failed", "err", err)
 		}
+		defer keyed.Close()
 		keyed.Routes(mux)
 		slog.Info("encrypted key-holder routes mounted",
-			"rotations", len(base.Rotations()), "max_clients", *maxClients)
+			"rotations", len(base.Rotations()), "max_clients", *maxClients,
+			"key_store", *keyStore, "resident_bundles", keyed.Store().Len())
 	}
 
 	tmux := telemetry.Handler(telemetry.Default())
@@ -217,9 +234,22 @@ func main() {
 	mux.Handle("/metrics.json", tmux)
 	mux.Handle("/debug/", tmux)
 
-	httpSrv := &http.Server{Addr: *addr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal("listening failed", "addr", *addr, "err", err)
+	}
+	if *chaosSpec != "" {
+		inj, cerr := chaos.Parse(*chaosSpec, *chaosSeed)
+		if cerr != nil {
+			fatal("parsing -chaos spec failed", "spec", *chaosSpec, "err", cerr)
+		}
+		ln = inj.WrapListener(ln)
+		slog.Warn("chaos fault injection armed on the listener",
+			"spec", *chaosSpec, "seed", *chaosSeed)
+	}
+	httpSrv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	errCh := make(chan error, 1)
-	go func() { errCh <- httpSrv.ListenAndServe() }()
+	go func() { errCh <- httpSrv.Serve(ln) }()
 	slog.Info("heserve listening", "url", "http://"+*addr,
 		"batch", bp.Batch, "max_wait", *maxWait, "backend", engine.Name())
 
@@ -233,6 +263,9 @@ func main() {
 
 	// Graceful stop: close the HTTP listener first (in-flight handlers
 	// keep waiting on their batches), then drain the micro-batch queue.
+	// The drain budget is a bound, not a promise: when it expires the
+	// daemon force-closes the remaining connections and exits anyway —
+	// a hung batch must not wedge shutdown.
 	slog.Info("shutting down: draining in-flight batches", "budget", *drainWait)
 	dctx, cancel := context.WithTimeout(context.Background(), *drainWait)
 	defer cancel()
@@ -240,7 +273,10 @@ func main() {
 		slog.Warn("http shutdown incomplete", "err", err)
 	}
 	if err := srv.Shutdown(dctx); err != nil {
-		fatal("drain incomplete", "err", err)
+		slog.Warn("drain budget exceeded; force-closing remaining connections",
+			"budget", *drainWait, "err", err)
+		_ = httpSrv.Close()
+	} else {
+		slog.Info("drained, exiting")
 	}
-	slog.Info("drained, exiting")
 }

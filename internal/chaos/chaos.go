@@ -1,0 +1,260 @@
+// Package chaos provides seeded, schedule-driven fault injection at the
+// network level, complementing internal/faults (which corrupts ciphertexts
+// inside the engine). Where faults asks "does the guarded runtime catch a
+// bad backend?", chaos asks "does the serving stack survive a bad
+// network?": added latency, connection resets, truncated bodies, and 5xx
+// bursts, injected either server-side (WrapListener) or client-side
+// (Transport).
+//
+// Faults are configured by a compact spec string so the same grammar works
+// as a CLI flag (heserve -chaos, hebombard -chaos) and in tests:
+//
+//	kind[:opt=val[:opt=val...]][,kind...]
+//
+// Kinds and their options:
+//
+//	latency    delay connection reads / round trips.   ms (default 50)
+//	reset      kill the TCP connection mid-exchange (RST server-side,
+//	           synthetic ECONNRESET client-side).
+//	truncate   cut the response body short.            bytes (default 64)
+//	5xx        answer with a synthetic error status
+//	           (client-side Transport only).           status (default 503)
+//
+// Every kind takes p (probability per event, default 1) and an optional
+// activity window relative to injector creation: start, dur, period.
+// With period set the window repeats, giving bursts:
+//
+//	"latency:ms=200:p=0.5,5xx:p=0.3:start=2s:dur=1s:period=10s"
+//
+// injects 200 ms on half of all events, plus a 1-second 503 burst (30 %
+// of requests) beginning 2 s into every 10 s cycle.
+//
+// All randomness flows from the Injector's seed through a single guarded
+// source, so a run with p<1 faults is reproducible given the same seed
+// and event order.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind enumerates the injectable network fault classes.
+type Kind int
+
+const (
+	// Latency delays reads (listener side) or round trips (client side).
+	Latency Kind = iota
+	// Reset kills the connection: TCP RST from a wrapped listener, a
+	// synthetic ECONNRESET from a wrapped transport.
+	Reset
+	// Truncate cuts the body short: the listener closes the connection
+	// after a byte budget, the transport clips the response body.
+	Truncate
+	// Err5xx answers with a synthetic error status without forwarding
+	// the request (Transport only; a listener has no HTTP framing).
+	Err5xx
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Latency:
+		return "latency"
+	case Reset:
+		return "reset"
+	case Truncate:
+		return "truncate"
+	case Err5xx:
+		return "5xx"
+	}
+	return fmt.Sprintf("chaos.Kind(%d)", int(k))
+}
+
+// Rule configures one fault class.
+type Rule struct {
+	// Kind selects the fault class.
+	Kind Kind
+	// P is the per-event firing probability in (0, 1]; 0 means 1.
+	P float64
+	// Latency is the injected delay for Latency rules (default 50ms).
+	Latency time.Duration
+	// Bytes is the body budget for Truncate rules (default 64).
+	Bytes int64
+	// Status is the synthetic response code for Err5xx rules (default 503).
+	Status int
+	// Start, Dur, Period define the activity window relative to the
+	// Injector's creation. Zero values mean always active; Period > 0
+	// repeats the [Start, Start+Dur) window every Period.
+	Start, Dur, Period time.Duration
+}
+
+// Injector evaluates a rule set against a seeded random source. One
+// Injector can back any number of listeners and transports; counters
+// report what actually fired.
+type Injector struct {
+	rules []Rule
+	epoch time.Time
+	now   func() time.Time // test hook
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	fired [4]atomic.Int64 // indexed by Kind
+}
+
+// New builds an Injector over rules with the given seed. A nil or empty
+// rule set yields an inert injector (wrappers pass through untouched).
+func New(seed int64, rules []Rule) *Injector {
+	inj := &Injector{
+		rules: rules,
+		now:   time.Now,
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+	inj.epoch = inj.now()
+	return inj
+}
+
+// Parse builds an Injector directly from a spec string (see the package
+// comment for the grammar).
+func Parse(spec string, seed int64) (*Injector, error) {
+	rules, err := ParseRules(spec)
+	if err != nil {
+		return nil, err
+	}
+	return New(seed, rules), nil
+}
+
+// ParseRules parses the spec grammar into rules. An empty spec is an
+// empty rule set, not an error.
+func ParseRules(spec string) ([]Rule, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	var rules []Rule
+	for _, item := range strings.Split(spec, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		parts := strings.Split(item, ":")
+		r := Rule{}
+		switch parts[0] {
+		case "latency":
+			r.Kind = Latency
+			r.Latency = 50 * time.Millisecond
+		case "reset":
+			r.Kind = Reset
+		case "truncate":
+			r.Kind = Truncate
+			r.Bytes = 64
+		case "5xx":
+			r.Kind = Err5xx
+			r.Status = 503
+		default:
+			return nil, fmt.Errorf("chaos: unknown fault kind %q", parts[0])
+		}
+		for _, opt := range parts[1:] {
+			k, v, ok := strings.Cut(opt, "=")
+			if !ok {
+				return nil, fmt.Errorf("chaos: option %q in %q is not key=value", opt, item)
+			}
+			var err error
+			switch k {
+			case "p":
+				r.P, err = strconv.ParseFloat(v, 64)
+				if err == nil && (r.P <= 0 || r.P > 1) {
+					err = fmt.Errorf("probability %v outside (0, 1]", r.P)
+				}
+			case "ms":
+				var ms int64
+				ms, err = strconv.ParseInt(v, 10, 64)
+				r.Latency = time.Duration(ms) * time.Millisecond
+			case "bytes":
+				r.Bytes, err = strconv.ParseInt(v, 10, 64)
+			case "status":
+				r.Status, err = strconv.Atoi(v)
+				if err == nil && (r.Status < 500 || r.Status > 599) {
+					err = fmt.Errorf("status %d outside 5xx", r.Status)
+				}
+			case "start":
+				r.Start, err = time.ParseDuration(v)
+			case "dur":
+				r.Dur, err = time.ParseDuration(v)
+			case "period":
+				r.Period, err = time.ParseDuration(v)
+			default:
+				return nil, fmt.Errorf("chaos: unknown option %q in %q", k, item)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("chaos: option %q in %q: %v", opt, item, err)
+			}
+		}
+		rules = append(rules, r)
+	}
+	return rules, nil
+}
+
+// active reports whether r's schedule window covers the instant now.
+func (r Rule) active(sinceEpoch time.Duration) bool {
+	if r.Start == 0 && r.Dur == 0 && r.Period == 0 {
+		return true
+	}
+	off := sinceEpoch
+	if r.Period > 0 {
+		off %= r.Period
+	}
+	if off < r.Start {
+		return false
+	}
+	if r.Dur > 0 && off >= r.Start+r.Dur {
+		return false
+	}
+	return true
+}
+
+// pick returns the first rule of kind k that is active and wins its
+// probability roll for this event.
+func (inj *Injector) pick(k Kind) (Rule, bool) {
+	if inj == nil {
+		return Rule{}, false
+	}
+	since := inj.now().Sub(inj.epoch)
+	for _, r := range inj.rules {
+		if r.Kind != k || !r.active(since) {
+			continue
+		}
+		p := r.P
+		if p == 0 {
+			p = 1
+		}
+		inj.mu.Lock()
+		hit := inj.rng.Float64() < p
+		inj.mu.Unlock()
+		if hit {
+			inj.fired[k].Add(1)
+			return r, true
+		}
+	}
+	return Rule{}, false
+}
+
+// Fired reports how many faults of each kind this injector delivered.
+func (inj *Injector) Fired() map[string]int64 {
+	if inj == nil {
+		return nil
+	}
+	out := make(map[string]int64, 4)
+	for k := Latency; k <= Err5xx; k++ {
+		if n := inj.fired[k].Load(); n > 0 {
+			out[k.String()] = n
+		}
+	}
+	return out
+}

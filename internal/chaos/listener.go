@@ -1,0 +1,101 @@
+package chaos
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// WrapListener returns l with the injector's faults applied to accepted
+// connections. Fault decisions are made once per connection at accept
+// time, so a single spec produces a mix of healthy and faulty
+// connections under p < 1:
+//
+//	latency   the first read on the connection is delayed, stalling the
+//	          request mid-parse the way a congested path would;
+//	reset     the connection is closed with SO_LINGER=0 after its write
+//	          budget (default 0 bytes), surfacing to the peer as a TCP
+//	          RST ("connection reset by peer") mid-response;
+//	truncate  the connection is closed normally after Bytes of writes,
+//	          so the peer sees a short body / unexpected EOF.
+//
+// 5xx rules are ignored here: a listener has no HTTP framing to answer
+// with (use Transport for synthetic statuses).
+func (inj *Injector) WrapListener(l net.Listener) net.Listener {
+	if inj == nil {
+		return l
+	}
+	return &listener{Listener: l, inj: inj}
+}
+
+type listener struct {
+	net.Listener
+	inj *Injector
+}
+
+func (l *listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	fc := &conn{Conn: c, resetAfter: -1, truncateAfter: -1}
+	if r, ok := l.inj.pick(Latency); ok {
+		fc.delay = r.Latency
+	}
+	if r, ok := l.inj.pick(Reset); ok {
+		fc.resetAfter = r.Bytes
+	} else if r, ok := l.inj.pick(Truncate); ok {
+		fc.truncateAfter = r.Bytes
+	}
+	return fc, nil
+}
+
+// conn applies per-connection faults decided at accept time.
+type conn struct {
+	net.Conn
+	delay         time.Duration // injected before the first Read
+	resetAfter    int64         // RST after this many written bytes; -1 off
+	truncateAfter int64         // FIN after this many written bytes; -1 off
+	written       int64
+	delayOnce     sync.Once
+}
+
+func (c *conn) Read(p []byte) (int, error) {
+	c.delayOnce.Do(func() {
+		if c.delay > 0 {
+			time.Sleep(c.delay)
+		}
+	})
+	return c.Conn.Read(p)
+}
+
+func (c *conn) Write(p []byte) (int, error) {
+	if c.resetAfter < 0 && c.truncateAfter < 0 {
+		n, err := c.Conn.Write(p)
+		c.written += int64(n)
+		return n, err
+	}
+	budget := c.resetAfter
+	if budget < 0 {
+		budget = c.truncateAfter
+	}
+	remaining := budget - c.written
+	if remaining > int64(len(p)) {
+		n, err := c.Conn.Write(p)
+		c.written += int64(n)
+		return n, err
+	}
+	var n int
+	if remaining > 0 {
+		n, _ = c.Conn.Write(p[:remaining])
+		c.written += int64(n)
+	}
+	if c.resetAfter >= 0 {
+		// SO_LINGER=0 turns Close into an abortive RST instead of a FIN.
+		if tc, ok := c.Conn.(interface{ SetLinger(int) error }); ok {
+			_ = tc.SetLinger(0)
+		}
+	}
+	_ = c.Conn.Close()
+	return n, net.ErrClosed
+}

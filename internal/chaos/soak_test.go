@@ -1,0 +1,392 @@
+package chaos_test
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cnnhe/internal/chaos"
+	"cnnhe/internal/ckks"
+	"cnnhe/internal/client"
+	"cnnhe/internal/guard"
+	"cnnhe/internal/henn"
+	"cnnhe/internal/nn"
+	"cnnhe/internal/serve"
+)
+
+// soakModel mirrors the serve test fixture: Conv(1→2, 3×3, s2) → SLAF →
+// Flatten → Dense on 8×8 inputs.
+func soakModel(seed int64) *nn.Model {
+	rng := rand.New(rand.NewSource(seed))
+	conv := nn.NewConv2D(rng, 1, 2, 3, 2, 0, 8, 8)
+	flat := conv.OutC * conv.OutH() * conv.OutW()
+	m := &nn.Model{Layers: []nn.Layer{
+		conv,
+		nn.NewReLU(),
+		nn.NewFlatten(),
+		nn.NewDense(rng, flat, 4),
+	}}
+	hm := m.ReplaceReLUWithSLAF(3, 1)
+	for _, l := range hm.Layers {
+		if s, ok := l.(*nn.SLAF); ok {
+			s.FitReLU(3)
+		}
+	}
+	return hm
+}
+
+// daemon is one in-process incarnation of the keyed server: an abrupt
+// Close (the test's stand-in for SIGKILL — no drain, connections torn
+// down mid-exchange) plus a channel carrying Serve's exit, so the soak
+// can assert the server only ever stopped because we stopped it.
+type daemon struct {
+	keyed *serve.Keyed
+	http  *http.Server
+	done  chan error
+}
+
+// startDaemon boots a keyed server over the durable store at dir,
+// listening on addr ("127.0.0.1:0" for the first incarnation, the
+// recorded address for restarts), with inj's faults on the listener.
+func startDaemon(t *testing.T, addr, dir string, inj *chaos.Injector) (*daemon, string) {
+	t.Helper()
+	m := soakModel(61)
+	plan, err := henn.Compile(m, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ckks.NewParameters(10, []int{40, 30, 30, 30, 30}, 60, 1, math.Exp2(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := ckks.NewContext(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keyed, err := serve.NewKeyed(serve.KeyedConfig{
+		Ctx:      ctx,
+		Plan:     plan,
+		Model:    "tiny",
+		Backend:  "ckks-rns",
+		StoreDir: dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ln net.Listener
+	// An abruptly killed predecessor may need a beat to release the port.
+	for i := 0; ; i++ {
+		if ln, err = net.Listen("tcp", addr); err == nil {
+			break
+		}
+		if i == 50 {
+			t.Fatalf("rebinding %s: %v", addr, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	mux := http.NewServeMux()
+	keyed.Routes(mux)
+	d := &daemon{
+		keyed: keyed,
+		http:  &http.Server{Handler: mux},
+		done:  make(chan error, 1),
+	}
+	go func() { d.done <- d.http.Serve(inj.WrapListener(ln)) }()
+	return d, ln.Addr().String()
+}
+
+// kill tears the daemon down the way SIGKILL would reach its sockets:
+// listener and every live connection closed immediately, no drain.
+func (d *daemon) kill(t *testing.T) {
+	t.Helper()
+	_ = d.http.Close()
+	d.keyed.Close()
+	select {
+	case err := <-d.done:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			t.Fatalf("server exited with an unexpected error: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not exit after Close")
+	}
+}
+
+// soakClient is a retrying SDK client tuned for the test's timescale.
+func soakClient(url string) *client.Client {
+	cl := client.New(url)
+	cl.HTTP = &http.Client{
+		Timeout: 30 * time.Second,
+		// One connection per request, so listener-level faults (decided
+		// at accept) hit a fresh roll on every attempt.
+		Transport: &http.Transport{DisableKeepAlives: true},
+	}
+	cl.Retry = &client.RetryPolicy{
+		MaxAttempts: 8,
+		BaseBackoff: 50 * time.Millisecond,
+		MaxBackoff:  500 * time.Millisecond,
+		Rand:        rand.New(rand.NewSource(99)),
+	}
+	return cl
+}
+
+// TestSoakChaosKillRestart is the survival drill the robustness work
+// exists for, end to end:
+//
+//  1. a client registers its key bundle with a durable-store daemon and
+//     records a seeded encrypted classification;
+//  2. concurrent encrypted load runs against a listener injecting
+//     latency, connection resets, and truncated bodies — and mid-load
+//     the daemon is killed abruptly and restarted over the same store
+//     directory and address;
+//  3. after the restart: the bundle is resident server-side before any
+//     client request (durability, not client self-heal), the same
+//     seeded classification decrypts bit-identically (no re-keygen, no
+//     state drift), further load succeeds, and every request issued
+//     during the whole ordeal terminated with a definite outcome.
+func TestSoakChaosKillRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak: skipped in -short mode")
+	}
+	dir := t.TempDir()
+	loadFaults := []chaos.Rule{
+		{Kind: chaos.Latency, P: 0.2, Latency: 20 * time.Millisecond},
+		{Kind: chaos.Reset, P: 0.05},
+		{Kind: chaos.Truncate, P: 0.05, Bytes: 400},
+	}
+	inj1 := chaos.New(1, loadFaults)
+	d1, addr := startDaemon(t, "127.0.0.1:0", dir, inj1)
+	url := "http://" + addr
+
+	// Phase 1: key ceremony + reference classification through chaos.
+	cl := soakClient(url)
+	info, err := cl.Info(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks, err := client.GenerateKeys(info, client.WithSeed(91))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Register(context.Background(), ks); err != nil {
+		t.Fatal(err)
+	}
+	fp, err := ks.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := make([]float64, info.InputDim)
+	irng := rand.New(rand.NewSource(13))
+	for i := range img {
+		img[i] = float64(irng.Intn(256))
+	}
+	const encSeed = 777
+	var ref *client.ClassifyResult
+	for attempt := 0; ; attempt++ {
+		// Chaos can tear the 200 response body (not a retryable status),
+		// so the reference round trip gets its own persistence.
+		if ref, err = cl.ClassifyEncrypted(context.Background(), ks, img, info.OutputDim,
+			client.WithEncryptionSeed(encSeed)); err == nil {
+			break
+		}
+		if attempt == 10 {
+			t.Fatalf("reference classification never survived chaos: %v", err)
+		}
+	}
+
+	// Phase 2: concurrent load; kill + restart mid-flight.
+	const workers, rounds = 4, 6
+	var (
+		mu       sync.Mutex
+		outcomes = map[string]int{}
+	)
+	account := func(class string) {
+		mu.Lock()
+		outcomes[class]++
+		mu.Unlock()
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wcl := soakClient(url)
+			wcl.Retry.Rand = rand.New(rand.NewSource(int64(w)))
+			for r := 0; r < rounds; r++ {
+				_, err := wcl.ClassifyEncrypted(context.Background(), ks, img, info.OutputDim)
+				switch {
+				case err == nil:
+					account("ok")
+				default:
+					account("error")
+				}
+			}
+		}(w)
+	}
+
+	time.Sleep(300 * time.Millisecond) // let load hit the first daemon
+	d1.kill(t)
+	// Restart over the same store and address; latency-only chaos keeps
+	// the network imperfect without corrupting the verification phase.
+	inj2 := chaos.New(2, []chaos.Rule{{Kind: chaos.Latency, P: 0.3, Latency: 10 * time.Millisecond}})
+	d2, _ := startDaemon(t, addr, dir, inj2)
+	defer d2.kill(t)
+	wg.Wait()
+
+	mu.Lock()
+	total := 0
+	for _, n := range outcomes {
+		total += n
+	}
+	mu.Unlock()
+	if total != workers*rounds {
+		t.Fatalf("accounted %d outcomes for %d requests — silent drop", total, workers*rounds)
+	}
+
+	// Phase 3: durability + bit-identical round trip, asserted
+	// server-side BEFORE any client call could self-heal via
+	// re-registration.
+	if _, err := d2.keyed.Store().Get(fp); err != nil {
+		t.Fatalf("bundle not resident after restart (durable reload failed): %v", err)
+	}
+	again, err := cl.ClassifyEncrypted(context.Background(), ks, img, info.OutputDim,
+		client.WithEncryptionSeed(encSeed))
+	if err != nil {
+		t.Fatalf("post-restart classification: %v", err)
+	}
+	if len(again.Logits) != len(ref.Logits) {
+		t.Fatalf("logit count drifted: %d != %d", len(again.Logits), len(ref.Logits))
+	}
+	for i := range ref.Logits {
+		if again.Logits[i] != ref.Logits[i] {
+			t.Fatalf("logit %d not bit-identical across kill/restart: %v != %v",
+				i, again.Logits[i], ref.Logits[i])
+		}
+	}
+
+	// Post-restart load must also succeed (fresh client, no prior state).
+	post, err := soakClient(url).ClassifyEncrypted(context.Background(), ks, img, info.OutputDim)
+	if err != nil {
+		t.Fatalf("fresh-client post-restart classification: %v", err)
+	}
+	if post.Class != ref.Class {
+		t.Fatalf("class drifted after restart: %d != %d", post.Class, ref.Class)
+	}
+
+	// The chaos actually bit: at least one fault fired during the load
+	// phase (individual kinds are pinned deterministically in the unit
+	// tests; here we prove the soak did not run on a clean network).
+	if len(inj1.Fired()) == 0 {
+		t.Fatal("no chaos fault fired during the load phase")
+	}
+	t.Logf("soak outcomes: %v; chaos fired: %v then %v", outcomes, inj1.Fired(), inj2.Fired())
+}
+
+// TestSoakPlainNoSilentDrops hammers the micro-batching plaintext server
+// with concurrent mixed-deadline load under the race detector and proves
+// the no-silent-drop invariant structurally: every Submit returns exactly
+// one classified outcome, the admission gate sheds rather than wedges,
+// and the server still serves cleanly afterwards.
+func TestSoakPlainNoSilentDrops(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak: skipped in -short mode")
+	}
+	m := soakModel(61)
+	bp, err := henn.CompileBatched(m, 512, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ckks.NewParameters(10, []int{40, 30, 30, 30, 30}, 60, 1, math.Exp2(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := henn.NewRNSEngine(p, bp.Plan.Rotations(), 601)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := serve.New(serve.Config{
+		Batch:         bp,
+		Engine:        guard.New(e, guard.DefaultConfig()),
+		MaxWait:       time.Millisecond,
+		QueueSize:     8,
+		TargetLatency: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = s.Shutdown(context.Background()) }()
+
+	const workers, rounds = 8, 12
+	var (
+		mu       sync.Mutex
+		outcomes = map[string]int{}
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for r := 0; r < rounds; r++ {
+				img := make([]float64, bp.Plan.InputDim)
+				for i := range img {
+					img[i] = float64(rng.Intn(256))
+				}
+				ctx := context.Background()
+				if r%3 == 1 {
+					// A third of the load carries tight deadlines some of
+					// which the shed path must refuse.
+					var cancel context.CancelFunc
+					ctx, cancel = context.WithTimeout(ctx, time.Duration(1+rng.Intn(200))*time.Millisecond)
+					defer cancel()
+				}
+				_, _, err := s.Submit(ctx, img)
+				class := "ok"
+				switch {
+				case errors.Is(err, serve.ErrQueueFull):
+					class = "rejected"
+				case errors.Is(err, serve.ErrDeadlineUnmeetable):
+					class = "shed"
+				case errors.Is(err, context.DeadlineExceeded):
+					class = "deadline"
+				case err != nil:
+					class = "error:" + err.Error()
+				}
+				mu.Lock()
+				outcomes[class]++
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	total, unexpected := 0, []string{}
+	for class, n := range outcomes {
+		total += n
+		if strings.HasPrefix(class, "error:") {
+			unexpected = append(unexpected, class)
+		}
+	}
+	if total != workers*rounds {
+		t.Fatalf("accounted %d outcomes for %d requests — silent drop", total, workers*rounds)
+	}
+	if len(unexpected) > 0 {
+		t.Fatalf("unclassified errors under load: %v (outcomes %v)", unexpected, outcomes)
+	}
+	if outcomes["ok"] == 0 {
+		t.Fatalf("overload soak starved every request: %v", outcomes)
+	}
+
+	// The server is still healthy: an unhurried request round-trips.
+	img := make([]float64, bp.Plan.InputDim)
+	if _, _, err := s.Submit(context.Background(), img); err != nil {
+		t.Fatalf("post-soak request failed: %v", err)
+	}
+	t.Logf("plain soak outcomes: %v", outcomes)
+}

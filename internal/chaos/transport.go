@@ -1,0 +1,105 @@
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"syscall"
+	"time"
+)
+
+// Transport returns an http.RoundTripper that applies the injector's
+// faults on the client side of each round trip:
+//
+//	latency   the request is delayed before being sent (cancellable via
+//	          the request context);
+//	reset     a synthetic ECONNRESET is returned without sending the
+//	          request — errors.Is(err, syscall.ECONNRESET) holds, so
+//	          retry classifiers treat it exactly like a real peer reset;
+//	5xx       a synthetic response with the rule's status is returned
+//	          without sending the request;
+//	truncate  the request is sent normally, but the response body is
+//	          clipped to the rule's byte budget and then fails with
+//	          io.ErrUnexpectedEOF.
+//
+// base nil means http.DefaultTransport. A nil injector returns base
+// unchanged.
+func (inj *Injector) Transport(base http.RoundTripper) http.RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	if inj == nil {
+		return base
+	}
+	return &transport{base: base, inj: inj}
+}
+
+type transport struct {
+	base http.RoundTripper
+	inj  *Injector
+}
+
+func (t *transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if r, ok := t.inj.pick(Latency); ok && r.Latency > 0 {
+		timer := time.NewTimer(r.Latency)
+		select {
+		case <-req.Context().Done():
+			timer.Stop()
+			return nil, req.Context().Err()
+		case <-timer.C:
+		}
+	}
+	if _, ok := t.inj.pick(Reset); ok {
+		return nil, &net.OpError{Op: "read", Net: "tcp", Err: syscall.ECONNRESET}
+	}
+	if r, ok := t.inj.pick(Err5xx); ok {
+		body := fmt.Sprintf("chaos: injected %d", r.Status)
+		return &http.Response{
+			Status:        fmt.Sprintf("%d %s", r.Status, http.StatusText(r.Status)),
+			StatusCode:    r.Status,
+			Proto:         "HTTP/1.1",
+			ProtoMajor:    1,
+			ProtoMinor:    1,
+			Header:        http.Header{"Content-Type": []string{"text/plain"}},
+			Body:          io.NopCloser(strings.NewReader(body)),
+			ContentLength: int64(len(body)),
+			Request:       req,
+		}, nil
+	}
+	resp, err := t.base.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if r, ok := t.inj.pick(Truncate); ok {
+		resp.Body = &truncatedBody{rc: resp.Body, budget: r.Bytes}
+	}
+	return resp, nil
+}
+
+// truncatedBody yields at most budget bytes, then fails the way a torn
+// connection does.
+type truncatedBody struct {
+	rc     io.ReadCloser
+	budget int64
+	read   int64
+}
+
+func (b *truncatedBody) Read(p []byte) (int, error) {
+	remaining := b.budget - b.read
+	if remaining <= 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	if int64(len(p)) > remaining {
+		p = p[:remaining]
+	}
+	n, err := b.rc.Read(p)
+	b.read += int64(n)
+	if err == io.EOF && b.read >= b.budget {
+		err = io.ErrUnexpectedEOF
+	}
+	return n, err
+}
+
+func (b *truncatedBody) Close() error { return b.rc.Close() }

@@ -17,11 +17,19 @@ type Client struct {
 	BaseURL string
 	// HTTP is the underlying client (http.DefaultClient when nil).
 	HTTP *http.Client
+	// Retry governs transient-failure handling (see RetryPolicy). Nil
+	// means single-attempt calls; New installs DefaultRetryPolicy.
+	Retry *RetryPolicy
 }
 
-// New returns a client for the server at baseURL.
+// New returns a client for the server at baseURL with the default retry
+// policy installed.
 func New(baseURL string) *Client {
-	return &Client{BaseURL: baseURL, HTTP: &http.Client{Timeout: 5 * time.Minute}}
+	return &Client{
+		BaseURL: baseURL,
+		HTTP:    &http.Client{Timeout: 5 * time.Minute},
+		Retry:   DefaultRetryPolicy(),
+	}
 }
 
 func (c *Client) http() *http.Client {
@@ -45,11 +53,9 @@ func apiError(resp *http.Response) error {
 
 // Info fetches the server's plan/parameter manifest.
 func (c *Client) Info(ctx context.Context) (*InfoResponse, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+PathInfo, nil)
-	if err != nil {
-		return nil, err
-	}
-	resp, err := c.http().Do(req)
+	resp, err := c.doWithRetry(ctx, func() (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+PathInfo, nil)
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -72,12 +78,14 @@ func (c *Client) Register(ctx context.Context, ks *KeySet) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+PathKeys, bytes.NewReader(bundle))
-	if err != nil {
-		return "", err
-	}
-	req.Header.Set("Content-Type", ContentTypeCKKS)
-	resp, err := c.http().Do(req)
+	resp, err := c.doWithRetry(ctx, func() (*http.Request, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+PathKeys, bytes.NewReader(bundle))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", ContentTypeCKKS)
+		return req, nil
+	})
 	if err != nil {
 		return "", err
 	}
@@ -144,15 +152,31 @@ func (c *Client) ClassifyEncrypted(ctx context.Context, ks *KeySet, image []floa
 	if err := ks.Context().WriteCiphertext(&body, ct); err != nil {
 		return nil, err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+PathClassifyEncrypted, &body)
+	payload := body.Bytes()
+	mkReq := func() (*http.Request, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+PathClassifyEncrypted, bytes.NewReader(payload))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", ContentTypeCKKS)
+		req.Header.Set(HeaderKeyFingerprint, fp)
+		return req, nil
+	}
+	resp, err := c.doWithRetry(ctx, mkReq)
 	if err != nil {
 		return nil, err
 	}
-	req.Header.Set("Content-Type", ContentTypeCKKS)
-	req.Header.Set(HeaderKeyFingerprint, fp)
-	resp, err := c.http().Do(req)
-	if err != nil {
-		return nil, err
+	if resp.StatusCode == http.StatusNotFound {
+		// Self-heal: the server no longer knows our bundle (evicted, or
+		// restarted without its durable store). Re-register once and
+		// replay — the keys never left this process, so no re-keygen.
+		resp.Body.Close()
+		if _, rerr := c.Register(ctx, ks); rerr != nil {
+			return nil, fmt.Errorf("client: re-registering evicted bundle: %w", rerr)
+		}
+		if resp, err = c.doWithRetry(ctx, mkReq); err != nil {
+			return nil, err
+		}
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {

@@ -1,0 +1,167 @@
+package client
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// RetryPolicy governs how the client survives transient failures:
+// transport errors and overload statuses (429, 503) are retried with
+// jittered exponential backoff, honoring the server's Retry-After hint
+// when it is larger than the computed backoff. The policy mirrors
+// heinfer's dataset-run retrier so one backoff discipline covers both
+// the CLI and SDK paths.
+//
+// Every other status is terminal: 4xx means the request itself is wrong,
+// and a 500 from this server means an evaluation bug that a retry would
+// only repeat (the serving loop already classifies and recovers guard
+// trips internally).
+type RetryPolicy struct {
+	// MaxAttempts bounds the total tries per call, including the first
+	// (the per-call retry budget). 0 means DefaultRetryAttempts; 1
+	// disables retries.
+	MaxAttempts int
+	// BaseBackoff is the first retry's nominal delay (default 100ms).
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth (default 5s).
+	MaxBackoff time.Duration
+
+	// Rand, when set, seeds the jitter (tests); nil uses a private
+	// source seeded from the clock.
+	Rand *rand.Rand
+	// Sleep, when set, replaces the context-aware wait (tests record
+	// the requested delays instead of actually sleeping).
+	Sleep func(context.Context, time.Duration) error
+
+	mu sync.Mutex // guards Rand (http.Client may run calls concurrently)
+}
+
+// Retry policy defaults.
+const (
+	DefaultRetryAttempts = 4
+	defaultBaseBackoff   = 100 * time.Millisecond
+	defaultMaxBackoff    = 5 * time.Second
+)
+
+// DefaultRetryPolicy is the policy New installs.
+func DefaultRetryPolicy() *RetryPolicy {
+	return &RetryPolicy{
+		MaxAttempts: DefaultRetryAttempts,
+		BaseBackoff: defaultBaseBackoff,
+		MaxBackoff:  defaultMaxBackoff,
+	}
+}
+
+// retryableStatus reports whether an HTTP status signals a transient
+// condition worth retrying.
+func retryableStatus(code int) bool {
+	return code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable
+}
+
+// backoff computes the attempt-th delay (1-based): exponential with
+// full jitter in [d/2, d], floored by the server's Retry-After hint.
+func (p *RetryPolicy) backoff(attempt int, retryAfter time.Duration) time.Duration {
+	base := p.BaseBackoff
+	if base <= 0 {
+		base = defaultBaseBackoff
+	}
+	maxB := p.MaxBackoff
+	if maxB <= 0 {
+		maxB = defaultMaxBackoff
+	}
+	d := base << (attempt - 1)
+	if d > maxB || d <= 0 {
+		d = maxB
+	}
+	p.mu.Lock()
+	if p.Rand == nil {
+		p.Rand = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	jittered := d/2 + time.Duration(p.Rand.Int63n(int64(d/2)+1))
+	p.mu.Unlock()
+	if retryAfter > jittered {
+		return retryAfter
+	}
+	return jittered
+}
+
+// wait sleeps for d or until ctx is done.
+func (p *RetryPolicy) wait(ctx context.Context, d time.Duration) error {
+	if p.Sleep != nil {
+		return p.Sleep(ctx, d)
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-timer.C:
+		return nil
+	}
+}
+
+// parseRetryAfter reads the integral-seconds form of Retry-After (the
+// only form this server emits). Absent or unparsable hints are zero.
+func parseRetryAfter(resp *http.Response) time.Duration {
+	if resp == nil {
+		return 0
+	}
+	v := resp.Header.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// doWithRetry runs one exchange under the client's retry policy. mkReq
+// must build a fresh request per attempt (request bodies cannot be
+// replayed). The final response is returned even when its status is an
+// exhausted-retryable one, so callers surface the server's own error
+// body; a nil policy means a single attempt.
+func (c *Client) doWithRetry(ctx context.Context, mkReq func() (*http.Request, error)) (*http.Response, error) {
+	attempts := 1
+	if c.Retry != nil {
+		attempts = c.Retry.MaxAttempts
+		if attempts <= 0 {
+			attempts = DefaultRetryAttempts
+		}
+	}
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		req, err := mkReq()
+		if err != nil {
+			return nil, err
+		}
+		resp, err := c.http().Do(req)
+		switch {
+		case err == nil && !retryableStatus(resp.StatusCode):
+			return resp, nil
+		case err != nil:
+			lastErr = err
+		}
+		if attempt >= attempts {
+			if err != nil {
+				return nil, fmt.Errorf("client: %d attempts exhausted: %w", attempts, lastErr)
+			}
+			return resp, nil
+		}
+		var hint time.Duration
+		if err == nil {
+			hint = parseRetryAfter(resp)
+			// Drain so the transport can reuse the connection.
+			_ = resp.Body.Close()
+		}
+		if werr := c.Retry.wait(ctx, c.Retry.backoff(attempt, hint)); werr != nil {
+			return nil, werr
+		}
+	}
+}

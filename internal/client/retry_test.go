@@ -1,0 +1,159 @@
+package client
+
+import (
+	"context"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// retryFixture wires a client with a deterministic policy to a handler,
+// recording every sleep the retrier requests instead of waiting.
+func retryFixture(h http.HandlerFunc, attempts int) (*Client, *httptest.Server, *[]time.Duration) {
+	ts := httptest.NewServer(h)
+	sleeps := &[]time.Duration{}
+	c := New(ts.URL)
+	c.Retry = &RetryPolicy{
+		MaxAttempts: attempts,
+		Rand:        rand.New(rand.NewSource(7)),
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			*sleeps = append(*sleeps, d)
+			return nil
+		},
+	}
+	return c, ts, sleeps
+}
+
+// TestRetryHonorsRetryAfter: 429s with a Retry-After larger than the
+// computed backoff push the wait out to the server's hint; the call
+// succeeds once the server recovers, within the attempt budget.
+func TestRetryHonorsRetryAfter(t *testing.T) {
+	var hits atomic.Int64
+	c, ts, sleeps := retryFixture(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "2")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte("{}"))
+	}, 4)
+	defer ts.Close()
+	if _, err := c.Info(context.Background()); err != nil {
+		t.Fatalf("call should succeed after two 429s: %v", err)
+	}
+	if hits.Load() != 3 {
+		t.Fatalf("server saw %d requests, want 3", hits.Load())
+	}
+	if len(*sleeps) != 2 {
+		t.Fatalf("recorded %d sleeps, want 2", len(*sleeps))
+	}
+	for i, d := range *sleeps {
+		if d < 2*time.Second {
+			t.Errorf("sleep %d was %v, want ≥ the 2s Retry-After hint", i, d)
+		}
+	}
+}
+
+// TestRetryBudgetExhausted: a persistently overloaded server consumes
+// exactly MaxAttempts requests, then the server's own error surfaces.
+func TestRetryBudgetExhausted(t *testing.T) {
+	var hits atomic.Int64
+	c, ts, sleeps := retryFixture(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.Error(w, `{"error":"queue full"}`, http.StatusServiceUnavailable)
+	}, 3)
+	defer ts.Close()
+	_, err := c.Info(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "queue full") {
+		t.Fatalf("want the server's final error, got %v", err)
+	}
+	if hits.Load() != 3 {
+		t.Fatalf("server saw %d requests, want the full budget of 3", hits.Load())
+	}
+	if len(*sleeps) != 2 {
+		t.Fatalf("recorded %d sleeps, want 2 (no sleep after the last attempt)", len(*sleeps))
+	}
+}
+
+// TestRetryTransportErrors: connection-level failures are retried like
+// overload statuses and reported once the budget runs out.
+func TestRetryTransportErrors(t *testing.T) {
+	c, ts, sleeps := retryFixture(func(w http.ResponseWriter, r *http.Request) {}, 3)
+	ts.Close() // every attempt now fails at the dial
+	_, err := c.Info(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "attempts exhausted") {
+		t.Fatalf("want exhaustion error, got %v", err)
+	}
+	if len(*sleeps) != 2 {
+		t.Fatalf("recorded %d sleeps, want 2", len(*sleeps))
+	}
+}
+
+// TestRetryNonRetryableStatus: client errors are terminal — no retries,
+// no sleeps.
+func TestRetryNonRetryableStatus(t *testing.T) {
+	var hits atomic.Int64
+	c, ts, sleeps := retryFixture(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.Error(w, `{"error":"bad image"}`, http.StatusBadRequest)
+	}, 4)
+	defer ts.Close()
+	if _, err := c.Info(context.Background()); err == nil {
+		t.Fatal("400 must fail the call")
+	}
+	if hits.Load() != 1 || len(*sleeps) != 0 {
+		t.Fatalf("400 retried: %d hits, %d sleeps", hits.Load(), len(*sleeps))
+	}
+}
+
+// TestRetryNilPolicySingleAttempt: the zero-value client keeps the old
+// one-shot behavior.
+func TestRetryNilPolicySingleAttempt(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.Error(w, `{"error":"overloaded"}`, http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+	c := &Client{BaseURL: ts.URL}
+	if _, err := c.Info(context.Background()); err == nil {
+		t.Fatal("single attempt must surface the 503")
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("nil policy made %d attempts, want 1", hits.Load())
+	}
+}
+
+// TestBackoffShape pins the exponential-with-full-jitter curve: attempt
+// n draws from [base·2ⁿ⁻¹/2, base·2ⁿ⁻¹], capped, floored by Retry-After.
+func TestBackoffShape(t *testing.T) {
+	p := &RetryPolicy{
+		BaseBackoff: 100 * time.Millisecond,
+		MaxBackoff:  5 * time.Second,
+		Rand:        rand.New(rand.NewSource(7)),
+	}
+	for _, tc := range []struct {
+		attempt  int
+		min, max time.Duration
+	}{
+		{1, 50 * time.Millisecond, 100 * time.Millisecond},
+		{2, 100 * time.Millisecond, 200 * time.Millisecond},
+		{4, 400 * time.Millisecond, 800 * time.Millisecond},
+		{10, 2500 * time.Millisecond, 5 * time.Second}, // capped
+	} {
+		for i := 0; i < 32; i++ {
+			d := p.backoff(tc.attempt, 0)
+			if d < tc.min || d > tc.max {
+				t.Fatalf("attempt %d: backoff %v outside [%v, %v]", tc.attempt, d, tc.min, tc.max)
+			}
+		}
+	}
+	if d := p.backoff(1, 3*time.Second); d != 3*time.Second {
+		t.Fatalf("Retry-After floor: got %v, want 3s", d)
+	}
+}

@@ -1,0 +1,225 @@
+package keys
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"cnnhe/internal/ckks"
+)
+
+// On-disk layout of a durable store: one file per registered bundle,
+// named by content fingerprint, holding exactly the wire bytes the
+// client uploaded (which already carry version + CRC framing and the
+// params digest). Writes are atomic-rename snapshots — a crash can lose
+// at most the registration in flight, never corrupt an existing file —
+// and reload re-runs the full registration validation, so a bundle that
+// rotted on disk is quarantined instead of served.
+const (
+	bundleSuffix     = ".bundle"
+	quarantineSuffix = ".quarantine"
+	tempPrefix       = ".bundle-"
+)
+
+// DefaultCompactInterval is how often the background compactor removes
+// bundle files whose entries have been evicted or expired, when
+// Config.CompactInterval is zero.
+const DefaultCompactInterval = 30 * time.Second
+
+// persist writes data under fp as an atomic-rename snapshot: the bytes
+// land in a temp file, are flushed to stable storage, and only then
+// take the fingerprint name. Readers (and a post-crash reload) see
+// either the complete bundle or nothing.
+func (s *Store) persist(fp string, data []byte) error {
+	tmp, err := os.CreateTemp(s.cfg.Dir, tempPrefix+"*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	final := filepath.Join(s.cfg.Dir, fp+bundleSuffix)
+	if err := os.Rename(tmpName, final); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	// Make the rename itself durable. Directory fsync is best-effort:
+	// filesystems that refuse it still ordered the data write above.
+	if d, err := os.Open(s.cfg.Dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	keysTel().persisted(len(data))
+	return nil
+}
+
+// loadDir replays the on-disk snapshot into the empty store, oldest
+// file first so the LRU order after reload matches registration
+// recency. Every file is re-verified end to end — name matches the
+// recomputed content fingerprint, frame CRCs hold, params digest is the
+// server's, rotation coverage suffices — and files that fail are
+// renamed aside with a .quarantine suffix rather than deleted, so a
+// mis-deployment (e.g. pointing the store at another server's
+// directory) loses nothing.
+func (s *Store) loadDir() error {
+	if err := os.MkdirAll(s.cfg.Dir, 0o700); err != nil {
+		return fmt.Errorf("keys: creating store dir: %w", err)
+	}
+	ents, err := os.ReadDir(s.cfg.Dir)
+	if err != nil {
+		return fmt.Errorf("keys: reading store dir: %w", err)
+	}
+	type candidate struct {
+		fp    string
+		path  string
+		mtime time.Time
+	}
+	var cands []candidate
+	for _, de := range ents {
+		name := de.Name()
+		if de.IsDir() || !strings.HasSuffix(name, bundleSuffix) {
+			// Stale temp files are leftovers of a crashed write; their
+			// rename never happened, so they hold no registered state.
+			if strings.HasPrefix(name, tempPrefix) {
+				os.Remove(filepath.Join(s.cfg.Dir, name))
+			}
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue
+		}
+		cands = append(cands, candidate{
+			fp:    strings.TrimSuffix(name, bundleSuffix),
+			path:  filepath.Join(s.cfg.Dir, name),
+			mtime: info.ModTime(),
+		})
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].mtime.Before(cands[j].mtime) })
+
+	for _, c := range cands {
+		data, err := os.ReadFile(c.path)
+		if err != nil {
+			s.quarantine(c.path)
+			continue
+		}
+		if ckks.BundleFingerprint(data) != c.fp {
+			s.quarantine(c.path)
+			continue
+		}
+		bundle, err := s.decodeValidate(data)
+		if err != nil {
+			s.quarantine(c.path)
+			continue
+		}
+		e := &Entry{
+			Fingerprint:  c.fp,
+			Bundle:       bundle,
+			Size:         len(data),
+			RegisteredAt: c.mtime,
+		}
+		s.mu.Lock()
+		s.removeLocked(c.fp) // duplicate filenames cannot happen; be safe
+		el := s.lru.PushFront(e)
+		s.entries[c.fp] = el
+		// Last use restarts at load time: TTL measures idleness of the
+		// running server, and punishing clients for the downtime that
+		// just ate their worker would defeat crash recovery.
+		s.lastUse[c.fp] = s.cfg.Clock()
+		for s.lru.Len() > s.cfg.MaxEntries {
+			s.evictLocked(s.lru.Back(), "lru")
+		}
+		n := s.lru.Len()
+		s.mu.Unlock()
+		keysTel().reloaded(n)
+	}
+	return nil
+}
+
+// quarantine renames a failed bundle file aside so reload never loops
+// over it again but a human can still inspect it.
+func (s *Store) quarantine(path string) {
+	_ = os.Rename(path, path+quarantineSuffix)
+	keysTel().reloadRejected()
+}
+
+// Compact removes bundle files whose fingerprints are no longer live
+// (evicted or expired entries) and returns how many files it deleted.
+// The background compactor calls this on a timer; tests and shutdown
+// paths may call it directly. Safe against concurrent registrations:
+// a file is only deleted while the store lock confirms its fingerprint
+// is dead, and Register inserts the entry before persisting the file.
+func (s *Store) Compact() int {
+	if s.cfg.Dir == "" {
+		return 0
+	}
+	ents, err := os.ReadDir(s.cfg.Dir)
+	if err != nil {
+		return 0
+	}
+	removed := 0
+	for _, de := range ents {
+		name := de.Name()
+		if de.IsDir() || !strings.HasSuffix(name, bundleSuffix) {
+			continue
+		}
+		fp := strings.TrimSuffix(name, bundleSuffix)
+		s.mu.Lock()
+		_, live := s.entries[fp]
+		if live && s.expiredLocked(fp) {
+			s.evictLocked(s.entries[fp], "ttl")
+			live = false
+		}
+		if !live {
+			if os.Remove(filepath.Join(s.cfg.Dir, name)) == nil {
+				removed++
+			}
+		}
+		s.mu.Unlock()
+	}
+	if removed > 0 {
+		keysTel().compacted(removed)
+	}
+	return removed
+}
+
+// compactLoop is the background compactor, stopped by Close.
+func (s *Store) compactLoop(interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			s.Compact()
+		}
+	}
+}
+
+// Close stops the background compactor. Registered state stays on disk;
+// a store is single-use after Close only in the sense that compaction
+// no longer runs. Safe to call more than once, and a no-op for
+// memory-only stores.
+func (s *Store) Close() {
+	s.closeOnce.Do(func() {
+		if s.stop != nil {
+			close(s.stop)
+		}
+	})
+}

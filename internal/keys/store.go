@@ -9,6 +9,11 @@
 // evicted least-recently-used beyond a capacity bound and lazily expired
 // after a TTL, since each bundle pins megabytes of switching-key
 // material.
+//
+// With Config.Dir set the store is durable: accepted registrations are
+// snapshotted to disk via atomic renames, a restart replays and
+// re-verifies the directory (so a worker crash loses no client state),
+// and a background compactor removes the files of evicted entries.
 package keys
 
 import (
@@ -53,6 +58,16 @@ type Config struct {
 	// TTL expires entries that long after their last use. 0 disables
 	// expiry.
 	TTL time.Duration
+	// Dir, when non-empty, makes the store durable: every accepted
+	// registration is snapshotted to <Dir>/<fingerprint>.bundle via an
+	// atomic rename, and NewStore replays (and re-verifies) the
+	// directory so a worker restart recovers all client state.
+	Dir string
+	// CompactInterval is the background compactor's sweep period for
+	// bundle files whose entries were evicted or expired. 0 selects
+	// DefaultCompactInterval; negative disables the background loop
+	// (Compact can still be called directly). Ignored when Dir is empty.
+	CompactInterval time.Duration
 	// Clock overrides time.Now for tests.
 	Clock func() time.Time
 }
@@ -92,6 +107,9 @@ type Store struct {
 	entries map[string]*list.Element // fingerprint → lru element holding *Entry
 	lru     *list.List               // front = most recently used
 	lastUse map[string]time.Time
+
+	stop      chan struct{} // closes the background compactor (durable stores)
+	closeOnce sync.Once
 }
 
 // NewStore builds a store bound to the server's context and plan.
@@ -122,13 +140,27 @@ func NewStore(cfg Config) (*Store, error) {
 		}
 	}
 	sort.Slice(els, func(i, j int) bool { return els[i] < els[j] })
-	return &Store{
+	s := &Store{
 		cfg:     cfg,
 		galEls:  els,
 		entries: map[string]*list.Element{},
 		lru:     list.New(),
 		lastUse: map[string]time.Time{},
-	}, nil
+	}
+	if cfg.Dir != "" {
+		if err := s.loadDir(); err != nil {
+			return nil, err
+		}
+		if cfg.CompactInterval >= 0 {
+			interval := cfg.CompactInterval
+			if interval == 0 {
+				interval = DefaultCompactInterval
+			}
+			s.stop = make(chan struct{})
+			go s.compactLoop(interval)
+		}
+	}
+	return s, nil
 }
 
 // RequiredGaloisElements returns the plan's rotation requirement as
@@ -158,22 +190,9 @@ func (s *Store) Register(data []byte) (*Entry, error) {
 	}
 	s.mu.Unlock()
 
-	bundle, err := s.cfg.Ctx.ReadKeyBundle(bytes.NewReader(data))
+	bundle, err := s.decodeValidate(data)
 	if err != nil {
-		keysTel().rejected("format")
 		return nil, err
-	}
-	if bundle.ParamsDigest != s.cfg.Ctx.Params.ParamsDigest() {
-		keysTel().rejected("params")
-		return nil, fmt.Errorf("%w: bundle params digest %x, server %s",
-			ErrParamsMismatch, bundle.ParamsDigest[:8], s.cfg.Ctx.Params.Fingerprint()[:16])
-	}
-	for _, g := range s.galEls {
-		if bundle.RTK == nil || bundle.RTK.Keys[g] == nil {
-			keysTel().rejected("rotations")
-			return nil, fmt.Errorf("%w: no switching key for Galois element %d (plan needs %d rotations)",
-				ErrMissingRotations, g, len(s.galEls))
-		}
 	}
 
 	e := &Entry{
@@ -199,8 +218,46 @@ func (s *Store) Register(data []byte) (*Entry, error) {
 	}
 	n := s.lru.Len()
 	s.mu.Unlock()
+	// Snapshot to disk before acking: a client told "registered" must
+	// survive a crash. The entry is already in the map, so the compactor
+	// cannot race the file away; on write failure the entry is rolled
+	// back and the client retries.
+	if s.cfg.Dir != "" {
+		if perr := s.persist(fp, data); perr != nil {
+			s.mu.Lock()
+			s.removeLocked(fp)
+			s.mu.Unlock()
+			return nil, fmt.Errorf("keys: persisting bundle: %w", perr)
+		}
+	}
 	keysTel().registered(len(data), n)
 	return e, nil
+}
+
+// decodeValidate runs the full acceptance check on serialized bundle
+// bytes: frame decode (version + CRC), params-digest binding, and
+// rotation coverage for the loaded plan. Shared by Register and the
+// durable reload so a restart re-verifies exactly what registration
+// verified.
+func (s *Store) decodeValidate(data []byte) (*ckks.KeyBundle, error) {
+	bundle, err := s.cfg.Ctx.ReadKeyBundle(bytes.NewReader(data))
+	if err != nil {
+		keysTel().rejected("format")
+		return nil, err
+	}
+	if bundle.ParamsDigest != s.cfg.Ctx.Params.ParamsDigest() {
+		keysTel().rejected("params")
+		return nil, fmt.Errorf("%w: bundle params digest %x, server %s",
+			ErrParamsMismatch, bundle.ParamsDigest[:8], s.cfg.Ctx.Params.Fingerprint()[:16])
+	}
+	for _, g := range s.galEls {
+		if bundle.RTK == nil || bundle.RTK.Keys[g] == nil {
+			keysTel().rejected("rotations")
+			return nil, fmt.Errorf("%w: no switching key for Galois element %d (plan needs %d rotations)",
+				ErrMissingRotations, g, len(s.galEls))
+		}
+	}
+	return bundle, nil
 }
 
 // Get returns the entry under fp, refreshing its recency. ErrNotFound

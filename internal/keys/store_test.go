@@ -3,6 +3,8 @@ package keys
 import (
 	"bytes"
 	"errors"
+	"math/rand"
+	"sync"
 	"testing"
 	"time"
 
@@ -214,6 +216,82 @@ func TestTTLExpiry(t *testing.T) {
 	}
 	if _, err := s.Get(e.Fingerprint); err != nil {
 		t.Fatalf("revived entry not found: %v", err)
+	}
+}
+
+// TestStoreConcurrentRegisterEvictLookup hammers the store from many
+// goroutines under -race: concurrent registrations of a small bundle
+// population over a tight capacity bound (constant LRU churn), lookups
+// that borrow the per-entry eval slot under Entry.Mu, and a TTL so
+// short that expiry races the borrows. The store must stay within its
+// bound and every borrowed entry must keep a coherent eval slot even
+// after the store has forgotten it.
+func TestStoreConcurrentRegisterEvictLookup(t *testing.T) {
+	ctx := testCtx(t)
+	const variants = 5
+	bundles := make([][]byte, variants)
+	fps := make([]string, variants)
+	for i := range bundles {
+		bundles[i] = bundleFixture(t, ctx, 100+int64(i), []int{1})
+		fps[i] = ckks.BundleFingerprint(bundles[i])
+	}
+	s, err := NewStore(Config{
+		Ctx:               ctx,
+		RequiredRotations: []int{1},
+		MaxEntries:        2,
+		TTL:               2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 8
+	const iters = 200
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < iters; i++ {
+				k := rng.Intn(variants)
+				switch rng.Intn(3) {
+				case 0:
+					if _, err := s.Register(bundles[k]); err != nil {
+						t.Errorf("register %d: %v", k, err)
+						return
+					}
+				case 1:
+					e, err := s.Get(fps[k])
+					if err != nil {
+						if !errors.Is(err, ErrNotFound) {
+							t.Errorf("get %d: %v", k, err)
+							return
+						}
+						continue
+					}
+					// Borrow the cached-engine slot the way serve.Keyed
+					// does: build on first use, reuse after, all under
+					// Entry.Mu — racing TTL expiry of the same entry.
+					e.Mu.Lock()
+					if e.Eval == nil {
+						e.Eval = fps[k]
+					} else if e.Eval.(string) != fps[k] {
+						t.Errorf("entry %d borrowed a foreign eval slot", k)
+					}
+					e.Mu.Unlock()
+					if i%16 == 0 {
+						time.Sleep(3 * time.Millisecond) // let TTL cross a borrow window
+					}
+				default:
+					s.Len()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := s.Len(); n > 2 {
+		t.Fatalf("store exceeded its bound: %d entries", n)
 	}
 }
 

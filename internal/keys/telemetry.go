@@ -10,13 +10,18 @@ import (
 // use. All methods are nil-safe: with telemetry off, keysTel returns nil
 // and every publish is a no-op.
 type kTelSet struct {
-	entries       *telemetry.Gauge
-	registrations *telemetry.Counter
-	bytes         *telemetry.Counter
-	hits          *telemetry.Counter
-	misses        *telemetry.Counter
-	evictions     map[string]*telemetry.Counter
-	rejections    map[string]*telemetry.Counter
+	entries        *telemetry.Gauge
+	registrations  *telemetry.Counter
+	bytes          *telemetry.Counter
+	hits           *telemetry.Counter
+	misses         *telemetry.Counter
+	persists       *telemetry.Counter
+	persistedBytes *telemetry.Counter
+	reloads        *telemetry.Counter
+	reloadRejects  *telemetry.Counter
+	compactions    *telemetry.Counter
+	evictions      map[string]*telemetry.Counter
+	rejections     map[string]*telemetry.Counter
 }
 
 var (
@@ -46,6 +51,16 @@ func keysTel() *kTelSet {
 				"bundle lookups by result", telemetry.L("result", "hit")),
 			misses: r.Counter("cnnhe_keys_lookups_total",
 				"bundle lookups by result", telemetry.L("result", "miss")),
+			persists: r.Counter("cnnhe_keys_persisted_total",
+				"bundle snapshots written to the durable store"),
+			persistedBytes: r.Counter("cnnhe_keys_persisted_bytes_total",
+				"serialized bytes written to the durable store"),
+			reloads: r.Counter("cnnhe_keys_reloaded_total",
+				"bundles recovered from disk on startup"),
+			reloadRejects: r.Counter("cnnhe_keys_reload_rejected_total",
+				"on-disk bundles quarantined during reload verification"),
+			compactions: r.Counter("cnnhe_keys_compacted_total",
+				"evicted bundle files removed by compaction"),
 			evictions:  map[string]*telemetry.Counter{},
 			rejections: map[string]*telemetry.Counter{},
 		}
@@ -99,4 +114,34 @@ func (t *kTelSet) miss(entries int) {
 	}
 	t.misses.Inc()
 	t.entries.Set(float64(entries))
+}
+
+func (t *kTelSet) persisted(size int) {
+	if t == nil {
+		return
+	}
+	t.persists.Inc()
+	t.persistedBytes.Add(int64(size))
+}
+
+func (t *kTelSet) reloaded(entries int) {
+	if t == nil {
+		return
+	}
+	t.reloads.Inc()
+	t.entries.Set(float64(entries))
+}
+
+func (t *kTelSet) reloadRejected() {
+	if t == nil {
+		return
+	}
+	t.reloadRejects.Inc()
+}
+
+func (t *kTelSet) compacted(n int) {
+	if t == nil {
+		return
+	}
+	t.compactions.Add(int64(n))
 }

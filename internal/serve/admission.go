@@ -1,0 +1,161 @@
+package serve
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// admission is the adaptive overload controller: an AIMD bound on
+// outstanding requests driven by observed batch latency, plus a live
+// latency model used to shed requests whose deadlines cannot be met and
+// to compute honest Retry-After hints.
+//
+// The fixed queue bound it replaces had a failure mode the paper-scale
+// latencies make acute: a queue sized for fast batches (milliseconds at
+// logN 10) holds minutes of work when one evaluation takes seconds at
+// logN 14, so every queued request times out after burning an
+// evaluation slot. AIMD sizes admission to what the engine is actually
+// delivering — each batch faster than the target grows the limit by
+// one, each slow or failed batch halves it — and the same latency
+// estimate prices the Retry-After header from live queue depth.
+type admission struct {
+	mu sync.Mutex
+	// limit is the current admitted-outstanding bound, moved by AIMD
+	// within [minLimit, maxLimit]. maxLimit is the hard queue capacity;
+	// minLimit keeps one full batch admissible so throughput cannot
+	// collapse to zero.
+	limit    float64
+	minLimit float64
+	maxLimit float64
+	// target is the batch-latency SLO driving AIMD.
+	target time.Duration
+	// outstanding counts requests accepted but not yet answered
+	// (queued or inside the running batch).
+	outstanding int
+	// evalEWMA is the smoothed batch evaluation latency; zero until the
+	// first batch completes (no shedding or estimation before evidence).
+	evalEWMA time.Duration
+	batchCap int
+}
+
+// ewmaAlpha weights the newest batch observation; 0.3 tracks load
+// shifts within a few batches without jittering on one outlier.
+const ewmaAlpha = 0.3
+
+func newAdmission(queueSize, batchCap int, target time.Duration) *admission {
+	minL := batchCap
+	if minL > queueSize {
+		minL = queueSize
+	}
+	if minL < 1 {
+		minL = 1
+	}
+	return &admission{
+		limit:    float64(queueSize),
+		minLimit: float64(minL),
+		maxLimit: float64(queueSize),
+		target:   target,
+		batchCap: batchCap,
+	}
+}
+
+// estimateLocked predicts the end-to-end completion time of a request
+// admitted now: the batches already ahead of it, each at the smoothed
+// evaluation latency, plus its own batch. Zero until a batch has been
+// observed.
+func (a *admission) estimateLocked() time.Duration {
+	if a.evalEWMA <= 0 {
+		return 0
+	}
+	batchesAhead := a.outstanding / a.batchCap
+	return time.Duration(batchesAhead+1) * a.evalEWMA
+}
+
+// admit decides one request at arrival time. It returns ErrQueueFull
+// when the AIMD limit is reached, ErrDeadlineUnmeetable when the live
+// latency model says the request cannot finish before its deadline
+// (shed-before-enqueue: rejecting now is cheaper than evaluating a
+// result nobody will read), and nil after counting the request as
+// outstanding.
+func (a *admission) admit(now, deadline time.Time, hasDeadline bool) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if float64(a.outstanding) >= a.limit {
+		return ErrQueueFull
+	}
+	if hasDeadline {
+		if est := a.estimateLocked(); est > 0 && now.Add(est).After(deadline) {
+			return ErrDeadlineUnmeetable
+		}
+	}
+	a.outstanding++
+	return nil
+}
+
+// release returns one admitted request's slot; called exactly once per
+// admitted request, when its response (success or classified error) is
+// delivered.
+func (a *admission) release() {
+	a.mu.Lock()
+	if a.outstanding > 0 {
+		a.outstanding--
+	}
+	a.mu.Unlock()
+}
+
+// observe folds one finished batch into the controller: the EWMA
+// absorbs its latency, then AIMD moves the limit — additive increase
+// while batches beat the target, multiplicative decrease when one runs
+// slow or fails.
+func (a *admission) observe(d time.Duration, ok bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if ok {
+		if a.evalEWMA == 0 {
+			a.evalEWMA = d
+		} else {
+			a.evalEWMA = time.Duration(ewmaAlpha*float64(d) + (1-ewmaAlpha)*float64(a.evalEWMA))
+		}
+	}
+	if !ok || (a.target > 0 && d > a.target) {
+		a.limit = math.Max(a.minLimit, a.limit/2)
+		return
+	}
+	a.limit = math.Min(a.maxLimit, a.limit+1)
+}
+
+// retryAfter prices the backoff hint from live state: the time for the
+// current backlog to drain at the observed batch latency. Before any
+// batch has completed there is no evidence, so the configured fallback
+// stands in.
+func (a *admission) retryAfter(fallback time.Duration) time.Duration {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.evalEWMA <= 0 {
+		return fallback
+	}
+	batches := a.outstanding/a.batchCap + 1
+	return time.Duration(batches) * a.evalEWMA
+}
+
+// limitNow reports the current AIMD limit (telemetry, tests).
+func (a *admission) limitNow() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.limit
+}
+
+// outstandingNow reports the live admitted-but-unanswered count.
+func (a *admission) outstandingNow() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.outstanding
+}
+
+// ewmaNow reports the smoothed batch latency (telemetry, tests).
+func (a *admission) ewmaNow() time.Duration {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.evalEWMA
+}

@@ -1,0 +1,207 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// postClassifyDeadline is postClassify with an X-Request-Deadline header.
+func postClassifyDeadline(t testing.TB, url string, image []float64, deadline string) *http.Response {
+	t.Helper()
+	body, err := json.Marshal(ClassifyRequest{Image: image})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url+"/classify", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(HeaderRequestDeadline, deadline)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestAdmissionAIMD exercises the controller's core dynamics: additive
+// growth under the target, multiplicative shrink above it (and on
+// failures), both clamped to the configured bounds.
+func TestAdmissionAIMD(t *testing.T) {
+	a := newAdmission(16, 4, 100*time.Millisecond)
+	if a.limitNow() != 16 {
+		t.Fatalf("initial limit %v, want the queue size", a.limitNow())
+	}
+	// A fast batch cannot push the limit past the hard queue bound.
+	a.observe(10*time.Millisecond, true)
+	if a.limitNow() != 16 {
+		t.Fatalf("limit grew past the ceiling: %v", a.limitNow())
+	}
+	// Slow batches halve the limit each time, down to one batch's worth.
+	for i := 0; i < 10; i++ {
+		a.observe(time.Second, true)
+	}
+	if a.limitNow() != 4 {
+		t.Fatalf("limit %v after sustained overload, want the floor 4", a.limitNow())
+	}
+	// Recovery is additive: one fast batch, one more slot.
+	a.observe(10*time.Millisecond, true)
+	if a.limitNow() != 5 {
+		t.Fatalf("limit %v after one fast batch, want 5", a.limitNow())
+	}
+	// A failed batch shrinks regardless of latency.
+	a.observe(time.Millisecond, false)
+	if a.limitNow() != 4 {
+		t.Fatalf("limit %v after a failed batch, want 4", a.limitNow())
+	}
+}
+
+// TestAdmissionLimitRejects: outstanding requests beyond the AIMD limit
+// are refused with ErrQueueFull; released slots admit again.
+func TestAdmissionLimitRejects(t *testing.T) {
+	a := newAdmission(2, 1, time.Second)
+	now := time.Now()
+	if err := a.admit(now, time.Time{}, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.admit(now, time.Time{}, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.admit(now, time.Time{}, false); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("want ErrQueueFull at the limit, got %v", err)
+	}
+	a.release()
+	if err := a.admit(now, time.Time{}, false); err != nil {
+		t.Fatalf("released slot should admit: %v", err)
+	}
+}
+
+// TestAdmissionShedsUnmeetableDeadline: once batch latency is known, a
+// request whose deadline falls inside the predicted completion time is
+// shed before it ever occupies a queue slot — and a deadline with
+// headroom is still admitted.
+func TestAdmissionShedsUnmeetableDeadline(t *testing.T) {
+	a := newAdmission(16, 2, time.Minute)
+	now := time.Now()
+	// Cold start: no latency evidence, deadlines are taken on faith.
+	if err := a.admit(now, now.Add(time.Nanosecond), true); err != nil {
+		t.Fatalf("cold-start admission should not shed: %v", err)
+	}
+	a.release()
+	a.observe(100*time.Millisecond, true)
+	// One batch ahead (est 100ms), deadline in 10ms: unmeetable.
+	if err := a.admit(now, now.Add(10*time.Millisecond), true); !errors.Is(err, ErrDeadlineUnmeetable) {
+		t.Fatalf("want ErrDeadlineUnmeetable, got %v", err)
+	}
+	// Same load, deadline in 1s: fine.
+	if err := a.admit(now, now.Add(time.Second), true); err != nil {
+		t.Fatalf("meetable deadline rejected: %v", err)
+	}
+}
+
+// TestAdmissionRetryAfterTracksBacklog: the hint is the fallback before
+// any evidence, then backlog × observed latency afterwards.
+func TestAdmissionRetryAfterTracksBacklog(t *testing.T) {
+	a := newAdmission(16, 2, time.Minute)
+	if got := a.retryAfter(7 * time.Second); got != 7*time.Second {
+		t.Fatalf("cold-start hint %v, want the fallback", got)
+	}
+	a.observe(2*time.Second, true)
+	now := time.Now()
+	for i := 0; i < 4; i++ {
+		if err := a.admit(now, time.Time{}, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 4 outstanding / batch 2 = 2 batches ahead + own = 3 × 2s.
+	if got := a.retryAfter(time.Second); got != 6*time.Second {
+		t.Fatalf("hint %v, want 6s from live depth", got)
+	}
+}
+
+// TestServeDeadlineHeaderShed: an X-Request-Deadline the live model
+// cannot meet returns 503 with a Retry-After priced from the observed
+// batch latency, without consuming an evaluation.
+func TestServeDeadlineHeaderShed(t *testing.T) {
+	f := newFixture(t, 2)
+	s, err := New(Config{Batch: f.bp, Engine: f.eng, MaxWait: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = s.Shutdown(context.Background()) }()
+	rng := rand.New(rand.NewSource(71))
+	// Prime the latency model with one real batch.
+	if _, _, err := s.Submit(context.Background(), testImage(rng, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if s.adm.ewmaNow() <= 0 {
+		t.Fatal("batch latency not observed")
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp := postClassifyDeadline(t, ts.URL, testImage(rng, 64), time.Nanosecond.String())
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("want 503 for an unmeetable deadline, got %d", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("shed response carries no Retry-After hint")
+	}
+
+	// A generous deadline still classifies normally.
+	resp2 := postClassifyDeadline(t, ts.URL, testImage(rng, 64), "30s")
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("meetable deadline: want 200, got %d", resp2.StatusCode)
+	}
+}
+
+// TestServeDeadlineHeaderMalformed is the 400 path: garbage deadlines
+// are the client's problem, not a queue slot.
+func TestServeDeadlineHeaderMalformed(t *testing.T) {
+	f := newFixture(t, 2)
+	s, err := New(Config{Batch: f.bp, Engine: f.eng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = s.Shutdown(context.Background()) }()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	rng := rand.New(rand.NewSource(72))
+	resp := postClassifyDeadline(t, ts.URL, testImage(rng, 64), "not-a-deadline")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("want 400 for a malformed deadline, got %d", resp.StatusCode)
+	}
+}
+
+// TestServeAdaptiveLimitShrinksUnderSlowBatches drives the server-level
+// integration: with a target the engine cannot meet, each batch halves
+// the admitted concurrency until requests are rejected well before the
+// hard queue bound.
+func TestServeAdaptiveLimitShrinksUnderSlowBatches(t *testing.T) {
+	f := newFixture(t, 2)
+	s, err := New(Config{Batch: f.bp, Engine: f.eng, MaxWait: time.Millisecond,
+		QueueSize: 32, TargetLatency: time.Nanosecond}) // every batch is "slow"
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = s.Shutdown(context.Background()) }()
+	rng := rand.New(rand.NewSource(73))
+	for i := 0; i < 6; i++ {
+		if _, _, err := s.Submit(context.Background(), testImage(rng, 64)); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	if got := s.adm.limitNow(); got != 2 {
+		t.Fatalf("limit %v after sustained slow batches, want the floor 2", got)
+	}
+}

@@ -26,6 +26,43 @@ func (s *Server) classifyBodyLimit() int64 {
 	return limit
 }
 
+// HeaderRequestDeadline propagates the caller's end-to-end deadline
+// into admission and batcher member deadlines. The value is either a Go
+// duration relative to arrival ("750ms", "30s") or an absolute RFC 3339
+// timestamp. Requests whose deadline the live latency model says cannot
+// be met are shed with 503 + Retry-After instead of queued.
+const HeaderRequestDeadline = "X-Request-Deadline"
+
+// parseRequestDeadline resolves the header against the arrival time.
+func parseRequestDeadline(v string, now time.Time) (time.Time, error) {
+	if d, err := time.ParseDuration(v); err == nil {
+		if d <= 0 {
+			return time.Time{}, fmt.Errorf("deadline %q is not in the future", v)
+		}
+		return now.Add(d), nil
+	}
+	t, err := time.Parse(time.RFC3339, v)
+	if err != nil {
+		return time.Time{}, fmt.Errorf("deadline %q is neither a duration nor RFC 3339", v)
+	}
+	return t, nil
+}
+
+// deadlineContext narrows ctx to the request's propagated deadline, if
+// the header carries one. The returned cancel must always be called.
+func deadlineContext(ctx context.Context, r *http.Request) (context.Context, context.CancelFunc, error) {
+	v := r.Header.Get(HeaderRequestDeadline)
+	if v == "" {
+		return ctx, func() {}, nil
+	}
+	d, err := parseRequestDeadline(v, time.Now())
+	if err != nil {
+		return ctx, func() {}, err
+	}
+	ctx, cancel := context.WithDeadline(ctx, d)
+	return ctx, cancel, nil
+}
+
 // ClassifyRequest is the POST /classify body.
 type ClassifyRequest struct {
 	// Image is the raw pixel vector (values in [0, 255], length must
@@ -107,11 +144,16 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	ctx := r.Context()
+	ctx, cancel, err := deadlineContext(r.Context(), r)
+	defer cancel()
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
 	if s.cfg.RequestTimeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
-		defer cancel()
+		var tcancel context.CancelFunc
+		ctx, tcancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+		defer tcancel()
 	}
 	logits, info, err := s.Submit(ctx, req.Image)
 	if err != nil {
@@ -126,12 +168,17 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// writeError maps a submission failure to its HTTP status.
+// writeError maps a submission failure to its HTTP status. Retry-After
+// on overload responses is priced from live queue depth and observed
+// batch latency (cfg.RetryAfter is only the cold-start fallback).
 func (s *Server) writeError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, ErrQueueFull):
-		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.cfg.RetryAfter)))
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.adm.retryAfter(s.cfg.RetryAfter))))
 		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error()})
+	case errors.Is(err, ErrDeadlineUnmeetable):
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.adm.retryAfter(s.cfg.RetryAfter))))
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
 	case errors.Is(err, ErrShuttingDown):
 		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
 	case errors.Is(err, henn.ErrBadInput):

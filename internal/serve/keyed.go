@@ -38,6 +38,10 @@ type KeyedConfig struct {
 	// KeyTTL expires idle bundles (0 disables).
 	MaxClients int
 	KeyTTL     time.Duration
+	// StoreDir, when non-empty, makes the key store durable: registered
+	// bundles are snapshotted to disk and recovered (re-verified) on
+	// restart, so a crashed worker keeps its client state.
+	StoreDir string
 	// RequestTimeout bounds one encrypted evaluation (0 disables).
 	RequestTimeout time.Duration
 	// Guard configures the per-client guarded engine; zero value selects
@@ -96,6 +100,7 @@ func NewKeyed(cfg KeyedConfig) (*Keyed, error) {
 		RequiredRotations: rotations,
 		MaxEntries:        cfg.MaxClients,
 		TTL:               cfg.KeyTTL,
+		Dir:               cfg.StoreDir,
 	})
 	if err != nil {
 		return nil, err
@@ -123,6 +128,10 @@ func NewKeyed(cfg KeyedConfig) (*Keyed, error) {
 
 // Store exposes the bundle store (tests and diagnostics).
 func (k *Keyed) Store() *keys.Store { return k.store }
+
+// Close stops the store's background compactor. Registered bundles stay
+// on disk for the next process.
+func (k *Keyed) Close() { k.store.Close() }
 
 // Routes mounts the /v1 endpoints on mux.
 func (k *Keyed) Routes(mux *http.ServeMux) {
@@ -199,11 +208,17 @@ func (k *Keyed) handleClassifyEncrypted(w http.ResponseWriter, r *http.Request) 
 		return
 	}
 
-	ctx := r.Context()
+	ctx, cancel, err := deadlineContext(r.Context(), r)
+	defer cancel()
+	if err != nil {
+		keyedTel().request("bad_request")
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
 	if k.cfg.RequestTimeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, k.cfg.RequestTimeout)
-		defer cancel()
+		var tcancel context.CancelFunc
+		ctx, tcancel = context.WithTimeout(ctx, k.cfg.RequestTimeout)
+		defer tcancel()
 	}
 
 	// One evaluation at a time per client: the evaluator and guard state

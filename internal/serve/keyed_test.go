@@ -27,6 +27,12 @@ type keyedFixture struct {
 }
 
 func newKeyedFixture(t testing.TB) *keyedFixture {
+	return newKeyedFixtureCfg(t, nil)
+}
+
+// newKeyedFixtureCfg lets a test adjust the server config (store bounds,
+// durable dir) before startup.
+func newKeyedFixtureCfg(t testing.TB, mutate func(*KeyedConfig)) *keyedFixture {
 	t.Helper()
 	m := tinyModel(61)
 	plan, err := henn.Compile(m, 512)
@@ -44,15 +50,20 @@ func newKeyedFixture(t testing.TB) *keyedFixture {
 	if err != nil {
 		t.Fatal(err)
 	}
-	k, err := NewKeyed(KeyedConfig{
+	cfg := KeyedConfig{
 		Ctx:     ctx,
 		Plan:    plan,
 		Model:   "tiny",
 		Backend: "ckks-rns",
-	})
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	k, err := NewKeyed(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(k.Close)
 	srv := httptest.NewServer(k.Handler())
 	t.Cleanup(srv.Close)
 	return &keyedFixture{
@@ -291,6 +302,48 @@ func TestKeyedRejectsGarbageCiphertext(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("garbage ciphertext: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestKeyedClientSelfHealsEviction: when the server forgets a client's
+// bundle (LRU eviction here; a restart without the durable store in
+// production), the SDK re-registers the bundle it already holds and
+// replays the classification — no error surfaces and no keygen reruns.
+func TestKeyedClientSelfHealsEviction(t *testing.T) {
+	f := newKeyedFixtureCfg(t, func(cfg *KeyedConfig) { cfg.MaxClients = 1 })
+	ksA := f.clientKeys(t, 96)
+	img := testImage(rand.New(rand.NewSource(11)), f.plan.InputDim)
+	const encSeed = 779
+	first, err := f.cl.ClassifyEncrypted(context.Background(), ksA, img, f.plan.OutputDim,
+		client.WithEncryptionSeed(encSeed))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A second client's registration evicts A from the 1-entry store.
+	f.clientKeys(t, 97)
+	fpA, err := ksA.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.keyed.Store().Get(fpA); err == nil {
+		t.Fatal("bundle A still resident — eviction fixture broken")
+	}
+
+	// The same call transparently re-registers and succeeds, with the
+	// same logits (same keys, same encryption randomness).
+	healed, err := f.cl.ClassifyEncrypted(context.Background(), ksA, img, f.plan.OutputDim,
+		client.WithEncryptionSeed(encSeed))
+	if err != nil {
+		t.Fatalf("self-heal round trip: %v", err)
+	}
+	for i := range first.Logits {
+		if healed.Logits[i] != first.Logits[i] {
+			t.Fatalf("logit %d drifted across self-heal: %v != %v", i, healed.Logits[i], first.Logits[i])
+		}
+	}
+	if _, err := f.keyed.Store().Get(fpA); err != nil {
+		t.Fatalf("bundle A not re-registered: %v", err)
 	}
 }
 

@@ -31,11 +31,16 @@ import (
 
 // Submission failure classes, matched with errors.Is.
 var (
-	// ErrQueueFull: the bounded request queue is at capacity — the caller
-	// should back off and retry.
+	// ErrQueueFull: the adaptive admission limit (or the hard queue
+	// bound behind it) is at capacity — the caller should back off and
+	// retry after the hinted interval.
 	ErrQueueFull = errors.New("serve: request queue full")
 	// ErrShuttingDown: the server no longer accepts requests.
 	ErrShuttingDown = errors.New("serve: shutting down")
+	// ErrDeadlineUnmeetable: the live latency model says the request
+	// cannot complete before its deadline, so it is shed at admission
+	// instead of burning an evaluation whose result nobody will read.
+	ErrDeadlineUnmeetable = errors.New("serve: deadline unmeetable at current load")
 )
 
 // Config assembles a Server.
@@ -50,16 +55,23 @@ type Config struct {
 	// MaxWait bounds how long the oldest queued request waits for the
 	// batch to fill before a partial batch is flushed. Default 10ms.
 	MaxWait time.Duration
-	// QueueSize bounds the request queue; a full queue rejects with
-	// ErrQueueFull. Default 4× the batch capacity.
+	// QueueSize is the hard ceiling on outstanding requests and the
+	// upper bound of the adaptive admission limit. Default 4× the batch
+	// capacity.
 	QueueSize int
 	// RequestTimeout caps each request's end-to-end time (queue wait +
 	// evaluation) via its context. 0 disables the per-request deadline
 	// (the client's own context still applies).
 	RequestTimeout time.Duration
-	// RetryAfter is the backoff hint returned with queue-full
-	// rejections. Default 1s.
+	// RetryAfter is the backoff hint returned with rejections before
+	// any batch latency has been observed; once batches flow, the hint
+	// is computed from live queue depth instead. Default 1s.
 	RetryAfter time.Duration
+	// TargetLatency is the batch-latency SLO driving adaptive
+	// admission: batches slower than this halve the admitted
+	// concurrency, faster ones grow it by one. Default RequestTimeout/2
+	// when a request timeout is set, else 2s.
+	TargetLatency time.Duration
 }
 
 // result is the fan-out payload delivered to one waiting request.
@@ -90,6 +102,7 @@ type Server struct {
 	queue chan *request
 	done  chan struct{} // closed when the batcher has drained and exited
 	tel   *telSet
+	adm   *admission
 
 	mu     sync.Mutex
 	closed bool
@@ -125,6 +138,13 @@ func newServer(cfg Config) (*Server, error) {
 	if cfg.RetryAfter <= 0 {
 		cfg.RetryAfter = time.Second
 	}
+	if cfg.TargetLatency <= 0 {
+		if cfg.RequestTimeout > 0 {
+			cfg.TargetLatency = cfg.RequestTimeout / 2
+		} else {
+			cfg.TargetLatency = 2 * time.Second
+		}
+	}
 	if err := cfg.Batch.Plan.Warm(cfg.Engine); err != nil {
 		return nil, fmt.Errorf("serve: warming plan: %w", err)
 	}
@@ -133,6 +153,7 @@ func newServer(cfg Config) (*Server, error) {
 		queue: make(chan *request, cfg.QueueSize),
 		done:  make(chan struct{}),
 		tel:   serveTel(),
+		adm:   newAdmission(cfg.QueueSize, cfg.Batch.Batch, cfg.TargetLatency),
 	}, nil
 }
 
@@ -171,16 +192,32 @@ func (s *Server) Submit(ctx context.Context, image []float64) (henn.Logits, Batc
 	}
 }
 
-// enqueue validates and queues a request without waiting for a result.
+// enqueue validates, admits, and queues a request without waiting for a
+// result. Admission happens before the queue: the AIMD limit and the
+// deadline-feasibility check both reject here, so overload never costs
+// a queue slot.
 func (s *Server) enqueue(ctx context.Context, image []float64) (*request, error) {
 	if len(image) != s.InputDim() {
 		return nil, fmt.Errorf("%w: image length %d, plan input dim %d",
 			henn.ErrBadInput, len(image), s.InputDim())
 	}
-	r := &request{image: image, ctx: ctx, resp: make(chan result, 1), enq: time.Now()}
+	now := time.Now()
+	deadline, hasDeadline := ctx.Deadline()
+	if err := s.adm.admit(now, deadline, hasDeadline); err != nil {
+		switch {
+		case errors.Is(err, ErrDeadlineUnmeetable):
+			s.tel.request("shed", 0)
+		default:
+			s.tel.request("rejected", 0)
+		}
+		s.tel.admission(s.adm)
+		return nil, err
+	}
+	r := &request{image: image, ctx: ctx, resp: make(chan result, 1), enq: now}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
+		s.adm.release()
 		s.tel.request("shutdown", 0)
 		return nil, ErrShuttingDown
 	}
@@ -189,9 +226,21 @@ func (s *Server) enqueue(ctx context.Context, image []float64) (*request, error)
 		s.tel.enqueued()
 		return r, nil
 	default:
+		// The admission limit never exceeds the channel capacity, so
+		// this is a backstop, not a steady-state path.
+		s.adm.release()
 		s.tel.request("rejected", 0)
 		return nil, ErrQueueFull
 	}
+}
+
+// finish delivers one admitted request's terminal result and returns
+// its admission slot. Every admitted request reaches exactly one finish
+// call — that is the no-silent-drop invariant the soak suite asserts.
+func (s *Server) finish(r *request, res result, outcome string) {
+	r.resp <- res
+	s.adm.release()
+	s.tel.request(outcome, time.Since(r.enq))
 }
 
 // run is the batcher: it blocks for the first request, then fills the
@@ -234,8 +283,7 @@ func (s *Server) evalBatch(batch []*request) {
 	live := batch[:0]
 	for _, r := range batch {
 		if err := r.ctx.Err(); err != nil {
-			r.resp <- result{err: fmt.Errorf("serve: expired in queue: %w", err)}
-			s.tel.request("expired", time.Since(r.enq))
+			s.finish(r, result{err: fmt.Errorf("serve: expired in queue: %w", err)}, "expired")
 			continue
 		}
 		live = append(live, r)
@@ -257,7 +305,10 @@ func (s *Server) evalBatch(batch []*request) {
 
 	t0 := time.Now()
 	logits, rep, err := s.cfg.Batch.InferBatchCtx(bctx, s.cfg.Engine, images)
-	s.tel.batchDone(len(live), s.cfg.Batch.Batch, time.Since(t0), err == nil)
+	elapsed := time.Since(t0)
+	s.adm.observe(elapsed, err == nil)
+	s.tel.batchDone(len(live), s.cfg.Batch.Batch, elapsed, err == nil)
+	s.tel.admission(s.adm)
 	if err != nil {
 		// A guarded engine latches its first failure; clear it so the
 		// next batch starts clean (no ciphertexts cross the boundary —
@@ -269,18 +320,15 @@ func (s *Server) evalBatch(batch []*request) {
 			// Members whose own deadline passed report their context
 			// error; the rest carry the batch failure.
 			if cerr := r.ctx.Err(); cerr != nil {
-				r.resp <- result{err: fmt.Errorf("serve: %w", cerr)}
-				s.tel.request("timeout", time.Since(r.enq))
+				s.finish(r, result{err: fmt.Errorf("serve: %w", cerr)}, "timeout")
 				continue
 			}
-			r.resp <- result{err: err, batchSize: len(live)}
-			s.tel.request("error", time.Since(r.enq))
+			s.finish(r, result{err: err, batchSize: len(live)}, "error")
 		}
 		return
 	}
 	for i, r := range live {
-		r.resp <- result{logits: logits[i], batchSize: len(live), eval: rep.Eval}
-		s.tel.request("ok", time.Since(r.enq))
+		s.finish(r, result{logits: logits[i], batchSize: len(live), eval: rep.Eval}, "ok")
 	}
 }
 

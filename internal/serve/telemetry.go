@@ -13,6 +13,8 @@ import (
 type telSet struct {
 	queueDepth *telemetry.Gauge
 	fillRatio  *telemetry.Gauge
+	admLimit   *telemetry.Gauge
+	evalEWMA   *telemetry.Gauge
 	batches    *telemetry.Counter
 	images     *telemetry.Counter
 	reqLat     *telemetry.Histogram
@@ -28,7 +30,7 @@ var (
 
 // Request outcomes, one counter series each (pre-resolved so the hot
 // path never takes the registry lock).
-var outcomeNames = []string{"ok", "error", "rejected", "shutdown", "expired", "timeout"}
+var outcomeNames = []string{"ok", "error", "rejected", "shed", "shutdown", "expired", "timeout"}
 
 func serveTel() *telSet {
 	if !telemetry.Enabled() {
@@ -41,6 +43,10 @@ func serveTel() *telSet {
 				"classification requests waiting in the micro-batch queue"),
 			fillRatio: r.Gauge("cnnhe_serve_batch_fill_ratio",
 				"images ÷ batch capacity of the most recently flushed batch"),
+			admLimit: r.Gauge("cnnhe_serve_admission_limit",
+				"current AIMD bound on admitted outstanding requests"),
+			evalEWMA: r.Gauge("cnnhe_serve_batch_eval_ewma_seconds",
+				"smoothed batch evaluation latency driving admission"),
 			batches: r.Counter("cnnhe_serve_batches_total",
 				"micro-batches evaluated"),
 			images: r.Counter("cnnhe_serve_batch_images_total",
@@ -93,6 +99,15 @@ func (t *telSet) queueWait(d time.Duration) {
 		return
 	}
 	t.queueLat.ObserveDuration(d)
+}
+
+// admission publishes the overload controller's live state.
+func (t *telSet) admission(a *admission) {
+	if t == nil || a == nil {
+		return
+	}
+	t.admLimit.Set(a.limitNow())
+	t.evalEWMA.Set(a.ewmaNow().Seconds())
 }
 
 // batchDone records one evaluated micro-batch.

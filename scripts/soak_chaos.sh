@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+# Chaos + soak drill at the process level: run heserve with network fault
+# injection on its listener and a durable key store, bombard it with
+# open-loop load, SIGKILL the daemon mid-load, restart it over the same
+# store, and assert
+#
+#   - hebombard accounts every request (exit 1 = silent drops, 2 = no
+#     successes at all; both fail this script),
+#   - the restarted daemon reloads the registered key bundle from disk
+#     (logged resident_bundles=1 — durability, not client re-registration),
+#   - an encrypted classification still round-trips after the restart
+#     with the keys generated before the kill.
+#
+# Tunables: ADDR, SOAK_SECS (default 30), RATE (default 10 req/s),
+# CHAOS (fault spec), REPORT (report path, kept for CI artifact upload).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ADDR=${ADDR:-localhost:8378}
+SOAK_SECS=${SOAK_SECS:-30}
+RATE=${RATE:-10}
+CHAOS=${CHAOS:-"latency:ms=20:p=0.2,reset:p=0.03,truncate:bytes=512:p=0.03"}
+WORK=$(mktemp -d)
+REPORT=${REPORT:-"$WORK/slo-report.json"}
+SERVE_PID=""
+cleanup() {
+    [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true
+    [ -n "$SERVE_PID" ] && wait "$SERVE_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+go build -o "$WORK/heserve" ./cmd/heserve
+go build -o "$WORK/hebombard" ./cmd/hebombard
+go build -o "$WORK/hectl" ./cmd/hectl
+
+if [ ! -f models/cnn1.gob ]; then
+    echo "== training a small CNN1 model =="
+    go run ./cmd/hetrain -model cnn1 -train 512 -test 128 -epochs 1 -retrofit 1 -q
+fi
+
+SERVE_FLAGS=(-model models/cnn1.gob -addr "$ADDR" -logn 11 -levels 7 -batch 1
+    -key-store "$WORK/key-store" -chaos "$CHAOS" -chaos-seed 7
+    -request-timeout 30s)
+
+start_serve() {
+    "$WORK/heserve" "${SERVE_FLAGS[@]}" >>"$WORK/heserve.log" 2>&1 &
+    SERVE_PID=$!
+    for _ in $(seq 1 120); do
+        curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1 && return 0
+        kill -0 "$SERVE_PID" 2>/dev/null || { cat "$WORK/heserve.log" >&2; echo "heserve exited during startup" >&2; exit 1; }
+        sleep 1
+    done
+    cat "$WORK/heserve.log" >&2
+    echo "heserve never became healthy" >&2
+    exit 1
+}
+
+echo "== starting heserve (chaos: $CHAOS) =="
+start_serve
+
+echo "== key ceremony before the kill =="
+"$WORK/hectl" keygen -server "http://$ADDR" -keys "$WORK/keys" -seed 42
+"$WORK/hectl" register -server "http://$ADDR" -keys "$WORK/keys"
+
+echo "== bombarding for ${SOAK_SECS}s at ${RATE} req/s =="
+"$WORK/hebombard" -url "http://$ADDR" -rate "$RATE" -duration "${SOAK_SECS}s" \
+    -deadline 25s -out "$REPORT" &
+BOMBARD_PID=$!
+
+sleep "$((SOAK_SECS / 3))"
+echo "== SIGKILL heserve mid-load =="
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+
+sleep 2
+echo "== restarting heserve over the same key store =="
+start_serve
+grep -q "resident_bundles=1" "$WORK/heserve.log" || {
+    cat "$WORK/heserve.log" >&2
+    echo "restarted daemon did not reload the durable key bundle" >&2
+    exit 1
+}
+
+BOMBARD_RC=0
+wait "$BOMBARD_PID" || BOMBARD_RC=$?
+echo "== SLO report =="
+cat "$REPORT"
+if [ "$BOMBARD_RC" -ne 0 ]; then
+    echo "hebombard failed (rc=$BOMBARD_RC: 1 = silent drops, 2 = zero successes)" >&2
+    exit "$BOMBARD_RC"
+fi
+
+echo "== encrypted classification with pre-kill keys (no re-registration) =="
+"$WORK/hectl" classify -server "http://$ADDR" -keys "$WORK/keys" -image 3
+
+echo "soak-chaos: OK"
