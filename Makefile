@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet staticcheck build test race race-serve race-chaos parity bench telemetry-overhead fuzz-smoke e2e-encrypted soak-chaos
+.PHONY: check vet staticcheck build test race race-serve race-chaos parity opt-parity opt-golden bench telemetry-overhead fuzz-smoke e2e-encrypted soak-chaos
 
 ## check: the full CI gate — vet, staticcheck, build, tests, the race
 ## detector, and the executor-vs-interpreter parity suite.
@@ -46,9 +46,24 @@ soak-chaos:
 	bash scripts/soak_chaos.sh
 
 ## parity: the op-graph executor must replay plans bit-identically to
-## the legacy interpreter (logits and report rows) at CNN scale.
+## the legacy interpreter (logits and report rows) at CNN scale. The
+## suite covers the optimizer gates too: -opt=off and -opt=exact must
+## stay bit-identical, the full pipeline within tolerance with an
+## unchanged argmax.
 parity:
 	$(GO) test -run TestExecutorParity -timeout 20m ./internal/henn/
+
+## opt-parity: just the optimizer oracle — the parity suite plus the
+## hoisted-rotation grouping bit-identity fixture the replan pass and
+## the canonical singleton lowering rely on.
+opt-parity:
+	$(GO) test -run 'TestExecutorParity|TestRotateHoistedGrouping' -timeout 20m ./internal/henn/
+
+## opt-golden: the graph-size gate — checked-in post-optimization Stats
+## for CNN1/CNN2 on both backends, with the ≥15% engine-call reduction
+## floor. Symbolic (no keygen), seconds.
+opt-golden:
+	$(GO) test -run 'TestOptimizedGraphGolden|TestOptimizeOffPreservesLowering' ./internal/henn/
 
 ## bench: executor vs interpreter latency on CNN1 single-image.
 bench:

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"cnnhe/internal/bench"
+	"cnnhe/internal/henn/ir/opt"
 	"cnnhe/internal/telemetry"
 )
 
@@ -48,6 +49,7 @@ func main() {
 		jsonOut  = flag.String("json", "", "machine-readable report path (default BENCH_<timestamp>.json; \"none\" disables)")
 		models   = flag.String("models", "models", "model cache directory")
 		seed     = flag.Int64("seed", 1, "random seed")
+		optFlag  = flag.String("opt", "on", "graph optimizer: on, off, exact, or a comma-separated pass list")
 		telAddr  = flag.String("telemetry-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while benchmarking (empty = off)")
 		logLevel = flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
 	)
@@ -80,6 +82,11 @@ func main() {
 	cfg.Seed = *seed
 	cfg.ModelDir = *models
 	cfg.Verbose = true
+	optOpts, err := opt.ParseFlag(*optFlag)
+	if err != nil {
+		fatal("bad -opt flag", "opt", *optFlag, "err", err)
+	}
+	cfg.Opt = optOpts
 	if *logN > 0 {
 		cfg.LogN = *logN
 	}
@@ -189,7 +196,14 @@ func main() {
 		if path == "" {
 			path = "BENCH_" + now.Format("20060102T150405") + ".json"
 		}
-		if err := bench.WriteJSON(path, cfg, now, jsonRows, opBreakdown); err != nil {
+		var graphs *bench.GraphReport
+		if ms != nil {
+			graphs, err = bench.GraphSizes(cfg, ms)
+			if err != nil {
+				fatal("collecting graph sizes failed", "err", err)
+			}
+		}
+		if err := bench.WriteJSON(path, cfg, now, jsonRows, opBreakdown, graphs); err != nil {
 			fatal("writing json report failed", "path", path, "err", err)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s (%d rows)\n", path, len(jsonRows))

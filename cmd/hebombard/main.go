@@ -67,6 +67,32 @@ type Report struct {
 
 	// ChaosFired reports client-side injected faults, when -chaos is set.
 	ChaosFired map[string]int64 `json:"chaos_fired,omitempty"`
+
+	// ServerOptimizer is the graph-optimizer setting the target server
+	// reported on /healthz at startup ("off", "on (cse,…)"); an SLO
+	// number is not comparable across optimizer settings. Empty when
+	// the probe failed (e.g. an older server).
+	ServerOptimizer string `json:"server_optimizer,omitempty"`
+}
+
+// fetchServerOptimizer asks /healthz for the server's optimizer
+// setting. Best-effort: any failure returns "".
+func fetchServerOptimizer(c *http.Client, url string) string {
+	resp, err := c.Get(url + "/healthz")
+	if err != nil {
+		return ""
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return ""
+	}
+	var body struct {
+		Optimizer string `json:"optimizer"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return ""
+	}
+	return body.Optimizer
 }
 
 // Latency summarizes successful-request latency in milliseconds.
@@ -238,6 +264,10 @@ func main() {
 		*dim = info.InputDim
 	}
 
+	// Probe with a clean client: the chaos transport must not be able to
+	// fault the metadata fetch.
+	serverOptimizer := fetchServerOptimizer(&http.Client{Timeout: 10 * time.Second}, *url)
+
 	b := &bombardier{
 		url:         *url,
 		dim:         *dim,
@@ -306,6 +336,7 @@ loop:
 		ImagesPerSec:    float64(b.ok.Load()) / ended.Sub(started).Seconds(),
 		LatencyMs:       lat,
 		ChaosFired:      inj.Fired(),
+		ServerOptimizer: serverOptimizer,
 	}
 
 	w := os.Stdout

@@ -42,6 +42,7 @@ import (
 	"cnnhe/internal/guard"
 	"cnnhe/internal/henn"
 	"cnnhe/internal/henn/ir"
+	"cnnhe/internal/henn/ir/opt"
 	"cnnhe/internal/mnist"
 	"cnnhe/internal/nn"
 	"cnnhe/internal/primes"
@@ -153,6 +154,7 @@ func main() {
 		timeout   = flag.Duration("timeout", 0, "per-attempt inference deadline (0 = none)")
 		retries   = flag.Int("retries", 0, "additional attempts after a failed inference")
 		verbose   = flag.Bool("report", false, "print the per-stage timing and noise-budget report")
+		optFlag   = flag.String("opt", "on", "graph optimizer: on, off, exact, or a comma-separated pass list (cse,fold,replan,rescale,fuse,dce)")
 		telAddr   = flag.String("telemetry-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. localhost:8080; empty = off)")
 		tracePath = flag.String("trace", "", "export the inference as Chrome trace-event JSON to this path")
 		logLevel  = flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
@@ -189,6 +191,12 @@ func main() {
 		fatal("compiling plan failed", "model", *modelPath, "err", err)
 	}
 	fmt.Print(plan.Describe())
+
+	optOpts, err := opt.ParseFlag(*optFlag)
+	if err != nil {
+		fatal("bad -opt flag", "opt", *optFlag, "err", err)
+	}
+	plan.Opt = optOpts
 
 	k := plan.Depth + 1
 	if k < 13 {
@@ -237,11 +245,12 @@ func main() {
 		if err != nil {
 			fatal("building RNS decomposition plan failed", "parts", *rnsParts, "err", err)
 		}
+		rp.Opt = optOpts
 	}
 
-	// Lower once up front to report the op-graph shape; errors here are
-	// compile-time problems (depth exhaustion, scale mismatch), not HE
-	// failures.
+	// Lower and optimize once up front to report the op-graph shape —
+	// before and after the pass pipeline; errors here are compile-time
+	// problems (depth exhaustion, scale mismatch), not HE failures.
 	{
 		var g *ir.Graph
 		if rp != nil {
@@ -253,6 +262,14 @@ func main() {
 			fatal("lowering plan failed", "model", *modelPath, "backend", *backend, "err", err)
 		}
 		fmt.Printf("lowered graph: %s\n", g.Stats())
+		res, err := opt.Optimize(engine, g, optOpts)
+		if err != nil {
+			fatal("graph optimizer failed", "model", *modelPath, "backend", *backend, "err", err)
+		}
+		fmt.Println(res.Summary())
+		for _, line := range res.PassLines() {
+			fmt.Printf("  %s\n", line)
+		}
 	}
 
 	// Each attempt gets a fresh guard and a fresh deadline: a tripped

@@ -59,6 +59,7 @@ import (
 	"cnnhe/internal/ckksbig"
 	"cnnhe/internal/guard"
 	"cnnhe/internal/henn"
+	"cnnhe/internal/henn/ir/opt"
 	"cnnhe/internal/nn"
 	"cnnhe/internal/serve"
 	"cnnhe/internal/telemetry"
@@ -148,6 +149,7 @@ func main() {
 		targetLat  = flag.Duration("target-latency", 0, "batch-latency SLO driving adaptive admission (0 = request-timeout/2)")
 		chaosSpec  = flag.String("chaos", "", "network fault spec, e.g. 'latency:ms=100:p=0.3,reset:p=0.05' (testing only)")
 		chaosSeed  = flag.Int64("chaos-seed", 1, "seed for -chaos fault randomness")
+		optFlag    = flag.String("opt", "on", "graph optimizer: on, off, exact, or a comma-separated pass list")
 	)
 	flag.Parse()
 
@@ -171,8 +173,14 @@ func main() {
 	if err != nil {
 		fatal("compiling batched plan failed", "model", *modelPath, "batch", *batch, "err", err)
 	}
+	optOpts, err := opt.ParseFlag(*optFlag)
+	if err != nil {
+		fatal("bad -opt flag", "opt", *optFlag, "err", err)
+	}
+	bp.Plan.Opt = optOpts
 	slog.Info("compiled batched plan", "model", arch, "slots", slots,
-		"batch", bp.Batch, "block", bp.BlockSize, "depth", bp.Plan.Depth)
+		"batch", bp.Batch, "block", bp.BlockSize, "depth", bp.Plan.Depth,
+		"optimizer", optOpts.Setting())
 
 	engine, rnsCtx, err := buildEngine(bp.Plan, *backend, *logN, *levels, *seed)
 	if err != nil {
@@ -209,6 +217,7 @@ func main() {
 		if err != nil {
 			fatal("compiling single-image plan failed", "model", *modelPath, "err", err)
 		}
+		base.Opt = optOpts
 		keyed, err := serve.NewKeyed(serve.KeyedConfig{
 			Ctx:            rnsCtx,
 			Plan:           base,

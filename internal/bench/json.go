@@ -13,8 +13,10 @@ import (
 )
 
 // JSONSchemaVersion identifies the report layout. Version 2 added
-// schema_version itself and the per-table op_breakdown section.
-const JSONSchemaVersion = 2
+// schema_version itself and the per-table op_breakdown section;
+// version 3 added the optimizer setting and the per-(model, backend)
+// graph_before/graph_after sections.
+const JSONSchemaVersion = 3
 
 // JSONRow is one machine-readable benchmark measurement. Accuracy
 // fields are pointers because JSON has no NaN: absent means "not
@@ -61,6 +63,13 @@ type JSONReport struct {
 	// measured by diffing telemetry registry snapshots around the table.
 	// Absent when telemetry was disabled.
 	OpBreakdown map[string][]JSONOpKind `json:"op_breakdown,omitempty"`
+	// Optimizer is the graph-optimizer setting the run used (opt.Setting
+	// form: "off", "on (cse,…)", "exact (…)"). GraphBefore/GraphAfter
+	// record the lowered graph shape per "MODEL/backend" key around the
+	// pass pipeline. Absent when no models were benchmarked.
+	Optimizer   string               `json:"optimizer,omitempty"`
+	GraphBefore map[string]JSONGraph `json:"graph_before,omitempty"`
+	GraphAfter  map[string]JSONGraph `json:"graph_after,omitempty"`
 }
 
 func pctPtr(frac float64) *float64 {
@@ -140,8 +149,9 @@ func OpBreakdownFromDiff(diff telemetry.Snapshot) []JSONOpKind {
 }
 
 // WriteJSON writes the benchmark report to path, creating or truncating
-// the file. opBreakdown may be nil (telemetry disabled).
-func WriteJSON(path string, cfg Config, ts time.Time, rows []JSONRow, opBreakdown map[string][]JSONOpKind) error {
+// the file. opBreakdown may be nil (telemetry disabled); graphs may be
+// nil (no models benchmarked).
+func WriteJSON(path string, cfg Config, ts time.Time, rows []JSONRow, opBreakdown map[string][]JSONOpKind, graphs *GraphReport) error {
 	rep := JSONReport{
 		SchemaVersion: JSONSchemaVersion,
 		Timestamp:     ts.UTC().Format(time.RFC3339),
@@ -154,6 +164,11 @@ func WriteJSON(path string, cfg Config, ts time.Time, rows []JSONRow, opBreakdow
 		NumCPU:        runtime.NumCPU(),
 		Rows:          rows,
 		OpBreakdown:   opBreakdown,
+	}
+	if graphs != nil {
+		rep.Optimizer = graphs.Optimizer
+		rep.GraphBefore = graphs.Before
+		rep.GraphAfter = graphs.After
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

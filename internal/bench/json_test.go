@@ -39,7 +39,12 @@ func TestWriteJSONRoundTrip(t *testing.T) {
 	breakdown := map[string][]JSONOpKind{
 		"III": {{Kind: "Rotate", Count: 12, Calls: 4, TotalMS: 8.5}},
 	}
-	if err := WriteJSON(path, cfg, ts, rows, breakdown); err != nil {
+	graphs := &GraphReport{
+		Optimizer: "on (cse,fold,replan,rescale,fuse,dce)",
+		Before:    map[string]JSONGraph{"CNN2/ckks-big": {Ops: 100, EngineCalls: 100, RotateCalls: 10, Hoists: 8, MinLevel: 1}},
+		After:     map[string]JSONGraph{"CNN2/ckks-big": {Ops: 60, EngineCalls: 55, RotateCalls: 5, Hoists: 1, MinLevel: 1}},
+	}
+	if err := WriteJSON(path, cfg, ts, rows, breakdown, graphs); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -75,6 +80,15 @@ func TestWriteJSONRoundTrip(t *testing.T) {
 	ops := rep.OpBreakdown["III"]
 	if len(ops) != 1 || ops[0].Kind != "Rotate" || ops[0].Count != 12 || ops[0].Calls != 4 || ops[0].TotalMS != 8.5 {
 		t.Fatalf("op breakdown lost: %+v", rep.OpBreakdown)
+	}
+	if rep.Optimizer != graphs.Optimizer {
+		t.Fatalf("optimizer setting lost: %q", rep.Optimizer)
+	}
+	if g := rep.GraphAfter["CNN2/ckks-big"]; g.EngineCalls != 55 || g.RotateCalls != 5 {
+		t.Fatalf("graph_after lost: %+v", rep.GraphAfter)
+	}
+	if g := rep.GraphBefore["CNN2/ckks-big"]; g.Ops != 100 {
+		t.Fatalf("graph_before lost: %+v", rep.GraphBefore)
 	}
 }
 

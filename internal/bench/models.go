@@ -10,6 +10,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"cnnhe/internal/henn/ir/opt"
 	"cnnhe/internal/mnist"
 	"cnnhe/internal/nn"
 )
@@ -34,6 +35,9 @@ type Config struct {
 	ModelDir string
 	// Verbose enables training progress logs.
 	Verbose bool
+	// Opt configures the graph optimizer for every measured plan
+	// (nil = default pipeline; see henn/ir/opt).
+	Opt *opt.Options
 }
 
 // DefaultConfig returns laptop-scale settings (minutes, not hours).

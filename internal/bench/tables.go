@@ -37,9 +37,15 @@ func rnsParams(cfg Config, k int) (ckks.Parameters, error) {
 	return ckks.NewParameters(cfg.LogN, paperShapeBits(k), 60, 1, math.Exp2(26))
 }
 
-// compilePlan compiles a model for the configured ring degree.
+// compilePlan compiles a model for the configured ring degree and
+// applies the configured optimizer setting.
 func compilePlan(cfg Config, m *nn.Model) (*henn.Plan, error) {
-	return henn.Compile(m, 1<<(cfg.LogN-1))
+	p, err := henn.Compile(m, 1<<(cfg.LogN-1))
+	if err != nil {
+		return nil, err
+	}
+	p.Opt = cfg.Opt
+	return p, nil
 }
 
 // HEResult is one measured table row.
@@ -293,6 +299,7 @@ func Fig5(cfg Config, models *Models, w io.Writer) error {
 		if err != nil {
 			return err
 		}
+		rp.Opt = cfg.Opt
 		acc, stats, err := rp.EvaluateEncrypted(re, images, labels, cfg.Runs)
 		if err != nil {
 			return err

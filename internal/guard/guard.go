@@ -567,6 +567,51 @@ func (g *GuardedEngine) MulInt(ct henn.Ct, n int64) henn.Ct {
 }
 
 // Rescale implements henn.Engine.
+// Recombine implements ir.Recombiner so a guarded engine keeps the
+// executor's fused-recombine fast path. It delegates to the inner
+// engine's fused implementation when present (falling back to the
+// equivalent MulInt/Add chain otherwise) and tracks the accumulated
+// noise bound Σᵢ max(|wᵢ|,1)·noiseᵢ exactly like the chain would.
+func (g *GuardedEngine) Recombine(args []henn.Ct, weights []int64) henn.Ct {
+	const op = "Recombine"
+	g.pre(op)
+	ts := make([]*trackedCt, len(args))
+	noise := 0.0
+	for i, a := range args {
+		ts[i] = g.in(op, a)
+		if !scaleClose(ts[i].scale, ts[0].scale, g.cfg.ScaleTol) {
+			g.fail(op, fmt.Errorf("%w: operand %d scale 2^%.4f vs 2^%.4f",
+				ErrScaleDrift, i, math.Log2(ts[i].scale), math.Log2(ts[0].scale)))
+		}
+		f := math.Abs(float64(weights[i]))
+		if f < 1 {
+			f = 1
+		}
+		noise += ts[i].noise * f
+	}
+	ct := g.call(op, func() henn.Ct {
+		if rc, ok := g.inner.(interface {
+			Recombine(args []henn.Ct, weights []int64) henn.Ct
+		}); ok {
+			inner := make([]henn.Ct, len(ts))
+			for i, t := range ts {
+				inner[i] = t.ct
+			}
+			return rc.Recombine(inner, weights)
+		}
+		acc := ts[0].ct // weights[0] = 1
+		for i := 1; i < len(ts); i++ {
+			c := ts[i].ct
+			if weights[i] != 1 {
+				c = g.inner.MulInt(c, weights[i])
+			}
+			acc = g.inner.Add(acc, c)
+		}
+		return acc
+	})
+	return g.out(op, ct, noise, ts[0].scale)
+}
+
 func (g *GuardedEngine) Rescale(ct henn.Ct) henn.Ct {
 	const op = "Rescale"
 	g.pre(op)

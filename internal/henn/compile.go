@@ -6,6 +6,8 @@ import (
 	"sync"
 
 	"cnnhe/internal/henn/exec"
+	"cnnhe/internal/henn/ir"
+	"cnnhe/internal/henn/ir/opt"
 	"cnnhe/internal/nn"
 	"cnnhe/internal/tensor"
 )
@@ -23,15 +25,22 @@ type Plan struct {
 	Stages []Stage
 	// Depth is the number of levels the plan consumes.
 	Depth int
+	// Opt configures the graph optimizer run between lowering and
+	// preparation; nil selects the full default pass pipeline, and
+	// opt.Disabled() (the -opt=off escape hatch) executes the canonical
+	// lowering unchanged.
+	Opt *opt.Options
 
-	// prepared caches one lowered, plaintext-pre-encoded graph per engine;
-	// the zero value is ready to use.
-	mu       sync.Mutex
-	prepared map[Engine]*exec.Prepared
+	// prepared caches one lowered, optimized, plaintext-pre-encoded graph
+	// per engine; the zero value is ready to use.
+	mu         sync.Mutex
+	prepared   map[Engine]*exec.Prepared
+	optResults map[Engine]*opt.Result
 }
 
-// prepare lowers the plan for e (once per engine) and pre-encodes every
-// plaintext operand at its statically inferred (level, scale).
+// prepare lowers the plan for e (once per engine), optimizes the graph,
+// and pre-encodes every plaintext operand at its statically inferred
+// (level, scale).
 func (p *Plan) prepare(e Engine) (*exec.Prepared, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -44,15 +53,43 @@ func (p *Plan) prepare(e Engine) (*exec.Prepared, error) {
 	if err != nil {
 		return nil, err
 	}
-	pr, err := exec.Prepare(e, g)
+	res, err := optimizeLowered(e, g, p.Opt)
+	if err != nil {
+		return nil, err
+	}
+	pr, err := exec.Prepare(e, res.Graph)
 	if err != nil {
 		return nil, err
 	}
 	if p.prepared == nil {
 		p.prepared = map[Engine]*exec.Prepared{}
+		p.optResults = map[Engine]*opt.Result{}
 	}
 	p.prepared[e] = pr
+	p.optResults[e] = res
 	return pr, nil
+}
+
+// OptResult returns the optimizer outcome for e, preparing the plan if
+// needed (before/after stats and per-pass deltas, for CLIs and bench
+// reports).
+func (p *Plan) OptResult(e Engine) (*opt.Result, error) {
+	if _, err := p.prepare(e); err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.optResults[e], nil
+}
+
+// optimizeLowered runs the graph optimizer and records its pass metrics.
+func optimizeLowered(e Engine, g *ir.Graph, o *opt.Options) (*opt.Result, error) {
+	res, err := opt.Optimize(e, g, o)
+	if err != nil {
+		return nil, err
+	}
+	telOptimize(res)
+	return res, nil
 }
 
 // Stage is one homomorphic pipeline step.

@@ -185,6 +185,22 @@ func (e *RNSEngine) MulInt(ct Ct, n int64) Ct {
 	return e.Ev.MulInt(ct.(*ckks.Ciphertext), n)
 }
 
+// Recombine implements ir.Recombiner: Σᵢ weights[i]·args[i] as one
+// fused engine call, accumulating the same residues the MulInt/Add
+// chain would (elided MulInt for weight 1 is a residue identity), so
+// the result is bit-identical to the unfused evaluation.
+func (e *RNSEngine) Recombine(args []Ct, weights []int64) Ct {
+	acc := args[0].(*ckks.Ciphertext) // weights[0] = 1
+	for i := 1; i < len(args); i++ {
+		c := args[i].(*ckks.Ciphertext)
+		if weights[i] != 1 {
+			c = e.Ev.MulInt(c, weights[i])
+		}
+		acc = e.Ev.Add(acc, c)
+	}
+	return acc
+}
+
 // Rescale implements Engine.
 func (e *RNSEngine) Rescale(ct Ct) Ct { return e.Ev.Rescale(ct.(*ckks.Ciphertext)) }
 
@@ -380,6 +396,20 @@ func (e *BigEngine) MulRelin(a, b Ct) Ct {
 // MulInt implements Engine.
 func (e *BigEngine) MulInt(ct Ct, n int64) Ct {
 	return e.Ev.MulInt(ct.(*ckksbig.Ciphertext), n)
+}
+
+// Recombine implements ir.Recombiner with the same bit-identity
+// contract as RNSEngine.Recombine.
+func (e *BigEngine) Recombine(args []Ct, weights []int64) Ct {
+	acc := args[0].(*ckksbig.Ciphertext) // weights[0] = 1
+	for i := 1; i < len(args); i++ {
+		c := args[i].(*ckksbig.Ciphertext)
+		if weights[i] != 1 {
+			c = e.Ev.MulInt(c, weights[i])
+		}
+		acc = e.Ev.Add(acc, c)
+	}
+	return acc
 }
 
 // Rescale implements Engine.

@@ -22,6 +22,7 @@ package exec
 import (
 	"context"
 	"fmt"
+	"hash/fnv"
 	"math"
 	"sync"
 	"sync/atomic"
@@ -80,14 +81,15 @@ type task struct {
 // Prepared is a validated graph with its plaintext operands pre-encoded
 // for one engine. Immutable after Prepare; share freely across Runs.
 type Prepared struct {
-	e ir.Engine
-	g *ir.Graph
+	e  ir.Engine
+	rc ir.Recombiner // non-nil when e supports fused recombination
+	g  *ir.Graph
 
 	pts        []ir.Pt // per-op pre-encoded operand (nil where none)
 	use        []int32 // static consumer count per op (+1 for the output)
 	encryptOps []int
-	outStage   []int // op ID → stage it is the Out of, or -1
-	stageOps   []int // per-stage op count
+	outStages  [][]int // op ID → stages it is the Out of (optimized graphs may point several stage rows at one op)
+	stageOps   []int   // per-stage op count
 	tasks      []task
 	opTask     []int // op ID → task index (-1 for encrypt ops)
 }
@@ -96,8 +98,10 @@ type Prepared struct {
 func (p *Prepared) Graph() *ir.Graph { return p.g }
 
 // Prepare validates g and pre-encodes every plaintext operand on e at
-// its exact (level, scale). Operands carrying the same non-empty
-// PlainKey at the same (level, scale) — model constants — encode once.
+// its exact (level, scale). Operands with bit-identical content at the
+// same (level, scale) encode once — keyed by a content digest rather
+// than PlainKey alone, so post-optimization specs (whose folded or
+// merged operands carry no PlainKey) still deduplicate.
 func Prepare(e ir.Engine, g *ir.Graph) (p *Prepared, err error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
@@ -112,23 +116,27 @@ func Prepare(e ir.Engine, g *ir.Graph) (p *Prepared, err error) {
 		}
 	}()
 	p = &Prepared{
-		e:        e,
-		g:        g,
-		pts:      make([]ir.Pt, len(g.Ops)),
-		use:      make([]int32, len(g.Ops)),
-		outStage: make([]int, len(g.Ops)),
-		stageOps: make([]int, len(g.Stages)),
-		opTask:   make([]int, len(g.Ops)),
+		e:         e,
+		g:         g,
+		pts:       make([]ir.Pt, len(g.Ops)),
+		use:       make([]int32, len(g.Ops)),
+		outStages: make([][]int, len(g.Ops)),
+		stageOps:  make([]int, len(g.Stages)),
+		opTask:    make([]int, len(g.Ops)),
 	}
-	// Batch-encode the plaintext operands, deduplicating model constants.
+	p.rc, _ = e.(ir.Recombiner)
+	// Batch-encode the plaintext operands, deduplicating by content: a
+	// digest selects candidate specs, a full bit-compare confirms (so a
+	// digest collision can never alias two different operands).
 	type ptKey struct {
-		key   string
-		level int
-		scale float64
+		digest uint64
+		n      int
+		level  int
+		scale  float64
 	}
 	var specs []ir.PlainSpec
 	slot := make([]int, 0, len(g.Ops)) // spec index per encoding op
-	seen := map[ptKey]int{}
+	seen := map[ptKey][]int{}
 	for i := range g.Ops {
 		op := &g.Ops[i]
 		if op.Plain == nil {
@@ -138,14 +146,19 @@ func Prepare(e ir.Engine, g *ir.Graph) (p *Prepared, err error) {
 		if op.Kind == ir.OpMulPlain {
 			scale = op.PtScale
 		}
-		k := ptKey{key: op.PlainKey, level: op.Level, scale: scale}
-		if op.PlainKey != "" {
-			if j, ok := seen[k]; ok {
-				slot = append(slot, j)
-				continue
+		k := ptKey{digest: plainDigest(op.Plain), n: len(op.Plain), level: op.Level, scale: scale}
+		dup := -1
+		for _, j := range seen[k] {
+			if plainBitsEqual(specs[j].Values, op.Plain) {
+				dup = j
+				break
 			}
-			seen[k] = len(specs)
 		}
+		if dup >= 0 {
+			slot = append(slot, dup)
+			continue
+		}
+		seen[k] = append(seen[k], len(specs))
 		slot = append(slot, len(specs))
 		specs = append(specs, ir.PlainSpec{Values: op.Plain, Level: op.Level, Scale: scale})
 	}
@@ -167,7 +180,6 @@ func Prepare(e ir.Engine, g *ir.Graph) (p *Prepared, err error) {
 		for _, a := range op.Args {
 			p.use[a]++
 		}
-		p.outStage[i] = -1
 		p.stageOps[op.Stage]++
 		if op.Kind == ir.OpEncrypt {
 			p.encryptOps = append(p.encryptOps, i)
@@ -176,11 +188,38 @@ func Prepare(e ir.Engine, g *ir.Graph) (p *Prepared, err error) {
 	p.use[g.Output]++ // the caller consumes the output
 	for s, st := range g.Stages {
 		if st.Out >= 0 {
-			p.outStage[st.Out] = s
+			p.outStages[st.Out] = append(p.outStages[st.Out], s)
 		}
 	}
 	p.buildTasks()
 	return p, nil
+}
+
+// plainDigest hashes a plaintext vector's float64 bits (FNV-1a).
+func plainDigest(v []float64) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, x := range v {
+		bits := math.Float64bits(x)
+		for i := range buf {
+			buf[i] = byte(bits >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// plainBitsEqual confirms a digest match with an exact bit compare.
+func plainBitsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
 }
 
 // buildTasks groups ops into schedulable tasks and wires the static
@@ -296,8 +335,8 @@ func (rs *runState) opDone(id int, ct ir.Ct, now time.Time) {
 	stage := rs.p.g.Ops[id].Stage
 	var level int
 	var scale, noise float64
-	isOut := rs.p.outStage[id] >= 0
-	if isOut {
+	outs := rs.p.outStages[id]
+	if len(outs) > 0 {
 		level = rs.p.e.Level(ct)
 		scale = rs.p.e.ScaleOf(ct)
 		noise = math.NaN()
@@ -309,8 +348,7 @@ func (rs *runState) opDone(id int, ct ir.Ct, now time.Time) {
 	if now.After(rs.end[stage]) {
 		rs.end[stage] = now
 	}
-	if isOut {
-		s := rs.p.outStage[id]
+	for _, s := range outs {
 		rs.stats[s].Level = level
 		rs.stats[s].Scale = scale
 		rs.stats[s].NoiseBits = noise
@@ -406,11 +444,21 @@ func (rs *runState) execOp(id, worker, taskIdx int) (err error) {
 	case ir.OpDropLevel:
 		ct = p.e.DropLevel(args[0], op.Drop)
 	case ir.OpRecombine:
-		acc := args[0] // weight 1; carries the bias
-		for i := 1; i < len(args); i++ {
-			acc = p.e.Add(acc, p.e.MulInt(args[i], op.Weights[i]))
+		if p.rc != nil {
+			// Fused path: one engine call for the whole linear combination.
+			ct = p.rc.Recombine(args, op.Weights)
+		} else {
+			acc := args[0] // weight 1; carries the bias
+			for i := 1; i < len(args); i++ {
+				if op.Weights[i] == 1 {
+					// MulInt by 1 is a residue identity; skip the copy.
+					acc = p.e.Add(acc, args[i])
+					continue
+				}
+				acc = p.e.Add(acc, p.e.MulInt(args[i], op.Weights[i]))
+			}
+			ct = acc
 		}
-		ct = acc
 	default:
 		return fmt.Errorf("henn: %s: cannot execute %s op", name, op.Kind)
 	}

@@ -1,0 +1,95 @@
+package henn
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"cnnhe/internal/ckks"
+	"cnnhe/internal/ckksbig"
+)
+
+// TestRotateHoistedGroupingBitIdentical pins the empirical fact the
+// graph optimizer's rotation replanning relies on: for a hoisted
+// rotation, the GROUPING does not affect the bits — RotateMany(ct, ks)
+// and RotateMany(ct, [k]) produce identical ciphertexts for every
+// k ∈ ks, on both backends, because the key-switch decomposition
+// depends only on the source ciphertext. This is what makes the replan
+// pass (merging per-stage hoist groups into one per-source fan-out) and
+// the canonical singleton-group lowering bit-exact.
+//
+// It also pins the converse: a standalone Rotate is NOT bit-identical
+// to a hoisted rotation by the same k (different key-switch algorithm,
+// different rounding) — which is why the optimizer must never merge
+// standalone and hoisted rotations, and why CSE keys on hoisted-ness.
+func TestRotateHoistedGroupingBitIdentical(t *testing.T) {
+	logN := 10
+	bits := []int{40, 30, 30, 30, 40}
+	params, err := ckks.NewParameters(logN, bits, 60, 1, math.Exp2(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rots := []int{1, 3, 7, 100, -5}
+	rng := rand.New(rand.NewSource(42))
+	vec := make([]float64, 1<<(logN-1))
+	for i := range vec {
+		vec[i] = rng.Float64()*2 - 1
+	}
+
+	t.Run("rns", func(t *testing.T) {
+		e, err := NewRNSEngine(params, rots, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctBytes := func(c Ct) []byte {
+			var b bytes.Buffer
+			if err := e.Ctx.WriteCiphertext(&b, c.(*ckks.Ciphertext)); err != nil {
+				t.Fatal(err)
+			}
+			return b.Bytes()
+		}
+		ct := e.EncryptVec(vec)
+		grouped := e.RotateMany(ct, rots)
+		standaloneDiffers := false
+		for _, k := range rots {
+			single := ctBytes(e.RotateMany(ct, []int{k})[k])
+			if !bytes.Equal(ctBytes(grouped[k]), single) {
+				t.Errorf("rns: grouped vs singleton hoisted rotation differ at k=%d", k)
+			}
+			if !bytes.Equal(ctBytes(e.Rotate(ct, k)), single) {
+				standaloneDiffers = true
+			}
+		}
+		if !standaloneDiffers {
+			t.Error("rns: standalone Rotate became bit-identical to hoisted; revisit the CSE hoisted-ness key")
+		}
+	})
+
+	t.Run("big", func(t *testing.T) {
+		bp, err := ckksbig.FromRNSParameters(params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := NewBigEngine(bp, rots, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ct := e.EncryptVec(vec)
+		grouped := e.RotateMany(ct, rots)
+		standaloneDiffers := false
+		for _, k := range rots {
+			single := e.RotateMany(ct, []int{k})[k].(*ckksbig.Ciphertext)
+			if !reflect.DeepEqual(grouped[k].(*ckksbig.Ciphertext), single) {
+				t.Errorf("big: grouped vs singleton hoisted rotation differ at k=%d", k)
+			}
+			if !reflect.DeepEqual(e.Rotate(ct, k).(*ckksbig.Ciphertext), single) {
+				standaloneDiffers = true
+			}
+		}
+		if !standaloneDiffers {
+			t.Error("big: standalone Rotate became bit-identical to hoisted; revisit the CSE hoisted-ness key")
+		}
+	})
+}

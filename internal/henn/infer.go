@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"cnnhe/internal/henn/exec"
+	"cnnhe/internal/henn/ir/opt"
 	"cnnhe/internal/rnsdec"
 	"cnnhe/internal/telemetry"
 )
@@ -490,11 +491,17 @@ type RNSPlan struct {
 	// Parallel evaluates independent graph ops (notably the per-part
 	// convolutions) on a bounded worker pool.
 	Parallel bool
+	// Opt configures the graph optimizer, like Plan.Opt (nil = default
+	// pipeline; the RNS graph is where the lazy-rescale sink fires, on
+	// the recompose reduction).
+	Opt *opt.Options
 
-	// prepared caches one lowered, pre-encoded graph per engine (the RNS
-	// graph differs from Base's: k inputs, replicated first stage).
-	mu       sync.Mutex
-	prepared map[Engine]*exec.Prepared
+	// prepared caches one lowered, optimized, pre-encoded graph per engine
+	// (the RNS graph differs from Base's: k inputs, replicated first
+	// stage).
+	mu         sync.Mutex
+	prepared   map[Engine]*exec.Prepared
+	optResults map[Engine]*opt.Result
 }
 
 // prepare lowers the decomposed pipeline for e, once per engine.
@@ -510,15 +517,32 @@ func (p *RNSPlan) prepare(e Engine) (*exec.Prepared, error) {
 	if err != nil {
 		return nil, err
 	}
-	pr, err := exec.Prepare(e, g)
+	res, err := optimizeLowered(e, g, p.Opt)
+	if err != nil {
+		return nil, err
+	}
+	pr, err := exec.Prepare(e, res.Graph)
 	if err != nil {
 		return nil, err
 	}
 	if p.prepared == nil {
 		p.prepared = map[Engine]*exec.Prepared{}
+		p.optResults = map[Engine]*opt.Result{}
 	}
 	p.prepared[e] = pr
+	p.optResults[e] = res
 	return pr, nil
+}
+
+// OptResult returns the optimizer outcome for e, preparing the RNS plan
+// if needed.
+func (p *RNSPlan) OptResult(e Engine) (*opt.Result, error) {
+	if _, err := p.prepare(e); err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.optResults[e], nil
 }
 
 // NewRNSPlan wraps a compiled plan with a k-part digit decomposition

@@ -107,6 +107,18 @@ type Engine interface {
 	AddPlainPt(ct Ct, pt Pt) Ct
 }
 
+// Recombiner is an optional Engine extension: a fused integer linear
+// combination Σᵢ Weights[i]·args[i] (Weights[0] = 1) evaluated in one
+// engine call instead of a MulInt/Add chain. Implementations must be
+// bit-identical to the chain acc = args[0]; acc = Add(acc,
+// MulInt(args[i], w)) with the MulInt elided for w = 1 — modular
+// addition is exact, so any implementation that accumulates the same
+// residues qualifies. The executor uses it for OpRecombine when the
+// engine provides it.
+type Recombiner interface {
+	Recombine(args []Ct, weights []int64) Ct
+}
+
 // Kind enumerates the op taxonomy of a lowered graph.
 type Kind int
 
@@ -335,11 +347,17 @@ type Stats struct {
 	Hoists   int
 	Plains   int // plaintext operands to pre-encode
 	MinLevel int // lowest level any op result reaches
+	// EngineCalls counts the engine interface calls a full-featured
+	// backend pays per run: every op is one call, except that a hoist
+	// group executes as a single RotateMany and an OpRecombine as a
+	// single fused Recombine (see Recombiner).
+	EngineCalls int
 }
 
 // Stats computes summary counts.
 func (g *Graph) Stats() Stats {
 	s := Stats{Ops: len(g.Ops), ByKind: map[Kind]int{}, Hoists: len(g.Hoists), MinLevel: 1 << 30}
+	grouped := map[int]bool{}
 	for _, op := range g.Ops {
 		s.ByKind[op.Kind]++
 		if op.Plain != nil {
@@ -348,6 +366,14 @@ func (g *Graph) Stats() Stats {
 		if op.Level < s.MinLevel {
 			s.MinLevel = op.Level
 		}
+		if op.Kind == OpRotate && op.Hoist >= 0 {
+			if !grouped[op.Hoist] {
+				grouped[op.Hoist] = true
+				s.EngineCalls++
+			}
+			continue
+		}
+		s.EngineCalls++
 	}
 	if s.Ops == 0 {
 		s.MinLevel = 0
@@ -355,10 +381,19 @@ func (g *Graph) Stats() Stats {
 	return s
 }
 
+// RotateCalls is the number of rotation engine calls the graph pays:
+// one per hoist group (a shared key-switch decomposition) plus one per
+// standalone rotation.
+func (s Stats) RotateCalls() int {
+	// Every non-rotate op is exactly one engine call, so the rotation
+	// share is what remains of EngineCalls after subtracting them.
+	return s.EngineCalls - (s.Ops - s.ByKind[OpRotate])
+}
+
 // String renders the stats on one line.
 func (s Stats) String() string {
-	return fmt.Sprintf("%d ops (%d encrypt, %d rotate, %d mulplain, %d addplain, %d add, %d mulrelin, %d rescale, %d drop, %d recombine), %d hoist groups, %d plaintexts, min level %d",
-		s.Ops, s.ByKind[OpEncrypt], s.ByKind[OpRotate], s.ByKind[OpMulPlain], s.ByKind[OpAddPlain],
+	return fmt.Sprintf("%d ops / %d engine calls (%d encrypt, %d rotate, %d mulplain, %d addplain, %d add, %d mulrelin, %d rescale, %d drop, %d recombine), %d hoist groups, %d plaintexts, min level %d",
+		s.Ops, s.EngineCalls, s.ByKind[OpEncrypt], s.ByKind[OpRotate], s.ByKind[OpMulPlain], s.ByKind[OpAddPlain],
 		s.ByKind[OpAdd], s.ByKind[OpMulRelin], s.ByKind[OpRescale], s.ByKind[OpDropLevel],
 		s.ByKind[OpRecombine], s.Hoists, s.Plains, s.MinLevel)
 }

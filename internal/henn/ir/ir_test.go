@@ -95,9 +95,88 @@ func TestStats(t *testing.T) {
 	if s.MinLevel != 3 {
 		t.Fatalf("min level %d, want 3", s.MinLevel)
 	}
+	// 6 ops, but the 2-member hoist group is one RotateMany call.
+	if s.EngineCalls != 5 {
+		t.Fatalf("engine calls %d, want 5", s.EngineCalls)
+	}
+	if s.RotateCalls() != 1 {
+		t.Fatalf("rotate calls %d, want 1", s.RotateCalls())
+	}
 	if str := s.String(); !strings.Contains(str, "6 ops") || !strings.Contains(str, "1 hoist") {
 		t.Fatalf("stats string %q", str)
 	}
+}
+
+// TestStatsEmptyGraph pins the empty-graph MinLevel behavior: 0, not the
+// 1<<30 sentinel the minimum scan starts from.
+func TestStatsEmptyGraph(t *testing.T) {
+	s := (&Graph{}).Stats()
+	if s.MinLevel != 0 {
+		t.Fatalf("empty graph min level %d, want 0", s.MinLevel)
+	}
+	if s.Ops != 0 || s.EngineCalls != 0 {
+		t.Fatalf("empty graph stats: %+v", s)
+	}
+	if strings.Contains(s.String(), "1073741824") {
+		t.Fatalf("sentinel leaked into stats string: %q", s)
+	}
+}
+
+// TestValidateHoistGroupEdgeCases covers the shapes optimizer rewrites
+// can produce: a group emptied by DCE must be rejected (the builder
+// compacts groups away instead of leaving empty ones), a group whose
+// member list disagrees with the op's Hoist tag after a CSE merge must
+// be rejected, and out-of-order group IDs (relative to op order) are
+// structurally fine.
+func TestValidateHoistGroupEdgeCases(t *testing.T) {
+	t.Run("empty-group-after-dce", func(t *testing.T) {
+		g := smallGraph()
+		g.Hoists = append(g.Hoists, nil)
+		err := g.Validate()
+		if err == nil || !strings.Contains(err.Error(), "empty hoist group") {
+			t.Fatalf("empty hoist group accepted (err=%v)", err)
+		}
+	})
+	t.Run("cse-merged-member", func(t *testing.T) {
+		// A CSE merge that drops op 2 but leaves it listed in the group:
+		// the member no longer tags the group.
+		g := smallGraph()
+		g.Ops[2].Hoist = -1
+		err := g.Validate()
+		if err == nil || !strings.Contains(err.Error(), "not its rotation") {
+			t.Fatalf("stale hoist member accepted (err=%v)", err)
+		}
+	})
+	t.Run("member-out-of-range", func(t *testing.T) {
+		g := smallGraph()
+		g.Hoists[0] = []int{1, 99}
+		err := g.Validate()
+		if err == nil || !strings.Contains(err.Error(), "out of range") {
+			t.Fatalf("out-of-range member accepted (err=%v)", err)
+		}
+	})
+	t.Run("out-of-order-group-ids", func(t *testing.T) {
+		// Group 1's rotations precede group 0's in op order — legal: group
+		// IDs are labels, not a schedule.
+		g := &Graph{
+			Slots:  8,
+			Inputs: 1,
+			Stages: []StageInfo{{Name: "s", Out: 5, Record: true}},
+			Hoists: [][]int{{3, 4}, {1, 2}},
+		}
+		g.Ops = []Op{
+			{ID: 0, Kind: OpEncrypt, InputIdx: 0, Hoist: -1, Level: 3, Scale: 1 << 20},
+			{ID: 1, Kind: OpRotate, Args: []int{0}, K: 1, Hoist: 1, Level: 3, Scale: 1 << 20},
+			{ID: 2, Kind: OpRotate, Args: []int{0}, K: 2, Hoist: 1, Level: 3, Scale: 1 << 20},
+			{ID: 3, Kind: OpRotate, Args: []int{0}, K: 3, Hoist: 0, Level: 3, Scale: 1 << 20},
+			{ID: 4, Kind: OpRotate, Args: []int{0}, K: 4, Hoist: 0, Level: 3, Scale: 1 << 20},
+			{ID: 5, Kind: OpAdd, Args: []int{1, 3}, Hoist: -1, Level: 3, Scale: 1 << 20},
+		}
+		g.Output = 5
+		if err := g.Validate(); err != nil {
+			t.Fatalf("out-of-order hoist IDs rejected: %v", err)
+		}
+	})
 }
 
 func TestKindString(t *testing.T) {

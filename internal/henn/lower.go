@@ -238,14 +238,20 @@ func (t *tracer) Rotate(ct Ct, k int) Ct {
 	})
 }
 
-// RotateMany implements Engine. The non-zero rotations form one hoist
-// group: the executor performs them with a single key-switch
-// decomposition of the shared input.
+// RotateMany implements Engine. Lowering is canonical: each non-zero
+// rotation becomes its own singleton hoist group rather than one
+// per-call group, and regrouping is the optimizer's job (the replan
+// pass merges every hoisted rotation of a source into one fan-out,
+// which subsumes — and usually beats — the per-stage grouping the
+// eager interpreter gets from a literal RotateMany call). Grouped and
+// singleton hoisted rotations are bit-identical per k on both backends
+// (see TestRotateHoistedGroupingBitIdentical), so the grouping choice
+// affects key-switch decomposition count, never bits; an unoptimized
+// (-opt=off) run stays bit-identical to the legacy interpreter, just
+// paying one decomposition per rotation.
 func (t *tracer) RotateMany(ct Ct, ks []int) map[int]Ct {
 	x := t.in("RotateMany", ct)
 	out := make(map[int]Ct, len(ks))
-	gid := len(t.g.Hoists)
-	var members []int
 	for _, k := range ks {
 		if k == 0 {
 			out[0] = x
@@ -255,14 +261,11 @@ func (t *tracer) RotateMany(ct Ct, ks []int) map[int]Ct {
 			continue
 		}
 		c := t.emit(ir.Op{
-			Kind: ir.OpRotate, Args: []int{x.id}, K: k, Hoist: gid,
+			Kind: ir.OpRotate, Args: []int{x.id}, K: k, Hoist: len(t.g.Hoists),
 			Level: x.level, Scale: x.scale,
 		})
 		out[k] = c
-		members = append(members, c.id)
-	}
-	if len(members) > 0 {
-		t.g.Hoists = append(t.g.Hoists, members)
+		t.g.Hoists = append(t.g.Hoists, []int{c.id})
 	}
 	return out
 }

@@ -8,6 +8,7 @@ import (
 
 	"cnnhe/internal/ckks"
 	"cnnhe/internal/ckksbig"
+	"cnnhe/internal/henn/ir/opt"
 	"cnnhe/internal/nn"
 )
 
@@ -18,6 +19,13 @@ import (
 // randomized, so each side runs on its own identically-seeded engine:
 // key generation and the single encrypt prologue then draw the same
 // PRNG sequence, and every evaluation op downstream is deterministic.
+//
+// The graph optimizer is gated on the same oracle in three modes:
+//   - -opt=off: the canonical lowering executes unchanged → bit-identical
+//   - -opt=exact: only bit-exact rewrites (CSE, DCE, replan, fuse,
+//     zero-fold, droplevel-sink) → still bit-identical
+//   - -opt=on (default): adds rescale-sinking and plaintext chain
+//     folding, which re-round → logits within tolerance, argmax unchanged
 
 type engineMaker func(t *testing.T) Engine
 
@@ -94,46 +102,123 @@ func assertSameRun(t *testing.T, label string, lgA, lgB Logits, repA, repB *Repo
 	}
 }
 
-// checkPlanParity compares InferCtx (executor) to InferCtxLegacy on two
-// identically-seeded engines.
+// assertCloseRun is the tolerance gate for the full optimizer pipeline:
+// same stage rows and levels, logits within an absolute tolerance, and
+// an unchanged argmax.
+func assertCloseRun(t *testing.T, label string, lgA, lgB Logits, repA, repB *Report) {
+	t.Helper()
+	const tol = 1e-3
+	if len(lgA) != len(lgB) {
+		t.Fatalf("%s: %d vs %d logits", label, len(lgA), len(lgB))
+	}
+	amA, amB := 0, 0
+	for i := range lgA {
+		if d := math.Abs(lgA[i] - lgB[i]); d > tol {
+			t.Fatalf("%s: logit %d differs: %.17g vs %.17g (Δ=%g > %g)",
+				label, i, lgA[i], lgB[i], lgA[i]-lgB[i], tol)
+		}
+		if lgA[i] > lgA[amA] {
+			amA = i
+		}
+		if lgB[i] > lgB[amB] {
+			amB = i
+		}
+	}
+	if amA != amB {
+		t.Fatalf("%s: argmax changed: %d vs %d", label, amA, amB)
+	}
+	a, b := stageNames(repA), stageNames(repB)
+	if len(a) != len(b) {
+		t.Fatalf("%s: %d vs %d report rows (%v vs %v)", label, len(a), len(b), a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("%s: report row %d named %q vs %q", label, i, a[i], b[i])
+		}
+		if repA.Stages[i].Level != repB.Stages[i].Level {
+			t.Fatalf("%s: stage %q level %d vs %d", label, a[i], repA.Stages[i].Level, repB.Stages[i].Level)
+		}
+		sa, sb := repA.Stages[i].Scale, repB.Stages[i].Scale
+		if math.Abs(sa-sb) > math.Max(sa, sb)*1e-6 {
+			t.Fatalf("%s: stage %q scale %g vs %g", label, a[i], sa, sb)
+		}
+	}
+}
+
+// parityMode is one optimizer configuration gated by the oracle.
+type parityMode struct {
+	name string
+	opts *opt.Options
+	// bitExact selects assertSameRun; otherwise assertCloseRun.
+	bitExact bool
+}
+
+func parityModes() []parityMode {
+	return []parityMode{
+		{"opt=off", opt.Disabled(), true},
+		{"opt=exact", &opt.Options{Exact: true}, true},
+		{"opt=on", nil, false},
+	}
+}
+
+// checkPlanParity compares InferCtx (executor) to InferCtxLegacy on
+// identically-seeded engines, across all optimizer modes.
 func checkPlanParity(t *testing.T, plan *Plan, mk engineMaker, image []float64) {
 	ctx := context.Background()
 	lgL, repL, errL := plan.InferCtxLegacy(ctx, mk(t), image)
 	if errL != nil {
 		t.Fatal(errL)
 	}
-	lgX, repX, errX := plan.InferCtx(ctx, mk(t), image)
-	if errX != nil {
-		t.Fatal(errX)
+	defer func() { plan.Opt = nil }()
+	for _, mode := range parityModes() {
+		plan.Opt = mode.opts
+		lgX, repX, errX := plan.InferCtx(ctx, mk(t), image)
+		if errX != nil {
+			t.Fatalf("plan/%s: %v", mode.name, errX)
+		}
+		if mode.bitExact {
+			assertSameRun(t, "plan/"+mode.name, lgL, lgX, repL, repX)
+		} else {
+			assertCloseRun(t, "plan/"+mode.name, lgL, lgX, repL, repX)
+		}
 	}
-	assertSameRun(t, "plan", lgL, lgX, repL, repX)
 }
 
 // checkRNSParity compares the decomposed pipeline across legacy,
-// sequential executor, and parallel executor runs.
+// sequential executor, and parallel executor runs, in every optimizer
+// mode. The RNS graph is where the tolerance-class rescale sink fires
+// (on the recompose reduction), so the opt=on legs are the ones
+// exercising assertCloseRun.
 func checkRNSParity(t *testing.T, base *Plan, k int, mk engineMaker, image []float64) {
 	ctx := context.Background()
-	mkPlan := func(parallel bool) *RNSPlan {
+	mkPlan := func(parallel bool, o *opt.Options) *RNSPlan {
 		rp, err := NewRNSPlan(base, k, parallel)
 		if err != nil {
 			t.Fatal(err)
 		}
+		rp.Opt = o
 		return rp
 	}
-	lgL, repL, errL := mkPlan(false).InferCtxLegacy(ctx, mk(t), image)
+	lgL, repL, errL := mkPlan(false, opt.Disabled()).InferCtxLegacy(ctx, mk(t), image)
 	if errL != nil {
 		t.Fatal(errL)
 	}
-	lgS, repS, errS := mkPlan(false).InferCtx(ctx, mk(t), image)
-	if errS != nil {
-		t.Fatal(errS)
+	for _, mode := range parityModes() {
+		check := assertCloseRun
+		if mode.bitExact {
+			check = assertSameRun
+		}
+		lgS, repS, errS := mkPlan(false, mode.opts).InferCtx(ctx, mk(t), image)
+		if errS != nil {
+			t.Fatalf("rns sequential/%s: %v", mode.name, errS)
+		}
+		check(t, "rns sequential/"+mode.name, lgL, lgS, repL, repS)
+		lgP, repP, errP := mkPlan(true, mode.opts).InferCtx(ctx, mk(t), image)
+		if errP != nil {
+			t.Fatalf("rns parallel/%s: %v", mode.name, errP)
+		}
+		check(t, "rns parallel/"+mode.name, lgL, lgP, repL, repP)
 	}
-	assertSameRun(t, "rns sequential", lgL, lgS, repL, repS)
-	lgP, repP, errP := mkPlan(true).InferCtx(ctx, mk(t), image)
-	if errP != nil {
-		t.Fatal(errP)
-	}
-	assertSameRun(t, "rns parallel", lgL, lgP, repL, repP)
 }
 
 func TestExecutorParityTiny(t *testing.T) {

@@ -3,6 +3,7 @@ package henn
 import (
 	"sync"
 
+	"cnnhe/internal/henn/ir/opt"
 	"cnnhe/internal/telemetry"
 )
 
@@ -64,5 +65,70 @@ func telPrepare(hit bool) {
 		t.cacheHits.Inc()
 	} else {
 		t.cacheMisses.Inc()
+	}
+}
+
+// optTelSet bundles the graph-optimizer instruments (cnnhe_opt_*).
+// Registered once, on the first optimizer run with telemetry enabled.
+type optTelSet struct {
+	runs *telemetry.Counter
+	mu   sync.Mutex
+	// per pass-name counters, created lazily (the pass list is dynamic)
+	passRemoved map[string]*telemetry.Counter
+	opsBefore   *telemetry.Counter
+	opsAfter    *telemetry.Counter
+	callsBefore *telemetry.Counter
+	callsAfter  *telemetry.Counter
+}
+
+var (
+	optTelOnce sync.Once
+	optTelVal  *optTelSet
+)
+
+func optTel() *optTelSet {
+	if !telemetry.Enabled() {
+		return nil
+	}
+	optTelOnce.Do(func() {
+		r := telemetry.Default()
+		optTelVal = &optTelSet{
+			runs: r.Counter("cnnhe_opt_runs_total",
+				"graph optimizer pipeline runs"),
+			passRemoved: map[string]*telemetry.Counter{},
+			opsBefore: r.Counter("cnnhe_opt_ops_before_total",
+				"graph ops entering the optimizer"),
+			opsAfter: r.Counter("cnnhe_opt_ops_after_total",
+				"graph ops leaving the optimizer"),
+			callsBefore: r.Counter("cnnhe_opt_engine_calls_before_total",
+				"engine calls per run before optimization"),
+			callsAfter: r.Counter("cnnhe_opt_engine_calls_after_total",
+				"engine calls per run after optimization"),
+		}
+	})
+	return optTelVal
+}
+
+// telOptimize records one optimizer pipeline outcome.
+func telOptimize(res *opt.Result) {
+	t := optTel()
+	if t == nil || res == nil {
+		return
+	}
+	t.runs.Inc()
+	t.opsBefore.Add(int64(res.Before.Ops))
+	t.opsAfter.Add(int64(res.After.Ops))
+	t.callsBefore.Add(int64(res.Before.EngineCalls))
+	t.callsAfter.Add(int64(res.After.EngineCalls))
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, p := range res.Passes {
+		c, ok := t.passRemoved[p.Pass]
+		if !ok {
+			c = telemetry.Default().Counter("cnnhe_opt_pass_removed_ops_total",
+				"net ops removed by optimizer pass", telemetry.L("pass", p.Pass))
+			t.passRemoved[p.Pass] = c
+		}
+		c.Add(int64(p.OpsBefore - p.OpsAfter))
 	}
 }

@@ -111,7 +111,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "draining"})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	// The optimizer setting rides along so load clients (hebombard) can
+	// stamp their SLO reports with the server's graph configuration.
+	writeJSON(w, http.StatusOK, map[string]string{
+		"status":    "ok",
+		"optimizer": s.cfg.Batch.Plan.Opt.Setting(),
+	})
 }
 
 func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {

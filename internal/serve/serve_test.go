@@ -326,14 +326,26 @@ func TestServeBadRequests(t *testing.T) {
 	if r4.StatusCode != http.StatusMethodNotAllowed {
 		t.Fatalf("GET: want 405, got %d", r4.StatusCode)
 	}
-	// Health while accepting.
+	// Health while accepting, carrying the optimizer setting for load
+	// clients to stamp their reports with.
 	r5, err := http.Get(ts.URL + "/healthz")
 	if err != nil {
 		t.Fatal(err)
 	}
+	var health struct {
+		Status    string `json:"status"`
+		Optimizer string `json:"optimizer"`
+	}
+	err = json.NewDecoder(r5.Body).Decode(&health)
 	r5.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r5.StatusCode != http.StatusOK {
 		t.Fatalf("healthz: want 200, got %d", r5.StatusCode)
+	}
+	if health.Status != "ok" || health.Optimizer == "" {
+		t.Fatalf("healthz body: %+v (want ok status and an optimizer setting)", health)
 	}
 }
 
