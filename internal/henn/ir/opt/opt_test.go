@@ -356,6 +356,62 @@ func TestFoldMergesPlainChains(t *testing.T) {
 	}
 }
 
+func TestFoldMergesLongChains(t *testing.T) {
+	// A ≥3-long same-kind chain: each fixpoint round must absorb only
+	// ops whose consumer is actually emitted that round (an absorber
+	// must never itself be absorbed, or its consumer merges against a
+	// dropped op). Collapses fully over iterations.
+	g := mk(t, 4, nil,
+		enc(0),
+		addp(0, []float64{1, 1, 1, 1}),
+		addp(1, []float64{2, 2, 2, 2}),
+		addp(2, []float64{3, 3, 3, 3}),
+		addp(3, []float64{4, 4, 4, 4}),
+	)
+	out := run(t, passFold, g, false)
+	if got := out.Stats().ByKind[ir.OpAddPlain]; got != 1 {
+		t.Fatalf("4-long chain not fully merged: %d addplains", got)
+	}
+	if final := out.Ops[out.Output]; final.Plain[0] != 10 {
+		t.Fatalf("merged constant %v, want 10", final.Plain[0])
+	}
+
+	s := math.Exp2(26)
+	g2 := mk(t, 3, nil,
+		enc(0),
+		mulp(0, []float64{2, 2, 2, 2}, s),
+		mulp(1, []float64{3, 3, 3, 3}, s),
+		mulp(2, []float64{4, 4, 4, 4}, s),
+	)
+	out2 := run(t, passFold, g2, false)
+	if got := out2.Stats().ByKind[ir.OpMulPlain]; got != 1 {
+		t.Fatalf("3-long mul chain not fully merged: %d mulplains", got)
+	}
+	if final := out2.Ops[out2.Output]; final.Plain[0] != 24 || !scaleClose(final.PtScale, s*s*s) {
+		t.Fatalf("merged product %v at scale 2^%.0f, want 24 at 2^78",
+			final.Plain[0], math.Log2(final.PtScale))
+	}
+}
+
+func TestFoldKeepsStageOutputChainOps(t *testing.T) {
+	// The inner op of a foldable chain is a recorded stage output:
+	// absorbing it would leave the stage row dangling, so it must stay.
+	g := mk(t, 2, nil,
+		enc(0),
+		addp(0, []float64{1, 1, 1, 1}),
+		addp(1, []float64{2, 2, 2, 2}),
+	)
+	g.Stages = append(g.Stages, ir.StageInfo{Name: "mid", Out: 1, Record: true})
+	out := run(t, passFold, g, false)
+	if got := out.Stats().ByKind[ir.OpAddPlain]; got != 2 {
+		t.Fatalf("stage-output chain op folded away: %d addplains", got)
+	}
+	mid := out.Ops[out.Stages[1].Out]
+	if mid.Kind != ir.OpAddPlain || mid.Plain[0] != 1 {
+		t.Fatalf("stage row points at %v (plain %v), want the original AddPlain", mid.Kind, mid.Plain)
+	}
+}
+
 func TestFoldChainMergeSkippedInExactMode(t *testing.T) {
 	g := mk(t, 2, nil,
 		enc(0),

@@ -116,6 +116,7 @@ func passFold(g *ir.Graph, par Params, exact bool) (*ir.Graph, error) {
 
 func foldOnce(g *ir.Graph, par Params, exact bool) (*ir.Graph, bool, error) {
 	use := useCounts(g)
+	outs := stageOutSet(g)
 	elide := map[int]bool{}    // all-zero AddPlain → alias to its arg
 	absorbed := map[int]bool{} // inner chain op folded into its consumer
 	for i := range g.Ops {
@@ -130,9 +131,14 @@ func foldOnce(g *ir.Graph, par Params, exact bool) (*ir.Graph, bool, error) {
 		a := op.Args[0]
 		inner := &g.Ops[a]
 		// One link per iteration: a chain A→B→C merges A into B now and
-		// the result into C on the next fixpoint round.
+		// the result into C on the next fixpoint round. The inner op must
+		// not itself be absorbing something this round (!absorbed of ITS
+		// arg — an absorber needs to stay emitted to receive the merge)
+		// and must not be a recorded stage output (absorbed ops get no
+		// remap entry, so a stage row pointing at one would dangle).
 		if inner.Kind == op.Kind && use[a] == 1 &&
-			!elide[a] && !absorbed[a] &&
+			!elide[a] && !absorbed[a] && !outs[a] &&
+			!absorbed[inner.Args[0]] &&
 			len(inner.Plain) == len(op.Plain) {
 			absorbed[a] = true
 		}
