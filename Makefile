@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet staticcheck build test race race-serve race-chaos parity opt-parity opt-golden bench telemetry-overhead fuzz-smoke e2e-encrypted soak-chaos
+.PHONY: check vet staticcheck build test race race-serve race-chaos parity opt-parity opt-golden bench telemetry-overhead fuzz-smoke e2e-encrypted soak-chaos trend
 
 ## check: the full CI gate — vet, staticcheck, build, tests, the race
 ## detector, and the executor-vs-interpreter parity suite.
@@ -64,6 +64,13 @@ opt-parity:
 ## floor. Symbolic (no keygen), seconds.
 opt-golden:
 	$(GO) test -run 'TestOptimizedGraphGolden|TestOptimizeOffPreservesLowering' ./internal/henn/
+
+## trend: the perf-trend regression gate — load every committed
+## BENCH_*.json, print the per-configuration latency trend, and fail
+## when the newest run is >15% slower than the best prior run of the
+## same (model, backend, logN, chain).
+trend:
+	$(GO) run ./cmd/hetrend -dir . -out trend-report.md
 
 ## bench: executor vs interpreter latency on CNN1 single-image.
 bench:

@@ -154,14 +154,14 @@ func main() {
 		run("III", "Table III", func() error {
 			rows, err := bench.TableIII(cfg, ms, w)
 			measured = append(measured, rows...)
-			jsonRows = append(jsonRows, bench.JSONRows("III", rows)...)
+			jsonRows = append(jsonRows, bench.JSONRows("III", cfg.LogN, rows)...)
 			return err
 		})
 	}
 	if all || want["4"] {
 		run("IV", "Table IV", func() error {
 			rows, err := bench.TableIV(cfg, ms, w)
-			jsonRows = append(jsonRows, bench.JSONRows("IV", rows)...)
+			jsonRows = append(jsonRows, bench.JSONRows("IV", cfg.LogN, rows)...)
 			return err
 		})
 	}
@@ -169,14 +169,14 @@ func main() {
 		run("V", "Table V", func() error {
 			rows, err := bench.TableV(cfg, ms, w)
 			measured = append(measured, rows...)
-			jsonRows = append(jsonRows, bench.JSONRows("V", rows)...)
+			jsonRows = append(jsonRows, bench.JSONRows("V", cfg.LogN, rows)...)
 			return err
 		})
 	}
 	if all || want["6"] {
 		run("VI", "Table VI", func() error {
 			rows, err := bench.TableVI(cfg, ms, w)
-			jsonRows = append(jsonRows, bench.JSONRows("VI", rows)...)
+			jsonRows = append(jsonRows, bench.JSONRows("VI", cfg.LogN, rows)...)
 			return err
 		})
 	}

@@ -43,6 +43,7 @@ import (
 	"cnnhe/internal/chaos"
 	"cnnhe/internal/client"
 	"cnnhe/internal/serve"
+	"cnnhe/internal/telemetry"
 )
 
 // Report is the machine-readable SLO summary.
@@ -73,6 +74,18 @@ type Report struct {
 	// number is not comparable across optimizer settings. Empty when
 	// the probe failed (e.g. an older server).
 	ServerOptimizer string `json:"server_optimizer,omitempty"`
+
+	// SlowestRequests are the worst successful round trips with their
+	// trace IDs — paste one into the server's
+	// /debug/requests?trace=<id> to see exactly where its time went.
+	SlowestRequests []SlowRequest `json:"slowest_requests,omitempty"`
+}
+
+// SlowRequest joins one slow client-side latency to the server's trace.
+type SlowRequest struct {
+	TraceID   string  `json:"trace_id"`
+	RequestID string  `json:"request_id,omitempty"`
+	LatencyMs float64 `json:"latency_ms"`
 }
 
 // fetchServerOptimizer asks /healthz for the server's optimizer
@@ -121,15 +134,26 @@ type bombardier struct {
 	mu        sync.Mutex
 	errors    map[string]int64
 	latencies []time.Duration
+	oks       []SlowRequest // successful round trips with trace join keys
 }
 
 // account records one terminal outcome for an arrival.
 func (b *bombardier) account(class string, d time.Duration) {
+	b.accountTraced(class, d, SlowRequest{})
+}
+
+// accountTraced is account plus the request's trace join keys (kept for
+// the slowest-requests report section on successes).
+func (b *bombardier) accountTraced(class string, d time.Duration, sr SlowRequest) {
 	b.accounted.Add(1)
 	if class == "ok" {
 		b.ok.Add(1)
+		sr.LatencyMs = float64(d) / float64(time.Millisecond)
 		b.mu.Lock()
 		b.latencies = append(b.latencies, d)
+		if sr.TraceID != "" {
+			b.oks = append(b.oks, sr)
+		}
 		b.mu.Unlock()
 		return
 	}
@@ -158,6 +182,8 @@ func (b *bombardier) classify(seed int64) {
 		return
 	}
 	req.Header.Set("Content-Type", "application/json")
+	tc := telemetry.NewTraceContext()
+	req.Header.Set(client.HeaderTraceparent, tc.Traceparent())
 	if b.deadline > 0 {
 		req.Header.Set(serve.HeaderRequestDeadline, b.deadline.String())
 	}
@@ -180,7 +206,10 @@ func (b *bombardier) classify(seed int64) {
 	}
 	switch {
 	case resp.StatusCode == http.StatusOK:
-		b.account("ok", time.Since(start))
+		b.accountTraced("ok", time.Since(start), SlowRequest{
+			TraceID:   tc.TraceIDString(),
+			RequestID: resp.Header.Get(client.HeaderRequestID),
+		})
 	case resp.StatusCode == http.StatusTooManyRequests:
 		b.account("http_429", 0)
 	case resp.StatusCode == http.StatusServiceUnavailable:
@@ -192,6 +221,15 @@ func (b *bombardier) classify(seed int64) {
 	default:
 		b.account(fmt.Sprintf("http_%d", resp.StatusCode), 0)
 	}
+}
+
+// slowest returns the n worst successful round trips, slowest first.
+func slowest(oks []SlowRequest, n int) []SlowRequest {
+	sort.Slice(oks, func(i, j int) bool { return oks[i].LatencyMs > oks[j].LatencyMs })
+	if len(oks) > n {
+		oks = oks[:n]
+	}
+	return oks
 }
 
 // percentile reads the q-th quantile from sorted latencies.
@@ -337,6 +375,7 @@ loop:
 		LatencyMs:       lat,
 		ChaosFired:      inj.Fired(),
 		ServerOptimizer: serverOptimizer,
+		SlowestRequests: slowest(b.oks, 5),
 	}
 
 	w := os.Stdout

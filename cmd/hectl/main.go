@@ -33,6 +33,7 @@ import (
 
 	"cnnhe/internal/client"
 	"cnnhe/internal/mnist"
+	"cnnhe/internal/telemetry"
 )
 
 func usage() {
@@ -186,6 +187,9 @@ func runClassify(args []string) error {
 	fmt.Printf("encrypted route: class %d in %s (server eval %.0f ms)\n",
 		res.Class, time.Since(t0).Round(time.Millisecond), res.EvalMillis)
 	fmt.Printf("  logits: %.4f\n", res.Logits)
+	if res.TraceID != "" {
+		fmt.Printf("  trace: %s  (server: /debug/requests?trace=%s)\n", res.TraceID, res.TraceID)
+	}
 
 	if *comparePlain {
 		plainClass, plainLogits, err := classifyPlain(*server, img)
@@ -209,7 +213,13 @@ func classifyPlain(server string, img []float64) (int, []float64, error) {
 	if err != nil {
 		return 0, nil, err
 	}
-	resp, err := http.Post(server+"/classify", "application/json", bytes.NewReader(body))
+	req, err := http.NewRequest(http.MethodPost, server+"/classify", bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(client.HeaderTraceparent, telemetry.NewTraceContext().Traceparent())
+	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		return 0, nil, err
 	}

@@ -295,8 +295,12 @@ func main() {
 		}
 		var rec *telemetry.RunRecorder
 		if *tracePath != "" {
+			// Stamp a trace ID so the exported Chrome trace carries the
+			// same trace_context metadata a served request would.
+			tc := telemetry.NewTraceContext()
 			rec = telemetry.NewRunRecorder()
-			ctx = telemetry.WithRecorder(ctx, rec)
+			rec.SetTrace(tc.TraceIDString(), tc.TraceIDString()[:16])
+			ctx = telemetry.WithTraceContext(telemetry.WithRecorder(ctx, rec), tc)
 		}
 		var (
 			logits henn.Logits
@@ -344,7 +348,8 @@ func main() {
 			fatal("writing trace failed", "path", *tracePath, "err", err)
 		}
 		slog.Info("trace written", "path", *tracePath,
-			"spans", len(rec.Spans()), "ops", rec.OpCount())
+			"spans", len(rec.Spans()), "ops", rec.OpCount(),
+			"trace_id", rec.TraceID())
 	}
 
 	// Plaintext reference.

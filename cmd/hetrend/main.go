@@ -1,0 +1,79 @@
+// Command hetrend is the benchmark regression gate: it loads every
+// BENCH_*.json report in a directory, prints a per-(model, backend,
+// logN, chain) latency trend table, and exits 1 when the newest run is
+// more than -threshold slower than the best prior run of the same
+// configuration. Runs at different ring degrees or chain lengths are
+// separate series — a parameter change is not a regression.
+//
+// Usage:
+//
+//	hetrend                        # gate the reports in the CWD
+//	hetrend -dir results -out trend.md
+//	hetrend -threshold 0.10        # stricter: fail on +10%
+//	hetrend -check=false           # report only, never fail
+//
+// Exit codes: 0 trend OK (or nothing to compare), 1 regression found,
+// 2 reports unreadable.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"cnnhe/internal/bench"
+)
+
+func main() {
+	var (
+		dir       = flag.String("dir", ".", "directory holding BENCH_*.json reports")
+		outPath   = flag.String("out", "", "also write the trend table to this file")
+		threshold = flag.Float64("threshold", bench.DefaultRegressionThreshold,
+			"fractional mean-latency increase over the best prior run that fails the gate")
+		check = flag.Bool("check", true, "exit 1 on regression (false = report only)")
+	)
+	flag.Parse()
+
+	trend, err := bench.LoadTrend(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hetrend:", err)
+		os.Exit(2)
+	}
+	if trend.Files == 0 {
+		fmt.Printf("hetrend: no BENCH_*.json reports under %s; nothing to gate\n", *dir)
+		return
+	}
+
+	var w io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hetrend:", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+	if err := trend.Write(w); err != nil {
+		fmt.Fprintln(os.Stderr, "hetrend:", err)
+		os.Exit(2)
+	}
+
+	regs := trend.Regressions(*threshold)
+	if len(regs) == 0 {
+		fmt.Fprintf(w, "\nno regression: newest run within %.0f%% of best prior run for every configuration\n",
+			100**threshold)
+		return
+	}
+	fmt.Fprintf(w, "\nREGRESSION: %d configuration(s) slower than %.0f%% over their best prior run\n",
+		len(regs), 100**threshold)
+	for _, r := range regs {
+		fmt.Fprintf(w, "  %s: %.1f ms -> %.1f ms (%+.1f%%; best prior %s, newest %s)\n",
+			r.Key, r.BestPrev.MeanMS, r.Newest.MeanMS, 100*r.Delta,
+			r.BestPrev.Path, r.Newest.Path)
+	}
+	if *check {
+		os.Exit(1)
+	}
+}

@@ -3,10 +3,13 @@ package bench
 import (
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"math"
 	"os"
+	"os/exec"
 	"runtime"
 	"sort"
+	"strings"
 	"time"
 
 	"cnnhe/internal/telemetry"
@@ -15,24 +18,36 @@ import (
 // JSONSchemaVersion identifies the report layout. Version 2 added
 // schema_version itself and the per-table op_breakdown section;
 // version 3 added the optimizer setting and the per-(model, backend)
-// graph_before/graph_after sections.
-const JSONSchemaVersion = 3
+// graph_before/graph_after sections; version 4 added gomaxprocs and
+// git_commit to the envelope and logn / acc_correct / acc_total to
+// each row so accuracy percentages can be read against their sample
+// size and runs compared across ring degrees.
+const JSONSchemaVersion = 4
 
 // JSONRow is one machine-readable benchmark measurement. Accuracy
 // fields are pointers because JSON has no NaN: absent means "not
 // measured", mirroring HEResult's NaN convention.
 type JSONRow struct {
-	Table       string   `json:"table"`
-	Model       string   `json:"model"`
-	Backend     string   `json:"backend"`
-	Chain       int      `json:"chain"`
-	N           int      `json:"n"`
-	MeanMS      float64  `json:"mean_ms"`
-	P50MS       float64  `json:"p50_ms"`
-	P95MS       float64  `json:"p95_ms"`
-	MinMS       float64  `json:"min_ms"`
-	MaxMS       float64  `json:"max_ms"`
-	AccPct      *float64 `json:"accuracy_pct,omitempty"`
+	Table   string `json:"table"`
+	Model   string `json:"model"`
+	Backend string `json:"backend"`
+	Chain   int    `json:"chain"`
+	// LogN echoes the run's ring-degree exponent per row so rows stay
+	// self-describing when reports are concatenated or rows compared
+	// across runs (hetrend keys on model/backend/logn).
+	LogN   int     `json:"logn,omitempty"`
+	N      int     `json:"n"`
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P95MS  float64 `json:"p95_ms"`
+	MinMS  float64 `json:"min_ms"`
+	MaxMS  float64 `json:"max_ms"`
+	AccPct *float64 `json:"accuracy_pct,omitempty"`
+	// AccCorrect/AccTotal are the raw counts behind AccPct ("1/2", not
+	// just "50%"), so small-sample accuracy can't masquerade as a real
+	// measurement. Absent together with AccPct.
+	AccCorrect  *int     `json:"acc_correct,omitempty"`
+	AccTotal    *int     `json:"acc_total,omitempty"`
 	TrainAccPct *float64 `json:"train_accuracy_pct,omitempty"`
 }
 
@@ -58,7 +73,14 @@ type JSONReport struct {
 	GOOS          string    `json:"goos"`
 	GOARCH        string    `json:"goarch"`
 	NumCPU        int       `json:"num_cpu"`
-	Rows          []JSONRow `json:"rows"`
+	// GOMAXPROCS is the scheduler's effective parallelism during the
+	// run — on cgroup-limited hosts it differs from NumCPU, and latency
+	// numbers are not comparable across different values.
+	GOMAXPROCS int `json:"gomaxprocs,omitempty"`
+	// GitCommit is the repository HEAD the benchmark binary was run
+	// from (best effort; absent outside a git checkout).
+	GitCommit string    `json:"git_commit,omitempty"`
+	Rows      []JSONRow `json:"rows"`
 	// OpBreakdown maps a table name to its per-op-kind executor profile,
 	// measured by diffing telemetry registry snapshots around the table.
 	// Absent when telemetry was disabled.
@@ -82,17 +104,26 @@ func pctPtr(frac float64) *float64 {
 
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 
+// AccWarnThreshold is the sample size below which an encrypted-accuracy
+// percentage is statistically meaningless (a 2-image 50% is a coin
+// flip); JSONRows logs a warning for such rows.
+const AccWarnThreshold = 20
+
 // JSONRows converts measured table rows to their JSON form, tagged with
-// the table they came from.
-func JSONRows(table string, results []HEResult) []JSONRow {
+// the table they came from and the ring degree they ran under. Rows
+// with a measured accuracy also carry the raw correct/total counts,
+// and rows whose accuracy rests on fewer than AccWarnThreshold images
+// are flagged in the log.
+func JSONRows(table string, logN int, results []HEResult) []JSONRow {
 	out := make([]JSONRow, 0, len(results))
 	for _, r := range results {
 		lat := r.Lat
-		out = append(out, JSONRow{
+		row := JSONRow{
 			Table:       table,
 			Model:       r.Model,
 			Backend:     r.Backend,
 			Chain:       r.Chain,
+			LogN:        logN,
 			N:           lat.N,
 			MeanMS:      ms(lat.Avg),
 			P50MS:       ms(lat.Percentile(50)),
@@ -101,9 +132,35 @@ func JSONRows(table string, results []HEResult) []JSONRow {
 			MaxMS:       ms(lat.Max),
 			AccPct:      pctPtr(r.Acc),
 			TrainAccPct: pctPtr(r.TrainAcc),
-		})
+		}
+		if row.AccPct != nil {
+			// Accuracy was measured over the same images latency was
+			// (EvaluateEncrypted classifies each timed image once), so
+			// Lat.N is the denominator.
+			total := lat.N
+			correct := int(math.Round(r.Acc * float64(total)))
+			row.AccCorrect, row.AccTotal = &correct, &total
+			if total < AccWarnThreshold {
+				slog.Warn("encrypted accuracy measured over too few images to be meaningful",
+					"table", table, "model", r.Model, "backend", r.Backend,
+					"correct", correct, "total", total,
+					"suggest", fmt.Sprintf("-images %d or more", AccWarnThreshold))
+			}
+		}
+		out = append(out, row)
 	}
 	return out
+}
+
+// gitCommit resolves the checkout's HEAD hash, empty when the working
+// directory is not a git repository (installed binary, extracted
+// tarball) or git is unavailable.
+func gitCommit() string {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
 }
 
 // OpBreakdownFromDiff extracts the per-op-kind executor profile from a
@@ -162,6 +219,8 @@ func WriteJSON(path string, cfg Config, ts time.Time, rows []JSONRow, opBreakdow
 		GOOS:          runtime.GOOS,
 		GOARCH:        runtime.GOARCH,
 		NumCPU:        runtime.NumCPU(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		GitCommit:     gitCommit(),
 		Rows:          rows,
 		OpBreakdown:   opBreakdown,
 	}

@@ -13,24 +13,30 @@ import (
 )
 
 func TestJSONRowsNaNAccuracy(t *testing.T) {
-	rows := JSONRows("IV", []HEResult{
+	rows := JSONRows("IV", 12, []HEResult{
 		{Model: "CNN1", Backend: "CKKS-RNS", Chain: 5, Acc: math.NaN(), TrainAcc: math.NaN()},
-		{Model: "CNN1", Backend: "CKKS-RNS", Chain: 13, Acc: 0.95, TrainAcc: 0.99},
+		{Model: "CNN1", Backend: "CKKS-RNS", Chain: 13, Lat: henn.LatencyStats{N: 20}, Acc: 0.95, TrainAcc: 0.99},
 	})
 	if rows[0].AccPct != nil || rows[0].TrainAccPct != nil {
 		t.Fatalf("NaN accuracy must map to nil, got %v / %v", rows[0].AccPct, rows[0].TrainAccPct)
 	}
+	if rows[0].AccCorrect != nil || rows[0].AccTotal != nil {
+		t.Fatalf("NaN accuracy must omit raw counts, got %v / %v", rows[0].AccCorrect, rows[0].AccTotal)
+	}
 	if rows[1].AccPct == nil || *rows[1].AccPct != 95 {
 		t.Fatalf("accuracy 0.95 should become 95%%, got %v", rows[1].AccPct)
 	}
-	if rows[0].Table != "IV" || rows[0].Chain != 5 {
+	if rows[1].AccCorrect == nil || *rows[1].AccCorrect != 19 || rows[1].AccTotal == nil || *rows[1].AccTotal != 20 {
+		t.Fatalf("accuracy counts should be 19/20, got %v / %v", rows[1].AccCorrect, rows[1].AccTotal)
+	}
+	if rows[0].Table != "IV" || rows[0].Chain != 5 || rows[0].LogN != 12 {
 		t.Fatalf("row metadata lost: %+v", rows[0])
 	}
 }
 
 func TestWriteJSONRoundTrip(t *testing.T) {
 	lat := henn.LatencyStats{Min: 10 * time.Millisecond, Max: 30 * time.Millisecond, Avg: 20 * time.Millisecond, N: 3}
-	rows := JSONRows("III", []HEResult{
+	rows := JSONRows("III", 11, []HEResult{
 		{Model: "CNN2", Backend: "CKKS (big)", Chain: 13, Lat: lat, Acc: 0.9, TrainAcc: math.NaN()},
 	})
 	path := filepath.Join(t.TempDir(), "bench.json")
@@ -76,6 +82,15 @@ func TestWriteJSONRoundTrip(t *testing.T) {
 	}
 	if rep.SchemaVersion != JSONSchemaVersion {
 		t.Fatalf("schema_version %d, want %d", rep.SchemaVersion, JSONSchemaVersion)
+	}
+	if rep.GOMAXPROCS < 1 {
+		t.Fatalf("gomaxprocs %d, want >= 1", rep.GOMAXPROCS)
+	}
+	if r.LogN != 11 {
+		t.Fatalf("row logn %d, want 11", r.LogN)
+	}
+	if r.AccCorrect == nil || *r.AccCorrect != 3 || r.AccTotal == nil || *r.AccTotal != 3 {
+		t.Fatalf("accuracy counts lost across round trip: %v / %v", r.AccCorrect, r.AccTotal)
 	}
 	ops := rep.OpBreakdown["III"]
 	if len(ops) != 1 || ops[0].Kind != "Rotate" || ops[0].Count != 12 || ops[0].Calls != 4 || ops[0].TotalMS != 8.5 {

@@ -1,0 +1,262 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+// This file is the perf-trend gate behind cmd/hetrend: it loads every
+// BENCH_*.json report a directory holds (any schema version — reports
+// predating schema_version are read as version 1), builds a
+// per-(model, backend, logn) latency series in timestamp order, and
+// flags the newest run when it regresses against the best prior run of
+// the same key. Runs at different ring degrees are never compared:
+// latency scales superlinearly in N, so a logn bump is a config change,
+// not a regression.
+
+// DefaultRegressionThreshold is the fractional mean-latency increase
+// over the best prior run that fails the gate (0.15 = +15%).
+const DefaultRegressionThreshold = 0.15
+
+// TrendKey identifies one comparable measurement series. Chain is part
+// of the key because the chain-length sweep (Table IV) measures the
+// same model/backend several times per report at different depths.
+type TrendKey struct {
+	Model   string
+	Backend string
+	LogN    int
+	Chain   int
+}
+
+func (k TrendKey) String() string {
+	return fmt.Sprintf("%s/%s logN=%d chain=%d", k.Model, k.Backend, k.LogN, k.Chain)
+}
+
+// TrendPoint is one run's measurement of a key.
+type TrendPoint struct {
+	// Path and Timestamp identify the report the point came from.
+	Path      string
+	Timestamp time.Time
+	// SchemaVersion is the report's layout version (1 when the file
+	// predates the schema_version field).
+	SchemaVersion int
+	MeanMS        float64
+	P95MS         float64
+	N             int
+	// EngineCalls is the optimized graph's engine-call count for the
+	// point's model/backend (schema ≥ 3 reports with graph sections;
+	// 0 when absent). Latency per engine call is the honest unit when
+	// the optimizer changes the graph between runs.
+	EngineCalls int
+}
+
+// MSPerCall returns mean latency per engine call, or 0 when the report
+// carried no graph section.
+func (p TrendPoint) MSPerCall() float64 {
+	if p.EngineCalls <= 0 {
+		return 0
+	}
+	return p.MeanMS / float64(p.EngineCalls)
+}
+
+// trendFile is the subset of JSONReport the gate reads — kept separate
+// so old reports (no schema_version, no per-row logn, no graph
+// sections) unmarshal cleanly.
+type trendFile struct {
+	SchemaVersion int    `json:"schema_version"`
+	Timestamp     string `json:"timestamp"`
+	LogN          int    `json:"logn"`
+	Rows          []struct {
+		Model   string  `json:"model"`
+		Backend string  `json:"backend"`
+		LogN    int     `json:"logn"`
+		Chain   int     `json:"chain"`
+		N       int     `json:"n"`
+		MeanMS  float64 `json:"mean_ms"`
+		P95MS   float64 `json:"p95_ms"`
+	} `json:"rows"`
+	GraphAfter map[string]struct {
+		EngineCalls int `json:"engine_calls"`
+	} `json:"graph_after"`
+}
+
+// Trend is a set of measurement series extracted from benchmark
+// reports, each sorted oldest-first by report timestamp.
+type Trend struct {
+	Series map[TrendKey][]TrendPoint
+	// Files is how many reports were loaded.
+	Files int
+}
+
+// Regression is one key whose newest measurement exceeds its best prior
+// run by more than the threshold.
+type Regression struct {
+	Key      TrendKey
+	Newest   TrendPoint
+	BestPrev TrendPoint
+	// Delta is the fractional increase of Newest.MeanMS over
+	// BestPrev.MeanMS (0.20 = +20%).
+	Delta float64
+}
+
+// LoadTrend reads every BENCH_*.json under dir into a Trend. Files that
+// fail to parse are an error — a corrupt report silently dropped would
+// make the gate pass vacuously.
+func LoadTrend(dir string) (*Trend, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	tr := &Trend{Series: map[TrendKey][]TrendPoint{}}
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var f trendFile
+		if err := json.Unmarshal(data, &f); err != nil {
+			return nil, fmt.Errorf("bench: parsing %s: %w", path, err)
+		}
+		ts, err := time.Parse(time.RFC3339, f.Timestamp)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s: bad timestamp %q: %w", path, f.Timestamp, err)
+		}
+		version := f.SchemaVersion
+		if version == 0 {
+			version = 1
+		}
+		for _, r := range f.Rows {
+			logN := r.LogN
+			if logN == 0 {
+				logN = f.LogN // pre-v4 rows: envelope value applies
+			}
+			key := TrendKey{Model: r.Model, Backend: r.Backend, LogN: logN, Chain: r.Chain}
+			p := TrendPoint{
+				Path:          filepath.Base(path),
+				Timestamp:     ts,
+				SchemaVersion: version,
+				MeanMS:        r.MeanMS,
+				P95MS:         r.P95MS,
+				N:             r.N,
+			}
+			// graph_after keys are "MODEL/backend" with the bare model
+			// name; measurement rows suffix the variant (CNN1-HE-RNS).
+			for gk, g := range f.GraphAfter {
+				if gk == graphKeyFor(r.Model, r.Backend) {
+					p.EngineCalls = g.EngineCalls
+				}
+			}
+			tr.Series[key] = append(tr.Series[key], p)
+		}
+		tr.Files++
+	}
+	for _, pts := range tr.Series {
+		sort.SliceStable(pts, func(i, j int) bool { return pts[i].Timestamp.Before(pts[j].Timestamp) })
+	}
+	return tr, nil
+}
+
+// graphKeyFor maps a measurement row's model/backend to the graph
+// section's "MODEL/backend" key: "CNN1-HE-RNS" measured on "ckks-rns"
+// was lowered as "CNN1/ckks-rns".
+func graphKeyFor(model, backend string) string {
+	base := model
+	for _, suffix := range []string{"-HE-RNS", "-HE"} {
+		if len(base) > len(suffix) && base[len(base)-len(suffix):] == suffix {
+			base = base[:len(base)-len(suffix)]
+			break
+		}
+	}
+	return base + "/" + backend
+}
+
+// Regressions compares each key's newest point against the best (lowest
+// mean) prior point and returns those that regressed by more than
+// threshold. Keys measured only once have no prior run and cannot
+// regress. Only keys present in the globally newest report are gated —
+// the gate asks "did the latest benchmark run get slower", not "was
+// some historical run slow".
+func (t *Trend) Regressions(threshold float64) []Regression {
+	newest := t.newestTimestamp()
+	var out []Regression
+	for key, pts := range t.Series {
+		last := pts[len(pts)-1]
+		if len(pts) < 2 || !last.Timestamp.Equal(newest) {
+			continue
+		}
+		best := pts[0]
+		for _, p := range pts[:len(pts)-1] {
+			if p.MeanMS < best.MeanMS {
+				best = p
+			}
+		}
+		if best.MeanMS <= 0 {
+			continue
+		}
+		delta := last.MeanMS/best.MeanMS - 1
+		if delta > threshold {
+			out = append(out, Regression{Key: key, Newest: last, BestPrev: best, Delta: delta})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Delta > out[j].Delta })
+	return out
+}
+
+func (t *Trend) newestTimestamp() time.Time {
+	var newest time.Time
+	for _, pts := range t.Series {
+		if last := pts[len(pts)-1]; last.Timestamp.After(newest) {
+			newest = last.Timestamp
+		}
+	}
+	return newest
+}
+
+// Write renders the trend as a markdown table, one row per (key, run),
+// oldest run first within each key.
+func (t *Trend) Write(w io.Writer) error {
+	keys := make([]TrendKey, 0, len(t.Series))
+	for k := range t.Series {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.Model != b.Model {
+			return a.Model < b.Model
+		}
+		if a.Backend != b.Backend {
+			return a.Backend < b.Backend
+		}
+		if a.LogN != b.LogN {
+			return a.LogN < b.LogN
+		}
+		return a.Chain < b.Chain
+	})
+	fmt.Fprintf(w, "# Benchmark trend (%d report files)\n\n", t.Files)
+	fmt.Fprintf(w, "| model | backend | logN | chain | run | n | mean (ms) | p95 (ms) | engine calls | ms/call | vs prev |\n")
+	fmt.Fprintf(w, "|---|---|---|---|---|---|---|---|---|---|---|\n")
+	for _, k := range keys {
+		pts := t.Series[k]
+		for i, p := range pts {
+			calls, msPerCall, vsPrev := "-", "-", "-"
+			if p.EngineCalls > 0 {
+				calls = fmt.Sprintf("%d", p.EngineCalls)
+				msPerCall = fmt.Sprintf("%.2f", p.MSPerCall())
+			}
+			if i > 0 && pts[i-1].MeanMS > 0 {
+				vsPrev = fmt.Sprintf("%+.1f%%", 100*(p.MeanMS/pts[i-1].MeanMS-1))
+			}
+			if _, err := fmt.Fprintf(w, "| %s | %s | %d | %d | %s | %d | %.1f | %.1f | %s | %s | %s |\n",
+				k.Model, k.Backend, k.LogN, k.Chain, p.Path, p.N, p.MeanMS, p.P95MS, calls, msPerCall, vsPrev); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

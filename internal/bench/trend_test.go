@@ -1,0 +1,199 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeBenchFixture drops a minimal BENCH_*.json into dir. rows is a
+// list of (model, backend, chain, mean_ms); version 0 omits the
+// schema_version field entirely, like the earliest committed reports.
+func writeBenchFixture(t *testing.T, dir, stamp string, version, logN int, rows string) string {
+	t.Helper()
+	var head string
+	if version > 0 {
+		head = fmt.Sprintf("\"schema_version\": %d,", version)
+	}
+	body := fmt.Sprintf(`{
+  %s
+  "timestamp": %q,
+  "logn": %d,
+  "rows": [%s]
+}`, head, stamp, logN, rows)
+	path := filepath.Join(dir, "BENCH_"+strings.ReplaceAll(strings.ReplaceAll(stamp, ":", ""), "-", "")+".json")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func row(model, backend string, chain int, meanMS float64) string {
+	return fmt.Sprintf(`{"table":"III","model":%q,"backend":%q,"chain":%d,"n":2,"mean_ms":%g,"p50_ms":%g,"p95_ms":%g,"min_ms":%g,"max_ms":%g}`,
+		model, backend, chain, meanMS, meanMS, meanMS, meanMS, meanMS)
+}
+
+func TestTrendGatePassesOnImprovingSeries(t *testing.T) {
+	dir := t.TempDir()
+	// Oldest report predates schema_version (read as v1).
+	writeBenchFixture(t, dir, "2026-08-01T00:00:00Z", 0, 11,
+		row("CNN1-HE-RNS", "ckks-rns", 13, 12000))
+	writeBenchFixture(t, dir, "2026-08-02T00:00:00Z", 3, 11,
+		row("CNN1-HE-RNS", "ckks-rns", 13, 11000))
+	writeBenchFixture(t, dir, "2026-08-03T00:00:00Z", 4, 11,
+		row("CNN1-HE-RNS", "ckks-rns", 13, 10500))
+
+	trend, err := LoadTrend(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trend.Files != 3 {
+		t.Fatalf("loaded %d files, want 3", trend.Files)
+	}
+	pts := trend.Series[TrendKey{Model: "CNN1-HE-RNS", Backend: "ckks-rns", LogN: 11, Chain: 13}]
+	if len(pts) != 3 {
+		t.Fatalf("series has %d points, want 3 (%+v)", len(pts), trend.Series)
+	}
+	if pts[0].SchemaVersion != 1 || pts[0].MeanMS != 12000 {
+		t.Fatalf("oldest point wrong: %+v", pts[0])
+	}
+	if regs := trend.Regressions(DefaultRegressionThreshold); len(regs) != 0 {
+		t.Fatalf("improving series must pass the gate, got %+v", regs)
+	}
+}
+
+func TestTrendGateFailsOnRegressedRun(t *testing.T) {
+	dir := t.TempDir()
+	writeBenchFixture(t, dir, "2026-08-01T00:00:00Z", 3, 11,
+		row("CNN1-HE-RNS", "ckks-rns", 13, 10000))
+	writeBenchFixture(t, dir, "2026-08-02T00:00:00Z", 3, 11,
+		row("CNN1-HE-RNS", "ckks-rns", 13, 10400))
+	// Newest run: +30% over the best prior run — well past the 15% gate.
+	writeBenchFixture(t, dir, "2026-08-03T00:00:00Z", 4, 11,
+		row("CNN1-HE-RNS", "ckks-rns", 13, 13000))
+
+	trend, err := LoadTrend(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs := trend.Regressions(DefaultRegressionThreshold)
+	if len(regs) != 1 {
+		t.Fatalf("want 1 regression, got %+v", regs)
+	}
+	r := regs[0]
+	if r.BestPrev.MeanMS != 10000 || r.Newest.MeanMS != 13000 {
+		t.Fatalf("regression compared wrong points: %+v", r)
+	}
+	if r.Delta < 0.29 || r.Delta > 0.31 {
+		t.Fatalf("delta %.3f, want ~0.30", r.Delta)
+	}
+	// The +4% middle run against the series is NOT gated: only the
+	// newest report is under test.
+	if regs := trend.Regressions(0.5); len(regs) != 0 {
+		t.Fatalf("+30%% must pass a 50%% threshold, got %+v", regs)
+	}
+}
+
+func TestTrendDifferentRingDegreesAreSeparateSeries(t *testing.T) {
+	dir := t.TempDir()
+	// A logn bump makes everything slower; that is a config change, not
+	// a regression — mirrors the committed BENCH trajectory.
+	writeBenchFixture(t, dir, "2026-08-01T00:00:00Z", 0, 11,
+		row("CNN1-HE-RNS", "ckks-rns", 13, 10000))
+	writeBenchFixture(t, dir, "2026-08-02T00:00:00Z", 3, 12,
+		row("CNN1-HE-RNS", "ckks-rns", 13, 40000))
+
+	trend, err := LoadTrend(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trend.Series) != 2 {
+		t.Fatalf("want 2 separate series, got %+v", trend.Series)
+	}
+	if regs := trend.Regressions(DefaultRegressionThreshold); len(regs) != 0 {
+		t.Fatalf("cross-logn comparison must not gate, got %+v", regs)
+	}
+}
+
+func TestTrendChainSweepRowsAreSeparateSeries(t *testing.T) {
+	dir := t.TempDir()
+	// Table IV measures the same model/backend at several chain lengths
+	// in ONE report; these must not collapse into a single series.
+	rows := row("CNN1-HE-RNS", "ckks-rns", 13, 10000) + "," + row("CNN1-HE-RNS", "ckks-rns", 15, 14000)
+	writeBenchFixture(t, dir, "2026-08-01T00:00:00Z", 3, 11, rows)
+	writeBenchFixture(t, dir, "2026-08-02T00:00:00Z", 3, 11, rows)
+
+	trend, err := LoadTrend(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trend.Series) != 2 {
+		t.Fatalf("want chain 13 and chain 15 series, got %+v", trend.Series)
+	}
+	if regs := trend.Regressions(DefaultRegressionThreshold); len(regs) != 0 {
+		t.Fatalf("flat series must pass, got %+v", regs)
+	}
+}
+
+func TestTrendCommittedReportsLoadAndPass(t *testing.T) {
+	// The repository's own BENCH trajectory must parse (including the
+	// oldest report, which predates schema_version) and pass the gate.
+	trend, err := LoadTrend("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trend.Files < 2 {
+		t.Skipf("only %d committed BENCH reports", trend.Files)
+	}
+	if regs := trend.Regressions(DefaultRegressionThreshold); len(regs) != 0 {
+		t.Fatalf("committed reports fail the gate: %+v", regs)
+	}
+	var sb strings.Builder
+	if err := trend.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "CNN1-HE-RNS") {
+		t.Fatalf("trend table missing committed rows:\n%s", sb.String())
+	}
+}
+
+func TestTrendEngineCallsJoined(t *testing.T) {
+	dir := t.TempDir()
+	body := fmt.Sprintf(`{
+  "schema_version": 3,
+  "timestamp": "2026-08-01T00:00:00Z",
+  "logn": 12,
+  "rows": [%s],
+  "graph_after": {"CNN1/ckks-rns": {"ops": 50, "engine_calls": 40}}
+}`, row("CNN1-HE-RNS", "ckks-rns", 13, 8000))
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_x.json"), []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	trend, err := LoadTrend(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := trend.Series[TrendKey{Model: "CNN1-HE-RNS", Backend: "ckks-rns", LogN: 12, Chain: 13}]
+	if len(pts) != 1 || pts[0].EngineCalls != 40 {
+		t.Fatalf("engine calls not joined from graph_after: %+v", pts)
+	}
+	if got := pts[0].MSPerCall(); got != 200 {
+		t.Fatalf("ms/call %v, want 200", got)
+	}
+}
+
+func TestGraphKeyFor(t *testing.T) {
+	cases := map[[2]string]string{
+		{"CNN1-HE-RNS", "ckks-rns"}: "CNN1/ckks-rns",
+		{"CNN1-HE", "ckks-big"}:     "CNN1/ckks-big",
+		{"CNN2-HE", "ckks-big"}:     "CNN2/ckks-big",
+		{"CNN2", "ckks-rns"}:        "CNN2/ckks-rns",
+	}
+	for in, want := range cases {
+		if got := graphKeyFor(in[0], in[1]); got != want {
+			t.Errorf("graphKeyFor(%q, %q) = %q, want %q", in[0], in[1], got, want)
+		}
+	}
+}

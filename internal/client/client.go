@@ -9,6 +9,8 @@ import (
 	"net/http"
 	"strconv"
 	"time"
+
+	"cnnhe/internal/telemetry"
 )
 
 // Client talks to a heserve instance.
@@ -39,13 +41,19 @@ func (c *Client) http() *http.Client {
 	return http.DefaultClient
 }
 
-// apiError decodes the server's JSON error body into a readable error.
+// apiError decodes the server's JSON error body into a readable error,
+// quoting the server's request ID when present so the failure can be
+// chased through the server's logs and /debug/requests.
 func apiError(resp *http.Response) error {
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 	var eb struct {
-		Error string `json:"error"`
+		Error     string `json:"error"`
+		RequestID string `json:"request_id"`
 	}
 	if json.Unmarshal(body, &eb) == nil && eb.Error != "" {
+		if eb.RequestID != "" {
+			return fmt.Errorf("client: server returned %s: %s (request_id %s)", resp.Status, eb.Error, eb.RequestID)
+		}
 		return fmt.Errorf("client: server returned %s: %s", resp.Status, eb.Error)
 	}
 	return fmt.Errorf("client: server returned %s", resp.Status)
@@ -115,6 +123,12 @@ type ClassifyResult struct {
 	Class int
 	// EvalMillis is the server-reported homomorphic evaluation time.
 	EvalMillis float64
+	// TraceID is the distributed-trace ID this request ran under
+	// (client-generated, echoed by the server); RequestID is the
+	// server-side request handle — quote either when chasing the
+	// request through server logs or /debug/requests.
+	TraceID   string
+	RequestID string
 }
 
 // classifyConfig tunes ClassifyEncrypted.
@@ -153,6 +167,9 @@ func (c *Client) ClassifyEncrypted(ctx context.Context, ks *KeySet, image []floa
 		return nil, err
 	}
 	payload := body.Bytes()
+	// One trace covers the whole round trip, including a 404 re-register
+	// replay — either attempt's server-side spans join to the same ID.
+	tc := telemetry.NewTraceContext()
 	mkReq := func() (*http.Request, error) {
 		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+PathClassifyEncrypted, bytes.NewReader(payload))
 		if err != nil {
@@ -160,6 +177,7 @@ func (c *Client) ClassifyEncrypted(ctx context.Context, ks *KeySet, image []floa
 		}
 		req.Header.Set("Content-Type", ContentTypeCKKS)
 		req.Header.Set(HeaderKeyFingerprint, fp)
+		req.Header.Set(HeaderTraceparent, tc.Traceparent())
 		return req, nil
 	}
 	resp, err := c.doWithRetry(ctx, mkReq)
@@ -190,7 +208,12 @@ func (c *Client) ClassifyEncrypted(ctx context.Context, ks *KeySet, image []floa
 	if err != nil {
 		return nil, err
 	}
-	res := &ClassifyResult{Logits: logits, Class: argmax(logits)}
+	res := &ClassifyResult{
+		Logits:    logits,
+		Class:     argmax(logits),
+		TraceID:   tc.TraceIDString(),
+		RequestID: resp.Header.Get(HeaderRequestID),
+	}
 	if ms := resp.Header.Get(HeaderEvalMillis); ms != "" {
 		if v, perr := strconv.ParseFloat(ms, 64); perr == nil {
 			res.EvalMillis = v

@@ -30,6 +30,12 @@ const (
 	// HeaderEvalMillis returns the server-side evaluation wall time on
 	// encrypted classify responses.
 	HeaderEvalMillis = "X-Cnnhe-Eval-Ms"
+	// HeaderTraceparent is the W3C Trace Context header the client
+	// stamps so the request can be joined to the server's span tree.
+	HeaderTraceparent = "traceparent"
+	// HeaderRequestID returns the server-side request ID — the handle
+	// for log lines and /debug/requests on the server.
+	HeaderRequestID = "X-Request-Id"
 
 	// ContentTypeCKKS is the media type of framed CKKS wire objects.
 	ContentTypeCKKS = "application/x-cnnhe-ckks"

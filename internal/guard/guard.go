@@ -176,10 +176,11 @@ type GuardedEngine struct {
 	rnsCtx *ckks.Context
 	bigCtx *ckksbig.Context
 
-	mu    sync.Mutex
-	stage string
-	err   error
-	qAt   map[int]*big.Int // ckksbig: level → Q_ℓ cache
+	mu     sync.Mutex
+	stage  string
+	err    error
+	runCtx context.Context  // per-run request context (SetRunContext)
+	qAt    map[int]*big.Int // ckksbig: level → Q_ℓ cache
 
 	// Telemetry: per-stage gauges resolved at stage transitions
 	// (telemetry.go). curTel is nil whenever telemetry is disabled, so
@@ -270,6 +271,18 @@ func (g *GuardedEngine) Reset() error {
 	g.stage = ""
 	g.mu.Unlock()
 	return err
+}
+
+// SetRunContext binds the guard to the current request's context for
+// failure attribution: a trace context attached to it (via
+// telemetry.WithTraceContext) is echoed on the guard's failure log
+// line, joining a guard abort to the request that caused it. Callers
+// that serialize runs (the keyed route evaluates under the client
+// entry lock) set it per request and clear it with nil afterwards.
+func (g *GuardedEngine) SetRunContext(ctx context.Context) {
+	g.mu.Lock()
+	g.runCtx = ctx
+	g.mu.Unlock()
 }
 
 // BeginStage implements henn.StageAware: subsequent failures are labelled

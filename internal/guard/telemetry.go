@@ -3,6 +3,7 @@ package guard
 import (
 	"context"
 	"errors"
+	"log/slog"
 	"math"
 
 	"cnnhe/internal/henn"
@@ -69,9 +70,23 @@ func (g *GuardedEngine) telConfigured() {
 		"noise-budget enforcement threshold (Config.MinNoiseBits)").Set(g.cfg.MinNoiseBits)
 }
 
-// telFailure counts a guard abort by failure class. Failures are rare,
-// so the registry lookup happens inline.
+// telFailure counts a guard abort by failure class and logs it with
+// the run's trace identity so the abort can be joined to the request
+// that caused it. Failures are rare, so the registry lookup and the
+// log line both happen inline.
 func (g *GuardedEngine) telFailure(cause error) {
+	g.mu.Lock()
+	stage := g.stage
+	rctx := g.runCtx
+	g.mu.Unlock()
+	if rctx == nil {
+		rctx = g.cfg.Ctx
+	}
+	args := []any{"class", failureClass(cause), "stage", stage, "err", cause.Error()}
+	if tc, ok := telemetry.TraceContextFrom(rctx); ok {
+		args = append(args, "trace_id", tc.TraceIDString(), "request_id", tc.SpanIDString())
+	}
+	slog.Warn("guard abort", args...)
 	if !telemetry.Enabled() {
 		return
 	}

@@ -357,6 +357,20 @@ func (rs *runState) opDone(id int, ct ir.Ct, now time.Time) {
 	rs.mu.Unlock()
 }
 
+// observeHE reads the output ciphertext's level, scale and noise budget
+// for span attribution. Only called when tracing is on, so the
+// metrics-only and telemetry-off paths never pay the engine calls.
+func (rs *runState) observeHE(ct ir.Ct) heAttr {
+	if ct == nil {
+		return heAttr{}
+	}
+	he := heAttr{Level: rs.p.e.Level(ct), Scale: rs.p.e.ScaleOf(ct), Noise: math.NaN()}
+	if rs.na != nil {
+		he.Noise = rs.na.NoiseBits(ct)
+	}
+	return he
+}
+
 // release decrements an argument's reference count, freeing the slot at
 // zero so peak live ciphertexts track the interpreter's.
 func (rs *runState) release(id int) {
@@ -408,8 +422,13 @@ func (rs *runState) execOp(id, worker, taskIdx int) (err error) {
 		}
 		outs := p.e.RotateMany(arg, ks)
 		now := time.Now()
+		var he heAttr
+		if rs.tel.tracing() {
+			// All group members share (level, scale); observe the first.
+			he = rs.observeHE(outs[ks[0]])
+		}
 		rs.tel.opExecuted(op.Kind, name, worker, rs.tel.queuedAt(taskIdx),
-			t0, now, len(members), len(members)-1)
+			t0, now, len(members), len(members)-1, he)
 		for _, m := range members {
 			ct, ok := outs[p.g.Ops[m].K]
 			if !ok {
@@ -463,7 +482,11 @@ func (rs *runState) execOp(id, worker, taskIdx int) (err error) {
 		return fmt.Errorf("henn: %s: cannot execute %s op", name, op.Kind)
 	}
 	now := time.Now()
-	rs.tel.opExecuted(op.Kind, name, worker, rs.tel.queuedAt(taskIdx), t0, now, 1, 0)
+	var he heAttr
+	if rs.tel.tracing() {
+		he = rs.observeHE(ct)
+	}
+	rs.tel.opExecuted(op.Kind, name, worker, rs.tel.queuedAt(taskIdx), t0, now, 1, 0, he)
 	rs.slots[id] = ct
 	rs.opDone(id, ct, now)
 	for _, a := range op.Args {
@@ -481,6 +504,7 @@ func (p *Prepared) EncryptInputs(ctx context.Context, inputs [][]float64) (cts [
 		return nil, 0, "", fmt.Errorf("exec: %d inputs for a %d-input graph", len(inputs), p.g.Inputs)
 	}
 	sa, _ := p.e.(stageAware)
+	na, _ := p.e.(noiseAware)
 	tel := newRunTel(ctx, 0)
 	t0 := time.Now()
 	cts = make([]ir.Ct, len(p.encryptOps))
@@ -509,7 +533,14 @@ func (p *Prepared) EncryptInputs(ctx context.Context, inputs [][]float64) (cts [
 		if eerr != nil {
 			return nil, time.Since(t0), name, eerr
 		}
-		tel.opExecuted(ir.OpEncrypt, name, 0, time.Time{}, opT0, time.Now(), 1, 0)
+		var he heAttr
+		if tel.tracing() {
+			he = heAttr{Level: p.e.Level(ct), Scale: p.e.ScaleOf(ct), Noise: math.NaN()}
+			if na != nil {
+				he.Noise = na.NoiseBits(ct)
+			}
+		}
+		tel.opExecuted(ir.OpEncrypt, name, 0, time.Time{}, opT0, time.Now(), 1, 0, he)
 		cts[i] = ct
 	}
 	tel.phase("encrypt", t0, time.Now())

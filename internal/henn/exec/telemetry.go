@@ -96,9 +96,22 @@ func (t *runTel) queuedAt(task int) time.Time {
 	return t.readyAt[task]
 }
 
+// tracing reports whether span recording is on for this run — the gate
+// for observing per-op ciphertext attributes (level/scale/noise), which
+// cost engine calls the metrics-only path must not pay.
+func (t *runTel) tracing() bool { return t != nil && t.rec != nil }
+
+// heAttr carries the observed output-ciphertext attributes of one op.
+// The zero value (Scale 0) means "unobserved".
+type heAttr struct {
+	Level int
+	Scale float64
+	Noise float64
+}
+
 // opExecuted records one engine call covering n logical ops of the given
 // kind: a span on the run recorder, and kind-labelled global metrics.
-func (t *runTel) opExecuted(kind ir.Kind, stage string, worker int, queued, start, end time.Time, n, savedKS int) {
+func (t *runTel) opExecuted(kind ir.Kind, stage string, worker int, queued, start, end time.Time, n, savedKS int, he heAttr) {
 	if t == nil {
 		return
 	}
@@ -112,6 +125,9 @@ func (t *runTel) opExecuted(kind ir.Kind, stage string, worker int, queued, star
 			End:            end,
 			Ops:            n,
 			SavedKeySwitch: savedKS,
+			Level:          he.Level,
+			Scale:          he.Scale,
+			NoiseBits:      he.Noise,
 		})
 	}
 	if t.m != nil {

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"cnnhe/internal/henn"
+	"cnnhe/internal/telemetry"
 )
 
 // classifyBodyLimit bounds a plaintext classification request body,
@@ -82,11 +83,19 @@ type ClassifyResponse struct {
 	// whole batch (the paper's classification latency), amortized across
 	// BatchSize requests.
 	EvalMillis float64 `json:"eval_ms"`
+	// TraceID and RequestID echo the response headers (traceparent /
+	// X-Request-Id) into the body so SDK callers can surface them without
+	// header plumbing.
+	TraceID   string `json:"trace_id,omitempty"`
+	RequestID string `json:"request_id,omitempty"`
 }
 
-// errorBody is the JSON error payload.
+// errorBody is the JSON error payload. RequestID joins an overload or
+// timeout response to the server's slog lines and /debug/requests entry.
 type errorBody struct {
-	Error string `json:"error"`
+	Error     string `json:"error"`
+	TraceID   string `json:"trace_id,omitempty"`
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // Handler returns the service mux:
@@ -120,6 +129,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
+	tc, _ := beginTrace(w, r)
+	t0 := time.Now()
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
 		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "POST only"})
@@ -131,28 +142,34 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		var mbe *http.MaxBytesError
 		if errors.As(err, &mbe) {
 			writeJSON(w, http.StatusRequestEntityTooLarge, errorBody{
-				Error: fmt.Sprintf("body exceeds %d bytes", mbe.Limit)})
+				Error:   fmt.Sprintf("body exceeds %d bytes", mbe.Limit),
+				TraceID: tc.TraceIDString(), RequestID: tc.SpanIDString()})
 			return
 		}
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("decoding body: %v", err)})
+		writeJSON(w, http.StatusBadRequest, errorBody{
+			Error:   fmt.Sprintf("decoding body: %v", err),
+			TraceID: tc.TraceIDString(), RequestID: tc.SpanIDString()})
 		return
 	}
 	if len(req.Image) != s.InputDim() {
 		writeJSON(w, http.StatusBadRequest, errorBody{
-			Error: fmt.Sprintf("image length %d, want %d", len(req.Image), s.InputDim())})
+			Error:   fmt.Sprintf("image length %d, want %d", len(req.Image), s.InputDim()),
+			TraceID: tc.TraceIDString(), RequestID: tc.SpanIDString()})
 		return
 	}
 	for i, v := range req.Image {
 		if math.IsNaN(v) || math.IsInf(v, 0) {
 			writeJSON(w, http.StatusBadRequest, errorBody{
-				Error: fmt.Sprintf("non-finite pixel at index %d", i)})
+				Error:   fmt.Sprintf("non-finite pixel at index %d", i),
+				TraceID: tc.TraceIDString(), RequestID: tc.SpanIDString()})
 			return
 		}
 	}
 	ctx, cancel, err := deadlineContext(r.Context(), r)
 	defer cancel()
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error(),
+			TraceID: tc.TraceIDString(), RequestID: tc.SpanIDString()})
 		return
 	}
 	if s.cfg.RequestTimeout > 0 {
@@ -160,38 +177,63 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		ctx, tcancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
 		defer tcancel()
 	}
+	ctx = telemetry.WithTraceContext(ctx, tc)
 	logits, info, err := s.Submit(ctx, req.Image)
 	if err != nil {
-		s.writeError(w, err)
+		logRequest("classify", tc, outcomeForError(err), time.Since(t0), err)
+		s.writeError(w, err, tc)
 		return
 	}
+	logRequest("classify", tc, "ok", time.Since(t0), nil)
 	writeJSON(w, http.StatusOK, ClassifyResponse{
 		Class:      logits.Argmax(),
 		Logits:     logits,
 		BatchSize:  info.Size,
 		EvalMillis: float64(info.Eval) / float64(time.Millisecond),
+		TraceID:    tc.TraceIDString(),
+		RequestID:  tc.SpanIDString(),
 	})
+}
+
+// outcomeForError names the failure class for the request slog line,
+// mirroring the outcome labels of cnnhe_serve_requests_total.
+func outcomeForError(err error) string {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		return "rejected"
+	case errors.Is(err, ErrDeadlineUnmeetable):
+		return "shed"
+	case errors.Is(err, ErrShuttingDown):
+		return "shutdown"
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return "timeout"
+	default:
+		return "error"
+	}
 }
 
 // writeError maps a submission failure to its HTTP status. Retry-After
 // on overload responses is priced from live queue depth and observed
-// batch latency (cfg.RetryAfter is only the cold-start fallback).
-func (s *Server) writeError(w http.ResponseWriter, err error) {
+// batch latency (cfg.RetryAfter is only the cold-start fallback); every
+// body carries the request's join IDs so a 429/503/504 can be chased
+// through logs and /debug/requests.
+func (s *Server) writeError(w http.ResponseWriter, err error, tc telemetry.TraceContext) {
+	body := errorBody{Error: err.Error(), TraceID: tc.TraceIDString(), RequestID: tc.SpanIDString()}
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.adm.retryAfter(s.cfg.RetryAfter))))
-		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error()})
+		writeJSON(w, http.StatusTooManyRequests, body)
 	case errors.Is(err, ErrDeadlineUnmeetable):
 		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.adm.retryAfter(s.cfg.RetryAfter))))
-		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+		writeJSON(w, http.StatusServiceUnavailable, body)
 	case errors.Is(err, ErrShuttingDown):
-		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+		writeJSON(w, http.StatusServiceUnavailable, body)
 	case errors.Is(err, henn.ErrBadInput):
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		writeJSON(w, http.StatusBadRequest, body)
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
-		writeJSON(w, http.StatusGatewayTimeout, errorBody{Error: err.Error()})
+		writeJSON(w, http.StatusGatewayTimeout, body)
 	default:
-		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+		writeJSON(w, http.StatusInternalServerError, body)
 	}
 }
 

@@ -164,12 +164,12 @@ func (k *Keyed) handleKeys(w http.ResponseWriter, r *http.Request) {
 	}
 	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, k.bundleLimit))
 	if err != nil {
-		k.writeKeyedError(w, err, "reading key bundle")
+		k.writeKeyedError(w, err, "reading key bundle", telemetry.TraceContext{})
 		return
 	}
 	entry, err := k.store.Register(data)
 	if err != nil {
-		k.writeKeyedError(w, err, "registering key bundle")
+		k.writeKeyedError(w, err, "registering key bundle", telemetry.TraceContext{})
 		return
 	}
 	keyedTel().request("keys_ok")
@@ -180,6 +180,8 @@ func (k *Keyed) handleKeys(w http.ResponseWriter, r *http.Request) {
 }
 
 func (k *Keyed) handleClassifyEncrypted(w http.ResponseWriter, r *http.Request) {
+	tc, _ := beginTrace(w, r)
+	t0 := time.Now()
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
 		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "POST only"})
@@ -189,22 +191,23 @@ func (k *Keyed) handleClassifyEncrypted(w http.ResponseWriter, r *http.Request) 
 	if fp == "" {
 		keyedTel().request("bad_request")
 		writeJSON(w, http.StatusBadRequest, errorBody{
-			Error: client.HeaderKeyFingerprint + " header is required"})
+			Error:   client.HeaderKeyFingerprint + " header is required",
+			TraceID: tc.TraceIDString(), RequestID: tc.SpanIDString()})
 		return
 	}
 	entry, err := k.store.Get(fp)
 	if err != nil {
-		k.writeKeyedError(w, err, "looking up key bundle")
+		k.writeKeyedError(w, err, "looking up key bundle", tc)
 		return
 	}
 	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, k.ctLimit))
 	if err != nil {
-		k.writeKeyedError(w, err, "reading ciphertext")
+		k.writeKeyedError(w, err, "reading ciphertext", tc)
 		return
 	}
 	ct, err := k.cfg.Ctx.ReadCiphertext(bytes.NewReader(data))
 	if err != nil {
-		k.writeKeyedError(w, err, "decoding ciphertext")
+		k.writeKeyedError(w, err, "decoding ciphertext", tc)
 		return
 	}
 
@@ -212,7 +215,8 @@ func (k *Keyed) handleClassifyEncrypted(w http.ResponseWriter, r *http.Request) 
 	defer cancel()
 	if err != nil {
 		keyedTel().request("bad_request")
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error(),
+			TraceID: tc.TraceIDString(), RequestID: tc.SpanIDString()})
 		return
 	}
 	if k.cfg.RequestTimeout > 0 {
@@ -222,14 +226,19 @@ func (k *Keyed) handleClassifyEncrypted(w http.ResponseWriter, r *http.Request) 
 	}
 
 	// One evaluation at a time per client: the evaluator and guard state
-	// cached on the entry are not safe for concurrent runs.
+	// cached on the entry are not safe for concurrent runs. The wait for
+	// the per-client lock is this route's queue time.
+	lockStart := time.Now()
 	entry.Mu.Lock()
+	lockWait := time.Since(lockStart)
 	defer entry.Mu.Unlock()
 	ev, err := k.evalFor(entry)
 	if err != nil {
 		keyedTel().request("error")
+		k.finishEncrypted(tc, "error", t0, lockWait, 0, nil, err)
 		writeJSON(w, http.StatusInternalServerError, errorBody{
-			Error: fmt.Sprintf("preparing evaluation under client keys: %v", err)})
+			Error:   fmt.Sprintf("preparing evaluation under client keys: %v", err),
+			TraceID: tc.TraceIDString(), RequestID: tc.SpanIDString()})
 		return
 	}
 	if ev.g.Err() != nil {
@@ -240,31 +249,86 @@ func (k *Keyed) handleClassifyEncrypted(w http.ResponseWriter, r *http.Request) 
 	adopted, err := ev.g.Adopt(ct)
 	if err != nil {
 		keyedTel().request("bad_ciphertext")
+		k.finishEncrypted(tc, "bad_ciphertext", t0, lockWait, 0, nil, err)
 		writeJSON(w, http.StatusBadRequest, errorBody{
-			Error: fmt.Sprintf("rejecting ciphertext: %v", err)})
+			Error:   fmt.Sprintf("rejecting ciphertext: %v", err),
+			TraceID: tc.TraceIDString(), RequestID: tc.SpanIDString()})
 		return
 	}
-	res, err := ev.prep.RunEncrypted(ctx, []ir.Ct{adopted}, exec.Options{})
+	rec := telemetry.NewRunRecorder()
+	rec.SetTrace(tc.TraceIDString(), tc.SpanIDString())
+	rctx := telemetry.WithRecorder(telemetry.WithTraceContext(ctx, tc), rec)
+	// Bind the guard to this request for the duration of the run (sound:
+	// entry.Mu serializes runs), so a guard abort logs the trace ID.
+	ev.g.SetRunContext(rctx)
+	defer ev.g.SetRunContext(nil)
+	res, err := ev.prep.RunEncrypted(rctx, []ir.Ct{adopted}, exec.Options{})
 	if err != nil {
 		_ = ev.g.Reset()
-		k.writeEvalError(w, res, err)
+		k.finishEncrypted(tc, evalOutcome(err), t0, lockWait, res.Eval, rec, err)
+		k.writeEvalError(w, res, err, tc)
 		return
 	}
 	out, ok := guard.Underlying(res.Out).(*ckks.Ciphertext)
 	if !ok {
+		err := fmt.Errorf("unexpected output ciphertext type %T", guard.Underlying(res.Out))
 		keyedTel().request("error")
-		writeJSON(w, http.StatusInternalServerError, errorBody{
-			Error: fmt.Sprintf("unexpected output ciphertext type %T", guard.Underlying(res.Out))})
+		k.finishEncrypted(tc, "error", t0, lockWait, res.Eval, rec, err)
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error(),
+			TraceID: tc.TraceIDString(), RequestID: tc.SpanIDString()})
 		return
 	}
 	keyedTel().request("ok")
 	keyedTel().evaluated(res.Eval)
+	k.finishEncrypted(tc, "ok", t0, lockWait, res.Eval, rec, nil)
 	w.Header().Set("Content-Type", client.ContentTypeCKKS)
 	w.Header().Set(client.HeaderEvalMillis,
 		strconv.FormatFloat(float64(res.Eval)/float64(time.Millisecond), 'f', 3, 64))
 	if err := k.cfg.Ctx.WriteCiphertext(w, out); err != nil {
 		// Headers are gone; all we can do is drop the connection.
 		return
+	}
+}
+
+// evalOutcome names an encrypted-evaluation failure for the slog line
+// and flight entry, mirroring writeEvalError's status mapping.
+func evalOutcome(err error) string {
+	var se *guard.StageError
+	switch {
+	case errors.As(err, &se):
+		return "bad_ciphertext"
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return "timeout"
+	default:
+		return "error"
+	}
+}
+
+// finishEncrypted emits the keyed route's request slog line and flight
+// entry. The per-client lock wait plays the queue role; a non-nil rec
+// additionally parks the span recording for ?trace= export.
+func (k *Keyed) finishEncrypted(tc telemetry.TraceContext, outcome string, start time.Time,
+	lockWait, eval time.Duration, rec *telemetry.RunRecorder, err error) {
+	total := time.Since(start)
+	logRequest("classify_encrypted", tc, outcome, total, err)
+	f := telemetry.Flight()
+	sum := telemetry.RequestSummary{
+		TraceID:   tc.TraceIDString(),
+		RequestID: tc.SpanIDString(),
+		Route:     "classify_encrypted",
+		Outcome:   outcome,
+		Start:     start,
+		QueueMS:   float64(lockWait) / float64(time.Millisecond),
+		EvalMS:    float64(eval) / float64(time.Millisecond),
+		TotalMS:   float64(total) / float64(time.Millisecond),
+		TopOps:    telemetry.TopOpsFromRecorder(rec, 3),
+	}
+	if err != nil {
+		sum.Error = err.Error()
+	}
+	f.Record(sum)
+	if rec != nil {
+		f.RecordTrace(tc.TraceIDString(), rec)
 	}
 }
 
@@ -292,26 +356,36 @@ func (k *Keyed) evalFor(entry *keys.Entry) (*keyedEval, error) {
 }
 
 // writeKeyedError maps protocol-level failures (body reads, bundle
-// registration, fingerprint lookups, ciphertext decodes) to HTTP.
-func (k *Keyed) writeKeyedError(w http.ResponseWriter, err error, doing string) {
+// registration, fingerprint lookups, ciphertext decodes) to HTTP. A
+// valid tc (classify route; handleKeys passes the zero value) stamps
+// the body with the request's join IDs.
+func (k *Keyed) writeKeyedError(w http.ResponseWriter, err error, doing string, tc telemetry.TraceContext) {
+	body := errorBody{}
+	if tc.Valid() {
+		body.TraceID, body.RequestID = tc.TraceIDString(), tc.SpanIDString()
+	}
 	var mbe *http.MaxBytesError
 	switch {
 	case errors.As(err, &mbe):
 		keyedTel().request("too_large")
-		writeJSON(w, http.StatusRequestEntityTooLarge, errorBody{
-			Error: fmt.Sprintf("%s: body exceeds %d bytes", doing, mbe.Limit)})
+		body.Error = fmt.Sprintf("%s: body exceeds %d bytes", doing, mbe.Limit)
+		writeJSON(w, http.StatusRequestEntityTooLarge, body)
 	case errors.Is(err, keys.ErrNotFound):
 		keyedTel().request("unknown_key")
-		writeJSON(w, http.StatusNotFound, errorBody{Error: err.Error()})
+		body.Error = err.Error()
+		writeJSON(w, http.StatusNotFound, body)
 	case errors.Is(err, keys.ErrParamsMismatch), errors.Is(err, keys.ErrMissingRotations):
 		keyedTel().request("incompatible_key")
-		writeJSON(w, http.StatusConflict, errorBody{Error: err.Error()})
+		body.Error = err.Error()
+		writeJSON(w, http.StatusConflict, body)
 	case errors.Is(err, ckks.ErrFormat), errors.Is(err, ckks.ErrChecksum):
 		keyedTel().request("bad_request")
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("%s: %v", doing, err)})
+		body.Error = fmt.Sprintf("%s: %v", doing, err)
+		writeJSON(w, http.StatusBadRequest, body)
 	default:
 		keyedTel().request("error")
-		writeJSON(w, http.StatusInternalServerError, errorBody{Error: fmt.Sprintf("%s: %v", doing, err)})
+		body.Error = fmt.Sprintf("%s: %v", doing, err)
+		writeJSON(w, http.StatusInternalServerError, body)
 	}
 }
 
@@ -319,20 +393,22 @@ func (k *Keyed) writeKeyedError(w http.ResponseWriter, err error, doing string) 
 // stage errors mean the client's ciphertext drove the evaluation out of
 // its invariants — the client's fault, 400; timeouts are 504; anything
 // else is a server error.
-func (k *Keyed) writeEvalError(w http.ResponseWriter, res *exec.Result, err error) {
+func (k *Keyed) writeEvalError(w http.ResponseWriter, res *exec.Result, err error, tc telemetry.TraceContext) {
+	body := errorBody{TraceID: tc.TraceIDString(), RequestID: tc.SpanIDString()}
 	var se *guard.StageError
 	switch {
 	case errors.As(err, &se):
 		keyedTel().request("bad_ciphertext")
-		writeJSON(w, http.StatusBadRequest, errorBody{
-			Error: fmt.Sprintf("evaluation rejected in stage %s: %v", res.FailedStage, err)})
+		body.Error = fmt.Sprintf("evaluation rejected in stage %s: %v", res.FailedStage, err)
+		writeJSON(w, http.StatusBadRequest, body)
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		keyedTel().request("timeout")
-		writeJSON(w, http.StatusGatewayTimeout, errorBody{Error: err.Error()})
+		body.Error = err.Error()
+		writeJSON(w, http.StatusGatewayTimeout, body)
 	default:
 		keyedTel().request("error")
-		writeJSON(w, http.StatusInternalServerError, errorBody{
-			Error: fmt.Sprintf("evaluating in stage %s: %v", res.FailedStage, err)})
+		body.Error = fmt.Sprintf("evaluating in stage %s: %v", res.FailedStage, err)
+		writeJSON(w, http.StatusInternalServerError, body)
 	}
 }
 

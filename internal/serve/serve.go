@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"cnnhe/internal/henn"
+	"cnnhe/internal/telemetry"
 )
 
 // Submission failure classes, matched with errors.Is.
@@ -79,6 +80,7 @@ type result struct {
 	logits    henn.Logits
 	batchSize int
 	eval      time.Duration
+	top       []telemetry.OpTime // batch per-op-kind attribution (traced batches)
 	err       error
 }
 
@@ -88,6 +90,11 @@ type request struct {
 	ctx   context.Context
 	resp  chan result // buffered(1): the batcher never blocks on delivery
 	enq   time.Time
+	// tc is the request's trace context (zero for direct Submit callers
+	// that never passed through HTTP); qwait is stamped by the batcher
+	// when the request is packed into a batch.
+	tc    telemetry.TraceContext
+	qwait time.Duration
 }
 
 // resetter is implemented by guard.GuardedEngine: a tripped guard
@@ -95,14 +102,20 @@ type request struct {
 // boundary before the engine is reused.
 type resetter interface{ Reset() error }
 
+// runContextSetter is implemented by guard.GuardedEngine: binding the
+// batch context lets a guard abort log the trace ID of the batch that
+// tripped it.
+type runContextSetter interface{ SetRunContext(context.Context) }
+
 // Server is the micro-batching inference engine front end. Create with
 // New, submit via Submit (or the HTTP Handler), stop with Shutdown.
 type Server struct {
-	cfg   Config
-	queue chan *request
-	done  chan struct{} // closed when the batcher has drained and exited
-	tel   *telSet
-	adm   *admission
+	cfg    Config
+	queue  chan *request
+	done   chan struct{} // closed when the batcher has drained and exited
+	tel    *telSet
+	adm    *admission
+	flight *telemetry.FlightRecorder
 
 	mu     sync.Mutex
 	closed bool
@@ -149,11 +162,12 @@ func newServer(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("serve: warming plan: %w", err)
 	}
 	return &Server{
-		cfg:   cfg,
-		queue: make(chan *request, cfg.QueueSize),
-		done:  make(chan struct{}),
-		tel:   serveTel(),
-		adm:   newAdmission(cfg.QueueSize, cfg.Batch.Batch, cfg.TargetLatency),
+		cfg:    cfg,
+		queue:  make(chan *request, cfg.QueueSize),
+		done:   make(chan struct{}),
+		tel:    serveTel(),
+		adm:    newAdmission(cfg.QueueSize, cfg.Batch.Batch, cfg.TargetLatency),
+		flight: telemetry.Flight(),
 	}, nil
 }
 
@@ -202,23 +216,28 @@ func (s *Server) enqueue(ctx context.Context, image []float64) (*request, error)
 			henn.ErrBadInput, len(image), s.InputDim())
 	}
 	now := time.Now()
+	tc, _ := telemetry.TraceContextFrom(ctx)
 	deadline, hasDeadline := ctx.Deadline()
 	if err := s.adm.admit(now, deadline, hasDeadline); err != nil {
+		var outcome string
 		switch {
 		case errors.Is(err, ErrDeadlineUnmeetable):
-			s.tel.request("shed", 0)
+			outcome = "shed"
 		default:
-			s.tel.request("rejected", 0)
+			outcome = "rejected"
 		}
+		s.tel.request(outcome, 0)
 		s.tel.admission(s.adm)
+		s.flightReject(tc, outcome, err)
 		return nil, err
 	}
-	r := &request{image: image, ctx: ctx, resp: make(chan result, 1), enq: now}
+	r := &request{image: image, ctx: ctx, resp: make(chan result, 1), enq: now, tc: tc}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		s.adm.release()
 		s.tel.request("shutdown", 0)
+		s.flightReject(tc, "shutdown", ErrShuttingDown)
 		return nil, ErrShuttingDown
 	}
 	select {
@@ -230,6 +249,7 @@ func (s *Server) enqueue(ctx context.Context, image []float64) (*request, error)
 		// this is a backstop, not a steady-state path.
 		s.adm.release()
 		s.tel.request("rejected", 0)
+		s.flightReject(tc, "rejected", ErrQueueFull)
 		return nil, ErrQueueFull
 	}
 }
@@ -240,7 +260,9 @@ func (s *Server) enqueue(ctx context.Context, image []float64) (*request, error)
 func (s *Server) finish(r *request, res result, outcome string) {
 	r.resp <- res
 	s.adm.release()
-	s.tel.request(outcome, time.Since(r.enq))
+	total := time.Since(r.enq)
+	s.tel.request(outcome, total)
+	s.flightRecord(r, res, outcome, total)
 }
 
 // run is the batcher: it blocks for the first request, then fills the
@@ -292,9 +314,14 @@ func (s *Server) evalBatch(batch []*request) {
 		return
 	}
 	images := make([][]float64, len(live))
+	traced := false
 	for i, r := range live {
 		images[i] = r.image
-		s.tel.queueWait(time.Since(r.enq))
+		r.qwait = time.Since(r.enq)
+		s.tel.queueWait(r.qwait)
+		if r.tc.Valid() {
+			traced = true
+		}
 	}
 	// The batch deadline is the latest member deadline: one short-fused
 	// member must not kill the whole batch early (it simply times out on
@@ -303,9 +330,40 @@ func (s *Server) evalBatch(batch []*request) {
 	bctx, cancel := batchContext(live)
 	defer cancel()
 
+	// When any member arrived with a trace context, record the shared
+	// evaluation's spans once for the whole batch: every member's trace
+	// ID resolves to the same recording (the batch IS their evaluation).
+	var rec *telemetry.RunRecorder
+	if traced {
+		rec = telemetry.NewRunRecorder()
+		for _, r := range live {
+			if r.tc.Valid() {
+				rec.SetTrace(r.tc.TraceIDString(), r.tc.SpanIDString())
+				bctx = telemetry.WithTraceContext(bctx, r.tc)
+				break
+			}
+		}
+		bctx = telemetry.WithRecorder(bctx, rec)
+		// The batcher is a single goroutine, so binding the shared guard
+		// to the batch context for the duration of the run is sound.
+		if g, ok := s.cfg.Engine.(runContextSetter); ok {
+			g.SetRunContext(bctx)
+			defer g.SetRunContext(nil)
+		}
+	}
+
 	t0 := time.Now()
 	logits, rep, err := s.cfg.Batch.InferBatchCtx(bctx, s.cfg.Engine, images)
 	elapsed := time.Since(t0)
+	var top []telemetry.OpTime
+	if rec != nil {
+		top = telemetry.TopOpsFromRecorder(rec, 3)
+		for _, r := range live {
+			if r.tc.Valid() {
+				s.flight.RecordTrace(r.tc.TraceIDString(), rec)
+			}
+		}
+	}
 	s.adm.observe(elapsed, err == nil)
 	s.tel.batchDone(len(live), s.cfg.Batch.Batch, elapsed, err == nil)
 	s.tel.admission(s.adm)
@@ -323,12 +381,12 @@ func (s *Server) evalBatch(batch []*request) {
 				s.finish(r, result{err: fmt.Errorf("serve: %w", cerr)}, "timeout")
 				continue
 			}
-			s.finish(r, result{err: err, batchSize: len(live)}, "error")
+			s.finish(r, result{err: err, batchSize: len(live), top: top}, "error")
 		}
 		return
 	}
 	for i, r := range live {
-		s.finish(r, result{logits: logits[i], batchSize: len(live), eval: rep.Eval}, "ok")
+		s.finish(r, result{logits: logits[i], batchSize: len(live), eval: rep.Eval, top: top}, "ok")
 	}
 }
 

@@ -1,0 +1,134 @@
+package serve
+
+import (
+	"log/slog"
+	"net/http"
+	"sync"
+	"time"
+
+	"cnnhe/internal/telemetry"
+)
+
+// HeaderTraceparent is the W3C Trace Context request/response header.
+// A client that stamps it gets the same trace ID back in the response,
+// in the server's slog lines, and in the /debug/requests flight entry;
+// without it the server originates a trace.
+const HeaderTraceparent = "traceparent"
+
+// HeaderRequestID carries the server-side span ID — the short handle
+// joining one HTTP exchange to logs and the flight recorder.
+const HeaderRequestID = "X-Request-Id"
+
+// traceTel counts traced requests by trace-ID origin
+// (cnnhe_trace_requests_total{source="client"|"server"}).
+type traceTel struct {
+	client *telemetry.Counter
+	server *telemetry.Counter
+}
+
+var (
+	traceTelOnce sync.Once
+	traceTelVal  *traceTel
+)
+
+func traceRequests() *traceTel {
+	if !telemetry.Enabled() {
+		return nil
+	}
+	traceTelOnce.Do(func() {
+		r := telemetry.Default()
+		traceTelVal = &traceTel{
+			client: r.Counter("cnnhe_trace_requests_total",
+				"traced requests by trace-ID origin", telemetry.L("source", "client")),
+			server: r.Counter("cnnhe_trace_requests_total",
+				"traced requests by trace-ID origin", telemetry.L("source", "server")),
+		}
+	})
+	return traceTelVal
+}
+
+// beginTrace resolves the request's trace context: a valid client
+// traceparent is continued with a fresh server span; anything else
+// starts a server-originated trace. The context is echoed on the
+// response (traceparent + X-Request-Id) before the body is written.
+func beginTrace(w http.ResponseWriter, r *http.Request) (tc telemetry.TraceContext, fromClient bool) {
+	if hdr := r.Header.Get(HeaderTraceparent); hdr != "" {
+		if parent, err := telemetry.ParseTraceparent(hdr); err == nil {
+			tc, fromClient = parent.Child(), true
+		}
+	}
+	if !fromClient {
+		tc = telemetry.NewTraceContext()
+	}
+	if t := traceRequests(); t != nil {
+		if fromClient {
+			t.client.Inc()
+		} else {
+			t.server.Inc()
+		}
+	}
+	w.Header().Set(HeaderTraceparent, tc.Traceparent())
+	w.Header().Set(HeaderRequestID, tc.SpanIDString())
+	return tc, fromClient
+}
+
+// logRequest emits the per-request slog line carrying the join keys.
+func logRequest(route string, tc telemetry.TraceContext, outcome string, d time.Duration, err error) {
+	args := []any{
+		"route", route,
+		"trace_id", tc.TraceIDString(),
+		"request_id", tc.SpanIDString(),
+		"outcome", outcome,
+		"ms", float64(d) / float64(time.Millisecond),
+	}
+	if err != nil {
+		slog.Warn("request", append(args, "err", err.Error())...)
+		return
+	}
+	slog.Info("request", args...)
+}
+
+// flightRecord files one finished plain-route request with the flight
+// recorder. Zero-valued trace contexts (direct Submit callers that
+// never passed through HTTP) are skipped — there is no ID to join on.
+func (s *Server) flightRecord(r *request, res result, outcome string, total time.Duration) {
+	if s.flight == nil || !r.tc.Valid() {
+		return
+	}
+	sum := telemetry.RequestSummary{
+		TraceID:       r.tc.TraceIDString(),
+		RequestID:     r.tc.SpanIDString(),
+		Route:         "classify",
+		Outcome:       outcome,
+		Start:         r.enq,
+		QueueMS:       float64(r.qwait) / float64(time.Millisecond),
+		EvalMS:        float64(res.eval) / float64(time.Millisecond),
+		TotalMS:       float64(total) / float64(time.Millisecond),
+		BatchSize:     res.batchSize,
+		BatchCapacity: s.cfg.Batch.Batch,
+		TopOps:        res.top,
+	}
+	if res.err != nil {
+		sum.Error = res.err.Error()
+	}
+	s.flight.Record(sum)
+}
+
+// flightReject files an admission-time rejection (never queued, so the
+// whole latency is zero and there is no batch to describe).
+func (s *Server) flightReject(tc telemetry.TraceContext, outcome string, err error) {
+	if s.flight == nil || !tc.Valid() {
+		return
+	}
+	sum := telemetry.RequestSummary{
+		TraceID:   tc.TraceIDString(),
+		RequestID: tc.SpanIDString(),
+		Route:     "classify",
+		Outcome:   outcome,
+		Start:     time.Now(),
+	}
+	if err != nil {
+		sum.Error = err.Error()
+	}
+	s.flight.Record(sum)
+}

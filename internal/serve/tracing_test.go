@@ -1,0 +1,331 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"cnnhe/internal/client"
+	"cnnhe/internal/telemetry"
+)
+
+// captureLogs routes slog output into a buffer for the test's duration.
+func captureLogs(t *testing.T) *bytes.Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	prev := slog.Default()
+	slog.SetDefault(slog.New(slog.NewTextHandler(&buf, nil)))
+	t.Cleanup(func() { slog.SetDefault(prev) })
+	return &buf
+}
+
+// flightEntry scrapes the global flight recorder for traceID.
+func flightEntry(traceID string) (telemetry.RequestSummary, bool) {
+	for _, e := range telemetry.Flight().Snapshot() {
+		if e.TraceID == traceID {
+			return e, true
+		}
+	}
+	return telemetry.RequestSummary{}, false
+}
+
+// TestTraceparentPropagationE2E is the tracing acceptance test on the
+// plaintext route: a client-supplied traceparent must surface (a) in
+// the HTTP response header and body, (b) in a slog line, (c) in a
+// /debug/requests entry with a non-zero queue/exec split, and (d) in a
+// Chrome-trace export whose spans carry per-op level and noise_bits
+// attributes.
+func TestTraceparentPropagationE2E(t *testing.T) {
+	logs := captureLogs(t)
+	f := newFixture(t, 2)
+	s, err := New(Config{Batch: f.bp, Engine: f.eng, MaxWait: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = s.Shutdown(context.Background()) }()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const traceID = "4bf92f3577b34da6a3ce929d0e0e4736"
+	const parent = "00-" + traceID + "-00f067aa0ba902b7-01"
+	body, err := json.Marshal(ClassifyRequest{Image: testImage(rand.New(rand.NewSource(71)), 64)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/classify", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(HeaderTraceparent, parent)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %s", resp.Status)
+	}
+
+	// (a) The response echoes the client's trace ID, with a fresh server
+	// span, plus the request-ID join handle.
+	echoed := resp.Header.Get(HeaderTraceparent)
+	if !strings.Contains(echoed, traceID) {
+		t.Fatalf("response traceparent %q does not carry client trace ID %s", echoed, traceID)
+	}
+	if strings.Contains(echoed, "00f067aa0ba902b7") {
+		t.Fatalf("response traceparent %q reused the client's span ID", echoed)
+	}
+	reqID := resp.Header.Get(HeaderRequestID)
+	if reqID == "" {
+		t.Fatal("response is missing X-Request-Id")
+	}
+	var cr ClassifyResponse
+	if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+		t.Fatal(err)
+	}
+	if cr.TraceID != traceID || cr.RequestID != reqID {
+		t.Fatalf("body IDs (%s, %s) disagree with headers (%s, %s)", cr.TraceID, cr.RequestID, traceID, reqID)
+	}
+
+	// (b) At least one slog line carries the trace ID.
+	if !strings.Contains(logs.String(), traceID) {
+		t.Fatalf("no slog line carries trace ID %s:\n%s", traceID, logs.String())
+	}
+
+	// (c) The flight recorder holds the request with a non-zero
+	// queue/exec split.
+	entry, ok := flightEntry(traceID)
+	if !ok {
+		t.Fatalf("no /debug/requests entry for trace %s", traceID)
+	}
+	if entry.Route != "classify" || entry.Outcome != "ok" {
+		t.Fatalf("flight entry %+v: want route classify, outcome ok", entry)
+	}
+	if entry.QueueMS <= 0 || entry.EvalMS <= 0 {
+		t.Fatalf("flight entry lacks a queue/exec split: queue %v ms, eval %v ms", entry.QueueMS, entry.EvalMS)
+	}
+	if entry.RequestID != reqID {
+		t.Fatalf("flight request ID %s, response header %s", entry.RequestID, reqID)
+	}
+	if len(entry.TopOps) == 0 {
+		t.Fatal("flight entry carries no per-kind op times")
+	}
+
+	// (d) The Chrome-trace export joins on the trace ID and its spans
+	// carry HE attributes.
+	fts := httptest.NewServer(telemetry.Flight().Handler())
+	defer fts.Close()
+	tresp, err := http.Get(fts.URL + "?trace=" + traceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tresp.Body.Close()
+	if tresp.StatusCode != http.StatusOK {
+		t.Fatalf("trace export status %s", tresp.Status)
+	}
+	traceJSON, err := io.ReadAll(tresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{traceID, `"level"`, `"noise_bits"`, `"scale"`, "trace_context"} {
+		if !bytes.Contains(traceJSON, []byte(want)) {
+			t.Errorf("Chrome trace export missing %s", want)
+		}
+	}
+}
+
+// TestTraceServerGeneratedFallback: requests without a traceparent get
+// a server-generated trace that still lands everywhere.
+func TestTraceServerGeneratedFallback(t *testing.T) {
+	f := newFixture(t, 2)
+	s, err := New(Config{Batch: f.bp, Engine: f.eng, MaxWait: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = s.Shutdown(context.Background()) }()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp := postClassify(t, ts.URL, testImage(rand.New(rand.NewSource(72)), 64))
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %s", resp.Status)
+	}
+	tc, err := telemetry.ParseTraceparent(resp.Header.Get(HeaderTraceparent))
+	if err != nil {
+		t.Fatalf("server-generated traceparent invalid: %v", err)
+	}
+	var cr ClassifyResponse
+	if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+		t.Fatal(err)
+	}
+	if cr.TraceID != tc.TraceIDString() {
+		t.Fatalf("body trace_id %s, header %s", cr.TraceID, tc.TraceIDString())
+	}
+	if _, ok := flightEntry(cr.TraceID); !ok {
+		t.Fatalf("no flight entry for server-generated trace %s", cr.TraceID)
+	}
+
+	// A second request draws a different ID.
+	resp2 := postClassify(t, ts.URL, testImage(rand.New(rand.NewSource(73)), 64))
+	defer resp2.Body.Close()
+	if got := resp2.Header.Get(HeaderTraceparent); got == resp.Header.Get(HeaderTraceparent) {
+		t.Fatalf("two requests share traceparent %q", got)
+	}
+}
+
+// TestTraceRejectionCarriesIDs: an admission-time rejection still
+// returns the join handles and lands in the flight recorder, so shed
+// load is debuggable too. Uses the shutdown rejection — the one
+// admission failure a test can force deterministically.
+func TestTraceRejectionCarriesIDs(t *testing.T) {
+	f := newFixture(t, 2)
+	s, err := New(Config{Batch: f.bp, Engine: f.eng, MaxWait: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	body, _ := json.Marshal(ClassifyRequest{Image: testImage(rand.New(rand.NewSource(74)), 64)})
+	resp, err := http.Post(ts.URL+"/classify", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %s, want 503 from a draining server", resp.Status)
+	}
+	var eb struct {
+		Error     string `json:"error"`
+		TraceID   string `json:"trace_id"`
+		RequestID string `json:"request_id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+		t.Fatal(err)
+	}
+	if eb.TraceID == "" || eb.RequestID == "" {
+		t.Fatalf("503 body lacks join handles: %+v", eb)
+	}
+	if got := resp.Header.Get(HeaderTraceparent); !strings.Contains(got, eb.TraceID) {
+		t.Fatalf("response traceparent %q does not carry body trace_id %s", got, eb.TraceID)
+	}
+	entry, ok := flightEntry(eb.TraceID)
+	if !ok {
+		t.Fatalf("rejected request %s not in flight recorder", eb.TraceID)
+	}
+	if entry.Outcome != "shutdown" || entry.Error == "" {
+		t.Fatalf("flight entry %+v: want outcome shutdown with an error", entry)
+	}
+}
+
+// TestKeyedTraceE2E covers the encrypted route end to end through the
+// client SDK (the hectl path): the SDK-stamped trace ID must come back
+// in the result, join a flight entry with a non-zero lock/eval split,
+// and resolve to a Chrome trace whose spans carry HE attributes.
+func TestKeyedTraceE2E(t *testing.T) {
+	logs := captureLogs(t)
+	f := newKeyedFixture(t)
+	ks := f.clientKeys(t, 95)
+	img := testImage(rand.New(rand.NewSource(9)), f.plan.InputDim)
+
+	res, err := f.cl.ClassifyEncrypted(context.Background(), ks, img, f.plan.OutputDim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TraceID == "" || res.RequestID == "" {
+		t.Fatalf("result lacks join handles: %+v", res)
+	}
+	if !strings.Contains(logs.String(), res.TraceID) {
+		t.Fatalf("no slog line carries trace ID %s:\n%s", res.TraceID, logs.String())
+	}
+	entry, ok := flightEntry(res.TraceID)
+	if !ok {
+		t.Fatalf("no flight entry for trace %s", res.TraceID)
+	}
+	if entry.Route != "classify_encrypted" || entry.Outcome != "ok" {
+		t.Fatalf("flight entry %+v: want route classify_encrypted, outcome ok", entry)
+	}
+	if entry.EvalMS <= 0 {
+		t.Fatalf("flight entry lacks eval time: %+v", entry)
+	}
+	rec := telemetry.Flight().Trace(res.TraceID)
+	if rec == nil {
+		t.Fatalf("trace ring lost recording for %s", res.TraceID)
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{res.TraceID, `"level"`, `"noise_bits"`} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("keyed Chrome trace missing %s", want)
+		}
+	}
+}
+
+// TestTraceMetricsGolden pins the new cnnhe_trace_* metric families on
+// /metrics: requests split by trace-ID source, and the flight-recorder
+// entry counter.
+func TestTraceMetricsGolden(t *testing.T) {
+	telemetry.SetEnabled(true)
+	f := newFixture(t, 2)
+	s, err := New(Config{Batch: f.bp, Engine: f.eng, MaxWait: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = s.Shutdown(context.Background()) }()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// One server-generated and one client-supplied trace.
+	resp := postClassify(t, ts.URL, testImage(rand.New(rand.NewSource(75)), 64))
+	resp.Body.Close()
+	body, _ := json.Marshal(ClassifyRequest{Image: testImage(rand.New(rand.NewSource(76)), 64)})
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/classify", bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(HeaderTraceparent, telemetry.NewTraceContext().Traceparent())
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+
+	ms := httptest.NewServer(telemetry.Handler(telemetry.Default()))
+	defer ms.Close()
+	mresp, err := http.Get(ms.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	text, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range []string{
+		`cnnhe_trace_requests_total{source="client"}`,
+		`cnnhe_trace_requests_total{source="server"}`,
+		`cnnhe_trace_flight_entries_total`,
+	} {
+		if !bytes.Contains(text, []byte(line)) {
+			t.Errorf("metrics output missing %q", line)
+		}
+	}
+	// client.HeaderTraceparent and the serve-side constant must agree —
+	// they are the same wire header.
+	if client.HeaderTraceparent != HeaderTraceparent {
+		t.Fatalf("header constants diverged: client %q, serve %q", client.HeaderTraceparent, HeaderTraceparent)
+	}
+}

@@ -1,0 +1,299 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// OpTime is one row of a request's per-op-kind latency attribution:
+// where the evaluation's wall time actually went.
+type OpTime struct {
+	Kind    string  `json:"kind"`
+	Ops     int64   `json:"ops"`
+	Calls   int64   `json:"calls"`
+	TotalMS float64 `json:"total_ms"`
+}
+
+// RequestSummary is one completed (or rejected) request as the flight
+// recorder remembers it: identity, outcome, and the latency split that
+// answers "where did this request's time go".
+type RequestSummary struct {
+	TraceID   string `json:"trace_id"`
+	RequestID string `json:"request_id"`
+	// Route names the serving path ("classify", "classify_encrypted").
+	Route   string    `json:"route"`
+	Outcome string    `json:"outcome"`
+	Start   time.Time `json:"start"`
+	// QueueMS is time spent admitted but not evaluating (micro-batch
+	// queue wait on the plain route, per-client lock wait on the keyed
+	// route). EvalMS is the homomorphic evaluation. TotalMS is end to
+	// end as the server observed it.
+	QueueMS float64 `json:"queue_ms"`
+	EvalMS  float64 `json:"eval_ms"`
+	TotalMS float64 `json:"total_ms"`
+	// BatchSize/BatchCapacity describe the micro-batch that served the
+	// request (zero on the keyed route and on rejections).
+	BatchSize     int `json:"batch_size,omitempty"`
+	BatchCapacity int `json:"batch_capacity,omitempty"`
+	// TopOps is the evaluation's per-op-kind latency attribution, top
+	// kinds by total time (shared by every member of the batch).
+	TopOps []OpTime `json:"top_ops,omitempty"`
+	Error  string   `json:"error,omitempty"`
+	// HasTrace reports whether the span-level trace of the evaluation is
+	// still resident (GET /debug/requests?trace=<trace_id>).
+	HasTrace bool `json:"has_trace,omitempty"`
+}
+
+// FlightRecorder is a fixed-size ring of recent request summaries plus
+// a smaller ring of full span recordings, cheap enough to leave on in
+// production: recording is one short critical section copying a small
+// struct, and memory is bounded by the ring sizes. It is the server's
+// black box — when a request is slow or shed, /debug/requests explains
+// it after the fact without any pre-arranged debug session.
+type FlightRecorder struct {
+	mu     sync.Mutex
+	buf    []RequestSummary
+	next   int
+	filled bool
+
+	traces   map[string]*RunRecorder
+	traceSeq []string // insertion order, oldest first
+	traceCap int
+}
+
+// DefaultFlightSize is the summary-ring capacity of the default
+// recorder; DefaultTraceCapacity bounds resident span recordings (each
+// can hold thousands of spans for a CNN-scale graph, so this ring is
+// deliberately small).
+const (
+	DefaultFlightSize    = 256
+	DefaultTraceCapacity = 8
+)
+
+// NewFlightRecorder returns a recorder holding the last size summaries
+// (≤0 selects DefaultFlightSize) and traceCap span recordings (≤0
+// selects DefaultTraceCapacity).
+func NewFlightRecorder(size, traceCap int) *FlightRecorder {
+	if size <= 0 {
+		size = DefaultFlightSize
+	}
+	if traceCap <= 0 {
+		traceCap = DefaultTraceCapacity
+	}
+	return &FlightRecorder{
+		buf:      make([]RequestSummary, size),
+		traces:   map[string]*RunRecorder{},
+		traceCap: traceCap,
+	}
+}
+
+var (
+	flightOnce sync.Once
+	flightVal  *FlightRecorder
+)
+
+// Flight returns the process-wide flight recorder (created on first
+// use). The serving layer records into it and the telemetry handler
+// serves it at /debug/requests.
+func Flight() *FlightRecorder {
+	flightOnce.Do(func() { flightVal = NewFlightRecorder(0, 0) })
+	return flightVal
+}
+
+// flightEntries counts recorded summaries (cnnhe_trace_flight_entries_total).
+var (
+	flightTelOnce sync.Once
+	flightTelVal  *Counter
+)
+
+func flightEntriesCounter() *Counter {
+	if !Enabled() {
+		return nil
+	}
+	flightTelOnce.Do(func() {
+		flightTelVal = Default().Counter("cnnhe_trace_flight_entries_total",
+			"request summaries recorded by the flight recorder")
+	})
+	return flightTelVal
+}
+
+// Record appends one request summary (nil-safe).
+func (f *FlightRecorder) Record(s RequestSummary) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.buf[f.next] = s
+	f.next++
+	if f.next == len(f.buf) {
+		f.next = 0
+		f.filled = true
+	}
+	f.mu.Unlock()
+	if c := flightEntriesCounter(); c != nil {
+		c.Inc()
+	}
+}
+
+// RecordTrace retains the full span recording behind traceID so
+// /debug/requests?trace= can export it as a Chrome trace. The trace
+// ring evicts oldest-first; an existing entry for the same trace ID is
+// replaced without consuming a slot.
+func (f *FlightRecorder) RecordTrace(traceID string, rec *RunRecorder) {
+	if f == nil || traceID == "" || rec == nil {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.traces[traceID]; !ok {
+		for len(f.traceSeq) >= f.traceCap {
+			delete(f.traces, f.traceSeq[0])
+			f.traceSeq = f.traceSeq[1:]
+		}
+		f.traceSeq = append(f.traceSeq, traceID)
+	}
+	f.traces[traceID] = rec
+}
+
+// Trace returns the resident span recording for traceID (nil when it
+// was never recorded or has been evicted).
+func (f *FlightRecorder) Trace(traceID string) *RunRecorder {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.traces[traceID]
+}
+
+// Snapshot returns the recorded summaries, newest first, annotated with
+// trace residency.
+func (f *FlightRecorder) Snapshot() []RequestSummary {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := f.next
+	if f.filled {
+		n = len(f.buf)
+	}
+	out := make([]RequestSummary, 0, n)
+	// Walk backwards from the most recent write.
+	for i := 0; i < n; i++ {
+		idx := f.next - 1 - i
+		if idx < 0 {
+			idx += len(f.buf)
+		}
+		s := f.buf[idx]
+		_, s.HasTrace = f.traces[s.TraceID]
+		out = append(out, s)
+	}
+	return out
+}
+
+// Len returns how many summaries are resident.
+func (f *FlightRecorder) Len() int {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.filled {
+		return len(f.buf)
+	}
+	return f.next
+}
+
+// flightResponse is the /debug/requests envelope.
+type flightResponse struct {
+	Count    int              `json:"count"`
+	Requests []RequestSummary `json:"requests"`
+}
+
+// Handler serves the recorder as JSON:
+//
+//	GET /debug/requests                 newest-first summaries
+//	GET /debug/requests?slowest=N       top N by total_ms
+//	GET /debug/requests?outcome=ok      filter by outcome
+//	GET /debug/requests?trace=<id>      Chrome trace export of that
+//	                                    request's evaluation (404 when
+//	                                    evicted)
+//
+// Filters compose; trace= takes precedence over the listing.
+func (f *FlightRecorder) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if traceID := r.URL.Query().Get("trace"); traceID != "" {
+			rec := f.Trace(traceID)
+			if rec == nil {
+				http.Error(w, "trace not resident (evicted or never recorded)", http.StatusNotFound)
+				return
+			}
+			data, err := rec.ChromeTrace()
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			_, _ = w.Write(data)
+			return
+		}
+		list := f.Snapshot()
+		if outcome := r.URL.Query().Get("outcome"); outcome != "" {
+			kept := list[:0]
+			for _, s := range list {
+				if s.Outcome == outcome {
+					kept = append(kept, s)
+				}
+			}
+			list = kept
+		}
+		if v := r.URL.Query().Get("slowest"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				http.Error(w, "slowest must be a non-negative integer", http.StatusBadRequest)
+				return
+			}
+			sort.SliceStable(list, func(i, j int) bool { return list[i].TotalMS > list[j].TotalMS })
+			if n < len(list) {
+				list = list[:n]
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		_ = enc.Encode(flightResponse{Count: len(list), Requests: list})
+	})
+}
+
+// TopOpsFromRecorder condenses a span recording into its top-n op kinds
+// by total engine-call time — the flight-recorder attribution line.
+func TopOpsFromRecorder(rec *RunRecorder, n int) []OpTime {
+	if rec == nil {
+		return nil
+	}
+	byKind := rec.ByKind()
+	out := make([]OpTime, 0, len(byKind))
+	for kind, st := range byKind {
+		out = append(out, OpTime{
+			Kind:    kind,
+			Ops:     st.Count,
+			Calls:   st.Calls,
+			TotalMS: float64(st.Total) / float64(time.Millisecond),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].TotalMS != out[j].TotalMS {
+			return out[i].TotalMS > out[j].TotalMS
+		}
+		return out[i].Kind < out[j].Kind
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}

@@ -1,0 +1,214 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFlightRecorderRing(t *testing.T) {
+	f := NewFlightRecorder(4, 2)
+	for i := 0; i < 6; i++ {
+		f.Record(RequestSummary{RequestID: fmt.Sprintf("r%d", i), TotalMS: float64(i)})
+	}
+	if got := f.Len(); got != 4 {
+		t.Fatalf("Len = %d, want 4 (ring capacity)", got)
+	}
+	snap := f.Snapshot()
+	// Newest first: r5, r4, r3, r2 — r0/r1 evicted.
+	want := []string{"r5", "r4", "r3", "r2"}
+	for i, w := range want {
+		if snap[i].RequestID != w {
+			t.Fatalf("snapshot[%d] = %q, want %q", i, snap[i].RequestID, w)
+		}
+	}
+}
+
+func TestFlightRecorderNilSafe(t *testing.T) {
+	var f *FlightRecorder
+	f.Record(RequestSummary{})
+	f.RecordTrace("x", NewRunRecorder())
+	if f.Snapshot() != nil || f.Len() != 0 || f.Trace("x") != nil {
+		t.Fatal("nil recorder not inert")
+	}
+}
+
+func TestFlightRecorderTraceRingEviction(t *testing.T) {
+	f := NewFlightRecorder(8, 2)
+	r1, r2, r3 := NewRunRecorder(), NewRunRecorder(), NewRunRecorder()
+	f.RecordTrace("t1", r1)
+	f.RecordTrace("t2", r2)
+	f.RecordTrace("t3", r3) // evicts t1
+	if f.Trace("t1") != nil {
+		t.Fatal("t1 not evicted")
+	}
+	if f.Trace("t2") != r2 || f.Trace("t3") != r3 {
+		t.Fatal("resident traces wrong")
+	}
+	// Re-recording an existing ID must not consume a slot.
+	f.RecordTrace("t3", r1)
+	if f.Trace("t2") != r2 {
+		t.Fatal("re-record evicted an unrelated trace")
+	}
+	if f.Trace("t3") != r1 {
+		t.Fatal("re-record did not replace")
+	}
+}
+
+func TestFlightHandlerFilters(t *testing.T) {
+	f := NewFlightRecorder(16, 2)
+	f.Record(RequestSummary{RequestID: "a", Outcome: "ok", TotalMS: 10})
+	f.Record(RequestSummary{RequestID: "b", Outcome: "shed", TotalMS: 30})
+	f.Record(RequestSummary{RequestID: "c", Outcome: "ok", TotalMS: 20})
+	h := f.Handler()
+
+	get := func(url string) flightResponse {
+		t.Helper()
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, httptest.NewRequest("GET", url, nil))
+		if rr.Code != 200 {
+			t.Fatalf("GET %s = %d: %s", url, rr.Code, rr.Body.String())
+		}
+		var resp flightResponse
+		if err := json.Unmarshal(rr.Body.Bytes(), &resp); err != nil {
+			t.Fatalf("GET %s: bad JSON: %v", url, err)
+		}
+		return resp
+	}
+
+	if resp := get("/debug/requests"); resp.Count != 3 || resp.Requests[0].RequestID != "c" {
+		t.Fatalf("unfiltered = %+v", resp)
+	}
+	if resp := get("/debug/requests?outcome=ok"); resp.Count != 2 {
+		t.Fatalf("outcome filter = %+v", resp)
+	}
+	resp := get("/debug/requests?slowest=2")
+	if resp.Count != 2 || resp.Requests[0].RequestID != "b" || resp.Requests[1].RequestID != "c" {
+		t.Fatalf("slowest = %+v", resp)
+	}
+	if resp := get("/debug/requests?outcome=ok&slowest=1"); resp.Count != 1 || resp.Requests[0].RequestID != "c" {
+		t.Fatalf("composed filters = %+v", resp)
+	}
+
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/requests?slowest=x", nil))
+	if rr.Code != 400 {
+		t.Fatalf("bad slowest = %d, want 400", rr.Code)
+	}
+}
+
+func TestFlightHandlerTraceExport(t *testing.T) {
+	f := NewFlightRecorder(16, 2)
+	rec := NewRunRecorder()
+	rec.SetTrace("deadbeef", "req1")
+	now := time.Now()
+	rec.Record(OpSpan{Kind: "Rotate", Stage: "conv1", Start: now, End: now.Add(time.Millisecond),
+		Level: 3, Scale: 1 << 30, NoiseBits: 17.5})
+	f.RecordTrace("deadbeef", rec)
+	f.Record(RequestSummary{TraceID: "deadbeef", RequestID: "req1", Outcome: "ok"})
+
+	// The listing marks the trace resident.
+	rr := httptest.NewRecorder()
+	f.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/requests", nil))
+	var resp flightResponse
+	if err := json.Unmarshal(rr.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Requests[0].HasTrace {
+		t.Fatal("summary not marked has_trace")
+	}
+
+	// ?trace= exports a Chrome trace carrying HE attributes + identity.
+	rr = httptest.NewRecorder()
+	f.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/requests?trace=deadbeef", nil))
+	if rr.Code != 200 {
+		t.Fatalf("trace export = %d: %s", rr.Code, rr.Body.String())
+	}
+	body := rr.Body.String()
+	for _, want := range []string{`"trace_id": "deadbeef"`, `"request_id": "req1"`, `"level": 3`, `"noise_bits": 17.5`} {
+		if !strings.Contains(body, want) {
+			t.Errorf("trace export missing %s", want)
+		}
+	}
+
+	rr = httptest.NewRecorder()
+	f.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/requests?trace=absent", nil))
+	if rr.Code != 404 {
+		t.Fatalf("absent trace = %d, want 404", rr.Code)
+	}
+}
+
+// TestFlightRecorderConcurrent exercises concurrent record + scrape under
+// -race: writers on both rings while readers snapshot and serve HTTP.
+func TestFlightRecorderConcurrent(t *testing.T) {
+	f := NewFlightRecorder(32, 4)
+	h := f.Handler()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id := fmt.Sprintf("t%d-%d", w, i)
+				rec := NewRunRecorder()
+				rec.SetTrace(id, id)
+				rec.Record(OpSpan{Kind: "Mul", Start: time.Now(), End: time.Now()})
+				f.RecordTrace(id, rec)
+				f.Record(RequestSummary{TraceID: id, RequestID: id, Outcome: "ok", TotalMS: float64(i)})
+			}
+		}(w)
+	}
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				rr := httptest.NewRecorder()
+				h.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/requests?slowest=5", nil))
+				if rr.Code != 200 {
+					t.Errorf("scrape = %d", rr.Code)
+					return
+				}
+				f.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if f.Len() != 32 {
+		t.Fatalf("Len = %d, want full ring", f.Len())
+	}
+}
+
+func TestTopOpsFromRecorder(t *testing.T) {
+	rec := NewRunRecorder()
+	now := time.Now()
+	add := func(kind string, d time.Duration, n int) {
+		rec.Record(OpSpan{Kind: kind, Start: now, End: now.Add(d), Ops: n})
+	}
+	add("Rotate", 30*time.Millisecond, 4)
+	add("Rotate", 10*time.Millisecond, 1)
+	add("MulPlain", 25*time.Millisecond, 1)
+	add("Rescale", 5*time.Millisecond, 1)
+	add("Add", 1*time.Millisecond, 1)
+
+	top := TopOpsFromRecorder(rec, 3)
+	if len(top) != 3 {
+		t.Fatalf("len = %d, want 3", len(top))
+	}
+	if top[0].Kind != "Rotate" || top[0].Ops != 5 || top[0].Calls != 2 {
+		t.Fatalf("top[0] = %+v", top[0])
+	}
+	if top[1].Kind != "MulPlain" || top[2].Kind != "Rescale" {
+		t.Fatalf("order = %v, %v", top[1].Kind, top[2].Kind)
+	}
+	if top[0].TotalMS < 39 || top[0].TotalMS > 41 {
+		t.Fatalf("Rotate total = %v", top[0].TotalMS)
+	}
+	if TopOpsFromRecorder(nil, 3) != nil {
+		t.Fatal("nil recorder")
+	}
+}

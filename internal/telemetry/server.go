@@ -13,10 +13,11 @@ import (
 
 // Server is a live observability endpoint over one registry:
 //
-//	/metrics       Prometheus text format
-//	/metrics.json  the same snapshot as JSON
-//	/debug/vars    expvar (memstats, cmdline, cnnhe_metrics)
-//	/debug/pprof/  the standard pprof index, profiles and traces
+//	/metrics         Prometheus text format
+//	/metrics.json    the same snapshot as JSON
+//	/debug/vars      expvar (memstats, cmdline, cnnhe_metrics)
+//	/debug/requests  the flight recorder (recent request summaries)
+//	/debug/pprof/    the standard pprof index, profiles and traces
 //
 // Serve also flips the process-wide Enabled flag on, so instrumented hot
 // paths start feeding the registry.
@@ -48,6 +49,7 @@ func Handler(reg *Registry) http.Handler {
 		_ = enc.Encode(reg.Snapshot())
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
+	mux.Handle("/debug/requests", Flight().Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -58,7 +60,7 @@ func Handler(reg *Registry) http.Handler {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprint(w, "cnnhe telemetry\n\n/metrics\n/metrics.json\n/debug/vars\n/debug/pprof/\n")
+		fmt.Fprint(w, "cnnhe telemetry\n\n/metrics\n/metrics.json\n/debug/vars\n/debug/requests\n/debug/pprof/\n")
 	})
 	return mux
 }

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"sort"
 	"sync"
@@ -34,7 +35,19 @@ type OpSpan struct {
 	// SavedKeySwitch counts the key-switch decompositions a hoisted
 	// RotateMany avoided versus standalone rotations (group size − 1).
 	SavedKeySwitch int
+	// Level, Scale, and NoiseBits describe the op's output ciphertext
+	// when the executor could observe it (guard-wrapped engines under an
+	// active recorder): remaining modulus level, plaintext scale, and the
+	// guard's noise-budget estimate in bits. A zero Scale marks the
+	// triple as unobserved (every real CKKS ciphertext has Scale ≥ 1).
+	Level     int
+	Scale     float64
+	NoiseBits float64
 }
+
+// HasHE reports whether the span carries observed ciphertext
+// attributes (level / scale / noise budget).
+func (s OpSpan) HasHE() bool { return s.Scale > 0 }
 
 // Wait returns the queue wait (zero when the span was never queued).
 func (s OpSpan) Wait() time.Duration {
@@ -67,9 +80,43 @@ type KindStat struct {
 // Run; the executor records one span per executed op. All methods are
 // nil-safe and safe for concurrent use.
 type RunRecorder struct {
-	mu     sync.Mutex
-	spans  []OpSpan
-	phases []Phase
+	mu      sync.Mutex
+	spans   []OpSpan
+	phases  []Phase
+	traceID string
+	reqID   string
+}
+
+// SetTrace attaches the distributed-trace identity the recording
+// belongs to; it is echoed into the Chrome trace metadata so an
+// exported span tree can be joined back to client logs.
+func (r *RunRecorder) SetTrace(traceID, requestID string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.traceID, r.reqID = traceID, requestID
+	r.mu.Unlock()
+}
+
+// TraceID returns the trace ID set by SetTrace ("" when unset).
+func (r *RunRecorder) TraceID() string {
+	if r == nil {
+		return ""
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.traceID
+}
+
+// RequestID returns the request ID set by SetTrace ("" when unset).
+func (r *RunRecorder) RequestID() string {
+	if r == nil {
+		return ""
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.reqID
 }
 
 // NewRunRecorder returns an empty recorder.
@@ -230,6 +277,12 @@ func (r *RunRecorder) ChromeTrace() ([]byte, error) {
 		{Name: "process_name", Ph: "M", PID: 1, Args: map[string]any{"name": "cnnhe"}},
 		{Name: "thread_name", Ph: "M", PID: 1, TID: phaseTID, Args: map[string]any{"name": "pipeline"}},
 	}}
+	if traceID := r.TraceID(); traceID != "" {
+		tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+			Name: "trace_context", Ph: "M", PID: 1,
+			Args: map[string]any{"trace_id": traceID, "request_id": r.RequestID()},
+		})
+	}
 	workers := map[int]bool{}
 	for _, sp := range spans {
 		if !workers[sp.Worker] {
@@ -254,6 +307,13 @@ func (r *RunRecorder) ChromeTrace() ([]byte, error) {
 		}
 		if sp.SavedKeySwitch > 0 {
 			args["saved_keyswitch"] = sp.SavedKeySwitch
+		}
+		if sp.HasHE() {
+			args["level"] = sp.Level
+			args["scale"] = sp.Scale
+			if !math.IsNaN(sp.NoiseBits) {
+				args["noise_bits"] = sp.NoiseBits
+			}
 		}
 		tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
 			Name: name, Cat: "op", Ph: "X",

@@ -1,0 +1,178 @@
+package telemetry
+
+import (
+	"context"
+	crand "crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// TraceContext is a W3C Trace Context (traceparent) identity: a 16-byte
+// trace ID shared by every span of one distributed request, and an
+// 8-byte span ID naming one hop. The server-side span ID doubles as the
+// request ID surfaced in HTTP responses, slog lines and the flight
+// recorder, so a client report line, a log line and a span tree can be
+// joined on either identifier.
+type TraceContext struct {
+	TraceID [16]byte
+	SpanID  [8]byte
+	// Flags is the trace-flags octet (bit 0 = sampled). Requests carry
+	// it through unchanged; this codebase always records.
+	Flags byte
+}
+
+// traceparentVersion is the only version this parser emits. Per the W3C
+// spec, higher-versioned headers are still parsed as version 00.
+const traceparentVersion = "00"
+
+// Valid reports whether the context carries usable identifiers (the
+// all-zero trace ID and span ID are forbidden by the spec).
+func (tc TraceContext) Valid() bool {
+	return tc.TraceID != [16]byte{} && tc.SpanID != [8]byte{}
+}
+
+// TraceIDString returns the 32-hex-digit trace ID.
+func (tc TraceContext) TraceIDString() string { return hex.EncodeToString(tc.TraceID[:]) }
+
+// SpanIDString returns the 16-hex-digit span ID.
+func (tc TraceContext) SpanIDString() string { return hex.EncodeToString(tc.SpanID[:]) }
+
+// Traceparent renders the context as a W3C traceparent header value,
+// e.g. "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01".
+func (tc TraceContext) Traceparent() string {
+	return fmt.Sprintf("%s-%s-%s-%02x",
+		traceparentVersion, tc.TraceIDString(), tc.SpanIDString(), tc.Flags)
+}
+
+// Child returns a context with the same trace ID and a fresh span ID —
+// the server-side hop of a client-initiated trace.
+func (tc TraceContext) Child() TraceContext {
+	out := tc
+	out.SpanID = newSpanID()
+	return out
+}
+
+// ParseTraceparent parses a traceparent header value. The version field
+// is accepted as any two lowercase hex digits except "ff"; trailing
+// vendor fields of future versions are ignored, per the spec.
+func ParseTraceparent(s string) (TraceContext, error) {
+	var tc TraceContext
+	parts := strings.Split(strings.TrimSpace(s), "-")
+	if len(parts) < 4 {
+		return tc, fmt.Errorf("telemetry: traceparent %q: want version-traceid-spanid-flags", s)
+	}
+	ver, traceID, spanID, flags := parts[0], parts[1], parts[2], parts[3]
+	if len(ver) != 2 || !isLowerHex(ver) || ver == "ff" {
+		return tc, fmt.Errorf("telemetry: traceparent %q: bad version %q", s, ver)
+	}
+	if ver == traceparentVersion && len(parts) != 4 {
+		return tc, fmt.Errorf("telemetry: traceparent %q: version 00 has exactly 4 fields", s)
+	}
+	if len(traceID) != 32 || !isLowerHex(traceID) {
+		return tc, fmt.Errorf("telemetry: traceparent %q: bad trace ID", s)
+	}
+	if len(spanID) != 16 || !isLowerHex(spanID) {
+		return tc, fmt.Errorf("telemetry: traceparent %q: bad span ID", s)
+	}
+	if len(flags) != 2 || !isLowerHex(flags) {
+		return tc, fmt.Errorf("telemetry: traceparent %q: bad flags", s)
+	}
+	hex.Decode(tc.TraceID[:], []byte(traceID))
+	hex.Decode(tc.SpanID[:], []byte(spanID))
+	var fb [1]byte
+	hex.Decode(fb[:], []byte(flags))
+	tc.Flags = fb[0]
+	if !tc.Valid() {
+		return TraceContext{}, fmt.Errorf("telemetry: traceparent %q: all-zero identifier", s)
+	}
+	return tc, nil
+}
+
+func isLowerHex(s string) bool {
+	for _, c := range s {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// idState seeds span/trace ID generation once from crypto/rand and then
+// derives IDs with a cheap atomic counter mix, so the per-request path
+// never blocks on the system entropy pool.
+var idState struct {
+	once sync.Once
+	base [24]byte
+	ctr  atomic.Uint64
+}
+
+func initIDState() {
+	idState.once.Do(func() {
+		if _, err := crand.Read(idState.base[:]); err != nil {
+			// Entropy failure: fall back to a fixed base; the counter mix
+			// still keeps IDs unique within the process.
+			copy(idState.base[:], []byte("cnnhe-trace-fallback-seed!!!"))
+		}
+	})
+}
+
+// splitmix64 scrambles a counter value into a well-distributed word.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func newSpanID() [8]byte {
+	initIDState()
+	var id [8]byte
+	seed := binary.LittleEndian.Uint64(idState.base[16:])
+	binary.LittleEndian.PutUint64(id[:], splitmix64(seed^idState.ctr.Add(1)))
+	if id == [8]byte{} {
+		id[7] = 1
+	}
+	return id
+}
+
+// NewTraceContext generates a fresh sampled trace context (server-side
+// origin: no client supplied a traceparent).
+func NewTraceContext() TraceContext {
+	initIDState()
+	var tc TraceContext
+	n := idState.ctr.Add(1)
+	a := binary.LittleEndian.Uint64(idState.base[0:])
+	b := binary.LittleEndian.Uint64(idState.base[8:])
+	binary.LittleEndian.PutUint64(tc.TraceID[0:], splitmix64(a^n))
+	binary.LittleEndian.PutUint64(tc.TraceID[8:], splitmix64(b^n))
+	tc.SpanID = newSpanID()
+	tc.Flags = 1
+	if tc.TraceID == [16]byte{} {
+		tc.TraceID[15] = 1
+	}
+	return tc
+}
+
+// ----- context plumbing -----
+
+type traceCtxKey struct{}
+
+// WithTraceContext attaches tc to ctx; layers below (the executor, the
+// guard, flight recording) read it back with TraceContextFrom.
+func WithTraceContext(ctx context.Context, tc TraceContext) context.Context {
+	return context.WithValue(ctx, traceCtxKey{}, tc)
+}
+
+// TraceContextFrom extracts the trace context attached by
+// WithTraceContext. ok is false when none is attached (or ctx is nil).
+func TraceContextFrom(ctx context.Context) (TraceContext, bool) {
+	if ctx == nil {
+		return TraceContext{}, false
+	}
+	tc, ok := ctx.Value(traceCtxKey{}).(TraceContext)
+	return tc, ok && tc.Valid()
+}

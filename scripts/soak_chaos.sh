@@ -12,7 +12,8 @@
 #     with the keys generated before the kill.
 #
 # Tunables: ADDR, SOAK_SECS (default 30), RATE (default 10 req/s),
-# CHAOS (fault spec), REPORT (report path, kept for CI artifact upload).
+# CHAOS (fault spec), REPORT (report path, kept for CI artifact upload),
+# SNAPSHOT (flight-recorder dump path, likewise kept for CI).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -22,6 +23,7 @@ RATE=${RATE:-10}
 CHAOS=${CHAOS:-"latency:ms=20:p=0.2,reset:p=0.03,truncate:bytes=512:p=0.03"}
 WORK=$(mktemp -d)
 REPORT=${REPORT:-"$WORK/slo-report.json"}
+SNAPSHOT=${SNAPSHOT:-"$WORK/debug-requests.json"}
 SERVE_PID=""
 cleanup() {
     [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true
@@ -94,5 +96,10 @@ fi
 
 echo "== encrypted classification with pre-kill keys (no re-registration) =="
 "$WORK/hectl" classify -server "http://$ADDR" -keys "$WORK/keys" -image 3
+
+echo "== flight-recorder snapshot (slowest 20 requests since restart) =="
+curl -fsS "http://$ADDR/debug/requests?slowest=20" -o "$SNAPSHOT"
+python3 -c "import json,sys; d=json.load(open('$SNAPSHOT')); print('flight recorder holds', d['count'], 'requests')" \
+    2>/dev/null || echo "flight snapshot saved to $SNAPSHOT"
 
 echo "soak-chaos: OK"
