@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: check vet staticcheck build test race race-serve race-chaos parity opt-parity opt-golden bench telemetry-overhead fuzz-smoke e2e-encrypted soak-chaos trend
+.PHONY: check vet staticcheck build test race race-ring race-serve race-chaos parity opt-parity opt-golden bench bench-kernels telemetry-overhead fuzz-smoke e2e-encrypted soak-chaos trend
 
 ## check: the full CI gate — vet, staticcheck, build, tests, the race
-## detector, and the executor-vs-interpreter parity suite.
-check: vet staticcheck build test race parity
+## detector (including the ring worker-pool hammer), and the
+## executor-vs-interpreter parity suite.
+check: vet staticcheck build test race race-ring parity
 
 vet:
 	$(GO) vet ./...
@@ -26,6 +27,14 @@ test:
 
 race:
 	$(GO) test -race -short ./...
+
+## race-ring: the ring/zq kernel suites in full under the race detector —
+## the worker-pool hammer (concurrent ring ops from many goroutines,
+## mirroring heserve's batcher), the limb differential suites and the
+## Barrett/Shoup reduction tests. Proves the revived limb-parallel path
+## is data-race-free and deterministic.
+race-ring:
+	$(GO) test -race ./internal/ring/... ./internal/zq/...
 
 ## race-serve: the serving layer's concurrency suite (micro-batching,
 ## backpressure, drain) in full under the race detector.
@@ -75,6 +84,13 @@ trend:
 ## bench: executor vs interpreter latency on CNN1 single-image.
 bench:
 	$(GO) test -run xxx -bench 'InferExecutorCNN1|InferLegacyCNN1' -benchtime 5x -timeout 30m ./internal/henn/
+
+## bench-kernels: ring kernel micro-benchmarks — NTT, pointwise multiply,
+## rescale division and cached-scalar multiply per limb count, serial vs
+## pool-parallel, with allocation counts. The parallel/serial ratio at a
+## given limb count is the limb-level speedup; it scales with GOMAXPROCS.
+bench-kernels:
+	$(GO) test -run xxx -bench 'BenchmarkKernel' -benchtime 20x -benchmem -timeout 30m ./internal/ring/
 
 ## telemetry-overhead: per-op executor cost with telemetry off / metrics
 ## on / metrics+tracing on. The disabled case must stay within noise of

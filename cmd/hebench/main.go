@@ -15,11 +15,13 @@ import (
 	"io"
 	"log/slog"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"cnnhe/internal/bench"
 	"cnnhe/internal/henn/ir/opt"
+	"cnnhe/internal/ring"
 	"cnnhe/internal/telemetry"
 )
 
@@ -52,11 +54,14 @@ func main() {
 		optFlag  = flag.String("opt", "on", "graph optimizer: on, off, exact, or a comma-separated pass list")
 		telAddr  = flag.String("telemetry-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while benchmarking (empty = off)")
 		logLevel = flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
+		ringPar  = flag.Bool("ring-parallel", ring.ParallelDefault(), "limb/slab-parallel ring kernels (default: on when GOMAXPROCS > 1)")
 	)
 	flag.Parse()
 
 	slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr,
 		&slog.HandlerOptions{Level: parseLevel(*logLevel)})))
+	ring.SetParallelDefault(*ringPar)
+	slog.Info("ring kernels", "ring_parallel", *ringPar, "gomaxprocs", runtime.GOMAXPROCS(0))
 	fatal := func(msg string, args ...any) {
 		slog.Error(msg, args...)
 		os.Exit(1)

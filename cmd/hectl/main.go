@@ -33,6 +33,7 @@ import (
 
 	"cnnhe/internal/client"
 	"cnnhe/internal/mnist"
+	"cnnhe/internal/ring"
 	"cnnhe/internal/telemetry"
 )
 
@@ -67,11 +68,18 @@ func main() {
 }
 
 // commonFlags returns a FlagSet pre-populated with the flags every
-// subcommand shares.
+// subcommand shares. The -ring-parallel default is applied at parse time
+// via flag.Func so client-side keygen/encrypt contexts pick it up.
 func commonFlags(name string) (*flag.FlagSet, *string, *string) {
 	fs := flag.NewFlagSet("hectl "+name, flag.ExitOnError)
 	server := fs.String("server", "http://localhost:8000", "heserve base URL")
 	keysDir := fs.String("keys", "hectl-keys", "key directory (holds the secret key; keep it private)")
+	fs.BoolFunc("ring-parallel", "limb/slab-parallel ring kernels for client-side keygen/encrypt (default: on when GOMAXPROCS > 1)",
+		func(v string) error {
+			on := v == "" || v == "true" || v == "1"
+			ring.SetParallelDefault(on)
+			return nil
+		})
 	return fs, server, keysDir
 }
 

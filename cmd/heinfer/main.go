@@ -35,6 +35,7 @@ import (
 	"math"
 	"math/rand"
 	"os"
+	"runtime"
 	"time"
 
 	"cnnhe/internal/ckks"
@@ -46,6 +47,7 @@ import (
 	"cnnhe/internal/mnist"
 	"cnnhe/internal/nn"
 	"cnnhe/internal/primes"
+	"cnnhe/internal/ring"
 	"cnnhe/internal/telemetry"
 	"cnnhe/internal/tensor"
 )
@@ -158,11 +160,14 @@ func main() {
 		telAddr   = flag.String("telemetry-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. localhost:8080; empty = off)")
 		tracePath = flag.String("trace", "", "export the inference as Chrome trace-event JSON to this path")
 		logLevel  = flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
+		ringPar   = flag.Bool("ring-parallel", ring.ParallelDefault(), "limb/slab-parallel ring kernels (default: on when GOMAXPROCS > 1)")
 	)
 	flag.Parse()
 
 	slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr,
 		&slog.HandlerOptions{Level: parseLevel(*logLevel)})))
+	ring.SetParallelDefault(*ringPar)
+	slog.Info("ring kernels", "ring_parallel", *ringPar, "gomaxprocs", runtime.GOMAXPROCS(0))
 	fatal := func(msg string, args ...any) {
 		slog.Error(msg, args...)
 		os.Exit(exitSetup)

@@ -51,6 +51,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -61,6 +62,7 @@ import (
 	"cnnhe/internal/henn"
 	"cnnhe/internal/henn/ir/opt"
 	"cnnhe/internal/nn"
+	"cnnhe/internal/ring"
 	"cnnhe/internal/serve"
 	"cnnhe/internal/telemetry"
 )
@@ -150,11 +152,14 @@ func main() {
 		chaosSpec  = flag.String("chaos", "", "network fault spec, e.g. 'latency:ms=100:p=0.3,reset:p=0.05' (testing only)")
 		chaosSeed  = flag.Int64("chaos-seed", 1, "seed for -chaos fault randomness")
 		optFlag    = flag.String("opt", "on", "graph optimizer: on, off, exact, or a comma-separated pass list")
+		ringPar    = flag.Bool("ring-parallel", ring.ParallelDefault(), "limb/slab-parallel ring kernels (default: on when GOMAXPROCS > 1)")
 	)
 	flag.Parse()
 
 	slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr,
 		&slog.HandlerOptions{Level: parseLevel(*logLevel)})))
+	ring.SetParallelDefault(*ringPar)
+	slog.Info("ring kernels", "ring_parallel", *ringPar, "gomaxprocs", runtime.GOMAXPROCS(0))
 	fatal := func(msg string, args ...any) {
 		slog.Error(msg, args...)
 		os.Exit(1)

@@ -15,9 +15,11 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"runtime"
 
 	"cnnhe/internal/mnist"
 	"cnnhe/internal/nn"
+	"cnnhe/internal/ring"
 )
 
 func main() {
@@ -31,8 +33,16 @@ func main() {
 		degree   = flag.Int("degree", 3, "SLAF polynomial degree")
 		seed     = flag.Int64("seed", 1, "random seed")
 		quiet    = flag.Bool("q", false, "suppress progress logs")
+		ringPar  = flag.Bool("ring-parallel", ring.ParallelDefault(), "limb/slab-parallel ring kernels for any HE contexts built in-process (default: on when GOMAXPROCS > 1)")
 	)
 	flag.Parse()
+
+	// hetrain itself trains plaintext models, but the flag is plumbed
+	// uniformly across the daemons so scripts can set it everywhere.
+	ring.SetParallelDefault(*ringPar)
+	if !*quiet {
+		fmt.Printf("ring kernels: ring_parallel=%v gomaxprocs=%d\n", *ringPar, runtime.GOMAXPROCS(0))
+	}
 
 	train, test, src := mnist.Load(*trainN, *testN, *seed)
 	fmt.Printf("dataset: %s (%d train / %d test)\n", src, train.Len(), test.Len())

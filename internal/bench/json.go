@@ -12,6 +12,7 @@ import (
 	"strings"
 	"time"
 
+	"cnnhe/internal/ring"
 	"cnnhe/internal/telemetry"
 )
 
@@ -21,8 +22,10 @@ import (
 // graph_before/graph_after sections; version 4 added gomaxprocs and
 // git_commit to the envelope and logn / acc_correct / acc_total to
 // each row so accuracy percentages can be read against their sample
-// size and runs compared across ring degrees.
-const JSONSchemaVersion = 4
+// size and runs compared across ring degrees; version 5 added
+// ring_parallel so trend series distinguish serial from limb-parallel
+// kernel runs.
+const JSONSchemaVersion = 5
 
 // JSONRow is one machine-readable benchmark measurement. Accuracy
 // fields are pointers because JSON has no NaN: absent means "not
@@ -77,6 +80,11 @@ type JSONReport struct {
 	// run — on cgroup-limited hosts it differs from NumCPU, and latency
 	// numbers are not comparable across different values.
 	GOMAXPROCS int `json:"gomaxprocs,omitempty"`
+	// RingParallel records whether the limb/slab-parallel ring kernels
+	// were enabled for the run (the -ring-parallel flag). Serial and
+	// parallel timings are different series; hetrend readers should not
+	// mix them blindly.
+	RingParallel bool `json:"ring_parallel"`
 	// GitCommit is the repository HEAD the benchmark binary was run
 	// from (best effort; absent outside a git checkout).
 	GitCommit string    `json:"git_commit,omitempty"`
@@ -220,6 +228,7 @@ func WriteJSON(path string, cfg Config, ts time.Time, rows []JSONRow, opBreakdow
 		GOARCH:        runtime.GOARCH,
 		NumCPU:        runtime.NumCPU(),
 		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		RingParallel:  ring.ParallelDefault(),
 		GitCommit:     gitCommit(),
 		Rows:          rows,
 		OpBreakdown:   opBreakdown,

@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"math/big"
 	"math/rand"
+
+	"cnnhe/internal/ring"
 )
 
 // Ring is the multiprecision negacyclic ring of degree N modulo the
@@ -25,10 +27,29 @@ type Ring struct {
 	Q       *big.Int
 	Factors []*big.Int
 
+	// Parallel enables coefficient-chunk parallelism for the pointwise
+	// loops, sharing internal/ring's worker pool. Inherited from the
+	// process default at construction. The NTT stays serial here: its
+	// butterflies share scratch big.Ints and this backend is the parity
+	// oracle, not the fast path.
+	Parallel bool
+
 	psiRev  []*big.Int // ψ^{bitrev(i)} tables, as in internal/ring
 	ipsiRev []*big.Int
 	nInv    *big.Int
 	half    *big.Int // Q/2, for centered lifting
+}
+
+// bigGrain is the minimum coefficients per parallel chunk: big.Int
+// arithmetic is ~20× a word op, so chunks amortize dispatch much sooner
+// than the word rings' slabs.
+const bigGrain = 256
+
+// forRange runs f over coefficient sub-ranges of [0, n), chunked across the
+// shared worker pool when Parallel is set. f must touch only indices in its
+// range and must allocate any scratch per call (chunks run concurrently).
+func (r *Ring) forRange(n int, f func(lo, hi int)) {
+	ring.ParallelRangeGrain(r.Parallel, n, bigGrain, f)
 }
 
 // NewRing constructs the ring of degree n modulo ∏ factors. The factors
@@ -68,10 +89,11 @@ func NewRing(n int, factors []*big.Int, seed int64) (*Ring, error) {
 	}
 	r := &Ring{
 		NVal: n, LogN: logN, Q: q,
-		Factors: append([]*big.Int(nil), factors...),
-		psiRev:  make([]*big.Int, n),
-		ipsiRev: make([]*big.Int, n),
-		half:    new(big.Int).Rsh(q, 1),
+		Factors:  append([]*big.Int(nil), factors...),
+		Parallel: ring.ParallelDefault(),
+		psiRev:   make([]*big.Int, n),
+		ipsiRev:  make([]*big.Int, n),
+		half:     new(big.Int).Rsh(q, 1),
 	}
 	iroot := new(big.Int).ModInverse(root, q)
 	if iroot == nil {
@@ -220,60 +242,72 @@ func (r *Ring) inttMod(a *Poly, q *big.Int, ipsiRev []*big.Int, nInv *big.Int) {
 
 // Add sets out = a + b mod Q. Arguments may alias.
 func (r *Ring) Add(a, b, out *Poly) {
-	for i := range out.Coeffs {
-		out.Coeffs[i].Add(a.Coeffs[i], b.Coeffs[i])
-		if out.Coeffs[i].Cmp(r.Q) >= 0 {
-			out.Coeffs[i].Sub(out.Coeffs[i], r.Q)
+	r.forRange(len(out.Coeffs), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.Coeffs[i].Add(a.Coeffs[i], b.Coeffs[i])
+			if out.Coeffs[i].Cmp(r.Q) >= 0 {
+				out.Coeffs[i].Sub(out.Coeffs[i], r.Q)
+			}
 		}
-	}
+	})
 }
 
 // Sub sets out = a − b mod Q.
 func (r *Ring) Sub(a, b, out *Poly) {
-	for i := range out.Coeffs {
-		out.Coeffs[i].Sub(a.Coeffs[i], b.Coeffs[i])
-		if out.Coeffs[i].Sign() < 0 {
-			out.Coeffs[i].Add(out.Coeffs[i], r.Q)
+	r.forRange(len(out.Coeffs), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.Coeffs[i].Sub(a.Coeffs[i], b.Coeffs[i])
+			if out.Coeffs[i].Sign() < 0 {
+				out.Coeffs[i].Add(out.Coeffs[i], r.Q)
+			}
 		}
-	}
+	})
 }
 
 // Neg sets out = −a mod Q.
 func (r *Ring) Neg(a, out *Poly) {
-	for i := range out.Coeffs {
-		if a.Coeffs[i].Sign() == 0 {
-			out.Coeffs[i].SetInt64(0)
-		} else {
-			out.Coeffs[i].Sub(r.Q, a.Coeffs[i])
+	r.forRange(len(out.Coeffs), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if a.Coeffs[i].Sign() == 0 {
+				out.Coeffs[i].SetInt64(0)
+			} else {
+				out.Coeffs[i].Sub(r.Q, a.Coeffs[i])
+			}
 		}
-	}
+	})
 }
 
 // MulCoeffs sets out = a ⊙ b mod Q (pointwise; NTT domain).
 func (r *Ring) MulCoeffs(a, b, out *Poly) {
-	for i := range out.Coeffs {
-		out.Coeffs[i].Mul(a.Coeffs[i], b.Coeffs[i])
-		out.Coeffs[i].Mod(out.Coeffs[i], r.Q)
-	}
+	r.forRange(len(out.Coeffs), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.Coeffs[i].Mul(a.Coeffs[i], b.Coeffs[i])
+			out.Coeffs[i].Mod(out.Coeffs[i], r.Q)
+		}
+	})
 }
 
 // MulCoeffsThenAdd sets out += a ⊙ b mod Q.
 func (r *Ring) MulCoeffsThenAdd(a, b, out *Poly) {
-	t := new(big.Int)
-	for i := range out.Coeffs {
-		t.Mul(a.Coeffs[i], b.Coeffs[i])
-		out.Coeffs[i].Add(out.Coeffs[i], t)
-		out.Coeffs[i].Mod(out.Coeffs[i], r.Q)
-	}
+	r.forRange(len(out.Coeffs), func(lo, hi int) {
+		t := new(big.Int)
+		for i := lo; i < hi; i++ {
+			t.Mul(a.Coeffs[i], b.Coeffs[i])
+			out.Coeffs[i].Add(out.Coeffs[i], t)
+			out.Coeffs[i].Mod(out.Coeffs[i], r.Q)
+		}
+	})
 }
 
 // MulScalar sets out = a · s mod Q.
 func (r *Ring) MulScalar(a *Poly, s *big.Int, out *Poly) {
 	sm := new(big.Int).Mod(s, r.Q)
-	for i := range out.Coeffs {
-		out.Coeffs[i].Mul(a.Coeffs[i], sm)
-		out.Coeffs[i].Mod(out.Coeffs[i], r.Q)
-	}
+	r.forRange(len(out.Coeffs), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.Coeffs[i].Mul(a.Coeffs[i], sm)
+			out.Coeffs[i].Mod(out.Coeffs[i], r.Q)
+		}
+	})
 }
 
 // Automorphism applies X → X^galEl in the coefficient domain. a and out
@@ -326,9 +360,11 @@ func (r *Ring) CoeffsCentered(p *Poly) []*big.Int {
 // PermuteNTT applies out[i] = a[perm[i]] (NTT-domain automorphism). a and
 // out must not alias.
 func (r *Ring) PermuteNTT(a *Poly, perm []int, out *Poly) {
-	for i, pi := range perm {
-		out.Coeffs[i].Set(a.Coeffs[pi])
-	}
+	r.forRange(len(perm), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.Coeffs[i].Set(a.Coeffs[perm[i]])
+		}
+	})
 }
 
 // SampleUniform fills p with uniform residues mod Q.

@@ -189,17 +189,19 @@ func (ev *Evaluator) Mul(a, b *Ciphertext) *Ciphertext {
 
 	d0 := r.NewPolyQ(level)
 	d1 := r.NewPolyQ(level)
-	d2 := r.NewPolyQ(level)
-	tmp := r.NewPolyQ(level)
+	d2 := r.GetPoly()
+	tmp := r.GetPoly()
 	r.MulCoeffs(limbs, a.C0, b.C0, d0)
 	r.MulCoeffs(limbs, a.C0, b.C1, d1)
 	r.MulCoeffs(limbs, a.C1, b.C0, tmp)
 	r.Add(limbs, d1, tmp, d1)
 	r.MulCoeffs(limbs, a.C1, b.C1, d2)
+	r.PutPoly(tmp)
 
 	// Relinearize d2·s² via key switching.
 	r.INTT(limbs, d2)
 	ks0, ks1 := ev.keySwitchCoeff(level, d2, &ev.rlk.SwitchingKey)
+	r.PutPoly(d2)
 	out := &Ciphertext{C0: d0, C1: d1, Level: level, Scale: a.Scale * b.Scale}
 	r.Add(limbs, out.C0, ks0, out.C0)
 	r.Add(limbs, out.C1, ks1, out.C1)
@@ -231,14 +233,15 @@ func (ev *Evaluator) Rescale(ct *Ciphertext) *Ciphertext {
 		Level: level - 1,
 		Scale: ct.Scale / ev.ctx.Params.QiFloat(level),
 	}
+	tmp := r.GetPoly()
 	for _, pair := range [][2]*ring.Poly{{ct.C0, out.C0}, {ct.C1, out.C1}} {
-		tmp := r.NewPolyQ(level)
 		r.Copy(limbsAll, pair[0], tmp)
 		r.INTT(limbsAll, tmp)
 		r.DivideExactByLimb(level, limbsDown, tmp, tmp)
 		r.NTT(limbsDown, tmp)
 		r.Copy(limbsDown, tmp, pair[1])
 	}
+	r.PutPoly(tmp)
 	return out
 }
 

@@ -24,13 +24,14 @@ func (ev *Evaluator) keySwitchCoeff(level int, c *ring.Poly, swk *SwitchingKey) 
 
 	acc0 := r.NewPoly(level)
 	acc1 := r.NewPoly(level)
-	d := r.NewPoly(level)
+	d := r.GetPoly()
 	for i := 0; i <= level; i++ {
 		r.ExtendLimb(i, limbsQP, c, d)
 		r.NTT(limbsQP, d)
 		r.MulCoeffsThenAdd(limbsQP, d, swk.B[i], acc0)
 		r.MulCoeffsThenAdd(limbsQP, d, swk.A[i], acc1)
 	}
+	r.PutPoly(d)
 
 	r.INTT(limbsQP, acc0)
 	r.INTT(limbsQP, acc1)

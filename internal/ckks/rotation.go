@@ -36,19 +36,22 @@ func (ev *Evaluator) automorphism(ct *Ciphertext, galEl uint64) *Ciphertext {
 	limbs := r.Limbs(level, false)
 
 	// Move to the coefficient domain and apply the automorphism.
-	c0 := r.NewPolyQ(level)
-	c1 := r.NewPolyQ(level)
+	c0 := r.GetPoly()
+	c1 := r.GetPoly()
 	r.Copy(limbs, ct.C0, c0)
 	r.Copy(limbs, ct.C1, c1)
 	r.INTT(limbs, c0)
 	r.INTT(limbs, c1)
 	a0 := r.NewPolyQ(level)
-	a1 := r.NewPolyQ(level)
+	a1 := r.GetPoly()
 	r.Automorphism(limbs, c0, galEl, a0)
 	r.Automorphism(limbs, c1, galEl, a1)
+	r.PutPoly(c0)
+	r.PutPoly(c1)
 
 	// (φ(c0), φ(c1)) decrypts under φ(s); switch φ(c1)·φ(s) back to s.
 	ks0, ks1 := ev.keySwitchCoeff(level, a1, swk)
+	r.PutPoly(a1)
 	r.NTT(limbs, a0)
 	out := &Ciphertext{C0: a0, C1: ks1, Level: level, Scale: ct.Scale}
 	r.Add(limbs, out.C0, ks0, out.C0)
@@ -83,18 +86,19 @@ func (ev *Evaluator) RotateHoisted(ct *Ciphertext, ks []int) map[int]*Ciphertext
 	logN := ev.ctx.Params.LogN
 
 	// Hoist: decompose c1 once.
-	c1 := r.NewPolyQ(level)
+	c1 := r.GetPoly()
 	r.Copy(limbsQ, ct.C1, c1)
 	r.INTT(limbsQ, c1)
 	digits := make([]*ring.Poly, level+1)
 	for i := 0; i <= level; i++ {
-		d := r.NewPoly(level)
+		d := r.GetPoly()
 		r.ExtendLimb(i, limbsQP, c1, d)
 		r.NTT(limbsQP, d)
 		digits[i] = d
 	}
+	r.PutPoly(c1)
 
-	pd := r.NewPoly(level)
+	pd := r.GetPoly()
 	for _, k := range rest {
 		galEl := ring.GaloisElementForRotation(logN, k)
 		swk, ok := ev.rtk.Keys[galEl]
@@ -120,6 +124,10 @@ func (ev *Evaluator) RotateHoisted(ct *Ciphertext, ks []int) map[int]*Ciphertext
 		r.PermuteNTT(limbsQ, ct.C0, perm, rc0)
 		r.Add(limbsQ, rc0, acc0, rc0)
 		out[k] = &Ciphertext{C0: rc0, C1: acc1, Level: level, Scale: ct.Scale}
+	}
+	r.PutPoly(pd)
+	for _, d := range digits {
+		r.PutPoly(d)
 	}
 	return out
 }

@@ -1,0 +1,192 @@
+package ring
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The limb worker pool.
+//
+// Every limb-wise loop in the ring (NTT, pointwise arithmetic, rescale
+// division, key-switch digit raise) is embarrassingly parallel: limbs are
+// independent residue channels, and within a limb the element-wise
+// operations are independent per coefficient. The original implementation
+// spawned one goroutine per limb per operation — tens of thousands of
+// short-lived goroutines per inference, each paying scheduler wake-up and
+// stack setup on a loop that runs for microseconds.
+//
+// This file replaces that with a single persistent bounded pool shared by
+// every Ring in the process (and by the bigring oracle): GOMAXPROCS-sized,
+// started lazily on first parallel call, never torn down. Work is submitted
+// as an indexed job; idle workers and the submitting goroutine race through
+// the index space via an atomic cursor, so a call never blocks waiting for
+// a worker — the caller always makes progress itself (work-conserving, no
+// deadlock under nested or concurrent submission from the executor's own
+// worker goroutines).
+//
+// Determinism: each index is claimed by exactly one goroutine and tasks
+// write disjoint output ranges, so results are bit-identical to the serial
+// path regardless of scheduling order.
+
+// poolWorkers returns the pool size: GOMAXPROCS, but at least 2, so the
+// parallel path stays exercisable (and race-detectable) on single-core
+// machines when Parallel is forced on. With Parallel off the pool is never
+// consulted.
+func poolWorkers() int {
+	w := runtime.GOMAXPROCS(0)
+	if w < 2 {
+		w = 2
+	}
+	return w
+}
+
+// limbJob is one parallel-for: f(i) for i in [0, n).
+type limbJob struct {
+	f       func(i int)
+	n       int64
+	cursor  atomic.Int64 // next index to claim
+	pending atomic.Int64 // indices not yet completed
+	done    chan struct{}
+}
+
+// work drains indices until the cursor passes n. Returns after the last
+// index this goroutine claimed has completed.
+func (j *limbJob) work() {
+	for {
+		i := j.cursor.Add(1) - 1
+		if i >= j.n {
+			return
+		}
+		j.f(int(i))
+		if j.pending.Add(-1) == 0 {
+			close(j.done)
+		}
+	}
+}
+
+type limbPool struct {
+	jobs    chan *limbJob
+	workers int
+}
+
+var (
+	poolOnce   sync.Once
+	sharedPool *limbPool
+)
+
+// pool returns the process-wide worker pool, starting it on first use.
+func pool() *limbPool {
+	poolOnce.Do(func() {
+		p := &limbPool{workers: poolWorkers()}
+		// A deep buffer so submitters never block handing out wake-ups:
+		// a worker that drains the channel and finds the job finished
+		// simply moves on.
+		p.jobs = make(chan *limbJob, 4*p.workers)
+		for w := 0; w < p.workers; w++ {
+			go func() {
+				for j := range p.jobs {
+					j.work()
+				}
+			}()
+		}
+		sharedPool = p
+	})
+	return sharedPool
+}
+
+// Run executes f(0..n-1) across the pool. The calling goroutine
+// participates, so Run makes progress even when every worker is busy.
+func (p *limbPool) Run(n int, f func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if n == 1 {
+		f(0)
+		return
+	}
+	j := &limbJob{f: f, n: int64(n), done: make(chan struct{})}
+	j.pending.Store(int64(n))
+	// Wake at most n-1 helpers; the caller covers the rest. Non-blocking:
+	// a full queue means every worker is already busy, and the caller
+	// will chew through the indices itself.
+	wake := p.workers - 1
+	if wake > n-1 {
+		wake = n - 1
+	}
+	for k := 0; k < wake; k++ {
+		select {
+		case p.jobs <- j:
+		default:
+			k = wake // queue full; stop waking
+		}
+	}
+	j.work()
+	<-j.done
+}
+
+// defaultParallel holds the process-wide default for Ring.Parallel applied
+// at construction: 1 = on, 0 = off. Initialized from GOMAXPROCS.
+var defaultParallel atomic.Int32
+
+func init() {
+	if runtime.GOMAXPROCS(0) > 1 {
+		defaultParallel.Store(1)
+	}
+}
+
+// SetParallelDefault sets the process-wide default for limb parallelism.
+// Rings constructed afterwards inherit it; existing rings are unaffected
+// (toggle their Parallel field, e.g. via ckks.Context.SetParallel). This is
+// the hook the CLI daemons' -ring-parallel flag drives.
+func SetParallelDefault(on bool) {
+	v := int32(0)
+	if on {
+		v = 1
+	}
+	defaultParallel.Store(v)
+}
+
+// ParallelDefault reports the current process-wide default for limb
+// parallelism (on when GOMAXPROCS > 1 unless overridden).
+func ParallelDefault() bool { return defaultParallel.Load() == 1 }
+
+// minSlabWords is the smallest per-task slice (in 64-bit words) worth
+// shipping to another worker: below this the atomic cursor and cache
+// traffic cost more than the loop. 2048 words = one 16 KiB half-L1 slab.
+const minSlabWords = 2048
+
+// ParallelRange splits [0, n) into contiguous chunks of at least
+// minSlabWords elements and runs f(lo, hi) for each across the pool
+// (serially when parallel is false or the range is too small to split).
+func ParallelRange(parallel bool, n int, f func(lo, hi int)) {
+	ParallelRangeGrain(parallel, n, minSlabWords, f)
+}
+
+// ParallelRangeGrain is ParallelRange with an explicit minimum chunk size,
+// for element types heavier than a machine word. It is exported for the
+// bigring oracle, whose big.Int coefficient loops chunk the same way but
+// amortize the dispatch over far fewer elements.
+func ParallelRangeGrain(parallel bool, n, grain int, f func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if !parallel || n < 2*grain {
+		f(0, n)
+		return
+	}
+	p := pool()
+	chunks := (n + grain - 1) / grain
+	if chunks > p.workers {
+		chunks = p.workers
+	}
+	size := (n + chunks - 1) / chunks
+	p.Run(chunks, func(c int) {
+		lo := c * size
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		f(lo, hi)
+	})
+}

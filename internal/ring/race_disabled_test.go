@@ -1,0 +1,6 @@
+//go:build !race
+
+package ring
+
+// raceEnabled mirrors race_enabled_test.go for non-race builds.
+const raceEnabled = false

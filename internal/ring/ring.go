@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math/big"
 	"math/rand"
-	"runtime"
 	"sync"
 )
 
@@ -16,13 +15,26 @@ type Ring struct {
 	SubRings []SubRing
 	Special  int // number of trailing special limbs
 
-	// Parallel enables the limb worker pool for limb-wise loops. It only
-	// pays off with GOMAXPROCS > 1.
+	// Parallel enables the limb worker pool for limb-wise loops. Rings
+	// inherit the process default (on when GOMAXPROCS > 1, overridable via
+	// SetParallelDefault) at construction.
 	Parallel bool
 
 	// invQ[src][dst] = q_src^{-1} mod q_dst for src ≠ dst, used by the
 	// exact RNS division in Rescale and ModDown.
 	invQ [][]*big.Int
+
+	// maxWidth is the widest limb's words-per-coefficient, sizing pooled
+	// scratch slabs.
+	maxWidth int
+
+	// scratch recycles full-size coefficient slabs ([]uint64 of
+	// N·maxWidth words) for DivideExactByLimb and friends.
+	scratch sync.Pool
+
+	// polyPool recycles max-shape polynomials (every limb allocated) for
+	// hot-path scratch in the evaluator and key-switch.
+	polyPool sync.Pool
 }
 
 // NewRing builds an RNS ring of degree n over the given prime moduli
@@ -37,9 +49,17 @@ func NewRing(n int, moduli []*big.Int, special int, seed int64) (*Ring, error) {
 		return nil, fmt.Errorf("ring: invalid special count %d of %d moduli", special, len(moduli))
 	}
 	rng := rand.New(rand.NewSource(seed))
-	r := &Ring{NVal: n, LogN: log2(n), Special: special}
+	r := &Ring{NVal: n, LogN: log2(n), Special: special, Parallel: ParallelDefault()}
 	for _, q := range moduli {
-		r.SubRings = append(r.SubRings, NewSubRing(n, q, rng))
+		sr := NewSubRing(n, q, rng)
+		r.SubRings = append(r.SubRings, sr)
+		if w := sr.Width(); w > r.maxWidth {
+			r.maxWidth = w
+		}
+	}
+	r.scratch.New = func() any {
+		s := make([]uint64, n*r.maxWidth)
+		return &s
 	}
 	k := len(moduli)
 	r.invQ = make([][]*big.Int, k)
@@ -126,23 +146,87 @@ func (r *Ring) Limbs(level int, special bool) []int {
 	return out
 }
 
-// forLimbs runs f(limb) for every limb index, optionally in parallel.
+// forLimbs runs f(limb) for every limb index, across the shared worker
+// pool when the ring is parallel.
 func (r *Ring) forLimbs(limbs []int, f func(i int)) {
-	if !r.Parallel || runtime.GOMAXPROCS(0) == 1 || len(limbs) == 1 {
+	if !r.Parallel || len(limbs) == 1 {
 		for _, i := range limbs {
 			f(i)
 		}
 		return
 	}
-	var wg sync.WaitGroup
-	wg.Add(len(limbs))
-	for _, i := range limbs {
-		go func(i int) {
-			defer wg.Done()
-			f(i)
-		}(i)
+	pool().Run(len(limbs), func(k int) { f(limbs[k]) })
+}
+
+// forLimbSlabs runs f(limb, c0, c1) over coefficient sub-ranges [c0, c1) of
+// every limb, splitting each limb into cache-sized slabs when parallel so a
+// single large limb (logN ≥ 13) also spreads across workers. f must be
+// element-wise: task (i, c0, c1) may only read/write coefficients c0..c1 of
+// limb i. Serial fallback invokes f once per limb with the full range.
+func (r *Ring) forLimbSlabs(limbs []int, f func(i, c0, c1 int)) {
+	if !r.Parallel {
+		for _, i := range limbs {
+			f(i, 0, r.NVal)
+		}
+		return
 	}
-	wg.Wait()
+	// Uniform chunk count per limb keeps task→(limb, range) mapping
+	// allocation-free: every limb has N coefficients regardless of width.
+	chunks := (r.NVal*r.maxWidth + minSlabWords - 1) / minSlabWords
+	if w := poolWorkers(); chunks > w {
+		chunks = w
+	}
+	if chunks < 1 {
+		chunks = 1
+	}
+	if chunks == 1 && len(limbs) == 1 {
+		f(limbs[0], 0, r.NVal)
+		return
+	}
+	per := (r.NVal + chunks - 1) / chunks
+	pool().Run(len(limbs)*chunks, func(t int) {
+		i := limbs[t/chunks]
+		c0 := (t % chunks) * per
+		c1 := c0 + per
+		if c1 > r.NVal {
+			c1 = r.NVal
+		}
+		if c0 < c1 {
+			f(i, c0, c1)
+		}
+	})
+}
+
+// slab checks out a pooled full-size coefficient slab (N·maxWidth words).
+// Contents are unspecified; return it with putSlab.
+func (r *Ring) slab() *[]uint64 { return r.scratch.Get().(*[]uint64) }
+
+func (r *Ring) putSlab(s *[]uint64) { r.scratch.Put(s) }
+
+// GetPoly checks out a pooled polynomial with every limb allocated
+// (ciphertext and special). Contents are UNSPECIFIED — callers that
+// accumulate into it must Zero the limbs they use first. Return it with
+// PutPoly when provably dead; never pool a poly that escaped as a result.
+func (r *Ring) GetPoly() *Poly {
+	if p, ok := r.polyPool.Get().(*Poly); ok {
+		return p
+	}
+	return r.NewPoly(r.MaxLevel())
+}
+
+// PutPoly returns a GetPoly-shaped polynomial to the pool. Polys with
+// missing limbs (NewPolyQ or lower-level NewPoly shapes) are dropped rather
+// than poisoning the pool.
+func (r *Ring) PutPoly(p *Poly) {
+	if p == nil {
+		return
+	}
+	for i := range p.Coeffs {
+		if p.Coeffs[i] == nil {
+			return
+		}
+	}
+	r.polyPool.Put(p)
 }
 
 // NTT transforms the given limbs of p in place.
@@ -157,32 +241,56 @@ func (r *Ring) INTT(limbs []int, p *Poly) {
 
 // Add sets out = a + b on the given limbs.
 func (r *Ring) Add(limbs []int, a, b, out *Poly) {
-	r.forLimbs(limbs, func(i int) { r.SubRings[i].Add(a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]) })
+	r.forLimbSlabs(limbs, func(i, c0, c1 int) {
+		sr := r.SubRings[i]
+		w := sr.Width()
+		sr.Add(a.Coeffs[i][c0*w:c1*w], b.Coeffs[i][c0*w:c1*w], out.Coeffs[i][c0*w:c1*w])
+	})
 }
 
 // Sub sets out = a - b on the given limbs.
 func (r *Ring) Sub(limbs []int, a, b, out *Poly) {
-	r.forLimbs(limbs, func(i int) { r.SubRings[i].Sub(a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]) })
+	r.forLimbSlabs(limbs, func(i, c0, c1 int) {
+		sr := r.SubRings[i]
+		w := sr.Width()
+		sr.Sub(a.Coeffs[i][c0*w:c1*w], b.Coeffs[i][c0*w:c1*w], out.Coeffs[i][c0*w:c1*w])
+	})
 }
 
 // Neg sets out = -a on the given limbs.
 func (r *Ring) Neg(limbs []int, a, out *Poly) {
-	r.forLimbs(limbs, func(i int) { r.SubRings[i].Neg(a.Coeffs[i], out.Coeffs[i]) })
+	r.forLimbSlabs(limbs, func(i, c0, c1 int) {
+		sr := r.SubRings[i]
+		w := sr.Width()
+		sr.Neg(a.Coeffs[i][c0*w:c1*w], out.Coeffs[i][c0*w:c1*w])
+	})
 }
 
 // MulCoeffs sets out = a ⊙ b on the given limbs (NTT-domain product).
 func (r *Ring) MulCoeffs(limbs []int, a, b, out *Poly) {
-	r.forLimbs(limbs, func(i int) { r.SubRings[i].MulCoeffs(a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]) })
+	r.forLimbSlabs(limbs, func(i, c0, c1 int) {
+		sr := r.SubRings[i]
+		w := sr.Width()
+		sr.MulCoeffs(a.Coeffs[i][c0*w:c1*w], b.Coeffs[i][c0*w:c1*w], out.Coeffs[i][c0*w:c1*w])
+	})
 }
 
 // MulCoeffsThenAdd sets out += a ⊙ b on the given limbs.
 func (r *Ring) MulCoeffsThenAdd(limbs []int, a, b, out *Poly) {
-	r.forLimbs(limbs, func(i int) { r.SubRings[i].MulCoeffsThenAdd(a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]) })
+	r.forLimbSlabs(limbs, func(i, c0, c1 int) {
+		sr := r.SubRings[i]
+		w := sr.Width()
+		sr.MulCoeffsThenAdd(a.Coeffs[i][c0*w:c1*w], b.Coeffs[i][c0*w:c1*w], out.Coeffs[i][c0*w:c1*w])
+	})
 }
 
 // MulScalar sets out = a · s on the given limbs.
 func (r *Ring) MulScalar(limbs []int, a *Poly, s *big.Int, out *Poly) {
-	r.forLimbs(limbs, func(i int) { r.SubRings[i].MulScalar(a.Coeffs[i], s, out.Coeffs[i]) })
+	r.forLimbSlabs(limbs, func(i, c0, c1 int) {
+		sr := r.SubRings[i]
+		w := sr.Width()
+		sr.MulScalar(a.Coeffs[i][c0*w:c1*w], s, out.Coeffs[i][c0*w:c1*w])
+	})
 }
 
 // Automorphism applies X → X^galEl on the given limbs (coefficient domain).
@@ -226,16 +334,20 @@ func (r *Ring) Equal(limbs []int, a, b *Poly) bool {
 // (src = special limb). p and out may alias.
 func (r *Ring) DivideExactByLimb(src int, limbs []int, p, out *Poly) {
 	qsrc := r.SubRings[src]
+	sw := qsrc.Width()
 	srcCoeffs := p.Coeffs[src]
-	r.forLimbs(limbs, func(i int) {
+	r.forLimbSlabs(limbs, func(i, c0, c1 int) {
 		if i == src {
 			return
 		}
 		sr := r.SubRings[i]
-		tmp := make([]uint64, len(p.Coeffs[i]))
-		sr.ReduceFrom(qsrc, srcCoeffs, tmp)
-		sr.Sub(p.Coeffs[i], tmp, tmp)
-		sr.MulScalar(tmp, r.invQ[src][i], out.Coeffs[i])
+		w := sr.Width()
+		buf := r.slab()
+		tmp := (*buf)[:(c1-c0)*w]
+		sr.ReduceFrom(qsrc, srcCoeffs[c0*sw:c1*sw], tmp)
+		sr.Sub(p.Coeffs[i][c0*w:c1*w], tmp, tmp)
+		sr.MulScalar(tmp, r.invQ[src][i], out.Coeffs[i][c0*w:c1*w])
+		r.putSlab(buf)
 	})
 }
 
@@ -244,9 +356,12 @@ func (r *Ring) DivideExactByLimb(src int, limbs []int, p, out *Poly) {
 // key-switch decomposition).
 func (r *Ring) ExtendLimb(src int, limbs []int, p, out *Poly) {
 	qsrc := r.SubRings[src]
+	sw := qsrc.Width()
 	srcCoeffs := p.Coeffs[src]
-	r.forLimbs(limbs, func(i int) {
-		r.SubRings[i].ReduceFrom(qsrc, srcCoeffs, out.Coeffs[i])
+	r.forLimbSlabs(limbs, func(i, c0, c1 int) {
+		sr := r.SubRings[i]
+		w := sr.Width()
+		sr.ReduceFrom(qsrc, srcCoeffs[c0*sw:c1*sw], out.Coeffs[i][c0*w:c1*w])
 	})
 }
 
@@ -254,10 +369,7 @@ func (r *Ring) ExtendLimb(src int, limbs []int, p, out *Poly) {
 // limbs of p (coefficient domain).
 func (r *Ring) SetCoeffsInt64(limbs []int, vec []int64, p *Poly) {
 	r.forLimbs(limbs, func(i int) {
-		sr := r.SubRings[i]
-		for j, v := range vec {
-			sr.SetCoeffInt64(p.Coeffs[i], j, v)
-		}
+		r.SubRings[i].SetCoeffsInt64(p.Coeffs[i], vec)
 	})
 }
 

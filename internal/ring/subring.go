@@ -67,6 +67,10 @@ type SubRing interface {
 	// SetCoeffInt64 stores the centered value v at coefficient index j
 	// (negative values wrap to q - |v|).
 	SetCoeffInt64(a []uint64, j int, v int64)
+	// SetCoeffsInt64 stores centered values vec[0..] at coefficient
+	// indices 0.. — the bulk form of SetCoeffInt64, avoiding a dynamic
+	// dispatch per coefficient on the encode hot path.
+	SetCoeffsInt64(a []uint64, vec []int64)
 
 	// SampleUniform fills a with independent uniform residues from rng.
 	SampleUniform(rng *rand.Rand, a []uint64)

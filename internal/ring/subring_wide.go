@@ -3,6 +3,8 @@ package ring
 import (
 	"math/big"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 
 	"cnnhe/internal/zq"
 )
@@ -11,7 +13,9 @@ import (
 // exists so that a fixed total ciphertext modulus can be split into fewer,
 // larger limbs (the paper's Table IV/VI moduli-chain sweeps); its heavier
 // multiprecision-style arithmetic is exactly the cost RNS amortizes away,
-// so no lazy-reduction tricks are applied here.
+// so no lazy-reduction tricks are applied here. Element-wise methods derive
+// their iteration count from the output slice, so the ring layer can hand
+// them coefficient-aligned sub-slabs.
 type wideRing struct {
 	n    int
 	logN int
@@ -24,6 +28,11 @@ type wideRing struct {
 	nInv         zq.Wide
 	nInvShoup    zq.Wide
 	maskHi       uint64 // rejection mask for the high word when sampling
+
+	// scalars memoizes the Shoup constant per reduced scalar (keyed by the
+	// comparable zq.Wide value), mirroring the word backend's cache.
+	scalars   atomic.Value // map[zq.Wide]zq.Wide: reduced scalar → Shoup constant
+	scalarsMu sync.Mutex
 }
 
 func newWideRing(n int, q *big.Int, rng *rand.Rand) *wideRing {
@@ -115,49 +124,91 @@ func (r *wideRing) INTT(a []uint64) {
 }
 
 func (r *wideRing) Add(a, b, out []uint64) {
-	for i := 0; i < r.n; i++ {
+	for i := 0; i < len(out)/2; i++ {
 		r.put(out, i, r.mod.Add(r.get(a, i), r.get(b, i)))
 	}
 }
 
 func (r *wideRing) Sub(a, b, out []uint64) {
-	for i := 0; i < r.n; i++ {
+	for i := 0; i < len(out)/2; i++ {
 		r.put(out, i, r.mod.Sub(r.get(a, i), r.get(b, i)))
 	}
 }
 
 func (r *wideRing) Neg(a, out []uint64) {
-	for i := 0; i < r.n; i++ {
+	for i := 0; i < len(out)/2; i++ {
 		r.put(out, i, r.mod.Neg(r.get(a, i)))
 	}
 }
 
 func (r *wideRing) MulCoeffs(a, b, out []uint64) {
-	for i := 0; i < r.n; i++ {
+	for i := 0; i < len(out)/2; i++ {
 		r.put(out, i, r.mod.Mul(r.get(a, i), r.get(b, i)))
 	}
 }
 
 func (r *wideRing) MulCoeffsThenAdd(a, b, out []uint64) {
-	for i := 0; i < r.n; i++ {
+	for i := 0; i < len(out)/2; i++ {
 		p := r.mod.Mul(r.get(a, i), r.get(b, i))
 		r.put(out, i, r.mod.Add(r.get(out, i), p))
 	}
 }
 
-func (r *wideRing) MulScalar(a []uint64, s *big.Int, out []uint64) {
-	sv := zq.WideFromBig(new(big.Int).Mod(s, r.mod.Modulus()))
+// scalarWide reduces s into [0, q) without allocating when s is already a
+// non-negative ≤128-bit value (the invQ and encoder constants always are).
+func (r *wideRing) scalarWide(s *big.Int) zq.Wide {
+	if s.Sign() >= 0 {
+		if w := s.Bits(); len(w) <= 2 {
+			var v zq.Wide
+			if len(w) > 0 {
+				v.Lo = uint64(w[0])
+			}
+			if len(w) > 1 {
+				v.Hi = uint64(w[1])
+			}
+			if v.Less(r.mod.Q) {
+				return v
+			}
+			return r.mod.Reduce(v)
+		}
+	}
+	return zq.WideFromBig(new(big.Int).Mod(s, r.mod.Modulus()))
+}
+
+// shoupFor returns the memoized Shoup constant for the reduced scalar sv.
+func (r *wideRing) shoupFor(sv zq.Wide) zq.Wide {
+	cache, _ := r.scalars.Load().(map[zq.Wide]zq.Wide)
+	if ss, ok := cache[sv]; ok {
+		return ss
+	}
 	ss := r.mod.ShoupPrecomp(sv)
-	for i := 0; i < r.n; i++ {
+	r.scalarsMu.Lock()
+	cur, _ := r.scalars.Load().(map[zq.Wide]zq.Wide)
+	if _, ok := cur[sv]; !ok && len(cur) < maxScalarCache {
+		next := make(map[zq.Wide]zq.Wide, len(cur)+1)
+		for k, v := range cur {
+			next[k] = v
+		}
+		next[sv] = ss
+		r.scalars.Store(next)
+	}
+	r.scalarsMu.Unlock()
+	return ss
+}
+
+func (r *wideRing) MulScalar(a []uint64, s *big.Int, out []uint64) {
+	sv := r.scalarWide(s)
+	ss := r.shoupFor(sv)
+	for i := 0; i < len(out)/2; i++ {
 		r.put(out, i, r.mod.ShoupMul(r.get(a, i), sv, ss))
 	}
 }
 
 func (r *wideRing) SubScalarThenMulScalar(a []uint64, c, s *big.Int, out []uint64) {
-	cv := zq.WideFromBig(new(big.Int).Mod(c, r.mod.Modulus()))
-	sv := zq.WideFromBig(new(big.Int).Mod(s, r.mod.Modulus()))
-	ss := r.mod.ShoupPrecomp(sv)
-	for i := 0; i < r.n; i++ {
+	cv := r.scalarWide(c)
+	sv := r.scalarWide(s)
+	ss := r.shoupFor(sv)
+	for i := 0; i < len(out)/2; i++ {
 		r.put(out, i, r.mod.ShoupMul(r.mod.Sub(r.get(a, i), cv), sv, ss))
 	}
 }
@@ -180,7 +231,7 @@ func (r *wideRing) ReduceFrom(src SubRing, a, out []uint64) {
 	switch s := src.(type) {
 	case *wordRing:
 		// Any word value is below a wide modulus (> 2^61).
-		for i := 0; i < r.n; i++ {
+		for i := 0; i < len(a); i++ {
 			out[2*i], out[2*i+1] = a[i], 0
 		}
 	case *wideRing:
@@ -188,7 +239,7 @@ func (r *wideRing) ReduceFrom(src SubRing, a, out []uint64) {
 			copy(out, a)
 			return
 		}
-		for i := 0; i < r.n; i++ {
+		for i := 0; i < len(out)/2; i++ {
 			r.put(out, i, r.mod.Reduce(s.get(a, i)))
 		}
 	default:
@@ -209,6 +260,17 @@ func (r *wideRing) SetCoeffInt64(a []uint64, j int, v int64) {
 		r.put(a, j, zq.Wide{Lo: uint64(v)})
 	} else {
 		r.put(a, j, r.mod.Neg(zq.Wide{Lo: uint64(-v)}))
+	}
+}
+
+func (r *wideRing) SetCoeffsInt64(a []uint64, vec []int64) {
+	for j, v := range vec {
+		if v >= 0 {
+			a[2*j], a[2*j+1] = uint64(v), 0
+		} else {
+			w := r.mod.Neg(zq.Wide{Lo: uint64(-v)})
+			a[2*j], a[2*j+1] = w.Lo, w.Hi
+		}
 	}
 }
 
