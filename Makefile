@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet staticcheck build test race race-ring race-serve race-chaos parity opt-parity opt-golden bench bench-kernels telemetry-overhead fuzz-smoke e2e-encrypted soak-chaos trend
+.PHONY: check vet staticcheck build test race race-ring race-serve race-chaos parity opt-parity opt-golden shard-parity bench bench-kernels telemetry-overhead fuzz-smoke e2e-encrypted soak-chaos trend
 
 ## check: the full CI gate — vet, staticcheck, build, tests, the race
 ## detector (including the ring worker-pool hammer), and the
@@ -74,6 +74,15 @@ opt-parity:
 opt-golden:
 	$(GO) test -run 'TestOptimizedGraphGolden|TestOptimizeOffPreservesLowering' ./internal/henn/
 
+## shard-parity: the sharding gates — the shard package's unit and
+## property suites (manifest split/join, wire round trip), the 1×1-grid
+## parity suite proving the sharded path is bit-identical to the
+## unsharded pipeline on CNN1/CNN2 (both backends, seq + parallel), and
+## the cross-shard rotation/recombine round trip.
+shard-parity:
+	$(GO) test ./internal/henn/shard/
+	$(GO) test -run 'TestShardParityTiny|TestShardParityCNN|TestShardedCrossShardDense|TestShardInputValidation' -timeout 30m ./internal/henn/
+
 ## trend: the perf-trend regression gate — load every committed
 ## BENCH_*.json, print the per-configuration latency trend, and fail
 ## when the newest run is >15% slower than the best prior run of the
@@ -99,11 +108,12 @@ telemetry-overhead:
 	$(GO) test -run xxx -bench BenchmarkRunEncrypted -benchtime 2s ./internal/henn/exec/
 
 ## fuzz-smoke: short native-fuzzing passes over the wire-format readers
-## (ciphertext and key-bundle frames); they must reject corrupt input
-## with typed errors, never panic.
+## (ciphertext, key-bundle and shard-manifest frames); they must reject
+## corrupt input with typed errors, never panic.
 fuzz-smoke:
 	$(GO) test -run xxx -fuzz FuzzReadCiphertext -fuzztime 10s ./internal/ckks/
 	$(GO) test -run xxx -fuzz FuzzReadKeyBundle -fuzztime 10s ./internal/ckks/
+	$(GO) test -run xxx -fuzz FuzzDecodeManifest -fuzztime 10s ./internal/henn/shard/
 
 ## e2e-encrypted: the client-held-key protocol end to end — heserve on
 ## CNN1, hectl keygen/register/classify, encrypted vs plaintext route

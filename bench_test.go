@@ -309,7 +309,7 @@ func BenchmarkBatchedThroughput(b *testing.B) {
 // saving a level and a full BSGS matrix-vector product).
 func BenchmarkCNN3CryptoNets(b *testing.B) {
 	rng := rand.New(rand.NewSource(77))
-	m := nn.NewCNN3(rng).ReplaceReLUWithSLAF(2, 1)
+	m := nn.NewCryptoNets(rng).ReplaceReLUWithSLAF(2, 1)
 	for _, l := range m.Layers {
 		if s, ok := l.(*nn.SLAF); ok {
 			s.FitReLU(3)

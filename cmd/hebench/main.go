@@ -5,6 +5,7 @@
 //
 //	hebench -table all                # Tables I–VI + Fig 5 + ablation
 //	hebench -table 3 -runs 5          # just Table III
+//	hebench -table cnn3               # sharded CIFAR-10 CNN3 (not in "all"; slow)
 //	hebench -paper                    # paper-scale settings (N=2^14, slow)
 //	hebench -out EXPERIMENTS.generated.md
 package main
@@ -40,7 +41,7 @@ func parseLevel(s string) slog.Level {
 
 func main() {
 	var (
-		table    = flag.String("table", "all", "which experiment: 1,2,3,4,5,6,fig5,ablation or all")
+		table    = flag.String("table", "all", "which experiment: 1,2,3,4,5,6,fig5,ablation,cnn3 or all (cnn3 is opt-in: beyond-paper scale)")
 		logN     = flag.Int("logn", 0, "override ring degree exponent")
 		runs     = flag.Int("runs", 0, "override latency runs per row")
 		accImgs  = flag.Int("images", 0, "override encrypted-accuracy image count")
@@ -133,6 +134,17 @@ func main() {
 			fatal("training models failed", "err", err)
 		}
 	}
+	// The sharded CIFAR-10 workload is opt-in ("-table cnn3"): its
+	// encrypted runs are far slower than the paper tables and it is not
+	// part of the paper's evaluation section.
+	var m3 *bench.CNN3Models
+	if want["cnn3"] {
+		var err error
+		m3, err = bench.TrainCNN3(cfg, os.Stderr)
+		if err != nil {
+			fatal("training cnn3 failed", "err", err)
+		}
+	}
 
 	var measured []bench.HEResult
 	var jsonRows []bench.JSONRow
@@ -191,6 +203,13 @@ func main() {
 	if all || want["ablation"] {
 		run("ablation", "limb-width ablation", func() error { return bench.LimbWidthAblation(cfg, w) })
 	}
+	if want["cnn3"] {
+		run("CNN3", "Table CNN3 (sharded CIFAR-10)", func() error {
+			rows, err := bench.TableCNN3(cfg, m3, w)
+			jsonRows = append(jsonRows, bench.JSONRows("CNN3", cfg.LogN, rows)...)
+			return err
+		})
+	}
 	if all || want["1"] {
 		bench.TableI(w, measured, ms.DataSource)
 	}
@@ -206,6 +225,12 @@ func main() {
 			graphs, err = bench.GraphSizes(cfg, ms)
 			if err != nil {
 				fatal("collecting graph sizes failed", "err", err)
+			}
+		}
+		if m3 != nil {
+			graphs, err = bench.ShardedGraphSizes(cfg, "CNN3", m3.CNN3, graphs)
+			if err != nil {
+				fatal("collecting sharded graph sizes failed", "err", err)
 			}
 		}
 		if err := bench.WriteJSON(path, cfg, now, jsonRows, opBreakdown, graphs); err != nil {

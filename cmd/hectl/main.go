@@ -14,8 +14,11 @@
 //	hectl register -server URL -keys DIR
 //	               upload the evaluation-key bundle; prints fingerprint
 //	hectl classify -server URL -keys DIR [-image N] [-compare-plain]
-//	               encrypt MNIST test image N, classify it over the
-//	               encrypted route, decrypt the logits locally
+//	               encrypt test image N (MNIST, or CIFAR-10 when the
+//	               server's input dim says so), classify it over the
+//	               encrypted route, decrypt the logits locally; a
+//	               sharded server receives one ciphertext per input
+//	               shard, split by the advertised manifest
 //
 // keygen draws from crypto/rand by default; -seed forces deterministic
 // keys for reproducible benchmarks and parity tests only.
@@ -32,7 +35,7 @@ import (
 	"time"
 
 	"cnnhe/internal/client"
-	"cnnhe/internal/mnist"
+	"cnnhe/internal/dataset"
 	"cnnhe/internal/ring"
 	"cnnhe/internal/telemetry"
 )
@@ -175,7 +178,15 @@ func runClassify(args []string) error {
 	if err != nil {
 		return err
 	}
-	_, test, src := mnist.Load(16, *imageIdx+1, *dataSeed)
+	// The server's input dimension selects the corpus: 3072 is a CIFAR-10
+	// image (CNN3), anything else defaults to MNIST.
+	var test dataset.Dataset
+	var src string
+	if info.InputDim == dataset.CIFARChannels*dataset.CIFARRows*dataset.CIFARCols {
+		_, test, src = dataset.LoadCIFAR10(1, *imageIdx+1, *dataSeed)
+	} else {
+		_, test, src = dataset.LoadMNIST(1, *imageIdx+1, *dataSeed)
+	}
 	img := test.Image(*imageIdx)
 	label := test.Labels[*imageIdx]
 	if len(img) != info.InputDim {
@@ -186,12 +197,22 @@ func runClassify(args []string) error {
 	if *encSeed != 0 {
 		opts = append(opts, client.WithEncryptionSeed(*encSeed))
 	}
+	if info.Shards > 1 {
+		man, err := info.Manifest()
+		if err != nil {
+			return err
+		}
+		opts = append(opts, client.WithShardManifest(man))
+	}
 	t0 := time.Now()
 	res, err := cl.ClassifyEncrypted(context.Background(), ks, img, info.OutputDim, opts...)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("data: %s   image: %d   label: %d\n", src, *imageIdx, label)
+	if info.Shards > 1 {
+		fmt.Printf("sharded: %d ciphertexts per image\n", info.Shards)
+	}
 	fmt.Printf("encrypted route: class %d in %s (server eval %.0f ms)\n",
 		res.Class, time.Since(t0).Round(time.Millisecond), res.EvalMillis)
 	fmt.Printf("  logits: %.4f\n", res.Logits)

@@ -42,6 +42,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -52,6 +53,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"sync"
 	"syscall"
 	"time"
 
@@ -86,8 +88,8 @@ func parseLevel(s string) slog.Level {
 // pins the chain's usable depth (0 = automatic: max(plan depth, 12)).
 // For the rns backend the inner engine's CKKS context is also returned,
 // so the encrypted key-holder routes can share the exact instantiation.
-func buildEngine(plan *henn.Plan, backend string, logN, levels int, seed int64) (henn.Engine, *ckks.Context, error) {
-	k := plan.Depth + 1
+func buildEngine(depth int, rotations []int, backend string, logN, levels int, seed int64) (henn.Engine, *ckks.Context, error) {
+	k := depth + 1
 	if k < 13 {
 		k = 13
 	}
@@ -103,14 +105,14 @@ func buildEngine(plan *henn.Plan, backend string, logN, levels int, seed int64) 
 	if err != nil {
 		return nil, nil, fmt.Errorf("building CKKS parameters: %w", err)
 	}
-	if err := plan.CheckDepth(params.MaxLevel()); err != nil {
-		return nil, nil, fmt.Errorf("plan deeper than the modulus chain: %w", err)
+	if depth > params.MaxLevel() {
+		return nil, nil, fmt.Errorf("plan needs %d levels but the modulus chain provides %d", depth, params.MaxLevel())
 	}
 	var inner henn.Engine
 	var rnsCtx *ckks.Context
 	switch backend {
 	case "rns":
-		e, err := henn.NewRNSEngine(params, plan.Rotations(), seed+7)
+		e, err := henn.NewRNSEngine(params, rotations, seed+7)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -120,7 +122,7 @@ func buildEngine(plan *henn.Plan, backend string, logN, levels int, seed int64) 
 		if err != nil {
 			return nil, nil, err
 		}
-		e, err := henn.NewBigEngine(bp, plan.Rotations(), seed+7)
+		e, err := henn.NewBigEngine(bp, rotations, seed+7)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -129,6 +131,58 @@ func buildEngine(plan *henn.Plan, backend string, logN, levels int, seed int64) 
 		return nil, nil, fmt.Errorf("unknown backend %q", backend)
 	}
 	return guard.New(inner, guard.DefaultConfig()), rnsCtx, nil
+}
+
+// shardedClassifyHandler serves the single-image plaintext JSON route
+// for a sharded plan. No micro-batching: an image larger than the slot
+// count cannot share a ciphertext with another, so requests evaluate one
+// at a time (the mutex also keeps the guarded engine single-threaded).
+func shardedClassifyHandler(sp *henn.ShardedPlan, e henn.Engine, timeout time.Duration) http.Handler {
+	var mu sync.Mutex
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeJSON := func(status int, v any) {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(status)
+			_ = json.NewEncoder(w).Encode(v)
+		}
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			writeJSON(http.StatusMethodNotAllowed, map[string]string{"error": "POST only"})
+			return
+		}
+		var in struct {
+			Image []float64 `json:"image"`
+		}
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<22)).Decode(&in); err != nil {
+			writeJSON(http.StatusBadRequest, map[string]string{"error": "decoding request: " + err.Error()})
+			return
+		}
+		ctx := r.Context()
+		if timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, timeout)
+			defer cancel()
+		}
+		mu.Lock()
+		logits, rep, err := sp.InferCtx(ctx, e, in.Image)
+		mu.Unlock()
+		if err != nil {
+			status := http.StatusInternalServerError
+			if errors.Is(err, henn.ErrBadInput) {
+				status = http.StatusBadRequest
+			} else if errors.Is(err, context.DeadlineExceeded) {
+				status = http.StatusGatewayTimeout
+			}
+			writeJSON(status, map[string]string{"error": err.Error()})
+			return
+		}
+		writeJSON(http.StatusOK, map[string]any{
+			"class":      logits.Argmax(),
+			"logits":     []float64(logits),
+			"batch_size": 1,
+			"eval_ms":    float64(rep.Eval) / float64(time.Millisecond),
+		})
+	})
 }
 
 func main() {
@@ -174,73 +228,134 @@ func main() {
 		fatal("loading model failed (run hetrain first)", "model", *modelPath, "err", err)
 	}
 	slots := 1 << (*logN - 1)
-	bp, err := henn.CompileBatched(model, slots, *batch)
-	if err != nil {
-		fatal("compiling batched plan failed", "model", *modelPath, "batch", *batch, "err", err)
-	}
 	optOpts, err := opt.ParseFlag(*optFlag)
 	if err != nil {
 		fatal("bad -opt flag", "opt", *optFlag, "err", err)
 	}
-	bp.Plan.Opt = optOpts
-	slog.Info("compiled batched plan", "model", arch, "slots", slots,
-		"batch", bp.Batch, "block", bp.BlockSize, "depth", bp.Plan.Depth,
-		"optimizer", optOpts.Setting())
 
-	engine, rnsCtx, err := buildEngine(bp.Plan, *backend, *logN, *levels, *seed)
+	// CompileShardedAuto decides the serving shape: a 1×1 grid keeps the
+	// micro-batching path; a model whose input tensor exceeds the slot
+	// count (CNN3 on CIFAR-10) serves through the sharded pipeline, where
+	// each image travels as NumShards ciphertexts.
+	sp, err := henn.CompileShardedAuto(model, slots)
 	if err != nil {
-		fatal("creating engine failed", "backend", *backend, "err", err)
+		fatal("compiling plan failed", "model", *modelPath, "err", err)
 	}
-
-	// New warms the plan (lowering + ahead-of-time plaintext encoding),
-	// so startup pays the one-time cost, not the first request.
-	t0 := time.Now()
-	srv, err := serve.New(serve.Config{
-		Batch:          bp,
-		Engine:         engine,
-		MaxWait:        *maxWait,
-		QueueSize:      *queueSize,
-		RequestTimeout: *reqTimeout,
-		TargetLatency:  *targetLat,
-	})
-	if err != nil {
-		fatal("starting batch server failed", "err", err)
-	}
-	slog.Info("plan warmed", "in", time.Since(t0).Round(time.Millisecond))
 
 	mux := http.NewServeMux()
-	mux.Handle("/classify", srv.Handler())
-	mux.Handle("/healthz", srv.Handler())
-
-	// The client-held-key protocol: /v1/info, /v1/keys and
-	// /v1/classify/encrypted. rns backend only — the encrypted route
-	// evaluates on an eval-only RNS engine built from each client's
-	// registered bundle, so the server never holds a key that could
-	// decrypt what it computes on.
-	if rnsCtx != nil {
-		base, err := henn.Compile(model, slots)
-		if err != nil {
-			fatal("compiling single-image plan failed", "model", *modelPath, "err", err)
+	var srv *serve.Server // micro-batching server; nil in sharded mode
+	var engine henn.Engine
+	batchSize := *batch
+	if sp.NumShards() > 1 {
+		if *batch != 1 {
+			slog.Info("sharded plan serves single-image requests; ignoring -batch", "batch", *batch)
 		}
-		base.Opt = optOpts
-		keyed, err := serve.NewKeyed(serve.KeyedConfig{
-			Ctx:            rnsCtx,
-			Plan:           base,
-			Model:          arch,
-			Backend:        engine.Name(),
-			MaxClients:     *maxClients,
-			KeyTTL:         *keyTTL,
-			StoreDir:       *keyStore,
+		batchSize = 1
+		sp.Opt = optOpts
+		slog.Info("compiled sharded plan", "model", arch, "slots", slots,
+			"shards", sp.NumShards(), "manifest", sp.Input.String(),
+			"depth", sp.Depth, "optimizer", optOpts.Setting())
+		var rnsCtx *ckks.Context
+		engine, rnsCtx, err = buildEngine(sp.Depth, sp.Rotations(), *backend, *logN, *levels, *seed)
+		if err != nil {
+			fatal("creating engine failed", "backend", *backend, "err", err)
+		}
+		t0 := time.Now()
+		if err := sp.Warm(engine); err != nil {
+			fatal("warming sharded plan failed", "err", err)
+		}
+		slog.Info("plan warmed", "in", time.Since(t0).Round(time.Millisecond))
+		mux.Handle("/classify", shardedClassifyHandler(sp, engine, *reqTimeout))
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+			w.WriteHeader(http.StatusOK)
+			fmt.Fprintln(w, "ok")
+		})
+		if rnsCtx != nil {
+			keyed, err := serve.NewKeyed(serve.KeyedConfig{
+				Ctx:            rnsCtx,
+				Sharded:        sp,
+				Model:          arch,
+				Backend:        engine.Name(),
+				MaxClients:     *maxClients,
+				KeyTTL:         *keyTTL,
+				StoreDir:       *keyStore,
+				RequestTimeout: *reqTimeout,
+			})
+			if err != nil {
+				fatal("starting keyed routes failed", "err", err)
+			}
+			defer keyed.Close()
+			keyed.Routes(mux)
+			slog.Info("encrypted key-holder routes mounted", "shards", sp.NumShards(),
+				"rotations", len(sp.Rotations()), "max_clients", *maxClients,
+				"key_store", *keyStore, "resident_bundles", keyed.Store().Len())
+		}
+	} else {
+		bp, err := henn.CompileBatched(model, slots, *batch)
+		if err != nil {
+			fatal("compiling batched plan failed", "model", *modelPath, "batch", *batch, "err", err)
+		}
+		bp.Plan.Opt = optOpts
+		slog.Info("compiled batched plan", "model", arch, "slots", slots,
+			"batch", bp.Batch, "block", bp.BlockSize, "depth", bp.Plan.Depth,
+			"optimizer", optOpts.Setting())
+
+		var rnsCtx *ckks.Context
+		engine, rnsCtx, err = buildEngine(bp.Plan.Depth, bp.Plan.Rotations(), *backend, *logN, *levels, *seed)
+		if err != nil {
+			fatal("creating engine failed", "backend", *backend, "err", err)
+		}
+
+		// New warms the plan (lowering + ahead-of-time plaintext encoding),
+		// so startup pays the one-time cost, not the first request.
+		t0 := time.Now()
+		srv, err = serve.New(serve.Config{
+			Batch:          bp,
+			Engine:         engine,
+			MaxWait:        *maxWait,
+			QueueSize:      *queueSize,
 			RequestTimeout: *reqTimeout,
+			TargetLatency:  *targetLat,
 		})
 		if err != nil {
-			fatal("starting keyed routes failed", "err", err)
+			fatal("starting batch server failed", "err", err)
 		}
-		defer keyed.Close()
-		keyed.Routes(mux)
-		slog.Info("encrypted key-holder routes mounted",
-			"rotations", len(base.Rotations()), "max_clients", *maxClients,
-			"key_store", *keyStore, "resident_bundles", keyed.Store().Len())
+		slog.Info("plan warmed", "in", time.Since(t0).Round(time.Millisecond))
+		batchSize = bp.Batch
+
+		mux.Handle("/classify", srv.Handler())
+		mux.Handle("/healthz", srv.Handler())
+
+		// The client-held-key protocol: /v1/info, /v1/keys and
+		// /v1/classify/encrypted. rns backend only — the encrypted route
+		// evaluates on an eval-only RNS engine built from each client's
+		// registered bundle, so the server never holds a key that could
+		// decrypt what it computes on.
+		if rnsCtx != nil {
+			base, err := henn.Compile(model, slots)
+			if err != nil {
+				fatal("compiling single-image plan failed", "model", *modelPath, "err", err)
+			}
+			base.Opt = optOpts
+			keyed, err := serve.NewKeyed(serve.KeyedConfig{
+				Ctx:            rnsCtx,
+				Plan:           base,
+				Model:          arch,
+				Backend:        engine.Name(),
+				MaxClients:     *maxClients,
+				KeyTTL:         *keyTTL,
+				StoreDir:       *keyStore,
+				RequestTimeout: *reqTimeout,
+			})
+			if err != nil {
+				fatal("starting keyed routes failed", "err", err)
+			}
+			defer keyed.Close()
+			keyed.Routes(mux)
+			slog.Info("encrypted key-holder routes mounted",
+				"rotations", len(base.Rotations()), "max_clients", *maxClients,
+				"key_store", *keyStore, "resident_bundles", keyed.Store().Len())
+		}
 	}
 
 	tmux := telemetry.Handler(telemetry.Default())
@@ -265,7 +380,7 @@ func main() {
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.Serve(ln) }()
 	slog.Info("heserve listening", "url", "http://"+*addr,
-		"batch", bp.Batch, "max_wait", *maxWait, "backend", engine.Name())
+		"batch", batchSize, "max_wait", *maxWait, "backend", engine.Name())
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -285,6 +400,10 @@ func main() {
 	defer cancel()
 	if err := httpSrv.Shutdown(dctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		slog.Warn("http shutdown incomplete", "err", err)
+	}
+	if srv == nil {
+		slog.Info("drained, exiting")
+		return
 	}
 	if err := srv.Shutdown(dctx); err != nil {
 		slog.Warn("drain budget exceeded; force-closing remaining connections",

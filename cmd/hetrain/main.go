@@ -1,11 +1,13 @@
 // Command hetrain trains the paper's CNN1/CNN2 architectures (Figs. 3-4)
-// on MNIST (real IDX data via MNIST_DIR, synthetic otherwise), retrofits
-// SLAF polynomial activations per the CNN-HE-SLAF recipe, and saves the
-// HE-ready models.
+// on MNIST and the sharded-serving CNN3 architecture on CIFAR-10 (real
+// data via MNIST_DIR / CIFAR10_DIR or the download cache, synthetic
+// otherwise), retrofits SLAF polynomial activations per the CNN-HE-SLAF
+// recipe, and saves the HE-ready models.
 //
 // Usage:
 //
 //	hetrain -model both -out models -train 6000 -test 1000 -epochs 10
+//	hetrain -model cnn3 -out models -train 6000 -test 1000
 package main
 
 import (
@@ -17,20 +19,31 @@ import (
 	"path/filepath"
 	"runtime"
 
-	"cnnhe/internal/mnist"
+	"cnnhe/internal/dataset"
 	"cnnhe/internal/nn"
 	"cnnhe/internal/ring"
 )
 
+// archDegree is the default SLAF degree per architecture: degree 3 for
+// the MNIST networks (paper setting), degree 4 for CIFAR-10 CNN3, whose
+// coarser classes need the extra activation expressiveness the deeper
+// serving chain affords.
+func archDegree(arch string) int {
+	if arch == "cnn3" {
+		return 4
+	}
+	return 3
+}
+
 func main() {
 	var (
-		model    = flag.String("model", "both", "architecture to train: cnn1, cnn2 or both")
+		model    = flag.String("model", "both", "architecture to train: cnn1, cnn2, cnn3, both (cnn1+cnn2) or all")
 		outDir   = flag.String("out", "models", "output directory for .gob models")
 		trainN   = flag.Int("train", 6000, "training images (paper: 50000)")
 		testN    = flag.Int("test", 1000, "test images (paper: 10000)")
 		epochs   = flag.Int("epochs", 10, "ReLU training epochs (paper: 30)")
 		retrofit = flag.Int("retrofit", 3, "SLAF retrofit epochs")
-		degree   = flag.Int("degree", 3, "SLAF polynomial degree")
+		degree   = flag.Int("degree", 0, "SLAF polynomial degree (0 = per-architecture default: 3 for cnn1/cnn2, 4 for cnn3)")
 		seed     = flag.Int64("seed", 1, "random seed")
 		quiet    = flag.Bool("q", false, "suppress progress logs")
 		ringPar  = flag.Bool("ring-parallel", ring.ParallelDefault(), "limb/slab-parallel ring kernels for any HE contexts built in-process (default: on when GOMAXPROCS > 1)")
@@ -44,16 +57,13 @@ func main() {
 		fmt.Printf("ring kernels: ring_parallel=%v gomaxprocs=%d\n", *ringPar, runtime.GOMAXPROCS(0))
 	}
 
-	train, test, src := mnist.Load(*trainN, *testN, *seed)
-	fmt.Printf("dataset: %s (%d train / %d test)\n", src, train.Len(), test.Len())
-	trainNN := train.ToNN()
-	testNN := test.ToNN()
-
 	var archs []string
 	switch *model {
 	case "both":
 		archs = []string{"cnn1", "cnn2"}
-	case "cnn1", "cnn2":
+	case "all":
+		archs = []string{"cnn1", "cnn2", "cnn3"}
+	case "cnn1", "cnn2", "cnn3":
 		archs = []string{*model}
 	default:
 		log.Fatalf("unknown model %q", *model)
@@ -62,31 +72,66 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// The two corpora load lazily so an MNIST-only run never touches the
+	// CIFAR cache and vice versa.
+	type corpus struct {
+		train, test nn.Dataset
+	}
+	loaded := map[string]*corpus{}
+	corpusFor := func(arch string) *corpus {
+		name := "mnist"
+		if arch == "cnn3" {
+			name = "cifar10"
+		}
+		if c, ok := loaded[name]; ok {
+			return c
+		}
+		var train, test dataset.Dataset
+		var src string
+		if name == "cifar10" {
+			train, test, src = dataset.LoadCIFAR10(*trainN, *testN, *seed)
+		} else {
+			train, test, src = dataset.LoadMNIST(*trainN, *testN, *seed)
+		}
+		fmt.Printf("dataset %s: %s (%d train / %d test)\n", name, src, train.Len(), test.Len())
+		c := &corpus{train: train.ToNN(), test: test.ToNN()}
+		loaded[name] = c
+		return c
+	}
+
 	for _, arch := range archs {
+		data := corpusFor(arch)
 		rng := rand.New(rand.NewSource(*seed + 100))
 		var m *nn.Model
-		if arch == "cnn1" {
+		switch arch {
+		case "cnn1":
 			m = nn.NewCNN1(rng)
-		} else {
+		case "cnn2":
 			m = nn.NewCNN2(rng)
+		case "cnn3":
+			m = nn.NewCNN3(rng)
 		}
 		fmt.Printf("== training %s: %d epochs, SGD momentum 0.9, 1-cycle LR ==\n", arch, *epochs)
 		tc := nn.TrainConfig{
 			Epochs: *epochs, BatchSize: 64, MaxLR: 0.08, Momentum: 0.9,
 			Seed: *seed + 200, Verbose: !*quiet, LogEvery: 5,
 		}
-		trainAcc := nn.Train(m, trainNN, tc)
-		reluAcc := nn.Evaluate(m, testNN)
+		trainAcc := nn.Train(m, data.train, tc)
+		reluAcc := nn.Evaluate(m, data.test)
 		fmt.Printf("%s ReLU: train %.3f%% test %.3f%%\n", arch, 100*trainAcc, 100*reluAcc)
 
+		deg := *degree
+		if deg == 0 {
+			deg = archDegree(arch)
+		}
 		rc := nn.DefaultRetrofitConfig()
-		rc.Degree = *degree
+		rc.Degree = deg
 		rc.Epochs = *retrofit
 		rc.Seed = *seed + 300
 		rc.Verbose = !*quiet
-		slaf := nn.Retrofit(m, trainNN, rc)
-		slafAcc := nn.Evaluate(slaf, testNN)
-		fmt.Printf("%s SLAF(deg %d): test %.3f%%\n", arch, *degree, 100*slafAcc)
+		slaf := nn.Retrofit(m, data.train, rc)
+		slafAcc := nn.Evaluate(slaf, data.test)
+		fmt.Printf("%s SLAF(deg %d): test %.3f%%\n", arch, deg, 100*slafAcc)
 
 		path := filepath.Join(*outDir, arch+".gob")
 		if err := slaf.Save(path, arch); err != nil {

@@ -1,9 +1,11 @@
 // Command hetrend is the benchmark regression gate: it loads every
 // BENCH_*.json report in a directory, prints a per-(model, backend,
-// logN, chain) latency trend table, and exits 1 when the newest run is
-// more than -threshold slower than the best prior run of the same
-// configuration. Runs at different ring degrees or chain lengths are
-// separate series — a parameter change is not a regression.
+// logN, chain, ring-mode) latency trend table, and exits 1 when the
+// newest run is more than -threshold slower than the best prior run of
+// the same configuration. Runs at different ring degrees or chain
+// lengths, or with the limb-parallel ring kernels toggled (the
+// schema-v5 ring_parallel envelope field), are separate series — a
+// parameter change is not a regression.
 //
 // Usage:
 //

@@ -26,15 +26,24 @@ const DefaultRegressionThreshold = 0.15
 // TrendKey identifies one comparable measurement series. Chain is part
 // of the key because the chain-length sweep (Table IV) measures the
 // same model/backend several times per report at different depths.
+// RingParallel (the schema-v5 envelope field) is part of the key because
+// serial and limb-parallel kernel runs are different series — comparing
+// them would flag the serial run as a false regression against the
+// parallel one. Pre-v5 reports carry no field and read as serial.
 type TrendKey struct {
-	Model   string
-	Backend string
-	LogN    int
-	Chain   int
+	Model        string
+	Backend      string
+	LogN         int
+	Chain        int
+	RingParallel bool
 }
 
 func (k TrendKey) String() string {
-	return fmt.Sprintf("%s/%s logN=%d chain=%d", k.Model, k.Backend, k.LogN, k.Chain)
+	s := fmt.Sprintf("%s/%s logN=%d chain=%d", k.Model, k.Backend, k.LogN, k.Chain)
+	if k.RingParallel {
+		s += " ring=parallel"
+	}
+	return s
 }
 
 // TrendPoint is one run's measurement of a key.
@@ -71,6 +80,7 @@ type trendFile struct {
 	SchemaVersion int    `json:"schema_version"`
 	Timestamp     string `json:"timestamp"`
 	LogN          int    `json:"logn"`
+	RingParallel  bool   `json:"ring_parallel"`
 	Rows          []struct {
 		Model   string  `json:"model"`
 		Backend string  `json:"backend"`
@@ -136,7 +146,8 @@ func LoadTrend(dir string) (*Trend, error) {
 			if logN == 0 {
 				logN = f.LogN // pre-v4 rows: envelope value applies
 			}
-			key := TrendKey{Model: r.Model, Backend: r.Backend, LogN: logN, Chain: r.Chain}
+			key := TrendKey{Model: r.Model, Backend: r.Backend, LogN: logN, Chain: r.Chain,
+				RingParallel: f.RingParallel}
 			p := TrendPoint{
 				Path:          filepath.Base(path),
 				Timestamp:     ts,
@@ -236,11 +247,14 @@ func (t *Trend) Write(w io.Writer) error {
 		if a.LogN != b.LogN {
 			return a.LogN < b.LogN
 		}
-		return a.Chain < b.Chain
+		if a.Chain != b.Chain {
+			return a.Chain < b.Chain
+		}
+		return !a.RingParallel && b.RingParallel
 	})
 	fmt.Fprintf(w, "# Benchmark trend (%d report files)\n\n", t.Files)
-	fmt.Fprintf(w, "| model | backend | logN | chain | run | n | mean (ms) | p95 (ms) | engine calls | ms/call | vs prev |\n")
-	fmt.Fprintf(w, "|---|---|---|---|---|---|---|---|---|---|---|\n")
+	fmt.Fprintf(w, "| model | backend | logN | chain | ring | run | n | mean (ms) | p95 (ms) | engine calls | ms/call | vs prev |\n")
+	fmt.Fprintf(w, "|---|---|---|---|---|---|---|---|---|---|---|---|\n")
 	for _, k := range keys {
 		pts := t.Series[k]
 		for i, p := range pts {
@@ -252,8 +266,12 @@ func (t *Trend) Write(w io.Writer) error {
 			if i > 0 && pts[i-1].MeanMS > 0 {
 				vsPrev = fmt.Sprintf("%+.1f%%", 100*(p.MeanMS/pts[i-1].MeanMS-1))
 			}
-			if _, err := fmt.Fprintf(w, "| %s | %s | %d | %d | %s | %d | %.1f | %.1f | %s | %s | %s |\n",
-				k.Model, k.Backend, k.LogN, k.Chain, p.Path, p.N, p.MeanMS, p.P95MS, calls, msPerCall, vsPrev); err != nil {
+			ringMode := "serial"
+			if k.RingParallel {
+				ringMode = "parallel"
+			}
+			if _, err := fmt.Fprintf(w, "| %s | %s | %d | %d | %s | %s | %d | %.1f | %.1f | %s | %s | %s |\n",
+				k.Model, k.Backend, k.LogN, k.Chain, ringMode, p.Path, p.N, p.MeanMS, p.P95MS, calls, msPerCall, vsPrev); err != nil {
 				return err
 			}
 		}

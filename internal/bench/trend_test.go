@@ -117,6 +117,59 @@ func TestTrendDifferentRingDegreesAreSeparateSeries(t *testing.T) {
 	}
 }
 
+func TestTrendRingParallelRunsAreSeparateSeries(t *testing.T) {
+	dir := t.TempDir()
+	// A schema-v5 limb-parallel run is faster than the serial history;
+	// the next serial run must compare against serial runs only, not
+	// read as a false >15% regression against the parallel one.
+	writeBenchFixture(t, dir, "2026-08-01T00:00:00Z", 4, 11,
+		row("CNN1-HE-RNS", "ckks-rns", 13, 10000))
+	parallel := fmt.Sprintf(`{
+  "schema_version": 5,
+  "timestamp": "2026-08-02T00:00:00Z",
+  "logn": 11,
+  "ring_parallel": true,
+  "rows": [%s]
+}`, row("CNN1-HE-RNS", "ckks-rns", 13, 4000))
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_par.json"), []byte(parallel), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	writeBenchFixture(t, dir, "2026-08-03T00:00:00Z", 5, 11,
+		row("CNN1-HE-RNS", "ckks-rns", 13, 10200))
+
+	trend, err := LoadTrend(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trend.Series) != 2 {
+		t.Fatalf("want serial and ring-parallel series, got %+v", trend.Series)
+	}
+	serial := TrendKey{Model: "CNN1-HE-RNS", Backend: "ckks-rns", LogN: 11, Chain: 13}
+	par := serial
+	par.RingParallel = true
+	if got := len(trend.Series[serial]); got != 2 {
+		t.Fatalf("serial series has %d points, want 2", got)
+	}
+	if got := len(trend.Series[par]); got != 1 {
+		t.Fatalf("parallel series has %d points, want 1", got)
+	}
+	// Newest serial run is +2% over the serial best and +155% over the
+	// parallel run — only the in-series comparison may gate.
+	if regs := trend.Regressions(DefaultRegressionThreshold); len(regs) != 0 {
+		t.Fatalf("cross-ring-mode comparison must not gate, got %+v", regs)
+	}
+	var sb strings.Builder
+	if err := trend.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "| parallel |") || !strings.Contains(sb.String(), "| serial |") {
+		t.Fatalf("trend table missing ring column:\n%s", sb.String())
+	}
+	if got := par.String(); !strings.Contains(got, "ring=parallel") {
+		t.Fatalf("parallel key string %q lacks ring marker", got)
+	}
+}
+
 func TestTrendChainSweepRowsAreSeparateSeries(t *testing.T) {
 	dir := t.TempDir()
 	// Table IV measures the same model/backend at several chain lengths

@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"time"
 
+	"cnnhe/internal/henn/shard"
 	"cnnhe/internal/telemetry"
 )
 
@@ -134,6 +135,7 @@ type ClassifyResult struct {
 // classifyConfig tunes ClassifyEncrypted.
 type classifyConfig struct {
 	encSeed *int64
+	man     *shard.Manifest
 }
 
 // ClassifyOption configures ClassifyEncrypted.
@@ -145,8 +147,15 @@ func WithEncryptionSeed(seed int64) ClassifyOption {
 	return func(c *classifyConfig) { s := seed; c.encSeed = &s }
 }
 
+// WithShardManifest splits the image by the server's advertised shard
+// layout (Info().Manifest()) and ships one ciphertext frame per shard,
+// back to back, in the request body. Required when Info().Shards > 1.
+func WithShardManifest(man shard.Manifest) ClassifyOption {
+	return func(c *classifyConfig) { m := man; c.man = &m }
+}
+
 // ClassifyEncrypted runs the full encrypted round trip: encrypt the
-// image under the client's public key, ship the ciphertext with the
+// image under the client's public key, ship the ciphertext(s) with the
 // bundle fingerprint, decrypt the returned encrypted logits locally.
 // outputDim comes from Info().OutputDim.
 func (c *Client) ClassifyEncrypted(ctx context.Context, ks *KeySet, image []float64, outputDim int, opts ...ClassifyOption) (*ClassifyResult, error) {
@@ -158,13 +167,25 @@ func (c *Client) ClassifyEncrypted(ctx context.Context, ks *KeySet, image []floa
 	if err != nil {
 		return nil, err
 	}
-	ct, err := ks.EncryptImage(image, cfg.encSeed)
-	if err != nil {
-		return nil, err
-	}
 	var body bytes.Buffer
-	if err := ks.Context().WriteCiphertext(&body, ct); err != nil {
-		return nil, err
+	if cfg.man != nil {
+		cts, err := ks.EncryptImageShards(*cfg.man, image, cfg.encSeed)
+		if err != nil {
+			return nil, err
+		}
+		for _, ct := range cts {
+			if err := ks.Context().WriteCiphertext(&body, ct); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		ct, err := ks.EncryptImage(image, cfg.encSeed)
+		if err != nil {
+			return nil, err
+		}
+		if err := ks.Context().WriteCiphertext(&body, ct); err != nil {
+			return nil, err
+		}
 	}
 	payload := body.Bytes()
 	// One trace covers the whole round trip, including a 404 re-register

@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 
 	"cnnhe/internal/ckks"
+	"cnnhe/internal/henn/shard"
 )
 
 // KeySet is a client's complete key material: the secret key (which
@@ -127,6 +128,32 @@ func (ks *KeySet) EncryptImage(image []float64, encSeed *int64) (*ckks.Ciphertex
 	enc := ckks.NewEncoder(ks.ctx)
 	pt := enc.Encode(image, ks.Params.MaxLevel(), ks.Params.Scale)
 	return ept.Encrypt(pt), nil
+}
+
+// EncryptImageShards splits an image by the server's advertised shard
+// manifest and encrypts each shard part in order. One encryptor instance
+// produces all shards, so a seeded run is reproducible end to end.
+func (ks *KeySet) EncryptImageShards(man shard.Manifest, image []float64, encSeed *int64) ([]*ckks.Ciphertext, error) {
+	if man.Slots != ks.Params.Slots() {
+		return nil, fmt.Errorf("client: manifest slots %d != key slots %d", man.Slots, ks.Params.Slots())
+	}
+	parts, err := man.Split(image)
+	if err != nil {
+		return nil, fmt.Errorf("client: splitting image: %w", err)
+	}
+	var ept *ckks.Encryptor
+	if encSeed != nil {
+		ept = ckks.NewEncryptor(ks.ctx, ks.PK, *encSeed)
+	} else {
+		ept = ckks.NewSecureEncryptor(ks.ctx, ks.PK)
+	}
+	enc := ckks.NewEncoder(ks.ctx)
+	cts := make([]*ckks.Ciphertext, len(parts))
+	for i, part := range parts {
+		pt := enc.Encode(part, ks.Params.MaxLevel(), ks.Params.Scale)
+		cts[i] = ept.Encrypt(pt)
+	}
+	return cts, nil
 }
 
 // DecryptLogits decrypts an encrypted-logits ciphertext and returns the

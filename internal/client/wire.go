@@ -14,6 +14,13 @@
 //	                             → serialized encrypted-logits ciphertext
 package client
 
+import (
+	"encoding/base64"
+	"fmt"
+
+	"cnnhe/internal/henn/shard"
+)
+
 // Protocol routes and headers.
 const (
 	// PathInfo serves the plan/parameter manifest clients derive their
@@ -72,13 +79,45 @@ type InfoResponse struct {
 	// Levels is the modulus chain's usable depth (max level).
 	Levels int `json:"levels"`
 	// Rotations is the plan's required rotation set; registered bundles
-	// must cover every entry.
+	// must cover every entry. Sharded plans advertise the union over all
+	// cross-shard blocks, so one bundle covers every shard subgraph.
 	Rotations []int `json:"rotations"`
 	// Params describes the CKKS instantiation.
 	Params ParamsInfo `json:"params"`
 	// EncryptedRoute reports whether POST /v1/classify/encrypted is
 	// mounted (the big backend serves plaintext classify only).
 	EncryptedRoute bool `json:"encrypted_route"`
+	// Shards is the number of input ciphertexts one encrypted classify
+	// request carries (0 or 1: unsharded single-ciphertext protocol).
+	Shards int `json:"shards,omitempty"`
+	// ShardManifest is the base64 (std) wire encoding of the input
+	// shard.Manifest when Shards > 1; clients split images by it.
+	ShardManifest string `json:"shard_manifest,omitempty"`
+}
+
+// Manifest decodes the advertised input shard manifest. It errors when
+// the server did not advertise one (Shards ≤ 1).
+func (info *InfoResponse) Manifest() (shard.Manifest, error) {
+	if info.ShardManifest == "" {
+		return shard.Manifest{}, fmt.Errorf("client: server advertises no shard manifest")
+	}
+	raw, err := base64.StdEncoding.DecodeString(info.ShardManifest)
+	if err != nil {
+		return shard.Manifest{}, fmt.Errorf("client: decoding shard manifest: %w", err)
+	}
+	man, err := shard.DecodeManifest(raw)
+	if err != nil {
+		return shard.Manifest{}, fmt.Errorf("client: decoding shard manifest: %w", err)
+	}
+	if info.Shards != man.NumShards() {
+		return shard.Manifest{}, fmt.Errorf("client: manifest has %d shards, info says %d", man.NumShards(), info.Shards)
+	}
+	return man, nil
+}
+
+// EncodeManifest is the server-side counterpart of Manifest.
+func EncodeManifest(man shard.Manifest) string {
+	return base64.StdEncoding.EncodeToString(man.Encode())
 }
 
 // RegisterResponse is the POST /v1/keys success body.

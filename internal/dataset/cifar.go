@@ -1,0 +1,97 @@
+package dataset
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// CIFAR-10 image dimensions and record layout. Each record in the
+// binary batches is one label byte followed by 3072 planar RGB pixel
+// bytes (1024 red, 1024 green, 1024 blue, row-major within each plane).
+const (
+	CIFARChannels = 3
+	CIFARRows     = 32
+	CIFARCols     = 32
+	cifarPixels   = CIFARChannels * CIFARRows * CIFARCols
+	cifarRecord   = 1 + cifarPixels
+)
+
+// cifarTrainBatches and cifarTestBatch are the file names inside the
+// cifar-10-batches-bin directory of the canonical binary distribution.
+var cifarTrainBatches = []string{
+	"data_batch_1.bin", "data_batch_2.bin", "data_batch_3.bin",
+	"data_batch_4.bin", "data_batch_5.bin",
+}
+
+const cifarTestBatch = "test_batch.bin"
+
+// readCIFARBatch appends one binary batch file's records to d.
+func readCIFARBatch(d *Dataset, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return fmt.Errorf("%w: cifar10: %s", ErrMissingData, path)
+		}
+		return err
+	}
+	defer f.Close()
+	for {
+		rec := make([]byte, cifarRecord)
+		if _, err := io.ReadFull(f, rec); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return fmt.Errorf("%w: cifar10: %s truncated: %v", ErrCorrupt, path, err)
+		}
+		if rec[0] > 9 {
+			return fmt.Errorf("%w: cifar10: %s: label %d out of range", ErrCorrupt, path, rec[0])
+		}
+		d.Labels = append(d.Labels, int(rec[0]))
+		d.Pixels = append(d.Pixels, rec[1:])
+	}
+}
+
+// LoadCIFAR10Dir reads the binary CIFAR-10 batches from dir. dir may be
+// the distribution root (containing cifar-10-batches-bin/) or the batch
+// directory itself.
+func LoadCIFAR10Dir(dir string) (train, test Dataset, err error) {
+	if _, serr := os.Stat(filepath.Join(dir, "cifar-10-batches-bin")); serr == nil {
+		dir = filepath.Join(dir, "cifar-10-batches-bin")
+	}
+	train = Dataset{C: CIFARChannels, H: CIFARRows, W: CIFARCols}
+	test = Dataset{C: CIFARChannels, H: CIFARRows, W: CIFARCols}
+	for _, name := range cifarTrainBatches {
+		if err := readCIFARBatch(&train, filepath.Join(dir, name)); err != nil {
+			return Dataset{}, Dataset{}, err
+		}
+	}
+	if err := readCIFARBatch(&test, filepath.Join(dir, cifarTestBatch)); err != nil {
+		return Dataset{}, Dataset{}, err
+	}
+	return train, test, nil
+}
+
+// LoadCIFAR10 resolves CIFAR-10 data with the same contract as
+// LoadMNIST: the CIFAR10_DIR environment variable when set and readable,
+// then the checksummed download cache (see EnsureCIFAR10), then the
+// deterministic synthetic fallback. The returned string describes the
+// source.
+func LoadCIFAR10(trainN, testN int, seed int64) (train, test Dataset, source string) {
+	if dir := os.Getenv("CIFAR10_DIR"); dir != "" {
+		tr, te, err := LoadCIFAR10Dir(dir)
+		if err == nil {
+			return tr.Subset(trainN), te.Subset(testN), "cifar10:" + dir
+		}
+	}
+	if dir, err := EnsureCIFAR10(); err == nil {
+		tr, te, err := LoadCIFAR10Dir(dir)
+		if err == nil {
+			return tr.Subset(trainN), te.Subset(testN), "cifar10-cache:" + dir
+		}
+	}
+	tr := SyntheticCIFAR10(trainN, seed)
+	te := SyntheticCIFAR10(testN, seed+1)
+	return tr, te, "synthetic"
+}

@@ -1,0 +1,241 @@
+package dataset
+
+import (
+	"archive/tar"
+	"bytes"
+	"compress/gzip"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cnnhe/internal/nn"
+)
+
+// writeCIFARBatch writes n valid records to path.
+func writeCIFARBatch(t *testing.T, path string, n int, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var buf bytes.Buffer
+	for i := 0; i < n; i++ {
+		buf.WriteByte(byte(i % 10))
+		img := make([]byte, cifarPixels)
+		rng.Read(img)
+		buf.Write(img)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func writeCIFARDir(t *testing.T, dir string, perBatch int) {
+	t.Helper()
+	for i, name := range cifarTrainBatches {
+		writeCIFARBatch(t, filepath.Join(dir, name), perBatch, int64(i))
+	}
+	writeCIFARBatch(t, filepath.Join(dir, cifarTestBatch), perBatch, 99)
+}
+
+func TestLoadCIFAR10Dir(t *testing.T) {
+	dir := t.TempDir()
+	writeCIFARDir(t, dir, 4)
+	train, test, err := LoadCIFAR10Dir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if train.Len() != 20 || test.Len() != 4 {
+		t.Fatalf("sizes %d/%d, want 20/4", train.Len(), test.Len())
+	}
+	if train.C != 3 || train.H != 32 || train.W != 32 || train.Dim() != 3072 {
+		t.Fatalf("shape %dx%dx%d", train.C, train.H, train.W)
+	}
+	if train.Labels[0] != 0 || train.Labels[3] != 3 {
+		t.Fatalf("labels %v", train.Labels[:4])
+	}
+	// The nested cifar-10-batches-bin layout must also resolve.
+	root := t.TempDir()
+	nested := filepath.Join(root, "cifar-10-batches-bin")
+	if err := os.MkdirAll(nested, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	writeCIFARDir(t, nested, 2)
+	if _, _, err := LoadCIFAR10Dir(root); err != nil {
+		t.Fatalf("nested layout: %v", err)
+	}
+}
+
+func TestLoadCIFAR10DirTypedErrors(t *testing.T) {
+	if _, _, err := LoadCIFAR10Dir(t.TempDir()); !errors.Is(err, ErrMissingData) {
+		t.Fatalf("empty dir: %v, want ErrMissingData", err)
+	}
+	dir := t.TempDir()
+	writeCIFARDir(t, dir, 2)
+	// Truncate one batch mid-record.
+	path := filepath.Join(dir, cifarTrainBatches[2])
+	data, _ := os.ReadFile(path)
+	os.WriteFile(path, data[:len(data)-10], 0o644)
+	if _, _, err := LoadCIFAR10Dir(dir); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("truncated batch: %v, want ErrCorrupt", err)
+	}
+	// Out-of-range label.
+	writeCIFARDir(t, dir, 2)
+	data, _ = os.ReadFile(path)
+	data[0] = 11
+	os.WriteFile(path, data, 0o644)
+	if _, _, err := LoadCIFAR10Dir(dir); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad label: %v, want ErrCorrupt", err)
+	}
+}
+
+func TestLoadCIFAR10EnvAndFallback(t *testing.T) {
+	dir := t.TempDir()
+	writeCIFARDir(t, dir, 3)
+	t.Setenv("CIFAR10_DIR", dir)
+	t.Setenv("CIFAR10_CACHE", t.TempDir())
+	t.Setenv("CIFAR10_DOWNLOAD", "")
+	train, test, source := LoadCIFAR10(10, 2, 1)
+	if source != "cifar10:"+dir {
+		t.Fatalf("source %q", source)
+	}
+	if train.Len() != 10 || test.Len() != 2 {
+		t.Fatalf("sizes %d/%d", train.Len(), test.Len())
+	}
+	t.Setenv("CIFAR10_DIR", "")
+	train, test, source = LoadCIFAR10(12, 5, 1)
+	if source != "synthetic" {
+		t.Fatalf("source %q, want synthetic fallback", source)
+	}
+	if train.Len() != 12 || test.Len() != 5 || train.Dim() != 3072 {
+		t.Fatalf("synthetic sizes %d/%d dim %d", train.Len(), test.Len(), train.Dim())
+	}
+}
+
+// tarball packs the files in dir into a cifar-style tar.gz with a
+// leading directory component.
+func tarball(t *testing.T, dir, out string) {
+	t.Helper()
+	var buf bytes.Buffer
+	gz := gzip.NewWriter(&buf)
+	tw := tar.NewWriter(gz)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		hdr := &tar.Header{Name: "cifar-10-batches-bin/" + e.Name(), Mode: 0o644, Size: int64(len(data))}
+		if err := tw.WriteHeader(hdr); err != nil {
+			t.Fatal(err)
+		}
+		tw.Write(data)
+	}
+	tw.Close()
+	gz.Close()
+	if err := os.WriteFile(out, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnsureCIFAR10CacheLifecycle(t *testing.T) {
+	src := t.TempDir()
+	writeCIFARDir(t, src, 2)
+	cache := t.TempDir()
+	t.Setenv("CIFAR10_CACHE", cache)
+	t.Setenv("CIFAR10_DOWNLOAD", "")
+	t.Setenv("CIFAR10_SHA256", "")
+
+	// Empty cache, download disabled → typed missing-data error.
+	if _, err := EnsureCIFAR10(); !errors.Is(err, ErrMissingData) {
+		t.Fatalf("empty cache: %v, want ErrMissingData", err)
+	}
+
+	// A pre-seeded archive extracts and records a trust-on-first-use
+	// digest sidecar.
+	archive := filepath.Join(cache, "cifar-10-binary.tar.gz")
+	tarball(t, src, archive)
+	dir, err := EnsureCIFAR10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadCIFAR10Dir(dir); err != nil {
+		t.Fatalf("extracted batches unreadable: %v", err)
+	}
+	if _, err := os.Stat(archive + ".sha256"); err != nil {
+		t.Fatalf("no checksum sidecar: %v", err)
+	}
+
+	// Tampering with the archive after the digest was recorded must
+	// surface ErrCorrupt on the next cold extraction.
+	if err := os.RemoveAll(filepath.Join(cache, "cifar-10-batches-bin")); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(archive)
+	data[len(data)/2] ^= 0x01
+	os.WriteFile(archive, data, 0o644)
+	if _, err := EnsureCIFAR10(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("tampered archive: %v, want ErrCorrupt", err)
+	}
+
+	// An explicit CIFAR10_SHA256 pin overrides the sidecar.
+	t.Setenv("CIFAR10_SHA256", "deadbeef")
+	if _, err := EnsureCIFAR10(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("pin mismatch: %v, want ErrCorrupt", err)
+	}
+}
+
+func TestSyntheticCIFARDeterministicAndDistinct(t *testing.T) {
+	a := SyntheticCIFAR10(40, 42)
+	b := SyntheticCIFAR10(40, 42)
+	for i := range a.Pixels {
+		if a.Labels[i] != b.Labels[i] || !bytes.Equal(a.Pixels[i], b.Pixels[i]) {
+			t.Fatal("synthetic CIFAR generation is not deterministic")
+		}
+	}
+	c := SyntheticCIFAR10(40, 43)
+	same := true
+	for i := range a.Pixels {
+		if !bytes.Equal(a.Pixels[i], c.Pixels[i]) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical datasets")
+	}
+	counts := make([]int, 10)
+	for _, l := range SyntheticCIFAR10(500, 1).Labels {
+		counts[l]++
+	}
+	for class, n := range counts {
+		if n == 0 {
+			t.Fatalf("class %d never generated", class)
+		}
+	}
+}
+
+func TestSyntheticCIFARIsLearnable(t *testing.T) {
+	// A small dense model must separate the synthetic classes well above
+	// chance — the property that makes the offline substitution
+	// meaningful for CNN3 end-to-end runs.
+	if testing.Short() {
+		t.Skip("training test skipped in -short mode")
+	}
+	train := SyntheticCIFAR10(1500, 11).ToNN()
+	test := SyntheticCIFAR10(300, 12).ToNN()
+	rng := rand.New(rand.NewSource(5))
+	m := &nn.Model{Layers: []nn.Layer{
+		nn.NewFlatten(),
+		nn.NewDense(rng, cifarPixels, 64),
+		nn.NewReLU(),
+		nn.NewDense(rng, 64, 10),
+	}}
+	nn.Train(m, train, nn.TrainConfig{Epochs: 8, BatchSize: 32, MaxLR: 0.05, Momentum: 0.9, Seed: 1})
+	acc := nn.Evaluate(m, test)
+	if acc < 0.6 {
+		t.Fatalf("synthetic CIFAR should be learnable: accuracy %.3f", acc)
+	}
+}

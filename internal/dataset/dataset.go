@@ -1,0 +1,76 @@
+// Package dataset provides the image-classification data substrate for
+// both evaluation corpora: MNIST (28×28 grayscale IDX files) and
+// CIFAR-10 (32×32 RGB binary batches), each with a deterministic
+// synthetic offline substitution (DESIGN.md §3 S1, §15). Real data is
+// resolved through environment-pointed directories or a checksummed
+// download cache; when neither is available the synthetic generators
+// keep every pipeline runnable offline.
+package dataset
+
+import (
+	"errors"
+
+	"cnnhe/internal/nn"
+	"cnnhe/internal/tensor"
+)
+
+// Typed errors for the data cache. Callers distinguish "nothing there"
+// (fall back to synthetic, or download) from "something there but
+// broken" (refuse to trust it).
+var (
+	// ErrMissingData tags absent datasets: no directory, no cached
+	// archive, and downloading not enabled.
+	ErrMissingData = errors.New("dataset: data not available")
+	// ErrCorrupt tags present-but-broken data: checksum mismatches,
+	// truncated records, out-of-range labels.
+	ErrCorrupt = errors.New("dataset: corrupt data")
+)
+
+// Dataset holds raw 8-bit images and labels. Pixels are planar
+// channel-major ([C, H, W] flattened), values in [0, 255] — the layout
+// both the trainer tensors and the homomorphic compiler use.
+type Dataset struct {
+	C, H, W int
+	Pixels  [][]byte // each image is C·H·W bytes
+	Labels  []int
+}
+
+// Dim returns the flattened image dimension C·H·W.
+func (d Dataset) Dim() int { return d.C * d.H * d.W }
+
+// Len returns the number of images.
+func (d Dataset) Len() int { return len(d.Pixels) }
+
+// Image returns image i as raw float64 pixels in [0, 255].
+func (d Dataset) Image(i int) []float64 {
+	out := make([]float64, len(d.Pixels[i]))
+	for j, b := range d.Pixels[i] {
+		out[j] = float64(b)
+	}
+	return out
+}
+
+// ToNN converts to the training representation: [C, H, W] tensors with
+// pixels scaled to [0, 1].
+func (d Dataset) ToNN() nn.Dataset {
+	out := nn.Dataset{
+		Images: make([]*tensor.Tensor, d.Len()),
+		Labels: append([]int(nil), d.Labels...),
+	}
+	for i := range d.Pixels {
+		img := tensor.New(d.C, d.H, d.W)
+		for j, b := range d.Pixels[i] {
+			img.Data[j] = float64(b) / 255
+		}
+		out.Images[i] = img
+	}
+	return out
+}
+
+// Subset returns the first n samples (or all when n ≤ 0 or past the end).
+func (d Dataset) Subset(n int) Dataset {
+	if n <= 0 || n > d.Len() {
+		n = d.Len()
+	}
+	return Dataset{C: d.C, H: d.H, W: d.W, Pixels: d.Pixels[:n], Labels: d.Labels[:n]}
+}

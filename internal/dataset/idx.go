@@ -1,0 +1,148 @@
+package dataset
+
+import (
+	"compress/gzip"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// MNIST image dimensions.
+const (
+	MNISTRows = 28
+	MNISTCols = 28
+)
+
+// LoadMNISTIDX reads the standard MNIST IDX files (optionally gzipped)
+// from dir: train-images-idx3-ubyte[.gz], train-labels-idx1-ubyte[.gz],
+// t10k-images-idx3-ubyte[.gz], t10k-labels-idx1-ubyte[.gz].
+func LoadMNISTIDX(dir string) (train, test Dataset, err error) {
+	train, err = loadIDXPair(dir, "train-images-idx3-ubyte", "train-labels-idx1-ubyte")
+	if err != nil {
+		return Dataset{}, Dataset{}, err
+	}
+	test, err = loadIDXPair(dir, "t10k-images-idx3-ubyte", "t10k-labels-idx1-ubyte")
+	if err != nil {
+		return Dataset{}, Dataset{}, err
+	}
+	return train, test, nil
+}
+
+func loadIDXPair(dir, imgName, lblName string) (Dataset, error) {
+	imgs, err := readIDXImages(findFile(dir, imgName))
+	if err != nil {
+		return Dataset{}, err
+	}
+	lbls, err := readIDXLabels(findFile(dir, lblName))
+	if err != nil {
+		return Dataset{}, err
+	}
+	if len(imgs) != len(lbls) {
+		return Dataset{}, fmt.Errorf("%w: mnist: %d images but %d labels", ErrCorrupt, len(imgs), len(lbls))
+	}
+	return Dataset{C: 1, H: MNISTRows, W: MNISTCols, Pixels: imgs, Labels: lbls}, nil
+}
+
+func findFile(dir, base string) string {
+	for _, name := range []string{base, base + ".gz"} {
+		p := filepath.Join(dir, name)
+		if _, err := os.Stat(p); err == nil {
+			return p
+		}
+	}
+	return filepath.Join(dir, base)
+}
+
+func openMaybeGzip(path string) (io.ReadCloser, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	if filepath.Ext(path) == ".gz" {
+		gz, err := gzip.NewReader(f)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		return struct {
+			io.Reader
+			io.Closer
+		}{gz, f}, nil
+	}
+	return f, nil
+}
+
+func readIDXImages(path string) ([][]byte, error) {
+	r, err := openMaybeGzip(path)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	var hdr [16]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: mnist: %s: %v", ErrCorrupt, path, err)
+	}
+	if binary.BigEndian.Uint32(hdr[0:4]) != 0x00000803 {
+		return nil, fmt.Errorf("%w: mnist: %s: bad magic", ErrCorrupt, path)
+	}
+	n := int(binary.BigEndian.Uint32(hdr[4:8]))
+	rows := int(binary.BigEndian.Uint32(hdr[8:12]))
+	cols := int(binary.BigEndian.Uint32(hdr[12:16]))
+	if rows != MNISTRows || cols != MNISTCols {
+		return nil, fmt.Errorf("%w: mnist: %s: unexpected size %dx%d", ErrCorrupt, path, rows, cols)
+	}
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = make([]byte, rows*cols)
+		if _, err := io.ReadFull(r, out[i]); err != nil {
+			return nil, fmt.Errorf("%w: mnist: %s truncated: %v", ErrCorrupt, path, err)
+		}
+	}
+	return out, nil
+}
+
+func readIDXLabels(path string) ([]int, error) {
+	r, err := openMaybeGzip(path)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: mnist: %s: %v", ErrCorrupt, path, err)
+	}
+	if binary.BigEndian.Uint32(hdr[0:4]) != 0x00000801 {
+		return nil, fmt.Errorf("%w: mnist: %s: bad magic", ErrCorrupt, path)
+	}
+	n := int(binary.BigEndian.Uint32(hdr[4:8]))
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("%w: mnist: %s truncated: %v", ErrCorrupt, path, err)
+	}
+	out := make([]int, n)
+	for i, b := range buf {
+		if b > 9 {
+			return nil, fmt.Errorf("%w: mnist: %s: label %d out of range", ErrCorrupt, path, b)
+		}
+		out[i] = int(b)
+	}
+	return out, nil
+}
+
+// LoadMNIST returns the real MNIST data from the directory named by the
+// MNIST_DIR environment variable when set and readable, falling back to
+// the deterministic synthetic dataset otherwise. The returned string
+// describes the source.
+func LoadMNIST(trainN, testN int, seed int64) (train, test Dataset, source string) {
+	if dir := os.Getenv("MNIST_DIR"); dir != "" {
+		tr, te, err := LoadMNISTIDX(dir)
+		if err == nil {
+			return tr.Subset(trainN), te.Subset(testN), "mnist-idx:" + dir
+		}
+	}
+	tr := SyntheticMNIST(trainN, seed)
+	te := SyntheticMNIST(testN, seed+1)
+	return tr, te, "synthetic"
+}

@@ -1,0 +1,126 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+)
+
+// SyntheticCIFAR10 generates n deterministic synthetic 32×32 RGB images,
+// the offline CIFAR-10 substitution. Each class is a distinct colored
+// geometric texture — filled disc, ring, bar, checker, gradient, and so
+// on — rendered after a random affine perturbation with per-pixel noise,
+// so a small CNN can genuinely separate the classes while nothing needs
+// downloading.
+func SyntheticCIFAR10(n int, seed int64) Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	d := Dataset{C: CIFARChannels, H: CIFARRows, W: CIFARCols, Pixels: make([][]byte, n), Labels: make([]int, n)}
+	for i := 0; i < n; i++ {
+		label := rng.Intn(10)
+		d.Labels[i] = label
+		d.Pixels[i] = renderCIFAR(label, rng)
+	}
+	return d
+}
+
+// classPalette gives each class a base RGB color (loosely evoking the
+// real class: airplane sky-blue, frog green, truck red, …).
+var classPalette = [10][3]float64{
+	{0.45, 0.65, 0.95}, // 0 airplane
+	{0.75, 0.25, 0.25}, // 1 automobile
+	{0.55, 0.80, 0.95}, // 2 bird
+	{0.85, 0.60, 0.30}, // 3 cat
+	{0.60, 0.45, 0.25}, // 4 deer
+	{0.50, 0.35, 0.20}, // 5 dog
+	{0.30, 0.75, 0.35}, // 6 frog
+	{0.45, 0.30, 0.20}, // 7 horse
+	{0.25, 0.45, 0.80}, // 8 ship
+	{0.80, 0.20, 0.20}, // 9 truck
+}
+
+// classShape returns the ink intensity of the class texture at unit
+// coordinates (u, v) ∈ [0, 1]².
+func classShape(label int, u, v float64) float64 {
+	du, dv := u-0.5, v-0.5
+	r := math.Hypot(du, dv)
+	switch label {
+	case 0: // horizontal bar (fuselage)
+		return gate(math.Abs(dv) < 0.12) * gate(math.Abs(du) < 0.42)
+	case 1: // low wide box (car body)
+		return gate(dv > -0.05 && dv < 0.25) * gate(math.Abs(du) < 0.38)
+	case 2: // small disc high in frame (bird)
+		return softDisc(u-0.5, v-0.35, 0.18)
+	case 3: // two discs (cat face + ear hint)
+		return math.Max(softDisc(du, dv, 0.26), softDisc(u-0.68, v-0.3, 0.1))
+	case 4: // vertical bars (legs)
+		return gate(math.Abs(math.Mod(u*4, 1)-0.5) < 0.22) * gate(dv > -0.2)
+	case 5: // centered disc (dog face)
+		return softDisc(du, dv, 0.3)
+	case 6: // squat ellipse (frog)
+		return softDisc(du/1.5, dv, 0.22)
+	case 7: // diagonal bar (horse back/neck)
+		return gate(math.Abs(dv-0.35*du) < 0.12)
+	case 8: // bottom-heavy trapezoid (hull)
+		return gate(dv > 0.05 && dv < 0.35) * gate(math.Abs(du) < 0.45-0.4*(0.35-dv))
+	case 9: // checker (cargo)
+		c := math.Mod(math.Floor(u*4)+math.Floor(v*4), 2)
+		return c * gate(r < 0.45)
+	}
+	return 0
+}
+
+func gate(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func softDisc(du, dv, radius float64) float64 {
+	r := math.Hypot(du, dv)
+	return 1 / (1 + math.Exp((r-radius)*30))
+}
+
+// renderCIFAR rasterizes one randomly perturbed class texture to planar
+// RGB bytes.
+func renderCIFAR(label int, rng *rand.Rand) []byte {
+	theta := (rng.Float64()*2 - 1) * 0.3
+	scale := 0.8 + rng.Float64()*0.4
+	tx := (rng.Float64()*2 - 1) * 0.08
+	ty := (rng.Float64()*2 - 1) * 0.08
+	cosT, sinT := math.Cos(theta), math.Sin(theta)
+	base := classPalette[label]
+	// Per-image color jitter keeps the palette from being a trivial
+	// constant-pixel classifier.
+	jitter := [3]float64{}
+	for c := range jitter {
+		jitter[c] = 1 + (rng.Float64()*2-1)*0.25
+	}
+	bg := 0.15 + rng.Float64()*0.25
+
+	out := make([]byte, cifarPixels)
+	for y := 0; y < CIFARRows; y++ {
+		for x := 0; x < CIFARCols; x++ {
+			// Inverse affine: sample the texture at the warped position.
+			u := (float64(x)/float64(CIFARCols-1) - 0.5 - tx) / scale
+			v := (float64(y)/float64(CIFARRows-1) - 0.5 - ty) / scale
+			ru := cosT*u + sinT*v + 0.5
+			rv := -sinT*u + cosT*v + 0.5
+			ink := 0.0
+			if ru >= 0 && ru <= 1 && rv >= 0 && rv <= 1 {
+				ink = classShape(label, ru, rv)
+			}
+			for c := 0; c < CIFARChannels; c++ {
+				val := bg + ink*(base[c]*jitter[c]-bg)
+				val = val*255 + rng.NormFloat64()*8
+				if val < 0 {
+					val = 0
+				}
+				if val > 255 {
+					val = 255
+				}
+				out[c*CIFARRows*CIFARCols+y*CIFARCols+x] = byte(math.Round(val))
+			}
+		}
+	}
+	return out
+}

@@ -1,18 +1,19 @@
-package mnist
+package dataset
 
 import (
 	"math"
 	"math/rand"
 )
 
-// Synthetic generates n deterministic synthetic handwritten-digit images.
-// Each digit class is defined by stroke templates (polylines in the unit
-// square) rendered with a soft round brush after a random affine
-// perturbation (rotation, anisotropic scale, shear, translation) plus
-// additive pixel noise — the offline MNIST substitution (DESIGN.md §3 S1).
-func Synthetic(n int, seed int64) Dataset {
+// SyntheticMNIST generates n deterministic synthetic handwritten-digit
+// images. Each digit class is defined by stroke templates (polylines in
+// the unit square) rendered with a soft round brush after a random
+// affine perturbation (rotation, anisotropic scale, shear, translation)
+// plus additive pixel noise — the offline MNIST substitution
+// (DESIGN.md §3 S1).
+func SyntheticMNIST(n int, seed int64) Dataset {
 	rng := rand.New(rand.NewSource(seed))
-	d := Dataset{Pixels: make([][]byte, n), Labels: make([]int, n)}
+	d := Dataset{C: 1, H: MNISTRows, W: MNISTCols, Pixels: make([][]byte, n), Labels: make([]int, n)}
 	for i := 0; i < n; i++ {
 		label := rng.Intn(10)
 		d.Labels[i] = label
@@ -92,7 +93,7 @@ func strokes(digit int) [][]pt {
 			{{0.7, 0.4}, {0.62, 0.8}},
 		}
 	}
-	panic("mnist: digit out of range")
+	panic("dataset: digit out of range")
 }
 
 // renderDigit rasterizes one randomly perturbed digit to 28×28 bytes.
@@ -115,13 +116,13 @@ func renderDigit(digit int, rng *rand.Rand) []byte {
 		return pt{rx + 0.5 + tx, ry + 0.5 + ty}
 	}
 
-	acc := make([]float64, Rows*Cols)
+	acc := make([]float64, MNISTRows*MNISTCols)
 	brush := 1.0 + rng.Float64()*0.5 // brush radius in pixels
 	for _, stroke := range strokes(digit) {
 		for s := 0; s+1 < len(stroke); s++ {
 			a, b := xf(stroke[s]), xf(stroke[s+1])
-			ax, ay := a.x*float64(Cols-1), a.y*float64(Rows-1)
-			bx, by := b.x*float64(Cols-1), b.y*float64(Rows-1)
+			ax, ay := a.x*float64(MNISTCols-1), a.y*float64(MNISTRows-1)
+			bx, by := b.x*float64(MNISTCols-1), b.y*float64(MNISTRows-1)
 			segLen := math.Hypot(bx-ax, by-ay)
 			steps := int(segLen*3) + 1
 			for i := 0; i <= steps; i++ {
@@ -132,7 +133,7 @@ func renderDigit(digit int, rng *rand.Rand) []byte {
 			}
 		}
 	}
-	out := make([]byte, Rows*Cols)
+	out := make([]byte, MNISTRows*MNISTCols)
 	for i, v := range acc {
 		val := 255 * (1 - math.Exp(-2.2*v))
 		val += rng.NormFloat64() * 6
@@ -154,16 +155,16 @@ func splat(acc []float64, px, py, radius float64) {
 	inv := 1 / (radius * radius)
 	for dy := -r; dy <= r; dy++ {
 		y := y0 + dy
-		if y < 0 || y >= Rows {
+		if y < 0 || y >= MNISTRows {
 			continue
 		}
 		for dx := -r; dx <= r; dx++ {
 			x := x0 + dx
-			if x < 0 || x >= Cols {
+			if x < 0 || x >= MNISTCols {
 				continue
 			}
 			d2 := (float64(x)-px)*(float64(x)-px) + (float64(y)-py)*(float64(y)-py)
-			acc[y*Cols+x] += 0.35 * math.Exp(-d2*inv)
+			acc[y*MNISTCols+x] += 0.35 * math.Exp(-d2*inv)
 		}
 	}
 }

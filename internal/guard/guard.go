@@ -124,11 +124,14 @@ type Config struct {
 // production parameters (Δ = 2^26, depth ≤ 12): the conservative
 // canonical-embedding bound over-states real noise by tens of bits on
 // those circuits (the shipped CNN1 bottoms out near −65 "bits" while
-// decrypting perfectly), so enforcement sits at −128 — comfortably below
-// any healthy run, while a genuinely exhausted budget (scale too small,
-// runaway multiplication, corrupted state) collapses by hundreds of bits
-// and still trips immediately.
-const DefaultMinNoiseBits = -128
+// decrypting perfectly, and the sharded CIFAR-10 CNN3 — whose final
+// dense stage sums ~600 BSGS diagonal products after two degree-4
+// activations — near −131 while still decrypting to ~15 real bits), so
+// enforcement sits at −192 — comfortably below any healthy run, while a
+// genuinely exhausted budget (scale too small, runaway multiplication,
+// corrupted state) collapses by hundreds of bits and still trips
+// immediately.
+const DefaultMinNoiseBits = -192
 
 // DefaultConfig returns the production defaults described on Config.
 func DefaultConfig() Config {

@@ -237,6 +237,16 @@ func (s *LinearStage) EvalNoBias(e Engine, x Ct) Ct {
 }
 
 func (s *LinearStage) eval(e Engine, x Ct, withBias bool) Ct {
+	return e.Rescale(s.evalRaw(e, x, withBias))
+}
+
+// evalRaw is eval up to (not including) the final rescale: the BSGS
+// accumulator at the pre-rescale scale S·q̃_ℓ. The sharded pipeline sums
+// several block accumulators (one per input shard) at this scale before
+// paying the single rescale; with one block the sequence rescale∘evalRaw
+// is exactly eval, which is what makes the 1×1-grid sharded lowering
+// bit-identical to the unsharded one.
+func (s *LinearStage) evalRaw(e Engine, x Ct, withBias bool) Ct {
 	level := e.Level(x)
 	ptScale := e.QiFloat(level)
 	// Hoist all baby-step rotations: the key-switch decomposition of x is
@@ -284,18 +294,23 @@ func (s *LinearStage) eval(e Engine, x Ct, withBias bool) Ct {
 		// Bias joins at the pre-rescale scale S·q̃_ℓ.
 		acc = e.AddPlainVecCached(acc, s.Label+"/bias", s.Bias)
 	}
-	return e.Rescale(acc)
+	return acc
 }
 
-// ActStage evaluates a degree-≤3 polynomial activation with per-slot
-// coefficient vectors in multiplicative depth 2:
+// ActStage evaluates a degree-≤4 polynomial activation with per-slot
+// coefficient vectors. Degrees 1–3 take multiplicative depth 2:
 //
 //	y = A0 + A1⊙x + (A2 + A3⊙x)⊙x².
+//
+// Degree 4 — the Ishiyama-style higher-fidelity activation the CIFAR-10
+// CNN3 config uses — takes depth 3:
+//
+//	y = A0 + A1⊙x + (A2 + A3⊙x + A4⊙x²)⊙x².
 type ActStage struct {
 	Label  string
 	Degree int
 	// A[p] is the slot-aligned coefficient vector for power p.
-	A      [4][]float64
+	A      [5][]float64
 	SlotsN int
 }
 
@@ -303,8 +318,8 @@ type ActStage struct {
 // broadcast over the packed layout. unitOf maps a slot index (< dim) to
 // its coefficient group.
 func NewActStage(label string, s *nn.SLAF, dim int, unitOf func(i int) int, slots int) (*ActStage, error) {
-	if s.Degree > 3 || s.Degree < 1 {
-		return nil, fmt.Errorf("henn: unsupported SLAF degree %d (1..3)", s.Degree)
+	if s.Degree > 4 || s.Degree < 1 {
+		return nil, fmt.Errorf("henn: unsupported SLAF degree %d (1..4)", s.Degree)
 	}
 	st := &ActStage{Label: label, Degree: s.Degree, SlotsN: slots}
 	for p := 0; p <= s.Degree; p++ {
@@ -323,7 +338,12 @@ func NewActStage(label string, s *nn.SLAF, dim int, unitOf func(i int) int, slot
 func (s *ActStage) Rotations() []int { return nil }
 
 // Depth implements Stage.
-func (s *ActStage) Depth() int { return 2 }
+func (s *ActStage) Depth() int {
+	if s.Degree >= 4 {
+		return 3
+	}
+	return 2
+}
 
 // Describe implements Stage.
 func (s *ActStage) Describe() string {
@@ -350,7 +370,7 @@ func (s *ActStage) Eval(e Engine, x Ct) Ct {
 		t1 := e.DropLevel(e.Rescale(e.MulPlainVecCached(x, s.Label+"/a1", s.A[1], sc1)), 1)
 		y := e.Add(t2, t1)
 		return e.AddPlainVecCached(y, s.Label+"/a0", s.A[0])
-	default: // 3
+	case 3:
 		x2 := e.Rescale(e.MulRelin(x, x)) // level-1, S²/q_ℓ
 		// u = A3⊙x + A2 at level-1
 		u := e.Rescale(e.MulPlainVecCached(x, s.Label+"/a3", s.A[3], e.QiFloat(level)))
@@ -360,6 +380,21 @@ func (s *ActStage) Eval(e Engine, x Ct) Ct {
 		target := e.ScaleOf(v)
 		sc1 := target * e.QiFloat(level) / scaleX
 		w := e.DropLevel(e.Rescale(e.MulPlainVecCached(x, s.Label+"/a1", s.A[1], sc1)), 1)
+		y := e.Add(v, w)
+		return e.AddPlainVecCached(y, s.Label+"/a0", s.A[0])
+	default: // 4
+		x2 := e.Rescale(e.MulRelin(x, x)) // level-1, s2 := S²/q_ℓ
+		// q = A4⊙x² + A3⊙x + A2 at level-2, scale s2.
+		t4 := e.Rescale(e.MulPlainVecCached(x2, s.Label+"/a4", s.A[4], e.QiFloat(level-1)))
+		target := e.ScaleOf(t4)
+		sc3 := target * e.QiFloat(level) / scaleX
+		t3 := e.DropLevel(e.Rescale(e.MulPlainVecCached(x, s.Label+"/a3", s.A[3], sc3)), 1)
+		q := e.AddPlainVecCached(e.Add(t4, t3), s.Label+"/a2", s.A[2])
+		v := e.Rescale(e.MulRelin(q, e.DropLevel(x2, 1))) // level-3
+		// w = A1⊙x aligned to v.
+		targetV := e.ScaleOf(v)
+		sc1 := targetV * e.QiFloat(level) / scaleX
+		w := e.DropLevel(e.Rescale(e.MulPlainVecCached(x, s.Label+"/a1", s.A[1], sc1)), 2)
 		y := e.Add(v, w)
 		return e.AddPlainVecCached(y, s.Label+"/a0", s.A[0])
 	}
@@ -380,77 +415,99 @@ func Compile(m *nn.Model, slots int) (*Plan, error) {
 	return CompileWithOptions(m, slots, Options{Collapse: true})
 }
 
+// tshape tracks the tensor shape flowing between layers during the model
+// walk (c = 0 for flat vectors).
+type tshape struct {
+	c, h, w int
+	flat    int
+}
+
+// absStage is one pipeline step in compiler-internal form: a linear map
+// (mat != nil) or a polynomial activation (slaf != nil), with the tensor
+// shapes at its boundaries. Compile and CompileSharded both lower the
+// same abstract walk — matrices, biases, labels and coefficient layouts
+// are byte-for-byte shared — which is what keeps the 1×1-grid sharded
+// lowering identical to the unsharded one.
+type absStage struct {
+	label string
+	// Linear: rows = out.flat, cols = in.flat.
+	mat  *tensor.Tensor
+	bias []float64
+	// Activation: per-unit SLAF coefficients; unitOf maps a global flat
+	// index (< in.flat) to its coefficient group.
+	slaf   *nn.SLAF
+	unitOf func(i int) int
+	in, out tshape
+}
+
 // pendingLinear accumulates a linear map awaiting lowering (and possible
 // collapsing with the next linear layer).
 type pendingLinear struct {
-	label string
-	mat   *tensor.Tensor
-	bias  []float64
+	label   string
+	mat     *tensor.Tensor
+	bias    []float64
+	in, out tshape
 }
 
-// CompileWithOptions lowers a trained SLAF model to a homomorphic plan for
-// the given slot count. The first linear layer absorbs the 1/255 pixel
-// normalization (inputs are encrypted as raw [0, 255] pixels); batch
-// normalization layers are folded into the preceding convolution.
-func CompileWithOptions(m *nn.Model, slots int, opts Options) (*Plan, error) {
-	plan := &Plan{Slots: slots}
-	type shape struct {
-		c, h, w int
-		flat    int
-	}
-	var cur shape
+func (p *pendingLinear) abs() absStage {
+	return absStage{label: p.label, mat: p.mat, bias: p.bias, in: p.in, out: p.out}
+}
+
+// buildAbstract walks the model layers into abstract stages: it detects
+// the input shape, folds batch norms into their convolutions, collapses
+// adjacent linear layers when enabled, absorbs the 1/255 pixel
+// normalization into the first linear matrix (inputs are encrypted as
+// raw [0, 255] pixels), and records the tensor shape at every stage
+// boundary so sharded lowering can choose per-boundary manifests.
+func buildAbstract(m *nn.Model, opts Options) (stages []absStage, input tshape, outputDim int, err error) {
+	var cur tshape
 	layers := m.Layers
 	switch first := layers[0].(type) {
 	case *nn.Conv2D:
-		cur = shape{c: first.InC, h: first.InH, w: first.InW, flat: first.InC * first.InH * first.InW}
+		cur = tshape{c: first.InC, h: first.InH, w: first.InW, flat: first.InC * first.InH * first.InW}
 	case *nn.Dense:
-		cur = shape{flat: first.In}
+		cur = tshape{flat: first.In}
 	case *nn.Flatten:
 		if len(layers) < 2 {
-			return nil, fmt.Errorf("henn: model too short")
+			return nil, tshape{}, 0, fmt.Errorf("henn: model too short")
 		}
 		d, ok := layers[1].(*nn.Dense)
 		if !ok {
-			return nil, fmt.Errorf("henn: flatten must precede a dense layer at the input")
+			return nil, tshape{}, 0, fmt.Errorf("henn: flatten must precede a dense layer at the input")
 		}
-		cur = shape{flat: d.In}
+		cur = tshape{flat: d.In}
 	default:
-		return nil, fmt.Errorf("henn: unsupported first layer %T", layers[0])
+		return nil, tshape{}, 0, fmt.Errorf("henn: unsupported first layer %T", layers[0])
 	}
-	plan.InputDim = cur.flat
+	input = cur
 	inputScale := 1.0 / 255
 
 	var pending *pendingLinear
 	// pushLinear queues a linear map, collapsing it into the pending one
 	// when enabled: M2·(M1·x + b1) + b2 = (M2·M1)·x + (M2·b1 + b2).
-	pushLinear := func(label string, mat *tensor.Tensor, bias []float64) error {
+	pushLinear := func(label string, mat *tensor.Tensor, bias []float64, in, out tshape) {
 		applyInputScale(mat, &inputScale)
 		if pending == nil {
-			pending = &pendingLinear{label: label, mat: mat, bias: bias}
-			return nil
+			pending = &pendingLinear{label: label, mat: mat, bias: bias, in: in, out: out}
+			return
 		}
 		if !opts.Collapse {
-			if err := flushLinear(plan, pending, slots); err != nil {
-				return err
-			}
-			pending = &pendingLinear{label: label, mat: mat, bias: bias}
-			return nil
+			stages = append(stages, pending.abs())
+			pending = &pendingLinear{label: label, mat: mat, bias: bias, in: in, out: out}
+			return
 		}
 		merged := tensor.MatMul(mat, pending.mat)
 		mb := tensor.MatVec(mat, pending.bias)
 		for i := range mb {
 			mb[i] += bias[i]
 		}
-		pending = &pendingLinear{label: pending.label + "*" + label, mat: merged, bias: mb}
-		return nil
+		pending = &pendingLinear{label: pending.label + "*" + label, mat: merged, bias: mb, in: pending.in, out: out}
 	}
-	flushPending := func() error {
-		if pending == nil {
-			return nil
+	flushPending := func() {
+		if pending != nil {
+			stages = append(stages, pending.abs())
+			pending = nil
 		}
-		err := flushLinear(plan, pending, slots)
-		pending = nil
-		return err
 	}
 
 	for li := 0; li < len(layers); li++ {
@@ -458,7 +515,7 @@ func CompileWithOptions(m *nn.Model, slots int, opts Options) (*Plan, error) {
 		case *nn.Conv2D:
 			wt := tensor.FromSlice(l.W.Data, l.OutC, l.InC, l.K, l.K)
 			mat, bias := tensor.ConvAsMatrix(wt, l.B.Data, l.InC, l.InH, l.InW, l.Stride, l.Pad)
-			outShape := shape{c: l.OutC, h: l.OutH(), w: l.OutW()}
+			outShape := tshape{c: l.OutC, h: l.OutH(), w: l.OutW()}
 			outShape.flat = outShape.c * outShape.h * outShape.w
 			// Fold a following BatchNorm2D.
 			label := fmt.Sprintf("conv%d", li)
@@ -477,81 +534,86 @@ func CompileWithOptions(m *nn.Model, slots int, opts Options) (*Plan, error) {
 					li++
 				}
 			}
-			if err := pushLinear(label, mat, bias); err != nil {
-				return nil, err
-			}
+			pushLinear(label, mat, bias, cur, outShape)
 			cur = outShape
 
 		case *nn.MeanPool2D:
 			mat := l.AsMatrix()
-			if err := pushLinear(fmt.Sprintf("pool%d", li), mat, make([]float64, mat.Shape[0])); err != nil {
-				return nil, err
-			}
-			cur = shape{c: l.InC, h: l.OutH(), w: l.OutW(), flat: l.InC * l.OutH() * l.OutW()}
+			out := tshape{c: l.InC, h: l.OutH(), w: l.OutW(), flat: l.InC * l.OutH() * l.OutW()}
+			pushLinear(fmt.Sprintf("pool%d", li), mat, make([]float64, mat.Shape[0]), cur, out)
+			cur = out
 
 		case *nn.Dense:
 			mat := tensor.FromSlice(append([]float64(nil), l.W.Data...), l.Out, l.In)
 			bias := append([]float64(nil), l.B.Data...)
-			if err := pushLinear(fmt.Sprintf("dense%d", li), mat, bias); err != nil {
-				return nil, err
-			}
-			cur = shape{c: 0, h: 0, w: 0, flat: l.Out}
-			plan.OutputDim = l.Out
+			out := tshape{flat: l.Out}
+			pushLinear(fmt.Sprintf("dense%d", li), mat, bias, cur, out)
+			cur = out
+			outputDim = l.Out
 
 		case *nn.SLAF:
-			if err := flushPending(); err != nil {
-				return nil, err
-			}
-			dim := cur.flat
-			hw := cur.h * cur.w
+			flushPending()
+			sh := cur
+			units := l.Units
 			unitOf := func(i int) int {
-				if l.Units == 1 {
+				if units == 1 {
 					return 0
 				}
-				if cur.c > 0 {
-					return i / hw
+				if sh.c > 0 {
+					return i / (sh.h * sh.w)
 				}
-				return i % l.Units
+				return i % units
 			}
-			st, err := NewActStage(fmt.Sprintf("slaf%d", li), l, dim, unitOf, slots)
-			if err != nil {
-				return nil, err
-			}
-			plan.Stages = append(plan.Stages, st)
+			stages = append(stages, absStage{
+				label: fmt.Sprintf("slaf%d", li), slaf: l, unitOf: unitOf, in: sh, out: sh,
+			})
 
 		case *nn.Flatten:
-			cur = shape{flat: cur.flat}
+			cur = tshape{flat: cur.flat}
 
 		case *nn.BatchNorm2D:
-			return nil, fmt.Errorf("henn: batch norm at layer %d does not follow a convolution", li)
+			return nil, tshape{}, 0, fmt.Errorf("henn: batch norm at layer %d does not follow a convolution", li)
 
 		case *nn.ReLU:
-			return nil, fmt.Errorf("henn: model still contains ReLU at layer %d; retrofit SLAFs first", li)
+			return nil, tshape{}, 0, fmt.Errorf("henn: model still contains ReLU at layer %d; retrofit SLAFs first", li)
 
 		default:
-			return nil, fmt.Errorf("henn: unsupported layer %T", l)
+			return nil, tshape{}, 0, fmt.Errorf("henn: unsupported layer %T", l)
 		}
 	}
-	if err := flushPending(); err != nil {
+	flushPending()
+	if outputDim == 0 {
+		return nil, tshape{}, 0, fmt.Errorf("henn: model has no dense output layer")
+	}
+	return stages, input, outputDim, nil
+}
+
+// CompileWithOptions lowers a trained SLAF model to a homomorphic plan for
+// the given slot count. The first linear layer absorbs the 1/255 pixel
+// normalization (inputs are encrypted as raw [0, 255] pixels); batch
+// normalization layers are folded into the preceding convolution.
+func CompileWithOptions(m *nn.Model, slots int, opts Options) (*Plan, error) {
+	abs, input, outputDim, err := buildAbstract(m, opts)
+	if err != nil {
 		return nil, err
+	}
+	plan := &Plan{Slots: slots, InputDim: input.flat, OutputDim: outputDim}
+	for _, a := range abs {
+		var st Stage
+		if a.mat != nil {
+			st, err = NewLinearStage(a.label, a.mat, a.bias, slots)
+		} else {
+			st, err = NewActStage(a.label, a.slaf, a.in.flat, a.unitOf, slots)
+		}
+		if err != nil {
+			return nil, err
+		}
+		plan.Stages = append(plan.Stages, st)
 	}
 	for _, s := range plan.Stages {
 		plan.Depth += s.Depth()
 	}
-	if plan.OutputDim == 0 {
-		return nil, fmt.Errorf("henn: model has no dense output layer")
-	}
 	return plan, nil
-}
-
-// flushLinear lowers a pending linear map to a stage.
-func flushLinear(plan *Plan, p *pendingLinear, slots int) error {
-	st, err := NewLinearStage(p.label, p.mat, p.bias, slots)
-	if err != nil {
-		return err
-	}
-	plan.Stages = append(plan.Stages, st)
-	return nil
 }
 
 // applyInputScale folds a pending input scaling into the first linear

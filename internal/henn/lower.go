@@ -201,6 +201,37 @@ func (t *tracer) MulInt(ct Ct, n int64) Ct {
 	panic(fmt.Errorf("henn: lower: MulInt called inside a stage (recombination lowers to OpRecombine)"))
 }
 
+// Recombine implements ir.Recombiner symbolically, so sharded stages can
+// fuse their cross-shard block sums into one OpRecombine exactly like
+// the real engines do at runtime (the executor dispatches the op back to
+// the engine's fused Recombine, or to the bit-identical MulInt/Add chain
+// with weight-1 multiplies elided).
+func (t *tracer) Recombine(args []Ct, weights []int64) Ct {
+	if len(args) == 0 || len(weights) != len(args) {
+		panic(fmt.Errorf("henn: lower: Recombine with %d args, %d weights", len(args), len(weights)))
+	}
+	if weights[0] != 1 {
+		panic(fmt.Errorf("henn: lower: Recombine weight[0] = %d, want 1", weights[0]))
+	}
+	first := t.in("Recombine", args[0])
+	ids := make([]int, len(args))
+	for i, a := range args {
+		x := t.in("Recombine", a)
+		if x.level != first.level {
+			panic(fmt.Errorf("henn: lower: Recombine level mismatch %d vs %d", x.level, first.level))
+		}
+		if !traceScaleClose(x.scale, first.scale) {
+			panic(fmt.Errorf("henn: lower: Recombine scale mismatch 2^%.2f vs 2^%.2f",
+				math.Log2(x.scale), math.Log2(first.scale)))
+		}
+		ids[i] = x.id
+	}
+	return t.emit(ir.Op{
+		Kind: ir.OpRecombine, Args: ids, Weights: append([]int64(nil), weights...), Hoist: -1,
+		Level: first.level, Scale: first.scale,
+	})
+}
+
 // Rescale implements Engine.
 func (t *tracer) Rescale(ct Ct) Ct {
 	x := t.in("Rescale", ct)
@@ -286,7 +317,10 @@ func (t *tracer) AddPlainPt(ct Ct, pt Pt) Ct {
 	panic(fmt.Errorf("henn: lower: AddPlainPt called inside a stage (stages use the vector forms)"))
 }
 
-var _ Engine = (*tracer)(nil)
+var (
+	_ Engine        = (*tracer)(nil)
+	_ ir.Recombiner = (*tracer)(nil)
+)
 
 // recoverLowerErr converts a trace panic into a lowering error. Error
 // values panic through unwrapped; other panics are formatted.

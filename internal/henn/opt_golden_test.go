@@ -64,36 +64,61 @@ func TestOptimizedGraphGolden(t *testing.T) {
 		arch  string
 		slots int
 		logN  int
-		k     int // 0 = plain Plan, >0 = RNSPlan with k parts
+		k     int // 0 = plain Plan, >0 = RNSPlan with k parts, -1 = sharded (auto grid)
 		want  goldenSize
 	}{
 		{"cnn1/plan", "cnn1", 1024, 11, 0, goldenSize{ops: 2331, engineCalls: 2241, rotateCalls: 68, hoists: 3}},
 		{"cnn1/rns3", "cnn1", 1024, 11, 3, goldenSize{ops: 4567, engineCalls: 4417, rotateCalls: 132, hoists: 5}},
 		{"cnn2/plan", "cnn2", 2048, 12, 0, goldenSize{ops: 4700, engineCalls: 4475, rotateCalls: 71, hoists: 4}},
 		{"cnn2/rns3", "cnn2", 2048, 12, 3, goldenSize{ops: 8514, engineCalls: 8165, rotateCalls: 129, hoists: 6}},
+		// CIFAR-10 CNN3 over a 2×1 shard grid: the 3072-pixel input splits
+		// across two 2048-slot ciphertexts, so the lowered graph carries
+		// per-shard block products plus cross-shard recombines.
+		{"cnn3/sharded2", "cnn3", 2048, 12, -1, goldenSize{ops: 7022, engineCalls: 6774, rotateCalls: 105, hoists: 4}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			plan := paperModel(t, tc.arch, tc.slots)
-			lowerFor := func(e Engine) *ir.Graph {
-				var g *ir.Graph
-				var err error
-				if tc.k == 0 {
-					g, err = plan.Lower(e)
-				} else {
-					var rp *RNSPlan
-					rp, err = NewRNSPlan(plan, tc.k, false)
-					if err == nil {
-						g, err = rp.Lower(e)
-					}
-				}
+			var depth int
+			var lowerFor func(e Engine) *ir.Graph
+			if tc.k < 0 {
+				sp, err := CompileShardedAuto(paperShardModel(tc.arch), tc.slots)
 				if err != nil {
 					t.Fatal(err)
 				}
-				return g
+				if sp.NumShards() != 2 {
+					t.Fatalf("%s: %d shards, want 2", tc.name, sp.NumShards())
+				}
+				depth = sp.Depth
+				lowerFor = func(e Engine) *ir.Graph {
+					g, err := sp.Lower(e)
+					if err != nil {
+						t.Fatal(err)
+					}
+					return g
+				}
+			} else {
+				plan := paperModel(t, tc.arch, tc.slots)
+				depth = plan.Depth
+				lowerFor = func(e Engine) *ir.Graph {
+					var g *ir.Graph
+					var err error
+					if tc.k == 0 {
+						g, err = plan.Lower(e)
+					} else {
+						var rp *RNSPlan
+						rp, err = NewRNSPlan(plan, tc.k, false)
+						if err == nil {
+							g, err = rp.Lower(e)
+						}
+					}
+					if err != nil {
+						t.Fatal(err)
+					}
+					return g
+				}
 			}
 			var ref goldenSize
-			for i, e := range goldenEngines(t, tc.logN, plan.Depth) {
+			for i, e := range goldenEngines(t, tc.logN, depth) {
 				g := lowerFor(e)
 				before := g.Stats()
 				res, err := opt.Optimize(e, g, nil)

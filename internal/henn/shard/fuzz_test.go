@@ -1,0 +1,45 @@
+package shard
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzDecodeManifest holds the manifest reader to the same contract as
+// the six ckks frame readers: arbitrary input must yield a typed error
+// (ErrFormat/ErrChecksum) or decode cleanly — never a panic, and never
+// an unclassified error.
+func FuzzDecodeManifest(f *testing.F) {
+	m, err := New(Shape{C: 3, H: 32, W: 32}, Grid{Gy: 2, Gx: 1}, 2048)
+	if err != nil {
+		f.Fatal(err)
+	}
+	golden := m.Encode()
+	f.Add(golden)
+	f.Add(golden[:len(golden)-1]) // truncated checksum
+	f.Add(golden[:len(golden)/2]) // truncated payload
+	f.Add([]byte{})
+	f.Add([]byte{golden[0]})                  // tag only
+	f.Add([]byte{golden[0], wireVersion + 1}) // bad version
+	flipped := append([]byte(nil), golden...)
+	flipped[len(flipped)/2] ^= 0x01
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := DecodeManifest(data)
+		if err != nil {
+			if errors.Is(err, ErrFormat) || errors.Is(err, ErrChecksum) {
+				return
+			}
+			t.Fatalf("untyped decode error: %v", err)
+		}
+		// Anything that decodes must be internally consistent enough to
+		// re-encode and survive the element-index bijection.
+		if _, err := New(got.Shape, got.Grid, got.Slots); err != nil {
+			t.Fatalf("decoded manifest fails validation: %v", err)
+		}
+		for s := 0; s < got.NumShards(); s++ {
+			_ = got.ShardLen(s)
+		}
+	})
+}

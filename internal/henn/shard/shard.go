@@ -1,0 +1,216 @@
+// Package shard implements the sharded-tensor packing layer: a
+// declarative manifest that splits a large image tensor across N
+// ciphertexts when the flattened tensor no longer fits one ciphertext's
+// slot capacity (DESIGN.md §15).
+//
+// A Manifest carries the tensor shape, the shard grid and the slot
+// capacity, and defines a bijection between global tensor indices and
+// (shard, slot) coordinates. The grid tiles the spatial plane into
+// near-equal H×W bands (balanced partition: band sizes differ by at
+// most one, every band non-empty); each shard packs its band for every
+// channel contiguously in channel-major, row-major order, matching the
+// unsharded flattening restricted to the band. The halo/rotation plan —
+// which shards feed which outputs, and through which slot rotations —
+// is derived from the manifest at compile time by henn.CompileSharded,
+// which carves every collapsed layer matrix into inter-shard blocks and
+// lowers the non-zero ones plus a Recombine per output shard.
+//
+// The package is dependency-light (stdlib only) so both the server-side
+// compiler and the client SDK can consume manifests: the wire form
+// (Encode/DecodeManifest) travels inside /v1/info, and the client uses
+// Split/Join to encrypt shard sets and reassemble results.
+package shard
+
+import "fmt"
+
+// Shape is a C×H×W tensor shape (C = 1 for flat vectors).
+type Shape struct {
+	C, H, W int
+}
+
+// Flat returns the flattened element count C·H·W.
+func (s Shape) Flat() int { return s.C * s.H * s.W }
+
+func (s Shape) valid() bool { return s.C >= 1 && s.H >= 1 && s.W >= 1 }
+
+// Grid is the shard grid: the spatial plane is tiled into Gy×Gx bands
+// (Gy over height, Gx over width). Grid{1, 1} is the unsharded layout.
+type Grid struct {
+	Gy, Gx int
+}
+
+// Manifest declares how one tensor is packed across ciphertext shards.
+// Manifests are plain values: copy them freely.
+type Manifest struct {
+	// Shape is the logical tensor shape being sharded.
+	Shape Shape
+	// Grid tiles Shape's H×W plane into Gy×Gx bands; shard (gy, gx) has
+	// index gy·Gx + gx and holds its band for every channel.
+	Grid Grid
+	// Slots is the per-ciphertext slot capacity the manifest was built
+	// for; every shard's length fits it.
+	Slots int
+	// Halo records the widest cross-band row/column overlap any kernel
+	// needs (informative: the compiler derives the exact exchange from
+	// the layer matrices; 0 means band-local layers only).
+	Halo int
+}
+
+// band returns the balanced partition of n elements into parts bands:
+// the start offset and length of band i. Bands differ in size by at
+// most one and are all non-empty for parts ≤ n.
+func band(n, parts, i int) (start, length int) {
+	base, rem := n/parts, n%parts
+	start = i*base + min(i, rem)
+	length = base
+	if i < rem {
+		length++
+	}
+	return start, length
+}
+
+// New builds and validates a manifest. Every shard (the C channels of
+// one H×W band) must fit the slot capacity.
+func New(shape Shape, grid Grid, slots int) (Manifest, error) {
+	if !shape.valid() {
+		return Manifest{}, fmt.Errorf("shard: invalid shape %+v", shape)
+	}
+	if grid.Gy < 1 || grid.Gx < 1 {
+		return Manifest{}, fmt.Errorf("shard: invalid grid %+v", grid)
+	}
+	if grid.Gy > shape.H || grid.Gx > shape.W {
+		return Manifest{}, fmt.Errorf("shard: grid %dx%d exceeds spatial dims %dx%d",
+			grid.Gy, grid.Gx, shape.H, shape.W)
+	}
+	if slots < 1 {
+		return Manifest{}, fmt.Errorf("shard: invalid slot capacity %d", slots)
+	}
+	m := Manifest{Shape: shape, Grid: grid, Slots: slots}
+	for s := 0; s < m.NumShards(); s++ {
+		if l := m.ShardLen(s); l > slots {
+			return Manifest{}, fmt.Errorf("shard: shard %d needs %d slots, capacity %d", s, l, slots)
+		}
+	}
+	return m, nil
+}
+
+// ForDim builds a manifest for a flat dim-vector (Shape{1, 1, dim}),
+// using the minimum number of W-bands that fit the slot capacity.
+// dim ≤ slots yields the single-shard (1×1 grid) layout.
+func ForDim(dim, slots int) (Manifest, error) {
+	if dim < 1 || slots < 1 {
+		return Manifest{}, fmt.Errorf("shard: invalid flat manifest dim=%d slots=%d", dim, slots)
+	}
+	parts := (dim + slots - 1) / slots
+	return New(Shape{C: 1, H: 1, W: dim}, Grid{Gy: 1, Gx: parts}, slots)
+}
+
+// NumShards returns the ciphertext count Gy·Gx.
+func (m Manifest) NumShards() int { return m.Grid.Gy * m.Grid.Gx }
+
+// bandOf splits shard index s into its (gy, gx) grid coordinates.
+func (m Manifest) bandOf(s int) (gy, gx int) { return s / m.Grid.Gx, s % m.Grid.Gx }
+
+// ShardShape returns the C×bh×bw tensor shape shard s holds.
+func (m Manifest) ShardShape(s int) Shape {
+	gy, gx := m.bandOf(s)
+	_, bh := band(m.Shape.H, m.Grid.Gy, gy)
+	_, bw := band(m.Shape.W, m.Grid.Gx, gx)
+	return Shape{C: m.Shape.C, H: bh, W: bw}
+}
+
+// ShardLen returns the occupied slot count of shard s.
+func (m Manifest) ShardLen(s int) int { return m.ShardShape(s).Flat() }
+
+// Locate maps a global flat tensor index to its (shard, slot) home.
+func (m Manifest) Locate(global int) (shardIdx, slot int) {
+	if global < 0 || global >= m.Shape.Flat() {
+		panic(fmt.Sprintf("shard: global index %d out of range [0, %d)", global, m.Shape.Flat()))
+	}
+	hw := m.Shape.H * m.Shape.W
+	c := global / hw
+	y := (global % hw) / m.Shape.W
+	x := global % m.Shape.W
+	gy := bandIndex(m.Shape.H, m.Grid.Gy, y)
+	gx := bandIndex(m.Shape.W, m.Grid.Gx, x)
+	y0, bh := band(m.Shape.H, m.Grid.Gy, gy)
+	x0, bw := band(m.Shape.W, m.Grid.Gx, gx)
+	return gy*m.Grid.Gx + gx, c*bh*bw + (y-y0)*bw + (x - x0)
+}
+
+// GlobalAt inverts Locate: the global flat index stored at (shard,
+// slot). It returns -1 for slots beyond the shard's occupied length
+// (zero padding up to the ciphertext capacity).
+func (m Manifest) GlobalAt(shardIdx, slot int) int {
+	if shardIdx < 0 || shardIdx >= m.NumShards() {
+		panic(fmt.Sprintf("shard: shard index %d out of range [0, %d)", shardIdx, m.NumShards()))
+	}
+	gy, gx := m.bandOf(shardIdx)
+	y0, bh := band(m.Shape.H, m.Grid.Gy, gy)
+	x0, bw := band(m.Shape.W, m.Grid.Gx, gx)
+	if slot < 0 || slot >= m.Shape.C*bh*bw {
+		return -1
+	}
+	c := slot / (bh * bw)
+	y := y0 + (slot%(bh*bw))/bw
+	x := x0 + slot%bw
+	return c*m.Shape.H*m.Shape.W + y*m.Shape.W + x
+}
+
+// bandIndex finds the band holding coordinate v under the balanced
+// partition of n into parts.
+func bandIndex(n, parts, v int) int {
+	base, rem := n/parts, n%parts
+	// The first rem bands have base+1 elements.
+	wide := rem * (base + 1)
+	if v < wide {
+		return v / (base + 1)
+	}
+	if base == 0 {
+		return parts - 1
+	}
+	return rem + (v-wide)/base
+}
+
+// Split scatters a flat tensor (length Shape.Flat()) into per-shard
+// slot vectors in shard-index order.
+func (m Manifest) Split(vec []float64) ([][]float64, error) {
+	if len(vec) != m.Shape.Flat() {
+		return nil, fmt.Errorf("shard: split input length %d, manifest wants %d", len(vec), m.Shape.Flat())
+	}
+	out := make([][]float64, m.NumShards())
+	for s := range out {
+		out[s] = make([]float64, m.ShardLen(s))
+	}
+	for g, v := range vec {
+		s, slot := m.Locate(g)
+		out[s][slot] = v
+	}
+	return out, nil
+}
+
+// Join gathers per-shard slot vectors back into the flat tensor,
+// inverting Split. Shards longer than their occupied length (decrypted
+// ciphertexts carry capacity slots) have their padding ignored.
+func (m Manifest) Join(parts [][]float64) ([]float64, error) {
+	if len(parts) != m.NumShards() {
+		return nil, fmt.Errorf("shard: join got %d shards, manifest has %d", len(parts), m.NumShards())
+	}
+	out := make([]float64, m.Shape.Flat())
+	for s, p := range parts {
+		n := m.ShardLen(s)
+		if len(p) < n {
+			return nil, fmt.Errorf("shard: shard %d has %d slots, need %d", s, len(p), n)
+		}
+		for slot := 0; slot < n; slot++ {
+			out[m.GlobalAt(s, slot)] = p[slot]
+		}
+	}
+	return out, nil
+}
+
+// String renders the manifest for logs.
+func (m Manifest) String() string {
+	return fmt.Sprintf("%dx%dx%d over %dx%d grid (%d shards, ≤%d slots)",
+		m.Shape.C, m.Shape.H, m.Shape.W, m.Grid.Gy, m.Grid.Gx, m.NumShards(), m.Slots)
+}

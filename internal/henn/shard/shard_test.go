@@ -1,0 +1,140 @@
+package shard
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// TestLocateGlobalAtBijection checks Locate/GlobalAt invert each other
+// over every element of a selection of awkward (shape, grid) pairs,
+// including uneven bands.
+func TestLocateGlobalAtBijection(t *testing.T) {
+	cases := []struct {
+		shape Shape
+		grid  Grid
+	}{
+		{Shape{1, 1, 7}, Grid{1, 1}},
+		{Shape{1, 1, 7}, Grid{1, 3}},
+		{Shape{3, 32, 32}, Grid{2, 1}},
+		{Shape{3, 32, 32}, Grid{2, 2}},
+		{Shape{3, 31, 29}, Grid{3, 4}}, // uneven bands both axes
+		{Shape{5, 7, 7}, Grid{7, 7}},   // 1×1 bands
+	}
+	for _, c := range cases {
+		m, err := New(c.shape, c.grid, c.shape.Flat())
+		if err != nil {
+			t.Fatalf("New(%+v, %+v): %v", c.shape, c.grid, err)
+		}
+		seen := map[[2]int]bool{}
+		for g := 0; g < c.shape.Flat(); g++ {
+			s, slot := m.Locate(g)
+			if s < 0 || s >= m.NumShards() || slot < 0 || slot >= m.ShardLen(s) {
+				t.Fatalf("%v: Locate(%d) = (%d, %d) out of range", m, g, s, slot)
+			}
+			if seen[[2]int{s, slot}] {
+				t.Fatalf("%v: Locate not injective at global %d", m, g)
+			}
+			seen[[2]int{s, slot}] = true
+			if back := m.GlobalAt(s, slot); back != g {
+				t.Fatalf("%v: GlobalAt(Locate(%d)) = %d", m, g, back)
+			}
+		}
+		total := 0
+		for s := 0; s < m.NumShards(); s++ {
+			total += m.ShardLen(s)
+			if m.GlobalAt(s, m.ShardLen(s)) != -1 {
+				t.Fatalf("%v: padding slot should map to -1", m)
+			}
+		}
+		if total != c.shape.Flat() {
+			t.Fatalf("%v: shard lengths sum to %d, want %d", m, total, c.shape.Flat())
+		}
+	}
+}
+
+// TestSplitJoinRoundTrip checks Join inverts Split, including when the
+// decrypted shards come back padded to full slot capacity.
+func TestSplitJoinRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m, err := New(Shape{3, 32, 32}, Grid{2, 2}, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vec := make([]float64, m.Shape.Flat())
+	for i := range vec {
+		vec[i] = rng.NormFloat64()
+	}
+	parts, err := m.Split(vec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 4 {
+		t.Fatalf("got %d shards, want 4", len(parts))
+	}
+	// Pad shards to capacity as a decryptor would.
+	for s := range parts {
+		parts[s] = append(parts[s], make([]float64, m.Slots-len(parts[s]))...)
+	}
+	back, err := m.Join(parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vec {
+		if back[i] != vec[i] {
+			t.Fatalf("round trip differs at %d: %v vs %v", i, back[i], vec[i])
+		}
+	}
+}
+
+func TestForDim(t *testing.T) {
+	m, err := ForDim(3072, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumShards() != 2 || m.ShardLen(0) != 1536 || m.ShardLen(1) != 1536 {
+		t.Fatalf("ForDim(3072, 2048) = %v", m)
+	}
+	if m, err = ForDim(100, 2048); err != nil || m.NumShards() != 1 || m.ShardLen(0) != 100 {
+		t.Fatalf("ForDim(100, 2048) = %v, %v", m, err)
+	}
+}
+
+func TestNewRejectsOversizedShards(t *testing.T) {
+	if _, err := New(Shape{3, 32, 32}, Grid{1, 1}, 2048); err == nil {
+		t.Fatal("3072-element shard accepted into 2048 slots")
+	}
+	if _, err := New(Shape{3, 32, 32}, Grid{33, 1}, 2048); err == nil {
+		t.Fatal("grid taller than image accepted")
+	}
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	m, err := New(Shape{3, 32, 32}, Grid{2, 1}, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Halo = 2
+	frame := m.Encode()
+	got, err := DecodeManifest(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != m {
+		t.Fatalf("decoded %+v, want %+v", got, m)
+	}
+
+	// Corruptions must yield typed errors.
+	flip := append([]byte(nil), frame...)
+	flip[3] ^= 0x01
+	if _, err := DecodeManifest(flip); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("bit flip: %v, want ErrChecksum", err)
+	}
+	if _, err := DecodeManifest(frame[:len(frame)-2]); !errors.Is(err, ErrFormat) {
+		t.Fatalf("truncation: %v, want ErrFormat", err)
+	}
+	if _, err := DecodeManifest(bytes.Replace(frame, []byte{wireTag}, []byte{'X'}, 1)); !errors.Is(err, ErrFormat) {
+		t.Fatal("bad tag accepted")
+	}
+}

@@ -1,0 +1,77 @@
+package shard
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Wire format: a manifest frame is
+//
+//	tag 'M' | version | uvarint C,H,W,Gy,Gx,Slots,Halo | crc32(IEEE)
+//
+// with the checksum (big-endian uint32) computed over everything before
+// it. The frame travels base64-encoded inside /v1/info so clients can
+// Split/Join without sharing compiler code. Decoding follows the same
+// contract as the ckks frame readers (DESIGN.md §6): arbitrary input
+// yields ErrFormat or ErrChecksum, never a panic.
+
+const (
+	wireTag     = 'M'
+	wireVersion = 1
+)
+
+// ErrFormat reports a structurally malformed manifest frame.
+var ErrFormat = errors.New("shard: malformed manifest frame")
+
+// ErrChecksum reports a manifest frame whose payload does not match its
+// checksum.
+var ErrChecksum = errors.New("shard: manifest checksum mismatch")
+
+// Encode serializes the manifest to its wire frame.
+func (m Manifest) Encode() []byte {
+	buf := []byte{wireTag, wireVersion}
+	for _, v := range [...]int{m.Shape.C, m.Shape.H, m.Shape.W, m.Grid.Gy, m.Grid.Gx, m.Slots, m.Halo} {
+		buf = binary.AppendUvarint(buf, uint64(v))
+	}
+	return binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+}
+
+// DecodeManifest parses and validates a wire frame produced by Encode.
+// Every failure is ErrFormat or ErrChecksum.
+func DecodeManifest(data []byte) (Manifest, error) {
+	if len(data) < 2 {
+		return Manifest{}, fmt.Errorf("%w: %d-byte frame", ErrFormat, len(data))
+	}
+	if data[0] != wireTag {
+		return Manifest{}, fmt.Errorf("%w: bad tag 0x%02x", ErrFormat, data[0])
+	}
+	if data[1] != wireVersion {
+		return Manifest{}, fmt.Errorf("%w: unsupported version %d", ErrFormat, data[1])
+	}
+	rest := data[2:]
+	var fields [7]int
+	for i := range fields {
+		v, n := binary.Uvarint(rest)
+		if n <= 0 || v > 1<<31 {
+			return Manifest{}, fmt.Errorf("%w: truncated field %d", ErrFormat, i)
+		}
+		fields[i] = int(v)
+		rest = rest[n:]
+	}
+	if len(rest) != 4 {
+		return Manifest{}, fmt.Errorf("%w: %d trailing bytes, want 4-byte checksum", ErrFormat, len(rest))
+	}
+	payload := data[:len(data)-4]
+	if got, want := crc32.ChecksumIEEE(payload), binary.BigEndian.Uint32(rest); got != want {
+		return Manifest{}, fmt.Errorf("%w: crc32 %08x, frame says %08x", ErrChecksum, got, want)
+	}
+	m, err := New(Shape{C: fields[0], H: fields[1], W: fields[2]},
+		Grid{Gy: fields[3], Gx: fields[4]}, fields[5])
+	if err != nil {
+		return Manifest{}, fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+	m.Halo = fields[6]
+	return m, nil
+}

@@ -1,0 +1,342 @@
+package henn
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"cnnhe/internal/ckks"
+	"cnnhe/internal/ckksbig"
+	"cnnhe/internal/henn/shard"
+	"cnnhe/internal/nn"
+)
+
+// The shard parity suite pins the sharding tentpole guarantee from two
+// sides:
+//
+//   - A 1×1 shard grid is a degenerate sharding: every stage has one
+//     block, the recombine collapses to a pass-through, and the lowered
+//     graph — stage names, cache keys, op sequence — is IDENTICAL to the
+//     unsharded Plan's. With identically-seeded engines the logits are
+//     bit-identical, on both backends, sequential and parallel.
+//   - A genuinely cross-shard grid must still agree with the plaintext
+//     model and with the unsharded encrypted pipeline within the noise
+//     tolerance, because block sums at the shared pre-rescale scale are
+//     exact ring additions.
+
+// rotsUnion merges rotation sets so both sides of a parity comparison
+// run against engines with identical key material (key generation
+// consumes PRNG state, so differing rotation sets would desynchronize
+// the encryption randomness even with equal seeds).
+func rotsUnion(a, b []int) []int {
+	set := map[int]bool{}
+	for _, r := range a {
+		set[r] = true
+	}
+	for _, r := range b {
+		set[r] = true
+	}
+	out := make([]int, 0, len(set))
+	for r := range set {
+		out = append(out, r)
+	}
+	return out
+}
+
+func rnsMakerRots(t *testing.T, rots []int, depth, logN int, bits []int, seed int64) engineMaker {
+	params, err := ckks.NewParameters(logN, bits, 60, 1, math.Exp2(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if depth > params.MaxLevel() {
+		t.Fatalf("depth %d exceeds max level %d", depth, params.MaxLevel())
+	}
+	return func(t *testing.T) Engine {
+		e, err := NewRNSEngine(params, rots, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+}
+
+func bigMakerRots(t *testing.T, rots []int, logN int, bits []int, seed int64) engineMaker {
+	params, err := ckks.NewParameters(logN, bits, 60, 1, math.Exp2(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp, err := ckksbig.FromRNSParameters(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return func(t *testing.T) Engine {
+		e, err := NewBigEngine(bp, rots, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+}
+
+// checkShardGridParity runs the unsharded plan and the 1×1-grid sharded
+// plan on identically-seeded engines and demands bit-identical logits
+// and reports in the bit-exact optimizer modes, tolerance in opt=on —
+// exactly the executor-parity contract — for both sequential and
+// parallel sharded scheduling.
+func checkShardGridParity(t *testing.T, plan *Plan, sp *ShardedPlan, mk engineMaker, image []float64) {
+	t.Helper()
+	if sp.NumShards() != 1 {
+		t.Fatalf("1×1 grid plan has %d shards", sp.NumShards())
+	}
+	if sp.Depth != plan.Depth {
+		t.Fatalf("sharded depth %d, unsharded %d", sp.Depth, plan.Depth)
+	}
+	ctx := context.Background()
+	defer func() { plan.Opt = nil; sp.Opt = nil }()
+	for _, mode := range parityModes() {
+		plan.Opt = mode.opts
+		lgP, repP, err := plan.InferCtx(ctx, mk(t), image)
+		if err != nil {
+			t.Fatalf("plan/%s: %v", mode.name, err)
+		}
+		for _, parallel := range []bool{false, true} {
+			sp.Opt = mode.opts
+			sp.Parallel = parallel
+			// Optimizer and prepared-graph caches key on the engine; a
+			// fresh engine per leg keeps Parallel toggling honest.
+			lgS, repS, err := sp.InferCtx(ctx, mk(t), image)
+			label := "sharded-seq/" + mode.name
+			if parallel {
+				label = "sharded-par/" + mode.name
+			}
+			if err != nil {
+				t.Fatalf("%s: %v", label, err)
+			}
+			if mode.bitExact {
+				assertSameRun(t, label, lgP, lgS, repP, repS)
+			} else {
+				assertCloseRun(t, label, lgP, lgS, repP, repS)
+			}
+		}
+	}
+}
+
+// assertLogitsClose compares logits within tolerance and demands an
+// unchanged argmax, without comparing reports (for cross-shard runs,
+// whose stage structure legitimately differs from the unsharded plan's).
+func assertLogitsClose(t *testing.T, label string, want, got []float64, tol float64) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d vs %d logits", label, len(want), len(got))
+	}
+	amW, amG := 0, 0
+	for i := range want {
+		if d := math.Abs(want[i] - got[i]); d > tol {
+			t.Fatalf("%s: logit %d differs: %.17g vs %.17g (Δ=%g > %g)",
+				label, i, want[i], got[i], want[i]-got[i], tol)
+		}
+		if want[i] > want[amW] {
+			amW = i
+		}
+		if got[i] > got[amG] {
+			amG = i
+		}
+	}
+	if amW != amG {
+		t.Fatalf("%s: argmax changed: %d vs %d", label, amW, amG)
+	}
+}
+
+// TestShardParityTiny covers both backends on the tiny fixture: the 1×1
+// grid bit-identity, and a genuinely cross-shard 2×1 grid against both
+// the plaintext forward pass and the unsharded encrypted logits.
+func TestShardParityTiny(t *testing.T) {
+	plan, err := Compile(tinyModel(1), 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := CompileSharded(tinyModel(1), 512, shard.Grid{Gy: 1, Gx: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp2, err := CompileSharded(tinyModel(1), 512, shard.Grid{Gy: 2, Gx: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp2.NumShards() != 2 {
+		t.Fatalf("2×1 grid: %d shards", sp2.NumShards())
+	}
+	// The 3×3 stride-2 convolution reads across the band boundary, so
+	// the first stage must have recorded cross-shard fan-in.
+	if sp2.Input.Halo < 1 {
+		t.Fatalf("cross-shard conv recorded halo %d, want ≥1", sp2.Input.Halo)
+	}
+	rng := rand.New(rand.NewSource(20))
+	img := testImage(rng, plan.InputDim)
+	plain := plainForward(tinyModel(1), img, 1, 8, 8)
+	bits := []int{40, 30, 30, 30, 30}
+	rots := rotsUnion(rotsUnion(plan.Rotations(), sp.Rotations()), sp2.Rotations())
+	ctx := context.Background()
+	for _, tc := range []struct {
+		name string
+		mk   engineMaker
+	}{
+		{"rns", rnsMakerRots(t, rots, plan.Depth, 10, bits, 701)},
+		{"big", bigMakerRots(t, rots, 10, bits, 702)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			checkShardGridParity(t, plan, sp, tc.mk, img)
+
+			lgP, _, err := plan.InferCtx(ctx, tc.mk(t), img)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, parallel := range []bool{false, true} {
+				sp2.Parallel = parallel
+				lgS, rep, err := sp2.InferCtx(ctx, tc.mk(t), img)
+				if err != nil {
+					t.Fatal(err)
+				}
+				assertLogitsClose(t, "cross-shard vs plan", lgP, lgS, 1e-3)
+				assertLogitsClose(t, "cross-shard vs plain", plain, lgS, 0.05)
+				if len(rep.Stages) == 0 {
+					t.Fatal("cross-shard run produced no stage report")
+				}
+			}
+		})
+	}
+}
+
+// TestShardInputValidation pins the typed-error contract shared with
+// Plan.InferCtx.
+func TestShardInputValidation(t *testing.T) {
+	sp, err := CompileSharded(tinyModel(1), 512, shard.Grid{Gy: 1, Gx: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Compile(tinyModel(1), 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := rnsEngineFor(t, plan, 10, []int{40, 30, 30, 30, 30})
+	_, _, err = sp.InferCtx(context.Background(), e, make([]float64, sp.InputDim+1))
+	if !errors.Is(err, ErrBadInput) {
+		t.Fatalf("oversized image: %v, want ErrBadInput", err)
+	}
+}
+
+// TestShardedCrossShardDense is the cross-shard rotation/recombine
+// round-trip property test: random dense maps whose flat inputs are
+// forced across 2–4 shards (every output row draws from every input
+// shard) evaluated encrypted and compared to the plaintext product.
+func TestShardedCrossShardDense(t *testing.T) {
+	ctx := context.Background()
+	// The manifest's slot count must match the engine's (diagonal
+	// extraction wraps modulo slots), so multi-shard flat inputs need
+	// dimensions beyond the 512 slots of a logN=10 engine.
+	for _, tc := range []struct {
+		seed  int64
+		in    int
+		out   int
+		slots int
+		gx    int
+	}{
+		{31, 1200, 7, 512, 3},
+		{32, 1001, 10, 512, 2}, // uneven bands: 501/500
+		{33, 1600, 16, 512, 4},
+	} {
+		rng := rand.New(rand.NewSource(tc.seed))
+		m := &nn.Model{Layers: []nn.Layer{nn.NewDense(rng, tc.in, tc.out)}}
+		sp, err := CompileSharded(m, tc.slots, shard.Grid{Gy: 1, Gx: tc.gx})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sp.NumShards() != tc.gx {
+			t.Fatalf("seed %d: %d shards, want %d", tc.seed, sp.NumShards(), tc.gx)
+		}
+		img := testImage(rng, tc.in)
+		want := plainForward(m, img, 1, 1, tc.in)
+		bits := []int{40, 30, 30}
+		params, err := ckks.NewParameters(10, bits, 60, 1, math.Exp2(30))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, parallel := range []bool{false, true} {
+			sp.Parallel = parallel
+			e, err := NewRNSEngine(params, sp.Rotations(), tc.seed+100)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lg, _, err := sp.InferCtx(ctx, e, img)
+			if err != nil {
+				t.Fatalf("seed %d parallel=%v: %v", tc.seed, parallel, err)
+			}
+			assertLogitsClose(t, "cross-shard dense", want, lg, 0.02)
+		}
+	}
+}
+
+// paperShardModel builds the paper architectures as models (shared with
+// paperModel, which compiles them).
+func paperShardModel(arch string) *nn.Model {
+	rng := rand.New(rand.NewSource(7))
+	var m *nn.Model
+	deg := 3
+	switch arch {
+	case "cnn1":
+		m = nn.NewCNN1(rng)
+	case "cnn2":
+		m = nn.NewCNN2(rng)
+	case "cnn3":
+		m = nn.NewCNN3(rng)
+		deg = 4
+	}
+	hm := m.ReplaceReLUWithSLAF(deg, 1)
+	for _, l := range hm.Layers {
+		if s, ok := l.(*nn.SLAF); ok {
+			s.FitReLU(3)
+		}
+	}
+	return hm
+}
+
+// TestShardParityCNN covers the paper shapes at full MNIST dimensions on
+// the RNS backend (big-backend CNN-scale runs belong to make
+// shard-parity / the benchmark suite, matching the executor-parity
+// convention).
+func TestShardParityCNN(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CNN-scale shard parity skipped in short mode")
+	}
+	for _, tc := range []struct {
+		arch  string
+		slots int
+		logN  int
+	}{
+		{"cnn1", 1024, 11},
+		{"cnn2", 2048, 12},
+	} {
+		t.Run(tc.arch, func(t *testing.T) {
+			plan, err := Compile(paperShardModel(tc.arch), tc.slots)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sp, err := CompileSharded(paperShardModel(tc.arch), tc.slots, shard.Grid{Gy: 1, Gx: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(21))
+			img := testImage(rng, plan.InputDim)
+			bits := make([]int, plan.Depth+2)
+			bits[0] = 40
+			for i := 1; i < len(bits); i++ {
+				bits[i] = 30
+			}
+			rots := rotsUnion(plan.Rotations(), sp.Rotations())
+			mk := rnsMakerRots(t, rots, plan.Depth, tc.logN, bits, 703)
+			checkShardGridParity(t, plan, sp, mk, img)
+		})
+	}
+}

@@ -1,199 +1,35 @@
-// Package mnist provides the image-classification dataset substrate: a
-// loader for the standard MNIST IDX files when they are available, and a
-// deterministic synthetic handwritten-digit generator used as an offline
-// substitution (DESIGN.md §3, S1). Both produce 28×28 grayscale images
-// with pixel values in [0, 255], the format the paper's evaluation uses.
+// Package mnist is a thin compatibility shim over internal/dataset,
+// which now hosts the shared loader substrate for both evaluation
+// corpora (MNIST and CIFAR-10). Existing callers keep the mnist.Load /
+// mnist.Synthetic surface; new code should use internal/dataset
+// directly.
 package mnist
 
-import (
-	"compress/gzip"
-	"encoding/binary"
-	"fmt"
-	"io"
-	"os"
-	"path/filepath"
+import "cnnhe/internal/dataset"
 
-	"cnnhe/internal/nn"
-	"cnnhe/internal/tensor"
-)
-
-// Rows and Cols are the image dimensions.
+// Rows and Cols are the MNIST image dimensions.
 const (
-	Rows = 28
-	Cols = 28
+	Rows = dataset.MNISTRows
+	Cols = dataset.MNISTCols
 )
 
-// Dataset holds raw 8-bit images and labels.
-type Dataset struct {
-	Pixels [][]byte // each image is Rows·Cols bytes, row-major
-	Labels []int
-}
-
-// Len returns the number of images.
-func (d Dataset) Len() int { return len(d.Pixels) }
-
-// Image returns image i as raw float64 pixels in [0, 255].
-func (d Dataset) Image(i int) []float64 {
-	out := make([]float64, Rows*Cols)
-	for j, b := range d.Pixels[i] {
-		out[j] = float64(b)
-	}
-	return out
-}
-
-// ToNN converts to the training representation: [1, 28, 28] tensors with
-// pixels scaled to [0, 1].
-func (d Dataset) ToNN() nn.Dataset {
-	out := nn.Dataset{
-		Images: make([]*tensor.Tensor, d.Len()),
-		Labels: append([]int(nil), d.Labels...),
-	}
-	for i := range d.Pixels {
-		img := tensor.New(1, Rows, Cols)
-		for j, b := range d.Pixels[i] {
-			img.Data[j] = float64(b) / 255
-		}
-		out.Images[i] = img
-	}
-	return out
-}
-
-// Subset returns the first n samples (or all when n ≤ 0 or past the end).
-func (d Dataset) Subset(n int) Dataset {
-	if n <= 0 || n > d.Len() {
-		n = d.Len()
-	}
-	return Dataset{Pixels: d.Pixels[:n], Labels: d.Labels[:n]}
-}
+// Dataset is the shared raw-image dataset representation.
+type Dataset = dataset.Dataset
 
 // LoadIDX reads the standard MNIST IDX files (optionally gzipped) from
-// dir: train-images-idx3-ubyte[.gz], train-labels-idx1-ubyte[.gz],
-// t10k-images-idx3-ubyte[.gz], t10k-labels-idx1-ubyte[.gz].
+// dir.
 func LoadIDX(dir string) (train, test Dataset, err error) {
-	train, err = loadPair(dir, "train-images-idx3-ubyte", "train-labels-idx1-ubyte")
-	if err != nil {
-		return Dataset{}, Dataset{}, err
-	}
-	test, err = loadPair(dir, "t10k-images-idx3-ubyte", "t10k-labels-idx1-ubyte")
-	if err != nil {
-		return Dataset{}, Dataset{}, err
-	}
-	return train, test, nil
+	return dataset.LoadMNISTIDX(dir)
 }
 
-func loadPair(dir, imgName, lblName string) (Dataset, error) {
-	imgs, err := readIDXImages(findFile(dir, imgName))
-	if err != nil {
-		return Dataset{}, err
-	}
-	lbls, err := readIDXLabels(findFile(dir, lblName))
-	if err != nil {
-		return Dataset{}, err
-	}
-	if len(imgs) != len(lbls) {
-		return Dataset{}, fmt.Errorf("mnist: %d images but %d labels", len(imgs), len(lbls))
-	}
-	return Dataset{Pixels: imgs, Labels: lbls}, nil
+// Synthetic generates n deterministic synthetic handwritten-digit
+// images.
+func Synthetic(n int, seed int64) Dataset {
+	return dataset.SyntheticMNIST(n, seed)
 }
 
-func findFile(dir, base string) string {
-	for _, name := range []string{base, base + ".gz"} {
-		p := filepath.Join(dir, name)
-		if _, err := os.Stat(p); err == nil {
-			return p
-		}
-	}
-	return filepath.Join(dir, base)
-}
-
-func openMaybeGzip(path string) (io.ReadCloser, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	if filepath.Ext(path) == ".gz" {
-		gz, err := gzip.NewReader(f)
-		if err != nil {
-			f.Close()
-			return nil, err
-		}
-		return struct {
-			io.Reader
-			io.Closer
-		}{gz, f}, nil
-	}
-	return f, nil
-}
-
-func readIDXImages(path string) ([][]byte, error) {
-	r, err := openMaybeGzip(path)
-	if err != nil {
-		return nil, err
-	}
-	defer r.Close()
-	var hdr [16]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, fmt.Errorf("mnist: %s: %w", path, err)
-	}
-	if binary.BigEndian.Uint32(hdr[0:4]) != 0x00000803 {
-		return nil, fmt.Errorf("mnist: %s: bad magic", path)
-	}
-	n := int(binary.BigEndian.Uint32(hdr[4:8]))
-	rows := int(binary.BigEndian.Uint32(hdr[8:12]))
-	cols := int(binary.BigEndian.Uint32(hdr[12:16]))
-	if rows != Rows || cols != Cols {
-		return nil, fmt.Errorf("mnist: %s: unexpected size %dx%d", path, rows, cols)
-	}
-	out := make([][]byte, n)
-	for i := range out {
-		out[i] = make([]byte, rows*cols)
-		if _, err := io.ReadFull(r, out[i]); err != nil {
-			return nil, fmt.Errorf("mnist: %s truncated: %w", path, err)
-		}
-	}
-	return out, nil
-}
-
-func readIDXLabels(path string) ([]int, error) {
-	r, err := openMaybeGzip(path)
-	if err != nil {
-		return nil, err
-	}
-	defer r.Close()
-	var hdr [8]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, fmt.Errorf("mnist: %s: %w", path, err)
-	}
-	if binary.BigEndian.Uint32(hdr[0:4]) != 0x00000801 {
-		return nil, fmt.Errorf("mnist: %s: bad magic", path)
-	}
-	n := int(binary.BigEndian.Uint32(hdr[4:8]))
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(r, buf); err != nil {
-		return nil, fmt.Errorf("mnist: %s truncated: %w", path, err)
-	}
-	out := make([]int, n)
-	for i, b := range buf {
-		if b > 9 {
-			return nil, fmt.Errorf("mnist: %s: label %d out of range", path, b)
-		}
-		out[i] = int(b)
-	}
-	return out, nil
-}
-
-// Load returns the real MNIST data from the directory named by the
-// MNIST_DIR environment variable when set and readable, falling back to
-// the deterministic synthetic dataset otherwise. The returned string
-// describes the source.
+// Load returns MNIST data from MNIST_DIR when available, falling back
+// to the synthetic dataset. The returned string describes the source.
 func Load(trainN, testN int, seed int64) (train, test Dataset, source string) {
-	if dir := os.Getenv("MNIST_DIR"); dir != "" {
-		tr, te, err := LoadIDX(dir)
-		if err == nil {
-			return tr.Subset(trainN), te.Subset(testN), "mnist-idx:" + dir
-		}
-	}
-	tr := Synthetic(trainN, seed)
-	te := Synthetic(testN, seed+1)
-	return tr, te, "synthetic"
+	return dataset.LoadMNIST(trainN, testN, seed)
 }

@@ -142,8 +142,8 @@ type modelState struct {
 	SLAFUnits []int
 }
 
-// Save writes the model parameters to path. Arch must be "cnn1" or "cnn2";
-// SLAF-activated variants are detected automatically.
+// Save writes the model parameters to path. Arch must be "cnn1", "cnn2",
+// or "cnn3"; SLAF-activated variants are detected automatically.
 func (m *Model) Save(path, arch string) error {
 	st := modelState{Arch: arch}
 	for _, l := range m.Layers {
@@ -185,6 +185,8 @@ func LoadModel(path string) (*Model, string, error) {
 		m = NewCNN1(rng)
 	case "cnn2":
 		m = NewCNN2(rng)
+	case "cnn3":
+		m = NewCNN3(rng)
 	default:
 		return nil, "", fmt.Errorf("nn: unknown architecture %q", st.Arch)
 	}

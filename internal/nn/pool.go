@@ -92,12 +92,13 @@ func (p *MeanPool2D) AsMatrix() *tensor.Tensor {
 	return m
 }
 
-// NewCNN3 builds a CryptoNets-style architecture with mean pooling and
-// degree-2 (square-friendly) activations: Conv(1→5, 5×5, s2) → act →
-// MeanPool(2×2, s2) → Conv(5→10, 3×3) → Flatten → Dense(→32) → act →
-// Dense(→10). With linear-layer collapsing (the Table I "2-arch" column)
-// the pool and the second convolution merge into one homomorphic stage.
-func NewCNN3(rng *rand.Rand) *Model {
+// NewCryptoNets builds a CryptoNets-style MNIST architecture with mean
+// pooling and degree-2 (square-friendly) activations: Conv(1→5, 5×5, s2)
+// → act → MeanPool(2×2, s2) → Conv(5→10, 3×3) → Flatten → Dense(→32) →
+// act → Dense(→10). With linear-layer collapsing (the Table I "2-arch"
+// column) the pool and the second convolution merge into one homomorphic
+// stage.
+func NewCryptoNets(rng *rand.Rand) *Model {
 	conv1 := NewConv2D(rng, 1, 5, 5, 2, 1, 28, 28) // 5×13×13
 	pool := NewMeanPool2D(2, 2, conv1.OutC, conv1.OutH(), conv1.OutW())
 	conv2 := NewConv2D(rng, 5, 10, 3, 1, 0, pool.OutH(), pool.OutW()) // 10×4×4
@@ -111,5 +112,32 @@ func NewCNN3(rng *rand.Rand) *Model {
 		NewDense(rng, flat, 32),
 		NewReLU(),
 		NewDense(rng, 32, 10),
+	}}
+}
+
+// NewCNN3 builds the CIFAR-10 architecture: Conv(3→6, 5×5, s2, p1 →
+// 6×15×15) → act → MeanPool(2×2, s2 → 6×7×7) → Conv(6→12, 3×3, p1 →
+// 12×7×7) → act → MeanPool(2×2, s2 → 12×3×3) → Flatten → Dense(108→10).
+// With linear-layer collapsing each pool merges into the following
+// convolution/dense layer, yielding five homomorphic stages; with
+// degree-4 SLAF activations (depth 3 each) the plan consumes
+// 1+3+1+3+1 = 9 levels. The 3·32·32 = 3072-element input exceeds the
+// 2048 slots of the serving ring, which is exactly what the ciphertext
+// sharding pipeline is for.
+func NewCNN3(rng *rand.Rand) *Model {
+	conv1 := NewConv2D(rng, 3, 6, 5, 2, 1, 32, 32) // 6×15×15
+	pool1 := NewMeanPool2D(2, 2, conv1.OutC, conv1.OutH(), conv1.OutW())
+	conv2 := NewConv2D(rng, 6, 12, 3, 1, 1, pool1.OutH(), pool1.OutW()) // 12×7×7
+	pool2 := NewMeanPool2D(2, 2, conv2.OutC, conv2.OutH(), conv2.OutW())
+	flat := conv2.OutC * pool2.OutH() * pool2.OutW() // 12·3·3 = 108
+	return &Model{Layers: []Layer{
+		conv1,
+		NewReLU(),
+		pool1,
+		conv2,
+		NewReLU(),
+		pool2,
+		NewFlatten(),
+		NewDense(rng, flat, 10),
 	}}
 }

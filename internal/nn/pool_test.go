@@ -45,12 +45,12 @@ func TestMeanPoolAsMatrix(t *testing.T) {
 	}
 }
 
-func TestCNN3ArchitectureShapes(t *testing.T) {
+func TestCryptoNetsArchitectureShapes(t *testing.T) {
 	rng := rand.New(rand.NewSource(83))
-	m := NewCNN3(rng)
+	m := NewCryptoNets(rng)
 	out := m.Forward(randInput(rng, 1, 28, 28))
 	if out.Len() != 10 {
-		t.Fatalf("cnn3 outputs %d classes", out.Len())
+		t.Fatalf("cryptonets outputs %d classes", out.Len())
 	}
 	pool := m.Layers[2].(*MeanPool2D)
 	if pool.OutH() != 6 || pool.OutW() != 6 {
@@ -62,13 +62,38 @@ func TestCNN3ArchitectureShapes(t *testing.T) {
 	}
 }
 
+func TestCNN3ArchitectureShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	m := NewCNN3(rng)
+	out := m.Forward(randInput(rng, 3, 32, 32))
+	if out.Len() != 10 {
+		t.Fatalf("cnn3 outputs %d classes", out.Len())
+	}
+	conv1 := m.Layers[0].(*Conv2D)
+	if conv1.OutH() != 15 || conv1.OutW() != 15 {
+		t.Fatalf("conv1 output %dx%d want 15x15", conv1.OutH(), conv1.OutW())
+	}
+	pool1 := m.Layers[2].(*MeanPool2D)
+	if pool1.OutH() != 7 || pool1.OutW() != 7 {
+		t.Fatalf("pool1 output %dx%d want 7x7", pool1.OutH(), pool1.OutW())
+	}
+	conv2 := m.Layers[3].(*Conv2D)
+	if conv2.OutH() != 7 || conv2.OutW() != 7 {
+		t.Fatalf("conv2 output %dx%d want 7x7", conv2.OutH(), conv2.OutW())
+	}
+	pool2 := m.Layers[5].(*MeanPool2D)
+	if pool2.OutH() != 3 || pool2.OutW() != 3 {
+		t.Fatalf("pool2 output %dx%d want 3x3", pool2.OutH(), pool2.OutW())
+	}
+}
+
 func TestCNN3Trains(t *testing.T) {
 	// A couple of steps must run without shape errors end to end.
 	rng := rand.New(rand.NewSource(84))
 	m := NewCNN3(rng)
 	ds := Dataset{}
 	for i := 0; i < 32; i++ {
-		ds.Images = append(ds.Images, randInput(rng, 1, 28, 28))
+		ds.Images = append(ds.Images, randInput(rng, 3, 32, 32))
 		ds.Labels = append(ds.Labels, i%10)
 	}
 	Train(m, ds, TrainConfig{Epochs: 1, BatchSize: 8, MaxLR: 0.01, Momentum: 0.9, Seed: 1})

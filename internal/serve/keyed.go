@@ -30,6 +30,12 @@ type KeyedConfig struct {
 	// Plan is the single-image inference plan evaluated on the encrypted
 	// route. Its rotation set is the registration requirement.
 	Plan *henn.Plan
+	// Sharded is the multi-ciphertext alternative to Plan: an input image
+	// that exceeds the slot count travels as the plan's shard set (one
+	// ciphertext frame per shard, back to back in the request body) and
+	// /v1/info advertises the input manifest. Exactly one of Plan and
+	// Sharded must be set.
+	Sharded *henn.ShardedPlan
 	// Model and Backend name the loaded architecture and engine for
 	// GET /v1/info.
 	Model   string
@@ -64,9 +70,13 @@ type Keyed struct {
 	store *keys.Store
 	info  client.InfoResponse
 	// bundleLimit and ctLimit bound request bodies, computed from the
-	// exact wire sizes of the largest legitimate payloads.
+	// exact wire sizes of the largest legitimate payloads (ctLimit covers
+	// all shard frames of one request).
 	bundleLimit int64
 	ctLimit     int64
+	// shards is how many ciphertext frames one classify body carries
+	// (1 for an unsharded Plan).
+	shards int
 }
 
 // keyedEval is the per-client evaluation state cached on a store entry:
@@ -88,13 +98,25 @@ func NewKeyed(cfg KeyedConfig) (*Keyed, error) {
 	if cfg.Ctx == nil {
 		return nil, fmt.Errorf("serve: KeyedConfig.Ctx is required")
 	}
-	if cfg.Plan == nil {
-		return nil, fmt.Errorf("serve: KeyedConfig.Plan is required")
+	if (cfg.Plan == nil) == (cfg.Sharded == nil) {
+		return nil, fmt.Errorf("serve: exactly one of KeyedConfig.Plan and KeyedConfig.Sharded is required")
 	}
 	if cfg.Guard == (guard.Config{}) {
 		cfg.Guard = guard.DefaultConfig()
 	}
-	rotations := cfg.Plan.Rotations()
+	inputDim, outputDim := 0, 0
+	shards := 1
+	var rotations []int
+	var manifest string
+	if cfg.Plan != nil {
+		rotations = cfg.Plan.Rotations()
+		inputDim, outputDim = cfg.Plan.InputDim, cfg.Plan.OutputDim
+	} else {
+		rotations = cfg.Sharded.Rotations()
+		inputDim, outputDim = cfg.Sharded.InputDim, cfg.Sharded.OutputDim
+		shards = cfg.Sharded.NumShards()
+		manifest = client.EncodeManifest(cfg.Sharded.Input)
+	}
 	store, err := keys.NewStore(keys.Config{
 		Ctx:               cfg.Ctx,
 		RequiredRotations: rotations,
@@ -112,16 +134,19 @@ func NewKeyed(cfg KeyedConfig) (*Keyed, error) {
 		info: client.InfoResponse{
 			Model:          cfg.Model,
 			Backend:        cfg.Backend,
-			InputDim:       cfg.Plan.InputDim,
-			OutputDim:      cfg.Plan.OutputDim,
+			InputDim:       inputDim,
+			OutputDim:      outputDim,
 			Slots:          p.Slots(),
 			Levels:         p.MaxLevel(),
 			Rotations:      rotations,
 			Params:         client.ParamsInfoOf(p),
 			EncryptedRoute: true,
+			Shards:         shards,
+			ShardManifest:  manifest,
 		},
 		bundleLimit: int64(cfg.Ctx.KeyBundleWireSize(len(rotations)+bundleSlackRotations)) + 1024,
-		ctLimit:     int64(cfg.Ctx.CiphertextWireSize(p.MaxLevel())) + 1024,
+		ctLimit:     int64(shards)*(int64(cfg.Ctx.CiphertextWireSize(p.MaxLevel()))+1024) + 1024,
+		shards:      shards,
 	}
 	return k, nil
 }
@@ -205,9 +230,21 @@ func (k *Keyed) handleClassifyEncrypted(w http.ResponseWriter, r *http.Request) 
 		k.writeKeyedError(w, err, "reading ciphertext", tc)
 		return
 	}
-	ct, err := k.cfg.Ctx.ReadCiphertext(bytes.NewReader(data))
-	if err != nil {
-		k.writeKeyedError(w, err, "decoding ciphertext", tc)
+	// The body carries exactly one self-delimiting ciphertext frame per
+	// input shard, back to back.
+	body := bytes.NewReader(data)
+	cts := make([]*ckks.Ciphertext, k.shards)
+	for i := range cts {
+		if cts[i], err = k.cfg.Ctx.ReadCiphertext(body); err != nil {
+			k.writeKeyedError(w, err, fmt.Sprintf("decoding ciphertext %d/%d", i+1, k.shards), tc)
+			return
+		}
+	}
+	if body.Len() != 0 {
+		keyedTel().request("bad_request")
+		writeJSON(w, http.StatusBadRequest, errorBody{
+			Error:   fmt.Sprintf("%d trailing bytes after %d ciphertext frame(s)", body.Len(), k.shards),
+			TraceID: tc.TraceIDString(), RequestID: tc.SpanIDString()})
 		return
 	}
 
@@ -246,14 +283,16 @@ func (k *Keyed) handleClassifyEncrypted(w http.ResponseWriter, r *http.Request) 
 		// this one clean.
 		_ = ev.g.Reset()
 	}
-	adopted, err := ev.g.Adopt(ct)
-	if err != nil {
-		keyedTel().request("bad_ciphertext")
-		k.finishEncrypted(tc, "bad_ciphertext", t0, lockWait, 0, nil, err)
-		writeJSON(w, http.StatusBadRequest, errorBody{
-			Error:   fmt.Sprintf("rejecting ciphertext: %v", err),
-			TraceID: tc.TraceIDString(), RequestID: tc.SpanIDString()})
-		return
+	adopted := make([]ir.Ct, len(cts))
+	for i, ct := range cts {
+		if adopted[i], err = ev.g.Adopt(ct); err != nil {
+			keyedTel().request("bad_ciphertext")
+			k.finishEncrypted(tc, "bad_ciphertext", t0, lockWait, 0, nil, err)
+			writeJSON(w, http.StatusBadRequest, errorBody{
+				Error:   fmt.Sprintf("rejecting ciphertext %d/%d: %v", i+1, len(cts), err),
+				TraceID: tc.TraceIDString(), RequestID: tc.SpanIDString()})
+			return
+		}
 	}
 	rec := telemetry.NewRunRecorder()
 	rec.SetTrace(tc.TraceIDString(), tc.SpanIDString())
@@ -262,7 +301,7 @@ func (k *Keyed) handleClassifyEncrypted(w http.ResponseWriter, r *http.Request) 
 	// entry.Mu serializes runs), so a guard abort logs the trace ID.
 	ev.g.SetRunContext(rctx)
 	defer ev.g.SetRunContext(nil)
-	res, err := ev.prep.RunEncrypted(rctx, []ir.Ct{adopted}, exec.Options{})
+	res, err := ev.prep.RunEncrypted(rctx, adopted, exec.Options{})
 	if err != nil {
 		_ = ev.g.Reset()
 		k.finishEncrypted(tc, evalOutcome(err), t0, lockWait, res.Eval, rec, err)
@@ -342,7 +381,13 @@ func (k *Keyed) evalFor(entry *keys.Entry) (*keyedEval, error) {
 	}
 	eng := henn.NewRNSEvalEngine(k.cfg.Ctx, entry.Bundle.RLK, entry.Bundle.RTK)
 	g := guard.New(eng, k.cfg.Guard)
-	graph, err := k.cfg.Plan.Lower(g)
+	var graph *ir.Graph
+	var err error
+	if k.cfg.Plan != nil {
+		graph, err = k.cfg.Plan.Lower(g)
+	} else {
+		graph, err = k.cfg.Sharded.Lower(g)
+	}
 	if err != nil {
 		return nil, err
 	}
